@@ -1,0 +1,110 @@
+"""Shared helpers for the benchmark harnesses.
+
+Each ``bench_*`` module regenerates one table or figure of the paper
+(see DESIGN.md §4 for the index).  The helpers here run the underlying
+experiments and print the same rows/series the paper reports, so the
+output of ``pytest benchmarks/ --benchmark-only`` *is* the reproduction
+record (EXPERIMENTS.md quotes it).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro import ClusterConfig, FSRConfig, build_cluster
+from repro.metrics import collect_metrics
+from repro.metrics.collector import ExperimentMetrics
+from repro.net import NetworkParams
+from repro.workloads import (
+    KToNPattern,
+    ThrottledPattern,
+    WorkloadPattern,
+    run_workload,
+)
+
+#: The paper's benchmark message size.
+MESSAGE_BYTES = 100_000
+
+
+def fsr_cluster(
+    n: int,
+    t: int = 1,
+    protocol: str = "fsr",
+    protocol_config=None,
+    network: Optional[NetworkParams] = None,
+    seed: int = 0,
+):
+    """Build a paper-calibrated cluster (Fast Ethernet defaults)."""
+    if protocol == "fsr" and protocol_config is None:
+        protocol_config = FSRConfig(t=t)
+    return build_cluster(
+        ClusterConfig(
+            n=n,
+            protocol=protocol,
+            protocol_config=protocol_config,
+            network=network or NetworkParams.fast_ethernet(),
+            seed=seed,
+        )
+    )
+
+
+def run_pattern(
+    cluster, pattern: WorkloadPattern, max_time_s: float = 1200.0
+) -> ExperimentMetrics:
+    """Run a workload and summarise it."""
+    outcome = run_workload(cluster, pattern, max_time_s=max_time_s)
+    return collect_metrics(outcome)
+
+
+def max_throughput_mbps(
+    n: int,
+    k: Optional[int] = None,
+    messages_total: int = 200,
+    protocol: str = "fsr",
+    protocol_config=None,
+    message_bytes: int = MESSAGE_BYTES,
+) -> ExperimentMetrics:
+    """Saturating k-to-n run; returns its metrics (paper §5.1 method)."""
+    k = n if k is None else k
+    cluster = fsr_cluster(n, protocol=protocol, protocol_config=protocol_config)
+    per_sender = max(1, messages_total // k)
+    pattern = KToNPattern.k_to_n(k, n, per_sender, message_bytes=message_bytes)
+    return run_pattern(cluster, pattern)
+
+
+def contention_free_latency_ms(
+    n: int, t: int = 1, positions: Optional[Sequence[int]] = None
+) -> float:
+    """Average single-message latency over sender positions (Figure 6).
+
+    The paper repeats a one-sender/one-message experiment and averages
+    the latency observed per sender; with a deterministic simulator one
+    run per position is exact.
+    """
+    positions = list(range(n)) if positions is None else list(positions)
+    latencies: List[float] = []
+    for position in positions:
+        cluster = fsr_cluster(n, t=t)
+        cluster.start()
+        cluster.run(until=0.05)
+        start = cluster.sim.now
+        mid = cluster.broadcast(position, size_bytes=MESSAGE_BYTES)
+        cluster.run_until(lambda: cluster.all_correct_delivered(1), max_time_s=60)
+        completion = cluster.results().completion_time(mid)
+        latencies.append((completion - start) * 1e3)
+    return sum(latencies) / len(latencies)
+
+
+def throttled_point(
+    offered_mbps: float, n: int = 5, messages_per_sender: int = 25
+) -> Tuple[float, float]:
+    """One Figure-7 point: (achieved Mb/s, mean latency ms)."""
+    cluster = fsr_cluster(n)
+    pattern = ThrottledPattern(
+        senders=tuple(range(n)),
+        messages_per_sender=messages_per_sender,
+        message_bytes=MESSAGE_BYTES,
+        offered_load_bps=offered_mbps * 1e6,
+    )
+    metrics = run_pattern(cluster, pattern)
+    return metrics.aggregate_throughput_mbps, metrics.mean_latency_s * 1e3

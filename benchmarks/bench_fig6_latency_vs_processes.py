@@ -1,0 +1,49 @@
+"""Figure 6 — contention-free latency as a function of cluster size.
+
+Paper setup: n-to-n groups of 1..10 processes, 100 KB messages, one
+message at a time; the plotted latency is the average over the sender
+positions.  Paper result: latency grows linearly with n (up to roughly
+230 ms at n = 10 on their testbed).
+
+The absolute slope here depends on the calibrated host model; what must
+reproduce is the *linearity* (checked below with a least-squares fit).
+"""
+
+from repro.metrics import format_table
+from _common import contention_free_latency_ms
+
+SIZES = (2, 3, 4, 5, 6, 7, 8, 9, 10)
+
+
+def bench_fig6_latency_vs_processes(benchmark):
+    latencies = {}
+
+    def run():
+        for n in SIZES:
+            latencies[n] = contention_free_latency_ms(n)
+        return latencies
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [[n, f"{latencies[n]:.1f}"] for n in SIZES]
+    print()
+    print(format_table(
+        ["n", "latency (ms)"], rows,
+        title="Figure 6 — latency vs number of processes (100 KB, no load)",
+    ))
+    for n in SIZES:
+        benchmark.extra_info[f"latency_ms_n{n}"] = round(latencies[n], 2)
+
+    # Shape check: linear in n.  Fit y = a*n + b and bound the residual.
+    xs = list(SIZES)
+    ys = [latencies[n] for n in SIZES]
+    x_mean = sum(xs) / len(xs)
+    y_mean = sum(ys) / len(ys)
+    slope = sum((x - x_mean) * (y - y_mean) for x, y in zip(xs, ys)) / sum(
+        (x - x_mean) ** 2 for x in xs
+    )
+    intercept = y_mean - slope * x_mean
+    residuals = [abs(y - (slope * x + intercept)) for x, y in zip(xs, ys)]
+    assert slope > 0, "latency must grow with n"
+    assert max(residuals) < 0.08 * max(ys), "latency must be linear in n"
+    benchmark.extra_info["slope_ms_per_process"] = round(slope, 2)

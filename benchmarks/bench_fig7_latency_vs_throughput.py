@@ -1,0 +1,50 @@
+"""Figure 7 — latency as a function of offered throughput.
+
+Paper setup: 5 processes, n-to-n, 100 KB messages, senders throttled to
+a given aggregate rate; plot mean latency against achieved throughput.
+Paper result: latency stays roughly flat (~130 ms) until the maximum
+throughput (~79 Mb/s) is reached, then rises sharply as queues build.
+"""
+
+from repro.metrics import format_table
+from _common import throttled_point
+
+OFFERED_MBPS = (10, 20, 30, 40, 50, 60, 70, 75, 85, 95)
+
+
+def bench_fig7_latency_vs_throughput(benchmark):
+    points = {}
+
+    def run():
+        for offered in OFFERED_MBPS:
+            # Overloaded points run longer: the queue growth that
+            # produces the paper's latency spike needs sustained input.
+            messages = 45 if offered >= 85 else 25
+            points[offered] = throttled_point(
+                offered, messages_per_sender=messages
+            )
+        return points
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        [offered, f"{points[offered][0]:.1f}", f"{points[offered][1]:.1f}"]
+        for offered in OFFERED_MBPS
+    ]
+    print()
+    print(format_table(
+        ["offered Mb/s", "achieved Mb/s", "mean latency (ms)"], rows,
+        title="Figure 7 — latency vs throughput (n = 5, 100 KB)",
+    ))
+    for offered in OFFERED_MBPS:
+        achieved, latency = points[offered]
+        benchmark.extra_info[f"latency_ms_at_{offered}"] = round(latency, 1)
+
+    # Shape checks: flat below saturation, sharp rise beyond it.
+    low_band = sorted(points[o][1] for o in (10, 20, 30, 40, 50, 60))
+    low_median = low_band[len(low_band) // 2]
+    assert max(low_band) < 2.0 * min(low_band), "sub-saturation latency ~flat"
+    saturated = points[95][1]
+    assert saturated > 2.5 * low_median, "post-saturation latency spikes"
+    # Achieved throughput caps near the protocol maximum.
+    assert points[95][0] < 85.0

@@ -1,0 +1,40 @@
+"""Figure 8 — maximum throughput as a function of cluster size.
+
+Paper setup: n-to-n TO-broadcasts of 100 KB messages, n = 1..10.
+Paper result: FSR sustains ~79 Mb/s on the 100 Mb/s network and the
+throughput is independent of n.
+"""
+
+from repro.metrics import format_table
+from _common import max_throughput_mbps
+
+SIZES = (2, 3, 4, 5, 6, 7, 8, 9, 10)
+PAPER_MBPS = 79.0
+
+
+def bench_fig8_throughput_vs_processes(benchmark):
+    throughput = {}
+
+    def run():
+        for n in SIZES:
+            throughput[n] = max_throughput_mbps(
+                n, messages_total=180
+            ).completion_throughput_mbps
+        return throughput
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [[n, f"{throughput[n]:.1f}", f"{PAPER_MBPS:.0f}"] for n in SIZES]
+    print()
+    print(format_table(
+        ["n", "measured Mb/s", "paper Mb/s"], rows,
+        title="Figure 8 — max throughput vs number of processes (n-to-n, 100 KB)",
+    ))
+    for n in SIZES:
+        benchmark.extra_info[f"mbps_n{n}"] = round(throughput[n], 2)
+
+    values = list(throughput.values())
+    # Headline number: ~79 Mb/s on the calibrated network.
+    assert all(74.0 < v < 84.0 for v in values), values
+    # Shape: independent of n.
+    assert max(values) - min(values) < 0.06 * max(values)

@@ -1,0 +1,40 @@
+"""Figure 9 — maximum throughput as a function of the sender count.
+
+Paper setup: k-to-5 TO-broadcasts (k = 1..5) of 100 KB messages.
+Paper result: throughput does not depend on k — FSR reaches the same
+maximum whatever the number of simultaneous senders, which is the
+property that distinguishes it from privilege-based protocols.
+"""
+
+from repro.metrics import format_table
+from _common import max_throughput_mbps
+
+N = 5
+SENDER_COUNTS = (1, 2, 3, 4, 5)
+
+
+def bench_fig9_throughput_vs_senders(benchmark):
+    throughput = {}
+
+    def run():
+        for k in SENDER_COUNTS:
+            throughput[k] = max_throughput_mbps(
+                N, k=k, messages_total=180
+            ).completion_throughput_mbps
+        return throughput
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [[k, f"{throughput[k]:.1f}"] for k in SENDER_COUNTS]
+    print()
+    print(format_table(
+        ["senders k", "measured Mb/s"], rows,
+        title="Figure 9 — max throughput vs number of senders (k-to-5, 100 KB)",
+    ))
+    for k in SENDER_COUNTS:
+        benchmark.extra_info[f"mbps_k{k}"] = round(throughput[k], 2)
+
+    values = list(throughput.values())
+    assert all(72.0 < v < 84.0 for v in values), values
+    # Shape: independent of k.
+    assert max(values) - min(values) < 0.07 * max(values)

@@ -1,0 +1,91 @@
+"""§4.3.1 extension — leader rotation evens out per-process latency.
+
+The paper: "The position of the TO-broadcasting process in the ring has
+an influence on the latency [L(i) = 2n + t - i - 1].  In order to
+evenly distribute the latency for all processes, the role of the leader
+can be periodically moved to the next process in the ring."
+
+Two results:
+
+* **Round model** (where the position effect lives): measured
+  per-process latency under every ring rotation; with a static leader
+  the spread across processes is ``n - 2`` rounds, and averaging over a
+  full rotation cycle makes every process's mean latency identical.
+* **Cluster simulation**: an honest negative — with byte-accurate costs
+  the position effect is tiny (the extra hops of distant senders are
+  small ack messages, not payload transfers), so rotation buys little
+  on the simulated cluster.  The functional rotation machinery itself
+  is exercised by ``tests/vsc/test_rotation.py``.
+"""
+
+from typing import Dict, Tuple
+
+from repro.metrics import format_table
+from repro.rounds.engine import RoundEngine
+from repro.rounds.fsr_round import FSRRoundProcess, fsr_latency_formula
+
+N = 6
+T = 1
+
+
+def _latency_for(members: Tuple[int, ...], sender: int) -> int:
+    """Rounds until everyone delivers one broadcast from ``sender``."""
+    completions = {}
+
+    def observer(pid, mid, seq, rnd):
+        completions[pid] = rnd
+
+    engine = RoundEngine()
+    for pid in members:
+        engine.attach(
+            FSRRoundProcess(
+                pid, members, t=T,
+                supply=1 if pid == sender else 0,
+                deliver_cb=observer,
+            )
+        )
+    engine.run_until(lambda: len(completions) == len(members), max_rounds=5000)
+    return max(completions.values()) + 1
+
+
+def bench_leader_rotation_evens_latency(benchmark):
+    static: Dict[int, int] = {}
+    rotating_mean: Dict[int, float] = {}
+
+    def run():
+        base = tuple(range(N))
+        for pid in range(N):
+            static[pid] = _latency_for(base, pid)
+        # One full rotation cycle: each process occupies each position.
+        totals = {pid: 0 for pid in range(N)}
+        for shift in range(N):
+            members = base[shift:] + base[:shift]
+            for pid in range(N):
+                totals[pid] += _latency_for(members, pid)
+        for pid in range(N):
+            rotating_mean[pid] = totals[pid] / N
+        return static, rotating_mean
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        [pid, static[pid], f"{rotating_mean[pid]:.2f}"] for pid in range(N)
+    ]
+    print()
+    print(format_table(
+        ["process", "static leader (rounds)", "rotating mean (rounds)"], rows,
+        title=f"§4.3.1 — per-process broadcast latency, round model (n={N}, t={T})",
+    ))
+
+    # Static: the formula's position dependence.  The best case is the
+    # leader (n + t - 1), the worst its successor (2n + t - 2), so the
+    # spread is exactly n - 1 rounds.
+    assert static[1] == fsr_latency_formula(N, T, 1)
+    static_spread = max(static.values()) - min(static.values())
+    assert static_spread == N - 1, static
+
+    # Rotating: every process sees the same mean latency.
+    values = list(rotating_mean.values())
+    assert max(values) - min(values) < 1e-9, rotating_mean
+    benchmark.extra_info["static_spread_rounds"] = static_spread
+    benchmark.extra_info["rotating_mean_rounds"] = values[0]

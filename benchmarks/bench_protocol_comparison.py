@@ -1,0 +1,93 @@
+"""Section 2 on the cluster — DES throughput of all protocol classes.
+
+The paper evaluates only FSR on the cluster (Section 2 compares the
+other classes analytically); this benchmark runs all six protocols on
+the same simulated switched LAN and shows the same story in Mb/s:
+
+* FSR stays at the host-limited ~79 Mb/s for every n and every k;
+* fixed sequencer collapses as ~raw/(n-1) — the sequencer NIC carries
+  every payload n-1 times;
+* privilege serialises senders (only the token holder transmits), so it
+  also collapses with n;
+* the broadcast-based classes survive n-to-n (transmission is spread
+  over all senders) but collapse in 1-to-n, where the lone sender's NIC
+  must push n-1 copies — FSR's pattern-independence is the headline.
+"""
+
+from repro.metrics import format_table
+from _common import max_throughput_mbps
+
+PROTOCOLS = [
+    "fsr",
+    "fixed_sequencer",
+    "moving_sequencer",
+    "privilege",
+    "communication_history",
+    "destination_agreement",
+]
+
+
+def bench_n_to_n_throughput_by_protocol(benchmark):
+    sizes = (2, 5, 8)
+    results = {}
+
+    def run():
+        for protocol in PROTOCOLS:
+            for n in sizes:
+                metrics = max_throughput_mbps(
+                    n, protocol=protocol, messages_total=120
+                )
+                results[(protocol, n)] = metrics.completion_throughput_mbps
+        return results
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [protocol] + [f"{results[(protocol, n)]:.1f}" for n in sizes]
+        for protocol in PROTOCOLS
+    ]
+    print()
+    print(format_table(
+        ["protocol"] + [f"n={n}" for n in sizes], rows,
+        title="n-to-n aggregate throughput (Mb/s), 100 KB messages",
+    ))
+    fsr = [results[("fsr", n)] for n in sizes]
+    assert max(fsr) - min(fsr) < 0.06 * max(fsr), "FSR flat in n"
+    # Fixed sequencer and privilege degrade with n.
+    for protocol in ("fixed_sequencer", "privilege"):
+        assert results[(protocol, 8)] < 0.5 * results[(protocol, 2)], protocol
+        assert results[(protocol, 8)] < 0.3 * results[("fsr", 8)], protocol
+    benchmark.extra_info["fsr_n8_mbps"] = round(results[("fsr", 8)], 1)
+    benchmark.extra_info["fixed_sequencer_n8_mbps"] = round(
+        results[("fixed_sequencer", 8)], 1
+    )
+
+
+def bench_one_to_n_throughput_by_protocol(benchmark):
+    """1-to-n: the pattern where every broadcast-payload class pays the
+    sender-NIC tax and FSR does not."""
+    n = 6
+    results = {}
+
+    def run():
+        for protocol in PROTOCOLS:
+            metrics = max_throughput_mbps(
+                n, k=1, protocol=protocol, messages_total=100
+            )
+            results[protocol] = metrics.completion_throughput_mbps
+        return results
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[protocol, f"{results[protocol]:.1f}"] for protocol in PROTOCOLS]
+    print()
+    print(format_table(
+        ["protocol", "Mb/s"], rows,
+        title=f"1-to-{n} throughput (Mb/s), 100 KB messages",
+    ))
+    assert results["fsr"] > 70.0
+    for protocol in PROTOCOLS[1:]:
+        assert results[protocol] < 0.55 * results["fsr"], (
+            f"{protocol} should pay the 1-to-n dissemination tax"
+        )
+    benchmark.extra_info.update(
+        {p: round(v, 1) for p, v in results.items()}
+    )

@@ -1,0 +1,95 @@
+"""Section 4.1 ablation — uniform message size via segmentation.
+
+The paper: "because of the ring dissemination topology, uniform message
+size is necessary in order to avoid that large messages stall the
+smaller messages".  Setup here: four processes stream 100 KB bulk
+messages at a moderate (sub-saturation) rate while a fifth process
+periodically sends 1 KB latency-sensitive messages.  Without
+segmentation each small message waits behind whole 100 KB transfers at
+every hop; with 8 KB segments the head-of-line unit shrinks by an
+order of magnitude, and so does the small messages' latency.
+"""
+
+from repro import ClusterConfig, FSRConfig, build_cluster
+from repro.metrics import format_table, percentile
+
+N = 5
+SMALL_SENDER = 2
+BULK_SENDERS = (0, 1, 3, 4)
+
+
+def _small_message_latencies(segment_size):
+    cluster = build_cluster(
+        ClusterConfig(
+            n=N, protocol="fsr",
+            protocol_config=FSRConfig(t=1, segment_size=segment_size),
+        )
+    )
+    cluster.start()
+    cluster.run(until=0.05)
+
+    total = [0]
+    # Bulk: each sender offers one 100 KB message every 60 ms
+    # (~53 Mb/s aggregate, below the ~79 Mb/s capacity).
+    remaining = {pid: 25 for pid in BULK_SENDERS}
+
+    def send_bulk(pid):
+        if remaining[pid] <= 0:
+            return
+        remaining[pid] -= 1
+        cluster.broadcast(pid, size_bytes=100_000)
+        total[0] += 1
+        cluster.sim.schedule(0.060, send_bulk, pid)
+
+    for index, pid in enumerate(BULK_SENDERS):
+        cluster.sim.schedule(index * 0.015, send_bulk, pid)
+
+    small_ids = []
+
+    def send_small():
+        if len(small_ids) >= 12:
+            return
+        small_ids.append(cluster.broadcast(SMALL_SENDER, size_bytes=1_000))
+        total[0] += 1
+        cluster.sim.schedule(0.1, send_small)
+
+    cluster.sim.schedule(0.2, send_small)  # after the pipeline fills
+    cluster.run_until(
+        lambda: cluster.all_correct_delivered(12 + 25 * len(BULK_SENDERS)),
+        max_time_s=600,
+    )
+    cluster.run(until=cluster.sim.now + 0.05)
+    result = cluster.results()
+
+    submit = {r.message_id: r.submit_time for r in result.broadcasts}
+    return [
+        (result.completion_time(mid) - submit[mid]) * 1e3 for mid in small_ids
+    ]
+
+
+def bench_segmentation_ablation(benchmark):
+    results = {}
+
+    def run():
+        results["off"] = _small_message_latencies(segment_size=None)
+        results["on (8 KB)"] = _small_message_latencies(segment_size=8_000)
+        return results
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for mode, values in results.items():
+        rows.append([
+            mode,
+            f"{sum(values) / len(values):.1f}",
+            f"{percentile(values, 99):.1f}",
+        ])
+    print()
+    print(format_table(
+        ["segmentation", "mean 1 KB latency (ms)", "p99 (ms)"], rows,
+        title="Ablation — segmentation: 1 KB messages among 100 KB bulk",
+    ))
+    mean_off = sum(results["off"]) / len(results["off"])
+    mean_on = sum(results["on (8 KB)"]) / len(results["on (8 KB)"])
+    assert mean_on < 0.6 * mean_off, (mean_on, mean_off)
+    benchmark.extra_info["mean_ms_off"] = round(mean_off, 1)
+    benchmark.extra_info["mean_ms_on"] = round(mean_on, 1)

@@ -1,0 +1,56 @@
+"""Table 1 — raw network performance (the paper's Netperf baseline).
+
+Paper numbers on 100 Mb/s switched Ethernet: TCP 94 Mb/s, UDP 93 Mb/s.
+We stream bulk data point-to-point through the simulated NIC path with
+no protocol or middleware above it (that is what Netperf measures) and
+report the achieved goodput per framing model.
+"""
+
+from repro.metrics import format_table
+from repro.net import FramingModel, Network, NetworkParams
+from repro.sim import Simulator
+
+
+def _raw_stream_goodput_mbps(framing: FramingModel, messages: int = 200) -> float:
+    params = NetworkParams(
+        cpu_per_message_s=0.0,  # Netperf has no middleware above the NIC
+        cpu_per_byte_s=0.0,
+        framing=framing,
+    )
+    sim = Simulator()
+    net = Network(sim, params)
+    sender = net.attach(0)
+    receiver = net.attach(1)
+    received = []
+    receiver.on_receive(lambda src, msg: received.append(sim.now))
+    size = 100_000
+    for _ in range(messages):
+        sender.send(1, b"", size_bytes=size)
+    sim.run()
+    return messages * size * 8 / received[-1] / 1e6
+
+
+def bench_table1_raw_network(benchmark):
+    rows = []
+    results = {}
+
+    def run():
+        for name, framing in (
+            ("TCP", FramingModel.tcp_like()),
+            ("UDP", FramingModel.udp_like()),
+        ):
+            results[name] = _raw_stream_goodput_mbps(framing)
+        return results
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    paper = {"TCP": 94.0, "UDP": 93.0}
+    for name in ("TCP", "UDP"):
+        rows.append([name, f"{results[name]:.1f}", f"{paper[name]:.0f}"])
+        benchmark.extra_info[f"{name.lower()}_mbps"] = round(results[name], 2)
+    print()
+    print(format_table(
+        ["Protocol", "Measured Mb/s", "Paper Mb/s"], rows,
+        title="Table 1 — raw point-to-point bandwidth",
+    ))
+    assert 92.0 < results["TCP"] < 96.0
+    assert 92.0 < results["UDP"] < 96.0

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Failover walk-through: what happens when the FSR leader crashes.
+
+Narrates a leader crash under load: the failure detector fires, the
+membership layer runs its flush, the first backup becomes the new
+leader/sequencer (ring order is stable across views), undelivered
+stable messages are recovered from the merged flush state, and origins
+re-broadcast what was still unsequenced.  The checkers then verify
+uniform total order across the crash.
+
+Run:  python examples/failover_demo.py
+"""
+
+from repro import ClusterConfig, FSRConfig, build_cluster
+from repro.checker import check_integrity, check_total_order, check_uniformity
+
+N = 5
+CRASH_AT = 0.4
+
+
+def main() -> None:
+    cluster = build_cluster(
+        ClusterConfig(
+            n=N, protocol="fsr", protocol_config=FSRConfig(t=1),
+            detection_delay_s=20e-3, trace=True,
+        )
+    )
+    cluster.start()
+    cluster.run(until=0.05)
+
+    print(f"Initial ring: {cluster.nodes[1].protocol.ring.members} "
+          f"(leader = {cluster.nodes[1].protocol.ring.leader}, t = 1)")
+
+    for pid in range(N):
+        for _ in range(20):
+            cluster.broadcast(pid, size_bytes=100_000)
+    print(f"{N * 20} broadcasts of 100 KB submitted; "
+          f"leader p0 will crash at t = {CRASH_AT}s")
+    cluster.schedule_crash(0, time=CRASH_AT)
+
+    survivors = range(1, N)
+    cluster.run_until(
+        lambda: all(
+            sum(1 for d in cluster.nodes[p].app_deliveries if d.origin != 0) >= 80
+            for p in survivors
+        ),
+        max_time_s=300.0,
+    )
+    cluster.run(until=cluster.sim.now + 0.05)
+    result = cluster.results()
+
+    # Narrate the membership events from the trace.
+    print("\nMembership timeline:")
+    for record in result.trace.records(source="vsc"):
+        if record.kind in ("flush_start", "view_installed") and (
+            record.detail.get("me") == 1
+        ):
+            print(f"  t={record.time * 1e3:7.1f} ms  {record.kind}  "
+                  + " ".join(f"{k}={v}" for k, v in record.detail.items()
+                             if k != "me"))
+
+    new_ring = cluster.nodes[1].protocol.ring
+    print(f"\nNew ring: {new_ring.members} (leader = {new_ring.leader})")
+    assert new_ring.leader == 1, "the first backup takes over as sequencer"
+
+    check_integrity(result)
+    check_total_order(result)
+    check_uniformity(result)
+
+    crashed_log = [str(d.message_id) for d in result.delivery_logs[0].deliveries]
+    survivor_log = [str(d.message_id) for d in result.delivery_logs[1].deliveries]
+    assert crashed_log == survivor_log[: len(crashed_log)]
+    print(f"\nThe crashed leader delivered {len(crashed_log)} messages — "
+          f"a strict prefix of the survivors' {len(survivor_log)}.")
+    print("Uniform total order held across the crash. ✓")
+
+
+if __name__ == "__main__":
+    main()

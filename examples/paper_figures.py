@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Regenerate the paper's evaluation tables in one go (light version).
+
+Prints the series behind Table 1 and Figures 6-9 with reduced message
+counts so the whole script runs in well under a minute; the pytest
+benchmarks under ``benchmarks/`` are the full-fidelity versions whose
+numbers EXPERIMENTS.md records.
+
+Run:  python examples/paper_figures.py
+"""
+
+import sys
+from pathlib import Path
+
+# The benchmark helpers live next to the benchmarks.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
+
+from _common import (  # noqa: E402
+    contention_free_latency_ms,
+    max_throughput_mbps,
+    throttled_point,
+)
+from repro.metrics import format_table  # noqa: E402
+from repro.net import FramingModel, NetworkParams  # noqa: E402
+from repro.net.network import Network  # noqa: E402
+from repro.sim import Simulator  # noqa: E402
+
+
+def table1() -> None:
+    rows = []
+    for name, framing in (("TCP", FramingModel.tcp_like()),
+                          ("UDP", FramingModel.udp_like())):
+        params = NetworkParams(
+            cpu_per_message_s=0.0, cpu_per_byte_s=0.0, framing=framing
+        )
+        sim = Simulator()
+        net = Network(sim, params)
+        sender, receiver = net.attach(0), net.attach(1)
+        seen = []
+        receiver.on_receive(lambda src, msg: seen.append(sim.now))
+        for _ in range(50):
+            sender.send(1, b"", size_bytes=100_000)
+        sim.run()
+        mbps = 50 * 100_000 * 8 / seen[-1] / 1e6
+        rows.append([name, f"{mbps:.1f}", {"TCP": 94, "UDP": 93}[name]])
+    print(format_table(["protocol", "measured Mb/s", "paper Mb/s"], rows,
+                       title="Table 1 — raw network performance"))
+
+
+def figure6() -> None:
+    rows = []
+    for n in (2, 4, 6, 8, 10):
+        rows.append([n, f"{contention_free_latency_ms(n):.1f}"])
+    print(format_table(["n", "latency (ms)"], rows,
+                       title="Figure 6 — latency vs number of processes"))
+
+
+def figure7() -> None:
+    rows = []
+    for offered in (20, 50, 70, 90):
+        achieved, latency = throttled_point(offered, messages_per_sender=12)
+        rows.append([offered, f"{achieved:.1f}", f"{latency:.1f}"])
+    print(format_table(
+        ["offered Mb/s", "achieved Mb/s", "latency (ms)"], rows,
+        title="Figure 7 — latency vs throughput (n = 5)",
+    ))
+
+
+def figure8() -> None:
+    rows = []
+    for n in (2, 4, 6, 8, 10):
+        metrics = max_throughput_mbps(n, messages_total=60)
+        rows.append([n, f"{metrics.completion_throughput_mbps:.1f}", 79])
+    print(format_table(["n", "measured Mb/s", "paper Mb/s"], rows,
+                       title="Figure 8 — max throughput vs processes"))
+
+
+def figure9() -> None:
+    rows = []
+    for k in (1, 2, 3, 4, 5):
+        metrics = max_throughput_mbps(5, k=k, messages_total=60)
+        rows.append([k, f"{metrics.completion_throughput_mbps:.1f}"])
+    print(format_table(["senders k", "measured Mb/s"], rows,
+                       title="Figure 9 — max throughput vs senders (k-to-5)"))
+
+
+def main() -> None:
+    for section in (table1, figure6, figure7, figure8, figure9):
+        section()
+        print()
+
+
+if __name__ == "__main__":
+    main()

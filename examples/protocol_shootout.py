@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Protocol shoot-out: FSR against the five classes of Section 2.
+
+Runs every protocol in the registry through the same two workloads on
+the same simulated cluster and prints the aggregate throughput, showing
+the paper's argument in one table: FSR is the only protocol that stays
+at the host-limited maximum in *both* traffic patterns.
+
+Run:  python examples/protocol_shootout.py        (takes ~a minute)
+"""
+
+from repro import ClusterConfig, build_cluster
+from repro.metrics import collect_metrics, format_table
+from repro.protocols import PROTOCOLS
+from repro.workloads import KToNPattern, run_workload
+
+N = 5
+MESSAGES_TOTAL = 60
+
+
+def measure(protocol: str, k: int) -> float:
+    cluster = build_cluster(ClusterConfig(n=N, protocol=protocol))
+    pattern = KToNPattern.k_to_n(
+        k, N, MESSAGES_TOTAL // k, message_bytes=100_000
+    )
+    outcome = run_workload(cluster, pattern, max_time_s=600.0)
+    return collect_metrics(outcome).completion_throughput_mbps
+
+
+def main() -> None:
+    protocols = [
+        "fsr", "fixed_sequencer", "moving_sequencer",
+        "privilege", "communication_history", "destination_agreement",
+    ]
+    rows = []
+    for protocol in protocols:
+        one_to_n = measure(protocol, k=1)
+        n_to_n = measure(protocol, k=N)
+        rows.append([protocol, f"{one_to_n:.1f}", f"{n_to_n:.1f}"])
+        print(f"  measured {protocol}")
+    print()
+    print(format_table(
+        ["protocol", f"1-to-{N} (Mb/s)", f"{N}-to-{N} (Mb/s)"],
+        rows,
+        title=f"Aggregate TO-broadcast throughput, 100 KB messages, n={N}",
+    ))
+    print(
+        "\nReading: the raw network ceiling is ~94 Mb/s and the per-host"
+        "\nmiddleware budget caps useful goodput near 79 Mb/s.  FSR hits"
+        "\nthat budget in both patterns; every other class falls behind in"
+        "\nat least one (the paper's §2 argument, measured)."
+    )
+
+
+if __name__ == "__main__":
+    main()

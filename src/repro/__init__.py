@@ -1,0 +1,55 @@
+"""repro — reproduction of *High Throughput Total Order Broadcast for
+Cluster Environments* (Guerraoui, Levy, Pochon, Quéma; DSN 2006).
+
+The package implements the paper's FSR protocol, the cluster substrate
+it needs (a discrete-event switched-LAN simulator, perfect failure
+detection, virtual synchrony), the five baseline protocol classes the
+paper surveys, the paper's round-based analysis model, and a benchmark
+harness regenerating every table and figure of the evaluation.
+
+Quickstart::
+
+    from repro import ClusterConfig, FSRConfig, build_cluster
+    from repro.workloads import KToNPattern, run_workload
+    from repro.metrics import collect_metrics
+
+    cluster = build_cluster(ClusterConfig(n=5, protocol="fsr",
+                                          protocol_config=FSRConfig(t=1)))
+    outcome = run_workload(cluster, KToNPattern.n_to_n(5, 50))
+    print(collect_metrics(outcome).aggregate_throughput_mbps)
+
+See README.md for the architecture tour and DESIGN.md for the
+paper-to-module map.
+"""
+
+from repro.cluster import Cluster, ClusterConfig, ExperimentResult, build_cluster
+from repro.core.api import BroadcastListener, TotalOrderBroadcast
+from repro.core.batching import BatchingBroadcast, BatchingConfig
+from repro.core.fsr import FSRConfig, FSRProcess, Ring, Role
+from repro.net import FramingModel, NetworkParams
+from repro.protocols import PROTOCOLS
+from repro.types import Delivery, MessageId, View
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cluster",
+    "ClusterConfig",
+    "ExperimentResult",
+    "build_cluster",
+    "BroadcastListener",
+    "TotalOrderBroadcast",
+    "BatchingBroadcast",
+    "BatchingConfig",
+    "FSRConfig",
+    "FSRProcess",
+    "Ring",
+    "Role",
+    "FramingModel",
+    "NetworkParams",
+    "PROTOCOLS",
+    "Delivery",
+    "MessageId",
+    "View",
+    "__version__",
+]

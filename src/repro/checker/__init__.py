@@ -1,0 +1,36 @@
+"""Correctness checkers for uniform total order broadcast.
+
+Given an :class:`~repro.cluster.results.ExperimentResult`, the checkers
+verify the four properties of the paper's Section 1 plus uniformity:
+
+* validity, uniform agreement, uniform integrity, uniform total order.
+
+Checkers raise :class:`~repro.errors.CheckFailure` naming the violated
+property and the first offending message, so a failing property-based
+test shrinks to a readable counterexample.
+"""
+
+from repro.checker.order import (
+    check_agreement,
+    check_all,
+    check_integrity,
+    check_sequence_consistency,
+    check_total_order,
+    check_uniformity,
+    check_validity,
+)
+from repro.checker.fairness import sender_fairness
+from repro.checker.wire_monitor import WireMonitor, attach_wire_monitor
+
+__all__ = [
+    "WireMonitor",
+    "attach_wire_monitor",
+    "check_agreement",
+    "check_all",
+    "check_integrity",
+    "check_sequence_consistency",
+    "check_total_order",
+    "check_uniformity",
+    "check_validity",
+    "sender_fairness",
+]

@@ -1,0 +1,182 @@
+"""Broadcast-property verification over delivery logs.
+
+Two families of checks:
+
+* **order-only** checks (:func:`check_total_order`) compare the relative
+  delivery order of common messages across process pairs — they apply
+  to any protocol, whatever its internal sequencing;
+* **sequence** checks (:func:`check_sequence_consistency`) additionally
+  use the protocol-reported sequence numbers, catching bugs the
+  pairwise check cannot see (e.g. a sequence number reused for two
+  different messages at different processes).
+
+All functions raise :class:`~repro.errors.CheckFailure` with a pointed
+message; they return nothing on success so tests read naturally.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.cluster.results import ExperimentResult
+from repro.errors import CheckFailure
+from repro.types import MessageId, ProcessId
+
+
+def _delivered_ids(result: ExperimentResult, process: ProcessId) -> List[MessageId]:
+    return [d.message_id for d in result.delivery_logs[process].deliveries]
+
+
+def check_integrity(result: ExperimentResult) -> None:
+    """Every process delivers each message at most once, and only
+    messages that were actually broadcast (uniform integrity)."""
+    broadcast_ids: Set[MessageId] = set(result.broadcast_origin)
+    # Segmented payloads generate protocol-level ids beyond the app ids;
+    # accept any id whose origin actually broadcast something.
+    origins_that_sent = {mid.origin for mid in broadcast_ids}
+    for process, log in result.delivery_logs.items():
+        seen: Set[MessageId] = set()
+        for delivery in log.deliveries:
+            if delivery.message_id in seen:
+                raise CheckFailure(
+                    f"integrity: {delivery.message_id} delivered twice at "
+                    f"process {process}"
+                )
+            seen.add(delivery.message_id)
+            if delivery.message_id.origin not in origins_that_sent:
+                raise CheckFailure(
+                    f"integrity: {delivery.message_id} delivered at process "
+                    f"{process} but its origin never broadcast"
+                )
+
+
+def check_total_order(result: ExperimentResult) -> None:
+    """No two processes deliver common messages in different orders."""
+    processes = sorted(result.delivery_logs)
+    orders: Dict[ProcessId, Dict[MessageId, int]] = {}
+    for process in processes:
+        orders[process] = {
+            mid: index for index, mid in enumerate(_delivered_ids(result, process))
+        }
+    for i, p in enumerate(processes):
+        for q in processes[i + 1:]:
+            common = [mid for mid in _delivered_ids(result, p) if mid in orders[q]]
+            positions_q = [orders[q][mid] for mid in common]
+            if positions_q != sorted(positions_q):
+                # Find the first inversion for a pointed error message.
+                for a in range(len(common) - 1):
+                    if orders[q][common[a]] > orders[q][common[a + 1]]:
+                        raise CheckFailure(
+                            "total order: processes "
+                            f"{p} and {q} disagree on {common[a]} vs "
+                            f"{common[a + 1]}"
+                        )
+
+
+def check_sequence_consistency(result: ExperimentResult) -> None:
+    """Sequence numbers map to the same message everywhere, and each
+    process delivers in strictly increasing sequence order."""
+    global_map: Dict[int, MessageId] = {}
+    for process, log in result.delivery_logs.items():
+        previous = None
+        for delivery in log.deliveries:
+            if previous is not None and delivery.sequence <= previous:
+                raise CheckFailure(
+                    f"sequence: process {process} delivered sequence "
+                    f"{delivery.sequence} after {previous}"
+                )
+            previous = delivery.sequence
+            existing = global_map.get(delivery.sequence)
+            if existing is None:
+                global_map[delivery.sequence] = delivery.message_id
+            elif existing != delivery.message_id:
+                raise CheckFailure(
+                    f"sequence: number {delivery.sequence} maps to "
+                    f"{existing} and {delivery.message_id}"
+                )
+
+
+def check_agreement(
+    result: ExperimentResult,
+    ignore: Iterable[ProcessId] = (),
+) -> None:
+    """All correct processes deliver the same set of messages.
+
+    ``ignore`` excludes processes with legitimately partial logs (e.g.
+    late joiners, which only deliver a suffix).
+    """
+    correct = sorted(result.correct_processes() - set(ignore))
+    if not correct:
+        return
+    reference = set(_delivered_ids(result, correct[0]))
+    for process in correct[1:]:
+        delivered = set(_delivered_ids(result, process))
+        if delivered != reference:
+            only_ref = reference - delivered
+            only_here = delivered - reference
+            raise CheckFailure(
+                f"agreement: process {process} differs from {correct[0]}; "
+                f"missing {sorted(map(str, only_ref))[:5]}, "
+                f"extra {sorted(map(str, only_here))[:5]}"
+            )
+
+
+def check_uniformity(result: ExperimentResult) -> None:
+    """Uniform agreement: anything delivered by *any* process (crashed
+    ones included) is delivered by every correct process."""
+    correct = sorted(result.correct_processes())
+    if not correct:
+        return
+    correct_sets = {
+        process: set(_delivered_ids(result, process)) for process in correct
+    }
+    for process, log in result.delivery_logs.items():
+        for delivery in log.deliveries:
+            for peer in correct:
+                if delivery.message_id not in correct_sets[peer]:
+                    raise CheckFailure(
+                        f"uniformity: {delivery.message_id} delivered at "
+                        f"process {process} but never at correct process "
+                        f"{peer}"
+                    )
+
+
+def check_validity(
+    result: ExperimentResult,
+    expect_delivery_of: Optional[Sequence[MessageId]] = None,
+) -> None:
+    """Messages broadcast by correct processes are delivered everywhere.
+
+    By default checks every broadcast whose origin never crashed; pass
+    ``expect_delivery_of`` to restrict (e.g. when the run was cut off).
+    """
+    correct = result.correct_processes()
+    if expect_delivery_of is None:
+        expect_delivery_of = [
+            record.message_id
+            for record in result.broadcasts
+            if result.broadcast_origin[record.message_id] in correct
+        ]
+    for process in sorted(correct):
+        # Application-level check: the reassembled message arrived.
+        delivered = {d.message_id for d in result.app_deliveries[process]}
+        for message_id in expect_delivery_of:
+            if message_id not in delivered:
+                raise CheckFailure(
+                    f"validity: {message_id} (correct origin "
+                    f"{result.broadcast_origin[message_id]}) never delivered "
+                    f"at correct process {process}"
+                )
+
+
+def check_all(
+    result: ExperimentResult,
+    ignore_agreement: Iterable[ProcessId] = (),
+) -> None:
+    """Run every checker; the first violated property raises."""
+    check_integrity(result)
+    check_total_order(result)
+    check_sequence_consistency(result)
+    check_agreement(result, ignore=ignore_agreement)
+    check_uniformity(result)
+    check_validity(result)

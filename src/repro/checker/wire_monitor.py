@@ -1,0 +1,156 @@
+"""Online FSR wire-invariant monitoring.
+
+The delivery-log checkers (:mod:`repro.checker.order`) verify the
+*outcome*; this monitor verifies the *mechanism* while it runs, by
+snooping every FSR message a process emits and asserting the structural
+invariants of PROTOCOL.md §2:
+
+* sequence numbers leave the leader strictly increasing (per view);
+* a ``SeqData`` or ack is only marked stable once it has passed the
+  last backup ``p_t`` (equivalently: unstable copies are only ever sent
+  by processes at positions ``0..t-1``, stable ones by ``t..n-1``);
+* payload-bearing messages stop where they should: ``FwdData`` is never
+  sent by the leader, ``SeqData`` never by the origin's predecessor;
+* a stable ack is never forwarded by the consumer (position ``t - 1``).
+
+Attach one monitor per cluster via :func:`attach_wire_monitor`; it
+wraps each FSR process's port sends.  Violations raise
+:class:`~repro.errors.CheckFailure` at the offending send, which makes
+protocol bugs fail loudly in any test that uses the monitor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.fsr.messages import AckBatch, AckMsg, FwdData, SeqData
+from repro.core.fsr.process import FSRProcess
+from repro.errors import CheckFailure
+from repro.types import ProcessId
+
+
+@dataclass
+class WireMonitorStats:
+    """Counters of observed traffic, for assertions in tests."""
+
+    fwd_sends: int = 0
+    seq_sends: int = 0
+    ack_sends: int = 0
+    ack_batches: int = 0
+    violations_checked: int = 0
+
+
+class WireMonitor:
+    """Invariant checker over one cluster's FSR traffic."""
+
+    def __init__(self) -> None:
+        self.stats = WireMonitorStats()
+        #: Highest sequence emitted by the leader, per view id.
+        self._leader_emitted: Dict[int, int] = {}
+        self._processes: Dict[ProcessId, FSRProcess] = {}
+
+    # ------------------------------------------------------------------
+    def attach(self, process: FSRProcess) -> None:
+        """Wrap ``process``'s port so every send is inspected."""
+        self._processes[process.me] = process
+        port = process.port
+        original_send = port.send
+
+        def checked_send(dst, message, size_bytes=None,
+                         _process=process, _original=original_send):
+            self.inspect(_process, dst, message)
+            _original(dst, message, size_bytes)
+
+        port.send = checked_send  # type: ignore[method-assign]
+
+    # ------------------------------------------------------------------
+    def inspect(self, process: FSRProcess, dst: ProcessId, message: Any) -> None:
+        ring = process.ring
+        if ring is None:
+            return
+        self.stats.violations_checked += 1
+        sender_pos = ring.position_of(process.me)
+
+        if isinstance(message, FwdData):
+            self.stats.fwd_sends += 1
+            for ack in message.piggybacked:
+                self._check_ack(process, ring, sender_pos, ack)
+            if process.me == ring.leader:
+                raise CheckFailure(
+                    f"wire: leader {process.me} forwarded un-sequenced "
+                    f"{message.message_id} instead of sequencing it"
+                )
+        elif isinstance(message, SeqData):
+            self.stats.seq_sends += 1
+            for ack in message.piggybacked:
+                self._check_ack(process, ring, sender_pos, ack)
+            self._check_seq(process, ring, sender_pos, message)
+        elif isinstance(message, AckBatch):
+            self.stats.ack_batches += 1
+            for ack in message.acks:
+                self._check_ack(process, ring, sender_pos, ack)
+        # Non-FSR traffic on the port (none today) is ignored.
+
+    def _check_seq(self, process, ring, sender_pos: int, message: SeqData) -> None:
+        # Stability: only positions t..n-1 may emit stable payloads;
+        # only 0..t-1 may emit unstable ones.
+        if message.stable and sender_pos < ring.t:
+            raise CheckFailure(
+                f"wire: position {sender_pos} sent stable SeqData "
+                f"seq={message.sequence} before the last backup p_t"
+            )
+        if not message.stable and sender_pos >= ring.t:
+            raise CheckFailure(
+                f"wire: position {sender_pos} sent unstable SeqData "
+                f"seq={message.sequence} at/after p_t"
+            )
+        # Termination: the origin's predecessor converts, never forwards.
+        if ring.successor(process.me) == message.origin:
+            raise CheckFailure(
+                f"wire: {process.me} forwarded SeqData seq={message.sequence} "
+                f"to its origin {message.origin} instead of emitting an ack"
+            )
+        # Leader's OWN emissions are sequenced at injection and queued
+        # FIFO, so they leave strictly increasing per view.  (Forwarded
+        # foreign SeqData may legitimately jump ahead — the fairness
+        # scheduler reorders across origins — so it is not tracked.)
+        if process.me == ring.leader and message.origin == process.me:
+            view_id = message.view_id
+            last = self._leader_emitted.get(view_id, 0)
+            if message.sequence <= last:
+                raise CheckFailure(
+                    f"wire: leader re-emitted its own sequence "
+                    f"{message.sequence} (last {last}) in view {view_id}"
+                )
+            self._leader_emitted[view_id] = message.sequence
+
+    def _check_ack(self, process, ring, sender_pos: int, ack: AckMsg) -> None:
+        self.stats.ack_sends += 1
+        if ack.stable:
+            # The consumer (position t-1) never forwards a stable ack.
+            if (sender_pos + 1) % ring.n == ring.t:
+                raise CheckFailure(
+                    f"wire: consumer {process.me} (position {sender_pos}) "
+                    f"forwarded stable ack seq={ack.sequence}"
+                )
+        else:
+            # Unstable acks exist only on the backup arc heading to p_t.
+            if sender_pos >= ring.t and ring.t > 0:
+                raise CheckFailure(
+                    f"wire: position {sender_pos} sent unstable ack "
+                    f"seq={ack.sequence} at/after p_t"
+                )
+
+
+def attach_wire_monitor(cluster) -> WireMonitor:
+    """Attach a :class:`WireMonitor` to every FSR process of ``cluster``.
+
+    Must be called before ``cluster.start()`` so no send goes unseen.
+    Only meaningful for ``protocol="fsr"`` clusters.
+    """
+    monitor = WireMonitor()
+    for node in cluster.nodes.values():
+        if isinstance(node.protocol, FSRProcess):
+            monitor.attach(node.protocol)
+    return monitor

@@ -1,0 +1,215 @@
+"""Command-line interface: run paper experiments without writing code.
+
+Usage (also via ``python -m repro``):
+
+.. code-block:: console
+
+    python -m repro run --protocol fsr --n 5 --senders 5 --messages 40
+    python -m repro latency --max-n 10
+    python -m repro compare --n 5
+    python -m repro rounds --n 6 --k 2
+    python -m repro figures
+
+Every subcommand prints the same aligned tables the benchmark harnesses
+produce, so CLI output can be diffed against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro import ClusterConfig, FSRConfig, build_cluster
+from repro.analysis import ThroughputPrediction
+from repro.metrics import collect_metrics, format_table
+from repro.net import NetworkParams
+from repro.rounds.analysis import (
+    ROUND_PROTOCOLS,
+    measure_latency,
+    measure_throughput,
+    round_factory,
+)
+from repro.rounds.fsr_round import fsr_latency_formula
+from repro.workloads import KToNPattern, run_workload
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    protocol_config = FSRConfig(t=args.t) if args.protocol == "fsr" else None
+    cluster = build_cluster(
+        ClusterConfig(
+            n=args.n, protocol=args.protocol, protocol_config=protocol_config,
+            seed=args.seed,
+        )
+    )
+    pattern = KToNPattern.k_to_n(
+        args.senders, args.n, args.messages, message_bytes=args.size
+    )
+    outcome = run_workload(cluster, pattern, max_time_s=args.max_time)
+    metrics = collect_metrics(outcome)
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["protocol", args.protocol],
+            ["processes", args.n],
+            ["senders", args.senders],
+            ["messages/sender", args.messages],
+            ["message bytes", args.size],
+            ["throughput (Mb/s)", f"{metrics.completion_throughput_mbps:.1f}"],
+            ["mean latency (ms)", f"{metrics.mean_latency_s * 1e3:.1f}"],
+            ["p99 latency (ms)", f"{metrics.p99_latency_s * 1e3:.1f}"],
+            ["fairness (Jain)", f"{metrics.fairness:.3f}"],
+            ["simulated time (s)", f"{outcome.result.duration_s:.2f}"],
+        ],
+        title="k-to-n experiment",
+    ))
+    return 0
+
+
+def _cmd_latency(args: argparse.Namespace) -> int:
+    rows = []
+    for n in range(2, args.max_n + 1):
+        cluster = build_cluster(
+            ClusterConfig(n=n, protocol="fsr", protocol_config=FSRConfig(t=args.t))
+        )
+        cluster.start()
+        cluster.run(until=0.05)
+        mid = cluster.broadcast(args.position % n, size_bytes=args.size)
+        cluster.run_until(lambda: cluster.all_correct_delivered(1), max_time_s=60)
+        latency = cluster.results().completion_time(mid) - 0.05
+        rows.append([n, f"{latency * 1e3:.1f}"])
+    print(format_table(
+        ["n", "latency (ms)"], rows,
+        title=f"Contention-free latency, {args.size} B messages (Figure 6)",
+    ))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    protocols = [
+        "fsr", "fixed_sequencer", "moving_sequencer",
+        "privilege", "communication_history", "destination_agreement",
+    ]
+    rows = []
+    for protocol in protocols:
+        cluster = build_cluster(ClusterConfig(n=args.n, protocol=protocol))
+        pattern = KToNPattern.n_to_n(
+            args.n, max(1, args.messages), message_bytes=args.size
+        )
+        outcome = run_workload(cluster, pattern, max_time_s=args.max_time)
+        metrics = collect_metrics(outcome)
+        rows.append([protocol, f"{metrics.completion_throughput_mbps:.1f}"])
+    print(format_table(
+        ["protocol", "Mb/s"], rows,
+        title=f"{args.n}-to-{args.n} aggregate throughput, {args.size} B messages",
+    ))
+    return 0
+
+
+def _cmd_rounds(args: argparse.Namespace) -> int:
+    rows = []
+    for name in sorted(ROUND_PROTOCOLS):
+        factory = round_factory("fsr", t=args.t) if name == "fsr" else round_factory(name)
+        result = measure_throughput(factory, args.n, args.k)
+        latency = measure_latency(factory, args.n, 1 % args.n, max_rounds=5000)
+        rows.append([name, f"{result.throughput:.3f}", latency])
+    print(format_table(
+        ["protocol", "msgs/round", "L(1) rounds"], rows,
+        title=f"Round model: n={args.n}, k={args.k} saturating senders",
+    ))
+    formula = fsr_latency_formula(args.n, args.t, 1 % args.n)
+    print(f"\nFSR formula check: L(1) = 2n + t - 2 = {formula}")
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    params = NetworkParams.fast_ethernet()
+    prediction = ThroughputPrediction.for_paper_setup(
+        params, n=args.n, message_bytes=args.size
+    )
+    print(format_table(
+        ["quantity", "Mb/s"],
+        [
+            ["raw point-to-point goodput", f"{prediction.raw_mbps:.1f}"],
+            ["FSR maximum throughput", f"{prediction.fsr_mbps:.1f}"],
+            ["fixed sequencer maximum", f"{prediction.fixed_sequencer_mbps:.1f}"],
+        ],
+        title=f"Closed-form predictions (n={args.n}, {args.size} B messages)",
+    ))
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    # Delegate to the example script's sections to avoid duplication.
+    import importlib.util
+    from pathlib import Path
+
+    script = Path(__file__).resolve().parents[2] / "examples" / "paper_figures.py"
+    if not script.exists():
+        print("examples/paper_figures.py not found; run from a source checkout",
+              file=sys.stderr)
+        return 1
+    spec = importlib.util.spec_from_file_location("paper_figures", script)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)  # type: ignore[union-attr]
+    module.main()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FSR total order broadcast (DSN 2006) experiment runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="one k-to-n experiment")
+    run.add_argument("--protocol", default="fsr")
+    run.add_argument("--n", type=int, default=5)
+    run.add_argument("--t", type=int, default=1)
+    run.add_argument("--senders", type=int, default=5)
+    run.add_argument("--messages", type=int, default=20)
+    run.add_argument("--size", type=int, default=100_000)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--max-time", type=float, default=600.0)
+    run.set_defaults(func=_cmd_run)
+
+    latency = sub.add_parser("latency", help="Figure 6 latency sweep")
+    latency.add_argument("--max-n", type=int, default=10)
+    latency.add_argument("--t", type=int, default=1)
+    latency.add_argument("--position", type=int, default=1)
+    latency.add_argument("--size", type=int, default=100_000)
+    latency.set_defaults(func=_cmd_latency)
+
+    compare = sub.add_parser("compare", help="all protocols, one table")
+    compare.add_argument("--n", type=int, default=5)
+    compare.add_argument("--messages", type=int, default=10)
+    compare.add_argument("--size", type=int, default=100_000)
+    compare.add_argument("--max-time", type=float, default=600.0)
+    compare.set_defaults(func=_cmd_compare)
+
+    rounds = sub.add_parser("rounds", help="round-model comparison (§2/§4.3)")
+    rounds.add_argument("--n", type=int, default=5)
+    rounds.add_argument("--k", type=int, default=2)
+    rounds.add_argument("--t", type=int, default=1)
+    rounds.set_defaults(func=_cmd_rounds)
+
+    predict = sub.add_parser("predict", help="closed-form model predictions")
+    predict.add_argument("--n", type=int, default=5)
+    predict.add_argument("--size", type=int, default=100_000)
+    predict.set_defaults(func=_cmd_predict)
+
+    figures = sub.add_parser("figures", help="regenerate Table 1 + Figures 6-9")
+    figures.set_defaults(func=_cmd_figures)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

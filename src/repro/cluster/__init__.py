@@ -1,0 +1,14 @@
+"""One-call experiment harness.
+
+:func:`repro.cluster.harness.build_cluster` assembles the full stack —
+simulator, switched network, channels, failure detection, membership,
+and a total-order protocol at every node — from a single
+:class:`~repro.cluster.config.ClusterConfig`.  Workload drivers and
+benchmarks never touch the wiring.
+"""
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.harness import Cluster, build_cluster
+from repro.cluster.results import ExperimentResult
+
+__all__ = ["ClusterConfig", "Cluster", "build_cluster", "ExperimentResult"]

@@ -1,0 +1,51 @@
+"""Cluster experiment configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.errors import ConfigurationError
+from repro.net.params import NetworkParams
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Everything needed to stand up one simulated cluster.
+
+    ``protocol`` names an entry of :data:`repro.protocols.PROTOCOLS`;
+    ``protocol_config`` is that protocol's own config object (for FSR,
+    an :class:`~repro.core.fsr.config.FSRConfig`) or ``None`` for the
+    protocol's defaults.
+    """
+
+    #: Number of processes (ring positions 0..n-1 in the initial view).
+    n: int = 5
+    #: Protocol registry name ("fsr", "fixed_sequencer", ...).
+    protocol: str = "fsr"
+    #: Protocol-specific configuration object.
+    protocol_config: Optional[Any] = None
+    #: Physical network / host model.
+    network: NetworkParams = field(default_factory=NetworkParams.fast_ethernet)
+    #: Root seed for all randomised subsystems.
+    seed: int = 0
+    #: Failure detector flavour: "oracle" or "heartbeat".
+    detector: str = "oracle"
+    #: Crash-to-suspicion delay of the oracle detector (seconds).
+    detection_delay_s: float = 20e-3
+    #: Heartbeat period (heartbeat detector only).
+    heartbeat_interval_s: float = 10e-3
+    #: Suspicion timeout (heartbeat detector only).
+    heartbeat_timeout_s: float = 200e-3
+    #: Record a structured trace of the run (slows large runs).
+    trace: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ConfigurationError("a cluster needs at least one process")
+        if self.detector not in ("oracle", "heartbeat"):
+            raise ConfigurationError(
+                f"unknown detector {self.detector!r}; use 'oracle' or 'heartbeat'"
+            )
+        if self.detection_delay_s < 0:
+            raise ConfigurationError("detection_delay_s cannot be negative")

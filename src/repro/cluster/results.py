@@ -1,0 +1,98 @@
+"""Experiment result containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.core.api import DeliveryLog
+from repro.net.network import NicStats
+from repro.sim.trace import TraceLog
+from repro.types import BroadcastRecord, MessageId, ProcessId, SimTime
+
+
+@dataclass
+class AppDelivery:
+    """One application-level (reassembled) delivery at one process."""
+
+    process: ProcessId
+    origin: ProcessId
+    message_id: MessageId
+    size_bytes: int
+    time: SimTime
+
+
+@dataclass
+class ExperimentResult:
+    """Everything a finished run leaves behind.
+
+    The metrics collector (:mod:`repro.metrics`) and the correctness
+    checkers (:mod:`repro.checker`) both consume this container; no
+    subsystem reaches back into live cluster objects after a run.
+    """
+
+    #: Copy of the configuration that produced this result.
+    config: Any
+    #: Final simulated time.
+    duration_s: SimTime
+    #: Per-process protocol-level delivery logs (segments, sequences).
+    delivery_logs: Dict[ProcessId, DeliveryLog]
+    #: Per-process application-level deliveries (reassembled messages).
+    app_deliveries: Dict[ProcessId, List[AppDelivery]]
+    #: Every TO-broadcast submitted, in submission order.
+    broadcasts: List[BroadcastRecord]
+    #: Which process submitted each broadcast.
+    broadcast_origin: Dict[MessageId, ProcessId]
+    #: Processes crashed during the run and when.
+    crashed: Dict[ProcessId, SimTime]
+    #: Per-process NIC/CPU accounting.
+    nic_stats: Dict[ProcessId, NicStats]
+    #: Structured trace (empty unless the config enabled tracing).
+    trace: TraceLog = field(default_factory=lambda: TraceLog(enabled=False))
+
+    # ------------------------------------------------------------------
+    def correct_processes(self) -> Set[ProcessId]:
+        """Processes that never crashed."""
+        return set(self.delivery_logs) - set(self.crashed)
+
+    def deliveries_of(self, process: ProcessId) -> DeliveryLog:
+        return self.delivery_logs[process]
+
+    def total_delivered_bytes(self) -> int:
+        """Application bytes delivered, summed over processes."""
+        return sum(
+            delivery.size_bytes
+            for deliveries in self.app_deliveries.values()
+            for delivery in deliveries
+        )
+
+    def app_delivery_times(
+        self, message_id: MessageId
+    ) -> List[Tuple[ProcessId, SimTime]]:
+        """Where and when one application message was delivered."""
+        out: List[Tuple[ProcessId, SimTime]] = []
+        for process, deliveries in self.app_deliveries.items():
+            for delivery in deliveries:
+                if delivery.message_id == message_id:
+                    out.append((process, delivery.time))
+        return out
+
+    def completion_time(self, message_id: MessageId) -> Optional[SimTime]:
+        """Time the *last* correct process delivered ``message_id``.
+
+        This matches the paper's measurement protocol (Section 5.1):
+        a broadcast completes when all processes have delivered it.
+        Returns ``None`` if some correct process never delivered it.
+        """
+        correct = self.correct_processes()
+        times: List[SimTime] = []
+        for process in correct:
+            found = None
+            for delivery in self.app_deliveries[process]:
+                if delivery.message_id == message_id:
+                    found = delivery.time
+                    break
+            if found is None:
+                return None
+            times.append(found)
+        return max(times) if times else None

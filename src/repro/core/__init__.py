@@ -1,0 +1,20 @@
+"""Core total-order-broadcast abstractions and the FSR protocol.
+
+``repro.core.api`` defines the interface every protocol in this
+repository implements (FSR and the five baseline classes); the
+``repro.core.fsr`` subpackage is the paper's contribution.
+"""
+
+from repro.core.api import BroadcastListener, DeliveryLog, TotalOrderBroadcast
+from repro.core.batching import BatchingBroadcast, BatchingConfig
+from repro.core.fsr import FSRConfig, FSRProcess
+
+__all__ = [
+    "BroadcastListener",
+    "DeliveryLog",
+    "TotalOrderBroadcast",
+    "BatchingBroadcast",
+    "BatchingConfig",
+    "FSRConfig",
+    "FSRProcess",
+]

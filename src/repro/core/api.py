@@ -1,0 +1,111 @@
+"""The protocol-independent total order broadcast interface.
+
+Every protocol in this repository — FSR and the five baseline classes —
+implements :class:`TotalOrderBroadcast`.  The cluster harness, the
+workload drivers, the metrics collector, and the correctness checkers
+are written against this interface only, so every experiment can swap
+protocols with one configuration change.
+
+Uniform total order broadcast properties (paper Section 1):
+
+* **Validity** — if a correct process TO-broadcasts ``m``, it eventually
+  TO-delivers ``m``.
+* **Uniform agreement** — if *any* process (correct or not) TO-delivers
+  ``m``, all correct processes eventually TO-deliver ``m``.
+* **Uniform integrity** — every process TO-delivers ``m`` at most once,
+  and only if ``m`` was TO-broadcast.
+* **Uniform total order** — if some process TO-delivers ``m`` before
+  ``m'``, no process TO-delivers ``m'`` before ``m``.
+
+:mod:`repro.checker` verifies all four over recorded delivery logs.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.types import Delivery, MessageId, ProcessId, SequenceNumber, SimTime
+
+#: Application upcall: (origin, message_id, payload, size_bytes).
+DeliverCallback = Callable[[ProcessId, MessageId, Any, int], None]
+
+
+class BroadcastListener:
+    """Receiver of TO-deliver upcalls from one protocol instance.
+
+    Subclass or pass callbacks; the default implementation just invokes
+    the callable given at construction.
+    """
+
+    def __init__(self, on_deliver: Optional[DeliverCallback] = None) -> None:
+        self._on_deliver = on_deliver
+
+    def deliver(
+        self, origin: ProcessId, message_id: MessageId, payload: Any, size_bytes: int
+    ) -> None:
+        """Called exactly once per TO-delivered message, in total order."""
+        if self._on_deliver is not None:
+            self._on_deliver(origin, message_id, payload, size_bytes)
+
+
+class TotalOrderBroadcast(ABC):
+    """Abstract uniform total order broadcast endpoint at one process."""
+
+    @abstractmethod
+    def broadcast(self, payload: Any, size_bytes: Optional[int] = None) -> MessageId:
+        """TO-broadcast ``payload``; returns the message's stable identity.
+
+        The call is asynchronous: delivery happens later via the
+        listener, at this and every other correct process, in the same
+        total order everywhere.
+        """
+
+    @abstractmethod
+    def set_listener(self, listener: BroadcastListener) -> None:
+        """Register the delivery upcall target (exactly one)."""
+
+    @abstractmethod
+    def start(self) -> None:
+        """Activate the protocol instance (timers, initial view)."""
+
+    @abstractmethod
+    def stop(self) -> None:
+        """Deactivate (process crashed or simulation tear-down)."""
+
+
+@dataclass
+class DeliveryLog:
+    """Complete record of one process's TO-deliveries.
+
+    The harness attaches one log per process; checkers and metrics read
+    them after the run.
+    """
+
+    process: ProcessId
+    deliveries: List[Delivery] = field(default_factory=list)
+
+    def record(
+        self,
+        message_id: MessageId,
+        sequence: SequenceNumber,
+        time: SimTime,
+        size_bytes: int = 0,
+    ) -> None:
+        self.deliveries.append(
+            Delivery(
+                process=self.process,
+                message_id=message_id,
+                sequence=sequence,
+                time=time,
+                size_bytes=size_bytes,
+            )
+        )
+
+    def message_ids(self) -> List[MessageId]:
+        """Delivered message ids, in delivery order."""
+        return [d.message_id for d in self.deliveries]
+
+    def __len__(self) -> int:
+        return len(self.deliveries)

@@ -1,0 +1,26 @@
+"""FSR — the paper's fixed-sequencer-on-a-ring protocol.
+
+Module map (one mechanism per module, per DESIGN.md §5):
+
+* :mod:`~repro.core.fsr.config` — protocol knobs (``t``, segmentation,
+  piggy-backing, fairness).
+* :mod:`~repro.core.fsr.messages` — FWD / SEQ / ACK wire formats and
+  the piggy-back container.
+* :mod:`~repro.core.fsr.ring` — ring arithmetic and process roles
+  (leader, backups, standard) for a given view.
+* :mod:`~repro.core.fsr.holdback` — contiguous-sequence delivery queue.
+* :mod:`~repro.core.fsr.fairness` — the forward-list send scheduler
+  (paper §4.2.3, Figure 5).
+* :mod:`~repro.core.fsr.segmentation` — uniform-size segmenting and
+  reassembly of large payloads (paper §4.1).
+* :mod:`~repro.core.fsr.recovery` — flush-state collection and merge
+  for view changes (paper §4.2.1).
+* :mod:`~repro.core.fsr.process` — the protocol automaton tying it all
+  together.
+"""
+
+from repro.core.fsr.config import FSRConfig
+from repro.core.fsr.process import FSRProcess
+from repro.core.fsr.ring import Ring, Role
+
+__all__ = ["FSRConfig", "FSRProcess", "Ring", "Role"]

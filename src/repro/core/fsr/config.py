@@ -1,0 +1,48 @@
+"""FSR protocol configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FSRConfig:
+    """Knobs of one FSR deployment.
+
+    The defaults match the paper's evaluation setup: one backup,
+    piggy-backing and fairness enabled, no segmentation (the paper's
+    benchmark messages are already uniform 100 KB).
+    """
+
+    #: Number of tolerated failures; the ``t`` processes after the
+    #: leader act as backups.  Clamped to ``n - 1`` per view.
+    t: int = 1
+    #: Segment payloads larger than this into uniform segments
+    #: (paper §4.1).  ``None`` disables segmentation.
+    segment_size: Optional[int] = None
+    #: Piggy-back acknowledgments on data messages when the TX path is
+    #: busy (paper §4.2.2).  When disabled every ack is standalone.
+    piggyback_acks: bool = True
+    #: Enforce the forward-list fairness rule (paper §4.2.3).  When
+    #: disabled a process always sends its own pending messages first,
+    #: which lets senders close to the leader starve distant ones.
+    fairness: bool = True
+    #: Maximum acks piggy-backed on a single data message.
+    max_piggybacked_acks: int = 32
+
+    def __post_init__(self) -> None:
+        if self.t < 0:
+            raise ConfigurationError("t (tolerated failures) cannot be negative")
+        if self.segment_size is not None and self.segment_size <= 0:
+            raise ConfigurationError("segment_size must be positive when set")
+        if self.max_piggybacked_acks < 1:
+            raise ConfigurationError("max_piggybacked_acks must be at least 1")
+
+    def effective_t(self, n: int) -> int:
+        """The backup count actually used in a view of ``n`` processes."""
+        if n <= 0:
+            raise ConfigurationError("view size must be positive")
+        return min(self.t, n - 1)

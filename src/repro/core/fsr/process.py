@@ -1,0 +1,859 @@
+"""The FSR protocol automaton (paper Section 4).
+
+One :class:`FSRProcess` runs at each cluster node.  It consumes:
+
+* data messages from its ring predecessor (via a network port),
+* view events and flush callbacks from the membership layer,
+* TO-broadcast requests from the application,
+
+and produces sends to its single ring successor plus TO-deliver upcalls.
+
+The message flow follows the paper's Figure 4; the unified rule used
+here (derived case-by-case in DESIGN.md §5) is:
+
+* an **un-sequenced payload** (``FwdData``) is forwarded clockwise until
+  it reaches the leader, who assigns the next sequence number;
+* a **sequenced payload** (``SeqData``) is forwarded clockwise and
+  becomes *stable* when it transits the last backup ``p_t``; it stops at
+  the origin's predecessor, which converts it into an ack;
+* an **ack** carries the sequence number onward; an unstable ack becomes
+  stable at ``p_t``; a stable ack stops at ``p_t``'s predecessor;
+* a process marks a message deliverable the first time it observes it
+  *stable* (stable ``SeqData``, stabilising at ``p_t``, or stable ack),
+  and actual delivery is forced into contiguous sequence order by the
+  hold-back queue.
+
+Stability is what makes delivery *uniform*: a stable message is stored
+by the leader and all ``t`` backups, so it survives any ``t`` crashes
+and view-change recovery (:mod:`repro.core.fsr.recovery`) will finish
+delivering it everywhere.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Set, Tuple
+
+from repro.core.api import BroadcastListener, TotalOrderBroadcast
+from repro.core.fsr.config import FSRConfig
+from repro.core.fsr.fairness import FairSendScheduler
+from repro.core.fsr.holdback import HoldbackEntry, HoldbackQueue
+from repro.core.fsr.messages import (
+    AckBatch,
+    AckMsg,
+    FwdData,
+    SeqData,
+)
+from repro.core.fsr.recovery import (
+    FSRFlushState,
+    MergedRecovery,
+    RetainedMessage,
+    build_install_payloads,
+    merge_flush_states,
+)
+from repro.core.fsr.ring import Ring
+from repro.core.fsr.segmentation import Reassembler, Segment, split_payload
+from repro.errors import ProtocolError
+from repro.net.dispatch import Port
+from repro.sim.engine import Simulator
+from repro.sim.trace import TraceLog
+from repro.types import (
+    Delivery,
+    MessageId,
+    ProcessId,
+    SequenceNumber,
+    View,
+)
+from repro.vsc.membership import FlushState, GroupMembership
+
+#: Callback fired on every protocol-level (segment) delivery.
+ProtocolDeliverCallback = Callable[[Delivery], None]
+
+
+class FSRProcess(TotalOrderBroadcast):
+    """FSR endpoint at one process.
+
+    The cluster harness wires instances together; unit tests drive the
+    automaton directly by feeding messages into ``on_message``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        port: Port,
+        membership: GroupMembership,
+        config: FSRConfig,
+        trace: Optional[TraceLog] = None,
+        tx_gate: Optional[Callable[[], bool]] = None,
+        cpu_submit: Optional[Callable[[int, Callable[[], None]], Any]] = None,
+    ) -> None:
+        self.sim = sim
+        self.port = port
+        self.membership = membership
+        self.config = config
+        self.me: ProcessId = port.node_id
+        self.trace = trace if trace is not None else TraceLog(enabled=False)
+        #: Returns True when the NIC TX path can take another message;
+        #: the harness wires this to the endpoint, unit tests leave the
+        #: default (always ready).
+        self._tx_gate = tx_gate if tx_gate is not None else (lambda: True)
+        #: Charges origin-side marshalling CPU before a message enters
+        #: the ring; ``None`` (unit tests) runs the callback inline.
+        self._cpu_submit = cpu_submit
+
+        self._listener = BroadcastListener()
+        self._protocol_deliver_cb: Optional[ProtocolDeliverCallback] = None
+
+        self._view: Optional[View] = None
+        self._ring: Optional[Ring] = None
+        self._started = False
+        self._stopped = False
+        self._blocked = False
+        #: True once this process has installed at least one view; a
+        #: joiner installing its first view has no delivery history.
+        self._installed_once = False
+
+        # --- sequencing and delivery state -----------------------------
+        self._next_seq: SequenceNumber = 1  # used only while leader
+        self._holdback = HoldbackQueue(self._on_holdback_release, first_sequence=1)
+        self._records: Dict[SequenceNumber, RetainedMessage] = {}
+        self._seq_of: Dict[MessageId, SequenceNumber] = {}
+        #: Payloads learned before their sequence number (FwdData arc).
+        self._known_payloads: Dict[
+            MessageId, Tuple[ProcessId, Any, int, Optional[Tuple[MessageId, int, int]]]
+        ] = {}
+        self._delivered_ids: Set[MessageId] = set()
+
+        # --- stability watermark ---------------------------------------
+        self._watermark: SequenceNumber = 0
+        self._consumed_acks: Set[SequenceNumber] = set()
+        self._consumed_prefix: SequenceNumber = 0
+        self._gc_cursor: SequenceNumber = 0
+
+        # --- outgoing traffic ------------------------------------------
+        self._scheduler = FairSendScheduler(fairness=config.fairness)
+        self._ack_queue: Deque[AckMsg] = deque()
+
+        # --- application state -----------------------------------------
+        self._local_counter = 0
+        #: Own protocol-level messages not yet delivered, for
+        #: re-broadcast after a view change (insertion ordered).
+        self._pending_own: "OrderedDict[MessageId, Segment]" = OrderedDict()
+        self._reassembler = Reassembler()
+
+        #: Messages received for a view not yet installed locally.
+        self._future_buffer: List[Tuple[int, ProcessId, Any]] = []
+        #: Outstanding marshalling jobs (cancelled on view change so a
+        #: queued send backlog does not outlive the view it targeted).
+        self._marshal_jobs: Dict[MessageId, Any] = {}
+
+        # --- statistics --------------------------------------------------
+        self.stats_broadcasts = 0
+        self.stats_deliveries = 0
+        self.stats_acks_piggybacked = 0
+        self.stats_acks_standalone = 0
+
+        port.on_receive(self.on_message)
+        membership.set_client(self)
+
+    # ==================================================================
+    # TotalOrderBroadcast API
+    # ==================================================================
+    def set_listener(self, listener: BroadcastListener) -> None:
+        self._listener = listener
+
+    def on_protocol_deliver(self, callback: ProtocolDeliverCallback) -> None:
+        """Observe protocol-level (segment) deliveries; used by the
+        harness to feed checkers and metrics."""
+        self._protocol_deliver_cb = callback
+
+    def start(self) -> None:
+        """Join the initial view and begin operating."""
+        if self._started:
+            return
+        self._started = True
+        self.membership.start()
+
+    def stop(self) -> None:
+        """Halt the automaton (crash or tear-down)."""
+        self._stopped = True
+        self.membership.stop()
+
+    def broadcast(self, payload: Any, size_bytes: Optional[int] = None) -> MessageId:
+        """TO-broadcast ``payload``; see :class:`TotalOrderBroadcast`.
+
+        Payloads larger than ``config.segment_size`` are segmented;
+        the returned id identifies the application-level message (its
+        first segment).
+        """
+        if self._stopped:
+            raise ProtocolError(f"process {self.me} is stopped")
+        if not self._started:
+            raise ProtocolError(f"process {self.me} has not been started")
+        if size_bytes is None:
+            if isinstance(payload, (bytes, bytearray)):
+                size_bytes = len(payload)
+            else:
+                raise ProtocolError(
+                    "size_bytes is required for non-bytes payloads"
+                )
+        self.stats_broadcasts += 1
+        app_id = self._next_message_id()
+        segments = split_payload(app_id, payload, size_bytes, self.config.segment_size)
+        for segment in segments:
+            seg_id = app_id if segment.count == 1 else self._next_message_id()
+            seg_meta = (
+                None
+                if segment.count == 1
+                else (app_id, segment.index, segment.count)
+            )
+            stored = Segment(
+                app_message_id=app_id,
+                index=segment.index,
+                count=segment.count,
+                payload=segment.payload,
+                size_bytes=segment.size_bytes,
+            )
+            self._pending_own[seg_id] = stored
+            self._submit_after_cpu(seg_id, stored, seg_meta)
+        return app_id
+
+    def _submit_after_cpu(
+        self,
+        seg_id: MessageId,
+        stored: Segment,
+        seg_meta: Optional[Tuple[MessageId, int, int]],
+    ) -> None:
+        """Charge origin-side marshalling CPU, then inject the segment.
+
+        The charge is what every other node pays to process the message
+        once (the receive path charges it at each hop); without it a
+        2-process ring would exceed the per-node middleware capacity the
+        paper's flat ~79 Mb/s reflects.
+        """
+        view_at_submit = self._view.view_id if self._view is not None else -1
+
+        def inject() -> None:
+            self._marshal_jobs.pop(seg_id, None)
+            if self._stopped or self._blocked:
+                return  # the view-change re-broadcast path covers it
+            current = self._view.view_id if self._view is not None else -1
+            if current != view_at_submit:
+                return  # superseded; re-broadcast already handled it
+            if seg_id in self._delivered_ids or seg_id not in self._pending_own:
+                return
+            self._inject_own(seg_id, stored, seg_meta)
+            self._pump()
+
+        if self._cpu_submit is None:
+            inject()
+        else:
+            handle = self._cpu_submit(stored.size_bytes, inject)
+            if handle is not None:
+                self._marshal_jobs[seg_id] = handle
+
+    def _next_message_id(self) -> MessageId:
+        self._local_counter += 1
+        return MessageId(origin=self.me, local_seq=self._local_counter)
+
+    # ==================================================================
+    # VSCClient API (called by the membership layer)
+    # ==================================================================
+    def on_block(self) -> None:
+        """Flush started: stop sending and drop queued outgoing work.
+
+        Cancelled marshalling jobs are re-issued through the pending-own
+        re-broadcast after the view installs.
+        """
+        self._blocked = True
+        for handle in self._marshal_jobs.values():
+            handle.cancel()
+        self._marshal_jobs.clear()
+
+    def collect_flush_state(self) -> FlushState:
+        """Contribute recovery state to a flush.
+
+        Only the (old view's) leader and backups ship their retained
+        records: stability guarantees they jointly hold every message
+        any process could have delivered, and with at most ``t``
+        failures at least one of them survives — standard members'
+        copies are redundant and would multiply the state-exchange
+        cost by ``n``.
+        """
+        was_holder = (
+            self._ring is not None
+            and self._ring.position_of(self.me) <= self._ring.t
+        )
+        state = FSRFlushState(
+            last_delivered=self._holdback.last_delivered,
+            watermark=self._watermark,
+            records=dict(self._records) if was_holder else {},
+            fresh=not self._installed_once,
+        )
+        return FlushState(payload=state, size_bytes=state.size_bytes())
+
+    def merge_states(
+        self,
+        states: Dict[ProcessId, FlushState],
+        receivers: Tuple[ProcessId, ...],
+    ) -> Dict[ProcessId, FlushState]:
+        """Coordinator-side merge: one pruned install per receiver.
+
+        Receiver ``r`` only needs the merged records above its own
+        delivery progress, so the install traffic is proportional to
+        how far each member lags, not to the total retained state.
+        """
+        return build_install_payloads(states, receivers)
+
+    def on_view(self, view: View, state: Optional[FlushState]) -> None:
+        """Install a view; reconcile and resume (paper §4.2.1)."""
+        self._view = view
+        self._ring = Ring.from_view(view, self.config.t)
+        self.trace.emit(
+            self.sim.now, "fsr", "view",
+            me=self.me, view_id=view.view_id, members=view.members,
+            position=self._ring.position_of(self.me),
+        )
+
+        if state is not None:
+            self._apply_recovery(state.payload)
+
+        self._blocked = False
+        self._installed_once = True
+        self._rebroadcast_pending()
+        self._drain_future_buffer()
+        self._pump()
+
+    def _apply_recovery(self, merged: MergedRecovery) -> None:
+        # Old-view deliverability evidence beyond the merge is void;
+        # without this, stale held entries would collide with the new
+        # leader's reuse of those sequence numbers.
+        self._holdback.clear_held()
+        if not self._installed_once:
+            # Joining process: no history to deliver; start at the
+            # oldest point the merged records can serve.
+            self._holdback.fast_forward(merged.min_last_delivered + 1)
+        # Deliver everything any survivor may already have delivered.
+        for seq in range(self._holdback.last_delivered + 1, merged.next_sequence):
+            record = merged.records.get(seq)
+            if record is None:
+                raise ProtocolError(
+                    f"recovery gap at sequence {seq} (merge promised "
+                    f"contiguity up to {merged.next_sequence})"
+                )
+            # Keep the record visible during delivery so segment
+            # metadata survives reassembly.
+            if seq > self._gc_cursor:
+                self._records.setdefault(seq, record)
+            self._holdback.mark_deliverable(
+                HoldbackEntry(
+                    sequence=seq,
+                    message_id=record.message_id,
+                    payload=record.payload,
+                    payload_size=record.payload_size,
+                )
+            )
+        # Old-view sequence assignments beyond the merge are void.
+        self._holdback.fast_forward(merged.next_sequence)
+        self._next_seq = merged.next_sequence
+        self._watermark = merged.next_sequence - 1
+        self._consumed_acks.clear()
+        self._consumed_prefix = merged.next_sequence - 1
+        self._records.clear()
+        self._seq_of.clear()
+        self._known_payloads.clear()
+        self._gc_cursor = merged.next_sequence - 1
+        self._scheduler.drain()
+        self._ack_queue.clear()
+
+    def _rebroadcast_pending(self) -> None:
+        """Re-inject own messages that did not survive the old view."""
+        assert self._ring is not None
+        for seg_id, segment in list(self._pending_own.items()):
+            seg_meta = (
+                None
+                if segment.count == 1
+                else (segment.app_message_id, segment.index, segment.count)
+            )
+            self.trace.emit(
+                self.sim.now, "fsr", "rebroadcast", me=self.me, msg=str(seg_id)
+            )
+            self._inject_own(seg_id, segment, seg_meta)
+
+    def _drain_future_buffer(self) -> None:
+        assert self._view is not None
+        ready = [
+            (view_id, src, message)
+            for view_id, src, message in self._future_buffer
+            if view_id == self._view.view_id
+        ]
+        self._future_buffer = [
+            (view_id, src, message)
+            for view_id, src, message in self._future_buffer
+            if view_id > self._view.view_id
+        ]
+        for _view_id, src, message in ready:
+            self.on_message(src, message)
+
+    # ==================================================================
+    # Inbound message handling
+    # ==================================================================
+    def on_message(self, src: ProcessId, message: Any) -> None:
+        """Entry point for all FSR ring traffic."""
+        if self._stopped:
+            return
+        view_id = getattr(message, "view_id", None)
+        current = self._view.view_id if self._view is not None else -1
+        if view_id is None:
+            raise ProtocolError(f"non-FSR message on FSR port: {message!r}")
+        if view_id > current:
+            self._future_buffer.append((view_id, src, message))
+            return
+        if view_id < current:
+            return  # stale traffic from a superseded view
+        if self._blocked:
+            # A flush snapshot has been taken: evidence processed now
+            # would create deliveries the view-change merge cannot see,
+            # breaking uniform total order.  Treat the message as lost
+            # in the membership change; recovery re-issues what matters.
+            return
+
+        self._observe_watermark(getattr(message, "watermark", -1))
+        if isinstance(message, AckBatch):
+            for ack in message.acks:
+                self._handle_ack(ack)
+        elif isinstance(message, FwdData):
+            for ack in message.piggybacked:
+                self._handle_ack(ack)
+            self._handle_fwd(message)
+        elif isinstance(message, SeqData):
+            for ack in message.piggybacked:
+                self._handle_ack(ack)
+            self._handle_seq(message)
+        else:
+            raise ProtocolError(f"unexpected FSR message type: {message!r}")
+        self._pump()
+
+    # ------------------------------------------------------------------
+    def _handle_fwd(self, msg: FwdData) -> None:
+        ring = self._require_ring()
+        self._known_payloads[msg.message_id] = (
+            msg.origin, msg.payload, msg.payload_size, msg.segment
+        )
+        if self.me == ring.leader:
+            if self._blocked:
+                # Sequencing while blocked would create sequence numbers
+                # invisible to the flush already under way; the origin
+                # re-broadcasts after the view change instead.
+                return
+            self._sequence(
+                msg.message_id, msg.origin, msg.payload, msg.payload_size, msg.segment
+            )
+        else:
+            self._scheduler.enqueue_forward(
+                FwdData(
+                    message_id=msg.message_id,
+                    origin=msg.origin,
+                    payload=msg.payload,
+                    payload_size=msg.payload_size,
+                    view_id=msg.view_id,
+                    segment=msg.segment,
+                )
+            )
+
+    def _sequence(
+        self,
+        message_id: MessageId,
+        origin: ProcessId,
+        payload: Any,
+        payload_size: int,
+        segment: Optional[Tuple[MessageId, int, int]],
+    ) -> None:
+        """Leader only: assign the next sequence number and emit."""
+        ring = self._require_ring()
+        if message_id in self._seq_of:
+            return  # duplicate (can only happen through recovery races)
+        sequence = self._next_seq
+        self._next_seq += 1
+        record = RetainedMessage(
+            message_id=message_id,
+            origin=origin,
+            sequence=sequence,
+            payload=payload,
+            payload_size=payload_size,
+            segment=segment,
+        )
+        self._records[sequence] = record
+        self._seq_of[message_id] = sequence
+        stable_at_birth = ring.t == 0
+        self.trace.emit(
+            self.sim.now, "fsr", "sequence",
+            me=self.me, msg=str(message_id), seq=sequence, stable=stable_at_birth,
+        )
+        if stable_at_birth:
+            self._mark_deliverable(sequence)
+        if ring.n == 1:
+            self._advance_consumed(sequence)
+            return
+        successor = ring.successor(self.me)
+        if successor == origin:
+            # The origin is the leader's direct successor: the payload
+            # has nowhere left to go, convert straight into an ack.
+            self._queue_ack(
+                AckMsg(
+                    message_id=message_id,
+                    sequence=sequence,
+                    stable=stable_at_birth,
+                    view_id=self._view_id(),
+                )
+            )
+            return
+        out = SeqData(
+            message_id=message_id,
+            origin=origin,
+            payload=payload,
+            payload_size=payload_size,
+            sequence=sequence,
+            stable=stable_at_birth,
+            view_id=self._view_id(),
+            segment=segment,
+        )
+        if origin == self.me:
+            self._scheduler.enqueue_own(out)
+        else:
+            self._scheduler.enqueue_forward(out)
+
+    def _handle_seq(self, msg: SeqData) -> None:
+        ring = self._require_ring()
+        self._learn_sequenced(
+            msg.message_id, msg.origin, msg.payload, msg.payload_size,
+            msg.sequence, msg.segment,
+        )
+        my_pos = ring.position_of(self.me)
+        stabilising = (not msg.stable) and my_pos == ring.t
+        out_stable = msg.stable or stabilising
+        if out_stable:
+            self._mark_deliverable(msg.sequence)
+
+        successor = ring.successor(self.me)
+        if successor == msg.origin:
+            # Payload has completed its circle: emit the ack phase.
+            self._queue_ack(
+                AckMsg(
+                    message_id=msg.message_id,
+                    sequence=msg.sequence,
+                    stable=out_stable,
+                    view_id=self._view_id(),
+                )
+            )
+            return
+        self._scheduler.enqueue_forward(
+            SeqData(
+                message_id=msg.message_id,
+                origin=msg.origin,
+                payload=msg.payload,
+                payload_size=msg.payload_size,
+                sequence=msg.sequence,
+                stable=out_stable,
+                view_id=msg.view_id,
+                segment=msg.segment,
+            )
+        )
+
+    def _handle_ack(self, ack: AckMsg) -> None:
+        ring = self._require_ring()
+        self._learn_from_ack(ack)
+        my_pos = ring.position_of(self.me)
+        stabilising = (not ack.stable) and my_pos == ring.t
+        out_stable = ack.stable or stabilising
+        if out_stable:
+            self._mark_deliverable(ack.sequence)
+
+        self._queue_ack(
+            AckMsg(
+                message_id=ack.message_id,
+                sequence=ack.sequence,
+                stable=out_stable,
+                view_id=ack.view_id,
+            )
+        )
+
+    def _learn_sequenced(
+        self,
+        message_id: MessageId,
+        origin: ProcessId,
+        payload: Any,
+        payload_size: int,
+        sequence: SequenceNumber,
+        segment: Optional[Tuple[MessageId, int, int]],
+    ) -> None:
+        known = self._seq_of.get(message_id)
+        if known is not None and known != sequence:
+            raise ProtocolError(
+                f"{message_id} sequenced twice: {known} and {sequence}"
+            )
+        self._seq_of[message_id] = sequence
+        if sequence not in self._records and sequence > self._gc_cursor:
+            self._records[sequence] = RetainedMessage(
+                message_id=message_id,
+                origin=origin,
+                sequence=sequence,
+                payload=payload,
+                payload_size=payload_size,
+                segment=segment,
+            )
+
+    def _learn_from_ack(self, ack: AckMsg) -> None:
+        if ack.sequence in self._records or ack.sequence <= self._gc_cursor:
+            return
+        if ack.message_id in self._delivered_ids:
+            return
+        known = self._known_payloads.get(ack.message_id)
+        if known is None:
+            if ack.message_id in self._pending_own:
+                segment = self._pending_own[ack.message_id]
+                seg_meta = (
+                    None
+                    if segment.count == 1
+                    else (segment.app_message_id, segment.index, segment.count)
+                )
+                known = (self.me, segment.payload, segment.size_bytes, seg_meta)
+            else:
+                raise ProtocolError(
+                    f"process {self.me} received ack for {ack.message_id} "
+                    "without ever seeing its payload"
+                )
+        origin, payload, payload_size, segment = known
+        self._learn_sequenced(
+            ack.message_id, origin, payload, payload_size, ack.sequence, segment
+        )
+
+    # ==================================================================
+    # Delivery
+    # ==================================================================
+    def _mark_deliverable(self, sequence: SequenceNumber) -> None:
+        record = self._records.get(sequence)
+        if record is None:
+            # Below the GC cursor means it was already delivered by all.
+            if sequence > self._gc_cursor:
+                raise ProtocolError(
+                    f"process {self.me}: sequence {sequence} deliverable "
+                    "but no record retained"
+                )
+            return
+        self._holdback.mark_deliverable(
+            HoldbackEntry(
+                sequence=sequence,
+                message_id=record.message_id,
+                payload=record.payload,
+                payload_size=record.payload_size,
+            )
+        )
+
+    def _on_holdback_release(self, entry: HoldbackEntry) -> None:
+        record = self._records.get(entry.sequence)
+        segment_meta = record.segment if record is not None else None
+        origin = record.origin if record is not None else entry.message_id.origin
+        if entry.message_id in self._delivered_ids:
+            raise ProtocolError(f"{entry.message_id} delivered twice at {self.me}")
+        self._delivered_ids.add(entry.message_id)
+        self._pending_own.pop(entry.message_id, None)
+        self.stats_deliveries += 1
+        self.trace.emit(
+            self.sim.now, "fsr", "deliver",
+            me=self.me, msg=str(entry.message_id), seq=entry.sequence,
+        )
+        if self._protocol_deliver_cb is not None:
+            self._protocol_deliver_cb(
+                Delivery(
+                    process=self.me,
+                    message_id=entry.message_id,
+                    sequence=entry.sequence,
+                    time=self.sim.now,
+                    size_bytes=entry.payload_size,
+                )
+            )
+        # Application-level delivery via reassembly.
+        if segment_meta is None:
+            app_segment = Segment(
+                app_message_id=entry.message_id,
+                index=0,
+                count=1,
+                payload=entry.payload,
+                size_bytes=entry.payload_size,
+            )
+        else:
+            app_id, index, count = segment_meta
+            app_segment = Segment(
+                app_message_id=app_id,
+                index=index,
+                count=count,
+                payload=entry.payload,
+                size_bytes=entry.payload_size,
+            )
+        completed = self._reassembler.on_segment(app_segment)
+        if completed is not None:
+            payload, size = completed
+            self._listener.deliver(origin, app_segment.app_message_id, payload, size)
+        self._maybe_gc()
+
+    # ==================================================================
+    # Stability watermark + garbage collection
+    # ==================================================================
+    def _observe_watermark(self, watermark: SequenceNumber) -> None:
+        if watermark > self._watermark:
+            self._watermark = watermark
+            self._maybe_gc()
+
+    def _advance_consumed(self, sequence: SequenceNumber) -> None:
+        self._consumed_acks.add(sequence)
+        while self._consumed_prefix + 1 in self._consumed_acks:
+            self._consumed_prefix += 1
+            self._consumed_acks.discard(self._consumed_prefix)
+        if self._consumed_prefix > self._watermark:
+            self._watermark = self._consumed_prefix
+            self._maybe_gc()
+
+    def _maybe_gc(self) -> None:
+        limit = min(self._watermark, self._holdback.last_delivered)
+        while self._gc_cursor < limit:
+            self._gc_cursor += 1
+            record = self._records.pop(self._gc_cursor, None)
+            if record is not None:
+                self._seq_of.pop(record.message_id, None)
+                self._known_payloads.pop(record.message_id, None)
+
+    # ==================================================================
+    # Outbound traffic
+    # ==================================================================
+    def _inject_own(
+        self,
+        seg_id: MessageId,
+        segment: Segment,
+        seg_meta: Optional[Tuple[MessageId, int, int]],
+    ) -> None:
+        ring = self._require_ring()
+        if ring.n == 1:
+            self._sequence(
+                seg_id, self.me, segment.payload, segment.size_bytes, seg_meta
+            )
+            return
+        if self.me == ring.leader:
+            self._sequence(
+                seg_id, self.me, segment.payload, segment.size_bytes, seg_meta
+            )
+            return
+        self._scheduler.enqueue_own(
+            FwdData(
+                message_id=seg_id,
+                origin=self.me,
+                payload=segment.payload,
+                payload_size=segment.size_bytes,
+                view_id=self._view_id(),
+                segment=seg_meta,
+            )
+        )
+
+    def _queue_ack(self, ack: AckMsg) -> None:
+        """Queue an ack for the successor — or consume it.
+
+        A stable ack whose next hop would be ``p_t`` has covered the
+        whole ring; this process (position ``t - 1``) is the stability
+        consumer, whose contiguous consumed prefix drives the GC
+        watermark.  Applying the rule here (rather than only on
+        receipt) also covers acks *created* at the consumer position,
+        e.g. the leader's own broadcasts with ``t = 0``.
+        """
+        ring = self._require_ring()
+        if ack.stable and ring.position_of(ring.successor(self.me)) == ring.t:
+            self._advance_consumed(ack.sequence)
+            return
+        self._ack_queue.append(ack)
+
+    def _pump(self) -> None:
+        """Push traffic to the successor while the TX path is ready."""
+        if self._stopped or self._blocked or self._ring is None:
+            return
+        ring = self._ring
+        if ring.n == 1:
+            self._ack_queue.clear()
+            return
+        successor = ring.successor(self.me)
+        while self._tx_gate():
+            if not self.config.piggyback_acks and self._ack_queue:
+                # Ablation mode (§4.2.2 disabled): the naive policy sends
+                # every ack immediately as its own message, ahead of data.
+                ack = self._ack_queue.popleft()
+                self.stats_acks_standalone += 1
+                self.port.send(
+                    successor,
+                    AckBatch(
+                        acks=[ack], view_id=self._view_id(),
+                        watermark=self._watermark,
+                    ),
+                )
+                continue
+            message = self._scheduler.pop_next()
+            if message is not None:
+                message.watermark = self._watermark
+                if self.config.piggyback_acks and self._ack_queue:
+                    count = min(len(self._ack_queue), self.config.max_piggybacked_acks)
+                    message.piggybacked = [
+                        self._ack_queue.popleft() for _ in range(count)
+                    ]
+                    self.stats_acks_piggybacked += len(message.piggybacked)
+                self.port.send(successor, message)
+                continue
+            if self._ack_queue:
+                # Idle ring: ship pending acks right away so a lone
+                # broadcast is not delayed waiting for a carrier
+                # (paper §4.2.2's low-load latency case).
+                acks = list(self._ack_queue)
+                self._ack_queue.clear()
+                self.stats_acks_standalone += len(acks)
+                self.port.send(
+                    successor,
+                    AckBatch(
+                        acks=acks, view_id=self._view_id(), watermark=self._watermark
+                    ),
+                )
+                continue
+            break
+
+    def on_tx_ready(self) -> None:
+        """NIC TX idle notification from the harness."""
+        self._pump()
+
+    # ==================================================================
+    # Helpers
+    # ==================================================================
+    def _require_ring(self) -> Ring:
+        if self._ring is None:
+            raise ProtocolError(f"process {self.me} has no installed view yet")
+        return self._ring
+
+    def _view_id(self) -> int:
+        if self._view is None:
+            raise ProtocolError(f"process {self.me} has no installed view yet")
+        return self._view.view_id
+
+    # -- introspection for tests ---------------------------------------
+    @property
+    def last_delivered_sequence(self) -> SequenceNumber:
+        return self._holdback.last_delivered
+
+    @property
+    def watermark(self) -> SequenceNumber:
+        return self._watermark
+
+    @property
+    def retained_count(self) -> int:
+        return len(self._records)
+
+    @property
+    def ring(self) -> Optional[Ring]:
+        return self._ring
+
+    @property
+    def view(self) -> Optional[View]:
+        return self._view

@@ -1,0 +1,119 @@
+"""Ring arithmetic and process roles for one view.
+
+The ring order *is* the view's member order (the membership layer keeps
+relative order stable across views, see :mod:`repro.vsc.membership`).
+Position 0 is the leader/sequencer; positions ``1..t`` are backups; the
+rest are standard processes (paper Figure 4).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import ConfigurationError
+from repro.types import ProcessId, View
+
+
+class Role(enum.Enum):
+    """Role of a process within the FSR ring."""
+
+    LEADER = "leader"
+    BACKUP = "backup"
+    STANDARD = "standard"
+
+
+@dataclass(frozen=True)
+class Ring:
+    """Immutable ring geometry derived from a view and ``t``.
+
+    Example::
+
+        ring = Ring.from_view(view, t=2)
+        ring.role_of(ring.leader)       # Role.LEADER
+        ring.successor(pid)             # next process clockwise
+    """
+
+    members: Tuple[ProcessId, ...]
+    t: int
+
+    def __post_init__(self) -> None:
+        if not self.members:
+            raise ConfigurationError("a ring needs at least one member")
+        if not 0 <= self.t < len(self.members):
+            raise ConfigurationError(
+                f"t={self.t} invalid for ring of {len(self.members)} members"
+            )
+        if len(set(self.members)) != len(self.members):
+            raise ConfigurationError(f"duplicate ring members: {self.members}")
+
+    @classmethod
+    def from_view(cls, view: View, t: int) -> "Ring":
+        """Build the ring for ``view``, clamping ``t`` to ``n - 1``."""
+        n = len(view.members)
+        return cls(members=view.members, t=min(t, n - 1))
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return len(self.members)
+
+    @property
+    def leader(self) -> ProcessId:
+        return self.members[0]
+
+    @property
+    def last_backup(self) -> ProcessId:
+        """Process ``p_t`` — the stability point of the protocol.
+
+        With ``t = 0`` this is the leader itself: a sequenced message is
+        stable the instant it is sequenced.
+        """
+        return self.members[self.t]
+
+    def position_of(self, pid: ProcessId) -> int:
+        try:
+            return self.members.index(pid)
+        except ValueError:
+            raise ConfigurationError(f"process {pid} is not in the ring") from None
+
+    def at(self, position: int) -> ProcessId:
+        return self.members[position % self.n]
+
+    def successor(self, pid: ProcessId) -> ProcessId:
+        return self.at(self.position_of(pid) + 1)
+
+    def predecessor(self, pid: ProcessId) -> ProcessId:
+        return self.at(self.position_of(pid) - 1)
+
+    def role_of(self, pid: ProcessId) -> Role:
+        position = self.position_of(pid)
+        if position == 0:
+            return Role.LEADER
+        if position <= self.t:
+            return Role.BACKUP
+        return Role.STANDARD
+
+    def contains(self, pid: ProcessId) -> bool:
+        return pid in self.members
+
+    # ------------------------------------------------------------------
+    # Analytical latency (paper §4.3.1)
+    # ------------------------------------------------------------------
+    def latency_rounds(self, broadcaster_position: int) -> int:
+        """Paper latency formula ``L(i) = 2n + t - i - 1`` in rounds.
+
+        Defined by the paper for a broadcaster at position ``i >= 1``.
+        For the leader (``i = 0``) the formula specialises to
+        ``n + t - 1``: the sequenced payload makes one circle
+        (``n - 1`` hops) and the ack then needs ``t`` more hops to
+        reach the last backup-side deliverer ``p_{t-1}``.
+        """
+        n, t = self.n, self.t
+        i = broadcaster_position % n
+        if n == 1:
+            return 0
+        if i == 0:
+            return n + t - 1
+        return 2 * n + t - i - 1

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch library failures with a single ``except`` clause
+while still distinguishing configuration mistakes from runtime protocol
+violations.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment, network, or protocol was configured inconsistently.
+
+    Raised eagerly at construction time (never mid-simulation) so that a
+    bad parameter sweep fails before burning simulation time.
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an impossible internal state."""
+
+
+class NetworkError(ReproError):
+    """A message could not be transferred by the simulated network."""
+
+
+class ProtocolError(ReproError):
+    """A protocol automaton received input that violates its contract.
+
+    Protocol errors indicate a bug in a protocol implementation (for
+    example a sequence number regressing), never an expected runtime
+    condition such as a crashed peer.
+    """
+
+
+class MembershipError(ReproError):
+    """The group membership / virtual synchrony layer was misused."""
+
+
+class CheckFailure(ReproError):
+    """A correctness checker found a violated broadcast property.
+
+    The message carries a human-readable explanation naming the property
+    (validity, agreement, integrity, total order, or uniformity) and the
+    first offending message.
+    """

@@ -1,0 +1,164 @@
+"""Perfect failure detector implementations.
+
+See the package docstring for the choice between the oracle and
+heartbeat variants.  Both expose the same small interface so the
+membership layer does not care which one it is wired to.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Set
+
+from repro.net.dispatch import Port
+from repro.sim.engine import Simulator
+from repro.sim.trace import TraceLog
+from repro.types import ProcessId, TimerHandle
+
+#: Upcall signature: invoked once per newly suspected process.
+SuspectCallback = Callable[[ProcessId], None]
+
+
+class FailureDetector(ABC):
+    """Common interface of the perfect failure detector module."""
+
+    def __init__(self) -> None:
+        self._suspected: Set[ProcessId] = set()
+        self._callbacks: List[SuspectCallback] = []
+
+    def suspected(self) -> Set[ProcessId]:
+        """The set of processes currently suspected (i.e. crashed)."""
+        return set(self._suspected)
+
+    def is_suspected(self, pid: ProcessId) -> bool:
+        return pid in self._suspected
+
+    def on_suspect(self, callback: SuspectCallback) -> None:
+        """Register an upcall fired once per newly suspected process."""
+        self._callbacks.append(callback)
+
+    @abstractmethod
+    def monitor(self, peers: Iterable[ProcessId]) -> None:
+        """Replace the set of peers being monitored."""
+
+    def _suspect(self, pid: ProcessId) -> None:
+        if pid in self._suspected:
+            return
+        self._suspected.add(pid)
+        for callback in list(self._callbacks):
+            callback(pid)
+
+
+class OracleFailureDetector(FailureDetector):
+    """Perfect detector fed by the crash injector.
+
+    The injector calls :meth:`notify_crash`; the detector reports the
+    suspicion ``detection_delay_s`` later, modelling the time a real
+    detector would need.  Accuracy is perfect by construction.
+    """
+
+    def __init__(
+        self, sim: Simulator, owner: ProcessId, detection_delay_s: float = 20e-3
+    ) -> None:
+        super().__init__()
+        self.sim = sim
+        self.owner = owner
+        self.detection_delay_s = detection_delay_s
+        self._monitored: Set[ProcessId] = set()
+        self._pending_crashes: Set[ProcessId] = set()
+
+    def monitor(self, peers: Iterable[ProcessId]) -> None:
+        self._monitored = {p for p in peers if p != self.owner}
+        # A peer that crashed before we started monitoring it must still
+        # be reported (strong completeness).
+        for pid in self._monitored & self._pending_crashes:
+            self.sim.schedule(self.detection_delay_s, self._suspect, pid)
+
+    def notify_crash(self, pid: ProcessId) -> None:
+        """Called by the injector the instant ``pid`` crashes."""
+        if pid == self.owner:
+            return
+        self._pending_crashes.add(pid)
+        if pid in self._monitored:
+            self.sim.schedule(self.detection_delay_s, self._suspect, pid)
+
+
+@dataclass
+class _Heartbeat:
+    """Tiny liveness probe."""
+
+    sender: ProcessId
+
+    def wire_size_bytes(self) -> int:
+        return 8
+
+
+class HeartbeatFailureDetector(FailureDetector):
+    """Timeout-based detector exchanging real heartbeat messages.
+
+    Every ``interval_s`` the detector sends a heartbeat to each
+    monitored peer; a peer not heard from for ``timeout_s`` is
+    suspected.  With bounded simulated delays, choosing
+    ``timeout_s`` above the worst-case heartbeat round delay makes the
+    detector satisfy Perfect's strong accuracy, not merely eventual
+    accuracy.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        port: Port,
+        interval_s: float = 10e-3,
+        timeout_s: float = 100e-3,
+        trace: Optional[TraceLog] = None,
+    ) -> None:
+        super().__init__()
+        self.sim = sim
+        self.port = port
+        self.interval_s = interval_s
+        self.timeout_s = timeout_s
+        self.trace = trace if trace is not None else TraceLog(enabled=False)
+        self._monitored: Set[ProcessId] = set()
+        self._last_heard: Dict[ProcessId, float] = {}
+        self._stopped = False
+        port.on_receive(self._on_heartbeat)
+        self._tick_timer: Optional[TimerHandle] = sim.schedule(0.0, self._tick)
+
+    def monitor(self, peers: Iterable[ProcessId]) -> None:
+        now = self.sim.now
+        new_monitored = {p for p in peers if p != self.port.node_id}
+        for pid in new_monitored - self._monitored:
+            # Grace period: a freshly monitored peer gets a full timeout.
+            self._last_heard[pid] = now
+        self._monitored = new_monitored
+
+    def stop(self) -> None:
+        """Stop sending heartbeats (the owner crashed or left)."""
+        self._stopped = True
+        if self._tick_timer is not None:
+            self._tick_timer.cancel()
+            self._tick_timer = None
+
+    # ------------------------------------------------------------------
+    def _on_heartbeat(self, src: ProcessId, message: _Heartbeat) -> None:
+        self._last_heard[src] = self.sim.now
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        me = self.port.node_id
+        for pid in self._monitored:
+            if pid not in self._suspected:
+                self.port.send(pid, _Heartbeat(sender=me))
+        deadline = self.sim.now - self.timeout_s
+        for pid in sorted(self._monitored):
+            if pid in self._suspected:
+                continue
+            if self._last_heard.get(pid, 0.0) < deadline:
+                self.trace.emit(
+                    self.sim.now, "fd", "suspect", owner=me, peer=pid,
+                    last_heard=self._last_heard.get(pid),
+                )
+                self._suspect(pid)
+        self._tick_timer = self.sim.schedule(self.interval_s, self._tick)

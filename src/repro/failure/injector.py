@@ -1,0 +1,98 @@
+"""Crash injection.
+
+The injector is the single authority on process crashes: it silences
+the crashed node's network stack, tells the node itself to stop its
+protocol automata, and feeds oracle failure detectors.  Keeping all of
+that in one place guarantees the three effects happen atomically at the
+same simulated instant — a node never "half crashes".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Set
+
+from repro.errors import ConfigurationError
+from repro.failure.detector import OracleFailureDetector
+from repro.net.network import Network
+from repro.sim.engine import Simulator
+from repro.sim.trace import TraceLog
+from repro.types import CrashEvent, ProcessId, SimTime
+
+#: Upcall to the node owning a crashed process.
+CrashCallback = Callable[[ProcessId], None]
+
+
+class CrashInjector:
+    """Schedules and executes process crashes.
+
+    Example::
+
+        injector = CrashInjector(sim, net)
+        injector.register_detector(fd_of_p1)
+        injector.schedule_crash(process=0, time=2.5)
+    """
+
+    def __init__(
+        self, sim: Simulator, network: Network, trace: Optional[TraceLog] = None
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.trace = trace if trace is not None else TraceLog(enabled=False)
+        self._detectors: List[OracleFailureDetector] = []
+        self._crash_callbacks: List[CrashCallback] = []
+        self._crashed: Set[ProcessId] = set()
+        self._scheduled: List[CrashEvent] = []
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def register_detector(self, detector: OracleFailureDetector) -> None:
+        """Feed crash notifications to an oracle failure detector."""
+        self._detectors.append(detector)
+
+    def on_crash(self, callback: CrashCallback) -> None:
+        """Register an upcall invoked at the instant a process crashes."""
+        self._crash_callbacks.append(callback)
+
+    # ------------------------------------------------------------------
+    # Injection
+    # ------------------------------------------------------------------
+    def schedule_crash(
+        self, process: ProcessId, time: SimTime, reason: str = "injected"
+    ) -> CrashEvent:
+        """Arrange for ``process`` to crash at simulated ``time``."""
+        if time < self.sim.now:
+            raise ConfigurationError(
+                f"cannot schedule crash at {time}; simulation is at {self.sim.now}"
+            )
+        event = CrashEvent(process=process, time=time, reason=reason)
+        self._scheduled.append(event)
+        self.sim.schedule_at(time, self.crash_now, process, reason)
+        return event
+
+    def schedule(self, events: Iterable[CrashEvent]) -> None:
+        """Schedule a batch of crash events."""
+        for event in events:
+            self.schedule_crash(event.process, event.time, event.reason)
+
+    def crash_now(self, process: ProcessId, reason: str = "immediate") -> None:
+        """Crash ``process`` at the current instant (idempotent)."""
+        if process in self._crashed:
+            return
+        self._crashed.add(process)
+        self.trace.emit(self.sim.now, "injector", "crash", process=process, reason=reason)
+        self.network.crash(process)
+        for callback in list(self._crash_callbacks):
+            callback(process)
+        for detector in self._detectors:
+            detector.notify_crash(process)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def crashed(self) -> Set[ProcessId]:
+        """Processes that have crashed so far."""
+        return set(self._crashed)
+
+    def is_crashed(self, process: ProcessId) -> bool:
+        return process in self._crashed

@@ -1,0 +1,149 @@
+"""Serialise experiment results to plain JSON-able dictionaries.
+
+Simulation runs are cheap to re-run but benchmark sweeps are not;
+exporting results lets notebooks and external tooling consume them
+without importing the simulator.  The export is lossless for
+everything the metrics and checkers use (delivery logs, app-level
+deliveries, broadcasts, crashes, NIC stats); payload *objects* are not
+serialised — only their sizes, which is all the library ever relies on.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.cluster.results import AppDelivery, ExperimentResult
+from repro.core.api import DeliveryLog
+from repro.errors import ConfigurationError
+from repro.sim.trace import TraceLog
+from repro.types import BroadcastRecord, Delivery, MessageId
+
+
+def result_to_dict(result: ExperimentResult) -> Dict[str, Any]:
+    """Convert a result into a JSON-compatible dictionary."""
+    return {
+        "schema": "repro.result/1",
+        "duration_s": result.duration_s,
+        "delivery_logs": {
+            str(pid): [
+                {
+                    "origin": d.message_id.origin,
+                    "local_seq": d.message_id.local_seq,
+                    "sequence": d.sequence,
+                    "time": d.time,
+                    "size_bytes": d.size_bytes,
+                }
+                for d in log.deliveries
+            ]
+            for pid, log in result.delivery_logs.items()
+        },
+        "app_deliveries": {
+            str(pid): [
+                {
+                    "origin": d.origin,
+                    "msg_origin": d.message_id.origin,
+                    "local_seq": d.message_id.local_seq,
+                    "size_bytes": d.size_bytes,
+                    "time": d.time,
+                }
+                for d in deliveries
+            ]
+            for pid, deliveries in result.app_deliveries.items()
+        },
+        "broadcasts": [
+            {
+                "origin": record.message_id.origin,
+                "local_seq": record.message_id.local_seq,
+                "size_bytes": record.size_bytes,
+                "submit_time": record.submit_time,
+                "submitter": result.broadcast_origin[record.message_id],
+            }
+            for record in result.broadcasts
+        ],
+        "crashed": {str(pid): time for pid, time in result.crashed.items()},
+        "nic_stats": {
+            str(pid): vars(stats) for pid, stats in result.nic_stats.items()
+        },
+    }
+
+
+def result_to_json(result: ExperimentResult, indent: int = 0) -> str:
+    """Render a result as a JSON string."""
+    return json.dumps(result_to_dict(result), indent=indent or None)
+
+
+def result_from_dict(data: Dict[str, Any]) -> ExperimentResult:
+    """Rebuild a (checker/metrics-equivalent) result from an export.
+
+    Payloads are not restored (exports never carry them) and the trace
+    comes back empty; everything the checkers and metrics read is
+    reconstructed exactly.
+    """
+    if data.get("schema") != "repro.result/1":
+        raise ConfigurationError(
+            f"unknown result schema {data.get('schema')!r}"
+        )
+    delivery_logs = {}
+    for pid_text, entries in data["delivery_logs"].items():
+        pid = int(pid_text)
+        log = DeliveryLog(process=pid)
+        for entry in entries:
+            log.deliveries.append(
+                Delivery(
+                    process=pid,
+                    message_id=MessageId(entry["origin"], entry["local_seq"]),
+                    sequence=entry["sequence"],
+                    time=entry["time"],
+                    size_bytes=entry["size_bytes"],
+                )
+            )
+        delivery_logs[pid] = log
+    app_deliveries = {
+        int(pid_text): [
+            AppDelivery(
+                process=int(pid_text),
+                origin=entry["origin"],
+                message_id=MessageId(entry["msg_origin"], entry["local_seq"]),
+                size_bytes=entry["size_bytes"],
+                time=entry["time"],
+            )
+            for entry in entries
+        ]
+        for pid_text, entries in data["app_deliveries"].items()
+    }
+    broadcasts = []
+    broadcast_origin = {}
+    for entry in data["broadcasts"]:
+        message_id = MessageId(entry["origin"], entry["local_seq"])
+        broadcasts.append(
+            BroadcastRecord(
+                message_id=message_id,
+                size_bytes=entry["size_bytes"],
+                submit_time=entry["submit_time"],
+            )
+        )
+        broadcast_origin[message_id] = entry["submitter"]
+
+    from repro.net.network import NicStats
+
+    nic_stats = {
+        int(pid_text): NicStats(**stats)
+        for pid_text, stats in data["nic_stats"].items()
+    }
+    return ExperimentResult(
+        config=None,
+        duration_s=data["duration_s"],
+        delivery_logs=delivery_logs,
+        app_deliveries=app_deliveries,
+        broadcasts=broadcasts,
+        broadcast_origin=broadcast_origin,
+        crashed={int(p): t for p, t in data["crashed"].items()},
+        nic_stats=nic_stats,
+        trace=TraceLog(enabled=False),
+    )
+
+
+def result_from_json(text: str) -> ExperimentResult:
+    """Inverse of :func:`result_to_json`."""
+    return result_from_dict(json.loads(text))

@@ -1,0 +1,45 @@
+"""Plain-text table formatting for benchmark output.
+
+The benchmark harnesses print the same rows/series the paper's figures
+plot; this module keeps that output aligned and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned text table.
+
+    Example::
+
+        print(format_table(["n", "Mb/s"], [[2, 79.1], [5, 79.2]],
+                           title="Figure 8"))
+    """
+    cells: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append([_fmt(value) for value in row])
+    widths = [
+        max(len(cells[r][c]) for r in range(len(cells)))
+        for c in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(cells[0], widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row_cells in cells[1:]:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row_cells, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

@@ -1,0 +1,138 @@
+"""ASCII timelines and utilisation bars from experiment results.
+
+Dependency-free visual summaries for terminals, used by the examples
+and handy when debugging a run:
+
+* :func:`delivery_timeline` — per-process delivery activity over time;
+* :func:`utilisation_bars` — per-node TX/RX/CPU busy fractions;
+* :func:`event_strip` — marks discrete events (crashes, view changes)
+  on the same time axis.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.cluster.results import ExperimentResult
+from repro.errors import ConfigurationError
+from repro.types import ProcessId, SimTime
+
+#: Glyphs for increasing per-bucket activity.
+_DENSITY = " .:-=+*#%@"
+
+
+def _bucketise(times: Sequence[float], start: float, end: float, width: int) -> List[int]:
+    counts = [0] * width
+    if end <= start:
+        return counts
+    span = end - start
+    for time in times:
+        if time < start or time > end:
+            continue
+        index = min(width - 1, int((time - start) / span * width))
+        counts[index] += 1
+    return counts
+
+
+def delivery_timeline(
+    result: ExperimentResult,
+    width: int = 64,
+    start: Optional[SimTime] = None,
+    end: Optional[SimTime] = None,
+) -> str:
+    """Render per-process delivery density over time.
+
+    Each row is one process; each column a time bucket whose glyph
+    darkens with the number of deliveries in it.  Crashed processes are
+    marked with an ``x`` at their crash bucket.
+    """
+    if width < 8:
+        raise ConfigurationError("timeline width must be at least 8")
+    all_times = [
+        d.time for log in result.delivery_logs.values() for d in log.deliveries
+    ]
+    if not all_times:
+        return "(no deliveries)"
+    lo = start if start is not None else min(all_times)
+    hi = end if end is not None else max(all_times)
+    if hi <= lo:
+        hi = lo + 1e-9
+
+    lines = [
+        f"deliveries over t = [{lo:.3f}s .. {hi:.3f}s], "
+        f"one column = {(hi - lo) / width * 1e3:.1f} ms"
+    ]
+    peak = 1
+    buckets_by_process: Dict[ProcessId, List[int]] = {}
+    for pid in sorted(result.delivery_logs):
+        times = [d.time for d in result.delivery_logs[pid].deliveries]
+        buckets = _bucketise(times, lo, hi, width)
+        buckets_by_process[pid] = buckets
+        peak = max(peak, max(buckets) if buckets else 0)
+    for pid, buckets in buckets_by_process.items():
+        glyphs = []
+        for count in buckets:
+            level = 0 if count == 0 else 1 + int(
+                (len(_DENSITY) - 2) * min(1.0, count / peak)
+            )
+            glyphs.append(_DENSITY[level])
+        row = "".join(glyphs)
+        crash_time = result.crashed.get(pid)
+        if crash_time is not None and lo <= crash_time <= hi:
+            index = min(width - 1, int((crash_time - lo) / (hi - lo) * width))
+            row = row[:index] + "x" + row[index + 1:]
+        lines.append(f"p{pid:<3d} |{row}|")
+    return "\n".join(lines)
+
+
+def utilisation_bars(
+    result: ExperimentResult, width: int = 40
+) -> str:
+    """Render per-node TX / RX / CPU busy fractions as bars.
+
+    This is the visual form of the paper's bottleneck argument: for a
+    sequencer protocol the sequencer's bars saturate while everyone
+    else idles; for FSR all nodes look alike.
+    """
+    duration = result.duration_s
+    if duration <= 0:
+        return "(zero-length run)"
+    lines = [f"utilisation over {duration:.2f}s simulated"]
+    for pid in sorted(result.nic_stats):
+        stats = result.nic_stats[pid]
+        for label, busy in (
+            ("tx ", stats.tx_busy_s),
+            ("rx ", stats.rx_busy_s),
+            ("cpu", stats.cpu_busy_s),
+        ):
+            fraction = min(1.0, busy / duration)
+            filled = int(round(fraction * width))
+            bar = "#" * filled + "." * (width - filled)
+            lines.append(f"p{pid:<3d} {label} |{bar}| {fraction * 100:5.1f}%")
+    return "\n".join(lines)
+
+
+def event_strip(
+    events: Iterable[Tuple[SimTime, str]],
+    start: SimTime,
+    end: SimTime,
+    width: int = 64,
+) -> str:
+    """Render labelled point events on a time axis.
+
+    Example::
+
+        event_strip([(1.0, "crash p0"), (1.05, "view 1")], 0, 2)
+    """
+    if end <= start:
+        raise ConfigurationError("event strip needs end > start")
+    axis = [" "] * width
+    labels = []
+    for time, label in sorted(events):
+        if time < start or time > end:
+            continue
+        index = min(width - 1, int((time - start) / (end - start) * width))
+        axis[index] = "^"
+        labels.append(f"  ^ t={time:.3f}s  {label}")
+    line = "".join(axis)
+    return "\n".join([f"     |{line}|"] + labels)

@@ -1,0 +1,34 @@
+"""Simulated switched-LAN substrate.
+
+This package models the paper's cluster network (Section 3 of the
+paper): homogeneous machines on a fully switched LAN with
+
+* **full-duplex** NICs — a node can send and receive simultaneously,
+* **separate collision domains** — traffic between one pair of nodes
+  never interferes with traffic between a disjoint pair,
+* **serialisation at the NIC** — a node sends at most one message at a
+  time and receives at most one message at a time; concurrent arrivals
+  queue in the switch.
+
+These three constraints are exactly what make ring-based dissemination
+fast (every NIC carries each payload once) and sequencer-based
+dissemination slow (the sequencer's RX carries ``n-1`` copies), so the
+model preserves the paper's throughput comparisons by construction.
+"""
+
+from repro.net.message import Datagram, WireMessage
+from repro.net.network import Network, NetworkEndpoint, NicStats
+from repro.net.params import FramingModel, NetworkParams
+from repro.net.channel import ReliableChannel, ChannelStack
+
+__all__ = [
+    "Datagram",
+    "WireMessage",
+    "Network",
+    "NetworkEndpoint",
+    "NicStats",
+    "FramingModel",
+    "NetworkParams",
+    "ReliableChannel",
+    "ChannelStack",
+]

@@ -1,0 +1,68 @@
+"""Wire message abstractions.
+
+The network layer treats protocol messages opaquely: all it needs is a
+size in bytes.  Protocol packages define their own dataclasses
+implementing the :class:`WireMessage` protocol; :class:`Datagram` is the
+envelope the network actually moves around.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Protocol, runtime_checkable
+
+from repro.types import ProcessId, SimTime
+
+_datagram_ids = itertools.count(1)
+
+
+@runtime_checkable
+class WireMessage(Protocol):
+    """Anything the network can carry: it must know its own size."""
+
+    def wire_size_bytes(self) -> int:
+        """Application-level size of this message in bytes (headers
+        included, framing excluded — framing is the network's job)."""
+        ...  # pragma: no cover - protocol definition
+
+
+@dataclass
+class Datagram:
+    """One message in flight between two NICs.
+
+    ``size_bytes`` is captured at send time so the transfer cost cannot
+    change mid-flight even if the payload object is mutated (protocol
+    implementations should not mutate sent messages, but the simulator
+    does not rely on that discipline).
+    """
+
+    src: ProcessId
+    dst: ProcessId
+    payload: Any
+    size_bytes: int
+    send_time: SimTime
+    datagram_id: int = field(default_factory=lambda: next(_datagram_ids))
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise ValueError("datagram size cannot be negative")
+
+
+def message_size(message: Any) -> int:
+    """Best-effort size of ``message`` in bytes.
+
+    Accepts anything implementing :class:`WireMessage`, plus raw
+    ``bytes`` and ``str`` for tests and examples.
+    """
+    if isinstance(message, (bytes, bytearray)):
+        return len(message)
+    if isinstance(message, str):
+        return len(message.encode("utf-8"))
+    sizer = getattr(message, "wire_size_bytes", None)
+    if callable(sizer):
+        return int(sizer())
+    raise TypeError(
+        f"cannot determine wire size of {type(message).__name__}; "
+        "implement wire_size_bytes()"
+    )

@@ -1,0 +1,511 @@
+"""The switched fabric, NIC, and host CPU model.
+
+Resource model per node (see DESIGN.md §2 for the calibration story):
+
+* **TX NIC** — serialises outgoing messages; a message of ``b`` bytes
+  occupies the TX path for ``params.wire_time(b)`` seconds.
+* **Switch** — non-blocking and cut-through at frame granularity: the
+  destination NIC starts receiving ``params.first_frame_delay()`` after
+  transmission starts, so per-hop latency is one wire time, not two.
+* **RX NIC** — serialises incoming messages; simultaneous arrivals from
+  several senders queue (this is the constraint that throttles
+  sequencer-based protocols).
+* **CPU** — one core serialises per-message software work: receive
+  processing (``params.cpu_time(b)`` charged before the handler upcall)
+  and send-side marshalling jobs submitted via
+  :meth:`NetworkEndpoint.cpu_submit`.  Sharing one core is what gives
+  every node the same per-message budget whether a message is its own
+  or relayed — the property behind the paper's flat ~79 Mb/s.  The
+  *application* submit path, however, is backpressured: at most one
+  marshalling job occupies the CPU queue at a time and the rest wait in
+  an application-side buffer, so a burst of queued sends can never
+  delay receive processing (or membership control traffic) by more
+  than one job.
+
+Crashed nodes stop sending and receiving atomically: queued and
+in-flight transfers involving them are discarded whole (a partially
+transmitted message is never delivered).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.errors import NetworkError
+from repro.net.message import Datagram, message_size
+from repro.net.params import NetworkParams
+from repro.sim.engine import Simulator
+from repro.sim.trace import TraceLog
+from repro.types import ProcessId, TimerHandle
+
+#: Signature of the upcall a node registers to receive messages.
+ReceiveHandler = Callable[[ProcessId, Any], None]
+
+
+@dataclass
+class CpuJobHandle:
+    """Cancellation handle for a queued CPU job.
+
+    Cancelling a queued job removes its cost entirely (the middleware
+    drops the buffer without processing it); a job already executing is
+    past cancellation.
+    """
+
+    cancelled: bool = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+@dataclass
+class NicStats:
+    """Byte/message accounting for one node's NIC and CPU.
+
+    ``tx_busy_s`` / ``rx_busy_s`` divided by elapsed time give link
+    utilisation; the benchmark harness uses them to show where each
+    protocol's bottleneck sits (the paper's central argument).
+    """
+
+    bytes_tx: int = 0
+    bytes_rx: int = 0
+    wire_bytes_tx: int = 0
+    wire_bytes_rx: int = 0
+    messages_tx: int = 0
+    messages_rx: int = 0
+    messages_lost: int = 0
+    #: Arrivals discarded by a full (finite) switch buffer.
+    messages_dropped: int = 0
+    tx_busy_s: float = 0.0
+    rx_busy_s: float = 0.0
+    cpu_busy_s: float = 0.0
+    max_tx_queue: int = 0
+    max_rx_queue: int = 0
+    max_cpu_queue: int = 0
+    #: Peak depth of the application-side marshal buffer.
+    max_tx_cpu_queue: int = 0
+
+
+class _Nic:
+    """Full-duplex NIC plus host CPU for one node (internal)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        params: NetworkParams,
+        node_id: ProcessId,
+        network: "Network",
+    ) -> None:
+        self.sim = sim
+        self.params = params
+        self.node_id = node_id
+        self.network = network
+        self.handler: Optional[ReceiveHandler] = None
+        self.crashed = False
+        self.stats = NicStats()
+        #: Fired whenever the TX queue drains; protocols use this to
+        #: pace their send scheduling (lazy fairness decisions).
+        self.tx_idle_callbacks: List[Callable[[], None]] = []
+
+        self._tx_queue: Deque[Datagram] = deque()
+        self._tx_busy = False
+        self._rx_queue: Deque[Datagram] = deque()
+        self._rx_busy = False
+        #: Shared CPU: (cost, handle, action, is_marshal) entries.
+        self._cpu_queue: Deque[
+            Tuple[float, "CpuJobHandle", Callable[[], None], bool]
+        ] = deque()
+        self._cpu_busy = False
+        #: Marshalling jobs waiting in the application-side buffer
+        #: (at most one marshal job sits in the CPU queue at a time).
+        self._marshal_waiting: Deque[
+            Tuple[float, "CpuJobHandle", Callable[[], None]]
+        ] = deque()
+        self._marshal_in_core = False
+        # Arrival events scheduled for in-flight transmissions from this
+        # NIC, so a crash can retract messages not yet on the receiver.
+        self._inflight: Dict[int, TimerHandle] = {}
+
+    # ---------------------------- TX path ----------------------------
+    def enqueue_tx(self, datagram: Datagram) -> None:
+        if self.crashed:
+            return
+        self._tx_queue.append(datagram)
+        self.stats.max_tx_queue = max(self.stats.max_tx_queue, len(self._tx_queue))
+        if not self._tx_busy:
+            self._start_tx()
+
+    def _start_tx(self) -> None:
+        if not self._tx_queue or self.crashed:
+            return
+        datagram = self._tx_queue.popleft()
+        wire_time = self.params.wire_time(datagram.size_bytes)
+        self._tx_busy = True
+        self.stats.bytes_tx += datagram.size_bytes
+        self.stats.wire_bytes_tx += self.params.framing.wire_bytes(datagram.size_bytes)
+        self.stats.messages_tx += 1
+        self.stats.tx_busy_s += wire_time
+
+        lost = self.network._roll_loss()
+        if lost:
+            self.stats.messages_lost += 1
+        else:
+            # Cut-through at frame granularity: the receiver starts
+            # receiving after one frame (or after the whole message, if
+            # the message is smaller than a frame).
+            arrival_delay = self.network._arrival_delay(
+                self.node_id,
+                datagram.dst,
+                min(
+                    self.params.first_frame_delay(),
+                    self.params.propagation_delay_s + wire_time,
+                ),
+            )
+            handle = self.sim.schedule(
+                arrival_delay, self.network._arrive, datagram
+            )
+            self._inflight[datagram.datagram_id] = handle
+            self.sim.schedule(
+                arrival_delay, self._inflight.pop, datagram.datagram_id, None
+            )
+        self.network.trace.emit(
+            self.sim.now,
+            "net",
+            "tx_start",
+            src=self.node_id,
+            dst=datagram.dst,
+            bytes=datagram.size_bytes,
+            lost=lost,
+        )
+        self.sim.schedule(wire_time, self._tx_done)
+
+    def _tx_done(self) -> None:
+        self._tx_busy = False
+        if self.crashed:
+            return
+        self._start_tx()
+        if not self._tx_busy and not self._tx_queue:
+            for callback in list(self.tx_idle_callbacks):
+                callback()
+                if self._tx_busy:
+                    break
+
+    @property
+    def tx_idle(self) -> bool:
+        return not self._tx_busy and not self._tx_queue
+
+    # ---------------------------- RX path ----------------------------
+    def enqueue_rx(self, datagram: Datagram) -> None:
+        if self.crashed:
+            return
+        cap = self.params.switch_buffer_messages
+        if cap is not None and len(self._rx_queue) >= cap:
+            # Drop-tail at the (finite) switch buffer; the reliable
+            # channel layer's ARQ recovers the loss.
+            self.stats.messages_dropped += 1
+            self.network.trace.emit(
+                self.sim.now, "net", "drop_tail",
+                src=datagram.src, dst=self.node_id,
+            )
+            return
+        self._rx_queue.append(datagram)
+        self.stats.max_rx_queue = max(self.stats.max_rx_queue, len(self._rx_queue))
+        if not self._rx_busy:
+            self._start_rx()
+
+    def _start_rx(self) -> None:
+        if not self._rx_queue or self.crashed:
+            return
+        datagram = self._rx_queue.popleft()
+        service = self.params.wire_time(datagram.size_bytes)
+        self._rx_busy = True
+        self.stats.rx_busy_s += service
+        self.sim.schedule(service, self._rx_done, datagram)
+
+    def _rx_done(self, datagram: Datagram) -> None:
+        self._rx_busy = False
+        if self.crashed:
+            return
+        self.stats.bytes_rx += datagram.size_bytes
+        self.stats.wire_bytes_rx += self.params.framing.wire_bytes(datagram.size_bytes)
+        self.stats.messages_rx += 1
+        self.enqueue_cpu(
+            self.params.cpu_time(datagram.size_bytes), self._handle_upcall, datagram
+        )
+        self._start_rx()
+
+    # ---------------------------- CPU path ---------------------------
+    def enqueue_cpu(
+        self, cost: float, action: Callable[..., None], *args: Any
+    ) -> "CpuJobHandle":
+        """Queue ``action(*args)`` behind ``cost`` seconds of CPU work."""
+        handle = CpuJobHandle()
+        if self.crashed:
+            handle.cancelled = True
+            return handle
+        self._cpu_queue.append((cost, handle, lambda: action(*args), False))
+        self.stats.max_cpu_queue = max(self.stats.max_cpu_queue, len(self._cpu_queue))
+        if not self._cpu_busy:
+            self._start_cpu()
+        return handle
+
+    def enqueue_tx_cpu(
+        self, cost: float, action: Callable[..., None], *args: Any
+    ) -> "CpuJobHandle":
+        """Queue a send-side marshalling job (``cost`` seconds).
+
+        Marshalling shares the same CPU as receive processing, but is
+        backpressured: at most one marshal job occupies the CPU queue;
+        further submissions wait in the application-side buffer.
+        """
+        handle = CpuJobHandle()
+        if self.crashed:
+            handle.cancelled = True
+            return handle
+        self._marshal_waiting.append((cost, handle, lambda: action(*args)))
+        self.stats.max_tx_cpu_queue = max(
+            self.stats.max_tx_cpu_queue, len(self._marshal_waiting)
+        )
+        self._promote_marshal()
+        return handle
+
+    def _promote_marshal(self) -> None:
+        """Move the next live waiting marshal job into the CPU queue."""
+        if self._marshal_in_core or self.crashed:
+            return
+        while self._marshal_waiting:
+            cost, handle, action = self._marshal_waiting.popleft()
+            if handle.cancelled:
+                continue
+            self._marshal_in_core = True
+            self._cpu_queue.append((cost, handle, action, True))
+            self.stats.max_cpu_queue = max(
+                self.stats.max_cpu_queue, len(self._cpu_queue)
+            )
+            if not self._cpu_busy:
+                self._start_cpu()
+            return
+
+    def _start_cpu(self) -> None:
+        if self.crashed or self._cpu_busy:
+            return
+        while self._cpu_queue:
+            cost, handle, action, is_marshal = self._cpu_queue.popleft()
+            if handle.cancelled:
+                if is_marshal:
+                    self._marshal_in_core = False
+                    self._promote_marshal()
+                continue  # cancelled jobs cost nothing
+            self._cpu_busy = True
+            self.stats.cpu_busy_s += cost
+            self.sim.schedule(cost, self._cpu_done, action, is_marshal)
+            return
+
+    def _cpu_done(self, action: Callable[[], None], is_marshal: bool) -> None:
+        self._cpu_busy = False
+        if self.crashed:
+            return
+        if is_marshal:
+            self._marshal_in_core = False
+            self._promote_marshal()
+        action()
+        self._start_cpu()
+
+    def _handle_upcall(self, datagram: Datagram) -> None:
+        self.network.trace.emit(
+            self.sim.now,
+            "net",
+            "deliver",
+            src=datagram.src,
+            dst=self.node_id,
+            bytes=datagram.size_bytes,
+        )
+        if self.handler is not None:
+            self.handler(datagram.src, datagram.payload)
+
+    # ---------------------------- Failure ----------------------------
+    def crash(self) -> None:
+        self.crashed = True
+        self._tx_queue.clear()
+        self._rx_queue.clear()
+        self._cpu_queue.clear()
+        self._marshal_waiting.clear()
+        for handle in self._inflight.values():
+            handle.cancel()
+        self._inflight.clear()
+
+
+class NetworkEndpoint:
+    """A node's handle on the network: send messages, receive upcalls."""
+
+    def __init__(self, network: "Network", node_id: ProcessId) -> None:
+        self._network = network
+        self.node_id = node_id
+
+    def send(self, dst: ProcessId, message: Any, size_bytes: Optional[int] = None) -> None:
+        """Send ``message`` to ``dst``.
+
+        ``size_bytes`` overrides the size computed from the message,
+        which is useful for tests; normal callers let the message's
+        ``wire_size_bytes()`` speak for itself.
+        """
+        self._network.send(self.node_id, dst, message, size_bytes)
+
+    def on_receive(self, handler: ReceiveHandler) -> None:
+        """Register the upcall invoked (post-CPU) for each arrival."""
+        self._network.set_handler(self.node_id, handler)
+
+    def on_tx_idle(self, callback: Callable[[], None]) -> None:
+        """Register a callback fired whenever the TX queue drains."""
+        self._network._nic(self.node_id).tx_idle_callbacks.append(callback)
+
+    def cpu_submit(
+        self, size_bytes: int, callback: Callable[[], None]
+    ) -> "CpuJobHandle":
+        """Charge this node's CPU for marshalling ``size_bytes`` of
+        payload it originates, running ``callback`` when the work
+        completes.  Submissions are backpressured behind receive
+        processing; the returned handle cancels the job (view changes
+        drop queued outgoing buffers this way)."""
+        nic = self._network._nic(self.node_id)
+        return nic.enqueue_tx_cpu(
+            self._network.params.cpu_time(size_bytes), callback
+        )
+
+    @property
+    def tx_idle(self) -> bool:
+        """True when the NIC can start transmitting immediately."""
+        return self._network._nic(self.node_id).tx_idle
+
+    @property
+    def stats(self) -> NicStats:
+        """Live NIC/CPU statistics for this node."""
+        return self._network.stats_of(self.node_id)
+
+    @property
+    def crashed(self) -> bool:
+        """Whether this node has been crashed by the failure injector."""
+        return self._network.is_crashed(self.node_id)
+
+
+class Network:
+    """The switched LAN connecting all nodes of one simulation.
+
+    Example::
+
+        sim = Simulator()
+        net = Network(sim, NetworkParams.fast_ethernet())
+        a, b = net.attach(0), net.attach(1)
+        b.on_receive(lambda src, msg: print(src, msg))
+        a.send(1, b"hello")
+        sim.run()
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        params: NetworkParams,
+        trace: Optional[TraceLog] = None,
+        loss_rng: Optional[random.Random] = None,
+        jitter_rng: Optional[random.Random] = None,
+    ) -> None:
+        self.sim = sim
+        self.params = params
+        self.trace = trace if trace is not None else TraceLog(enabled=False)
+        self._nics: Dict[ProcessId, _Nic] = {}
+        self._loss_rng = loss_rng if loss_rng is not None else random.Random(0)
+        self._jitter_rng = jitter_rng if jitter_rng is not None else random.Random(1)
+        #: Last scheduled arrival time per (src, dst): jitter must never
+        #: reorder a flow (a LAN switch is FIFO per flow).
+        self._last_arrival: Dict[Tuple[ProcessId, ProcessId], float] = {}
+
+    # ------------------------------------------------------------------
+    # Topology management
+    # ------------------------------------------------------------------
+    def attach(self, node_id: ProcessId) -> NetworkEndpoint:
+        """Create a NIC for ``node_id`` and return its endpoint."""
+        if node_id in self._nics:
+            raise NetworkError(f"node {node_id} is already attached")
+        self._nics[node_id] = _Nic(self.sim, self.params, node_id, self)
+        return NetworkEndpoint(self, node_id)
+
+    def set_handler(self, node_id: ProcessId, handler: ReceiveHandler) -> None:
+        self._nic(node_id).handler = handler
+
+    def nodes(self) -> List[ProcessId]:
+        """All attached node ids, in attach order."""
+        return list(self._nics)
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        src: ProcessId,
+        dst: ProcessId,
+        message: Any,
+        size_bytes: Optional[int] = None,
+    ) -> None:
+        """Queue ``message`` for transmission from ``src`` to ``dst``."""
+        if dst not in self._nics:
+            raise NetworkError(f"destination node {dst} is not attached")
+        src_nic = self._nic(src)
+        if src_nic.crashed:
+            return  # a crashed node's stray timers send into the void
+        if src == dst:
+            raise NetworkError("loopback sends are not modelled; handle locally")
+        size = message_size(message) if size_bytes is None else size_bytes
+        datagram = Datagram(
+            src=src, dst=dst, payload=message, size_bytes=size, send_time=self.sim.now
+        )
+        src_nic.enqueue_tx(datagram)
+
+    def _arrive(self, datagram: Datagram) -> None:
+        nic = self._nics.get(datagram.dst)
+        if nic is None or nic.crashed:
+            return
+        nic.enqueue_rx(datagram)
+
+    def _roll_loss(self) -> bool:
+        if self.params.loss_rate <= 0.0:
+            return False
+        return self._loss_rng.random() < self.params.loss_rate
+
+    def _arrival_delay(
+        self, src: ProcessId, dst: ProcessId, base_delay: float
+    ) -> float:
+        """Apply per-message jitter, clamped to keep each flow FIFO."""
+        if self.params.propagation_jitter_s <= 0.0:
+            return base_delay
+        draw = self._jitter_rng.random() * self.params.propagation_jitter_s
+        candidate = self.sim.now + base_delay + draw
+        floor = self._last_arrival.get((src, dst), 0.0)
+        candidate = max(candidate, floor + 1e-12)
+        self._last_arrival[(src, dst)] = candidate
+        return candidate - self.sim.now
+
+    # ------------------------------------------------------------------
+    # Failure + introspection
+    # ------------------------------------------------------------------
+    def crash(self, node_id: ProcessId) -> None:
+        """Crash ``node_id``: it immediately stops sending and receiving."""
+        self._nic(node_id).crash()
+        self.trace.emit(self.sim.now, "net", "crash", node=node_id)
+
+    def is_crashed(self, node_id: ProcessId) -> bool:
+        return self._nic(node_id).crashed
+
+    def stats_of(self, node_id: ProcessId) -> NicStats:
+        return self._nic(node_id).stats
+
+    def total_wire_bytes(self) -> int:
+        """Sum of wire bytes transmitted by all NICs (load metric)."""
+        return sum(nic.stats.wire_bytes_tx for nic in self._nics.values())
+
+    def _nic(self, node_id: ProcessId) -> _Nic:
+        try:
+            return self._nics[node_id]
+        except KeyError:
+            raise NetworkError(f"node {node_id} is not attached") from None

@@ -1,0 +1,264 @@
+"""Destination-agreement total order broadcast (paper §2.5).
+
+Chandra–Toueg-style atomic broadcast: payloads are disseminated with a
+best-effort broadcast, and the delivery order is decided by a sequence
+of consensus instances on batches of message identifiers.  Consensus
+uses a rotating coordinator and the perfect failure detector implicit
+in the crash-free benchmark setting: the coordinator proposes its
+candidate batch, gathers votes from everyone, then broadcasts the
+decision; decided batches are delivered in instance order, messages
+within a batch in deterministic identifier order.
+
+Cost per batch (the paper's point): one payload broadcast per message
+plus three control waves (nudge/propose, vote, decide) of ``n - 1``
+messages each — the consensus machinery, however batched, keeps both
+latency and message complexity well above the sequencer families.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.errors import ProtocolError
+from repro.protocols.base import BaselineProcess
+from repro.protocols.registry import ProtocolContext, register_protocol
+from repro.types import MessageId, ProcessId, SequenceNumber
+
+_HEADER = 32
+_ID_BYTES = 16
+
+
+@dataclass(frozen=True)
+class DestinationAgreementConfig:
+    """Tuning knobs for the destination-agreement baseline."""
+
+    #: Upper bound on messages ordered by one consensus instance.
+    max_batch: int = 64
+
+
+@dataclass
+class _DaData:
+    message_id: MessageId
+    payload: Any
+    payload_size: int
+
+    def wire_size_bytes(self) -> int:
+        return _HEADER + self.payload_size
+
+
+@dataclass
+class _DaNudge:
+    """Candidate ids forwarded to the next instance's coordinator."""
+
+    instance: int
+    candidates: Tuple[MessageId, ...]
+
+    def wire_size_bytes(self) -> int:
+        return _HEADER + _ID_BYTES * len(self.candidates)
+
+
+@dataclass
+class _DaPropose:
+    instance: int
+    batch: Tuple[MessageId, ...]
+
+    def wire_size_bytes(self) -> int:
+        return _HEADER + _ID_BYTES * len(self.batch)
+
+
+@dataclass
+class _DaVote:
+    instance: int
+
+    def wire_size_bytes(self) -> int:
+        return _HEADER
+
+
+@dataclass
+class _DaDecide:
+    instance: int
+    batch: Tuple[MessageId, ...]
+
+    def wire_size_bytes(self) -> int:
+        return _HEADER + _ID_BYTES * len(self.batch)
+
+
+class DestinationAgreementProcess(BaselineProcess):
+    """One endpoint of the destination-agreement protocol."""
+
+    def __init__(self, context: ProtocolContext) -> None:
+        super().__init__(
+            context.sim,
+            context.port,
+            context.members,
+            context.trace,
+            cpu_submit=context.cpu_submit,
+        )
+        config = context.config or DestinationAgreementConfig()
+        if not isinstance(config, DestinationAgreementConfig):
+            raise ProtocolError(
+                "destination_agreement expects DestinationAgreementConfig, "
+                f"got {type(config).__name__}"
+            )
+        self.config = config
+
+        self._payloads: Dict[MessageId, _DaData] = {}
+        self._ordered_ids: Set[MessageId] = set()
+        #: Undelivered decided batches, by instance.
+        self._decisions: Dict[int, Tuple[MessageId, ...]] = {}
+        self._next_instance = 1  # next instance to decide/deliver
+        self._proposing: Optional[int] = None
+        self._votes: Set[ProcessId] = set()
+        self._proposed_batch: Tuple[MessageId, ...] = ()
+        self._nudged: Dict[int, Set[MessageId]] = {}
+        self._nudge_sent_for: Set[int] = set()
+        self._sequence = 0
+
+    # ------------------------------------------------------------------
+    def coordinator_of(self, instance: int) -> ProcessId:
+        return self.members[(instance - 1) % self.n]
+
+    def broadcast(self, payload: Any, size_bytes: Optional[int] = None) -> MessageId:
+        size = self.require_payload_size(payload, size_bytes)
+        self.stats_broadcasts += 1
+        message_id = self.next_message_id()
+        data = _DaData(message_id=message_id, payload=payload, payload_size=size)
+
+        def emit() -> None:
+            self._note_data(data)
+            self.best_effort_broadcast(data)
+
+        self.charge_cpu(size, emit)
+        return message_id
+
+    # ------------------------------------------------------------------
+    def on_message(self, src: ProcessId, message: Any) -> None:
+        if isinstance(message, _DaData):
+            self._note_data(message)
+        elif isinstance(message, _DaNudge):
+            self._on_nudge(message)
+        elif isinstance(message, _DaPropose):
+            self._on_propose(src, message)
+        elif isinstance(message, _DaVote):
+            self._on_vote(src, message)
+        elif isinstance(message, _DaDecide):
+            self._on_decide(message)
+        else:
+            raise ProtocolError(f"unexpected message {message!r}")
+
+    # ------------------------------------------------------------------
+    def _note_data(self, data: _DaData) -> None:
+        if data.message_id in self._payloads:
+            return
+        self._payloads[data.message_id] = data
+        self._advance()
+
+    def _candidates(self) -> List[MessageId]:
+        pending = [
+            mid for mid in self._payloads if mid not in self._ordered_ids
+        ]
+        pending.sort(key=lambda mid: (mid.origin, mid.local_seq))
+        return pending[: self.config.max_batch]
+
+    def _advance(self) -> None:
+        """Drive the next consensus instance if there is work to order."""
+        if self._stopped:
+            return
+        instance = self._next_instance
+        coordinator = self.coordinator_of(instance)
+        candidates = self._candidates()
+        if not candidates and not self._nudged.get(instance):
+            return
+        if coordinator == self.me:
+            if self._proposing is None:
+                self._start_instance(instance, candidates)
+        elif candidates and instance not in self._nudge_sent_for:
+            # Tell the coordinator what we would like ordered.
+            self._nudge_sent_for.add(instance)
+            self.send(
+                coordinator,
+                _DaNudge(instance=instance, candidates=tuple(candidates)),
+            )
+
+    def _start_instance(self, instance: int, candidates: List[MessageId]) -> None:
+        extra = self._nudged.pop(instance, set())
+        batch = sorted(
+            set(candidates) | extra, key=lambda mid: (mid.origin, mid.local_seq)
+        )[: self.config.max_batch]
+        self._proposing = instance
+        self._proposed_batch = tuple(batch)
+        self._votes = {self.me}
+        self.best_effort_broadcast(
+            _DaPropose(instance=instance, batch=self._proposed_batch)
+        )
+        self._check_votes()
+
+    def _on_nudge(self, nudge: _DaNudge) -> None:
+        if nudge.instance < self._next_instance:
+            return
+        bucket = self._nudged.setdefault(nudge.instance, set())
+        bucket.update(
+            mid for mid in nudge.candidates if mid not in self._ordered_ids
+        )
+        self._advance()
+
+    def _on_propose(self, src: ProcessId, proposal: _DaPropose) -> None:
+        if proposal.instance < self._next_instance:
+            return
+        # Perfect-FD, crash-free setting: adopt and vote.
+        self.send(src, _DaVote(instance=proposal.instance))
+
+    def _on_vote(self, src: ProcessId, vote: _DaVote) -> None:
+        if self._proposing != vote.instance:
+            return
+        self._votes.add(src)
+        self._check_votes()
+
+    def _check_votes(self) -> None:
+        if self._proposing is None or len(self._votes) < self.n:
+            return
+        instance = self._proposing
+        batch = self._proposed_batch
+        self._proposing = None
+        self._proposed_batch = ()
+        self._votes = set()
+        self.best_effort_broadcast(_DaDecide(instance=instance, batch=batch))
+        self._on_decide(_DaDecide(instance=instance, batch=batch))
+
+    def _on_decide(self, decision: _DaDecide) -> None:
+        if decision.instance < self._next_instance:
+            return
+        self._decisions.setdefault(decision.instance, decision.batch)
+        self._try_deliver()
+
+    # ------------------------------------------------------------------
+    def _try_deliver(self) -> None:
+        while self._next_instance in self._decisions:
+            batch = self._decisions[self._next_instance]
+            # Wait until every payload of the batch has arrived.
+            if any(mid not in self._payloads for mid in batch):
+                return
+            del self._decisions[self._next_instance]
+            self._next_instance += 1
+            for message_id in batch:
+                if message_id in self._ordered_ids:
+                    continue
+                self._ordered_ids.add(message_id)
+                data = self._payloads[message_id]
+                self._sequence += 1
+                self.deliver(
+                    origin=message_id.origin,
+                    message_id=message_id,
+                    payload=data.payload,
+                    size_bytes=data.payload_size,
+                    sequence=self._sequence,
+                )
+        self._advance()
+
+
+def _build(context: ProtocolContext):
+    return DestinationAgreementProcess(context)
+
+
+register_protocol("destination_agreement", _build)

@@ -1,0 +1,411 @@
+"""Fixed-sequencer uniform total order broadcast (paper §2.1, Figure 1).
+
+The classic "UB" pattern:
+
+1. a sender unicasts its message to the sequencer;
+2. the sequencer assigns the next sequence number and broadcasts
+   ``(m, seq)`` to everyone else;
+3. every process acknowledges ``seq`` back to the sequencer (uniform
+   variant — non-uniform delivery could skip this);
+4. the sequencer advances a stability watermark once all members have
+   acknowledged, and disseminates the watermark piggy-backed on the
+   next sequenced broadcast (plus a timer-driven flush for idle
+   periods);
+5. processes deliver sequenced messages, in order, once they are below
+   the watermark.
+
+This is the paper's archetypal low-throughput baseline: the sequencer's
+NIC must *receive* every payload once and *transmit* it ``n - 1``
+times, so aggregate throughput collapses as ``1/(n-1)`` while FSR's
+stays flat.
+
+Unlike the other baselines, this implementation is also
+**fault-tolerant**: the paper notes that "a new sequencer is elected
+only in the case the previous sequencer fails", and this module
+implements that election through the same membership/flush machinery
+FSR uses.  Uniform delivery (wait for all acks) means every process
+stores each sequenced message until delivery, so the flush-state merge
+of :mod:`repro.core.fsr.recovery` applies verbatim — each member ships
+its pending map, the coordinator merges and prunes per receiver, and
+the next member in view order takes over sequencing.  This enables the
+failover-cost comparison benchmark against FSR.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.core.fsr.recovery import FSRFlushState, MergedRecovery
+from repro.errors import ProtocolError
+from repro.protocols.base import BaselineProcess
+from repro.protocols.registry import ProtocolContext, register_protocol
+from repro.types import MessageId, ProcessId, SequenceNumber, View
+from repro.vsc.membership import FlushState
+
+_HEADER = 32
+_ACK_SIZE = 16
+
+
+@dataclass(frozen=True)
+class FixedSequencerConfig:
+    """Tuning knobs for the fixed sequencer baseline."""
+
+    #: Ring position of the sequencer in the member list.
+    sequencer_index: int = 0
+    #: Idle flush period for the stability watermark.
+    stability_flush_s: float = 2e-3
+
+
+@dataclass
+class _ToSequencer:
+    message_id: MessageId
+    payload: Any
+    payload_size: int
+    view_id: int
+
+    def wire_size_bytes(self) -> int:
+        return _HEADER + self.payload_size
+
+
+@dataclass
+class _Sequenced:
+    message_id: MessageId
+    origin: ProcessId
+    payload: Any
+    payload_size: int
+    sequence: SequenceNumber
+    #: Piggy-backed stability watermark.
+    stable_up_to: SequenceNumber
+    view_id: int
+
+    def wire_size_bytes(self) -> int:
+        return _HEADER + 12 + self.payload_size
+
+
+@dataclass
+class _SeqAck:
+    sequence: SequenceNumber
+    view_id: int
+
+    def wire_size_bytes(self) -> int:
+        return _ACK_SIZE
+
+
+@dataclass
+class _StableNotice:
+    stable_up_to: SequenceNumber
+    view_id: int
+
+    def wire_size_bytes(self) -> int:
+        return _ACK_SIZE
+
+
+class FixedSequencerProcess(BaselineProcess):
+    """One endpoint of the (fault-tolerant) fixed-sequencer protocol."""
+
+    def __init__(self, context: ProtocolContext) -> None:
+        super().__init__(
+            context.sim,
+            context.port,
+            context.members,
+            context.trace,
+            cpu_submit=context.cpu_submit,
+        )
+        config = context.config or FixedSequencerConfig()
+        if not isinstance(config, FixedSequencerConfig):
+            raise ProtocolError(
+                "fixed_sequencer expects FixedSequencerConfig, got "
+                f"{type(config).__name__}"
+            )
+        self.config = config
+        self.membership = context.membership
+        self.sequencer: ProcessId = self.members[config.sequencer_index % self.n]
+
+        self._view: Optional[View] = None
+        self._blocked = False
+        self._installed_once = False
+        self._flush_timer_armed = False
+        self._future: List[Tuple[int, ProcessId, Any]] = []
+
+        # Sequencer-side state.
+        self._next_seq: SequenceNumber = 1
+        self._acks: Dict[SequenceNumber, Set[ProcessId]] = {}
+        self._stable: SequenceNumber = 0
+        self._announced_stable: SequenceNumber = 0
+
+        # Receiver-side state.
+        self._pending: Dict[SequenceNumber, _Sequenced] = {}
+        self._known_stable: SequenceNumber = 0
+        self._next_delivery: SequenceNumber = 1
+
+        #: Own submissions not yet delivered locally (re-submitted on a
+        #: view change, keeping their original identity).
+        self._unacked_submissions: "OrderedDict[MessageId, Tuple[Any, int]]" = (
+            OrderedDict()
+        )
+
+        self.membership.set_client(self)
+
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        self.membership.start()
+
+    def stop(self) -> None:
+        super().stop()
+        self.membership.stop()
+
+    def broadcast(self, payload: Any, size_bytes: Optional[int] = None) -> MessageId:
+        size = self.require_payload_size(payload, size_bytes)
+        self.stats_broadcasts += 1
+        message_id = self.next_message_id()
+        self._unacked_submissions[message_id] = (payload, size)
+        self.charge_cpu(size, lambda: self._submit(message_id))
+        return message_id
+
+    def _submit(self, message_id: MessageId) -> None:
+        if self._blocked or self._stopped:
+            return  # re-submitted after the view change
+        entry = self._unacked_submissions.get(message_id)
+        if entry is None:
+            return  # already delivered
+        payload, size = entry
+        submission = _ToSequencer(
+            message_id=message_id, payload=payload, payload_size=size,
+            view_id=self._view_id(),
+        )
+        if self.sequencer == self.me:
+            self._sequence_submission(submission)
+        else:
+            self.send(self.sequencer, submission)
+
+    # ------------------------------------------------------------------
+    def on_message(self, src: ProcessId, message: Any) -> None:
+        view_id = getattr(message, "view_id", None)
+        current = self._view_id()
+        if view_id is None:
+            raise ProtocolError(f"unexpected message {message!r}")
+        if view_id > current:
+            self._future.append((view_id, src, message))
+            return
+        if view_id < current or self._blocked:
+            return  # stale, or past the flush snapshot (consistent cut)
+        if isinstance(message, _ToSequencer):
+            self._sequence_submission(message)
+        elif isinstance(message, _Sequenced):
+            self._on_sequenced(message)
+        elif isinstance(message, _SeqAck):
+            self._on_ack(src, message)
+        elif isinstance(message, _StableNotice):
+            self._advance_known_stable(message.stable_up_to)
+        else:
+            raise ProtocolError(f"unexpected message {message!r}")
+
+    # ------------------------- sequencer side -------------------------
+    def _sequence_submission(self, message: _ToSequencer) -> None:
+        if self.me != self.sequencer:
+            raise ProtocolError(f"{self.me} is not the sequencer")
+        sequence = self._next_seq
+        self._next_seq += 1
+        sequenced = _Sequenced(
+            message_id=message.message_id,
+            origin=message.message_id.origin,
+            payload=message.payload,
+            payload_size=message.payload_size,
+            sequence=sequence,
+            stable_up_to=self._stable,
+            view_id=self._view_id(),
+        )
+        self._announced_stable = self._stable
+        self._acks[sequence] = set()
+        self._pending[sequence] = sequenced
+        self.best_effort_broadcast(sequenced)
+        self._register_ack(sequence, self.me)
+
+    def _on_ack(self, src: ProcessId, ack: _SeqAck) -> None:
+        if self.me != self.sequencer:
+            return  # late ack addressed to a deposed sequencer
+        self._register_ack(ack.sequence, src)
+
+    def _register_ack(self, sequence: SequenceNumber, pid: ProcessId) -> None:
+        acked = self._acks.get(sequence)
+        if acked is None:
+            return
+        acked.add(pid)
+        if len(acked) < self.n:
+            return
+        del self._acks[sequence]
+        # Stability advances over the contiguous fully-acked prefix.
+        while self._stable + 1 < self._next_seq and (self._stable + 1) not in self._acks:
+            self._stable += 1
+        self._advance_known_stable(self._stable)
+
+    def _arm_stability_flush(self) -> None:
+        if self._flush_timer_armed:
+            return
+        self._flush_timer_armed = True
+        self.sim.schedule(self.config.stability_flush_s, self._stability_flush)
+
+    def _stability_flush(self) -> None:
+        self._flush_timer_armed = False
+        if self._stopped or self.me != self.sequencer:
+            return
+        if not self._blocked and self._stable > self._announced_stable:
+            self._announced_stable = self._stable
+            self.best_effort_broadcast(
+                _StableNotice(stable_up_to=self._stable, view_id=self._view_id())
+            )
+        self._arm_stability_flush()
+
+    # ------------------------- receiver side --------------------------
+    def _on_sequenced(self, message: _Sequenced) -> None:
+        self._pending.setdefault(message.sequence, message)
+        self.send(
+            self.sequencer,
+            _SeqAck(sequence=message.sequence, view_id=self._view_id()),
+        )
+        self._advance_known_stable(message.stable_up_to)
+
+    def _advance_known_stable(self, stable_up_to: SequenceNumber) -> None:
+        if stable_up_to > self._known_stable:
+            self._known_stable = stable_up_to
+        self._try_deliver()
+
+    def _try_deliver(self) -> None:
+        while (
+            self._next_delivery <= self._known_stable
+            and self._next_delivery in self._pending
+        ):
+            message = self._pending.pop(self._next_delivery)
+            self._next_delivery += 1
+            self._unacked_submissions.pop(message.message_id, None)
+            self.deliver(
+                origin=message.origin,
+                message_id=message.message_id,
+                payload=message.payload,
+                size_bytes=message.payload_size,
+                sequence=message.sequence,
+            )
+
+    # ==================================================================
+    # VSCClient: sequencer failover (paper §2.1's "election")
+    # ==================================================================
+    def on_block(self) -> None:
+        self._blocked = True
+
+    def collect_flush_state(self) -> FlushState:
+        """No payloads needed: uniform delivery waits for *all* acks, so
+        anything any process delivered is already in every survivor's
+        local pending map.  Recovery has to agree on how far delivery
+        goes; the ``watermark`` field carries this member's contiguous
+        *received* high-water mark (delivered + gap-free pending)."""
+        received = self._next_delivery - 1
+        while received + 1 in self._pending:
+            received += 1
+        state = FSRFlushState(
+            last_delivered=self._next_delivery - 1,
+            watermark=received,
+            records={},
+            fresh=not self._installed_once,
+        )
+        return FlushState(payload=state, size_bytes=state.size_bytes())
+
+    def merge_states(self, states, receivers):
+        """Safe recovery point = min contiguous-received over survivors.
+
+        A process only acks what it received, and the (possibly dead)
+        sequencer only delivered fully-acked sequences — so nothing
+        above the minimum received mark can have been delivered
+        *anywhere*, and everything at or below it is locally available
+        at *every* survivor.  Deliver up to there; void and re-submit
+        the rest.
+        """
+        raw = {pid: wrapper.payload for pid, wrapper in states.items()}
+        seasoned = [s for s in raw.values() if not s.fresh]
+        if seasoned:
+            min_last = min(s.last_delivered for s in seasoned)
+            max_last = max(s.last_delivered for s in seasoned)
+            safe = min(s.watermark for s in seasoned)
+        else:
+            min_last = max_last = safe = 0
+        if safe < max_last:
+            raise ProtocolError(
+                f"delivered mark {max_last} exceeds the all-received mark "
+                f"{safe}: some survivor acked nothing it lacks?"
+            )
+        merged = MergedRecovery(
+            records={},
+            next_sequence=safe + 1,
+            orphaned=set(),
+            min_last_delivered=min_last,
+            max_last_delivered=max_last,
+        )
+        payload = FlushState(payload=merged, size_bytes=24)
+        return {receiver: payload for receiver in receivers}
+
+    def on_view(self, view: View, state: Optional[FlushState]) -> None:
+        self._view = view
+        self.members = view.members
+        self.n = len(view.members)
+        self.sequencer = view.members[self.config.sequencer_index % self.n]
+
+        if state is not None:
+            self._apply_recovery(state.payload)
+        self._blocked = False
+        self._installed_once = True
+        if self.me == self.sequencer:
+            self._arm_stability_flush()
+        self._resubmit_pending()
+        self._drain_future()
+
+    def _apply_recovery(self, merged: MergedRecovery) -> None:
+        if not self._installed_once:
+            # Fresh joiner: no local pending to deliver from; history
+            # starts at the recovery point.
+            self._next_delivery = merged.next_sequence
+        # Deliver up to max(last_delivered) from the LOCAL pending map:
+        # everything anyone delivered was acked by all, hence received
+        # by all — including this process.
+        for seq in range(self._next_delivery, merged.next_sequence):
+            message = self._pending.pop(seq, None)
+            if message is None:
+                raise ProtocolError(f"fixed-sequencer recovery gap at {seq}")
+            self._next_delivery = seq + 1
+            self._unacked_submissions.pop(message.message_id, None)
+            self.deliver(
+                origin=message.origin,
+                message_id=message.message_id,
+                payload=message.payload,
+                size_bytes=message.payload_size,
+                sequence=seq,
+            )
+        # Old-view assignments beyond the merge are void everywhere.
+        self._pending.clear()
+        self._acks.clear()
+        self._next_seq = merged.next_sequence
+        self._stable = merged.next_sequence - 1
+        self._announced_stable = self._stable
+        self._known_stable = self._stable
+        self._next_delivery = merged.next_sequence
+
+    def _resubmit_pending(self) -> None:
+        for message_id in list(self._unacked_submissions):
+            self._submit(message_id)
+
+    def _drain_future(self) -> None:
+        current = self._view_id()
+        ready = [(v, s, m) for v, s, m in self._future if v == current]
+        self._future = [(v, s, m) for v, s, m in self._future if v > current]
+        for _v, src, message in ready:
+            self.on_message(src, message)
+
+    def _view_id(self) -> int:
+        return self._view.view_id if self._view is not None else -1
+
+
+def _build(context: ProtocolContext):
+    return FixedSequencerProcess(context)
+
+
+register_protocol("fixed_sequencer", _build)

@@ -1,0 +1,244 @@
+"""Moving-sequencer total order broadcast (paper §2.2, Figure 2).
+
+Chang–Maxemchuk-style: senders broadcast payloads to everyone; a token
+carrying the sequencing right circulates; the current token holder
+assigns sequence numbers to the unsequenced messages it has received
+and broadcasts the (small) sequencing decisions.  Uniform delivery is
+established through the token itself: it carries each member's
+contiguously-received high-water mark, and a message is delivered once
+*every* member's mark has passed it (i.e. the decision completed a
+token rotation).
+
+The paper's criticism this baseline reproduces: the token is one more
+message competing for each NIC's single receive slot, so even under
+ideal pipelining the protocol cannot complete more than one broadcast
+per round — and with large payloads the token queues behind them,
+adding latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.errors import ProtocolError
+from repro.protocols.base import BaselineProcess
+from repro.protocols.registry import ProtocolContext, register_protocol
+from repro.types import MessageId, ProcessId, SequenceNumber
+
+_HEADER = 32
+
+
+@dataclass(frozen=True)
+class MovingSequencerConfig:
+    """Tuning knobs for the moving sequencer baseline."""
+
+    #: How long an idle token holder waits before re-passing the token.
+    idle_hold_s: float = 1e-3
+    #: Maximum messages sequenced per token visit.
+    max_per_token: int = 16
+
+
+@dataclass
+class _MsData:
+    message_id: MessageId
+    payload: Any
+    payload_size: int
+
+    def wire_size_bytes(self) -> int:
+        return _HEADER + self.payload_size
+
+
+@dataclass
+class _MsAssign:
+    """Batch of sequencing decisions made by one token holder."""
+
+    assignments: List[Tuple[SequenceNumber, MessageId]]
+
+    def wire_size_bytes(self) -> int:
+        return _HEADER + 16 * len(self.assignments)
+
+
+@dataclass
+class _MsToken:
+    next_seq: SequenceNumber
+    #: member -> highest sequence it has contiguously received.
+    aru: Dict[ProcessId, SequenceNumber]
+
+    def wire_size_bytes(self) -> int:
+        return _HEADER + 12 * len(self.aru)
+
+
+class MovingSequencerProcess(BaselineProcess):
+    """One endpoint of the moving-sequencer protocol."""
+
+    def __init__(self, context: ProtocolContext) -> None:
+        super().__init__(
+            context.sim,
+            context.port,
+            context.members,
+            context.trace,
+            cpu_submit=context.cpu_submit,
+        )
+        config = context.config or MovingSequencerConfig()
+        if not isinstance(config, MovingSequencerConfig):
+            raise ProtocolError(
+                "moving_sequencer expects MovingSequencerConfig, got "
+                f"{type(config).__name__}"
+            )
+        self.config = config
+
+        #: Payloads received (or sent), by id.
+        self._payloads: Dict[MessageId, _MsData] = {}
+        #: Arrival order of not-yet-sequenced message ids.
+        self._unsequenced: List[MessageId] = []
+        self._sequenced_ids: Set[MessageId] = set()
+        #: sequence -> message id (global order decided so far).
+        self._order: Dict[SequenceNumber, MessageId] = {}
+        #: Everyone's contiguous-receipt marks, merged from tokens seen.
+        self._stable: SequenceNumber = 0
+        self._next_delivery: SequenceNumber = 1
+        self._my_contiguous: SequenceNumber = 0
+        self._holding_token: Optional[_MsToken] = None
+
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        if self.me == self.members[0]:
+            token = _MsToken(next_seq=1, aru={pid: 0 for pid in self.members})
+            self._accept_token(token)
+
+    def broadcast(self, payload: Any, size_bytes: Optional[int] = None) -> MessageId:
+        size = self.require_payload_size(payload, size_bytes)
+        self.stats_broadcasts += 1
+        message_id = self.next_message_id()
+        data = _MsData(message_id=message_id, payload=payload, payload_size=size)
+
+        def emit() -> None:
+            self._note_data(data)
+            self.best_effort_broadcast(data)
+            self._work_token()
+
+        self.charge_cpu(size, emit)
+        return message_id
+
+    # ------------------------------------------------------------------
+    def on_message(self, src: ProcessId, message: Any) -> None:
+        if isinstance(message, _MsData):
+            self._note_data(message)
+            self._work_token()
+        elif isinstance(message, _MsAssign):
+            for sequence, message_id in message.assignments:
+                self._note_assignment(sequence, message_id)
+            self._try_deliver()
+        elif isinstance(message, _MsToken):
+            self._accept_token(message)
+        else:
+            raise ProtocolError(f"unexpected message {message!r}")
+
+    # ------------------------------------------------------------------
+    def _note_data(self, data: _MsData) -> None:
+        if data.message_id in self._payloads:
+            return
+        self._payloads[data.message_id] = data
+        if data.message_id not in self._sequenced_ids:
+            self._unsequenced.append(data.message_id)
+        self._refresh_contiguous()
+        self._try_deliver()
+
+    def _note_assignment(self, sequence: SequenceNumber, message_id: MessageId) -> None:
+        existing = self._order.get(sequence)
+        if existing is not None and existing != message_id:
+            raise ProtocolError(
+                f"sequence {sequence} assigned to {existing} and {message_id}"
+            )
+        self._order[sequence] = message_id
+        self._sequenced_ids.add(message_id)
+        self._refresh_contiguous()
+
+    def _refresh_contiguous(self) -> None:
+        while (
+            self._my_contiguous + 1 in self._order
+            and self._order[self._my_contiguous + 1] in self._payloads
+        ):
+            self._my_contiguous += 1
+
+    # ------------------------------------------------------------------
+    # Token handling
+    # ------------------------------------------------------------------
+    def _accept_token(self, token: _MsToken) -> None:
+        self._holding_token = token
+        self._work_token()
+        if self._holding_token is not None:
+            # Nothing to sequence right now: hold briefly, then pass.
+            self.sim.schedule(self.config.idle_hold_s, self._pass_token_if_idle, token)
+
+    def _work_token(self) -> None:
+        token = self._holding_token
+        if token is None:
+            return
+        pending = [mid for mid in self._unsequenced if mid not in self._sequenced_ids]
+        if not pending:
+            return
+        batch = pending[: self.config.max_per_token]
+        assignments: List[Tuple[SequenceNumber, MessageId]] = []
+        for message_id in batch:
+            assignments.append((token.next_seq, message_id))
+            self._note_assignment(token.next_seq, message_id)
+            token.next_seq += 1
+        self._unsequenced = [
+            mid for mid in self._unsequenced if mid not in self._sequenced_ids
+        ]
+        self.best_effort_broadcast(_MsAssign(assignments=assignments))
+        self._pass_token(token)
+        self._try_deliver()
+
+    def _pass_token_if_idle(self, token: _MsToken) -> None:
+        if self._holding_token is not token or self._stopped:
+            return
+        self._pass_token(token)
+
+    def _pass_token(self, token: _MsToken) -> None:
+        self._refresh_contiguous()
+        token.aru[self.me] = self._my_contiguous
+        self._note_stability(min(token.aru.values()))
+        self._holding_token = None
+        my_index = self.members.index(self.me)
+        successor = self.members[(my_index + 1) % self.n]
+        if successor == self.me:
+            self._accept_token_later(token)
+        else:
+            self.send(successor, token)
+
+    def _accept_token_later(self, token: _MsToken) -> None:
+        self.sim.schedule(self.config.idle_hold_s, self._accept_token, token)
+
+    def _note_stability(self, stable: SequenceNumber) -> None:
+        if stable > self._stable:
+            self._stable = stable
+        self._try_deliver()
+
+    # ------------------------------------------------------------------
+    def _try_deliver(self) -> None:
+        while self._next_delivery <= self._stable:
+            message_id = self._order.get(self._next_delivery)
+            if message_id is None:
+                return
+            data = self._payloads.get(message_id)
+            if data is None:
+                return
+            sequence = self._next_delivery
+            self._next_delivery += 1
+            self.deliver(
+                origin=message_id.origin,
+                message_id=message_id,
+                payload=data.payload,
+                size_bytes=data.payload_size,
+                sequence=sequence,
+            )
+
+
+def _build(context: ProtocolContext):
+    return MovingSequencerProcess(context)
+
+
+register_protocol("moving_sequencer", _build)

@@ -1,0 +1,206 @@
+"""Privilege-based (token ring) total order broadcast (paper §2.3, Figure 3).
+
+Totem-flavoured: a token circulates the logical ring and only the token
+holder may broadcast.  The holder stamps its pending messages with
+sequence numbers taken from the token, broadcasts them to everyone, and
+passes the token on.  Uniform delivery uses the token's per-member
+contiguous-receipt vector: a message is delivered once every member's
+mark has passed its sequence number (one full rotation of evidence).
+The current stability bound is piggy-backed on data messages so
+non-holders can deliver without waiting for the token.
+
+This baseline exposes the paper's fairness/throughput trade-off:
+``max_per_token`` small means senders at opposite ring positions share
+bandwidth fairly but the token (and its latency) dominates; large means
+long unfair bursts.  FSR avoids the trade-off entirely — that is the
+point of the comparison benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional, Tuple
+from collections import deque
+
+from repro.errors import ProtocolError
+from repro.protocols.base import BaselineProcess
+from repro.protocols.registry import ProtocolContext, register_protocol
+from repro.types import MessageId, ProcessId, SequenceNumber
+
+_HEADER = 32
+
+
+@dataclass(frozen=True)
+class PrivilegeConfig:
+    """Tuning knobs for the privilege (token ring) baseline."""
+
+    #: Maximum messages broadcast per token visit (fairness knob).
+    max_per_token: int = 4
+    #: How long an idle holder keeps the token before passing it on.
+    idle_hold_s: float = 1e-3
+
+
+@dataclass
+class _PrivData:
+    message_id: MessageId
+    payload: Any
+    payload_size: int
+    sequence: SequenceNumber
+    #: Piggy-backed stability bound (uniform-delivery watermark).
+    stable_up_to: SequenceNumber
+
+    def wire_size_bytes(self) -> int:
+        return _HEADER + 12 + self.payload_size
+
+
+@dataclass
+class _PrivToken:
+    next_seq: SequenceNumber
+    #: member -> highest sequence contiguously received.
+    aru: Dict[ProcessId, SequenceNumber]
+
+    def wire_size_bytes(self) -> int:
+        return _HEADER + 12 * len(self.aru)
+
+
+class PrivilegeProcess(BaselineProcess):
+    """One endpoint of the privilege-based protocol."""
+
+    def __init__(self, context: ProtocolContext) -> None:
+        super().__init__(
+            context.sim,
+            context.port,
+            context.members,
+            context.trace,
+            cpu_submit=context.cpu_submit,
+        )
+        config = context.config or PrivilegeConfig()
+        if not isinstance(config, PrivilegeConfig):
+            raise ProtocolError(
+                f"privilege expects PrivilegeConfig, got {type(config).__name__}"
+            )
+        self.config = config
+
+        #: Own messages waiting for the privilege.
+        self._outbox: Deque[Tuple[MessageId, Any, int]] = deque()
+        #: sequence -> received data message.
+        self._received: Dict[SequenceNumber, _PrivData] = {}
+        self._my_contiguous: SequenceNumber = 0
+        self._stable: SequenceNumber = 0
+        self._next_delivery: SequenceNumber = 1
+        self._holding_token: Optional[_PrivToken] = None
+        self.stats_token_passes = 0
+
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        if self.me == self.members[0]:
+            token = _PrivToken(next_seq=1, aru={pid: 0 for pid in self.members})
+            self._accept_token(token)
+
+    def broadcast(self, payload: Any, size_bytes: Optional[int] = None) -> MessageId:
+        size = self.require_payload_size(payload, size_bytes)
+        self.stats_broadcasts += 1
+        message_id = self.next_message_id()
+
+        def emit() -> None:
+            self._outbox.append((message_id, payload, size))
+            self._work_token()
+
+        self.charge_cpu(size, emit)
+        return message_id
+
+    # ------------------------------------------------------------------
+    def on_message(self, src: ProcessId, message: Any) -> None:
+        if isinstance(message, _PrivData):
+            self._on_data(message)
+        elif isinstance(message, _PrivToken):
+            self._accept_token(message)
+        else:
+            raise ProtocolError(f"unexpected message {message!r}")
+
+    def _on_data(self, message: _PrivData) -> None:
+        self._received.setdefault(message.sequence, message)
+        while self._my_contiguous + 1 in self._received:
+            self._my_contiguous += 1
+        self._note_stability(message.stable_up_to)
+
+    # ------------------------------------------------------------------
+    def _accept_token(self, token: _PrivToken) -> None:
+        self._holding_token = token
+        self._work_token()
+        if self._holding_token is not None:
+            self.sim.schedule(self.config.idle_hold_s, self._pass_token_if_idle, token)
+
+    def _work_token(self) -> None:
+        token = self._holding_token
+        if token is None or not self._outbox:
+            return
+        stable = self._current_stable(token)
+        sent = 0
+        while self._outbox and sent < self.config.max_per_token:
+            message_id, payload, size = self._outbox.popleft()
+            data = _PrivData(
+                message_id=message_id,
+                payload=payload,
+                payload_size=size,
+                sequence=token.next_seq,
+                stable_up_to=stable,
+            )
+            token.next_seq += 1
+            sent += 1
+            # The holder "receives" its own broadcast immediately.
+            self._received[data.sequence] = data
+            while self._my_contiguous + 1 in self._received:
+                self._my_contiguous += 1
+            self.best_effort_broadcast(data)
+        self._pass_token(token)
+
+    def _pass_token_if_idle(self, token: _PrivToken) -> None:
+        if self._holding_token is not token or self._stopped:
+            return
+        self._pass_token(token)
+
+    def _pass_token(self, token: _PrivToken) -> None:
+        token.aru[self.me] = self._my_contiguous
+        self._note_stability(self._current_stable(token))
+        self._holding_token = None
+        self.stats_token_passes += 1
+        my_index = self.members.index(self.me)
+        successor = self.members[(my_index + 1) % self.n]
+        if successor == self.me:
+            self.sim.schedule(self.config.idle_hold_s, self._accept_token, token)
+        else:
+            self.send(successor, token)
+
+    def _current_stable(self, token: _PrivToken) -> SequenceNumber:
+        marks = dict(token.aru)
+        marks[self.me] = self._my_contiguous
+        return min(marks.values())
+
+    def _note_stability(self, stable: SequenceNumber) -> None:
+        if stable > self._stable:
+            self._stable = stable
+        self._try_deliver()
+
+    # ------------------------------------------------------------------
+    def _try_deliver(self) -> None:
+        while self._next_delivery <= self._stable:
+            message = self._received.get(self._next_delivery)
+            if message is None:
+                return
+            sequence = self._next_delivery
+            self._next_delivery += 1
+            self.deliver(
+                origin=message.message_id.origin,
+                message_id=message.message_id,
+                payload=message.payload,
+                size_bytes=message.payload_size,
+                sequence=sequence,
+            )
+
+
+def _build(context: ProtocolContext):
+    return PrivilegeProcess(context)
+
+
+register_protocol("privilege", _build)

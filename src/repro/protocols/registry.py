@@ -1,0 +1,106 @@
+"""Protocol registry: name -> factory.
+
+The cluster harness looks protocols up here; adding a protocol to the
+benchmarks means adding one entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.core.api import TotalOrderBroadcast
+from repro.errors import ConfigurationError
+from repro.net.dispatch import Port
+from repro.sim.engine import Simulator
+from repro.sim.trace import TraceLog
+from repro.types import ProcessId
+from repro.vsc.membership import GroupMembership
+
+
+@dataclass
+class ProtocolContext:
+    """Everything a protocol factory may use to build one endpoint."""
+
+    sim: Simulator
+    node_id: ProcessId
+    #: This protocol's own network port.
+    port: Port
+    #: Membership layer (FSR subscribes; baselines may ignore it).
+    membership: GroupMembership
+    #: Initial membership, in ring order.
+    members: Tuple[ProcessId, ...]
+    #: Protocol-specific configuration object (or None for defaults).
+    config: Optional[Any]
+    trace: TraceLog
+    #: Returns True when the node's TX path can take another message.
+    tx_gate: Callable[[], bool]
+    #: Registers a callback fired when the TX path drains.
+    on_tx_idle: Callable[[Callable[[], None]], None]
+    #: Charge the node's CPU for marshalling ``size_bytes`` and run the
+    #: callback when done; protocols call this on the broadcast path so
+    #: every message costs one CPU pass at its origin, like everywhere
+    #: else.  ``None`` means run callbacks immediately (unit tests).
+    cpu_submit: Optional[Callable[[int, Callable[[], None]], Any]] = None
+
+
+ProtocolFactory = Callable[[ProtocolContext], TotalOrderBroadcast]
+
+#: The registry.  Populated at import time by ``_register_builtin``.
+PROTOCOLS: Dict[str, ProtocolFactory] = {}
+
+
+def register_protocol(name: str, factory: ProtocolFactory) -> None:
+    """Add (or replace) a protocol factory under ``name``."""
+    PROTOCOLS[name] = factory
+
+
+def build_protocol(name: str, context: ProtocolContext) -> TotalOrderBroadcast:
+    """Instantiate the protocol registered under ``name``."""
+    try:
+        factory = PROTOCOLS[name]
+    except KeyError:
+        known = ", ".join(sorted(PROTOCOLS))
+        raise ConfigurationError(
+            f"unknown protocol {name!r}; registered: {known}"
+        ) from None
+    return factory(context)
+
+
+def _build_fsr(context: ProtocolContext) -> TotalOrderBroadcast:
+    from repro.core.fsr.config import FSRConfig
+    from repro.core.fsr.process import FSRProcess
+
+    config = context.config if context.config is not None else FSRConfig()
+    if not isinstance(config, FSRConfig):
+        raise ConfigurationError(
+            f"protocol 'fsr' expects FSRConfig, got {type(config).__name__}"
+        )
+    process = FSRProcess(
+        sim=context.sim,
+        port=context.port,
+        membership=context.membership,
+        config=config,
+        trace=context.trace,
+        tx_gate=context.tx_gate,
+        cpu_submit=context.cpu_submit,
+    )
+    context.on_tx_idle(process.on_tx_ready)
+    return process
+
+
+def _register_builtin() -> None:
+    register_protocol("fsr", _build_fsr)
+
+    # Baselines are registered lazily to keep import costs down and to
+    # avoid import cycles; each module self-registers on first import.
+    from repro.protocols import (  # noqa: F401  (import for side effect)
+        communication_history,
+        destination_agreement,
+        fixed_sequencer,
+        moving_sequencer,
+        privilege,
+    )
+
+
+_register_builtin()

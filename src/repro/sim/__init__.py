@@ -1,0 +1,14 @@
+"""Discrete-event simulation engine.
+
+The engine is deliberately minimal: a time-ordered event heap with
+deterministic tie-breaking, cancellable timers, seeded random-number
+streams, and a structured trace log.  Everything else in the library —
+the network model, the failure detector, the protocols — is built as
+callbacks scheduled on this engine.
+"""
+
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import TraceLog, TraceRecord
+
+__all__ = ["Simulator", "RngRegistry", "TraceLog", "TraceRecord"]

@@ -1,0 +1,78 @@
+"""A replicated key-value store state machine.
+
+Supports the handful of operations the examples exercise — enough to
+demonstrate that replicas stay identical under concurrent writers and
+crashes, without pretending to be a database.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ProtocolError
+from repro.smr.machine import Command, StateMachine
+
+
+class KVStore(StateMachine):
+    """Deterministic key-value store with counters and CAS.
+
+    Operations:
+
+    * ``put(key, value)`` — set; returns the previous value.
+    * ``get(key)`` — read (goes through the total order, so it is a
+      linearisable read); returns the value or ``None``.
+    * ``delete(key)`` — remove; returns whether the key existed.
+    * ``incr(key, amount)`` — add to a numeric value (default 0).
+    * ``cas(key, expected, new)`` — compare-and-swap; returns success.
+    """
+
+    #: Operations safe for the paper's footnote-1 local-read fast path.
+    READ_ONLY_OPS = frozenset({"get"})
+
+    def __init__(self) -> None:
+        self._data: Dict[str, Any] = {}
+
+    def apply(self, command: Command) -> Any:
+        handler = getattr(self, f"_op_{command.op}", None)
+        if handler is None:
+            raise ProtocolError(f"unknown KV operation {command.op!r}")
+        return handler(*command.args)
+
+    def snapshot(self) -> Dict[str, Any]:
+        return dict(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    # ------------------------------------------------------------------
+    def _op_put(self, key: str, value: Any) -> Any:
+        previous = self._data.get(key)
+        self._data[key] = value
+        return previous
+
+    def _op_get(self, key: str) -> Any:
+        return self._data.get(key)
+
+    def _op_delete(self, key: str) -> bool:
+        return self._data.pop(key, _MISSING) is not _MISSING
+
+    def _op_incr(self, key: str, amount: int = 1) -> int:
+        value = self._data.get(key, 0)
+        if not isinstance(value, (int, float)):
+            raise ProtocolError(f"incr on non-numeric key {key!r}")
+        value += amount
+        self._data[key] = value
+        return value
+
+    def _op_cas(self, key: str, expected: Any, new: Any) -> bool:
+        if self._data.get(key) != expected:
+            return False
+        self._data[key] = new
+        return True
+
+
+class _Missing:
+    __slots__ = ()
+
+
+_MISSING = _Missing()

@@ -1,0 +1,126 @@
+"""Generic state machine replication over TO-broadcast.
+
+A :class:`ReplicatedStateMachine` wraps one replica's protocol endpoint
+(any :class:`~repro.core.api.TotalOrderBroadcast`): commands submitted
+at any replica are TO-broadcast, and every replica applies the total
+order of commands to its local :class:`StateMachine`.  Uniform total
+order is exactly the property that keeps replicas bit-identical even
+across crashes — the checkers in :mod:`repro.smr` tests assert state
+equality, not just delivery equality.
+"""
+
+from __future__ import annotations
+
+import json
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.api import BroadcastListener, TotalOrderBroadcast
+from repro.errors import ProtocolError
+from repro.types import MessageId, ProcessId
+
+
+@dataclass(frozen=True)
+class Command:
+    """One application command: an operation name plus arguments."""
+
+    op: str
+    args: Tuple[Any, ...] = ()
+
+    def encode(self) -> bytes:
+        """Serialise to bytes (the TO-broadcast payload)."""
+        return json.dumps([self.op, list(self.args)]).encode("utf-8")
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "Command":
+        try:
+            op, args = json.loads(payload.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise ProtocolError(f"undecodable command payload: {exc}") from exc
+        return cls(op=op, args=tuple(args))
+
+
+class StateMachine(ABC):
+    """A deterministic state machine: same commands, same state."""
+
+    @abstractmethod
+    def apply(self, command: Command) -> Any:
+        """Apply ``command`` and return its (deterministic) result."""
+
+    @abstractmethod
+    def snapshot(self) -> Any:
+        """Return a comparable snapshot of the full state."""
+
+
+#: Upcall on every applied command: (index, origin, command, result).
+ApplyCallback = Callable[[int, ProcessId, Command, Any], None]
+
+
+class ReplicatedStateMachine:
+    """One replica: a state machine driven by a TO-broadcast endpoint.
+
+    Example::
+
+        rsm = ReplicatedStateMachine(protocol, KVStore())
+        rsm.submit(Command("put", ("key", "value")))
+        # ... after the run, every replica's snapshot() is identical.
+    """
+
+    def __init__(
+        self,
+        broadcast: TotalOrderBroadcast,
+        machine: StateMachine,
+    ) -> None:
+        self.broadcast = broadcast
+        self.machine = machine
+        self.applied_count = 0
+        self._apply_callbacks: List[ApplyCallback] = []
+        #: Results of locally submitted commands, by message id.
+        self._local_results: Dict[MessageId, Any] = {}
+        broadcast.set_listener(BroadcastListener(self._on_deliver))
+
+    def submit(self, command: Command) -> MessageId:
+        """TO-broadcast ``command``; it will be applied at every replica."""
+        return self.broadcast.broadcast(command.encode())
+
+    def on_apply(self, callback: ApplyCallback) -> None:
+        """Observe every applied command (testing, metrics)."""
+        self._apply_callbacks.append(callback)
+
+    def result_of(self, message_id: MessageId) -> Any:
+        """Result of a locally observed command, if applied already."""
+        return self._local_results.get(message_id)
+
+    def _on_deliver(
+        self, origin: ProcessId, message_id: MessageId, payload: Any, size: int
+    ) -> None:
+        command = Command.decode(payload)
+        result = self.machine.apply(command)
+        self.applied_count += 1
+        self._local_results[message_id] = result
+        for callback in list(self._apply_callbacks):
+            callback(self.applied_count, origin, command, result)
+
+    def snapshot(self) -> Any:
+        """The replica's current deterministic state."""
+        return self.machine.snapshot()
+
+    def local_read(self, command: Command) -> Any:
+        """Run a read-only command against the local replica directly.
+
+        The paper's footnote 1: invocations that do not change the
+        replicated state need not be broadcast and can run in parallel.
+        Only commands the state machine declares read-only (its
+        ``READ_ONLY_OPS`` attribute) are accepted; the result reflects
+        this replica's *applied prefix* of the total order —
+        sequentially consistent, not linearisable.  Use :meth:`submit`
+        for reads that must be totally ordered.
+        """
+        read_only_ops = getattr(self.machine, "READ_ONLY_OPS", frozenset())
+        if command.op not in read_only_ops:
+            raise ProtocolError(
+                f"{command.op!r} is not declared read-only by "
+                f"{type(self.machine).__name__}; submit() it instead"
+            )
+        return self.machine.apply(command)

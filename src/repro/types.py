@@ -1,0 +1,173 @@
+"""Shared value types used across the library.
+
+The simulator, the protocols, and the checkers all exchange a small set
+of identifiers and records.  Keeping them in one dependency-free module
+avoids import cycles between subsystems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+#: Identifier of a process (a ring position in the initial view).
+ProcessId = int
+
+#: Simulated time, in seconds.
+SimTime = float
+
+#: Monotonically increasing view number assigned by the membership layer.
+ViewId = int
+
+#: Sequence number assigned by a sequencer to order deliveries.
+SequenceNumber = int
+
+
+@dataclass(frozen=True, order=True)
+class MessageId:
+    """Globally unique identifier of one TO-broadcast message.
+
+    A message is identified by its origin process and a per-origin
+    counter.  The identifier never changes, even when the message is
+    re-broadcast during view-change recovery, which is what makes
+    duplicate suppression after a crash possible.
+    """
+
+    origin: ProcessId
+    local_seq: int
+
+    def __str__(self) -> str:
+        return f"m{self.origin}.{self.local_seq}"
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """One TO-delivery event observed at one process.
+
+    Delivery logs — lists of :class:`Delivery` per process — are the
+    common currency between the cluster harness, the metrics collector,
+    and the correctness checkers.
+    """
+
+    #: Process at which the delivery happened.
+    process: ProcessId
+    #: Identity of the delivered message.
+    message_id: MessageId
+    #: Sequence number under which the message was delivered.
+    sequence: SequenceNumber
+    #: Simulated time of the delivery.
+    time: SimTime
+    #: Payload size in bytes (the payload itself is not retained).
+    size_bytes: int = 0
+
+    def key(self) -> Tuple[ProcessId, int]:
+        """Return the (origin, local_seq) pair identifying the message."""
+        return (self.message_id.origin, self.message_id.local_seq)
+
+
+@dataclass(frozen=True)
+class BroadcastRecord:
+    """One TO-broadcast request as submitted by the application."""
+
+    message_id: MessageId
+    size_bytes: int
+    submit_time: SimTime
+
+
+@dataclass
+class ProcessSet:
+    """An ordered set of live processes forming a ring.
+
+    The order of ``members`` *is* the ring order: ``members[0]`` is the
+    leader, ``members[1:t+1]`` are the backups.
+    """
+
+    members: Tuple[ProcessId, ...]
+
+    def __post_init__(self) -> None:
+        if len(set(self.members)) != len(self.members):
+            raise ValueError(f"duplicate members in process set: {self.members}")
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __contains__(self, pid: ProcessId) -> bool:
+        return pid in self.members
+
+    def __iter__(self):
+        return iter(self.members)
+
+    def position_of(self, pid: ProcessId) -> int:
+        """Return the ring position of ``pid`` (0 is the leader)."""
+        return self.members.index(pid)
+
+    def successor_of(self, pid: ProcessId) -> ProcessId:
+        """Return the clockwise ring successor of ``pid``."""
+        pos = self.position_of(pid)
+        return self.members[(pos + 1) % len(self.members)]
+
+    def predecessor_of(self, pid: ProcessId) -> ProcessId:
+        """Return the clockwise ring predecessor of ``pid``."""
+        pos = self.position_of(pid)
+        return self.members[(pos - 1) % len(self.members)]
+
+    def at_position(self, position: int) -> ProcessId:
+        """Return the process at ``position`` (taken modulo the size)."""
+        return self.members[position % len(self.members)]
+
+
+@dataclass(frozen=True)
+class View:
+    """One installed membership view.
+
+    Views are produced by the virtual synchrony layer.  A view is
+    immutable; membership changes install a new view with ``view_id``
+    incremented.
+    """
+
+    view_id: ViewId
+    members: Tuple[ProcessId, ...]
+
+    def __post_init__(self) -> None:
+        if len(set(self.members)) != len(self.members):
+            raise ValueError(f"duplicate members in view: {self.members}")
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __contains__(self, pid: ProcessId) -> bool:
+        return pid in self.members
+
+    def process_set(self) -> ProcessSet:
+        """Return the ring-ordered process set of this view."""
+        return ProcessSet(self.members)
+
+    def leader(self) -> ProcessId:
+        """Return the leader (ring position 0) of this view."""
+        if not self.members:
+            raise ValueError("empty view has no leader")
+        return self.members[0]
+
+
+@dataclass
+class CrashEvent:
+    """A scheduled crash of one process, used by the failure injector."""
+
+    process: ProcessId
+    time: SimTime
+    #: Optional human-readable reason recorded in traces.
+    reason: str = "injected"
+
+
+@dataclass
+class TimerHandle:
+    """Opaque cancellation handle for a scheduled simulator event."""
+
+    sequence: int
+    cancelled: bool = False
+    #: Link back to the scheduled heap entry; internal to the engine.
+    _entry: Optional[object] = field(default=None, repr=False)
+
+    def cancel(self) -> None:
+        """Mark the timer cancelled; the engine skips cancelled entries."""
+        self.cancelled = True

@@ -1,0 +1,26 @@
+"""Virtually synchronous communication (VSC) layer.
+
+FSR (Section 4.2 of the paper) is built on a group communication
+substrate providing *virtual synchrony* [Birman & Joseph, SOSP'87]:
+processes are organised in a group, faulty processes are excluded after
+crashing, and membership changes are delivered as totally ordered
+*view* events that are consistent across all surviving members.
+
+This package implements a coordinator-driven flush protocol on top of
+the perfect failure detector:
+
+1. on a membership change (crash, join, leave) the lowest-ranked live
+   member of the current view becomes flush coordinator;
+2. the coordinator proposes the next view; members block application
+   traffic and reply with their protocol recovery state;
+3. once every proposed member has answered, the coordinator installs
+   the view, distributing the merged recovery states.
+
+If the coordinator crashes mid-flush, the next live member restarts the
+flush with a higher epoch; the perfect failure detector guarantees
+termination with finitely many crashes.
+"""
+
+from repro.vsc.membership import FlushState, GroupMembership, VSCClient
+
+__all__ = ["FlushState", "GroupMembership", "VSCClient"]

@@ -1,0 +1,473 @@
+"""Group membership with a coordinator-driven flush protocol.
+
+One :class:`GroupMembership` instance runs at every process.  The
+protocol layered above it (FSR) implements :class:`VSCClient`; the
+membership layer calls it back to block traffic, to collect recovery
+state, and to announce installed views.
+
+Design properties (relied upon by FSR's recovery, tested in
+``tests/vsc``):
+
+* **Same views everywhere** — all members that install view ``v``
+  install it with the same member ranking, because only the (unique,
+  by perfect-FD accuracy) coordinator of the winning epoch sends
+  installs for it.
+* **State exchange before install** — the states passed to
+  :meth:`VSCClient.on_view` were collected *after* every member blocked,
+  so they jointly describe everything unstable in the previous view.
+* **Ring-order stability** — surviving members keep their relative
+  order across views; joiners are appended.  After a leader crash the
+  new leader is therefore the old first backup, which holds every
+  sequencing decision — exactly the property FSR's recovery needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Protocol, Set, Tuple
+
+from repro.errors import MembershipError
+from repro.failure.detector import FailureDetector
+from repro.net.dispatch import Port
+from repro.sim.engine import Simulator
+from repro.sim.trace import TraceLog
+from repro.types import ProcessId, View, ViewId
+
+#: Base wire size of membership control messages.
+_CONTROL_BYTES = 24
+
+
+@dataclass
+class FlushState:
+    """Opaque recovery state contributed by one member during a flush.
+
+    ``payload`` is whatever the protocol's ``collect_flush_state``
+    returned; ``size_bytes`` is its estimated wire size so the simulated
+    network charges a realistic cost for state exchange.
+    """
+
+    payload: Any
+    size_bytes: int = 0
+
+
+class VSCClient(Protocol):
+    """What the protocol above the membership layer must provide.
+
+    A client may additionally implement::
+
+        def merge_states(self, states, receivers):
+            -> Dict[ProcessId, FlushState]
+
+    to reduce the collected states at the *coordinator* into one
+    (possibly receiver-specific) install payload.  Without it, every
+    install carries the full concatenation of all collected states —
+    correct, but for protocols whose recovery state contains payload
+    data the coordinator-side merge is what keeps view-change time
+    proportional to what each receiver actually misses.
+    """
+
+    def on_block(self) -> None:
+        """Stop initiating application traffic until the next view."""
+        ...  # pragma: no cover - protocol definition
+
+    def collect_flush_state(self) -> FlushState:
+        """Return everything the next view needs to recover."""
+        ...  # pragma: no cover - protocol definition
+
+    def on_view(self, view: View, state: Optional[FlushState]) -> None:
+        """A new view was installed.  ``state`` is this member's install
+        payload (the coordinator-merged recovery state), or ``None`` for
+        the bootstrap view."""
+        ...  # pragma: no cover - protocol definition
+
+
+# ---------------------------------------------------------------------------
+# Wire messages
+# ---------------------------------------------------------------------------
+@dataclass
+class _FlushReq:
+    epoch: int
+    coordinator: ProcessId
+    proposed: Tuple[ProcessId, ...]
+
+    def wire_size_bytes(self) -> int:
+        return _CONTROL_BYTES + 4 * len(self.proposed)
+
+
+@dataclass
+class _FlushAck:
+    epoch: int
+    sender: ProcessId
+    state: FlushState
+
+    def wire_size_bytes(self) -> int:
+        return _CONTROL_BYTES + self.state.size_bytes
+
+
+@dataclass
+class _ViewInstall:
+    epoch: int
+    members: Tuple[ProcessId, ...]
+    #: This receiver's install payload (coordinator-merged).
+    state: Optional[FlushState]
+
+    def wire_size_bytes(self) -> int:
+        state_bytes = self.state.size_bytes if self.state is not None else 0
+        return _CONTROL_BYTES + 4 * len(self.members) + state_bytes
+
+
+@dataclass
+class _JoinReq:
+    joiner: ProcessId
+
+    def wire_size_bytes(self) -> int:
+        return _CONTROL_BYTES
+
+
+@dataclass
+class _LeaveReq:
+    leaver: ProcessId
+
+    def wire_size_bytes(self) -> int:
+        return _CONTROL_BYTES
+
+
+@dataclass
+class _RotateReq:
+    """Ask the coordinator to rotate the ring order by one position.
+
+    The paper (§4.3.1) suggests rotating the leader to even out the
+    position-dependent latency; it can be done with a leave+join, or —
+    as here — by installing a view with the same members in rotated
+    order, which avoids tearing the old leader down.
+    """
+
+    requester: ProcessId
+
+    def wire_size_bytes(self) -> int:
+        return _CONTROL_BYTES
+
+
+# ---------------------------------------------------------------------------
+# The membership automaton
+# ---------------------------------------------------------------------------
+class GroupMembership:
+    """Membership + flush automaton for one process.
+
+    Example wiring (done by :mod:`repro.cluster.harness`)::
+
+        membership = GroupMembership(sim, port, fd, me, initial_members)
+        membership.set_client(fsr_process)
+        membership.start()
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        port: Port,
+        detector: FailureDetector,
+        me: ProcessId,
+        initial_members: Tuple[ProcessId, ...],
+        trace: Optional[TraceLog] = None,
+    ) -> None:
+        if me not in initial_members:
+            raise MembershipError(f"process {me} is not in the initial membership")
+        self.sim = sim
+        self.port = port
+        self.detector = detector
+        self.me = me
+        self.trace = trace if trace is not None else TraceLog(enabled=False)
+
+        self._client: Optional[VSCClient] = None
+        self.view: View = View(view_id=0, members=tuple(initial_members))
+        self._crashed_self = False
+        self._started = False
+        #: Set by the first locally installed view (bootstrap or join).
+        self._installed_any = False
+        self._join_contact: Optional[ProcessId] = None
+
+        #: Highest flush epoch seen anywhere (ack or req or install).
+        self._highest_epoch = 0
+        #: Epoch of the attempt this process is currently coordinating.
+        self._my_attempt: Optional[int] = None
+        self._attempt_members: Tuple[ProcessId, ...] = ()
+        self._acks: Dict[ProcessId, FlushState] = {}
+        self._blocked = False
+        #: Processes asking to join / leave at the next view change.
+        self._pending_joins: List[ProcessId] = []
+        self._pending_leaves: Set[ProcessId] = set()
+        #: Ring positions to rotate by at the next view change.
+        self._pending_rotation = 0
+
+        port.on_receive(self._on_message)
+        detector.on_suspect(self._on_suspect)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def set_client(self, client: VSCClient) -> None:
+        self._client = client
+
+    def start(self, join_contact: Optional[ProcessId] = None) -> None:
+        """Start this member (idempotent).
+
+        Without ``join_contact``, installs the configured initial view
+        locally (group bootstrap).  With it, the process starts in
+        *joining* mode: no local view is installed — the first view it
+        ever sees is the one the group's coordinator sends, so its
+        (empty) history is correctly treated as *fresh* by recovery —
+        and join requests are retried until membership is granted.
+        """
+        if self._started:
+            return
+        self._started = True
+        if join_contact is None:
+            self.detector.monitor(self.view.members)
+            self._install_locally(self.view, None)
+        else:
+            self._join_contact = join_contact
+            self._retry_join()
+
+    def _retry_join(self) -> None:
+        if self._crashed_self or self._installed_any:
+            return
+        assert self._join_contact is not None
+        self._send(self._join_contact, _JoinReq(joiner=self.me))
+        self.sim.schedule(50e-3, self._retry_join)
+
+    def stop(self) -> None:
+        """This process crashed or left: ignore all further events."""
+        self._crashed_self = True
+
+    # ------------------------------------------------------------------
+    # Voluntary membership changes
+    # ------------------------------------------------------------------
+    def request_join(self, contact: ProcessId) -> None:
+        """Ask ``contact`` (a current member) to add this process."""
+        self._send(contact, _JoinReq(joiner=self.me))
+
+    def request_leave(self) -> None:
+        """Gracefully leave the group at the next view change."""
+        coordinator = self._live_coordinator()
+        self._send(coordinator, _LeaveReq(leaver=self.me))
+
+    def request_leader_rotation(self) -> None:
+        """Rotate the ring by one position (paper §4.3.1).
+
+        The current leader moves to the tail of the ring; the first
+        backup becomes the new leader/sequencer.  Installed through the
+        ordinary flush, so in-flight traffic is recovered exactly as on
+        a crash — minus the crash.
+        """
+        coordinator = self._live_coordinator()
+        self._send(coordinator, _RotateReq(requester=self.me))
+
+    # ------------------------------------------------------------------
+    # Failure handling
+    # ------------------------------------------------------------------
+    def _on_suspect(self, pid: ProcessId) -> None:
+        if self._crashed_self:
+            return
+        if pid not in self.view and pid != self._coordinator_of_attempt():
+            # Not relevant to the current view or a running flush.
+            return
+        self.trace.emit(self.sim.now, "vsc", "suspect", me=self.me, peer=pid)
+        self._maybe_start_flush()
+
+    def _maybe_start_flush(self) -> None:
+        """Start (or restart) a flush if this process should coordinate."""
+        if self._crashed_self:
+            return
+        if self._live_coordinator() != self.me:
+            return
+        proposed = self._propose_members()
+        if self._my_attempt is not None and proposed == self._attempt_members:
+            return  # the running attempt is still valid
+        epoch = self._highest_epoch + 1
+        self._highest_epoch = epoch
+        self._my_attempt = epoch
+        self._attempt_members = proposed
+        self._acks = {}
+        self.trace.emit(
+            self.sim.now, "vsc", "flush_start",
+            me=self.me, epoch=epoch, proposed=proposed,
+        )
+        req = _FlushReq(epoch=epoch, coordinator=self.me, proposed=proposed)
+        for member in proposed:
+            self._send(member, req)
+
+    def _propose_members(self) -> Tuple[ProcessId, ...]:
+        suspected = self.detector.suspected()
+        survivors = [
+            m
+            for m in self.view.members
+            if m not in suspected and m not in self._pending_leaves
+        ]
+        if survivors and self._pending_rotation:
+            shift = self._pending_rotation % len(survivors)
+            survivors = survivors[shift:] + survivors[:shift]
+        joiners = [
+            j
+            for j in self._pending_joins
+            if j not in suspected and j not in survivors
+        ]
+        return tuple(survivors + joiners)
+
+    def _live_coordinator(self) -> ProcessId:
+        """Lowest-ranked live member of the current view."""
+        suspected = self.detector.suspected()
+        for member in self.view.members:
+            if member not in suspected:
+                return member
+        raise MembershipError(f"process {self.me}: all members suspected")
+
+    def _coordinator_of_attempt(self) -> Optional[ProcessId]:
+        return self.me if self._my_attempt is not None else None
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+    def _on_message(self, src: ProcessId, message: Any) -> None:
+        if self._crashed_self:
+            return
+        if isinstance(message, _FlushReq):
+            self._on_flush_req(src, message)
+        elif isinstance(message, _FlushAck):
+            self._on_flush_ack(src, message)
+        elif isinstance(message, _ViewInstall):
+            self._on_view_install(src, message)
+        elif isinstance(message, _JoinReq):
+            self._on_join_req(message)
+        elif isinstance(message, _LeaveReq):
+            self._on_leave_req(message)
+        elif isinstance(message, _RotateReq):
+            self._on_rotate_req(message)
+        else:
+            raise MembershipError(f"unexpected membership message: {message!r}")
+
+    def _on_flush_req(self, src: ProcessId, req: _FlushReq) -> None:
+        if req.epoch < self._highest_epoch:
+            return  # stale attempt
+        self._highest_epoch = max(self._highest_epoch, req.epoch)
+        if not self._blocked:
+            self._blocked = True
+            if self._client is not None:
+                self._client.on_block()
+        state = (
+            self._client.collect_flush_state()
+            if self._client is not None
+            else FlushState(payload=None)
+        )
+        self._send(req.coordinator, _FlushAck(epoch=req.epoch, sender=self.me, state=state))
+
+    def _on_flush_ack(self, src: ProcessId, ack: _FlushAck) -> None:
+        if self._my_attempt is None or ack.epoch != self._my_attempt:
+            return
+        self._acks[ack.sender] = ack.state
+        missing = set(self._attempt_members) - set(self._acks)
+        if missing:
+            return
+        members = self._attempt_members
+        payloads = self._prepare_install_payloads(members, dict(self._acks))
+        self.trace.emit(
+            self.sim.now, "vsc", "view_install_send",
+            me=self.me, epoch=self._my_attempt, members=members,
+        )
+        epoch = self._my_attempt
+        self._my_attempt = None
+        self._attempt_members = ()
+        for member in members:
+            install = _ViewInstall(
+                epoch=epoch, members=members, state=payloads.get(member)
+            )
+            self._send(member, install)
+
+    def _prepare_install_payloads(
+        self,
+        members: Tuple[ProcessId, ...],
+        states: Dict[ProcessId, FlushState],
+    ) -> Dict[ProcessId, FlushState]:
+        """Let the client merge states at the coordinator, if it can."""
+        merge = getattr(self._client, "merge_states", None)
+        if merge is not None:
+            return merge(states, members)
+        # Generic fallback: every receiver gets all collected states.
+        aggregate = FlushState(
+            payload=states,
+            size_bytes=sum(s.size_bytes for s in states.values()),
+        )
+        return {member: aggregate for member in members}
+
+    def _on_view_install(self, src: ProcessId, install: _ViewInstall) -> None:
+        if install.epoch <= self.view.view_id:
+            return  # stale (a restarted attempt superseded it)
+        view = View(view_id=install.epoch, members=install.members)
+        if self.me not in view:
+            # We were excluded (e.g. falsely... impossible under perfect
+            # FD; happens only on voluntary leave).  Stop participating.
+            self._crashed_self = True
+            return
+        self._pending_joins = [j for j in self._pending_joins if j not in view]
+        self._pending_leaves -= set(self.view.members) - set(view.members)
+        self._pending_rotation = 0  # the installed order reflects it
+        self._install_locally(view, install.state)
+
+    def _install_locally(
+        self, view: View, state: Optional[FlushState]
+    ) -> None:
+        self.view = view
+        self._highest_epoch = max(self._highest_epoch, view.view_id)
+        self._installed_any = True
+        self._blocked = False
+        self.detector.monitor(view.members)
+        self.trace.emit(
+            self.sim.now, "vsc", "view_installed",
+            me=self.me, view_id=view.view_id, members=view.members,
+        )
+        if self._client is not None:
+            self._client.on_view(view, state)
+        # A suspicion, join, or leave may have raced the install;
+        # re-check whether another flush is immediately due.
+        if (
+            any(self.detector.is_suspected(m) for m in view.members)
+            or self._pending_joins
+            or self._pending_leaves
+        ):
+            self._maybe_start_flush()
+
+    def _on_join_req(self, req: _JoinReq) -> None:
+        if req.joiner in self.view or req.joiner in self._pending_joins:
+            return
+        coordinator = self._live_coordinator()
+        if coordinator != self.me:
+            self._send(coordinator, req)
+            return
+        self._pending_joins.append(req.joiner)
+        self._maybe_start_flush()
+
+    def _on_leave_req(self, req: _LeaveReq) -> None:
+        coordinator = self._live_coordinator()
+        if coordinator != self.me:
+            self._send(coordinator, req)
+            return
+        if req.leaver not in self.view:
+            return
+        self._pending_leaves.add(req.leaver)
+        self._maybe_start_flush()
+
+    def _on_rotate_req(self, req: _RotateReq) -> None:
+        coordinator = self._live_coordinator()
+        if coordinator != self.me:
+            self._send(coordinator, req)
+            return
+        self._pending_rotation += 1
+        self._maybe_start_flush()
+
+    # ------------------------------------------------------------------
+    def _send(self, dst: ProcessId, message: Any) -> None:
+        if dst == self.me:
+            # Local "send": deliver asynchronously, preserving the
+            # no-reentrancy discipline of real message handling.
+            self.sim.schedule(0.0, self._on_message, self.me, message)
+        else:
+            self.port.send(dst, message)

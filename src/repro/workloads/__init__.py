@@ -1,0 +1,26 @@
+"""Workload generation and the paper's measurement protocol (§5.1).
+
+:mod:`~repro.workloads.patterns` describes *what* to send (k-to-n
+streams, bursts, throttled rates); :mod:`~repro.workloads.driver`
+applies a pattern to a built cluster and runs it to completion using
+the same measurement conventions as the paper: all senders start
+together behind a barrier, each sender's clock stops when the last
+process has delivered its last message.
+"""
+
+from repro.workloads.patterns import (
+    BurstPattern,
+    KToNPattern,
+    ThrottledPattern,
+    WorkloadPattern,
+)
+from repro.workloads.driver import WorkloadOutcome, run_workload
+
+__all__ = [
+    "BurstPattern",
+    "KToNPattern",
+    "ThrottledPattern",
+    "WorkloadPattern",
+    "WorkloadOutcome",
+    "run_workload",
+]

@@ -1,0 +1,163 @@
+"""Applies a workload pattern to a cluster and runs it to completion.
+
+Measurement protocol (paper §5.1):
+
+* a barrier synchronises the start — realised here by letting the
+  cluster finish view installation before the start timestamp is taken;
+* every sender's clock stops when the *last* process delivers that
+  sender's *last* message (the paper uses a small ack for this and
+  verifies its latency is negligible; with a simulator we can read the
+  exact delivery times instead);
+* per-sender throughput = bytes sent / (stop - start); the aggregate is
+  the sum over senders — exactly the quantity Figures 8 and 9 plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cluster.harness import Cluster
+from repro.cluster.results import ExperimentResult
+from repro.errors import ConfigurationError, SimulationError
+from repro.types import MessageId, ProcessId, SimTime
+from repro.workloads.patterns import (
+    BurstPattern,
+    KToNPattern,
+    ThrottledPattern,
+    WorkloadPattern,
+)
+
+
+@dataclass
+class WorkloadOutcome:
+    """A finished workload run plus its measurement anchors."""
+
+    result: ExperimentResult
+    start_time: SimTime
+    #: Submission order per sender (for fairness and latency analysis).
+    sent: Dict[ProcessId, List[MessageId]]
+    pattern: WorkloadPattern
+
+    def sender_stop_time(self, sender: ProcessId) -> Optional[SimTime]:
+        """When the last process delivered this sender's last message."""
+        last = self.sent[sender][-1]
+        return self.result.completion_time(last)
+
+    def sender_throughput_bps(self, sender: ProcessId) -> Optional[float]:
+        stop = self.sender_stop_time(sender)
+        if stop is None or stop <= self.start_time:
+            return None
+        sent_bytes = len(self.sent[sender]) * self.pattern.message_bytes
+        return sent_bytes * 8.0 / (stop - self.start_time)
+
+    def aggregate_throughput_bps(self) -> float:
+        """Sum of per-sender throughputs (the paper's Figures 8/9 metric)."""
+        total = 0.0
+        for sender in self.sent:
+            value = self.sender_throughput_bps(sender)
+            if value is None:
+                raise SimulationError(
+                    f"sender {sender} never completed; cannot report throughput"
+                )
+            total += value
+        return total
+
+
+def run_workload(
+    cluster: Cluster,
+    pattern: WorkloadPattern,
+    settle_s: float = 50e-3,
+    max_time_s: float = 600.0,
+) -> WorkloadOutcome:
+    """Run ``pattern`` on ``cluster`` until every message completes.
+
+    The cluster must be freshly built; the driver starts it, lets the
+    initial view settle (the "barrier"), injects traffic per the
+    pattern, and runs until all correct processes have delivered
+    everything (``max_time_s`` of simulated time bounds liveness bugs).
+    """
+    cluster.start()
+    cluster.run(until=settle_s)
+    start_time = cluster.sim.now
+    sent: Dict[ProcessId, List[MessageId]] = {pid: [] for pid in pattern.senders}
+
+    if isinstance(pattern, ThrottledPattern):
+        _inject_throttled(cluster, pattern, sent)
+    elif isinstance(pattern, BurstPattern):
+        _inject_bursts(cluster, pattern, sent)
+    elif isinstance(pattern, (KToNPattern, WorkloadPattern)):
+        _inject_blast(cluster, pattern, sent)
+    else:  # pragma: no cover - defensive
+        raise ConfigurationError(f"unknown pattern type {type(pattern).__name__}")
+
+    expected = pattern.total_messages
+    cluster.run_until(
+        lambda: cluster.all_correct_delivered(expected),
+        step_s=50e-3,
+        max_time_s=max_time_s,
+    )
+    # Let stragglers (acks, stability traffic) settle so results are
+    # complete; bounded in case a protocol keeps perpetual timers.
+    cluster.run(until=cluster.sim.now + settle_s)
+    return WorkloadOutcome(
+        result=cluster.results(),
+        start_time=start_time,
+        sent=sent,
+        pattern=pattern,
+    )
+
+
+def _inject_blast(
+    cluster: Cluster,
+    pattern: WorkloadPattern,
+    sent: Dict[ProcessId, List[MessageId]],
+) -> None:
+    for index in range(pattern.messages_per_sender):
+        for sender in pattern.senders:
+            message_id = cluster.broadcast(sender, size_bytes=pattern.message_bytes)
+            sent[sender].append(message_id)
+
+
+def _inject_bursts(
+    cluster: Cluster,
+    pattern: BurstPattern,
+    sent: Dict[ProcessId, List[MessageId]],
+) -> None:
+    remaining = {pid: pattern.messages_per_sender for pid in pattern.senders}
+
+    def send_burst(sender: ProcessId) -> None:
+        if cluster.injector.is_crashed(sender):
+            return
+        count = min(pattern.burst_size, remaining[sender])
+        for _ in range(count):
+            message_id = cluster.broadcast(sender, size_bytes=pattern.message_bytes)
+            sent[sender].append(message_id)
+        remaining[sender] -= count
+        if remaining[sender] > 0:
+            cluster.sim.schedule(pattern.gap_s, send_burst, sender)
+
+    for sender in pattern.senders:
+        send_burst(sender)
+
+
+def _inject_throttled(
+    cluster: Cluster,
+    pattern: ThrottledPattern,
+    sent: Dict[ProcessId, List[MessageId]],
+) -> None:
+    interval = pattern.per_sender_interval_s()
+    remaining = {pid: pattern.messages_per_sender for pid in pattern.senders}
+
+    def send_one(sender: ProcessId) -> None:
+        if remaining[sender] <= 0 or cluster.injector.is_crashed(sender):
+            return
+        message_id = cluster.broadcast(sender, size_bytes=pattern.message_bytes)
+        sent[sender].append(message_id)
+        remaining[sender] -= 1
+        if remaining[sender] > 0:
+            cluster.sim.schedule(interval, send_one, sender)
+
+    for offset, sender in enumerate(pattern.senders):
+        # Stagger the senders so submissions do not synchronise.
+        cluster.sim.schedule(offset * interval / len(pattern.senders), send_one, sender)

@@ -1,0 +1,116 @@
+"""Workload pattern descriptions.
+
+A pattern says who broadcasts, how much, how large, and at what rate.
+Patterns are pure data; the driver interprets them.  The three classes
+cover every traffic scenario the paper names in §4: a single sender,
+several steady streams, simultaneous bursts, and all-senders steady
+streams — plus the throttled-rate senders Figure 7 requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.types import ProcessId
+
+#: The paper's benchmark message size (100 KB).
+PAPER_MESSAGE_BYTES = 100_000
+
+
+@dataclass(frozen=True)
+class WorkloadPattern:
+    """Base class: ``senders`` broadcast ``messages_per_sender`` each."""
+
+    senders: Sequence[ProcessId] = (0,)
+    messages_per_sender: int = 10
+    message_bytes: int = PAPER_MESSAGE_BYTES
+
+    def __post_init__(self) -> None:
+        if not self.senders:
+            raise ConfigurationError("a workload needs at least one sender")
+        if self.messages_per_sender < 1:
+            raise ConfigurationError("messages_per_sender must be positive")
+        if self.message_bytes < 1:
+            raise ConfigurationError("message_bytes must be positive")
+
+    @property
+    def total_messages(self) -> int:
+        return len(self.senders) * self.messages_per_sender
+
+    @property
+    def total_bytes(self) -> int:
+        return self.total_messages * self.message_bytes
+
+
+@dataclass(frozen=True)
+class KToNPattern(WorkloadPattern):
+    """The paper's k-to-n benchmark: k senders blast m messages each.
+
+    All messages are submitted at the start barrier; the transport's
+    backpressure paces them (closed-loop, like the paper's benchmark
+    which hands the middleware all messages up front).
+    """
+
+    @classmethod
+    def n_to_n(cls, n: int, messages_per_sender: int,
+               message_bytes: int = PAPER_MESSAGE_BYTES) -> "KToNPattern":
+        """All ``n`` processes send (Figures 6 and 8)."""
+        return cls(
+            senders=tuple(range(n)),
+            messages_per_sender=messages_per_sender,
+            message_bytes=message_bytes,
+        )
+
+    @classmethod
+    def k_to_n(cls, k: int, n: int, messages_per_sender: int,
+               message_bytes: int = PAPER_MESSAGE_BYTES) -> "KToNPattern":
+        """First ``k`` of ``n`` processes send (Figure 9)."""
+        if not 1 <= k <= n:
+            raise ConfigurationError(f"k={k} out of range for n={n}")
+        return cls(
+            senders=tuple(range(k)),
+            messages_per_sender=messages_per_sender,
+            message_bytes=message_bytes,
+        )
+
+
+@dataclass(frozen=True)
+class BurstPattern(WorkloadPattern):
+    """Senders emit bursts separated by idle gaps (paper §4 scenarios).
+
+    Each sender sends ``burst_size`` messages, waits ``gap_s``, and
+    repeats until its ``messages_per_sender`` budget is spent.
+    """
+
+    burst_size: int = 5
+    gap_s: float = 50e-3
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.burst_size < 1:
+            raise ConfigurationError("burst_size must be positive")
+        if self.gap_s < 0:
+            raise ConfigurationError("gap_s cannot be negative")
+
+
+@dataclass(frozen=True)
+class ThrottledPattern(WorkloadPattern):
+    """Senders submit at a fixed aggregate offered load (Figure 7).
+
+    ``offered_load_bps`` is split evenly across senders; each sender
+    submits one message every ``message_bytes * 8 * k / offered_load``
+    seconds.
+    """
+
+    offered_load_bps: float = 50e6
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.offered_load_bps <= 0:
+            raise ConfigurationError("offered_load_bps must be positive")
+
+    def per_sender_interval_s(self) -> float:
+        per_sender_bps = self.offered_load_bps / len(self.senders)
+        return self.message_bytes * 8.0 / per_sender_bps

@@ -1,0 +1,51 @@
+"""Unit + behavioural tests for the fairness metric."""
+
+import pytest
+
+from repro.checker import sender_fairness
+from repro.core.fsr import FSRConfig
+from repro.errors import CheckFailure
+from repro.workloads import KToNPattern, run_workload
+from tests.conftest import small_cluster
+from tests.checker.test_order import build_result
+
+
+def test_needs_senders():
+    result = build_result({0: [], 1: []})
+    with pytest.raises(CheckFailure):
+        sender_fairness(result, senders=[])
+
+
+def test_fair_logs_score_one():
+    result = build_result({
+        0: [(0, 1, 1), (1, 1, 2)],
+        1: [(0, 1, 1), (1, 1, 2)],
+    })
+    assert sender_fairness(result, senders=[0, 1]) == pytest.approx(1.0)
+
+
+def test_cutoff_exposes_stragglers():
+    result = build_result({
+        0: [(0, 1, 1), (0, 2, 2), (1, 1, 3)],
+        1: [(0, 1, 1), (0, 2, 2), (1, 1, 3)],
+    })
+    # All of sender 0's messages complete early; sender 1's completes
+    # at the end.  A mid-run cutoff shows the imbalance.
+    full = sender_fairness(result, senders=[0, 1])
+    early = sender_fairness(result, senders=[0, 1], until=0.0045)
+    assert full > early
+
+
+def test_fsr_two_opposite_senders_fair_at_cutoff():
+    """The paper's fairness scenario: two senders at opposite ring
+    positions, continuous streams; completions stay balanced even
+    mid-run."""
+    cluster = small_cluster(n=6, protocol_config=FSRConfig(t=1))
+    pattern = KToNPattern(senders=(1, 4), messages_per_sender=20,
+                          message_bytes=10_000)
+    outcome = run_workload(cluster, pattern)
+    midpoint = outcome.start_time + (
+        outcome.result.duration_s - outcome.start_time
+    ) / 2
+    fairness = sender_fairness(outcome.result, senders=[1, 4], until=midpoint)
+    assert fairness > 0.95

@@ -1,0 +1,187 @@
+"""Unit tests for the broadcast-property checkers.
+
+Each checker is fed hand-built delivery logs containing one specific
+violation, and must name it; clean logs must pass.
+"""
+
+import pytest
+
+from repro.checker import (
+    check_agreement,
+    check_all,
+    check_integrity,
+    check_sequence_consistency,
+    check_total_order,
+    check_uniformity,
+    check_validity,
+)
+from repro.cluster.results import AppDelivery, ExperimentResult
+from repro.core.api import DeliveryLog
+from repro.errors import CheckFailure
+from repro.sim import TraceLog
+from repro.types import BroadcastRecord, MessageId
+
+
+def mid(origin, local):
+    return MessageId(origin=origin, local_seq=local)
+
+
+def build_result(logs, broadcasts=None, crashed=None):
+    """logs: {pid: [(origin, local, seq), ...]}"""
+    delivery_logs = {}
+    app = {}
+    origins = {}
+    records = []
+    time = 0.0
+    for pid, entries in logs.items():
+        log = DeliveryLog(process=pid)
+        app[pid] = []
+        for origin, local, seq in entries:
+            time += 0.001
+            log.record(mid(origin, local), sequence=seq, time=time, size_bytes=10)
+            app[pid].append(
+                AppDelivery(
+                    process=pid, origin=origin, message_id=mid(origin, local),
+                    size_bytes=10, time=time,
+                )
+            )
+        delivery_logs[pid] = log
+    if broadcasts is None:
+        seen = {
+            (d.message_id.origin, d.message_id.local_seq)
+            for log in delivery_logs.values()
+            for d in log.deliveries
+        }
+        broadcasts = sorted(seen)
+    for origin, local in broadcasts:
+        records.append(
+            BroadcastRecord(message_id=mid(origin, local), size_bytes=10,
+                            submit_time=0.0)
+        )
+        origins[mid(origin, local)] = origin
+    return ExperimentResult(
+        config=None,
+        duration_s=time,
+        delivery_logs=delivery_logs,
+        app_deliveries=app,
+        broadcasts=records,
+        broadcast_origin=origins,
+        crashed=crashed or {},
+        nic_stats={},
+        trace=TraceLog(),
+    )
+
+
+CLEAN = {
+    0: [(0, 1, 1), (1, 1, 2)],
+    1: [(0, 1, 1), (1, 1, 2)],
+}
+
+
+def test_clean_logs_pass_everything():
+    check_all(build_result(CLEAN))
+
+
+def test_integrity_catches_duplicate():
+    result = build_result({0: [(0, 1, 1), (0, 1, 2)], 1: [(0, 1, 1)]})
+    with pytest.raises(CheckFailure, match="integrity"):
+        check_integrity(result)
+
+
+def test_integrity_catches_phantom_origin():
+    result = build_result(
+        {0: [(9, 1, 1)], 1: [(9, 1, 1)]},
+        broadcasts=[(0, 1)],  # only process 0 ever broadcast
+    )
+    with pytest.raises(CheckFailure, match="integrity"):
+        check_integrity(result)
+
+
+def test_total_order_catches_inversion():
+    result = build_result({
+        0: [(0, 1, 1), (1, 1, 2)],
+        1: [(1, 1, 1), (0, 1, 2)],
+    })
+    with pytest.raises(CheckFailure, match="total order"):
+        check_total_order(result)
+
+
+def test_total_order_allows_prefix_logs():
+    result = build_result({
+        0: [(0, 1, 1), (1, 1, 2), (2, 1, 3)],
+        1: [(0, 1, 1), (1, 1, 2)],
+    })
+    check_total_order(result)  # prefix is fine (order-wise)
+
+
+def test_sequence_consistency_catches_reuse():
+    result = build_result({
+        0: [(0, 1, 1)],
+        1: [(1, 1, 1)],  # same sequence, different message
+    })
+    with pytest.raises(CheckFailure, match="sequence"):
+        check_sequence_consistency(result)
+
+
+def test_sequence_consistency_catches_non_monotone():
+    result = build_result({0: [(0, 1, 2), (1, 1, 1)]})
+    with pytest.raises(CheckFailure, match="sequence"):
+        check_sequence_consistency(result)
+
+
+def test_agreement_catches_divergent_sets():
+    result = build_result({
+        0: [(0, 1, 1), (1, 1, 2)],
+        1: [(0, 1, 1)],
+    })
+    with pytest.raises(CheckFailure, match="agreement"):
+        check_agreement(result)
+
+
+def test_agreement_ignore_list():
+    result = build_result({
+        0: [(0, 1, 1), (1, 1, 2)],
+        1: [(0, 1, 1)],
+    })
+    check_agreement(result, ignore=[1])
+
+
+def test_agreement_skips_crashed():
+    result = build_result(
+        {
+            0: [(0, 1, 1), (1, 1, 2)],
+            1: [(0, 1, 1)],
+        },
+        crashed={1: 0.5},
+    )
+    check_agreement(result)
+
+
+def test_uniformity_covers_crashed_deliveries():
+    result = build_result(
+        {
+            0: [(0, 1, 1), (1, 1, 2)],  # crashed, but delivered both
+            1: [(0, 1, 1)],             # correct, missing one
+        },
+        crashed={0: 0.5},
+    )
+    with pytest.raises(CheckFailure, match="uniformity"):
+        check_uniformity(result)
+
+
+def test_validity_catches_lost_message_from_correct_sender():
+    result = build_result(
+        {0: [(0, 1, 1)], 1: [(0, 1, 1)]},
+        broadcasts=[(0, 1), (1, 1)],  # process 1 broadcast, never delivered
+    )
+    with pytest.raises(CheckFailure, match="validity"):
+        check_validity(result)
+
+
+def test_validity_tolerates_crashed_senders_losses():
+    result = build_result(
+        {0: [(0, 1, 1)], 1: [(0, 1, 1)], 2: []},
+        broadcasts=[(0, 1), (2, 1)],
+        crashed={2: 0.1},
+    )
+    check_validity(result)

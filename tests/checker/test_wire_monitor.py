@@ -1,0 +1,110 @@
+"""Tests for the online wire-invariant monitor."""
+
+import pytest
+
+from repro.checker.wire_monitor import WireMonitor, attach_wire_monitor
+from repro.core.fsr import FSRConfig
+from repro.core.fsr.messages import AckMsg, FwdData, SeqData
+from repro.errors import CheckFailure
+from repro.types import MessageId
+from tests.conftest import run_broadcasts, small_cluster
+
+
+def test_clean_run_passes_and_counts_traffic():
+    cluster = small_cluster(n=5, protocol_config=FSRConfig(t=1))
+    monitor = attach_wire_monitor(cluster)
+    run_broadcasts(cluster, [(pid, 4, 3_000) for pid in range(5)])
+    assert monitor.stats.fwd_sends > 0
+    assert monitor.stats.seq_sends > 0
+    assert monitor.stats.ack_sends > 0
+    assert monitor.stats.violations_checked > 50
+
+
+def test_clean_run_with_crash_passes():
+    cluster = small_cluster(n=5, protocol_config=FSRConfig(t=1))
+    attach_wire_monitor(cluster)
+    cluster.start()
+    cluster.run(until=5e-3)
+    for pid in range(5):
+        for _ in range(5):
+            cluster.broadcast(pid, size_bytes=3_000)
+    cluster.schedule_crash(0, time=0.02)
+    cluster.run_until(
+        lambda: all(
+            sum(1 for d in cluster.nodes[p].app_deliveries if d.origin != 0) >= 20
+            for p in range(1, 5)
+        ),
+        max_time_s=60,
+    )
+
+
+def test_t_zero_and_t_two_pass():
+    for t in (0, 2):
+        cluster = small_cluster(n=4, protocol_config=FSRConfig(t=t))
+        attach_wire_monitor(cluster)
+        run_broadcasts(cluster, [(pid, 3, 2_000) for pid in range(4)])
+
+
+def _monitored_process():
+    cluster = small_cluster(n=4, protocol_config=FSRConfig(t=1))
+    monitor = WireMonitor()
+    cluster.start()
+    cluster.run(until=5e-3)
+    return monitor, cluster.nodes[2].protocol, cluster.nodes[0].protocol
+
+
+def test_detects_premature_stability():
+    monitor, standard, leader = _monitored_process()
+    ring = leader.ring
+    bad = SeqData(
+        message_id=MessageId(origin=3, local_seq=1), origin=3, payload=None,
+        payload_size=10, sequence=1, stable=True, view_id=0,
+    )
+    with pytest.raises(CheckFailure, match="stable SeqData"):
+        monitor.inspect(leader, ring.successor(leader.me), bad)  # pos 0 < t
+
+
+def test_detects_unstable_after_pt():
+    monitor, standard, leader = _monitored_process()
+    bad = SeqData(
+        message_id=MessageId(origin=3, local_seq=1), origin=3, payload=None,
+        payload_size=10, sequence=1, stable=False, view_id=0,
+    )
+    with pytest.raises(CheckFailure, match="unstable SeqData"):
+        monitor.inspect(standard, 3, bad)  # standard is position 2 >= t
+
+
+def test_detects_leader_forwarding_fwddata():
+    monitor, standard, leader = _monitored_process()
+    bad = FwdData(
+        message_id=MessageId(origin=3, local_seq=1), origin=3, payload=None,
+        payload_size=10, view_id=0,
+    )
+    with pytest.raises(CheckFailure, match="leader"):
+        monitor.inspect(leader, 1, bad)
+
+
+def test_detects_seqdata_delivered_to_origin():
+    monitor, standard, leader = _monitored_process()
+    # standard is process 2; its successor is 3 — sending SeqData whose
+    # origin is 3 must be a conversion to ack, not a forward.
+    bad = SeqData(
+        message_id=MessageId(origin=3, local_seq=1), origin=3, payload=None,
+        payload_size=10, sequence=1, stable=True, view_id=0,
+    )
+    with pytest.raises(CheckFailure, match="origin"):
+        monitor.inspect(standard, 3, bad)
+
+
+def test_detects_consumer_forwarding_stable_ack():
+    monitor, standard, leader = _monitored_process()
+    # With t = 1, the consumer is position 0 (the leader).
+    from repro.core.fsr.messages import AckBatch
+
+    bad = AckBatch(
+        acks=[AckMsg(message_id=MessageId(origin=2, local_seq=1), sequence=1,
+                     stable=True, view_id=0)],
+        view_id=0,
+    )
+    with pytest.raises(CheckFailure, match="consumer"):
+        monitor.inspect(leader, 1, bad)

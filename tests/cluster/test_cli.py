@@ -1,0 +1,58 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_run_subcommand(capsys):
+    assert main([
+        "run", "--protocol", "fsr", "--n", "3", "--senders", "2",
+        "--messages", "3", "--size", "5000",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "throughput (Mb/s)" in out
+    assert "fairness (Jain)" in out
+
+
+def test_run_baseline_protocol(capsys):
+    assert main([
+        "run", "--protocol", "fixed_sequencer", "--n", "3", "--senders", "1",
+        "--messages", "3", "--size", "5000",
+    ]) == 0
+    assert "fixed_sequencer" in capsys.readouterr().out
+
+
+def test_latency_subcommand(capsys):
+    assert main(["latency", "--max-n", "4", "--size", "20000"]) == 0
+    out = capsys.readouterr().out
+    assert "latency (ms)" in out
+    # One row per n in 2..4.
+    assert len([l for l in out.splitlines() if l.strip() and l.strip()[0].isdigit()]) == 3
+
+
+def test_rounds_subcommand(capsys):
+    assert main(["rounds", "--n", "4", "--k", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "msgs/round" in out
+    assert "fsr" in out
+    assert "formula check" in out
+
+
+def test_predict_subcommand(capsys):
+    assert main(["predict", "--n", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "FSR maximum throughput" in out
+    assert "94.1" in out  # raw goodput
+
+
+def test_parser_requires_subcommand():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_seed_changes_nothing_semantically(capsys):
+    main(["run", "--n", "3", "--senders", "1", "--messages", "2",
+          "--size", "1000", "--seed", "7"])
+    out = capsys.readouterr().out
+    assert "throughput" in out

@@ -1,0 +1,97 @@
+"""Unit tests for cluster assembly and operation."""
+
+import pytest
+
+from repro.cluster import ClusterConfig, build_cluster
+from repro.errors import ConfigurationError, SimulationError
+from tests.conftest import fast_params, small_cluster
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        ClusterConfig(n=0)
+    with pytest.raises(ConfigurationError):
+        ClusterConfig(detector="psychic")
+    with pytest.raises(ConfigurationError):
+        ClusterConfig(detection_delay_s=-1)
+
+
+def test_broadcast_before_start_rejected():
+    cluster = small_cluster(n=2)
+    with pytest.raises(SimulationError):
+        cluster.broadcast(0, size_bytes=10)
+
+
+def test_start_is_idempotent():
+    cluster = small_cluster(n=2)
+    cluster.start()
+    cluster.start()
+    cluster.run()
+
+
+def test_run_until_raises_on_liveness_failure():
+    cluster = small_cluster(n=2)
+    cluster.start()
+    with pytest.raises(SimulationError):
+        cluster.run_until(lambda: False, step_s=0.05, max_time_s=0.2)
+
+
+def test_results_freeze_state():
+    cluster = small_cluster(n=3)
+    cluster.start()
+    cluster.run(until=5e-3)
+    cluster.broadcast(0, size_bytes=100)
+    cluster.run_until(lambda: cluster.all_correct_delivered(1), max_time_s=10)
+    result = cluster.results()
+    assert result.duration_s == cluster.sim.now
+    assert set(result.delivery_logs) == {0, 1, 2}
+    assert len(result.broadcasts) == 1
+    assert result.broadcast_origin[result.broadcasts[0].message_id] == 0
+    assert result.crashed == {}
+    assert result.correct_processes() == {0, 1, 2}
+
+
+def test_crash_recorded_in_results():
+    cluster = small_cluster(n=3)
+    cluster.start()
+    cluster.run(until=5e-3)
+    cluster.schedule_crash(2, time=0.01)
+    cluster.run(until=0.05)
+    result = cluster.results()
+    assert 2 in result.crashed
+    assert result.correct_processes() == {0, 1}
+
+
+def test_heartbeat_detector_stack_builds():
+    cluster = small_cluster(n=3, detector="heartbeat")
+    cluster.start()
+    cluster.run(until=0.05)
+    for node in cluster.nodes.values():
+        assert node.detector.suspected() == set()
+
+
+def test_seed_reproducibility():
+    def run_once(seed):
+        cluster = small_cluster(n=3, seed=seed)
+        cluster.start()
+        cluster.run(until=5e-3)
+        for pid in range(3):
+            cluster.broadcast(pid, size_bytes=1000)
+        cluster.run_until(lambda: cluster.all_correct_delivered(3), max_time_s=10)
+        result = cluster.results()
+        return [
+            (str(d.message_id), d.sequence, d.time)
+            for d in result.delivery_logs[0].deliveries
+        ]
+
+    assert run_once(5) == run_once(5)
+
+
+def test_nic_stats_populated():
+    cluster = small_cluster(n=3)
+    cluster.start()
+    cluster.run(until=5e-3)
+    cluster.broadcast(0, size_bytes=10_000)
+    cluster.run_until(lambda: cluster.all_correct_delivered(1), max_time_s=10)
+    result = cluster.results()
+    assert result.nic_stats[0].wire_bytes_tx > 10_000

@@ -1,0 +1,82 @@
+"""Unit tests for result containers."""
+
+from repro.cluster.results import AppDelivery, ExperimentResult
+from repro.core.api import DeliveryLog
+from repro.sim import TraceLog
+from repro.types import BroadcastRecord, MessageId
+
+
+def _result(app_deliveries, crashed=None):
+    processes = sorted(app_deliveries)
+    return ExperimentResult(
+        config=None,
+        duration_s=1.0,
+        delivery_logs={p: DeliveryLog(process=p) for p in processes},
+        app_deliveries=app_deliveries,
+        broadcasts=[],
+        broadcast_origin={},
+        crashed=crashed or {},
+        nic_stats={},
+        trace=TraceLog(),
+    )
+
+
+def _delivery(process, origin, local, time):
+    return AppDelivery(
+        process=process,
+        origin=origin,
+        message_id=MessageId(origin=origin, local_seq=local),
+        size_bytes=100,
+        time=time,
+    )
+
+
+def test_completion_time_is_last_correct_delivery():
+    mid = MessageId(origin=0, local_seq=1)
+    result = _result({
+        0: [_delivery(0, 0, 1, 0.1)],
+        1: [_delivery(1, 0, 1, 0.3)],
+        2: [_delivery(2, 0, 1, 0.2)],
+    })
+    assert result.completion_time(mid) == 0.3
+
+
+def test_completion_time_ignores_crashed_stragglers():
+    mid = MessageId(origin=0, local_seq=1)
+    result = _result(
+        {
+            0: [_delivery(0, 0, 1, 0.1)],
+            1: [_delivery(1, 0, 1, 0.2)],
+            2: [],  # crashed before delivering
+        },
+        crashed={2: 0.05},
+    )
+    assert result.completion_time(mid) == 0.2
+
+
+def test_completion_time_none_when_correct_process_missing_it():
+    mid = MessageId(origin=0, local_seq=1)
+    result = _result({
+        0: [_delivery(0, 0, 1, 0.1)],
+        1: [],
+    })
+    assert result.completion_time(mid) is None
+
+
+def test_delivery_helpers():
+    result = _result({
+        0: [_delivery(0, 0, 1, 0.1), _delivery(0, 1, 1, 0.2)],
+        1: [_delivery(1, 0, 1, 0.15)],
+    })
+    assert result.total_delivered_bytes() == 300
+    times = result.app_delivery_times(MessageId(origin=0, local_seq=1))
+    assert sorted(times) == [(0, 0.1), (1, 0.15)]
+
+
+def test_delivery_log_helpers():
+    log = DeliveryLog(process=3)
+    log.record(MessageId(origin=1, local_seq=1), sequence=1, time=0.1, size_bytes=5)
+    log.record(MessageId(origin=2, local_seq=1), sequence=2, time=0.2, size_bytes=5)
+    assert len(log) == 2
+    assert [m.origin for m in log.message_ids()] == [1, 2]
+    assert log.deliveries[0].key() == (1, 1)

@@ -1,0 +1,73 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig, build_cluster
+from repro.core.fsr import FSRConfig
+from repro.net.params import NetworkParams
+
+
+def fast_params(**overrides) -> NetworkParams:
+    """Network params with small messages in mind: quick simulations."""
+    defaults = dict(
+        bandwidth_bps=100e6,
+        propagation_delay_s=10e-6,
+        cpu_per_message_s=20e-6,
+        cpu_per_byte_s=5e-9,
+    )
+    defaults.update(overrides)
+    return NetworkParams(**defaults)
+
+
+def small_cluster(
+    n: int = 3,
+    protocol: str = "fsr",
+    protocol_config=None,
+    **config_overrides,
+) -> Cluster:
+    """A cluster tuned for fast unit-level runs (small CPU costs)."""
+    if protocol == "fsr" and protocol_config is None:
+        protocol_config = FSRConfig(t=1)
+    config = ClusterConfig(
+        n=n,
+        protocol=protocol,
+        protocol_config=protocol_config,
+        network=config_overrides.pop("network", fast_params()),
+        **config_overrides,
+    )
+    return build_cluster(config)
+
+
+def run_broadcasts(
+    cluster: Cluster,
+    plan: Sequence[Tuple[int, int, int]],
+    settle_s: float = 5e-3,
+    max_time_s: float = 60.0,
+):
+    """Start the cluster, apply ``(sender, count, size)`` triples, run
+    to completion, and return the results."""
+    cluster.start()
+    cluster.run(until=settle_s)
+    expected = 0
+    for sender, count, size in plan:
+        for _ in range(count):
+            cluster.broadcast(sender, size_bytes=size)
+            expected += 1
+    cluster.run_until(
+        lambda: cluster.all_correct_delivered(expected),
+        step_s=10e-3,
+        max_time_s=max_time_s,
+    )
+    cluster.run(until=cluster.sim.now + settle_s)
+    return cluster.results()
+
+
+@pytest.fixture
+def sim():
+    from repro.sim import Simulator
+
+    return Simulator()

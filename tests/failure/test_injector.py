@@ -1,0 +1,70 @@
+"""Unit tests for the crash injector."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.failure import CrashInjector, OracleFailureDetector
+from repro.net import Network, NetworkParams
+from repro.sim import Simulator
+from repro.types import CrashEvent
+
+
+def build():
+    sim = Simulator()
+    net = Network(sim, NetworkParams(cpu_per_message_s=0, cpu_per_byte_s=0))
+    net.attach(0)
+    net.attach(1)
+    return sim, net, CrashInjector(sim, net)
+
+
+def test_scheduled_crash_silences_network():
+    sim, net, injector = build()
+    injector.schedule_crash(0, time=1.0)
+    sim.run()
+    assert net.is_crashed(0)
+    assert injector.crashed() == {0}
+
+
+def test_crash_callbacks_fire_at_crash_instant():
+    sim, net, injector = build()
+    events = []
+    injector.on_crash(lambda pid: events.append((pid, sim.now)))
+    injector.schedule_crash(1, time=0.5)
+    sim.run()
+    assert events == [(1, 0.5)]
+
+
+def test_detectors_notified():
+    sim, net, injector = build()
+    detector = OracleFailureDetector(sim, owner=1, detection_delay_s=0.01)
+    detector.monitor([0])
+    injector.register_detector(detector)
+    injector.schedule_crash(0, time=0.2)
+    sim.run()
+    assert detector.is_suspected(0)
+
+
+def test_crash_is_idempotent():
+    sim, net, injector = build()
+    events = []
+    injector.on_crash(events.append)
+    injector.crash_now(0)
+    injector.crash_now(0)
+    assert events == [0]
+
+
+def test_cannot_schedule_in_past():
+    sim, net, injector = build()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(ConfigurationError):
+        injector.schedule_crash(0, time=0.5)
+
+
+def test_batch_schedule():
+    sim, net, injector = build()
+    injector.schedule(
+        [CrashEvent(process=0, time=0.1), CrashEvent(process=1, time=0.2)]
+    )
+    sim.run()
+    assert injector.crashed() == {0, 1}

@@ -1,0 +1,145 @@
+"""Tests for the message-packing wrapper (Friedman/van Renesse [20])."""
+
+import pytest
+
+from repro.core.api import BroadcastListener
+from repro.core.batching import BatchingBroadcast, BatchingConfig
+from repro.errors import ConfigurationError
+from tests.conftest import small_cluster
+
+
+def _batched_cluster(n=3, config=None):
+    cluster = small_cluster(n=n)
+    batched = {}
+    logs = {pid: [] for pid in range(n)}
+    for pid, node in cluster.nodes.items():
+        wrapper = BatchingBroadcast(
+            cluster.sim, node.protocol, origin=pid, config=config
+        )
+        wrapper.set_listener(
+            BroadcastListener(
+                lambda origin, mid, payload, size, p=pid: logs[p].append(
+                    (origin, str(mid), payload)
+                )
+            )
+        )
+        batched[pid] = wrapper
+    cluster.start()
+    cluster.run(until=5e-3)
+    return cluster, batched, logs
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        BatchingConfig(max_batch_bytes=0)
+    with pytest.raises(ConfigurationError):
+        BatchingConfig(max_batch_messages=0)
+    with pytest.raises(ConfigurationError):
+        BatchingConfig(max_delay_s=-1)
+
+
+def test_messages_are_packed_and_unpacked_in_order():
+    cluster, batched, logs = _batched_cluster()
+    for i in range(10):
+        batched[1].broadcast(f"a{i}".encode())
+    batched[1].flush()
+    cluster.run_until(lambda: all(len(log) == 10 for log in logs.values()),
+                      max_time_s=30)
+    reference = logs[0]
+    assert [p for _, _, p in reference] == [f"a{i}".encode() for i in range(10)]
+    assert all(log == reference for log in logs.values())
+    # All ten rode in one pack.
+    assert batched[1].stats_packs_sent == 1
+    assert batched[1].stats_messages_packed == 10
+
+
+def test_total_order_across_packing_origins():
+    cluster, batched, logs = _batched_cluster()
+    for i in range(6):
+        batched[0].broadcast(f"x{i}".encode())
+        batched[2].broadcast(f"y{i}".encode())
+    for pid in (0, 2):
+        batched[pid].flush()
+    cluster.run_until(lambda: all(len(log) == 12 for log in logs.values()),
+                      max_time_s=30)
+    reference = logs[0]
+    assert all(log == reference for log in logs.values())
+
+
+def test_size_trigger_flushes_without_timer():
+    config = BatchingConfig(max_batch_bytes=2_000, max_delay_s=10.0)
+    cluster, batched, logs = _batched_cluster(config=config)
+    for _ in range(5):
+        batched[1].broadcast(b"x" * 600)  # 4 entries exceed 2 000 B
+    # The first four messages flush on size, long before the 10 s timer.
+    cluster.run_until(lambda: all(len(log) == 4 for log in logs.values()),
+                      max_time_s=5)
+    assert batched[1].stats_packs_sent == 1
+    # The dangling fifth message needs an explicit flush.
+    batched[1].flush()
+    cluster.run_until(lambda: all(len(log) == 5 for log in logs.values()),
+                      max_time_s=5)
+
+
+def test_count_trigger():
+    config = BatchingConfig(max_batch_messages=4, max_delay_s=10.0)
+    cluster, batched, logs = _batched_cluster(config=config)
+    for i in range(8):
+        batched[2].broadcast(b"m")
+    cluster.run_until(lambda: all(len(log) == 8 for log in logs.values()),
+                      max_time_s=5)
+    assert batched[2].stats_packs_sent == 2
+
+
+def test_timer_trigger_flushes_partial_pack():
+    config = BatchingConfig(max_batch_bytes=10**6, max_delay_s=1e-3)
+    cluster, batched, logs = _batched_cluster(config=config)
+    batched[1].broadcast(b"lonely")
+    cluster.run_until(lambda: all(len(log) == 1 for log in logs.values()),
+                      max_time_s=5)
+    assert logs[0][0][2] == b"lonely"
+
+
+def test_message_ids_are_per_origin_unique():
+    cluster, batched, logs = _batched_cluster()
+    ids = [batched[1].broadcast(b"z") for _ in range(5)]
+    assert len(set(ids)) == 5
+    assert all(mid.origin == 1 for mid in ids)
+
+
+def test_throughput_gain_for_small_messages():
+    """The point of packing: small-message goodput approaches the
+    large-message budget."""
+    from repro import ClusterConfig, FSRConfig, build_cluster
+
+    def run(batching):
+        cluster = build_cluster(
+            ClusterConfig(n=3, protocol="fsr", protocol_config=FSRConfig(t=1))
+        )
+        count = [0]
+        senders = {}
+        for pid, node in cluster.nodes.items():
+            source = node.protocol
+            if batching:
+                source = BatchingBroadcast(cluster.sim, source, origin=pid)
+            senders[pid] = source
+        senders[0].set_listener(
+            BroadcastListener(lambda *a: count.__setitem__(0, count[0] + 1))
+        )
+        cluster.start()
+        cluster.run(until=0.05)
+        start = cluster.sim.now
+        messages = 1_000
+        for i in range(messages):
+            senders[1].broadcast(b"x" * 1_000)
+        if batching:
+            senders[1].flush()
+        cluster.run_until(lambda: count[0] >= messages, max_time_s=300)
+        return messages * 1_000 * 8 / (cluster.sim.now - start) / 1e6
+
+    plain = run(batching=False)
+    packed = run(batching=True)
+    # The per-byte middleware cost remains; packing amortises the
+    # per-message fixed costs (headers, acks, CPU passes) — worth >2x
+    # for 1 KB messages on the calibrated host model.
+    assert packed > 2.0 * plain, (plain, packed)

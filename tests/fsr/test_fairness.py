@@ -1,0 +1,110 @@
+"""Unit tests for the forward-list fairness scheduler (paper Figure 5)."""
+
+from repro.core.fsr.fairness import FairSendScheduler
+from repro.core.fsr.messages import FwdData
+from repro.types import MessageId
+
+
+def fwd(origin, local=1):
+    return FwdData(
+        message_id=MessageId(origin=origin, local_seq=local),
+        origin=origin,
+        payload=None,
+        payload_size=100,
+        view_id=0,
+    )
+
+
+def test_fifo_without_own_messages():
+    scheduler = FairSendScheduler()
+    a, b = fwd(1), fwd(2)
+    scheduler.enqueue_forward(a)
+    scheduler.enqueue_forward(b)
+    assert scheduler.pop_next() is a
+    assert scheduler.pop_next() is b
+    assert scheduler.pop_next() is None
+
+
+def test_paper_figure5_scenario():
+    """Buffer holds p2, p4, p3, p3; forward list {p1, p4, p5}: the
+    process forwards p2 and p3 first, then sends its own message."""
+    scheduler = FairSendScheduler()
+    m3p2 = fwd(2, 3)
+    m2p4 = fwd(4, 2)
+    m5p3 = fwd(3, 5)
+    m6p3 = fwd(3, 6)
+    for message in (m3p2, m2p4, m5p3, m6p3):
+        scheduler.enqueue_forward(message)
+    # Pre-populate the forward list as in the figure.
+    scheduler._forward_list.update({1, 4, 5})
+    own = fwd(9, 1)
+    scheduler.enqueue_own(own)
+
+    assert scheduler.pop_next() is m3p2  # p2 unserved
+    assert scheduler.pop_next() is m5p3  # p3 unserved
+    assert scheduler.pop_next() is own   # all buffered origins served
+    # Forward list reset; FIFO resumes with what is left.
+    assert scheduler.pop_next() is m2p4
+    assert scheduler.pop_next() is m6p3
+
+
+def test_own_goes_first_when_nothing_unserved():
+    scheduler = FairSendScheduler()
+    own = fwd(9)
+    scheduler.enqueue_own(own)
+    assert scheduler.pop_next() is own
+
+
+def test_own_injection_resets_forward_list():
+    scheduler = FairSendScheduler()
+    scheduler.enqueue_forward(fwd(1))
+    assert scheduler.pop_next().origin == 1
+    assert scheduler.forward_list() == {1}
+    scheduler.enqueue_own(fwd(9))
+    scheduler.pop_next()
+    assert scheduler.forward_list() == set()
+
+
+def test_no_starvation_alternation():
+    """A sender with a continuous own stream still forwards every other
+    origin once per window — nobody is starved."""
+    scheduler = FairSendScheduler()
+    sent = []
+    for round_index in range(30):
+        scheduler.enqueue_forward(fwd(1, round_index * 2))
+        scheduler.enqueue_forward(fwd(2, round_index * 2 + 1))
+        scheduler.enqueue_own(fwd(9, round_index))
+        message = scheduler.pop_next()
+        sent.append(message.origin)
+    counts = {origin: sent.count(origin) for origin in (1, 2, 9)}
+    assert counts[9] >= 9          # own traffic flows
+    assert counts[1] >= 9          # both foreign origins flow too
+    assert counts[2] >= 9
+
+
+def test_unfair_mode_prefers_own():
+    scheduler = FairSendScheduler(fairness=False)
+    scheduler.enqueue_forward(fwd(1))
+    scheduler.enqueue_own(fwd(9))
+    assert scheduler.pop_next().origin == 9
+    assert scheduler.pop_next().origin == 1
+
+
+def test_drain_empties_everything():
+    scheduler = FairSendScheduler()
+    scheduler.enqueue_forward(fwd(1))
+    scheduler.enqueue_own(fwd(9))
+    drained = scheduler.drain()
+    assert len(drained) == 2
+    assert scheduler.pending == 0
+    assert scheduler.pop_next() is None
+
+
+def test_pending_counters():
+    scheduler = FairSendScheduler()
+    scheduler.enqueue_forward(fwd(1))
+    scheduler.enqueue_forward(fwd(2))
+    scheduler.enqueue_own(fwd(9))
+    assert scheduler.pending == 3
+    assert scheduler.pending_forward == 2
+    assert scheduler.pending_own == 1

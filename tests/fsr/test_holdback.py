@@ -1,0 +1,99 @@
+"""Unit tests for the hold-back delivery queue."""
+
+import pytest
+
+from repro.core.fsr.holdback import HoldbackEntry, HoldbackQueue
+from repro.errors import ProtocolError
+from repro.types import MessageId
+
+
+def entry(seq, origin=0, local=None):
+    return HoldbackEntry(
+        sequence=seq,
+        message_id=MessageId(origin=origin, local_seq=local if local is not None else seq),
+        payload=None,
+        payload_size=0,
+    )
+
+
+def test_in_order_release():
+    released = []
+    queue = HoldbackQueue(on_deliver=lambda e: released.append(e.sequence))
+    assert queue.mark_deliverable(entry(1)) == 1
+    assert queue.mark_deliverable(entry(2)) == 1
+    assert released == [1, 2]
+
+
+def test_gap_blocks_until_filled():
+    released = []
+    queue = HoldbackQueue(on_deliver=lambda e: released.append(e.sequence))
+    queue.mark_deliverable(entry(2))
+    queue.mark_deliverable(entry(3))
+    assert released == []
+    assert queue.held_count == 2
+    assert queue.mark_deliverable(entry(1)) == 3
+    assert released == [1, 2, 3]
+    assert queue.held_count == 0
+
+
+def test_duplicate_same_message_ignored():
+    released = []
+    queue = HoldbackQueue(on_deliver=lambda e: released.append(e.sequence))
+    queue.mark_deliverable(entry(1))
+    assert queue.mark_deliverable(entry(1)) == 0
+    assert released == [1]
+
+
+def test_conflicting_assignment_raises():
+    queue = HoldbackQueue(on_deliver=lambda e: None)
+    queue.mark_deliverable(entry(5, origin=1))
+    with pytest.raises(ProtocolError):
+        queue.mark_deliverable(entry(5, origin=2))
+
+
+def test_below_watermark_is_noop():
+    released = []
+    queue = HoldbackQueue(on_deliver=lambda e: released.append(e.sequence))
+    queue.mark_deliverable(entry(1))
+    assert queue.mark_deliverable(entry(1, origin=9)) == 0  # even conflicting
+    assert released == [1]
+
+
+def test_fast_forward_skips_and_flushes():
+    released = []
+    queue = HoldbackQueue(on_deliver=lambda e: released.append(e.sequence))
+    queue.mark_deliverable(entry(5))
+    queue.mark_deliverable(entry(6))
+    queue.fast_forward(5)
+    assert released == [5, 6]
+    assert queue.next_sequence == 7
+
+
+def test_fast_forward_cannot_rewind():
+    queue = HoldbackQueue(on_deliver=lambda e: None)
+    queue.mark_deliverable(entry(1))
+    with pytest.raises(ProtocolError):
+        queue.fast_forward(1)
+
+
+def test_clear_held_discards_blocked_entries():
+    released = []
+    queue = HoldbackQueue(on_deliver=lambda e: released.append(e.sequence))
+    queue.mark_deliverable(entry(3))
+    queue.mark_deliverable(entry(4))
+    assert queue.clear_held() == 2
+    queue.fast_forward(3)
+    assert released == []
+    # Sequence 3 can now be bound to a different message without error.
+    queue.mark_deliverable(entry(3, origin=7))
+    assert released == [3]
+
+
+def test_counters():
+    queue = HoldbackQueue(on_deliver=lambda e: None)
+    queue.mark_deliverable(entry(1))
+    queue.mark_deliverable(entry(2))
+    queue.mark_deliverable(entry(9))
+    assert queue.delivered_count == 2
+    assert queue.last_delivered == 2
+    assert queue.held_sequences() == [9]

@@ -1,0 +1,95 @@
+"""Tests for FSR's coordinator-side state merge and install pruning."""
+
+import pytest
+
+from repro.core.fsr import FSRConfig
+from repro.core.fsr.recovery import FSRFlushState, MergedRecovery, RetainedMessage
+from repro.types import MessageId
+from repro.vsc.membership import FlushState
+from tests.conftest import run_broadcasts, small_cluster
+
+
+def _record(seq, origin=0):
+    return RetainedMessage(
+        message_id=MessageId(origin=origin, local_seq=seq),
+        origin=origin,
+        sequence=seq,
+        payload=None,
+        payload_size=1_000,
+    )
+
+
+def _wrap(last, records=(), fresh=False):
+    state = FSRFlushState(
+        last_delivered=last,
+        watermark=0,
+        records={r.sequence: r for r in records},
+        fresh=fresh,
+    )
+    return FlushState(payload=state, size_bytes=state.size_bytes())
+
+
+def _fsr_process():
+    cluster = small_cluster(n=3)
+    cluster.start()
+    cluster.run(until=5e-3)
+    return cluster.nodes[0].protocol
+
+
+def test_merge_states_prunes_per_receiver():
+    process = _fsr_process()
+    states = {
+        0: _wrap(8, [_record(s) for s in range(5, 11)]),
+        1: _wrap(4, [_record(s) for s in range(5, 11)]),
+        2: _wrap(10, []),
+    }
+    payloads = process.merge_states(states, receivers=(0, 1, 2))
+    # Receiver 0 (delivered 8) needs only 9, 10.
+    assert sorted(payloads[0].payload.records) == [9, 10]
+    # Receiver 1 (delivered 4, the minimum) needs 5..10.
+    assert sorted(payloads[1].payload.records) == [5, 6, 7, 8, 9, 10]
+    # Receiver 2 already has everything.
+    assert payloads[2].payload.records == {}
+    # Install sizes reflect the pruning.
+    assert payloads[2].size_bytes < payloads[0].size_bytes < payloads[1].size_bytes
+    # All receivers agree on the resumption point.
+    assert all(p.payload.next_sequence == 11 for p in payloads.values())
+
+
+def test_merge_states_fresh_receiver_gets_full_tail():
+    process = _fsr_process()
+    states = {
+        0: _wrap(8, [_record(s) for s in range(5, 9)]),
+        7: _wrap(0, [], fresh=True),
+    }
+    payloads = process.merge_states(states, receivers=(0, 7))
+    # The joiner starts at min_last (8 here): no history for it.
+    assert payloads[7].payload.records == {}
+    assert payloads[7].payload.min_last_delivered == 8
+
+
+def test_collect_flush_state_only_holders_ship_records():
+    """Leader and backups contribute records; standard processes do not."""
+    cluster = small_cluster(n=5, protocol_config=FSRConfig(t=1))
+    cluster.start()
+    cluster.run(until=5e-3)
+    for pid in range(5):
+        for _ in range(4):
+            cluster.broadcast(pid, size_bytes=5_000)
+    # Collect mid-flight, before the watermark garbage-collects the
+    # retained records (a quiescent system retains nothing).
+    cluster.run_until(
+        lambda: cluster.nodes[0].protocol.last_delivered_sequence >= 3,
+        step_s=0.5e-3,
+        max_time_s=30,
+    )
+
+    backup_state = cluster.nodes[1].protocol.collect_flush_state()
+    standard_state = cluster.nodes[3].protocol.collect_flush_state()
+    # The backup still retains sequencing decisions (its watermark lags
+    # the ring); a standard process never ships records at all, even
+    # though its internal retention mirrors the backup's.
+    assert backup_state.payload.records, "backup retains sequencing decisions"
+    assert cluster.nodes[3].protocol.retained_count > 0
+    assert standard_state.payload.records == {}, "standard processes travel light"
+    assert standard_state.size_bytes < backup_state.size_bytes

@@ -1,0 +1,82 @@
+"""Unit tests for FSR wire formats and config validation."""
+
+import pytest
+
+from repro.core.fsr import FSRConfig
+from repro.core.fsr.messages import (
+    ACK_BYTES,
+    AckBatch,
+    AckMsg,
+    DATA_HEADER_BYTES,
+    FwdData,
+    SeqData,
+    data_origin,
+)
+from repro.errors import ConfigurationError
+from repro.types import MessageId
+
+
+MID = MessageId(origin=2, local_seq=7)
+
+
+def test_fwd_size_counts_header_and_payload():
+    message = FwdData(message_id=MID, origin=2, payload=None, payload_size=1000, view_id=0)
+    assert message.wire_size_bytes() == DATA_HEADER_BYTES + 1000
+
+
+def test_seq_size_larger_than_fwd():
+    fwd = FwdData(message_id=MID, origin=2, payload=None, payload_size=500, view_id=0)
+    seq = SeqData(
+        message_id=MID, origin=2, payload=None, payload_size=500,
+        sequence=1, stable=False, view_id=0,
+    )
+    assert seq.wire_size_bytes() > fwd.wire_size_bytes()
+
+
+def test_piggybacked_acks_add_bytes():
+    ack = AckMsg(message_id=MID, sequence=1, stable=True, view_id=0)
+    bare = FwdData(message_id=MID, origin=2, payload=None, payload_size=0, view_id=0)
+    loaded = FwdData(
+        message_id=MID, origin=2, payload=None, payload_size=0, view_id=0,
+        piggybacked=[ack, ack],
+    )
+    assert loaded.wire_size_bytes() == bare.wire_size_bytes() + 2 * ACK_BYTES
+
+
+def test_segment_metadata_costs_bytes():
+    plain = FwdData(message_id=MID, origin=2, payload=None, payload_size=0, view_id=0)
+    tagged = FwdData(
+        message_id=MID, origin=2, payload=None, payload_size=0, view_id=0,
+        segment=(MID, 0, 4),
+    )
+    assert tagged.wire_size_bytes() > plain.wire_size_bytes()
+
+
+def test_ack_batch_scales_with_count():
+    acks = [AckMsg(message_id=MID, sequence=i, stable=True, view_id=0) for i in range(3)]
+    batch = AckBatch(acks=acks, view_id=0)
+    assert batch.wire_size_bytes() == AckBatch(acks=[], view_id=0).wire_size_bytes() + 3 * ACK_BYTES
+
+
+def test_data_origin_helper():
+    fwd = FwdData(message_id=MID, origin=2, payload=None, payload_size=0, view_id=0)
+    batch = AckBatch(acks=[], view_id=0)
+    assert data_origin(fwd) == 2
+    assert data_origin(batch) is None
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        FSRConfig(t=-1)
+    with pytest.raises(ConfigurationError):
+        FSRConfig(segment_size=0)
+    with pytest.raises(ConfigurationError):
+        FSRConfig(max_piggybacked_acks=0)
+
+
+def test_config_effective_t_clamps():
+    config = FSRConfig(t=3)
+    assert config.effective_t(2) == 1
+    assert config.effective_t(10) == 3
+    with pytest.raises(ConfigurationError):
+        config.effective_t(0)

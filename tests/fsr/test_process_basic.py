@@ -1,0 +1,166 @@
+"""Behavioural tests of the FSR automaton on a simulated cluster.
+
+Each test exercises one of the paper's §4.1 delivery cases or one of
+the protocol mechanisms (piggy-backing, watermark GC, segmentation)
+end to end on the DES stack.
+"""
+
+import pytest
+
+from repro.checker import check_all
+from repro.core.fsr import FSRConfig
+from tests.conftest import run_broadcasts, small_cluster
+
+
+def _orders(result):
+    return {
+        pid: [str(d.message_id) for d in log.deliveries]
+        for pid, log in result.delivery_logs.items()
+    }
+
+
+def test_standard_sender_case():
+    """Paper case 1: a standard process (position > t) broadcasts."""
+    cluster = small_cluster(n=5, protocol_config=FSRConfig(t=1))
+    result = run_broadcasts(cluster, [(3, 1, 1000)])
+    check_all(result)
+    orders = _orders(result)
+    assert all(order == ["m3.1"] for order in orders.values())
+
+
+def test_backup_sender_case():
+    """Paper case 2: a backup process (0 < position <= t) broadcasts."""
+    cluster = small_cluster(n=5, protocol_config=FSRConfig(t=2))
+    result = run_broadcasts(cluster, [(2, 1, 1000)])
+    check_all(result)
+    assert all(len(log) == 1 for log in result.delivery_logs.values())
+
+
+def test_leader_sender_case():
+    cluster = small_cluster(n=5, protocol_config=FSRConfig(t=1))
+    result = run_broadcasts(cluster, [(0, 1, 1000)])
+    check_all(result)
+    assert all(len(log) == 1 for log in result.delivery_logs.values())
+
+
+def test_t_zero():
+    cluster = small_cluster(n=4, protocol_config=FSRConfig(t=0))
+    result = run_broadcasts(cluster, [(2, 3, 1000), (0, 2, 1000)])
+    check_all(result)
+
+
+def test_two_process_ring():
+    cluster = small_cluster(n=2, protocol_config=FSRConfig(t=1))
+    result = run_broadcasts(cluster, [(0, 2, 1000), (1, 2, 1000)])
+    check_all(result)
+    assert all(len(log) == 4 for log in result.delivery_logs.values())
+
+
+def test_single_process_group():
+    cluster = small_cluster(n=1, protocol_config=FSRConfig(t=0))
+    result = run_broadcasts(cluster, [(0, 5, 1000)])
+    check_all(result)
+    assert len(result.delivery_logs[0]) == 5
+
+
+def test_all_senders_identical_order():
+    cluster = small_cluster(n=5)
+    result = run_broadcasts(cluster, [(pid, 4, 2000) for pid in range(5)])
+    check_all(result)
+    orders = _orders(result)
+    reference = orders[0]
+    assert len(reference) == 20
+    assert all(order == reference for order in orders.values())
+
+
+def test_sequences_are_contiguous_from_one():
+    cluster = small_cluster(n=3)
+    result = run_broadcasts(cluster, [(1, 3, 500), (2, 2, 500)])
+    for log in result.delivery_logs.values():
+        assert [d.sequence for d in log.deliveries] == [1, 2, 3, 4, 5]
+
+
+def test_piggybacking_dominates_under_load():
+    cluster = small_cluster(n=4)
+    run_broadcasts(cluster, [(pid, 10, 50_000) for pid in range(4)])
+    piggy = sum(node.protocol.stats_acks_piggybacked for node in cluster.nodes.values())
+    standalone = sum(
+        node.protocol.stats_acks_standalone for node in cluster.nodes.values()
+    )
+    assert piggy > standalone
+
+
+def test_standalone_acks_when_idle():
+    """A single quiet broadcast has nothing to piggy-back on."""
+    cluster = small_cluster(n=4)
+    run_broadcasts(cluster, [(2, 1, 1000)])
+    standalone = sum(
+        node.protocol.stats_acks_standalone for node in cluster.nodes.values()
+    )
+    assert standalone >= 1
+
+
+def test_piggybacking_can_be_disabled():
+    cluster = small_cluster(n=4, protocol_config=FSRConfig(t=1, piggyback_acks=False))
+    result = run_broadcasts(cluster, [(pid, 5, 20_000) for pid in range(4)])
+    check_all(result)
+    piggy = sum(node.protocol.stats_acks_piggybacked for node in cluster.nodes.values())
+    assert piggy == 0
+
+
+def test_watermark_gc_bounds_retention():
+    """Retained records are garbage-collected behind the watermark."""
+    cluster = small_cluster(n=4)
+    run_broadcasts(cluster, [(pid, 15, 5_000) for pid in range(4)])
+    for node in cluster.nodes.values():
+        # 60 messages went through; retention stays near the ring lag.
+        assert node.protocol.retained_count < 60
+        assert node.protocol.watermark > 0
+
+
+def test_segmentation_end_to_end():
+    cluster = small_cluster(
+        n=3, protocol_config=FSRConfig(t=1, segment_size=10_000)
+    )
+    cluster.start()
+    cluster.run(until=5e-3)
+    payload = bytes(range(256)) * 150  # 38 400 bytes -> 4 segments
+    cluster.broadcast(1, payload=payload)
+    cluster.run_until(lambda: cluster.all_correct_delivered(1), max_time_s=10)
+    result = cluster.results()
+    # Protocol level: four segment deliveries everywhere.
+    assert all(len(log) == 4 for log in result.delivery_logs.values())
+    # Application level: one reassembled message everywhere.
+    for pid, deliveries in result.app_deliveries.items():
+        assert len(deliveries) == 1
+        assert deliveries[0].size_bytes == len(payload)
+
+
+def test_segmented_and_small_messages_interleave():
+    cluster = small_cluster(
+        n=4, protocol_config=FSRConfig(t=1, segment_size=8_000)
+    )
+    cluster.start()
+    cluster.run(until=5e-3)
+    cluster.broadcast(1, size_bytes=50_000)   # 7 segments
+    cluster.broadcast(2, size_bytes=1_000)    # 1 segment
+    cluster.broadcast(3, size_bytes=30_000)   # 4 segments
+    cluster.run_until(lambda: cluster.all_correct_delivered(3), max_time_s=10)
+    result = cluster.results()
+    check_all(result)
+    assert all(len(v) == 3 for v in result.app_deliveries.values())
+
+
+def test_broadcast_requires_start():
+    cluster = small_cluster(n=2)
+    from repro.errors import ProtocolError
+
+    with pytest.raises(Exception):
+        cluster.broadcast(0, size_bytes=10)
+
+
+def test_large_message_size_accounting():
+    cluster = small_cluster(n=3)
+    result = run_broadcasts(cluster, [(0, 1, 77_777)])
+    delivery = result.delivery_logs[1].deliveries[0]
+    assert delivery.size_bytes == 77_777

@@ -1,0 +1,103 @@
+"""Unit tests for flush-state merging (view-change recovery)."""
+
+import pytest
+
+from repro.core.fsr.recovery import (
+    FSRFlushState,
+    RetainedMessage,
+    merge_flush_states,
+)
+from repro.errors import ProtocolError
+from repro.types import MessageId
+
+
+def record(seq, origin=0, local=None):
+    return RetainedMessage(
+        message_id=MessageId(origin=origin, local_seq=local if local is not None else seq),
+        origin=origin,
+        sequence=seq,
+        payload=None,
+        payload_size=100,
+    )
+
+
+def state(last, records=(), fresh=False, watermark=0):
+    return FSRFlushState(
+        last_delivered=last,
+        watermark=watermark,
+        records={r.sequence: r for r in records},
+        fresh=fresh,
+    )
+
+
+def test_merge_union_and_next_sequence():
+    merged = merge_flush_states({
+        0: state(2, [record(3), record(4)]),
+        1: state(4, [record(3), record(4), record(5)]),
+    })
+    assert merged.next_sequence == 6
+    assert set(merged.records) == {3, 4, 5}
+    assert merged.orphaned == set()
+    assert merged.min_last_delivered == 2
+    assert merged.max_last_delivered == 4
+
+
+def test_gap_beyond_max_last_orphans_tail():
+    merged = merge_flush_states({
+        0: state(2, [record(3), record(5), record(6)]),
+        1: state(3, [record(3)]),
+    })
+    # 4 is missing: 5 and 6 were never deliverable anywhere.
+    assert merged.next_sequence == 4
+    assert set(merged.records) == {3}
+    assert {m.local_seq for m in merged.orphaned} == {5, 6}
+
+
+def test_gap_within_delivered_range_raises():
+    with pytest.raises(ProtocolError):
+        merge_flush_states({
+            0: state(1, []),
+            1: state(3, [record(3)]),  # nobody retains 2
+        })
+
+
+def test_conflicting_assignment_raises():
+    with pytest.raises(ProtocolError):
+        merge_flush_states({
+            0: state(0, [record(1, origin=1)]),
+            1: state(0, [record(1, origin=2)]),
+        })
+
+
+def test_mislabelled_record_raises():
+    bad = record(3)
+    with pytest.raises(ProtocolError):
+        merge_flush_states({0: FSRFlushState(0, 0, {4: bad})})
+
+
+def test_fresh_states_do_not_drag_min_down():
+    merged = merge_flush_states({
+        0: state(10, [record(11)]),
+        7: state(0, [], fresh=True),  # joiner with no history
+    })
+    assert merged.min_last_delivered == 10
+    assert merged.next_sequence == 12
+
+
+def test_all_fresh_bootstraps_empty():
+    merged = merge_flush_states({
+        0: state(0, fresh=True),
+        1: state(0, fresh=True),
+    })
+    assert merged.next_sequence == 1
+    assert merged.records == {}
+
+
+def test_empty_states_rejected():
+    with pytest.raises(ProtocolError):
+        merge_flush_states({})
+
+
+def test_flush_state_size_accounts_payloads():
+    s = state(0, [record(1), record(2)])
+    assert s.size_bytes() > 200  # two 100-byte payloads plus overhead

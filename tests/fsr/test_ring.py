@@ -1,0 +1,73 @@
+"""Unit tests for ring geometry and roles."""
+
+import pytest
+
+from repro.core.fsr import Ring, Role
+from repro.errors import ConfigurationError
+from repro.types import View
+
+
+def test_roles():
+    ring = Ring(members=(10, 11, 12, 13, 14), t=2)
+    assert ring.role_of(10) is Role.LEADER
+    assert ring.role_of(11) is Role.BACKUP
+    assert ring.role_of(12) is Role.BACKUP
+    assert ring.role_of(13) is Role.STANDARD
+    assert ring.role_of(14) is Role.STANDARD
+    assert ring.leader == 10
+    assert ring.last_backup == 12
+
+
+def test_t_zero_leader_is_stability_point():
+    ring = Ring(members=(0, 1, 2), t=0)
+    assert ring.last_backup == ring.leader
+
+
+def test_successor_predecessor_wrap():
+    ring = Ring(members=(5, 6, 7), t=1)
+    assert ring.successor(7) == 5
+    assert ring.predecessor(5) == 7
+    assert ring.successor(5) == 6
+
+
+def test_from_view_clamps_t():
+    view = View(view_id=3, members=(0, 1))
+    ring = Ring.from_view(view, t=5)
+    assert ring.t == 1
+
+
+def test_position_and_at():
+    ring = Ring(members=(3, 1, 4), t=0)
+    assert ring.position_of(4) == 2
+    assert ring.at(5) == 4  # modulo
+    with pytest.raises(ConfigurationError):
+        ring.position_of(99)
+
+
+def test_invalid_rings_rejected():
+    with pytest.raises(ConfigurationError):
+        Ring(members=(), t=0)
+    with pytest.raises(ConfigurationError):
+        Ring(members=(0, 1), t=2)
+    with pytest.raises(ConfigurationError):
+        Ring(members=(0, 0), t=0)
+
+
+def test_latency_formula_values():
+    ring = Ring(members=tuple(range(5)), t=1)
+    # Paper formula: L(i) = 2n + t - i - 1 for i >= 1.
+    assert ring.latency_rounds(1) == 2 * 5 + 1 - 1 - 1
+    assert ring.latency_rounds(4) == 2 * 5 + 1 - 4 - 1
+    # Leader special case: n + t - 1.
+    assert ring.latency_rounds(0) == 5 + 1 - 1
+
+
+def test_latency_formula_degenerate():
+    assert Ring(members=(0,), t=0).latency_rounds(0) == 0
+
+
+def test_latency_decreases_with_position():
+    """Senders closer to the leader (larger i) complete sooner."""
+    ring = Ring(members=tuple(range(8)), t=2)
+    latencies = [ring.latency_rounds(i) for i in range(1, 8)]
+    assert latencies == sorted(latencies, reverse=True)

@@ -1,0 +1,105 @@
+"""Unit tests for segmentation and reassembly (paper §4.1)."""
+
+import pytest
+
+from repro.core.fsr.segmentation import Reassembler, Segment, split_payload
+from repro.errors import ProtocolError
+from repro.types import MessageId
+
+
+MID = MessageId(origin=0, local_seq=1)
+
+
+def test_small_payload_is_single_segment():
+    segments = split_payload(MID, b"abc", 3, segment_size=10)
+    assert len(segments) == 1
+    assert segments[0].count == 1
+    assert segments[0].payload == b"abc"
+
+
+def test_none_segment_size_disables_splitting():
+    segments = split_payload(MID, None, 1_000_000, segment_size=None)
+    assert len(segments) == 1
+
+
+def test_bytes_payload_split_and_sizes():
+    payload = bytes(range(256)) * 10  # 2560 bytes
+    segments = split_payload(MID, payload, len(payload), segment_size=1000)
+    assert [s.size_bytes for s in segments] == [1000, 1000, 560]
+    assert all(s.count == 3 for s in segments)
+    assert b"".join(s.payload for s in segments) == payload
+
+
+def test_opaque_payload_rides_first_segment():
+    marker = object()
+    segments = split_payload(MID, marker, 2500, segment_size=1000)
+    assert segments[0].payload is marker
+    assert segments[1].payload is None
+    assert sum(s.size_bytes for s in segments) == 2500
+
+
+def test_negative_size_rejected():
+    with pytest.raises(ProtocolError):
+        split_payload(MID, b"", -1, segment_size=10)
+
+
+def test_reassembly_round_trip():
+    payload = b"x" * 3500
+    segments = split_payload(MID, payload, 3500, segment_size=1000)
+    reassembler = Reassembler()
+    results = [reassembler.on_segment(s) for s in segments]
+    assert results[:-1] == [None, None, None]
+    rebuilt, size = results[-1]
+    assert rebuilt == payload
+    assert size == 3500
+    assert reassembler.incomplete_count == 0
+
+
+def test_reassembly_out_of_order():
+    payload = b"abcdefghij" * 100
+    segments = split_payload(MID, payload, 1000, segment_size=300)
+    reassembler = Reassembler()
+    order = [2, 0, 3, 1]
+    results = [reassembler.on_segment(segments[i]) for i in order]
+    completed = [r for r in results if r is not None]
+    assert len(completed) == 1
+    assert completed[0][0] == payload
+
+
+def test_single_segment_completes_immediately():
+    reassembler = Reassembler()
+    segment = Segment(app_message_id=MID, index=0, count=1, payload=b"x", size_bytes=1)
+    assert reassembler.on_segment(segment) == (b"x", 1)
+
+
+def test_duplicate_segment_rejected():
+    segments = split_payload(MID, b"x" * 200, 200, segment_size=100)
+    reassembler = Reassembler()
+    reassembler.on_segment(segments[0])
+    with pytest.raises(ProtocolError):
+        reassembler.on_segment(segments[0])
+
+
+def test_count_mismatch_rejected():
+    reassembler = Reassembler()
+    reassembler.on_segment(
+        Segment(app_message_id=MID, index=0, count=3, payload=b"a", size_bytes=1)
+    )
+    with pytest.raises(ProtocolError):
+        reassembler.on_segment(
+            Segment(app_message_id=MID, index=1, count=4, payload=b"b", size_bytes=1)
+        )
+
+
+def test_interleaved_messages_reassemble_independently():
+    mid_a = MessageId(origin=0, local_seq=1)
+    mid_b = MessageId(origin=1, local_seq=1)
+    seg_a = split_payload(mid_a, b"A" * 200, 200, segment_size=100)
+    seg_b = split_payload(mid_b, b"B" * 200, 200, segment_size=100)
+    reassembler = Reassembler()
+    assert reassembler.on_segment(seg_a[0]) is None
+    assert reassembler.on_segment(seg_b[0]) is None
+    done_b = reassembler.on_segment(seg_b[1])
+    assert done_b == (b"B" * 200, 200)
+    done_a = reassembler.on_segment(seg_a[1])
+    assert done_a == (b"A" * 200, 200)

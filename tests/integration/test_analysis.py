@@ -1,0 +1,88 @@
+"""The simulator is held to the closed-form model (repro.analysis)."""
+
+import pytest
+
+from repro import ClusterConfig, FSRConfig, build_cluster
+from repro.analysis import (
+    ThroughputPrediction,
+    fixed_sequencer_max_throughput_bps,
+    fsr_contention_free_latency_s,
+    fsr_max_throughput_bps,
+    raw_goodput_bps,
+)
+from repro.metrics import collect_metrics
+from repro.net import NetworkParams
+from repro.workloads import KToNPattern, run_workload
+
+
+PARAMS = NetworkParams.fast_ethernet()
+
+
+def test_predictions_land_on_paper_numbers():
+    prediction = ThroughputPrediction.for_paper_setup(PARAMS)
+    assert prediction.raw_mbps == pytest.approx(94.15, abs=0.3)
+    assert prediction.fsr_mbps == pytest.approx(79, abs=1.5)
+    assert prediction.fixed_sequencer_mbps < 0.35 * prediction.fsr_mbps
+
+
+def test_des_matches_fsr_throughput_prediction():
+    predicted = fsr_max_throughput_bps(PARAMS, 100_000) / 1e6
+    cluster = build_cluster(ClusterConfig(n=5, protocol="fsr"))
+    outcome = run_workload(cluster, KToNPattern.n_to_n(5, 30))
+    measured = collect_metrics(outcome).completion_throughput_mbps
+    assert measured == pytest.approx(predicted, rel=0.03)
+
+
+def test_des_matches_fsr_throughput_prediction_other_size():
+    predicted = fsr_max_throughput_bps(PARAMS, 20_000, n=4, t=1) / 1e6
+    cluster = build_cluster(ClusterConfig(n=4, protocol="fsr"))
+    # Long run: pipeline-fill time must be negligible for the
+    # steady-state formula to be the right comparison.
+    outcome = run_workload(
+        cluster, KToNPattern.n_to_n(4, 200, message_bytes=20_000),
+        max_time_s=900.0,
+    )
+    measured = collect_metrics(outcome).completion_throughput_mbps
+    assert measured == pytest.approx(predicted, rel=0.05)
+
+
+@pytest.mark.parametrize("n,position", [(3, 1), (5, 2), (8, 5), (10, 1)])
+def test_des_matches_latency_prediction(n, position):
+    predicted = fsr_contention_free_latency_s(PARAMS, n, 1, position, 100_000)
+    cluster = build_cluster(
+        ClusterConfig(n=n, protocol="fsr", protocol_config=FSRConfig(t=1))
+    )
+    cluster.start()
+    cluster.run(until=0.05)
+    mid = cluster.broadcast(position, size_bytes=100_000)
+    cluster.run_until(lambda: cluster.all_correct_delivered(1), max_time_s=30)
+    measured = cluster.results().completion_time(mid) - 0.05
+    assert measured == pytest.approx(predicted, rel=0.05)
+
+
+def test_des_matches_fixed_sequencer_collapse():
+    for n in (5, 8):
+        predicted = fixed_sequencer_max_throughput_bps(PARAMS, n, 100_000) / 1e6
+        cluster = build_cluster(ClusterConfig(n=n, protocol="fixed_sequencer"))
+        outcome = run_workload(
+            cluster, KToNPattern.n_to_n(n, max(1, 60 // n)), max_time_s=900
+        )
+        measured = collect_metrics(outcome).completion_throughput_mbps
+        assert measured == pytest.approx(predicted, rel=0.15)
+
+
+def test_raw_goodput_prediction_matches_network():
+    from repro.net.network import Network
+    from repro.sim import Simulator
+
+    params = NetworkParams(cpu_per_message_s=0.0, cpu_per_byte_s=0.0)
+    sim = Simulator()
+    net = Network(sim, params)
+    sender, receiver = net.attach(0), net.attach(1)
+    seen = []
+    receiver.on_receive(lambda src, msg: seen.append(sim.now))
+    for _ in range(100):
+        sender.send(1, b"", size_bytes=100_000)
+    sim.run()
+    measured = 100 * 100_000 * 8 / seen[-1]
+    assert measured == pytest.approx(raw_goodput_bps(params), rel=0.01)

@@ -1,0 +1,94 @@
+"""Full-stack integration tests on realistic (paper-scale) parameters."""
+
+import pytest
+
+from repro import ClusterConfig, FSRConfig, build_cluster
+from repro.checker import check_all
+from repro.metrics import collect_metrics
+from repro.workloads import KToNPattern, ThrottledPattern, run_workload
+
+
+def test_paper_setup_throughput_close_to_79():
+    """Figure 8's headline number on the default calibrated network."""
+    cluster = build_cluster(
+        ClusterConfig(n=5, protocol="fsr", protocol_config=FSRConfig(t=1))
+    )
+    outcome = run_workload(cluster, KToNPattern.n_to_n(5, 25))
+    check_all(outcome.result)
+    metrics = collect_metrics(outcome)
+    assert 74 < metrics.completion_throughput_mbps < 85
+
+
+def test_throughput_independent_of_sender_count():
+    """Figure 9's shape: k-to-5 throughput flat in k."""
+    values = []
+    for k in (1, 3, 5):
+        cluster = build_cluster(
+            ClusterConfig(n=5, protocol="fsr", protocol_config=FSRConfig(t=1))
+        )
+        # Long enough runs to amortise the pipeline fill (the paper's
+        # runs are long for the same reason).
+        outcome = run_workload(
+            cluster, KToNPattern.k_to_n(k, 5, 180 // k), max_time_s=900.0
+        )
+        values.append(collect_metrics(outcome).completion_throughput_mbps)
+    assert max(values) - min(values) < 0.07 * max(values)
+
+
+def test_latency_linear_in_cluster_size():
+    """Figure 6's shape: contention-free latency grows linearly."""
+    from repro.metrics import latency_of_message
+
+    latencies = []
+    for n in (3, 6, 9):
+        cluster = build_cluster(
+            ClusterConfig(n=n, protocol="fsr", protocol_config=FSRConfig(t=1))
+        )
+        cluster.start()
+        cluster.run(until=0.05)
+        mid = cluster.broadcast(1, size_bytes=100_000)
+        cluster.run_until(lambda: cluster.all_correct_delivered(1), max_time_s=30)
+        result = cluster.results()
+        completion = result.completion_time(mid)
+        latencies.append(completion - 0.05)
+    d1 = latencies[1] - latencies[0]
+    d2 = latencies[2] - latencies[1]
+    assert d1 > 0 and d2 > 0
+    assert d2 == pytest.approx(d1, rel=0.15)  # linear growth
+
+
+def test_latency_flat_until_saturation():
+    """Figure 7's shape: latency roughly constant below capacity."""
+    from repro.metrics import collect_metrics
+
+    means = {}
+    for load in (20e6, 60e6):
+        cluster = build_cluster(
+            ClusterConfig(n=5, protocol="fsr", protocol_config=FSRConfig(t=1))
+        )
+        outcome = run_workload(
+            cluster,
+            ThrottledPattern(
+                senders=tuple(range(5)), messages_per_sender=15,
+                offered_load_bps=load,
+            ),
+        )
+        means[load] = collect_metrics(outcome).mean_latency_s
+    # Tripling sub-saturation load must not triple latency.
+    assert means[60e6] < means[20e6] * 2
+
+
+def test_gigabit_preset_runs():
+    from repro.net import NetworkParams
+
+    cluster = build_cluster(
+        ClusterConfig(
+            n=4, protocol="fsr", protocol_config=FSRConfig(t=1),
+            network=NetworkParams.gigabit(),
+        )
+    )
+    outcome = run_workload(cluster, KToNPattern.n_to_n(4, 10))
+    check_all(outcome.result)
+    metrics = collect_metrics(outcome)
+    # Gigabit links and faster hosts: way beyond Fast Ethernet numbers.
+    assert metrics.completion_throughput_mbps > 150

@@ -1,0 +1,75 @@
+"""Deterministic cost-regression guards.
+
+Wall-clock performance tests flake; the simulator's *event count* for a
+fixed scenario is deterministic, so pinning loose upper bounds catches
+accidental event explosions (busy-wait loops, timer leaks, unbatched
+retries) without any flakiness.
+"""
+
+import pytest
+
+from repro.core.fsr import FSRConfig
+from tests.conftest import run_broadcasts, small_cluster
+
+
+def test_fsr_event_budget_per_message():
+    n, per = 5, 10
+    cluster = small_cluster(n=n, protocol_config=FSRConfig(t=1))
+    run_broadcasts(cluster, [(pid, per, 5_000) for pid in range(n)])
+    per_message = cluster.sim.events_processed / (n * per)
+    # Each message: ~n-1 data hops x (tx, arrival, rx, cpu, tx-done) +
+    # marshal + ack traffic. Empirically ~60; 120 flags an explosion.
+    assert per_message < 120, per_message
+
+
+def test_idle_cluster_is_quiet():
+    """An FSR cluster with no traffic schedules (almost) nothing —
+    no polling loops, no gratuitous timers."""
+    cluster = small_cluster(n=5, protocol_config=FSRConfig(t=1))
+    cluster.start()
+    cluster.run(until=1.0)
+    baseline = cluster.sim.events_processed
+    cluster.run(until=10.0)
+    # Oracle detector mode: a truly idle system processes no events.
+    assert cluster.sim.events_processed == baseline
+
+
+def test_heartbeat_idle_cost_is_linear_not_quadratic_in_time():
+    cluster = small_cluster(n=4, detector="heartbeat")
+    cluster.start()
+    cluster.run(until=1.0)
+    first = cluster.sim.events_processed
+    cluster.run(until=2.0)
+    second = cluster.sim.events_processed - first
+    assert second <= first * 1.2  # steady heartbeat rate
+
+
+def test_token_protocols_idle_cost_bounded():
+    """Idle token circulation is rate-limited by the hold timer."""
+    for protocol in ("moving_sequencer", "privilege"):
+        cluster = small_cluster(n=4, protocol=protocol, protocol_config=None)
+        cluster.start()
+        cluster.run(until=1.0)
+        events_per_second = cluster.sim.events_processed
+        # 1 ms idle-hold -> ~1 000 token events/s x handful of events
+        # each; 40 000 flags a spin.
+        assert events_per_second < 40_000, (protocol, events_per_second)
+
+
+def test_crash_recovery_event_budget():
+    cluster = small_cluster(n=5, protocol_config=FSRConfig(t=1))
+    cluster.start()
+    cluster.run(until=5e-3)
+    for pid in range(5):
+        for _ in range(5):
+            cluster.broadcast(pid, size_bytes=5_000)
+    cluster.schedule_crash(0, time=0.02)
+    cluster.run_until(
+        lambda: all(
+            sum(1 for d in cluster.nodes[p].app_deliveries if d.origin != 0) >= 20
+            for p in range(1, 5)
+        ),
+        max_time_s=60,
+    )
+    # Recovery must not multiply the per-message event cost wildly.
+    assert cluster.sim.events_processed < 25 * 120 * 3

@@ -1,0 +1,89 @@
+"""Integration tests: crashes under the paper-scale configuration."""
+
+import pytest
+
+from repro import ClusterConfig, FSRConfig, build_cluster
+from repro.checker import (
+    check_integrity,
+    check_sequence_consistency,
+    check_total_order,
+    check_uniformity,
+)
+
+
+def _crash_run(n, t, victims, per_sender=8, size=50_000, detector="oracle"):
+    cluster = build_cluster(
+        ClusterConfig(
+            n=n, protocol="fsr", protocol_config=FSRConfig(t=t),
+            detector=detector,
+        )
+    )
+    cluster.start()
+    cluster.run(until=0.05)
+    for pid in range(n):
+        for _ in range(per_sender):
+            cluster.broadcast(pid, size_bytes=size)
+    for victim, at in victims:
+        cluster.schedule_crash(victim, time=at)
+    crashed = {v for v, _ in victims}
+    survivors = [p for p in range(n) if p not in crashed]
+    expected = per_sender * (n - len(crashed))
+    cluster.run_until(
+        lambda: all(
+            sum(1 for d in cluster.nodes[p].app_deliveries if d.origin not in crashed)
+            >= expected
+            for p in survivors
+        ),
+        step_s=0.05,
+        max_time_s=300.0,
+    )
+    cluster.run(until=cluster.sim.now + 0.1)
+    return cluster.results()
+
+
+def _assert_safe(result):
+    check_integrity(result)
+    check_total_order(result)
+    check_sequence_consistency(result)
+    check_uniformity(result)
+
+
+def test_leader_crash_at_full_load():
+    result = _crash_run(5, 1, [(0, 0.5)])
+    _assert_safe(result)
+
+
+def test_two_crashes_with_t2():
+    result = _crash_run(6, 2, [(0, 0.4), (3, 0.8)])
+    _assert_safe(result)
+
+
+def test_crash_during_view_change_window():
+    """Second crash lands right in the middle of the first flush."""
+    result = _crash_run(6, 2, [(1, 0.4), (2, 0.403)])
+    _assert_safe(result)
+
+
+def test_heartbeat_detector_failover():
+    """The full stack also works without the oracle detector."""
+    result = _crash_run(
+        4, 1, [(2, 0.5)], per_sender=5, size=20_000, detector="heartbeat"
+    )
+    _assert_safe(result)
+
+
+def test_throughput_recovers_after_crash():
+    """After the view change, survivors keep delivering at full rate."""
+    result = _crash_run(5, 1, [(4, 0.3)], per_sender=12)
+    _assert_safe(result)
+    # Deliveries continue well past the crash.
+    last_delivery = max(
+        d.time for p in (0, 1, 2, 3) for d in result.delivery_logs[p].deliveries
+    )
+    assert last_delivery > 0.4
+    post_crash = [
+        d
+        for d in result.delivery_logs[0].deliveries
+        if d.time > 0.5
+    ]
+    assert len(post_crash) > 10

@@ -1,0 +1,98 @@
+"""Integration tests: lossy networks (ARQ) and dynamic membership."""
+
+import pytest
+
+from repro import ClusterConfig, FSRConfig, build_cluster
+from repro.checker import check_all, check_integrity, check_total_order
+from repro.net import NetworkParams
+
+
+def test_fsr_on_lossy_network():
+    """Channel ARQ hides loss; FSR sees reliable FIFO links."""
+    params = NetworkParams(
+        cpu_per_message_s=20e-6,
+        cpu_per_byte_s=5e-9,
+        loss_rate=0.05,
+        retransmit_timeout_s=5e-3,
+    )
+    cluster = build_cluster(
+        ClusterConfig(
+            n=4, protocol="fsr", protocol_config=FSRConfig(t=1),
+            network=params, seed=3,
+        )
+    )
+    cluster.start()
+    cluster.run(until=0.02)
+    for pid in range(4):
+        for _ in range(6):
+            cluster.broadcast(pid, size_bytes=5_000)
+    cluster.run_until(lambda: cluster.all_correct_delivered(24), max_time_s=120)
+    result = cluster.results()
+    check_all(result)
+    lost = sum(stats.messages_lost for stats in result.nic_stats.values())
+    assert lost > 0, "the run was supposed to exercise retransmission"
+
+
+def test_graceful_leave_mid_stream():
+    cluster = build_cluster(
+        ClusterConfig(n=5, protocol="fsr", protocol_config=FSRConfig(t=1),
+                      network=NetworkParams(cpu_per_message_s=20e-6,
+                                            cpu_per_byte_s=5e-9))
+    )
+    cluster.start()
+    cluster.run(until=0.02)
+    for pid in range(5):
+        for _ in range(4):
+            cluster.broadcast(pid, size_bytes=5_000)
+    # Process 4 politely leaves once its messages are in flight.
+    cluster.sim.schedule(0.03, cluster.nodes[4].membership.request_leave)
+    survivors = (0, 1, 2, 3)
+    cluster.run_until(
+        lambda: all(
+            len(cluster.nodes[p].app_deliveries) >= 16 for p in survivors
+        ),
+        max_time_s=120,
+    )
+    # The leave-triggered view change may still be in flight; wait for
+    # it to land before inspecting membership.
+    cluster.run_until(
+        lambda: 4 not in cluster.nodes[0].protocol.view.members,
+        max_time_s=120,
+    )
+    result = cluster.results()
+    check_integrity(result)
+    check_total_order(result)
+    final_view = cluster.nodes[0].protocol.view
+    assert final_view is not None and 4 not in final_view.members
+
+
+def test_leader_rotation_via_leave_join():
+    """The paper's §4.3.1 note: rotating the leader by a leave+join."""
+    cluster = build_cluster(
+        ClusterConfig(n=4, protocol="fsr", protocol_config=FSRConfig(t=1),
+                      network=NetworkParams(cpu_per_message_s=20e-6,
+                                            cpu_per_byte_s=5e-9))
+    )
+    cluster.start()
+    cluster.run(until=0.02)
+    assert cluster.nodes[0].protocol.ring.leader == 0
+
+    # The leader leaves and immediately rejoins at the ring's tail.
+    cluster.sim.schedule(0.03, cluster.nodes[0].membership.request_leave)
+    cluster.run(until=0.1)
+    view_after_leave = cluster.nodes[1].protocol.view
+    assert view_after_leave.members == (1, 2, 3)
+    assert cluster.nodes[1].protocol.ring.leader == 1
+
+    # Note: the harness's node 0 stopped with the leave; a production
+    # deployment would restart the process before rejoining.  Verify the
+    # remaining group still makes progress under the rotated leader.
+    for pid in (1, 2, 3):
+        cluster.broadcast(pid, size_bytes=2_000)
+    cluster.run_until(
+        lambda: all(len(cluster.nodes[p].app_deliveries) >= 3 for p in (1, 2, 3)),
+        max_time_s=60,
+    )
+    result = cluster.results()
+    check_integrity(result)
+    check_total_order(result)

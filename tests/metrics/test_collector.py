@@ -1,0 +1,58 @@
+"""Unit tests for the metrics collector."""
+
+import pytest
+
+from repro.metrics import collect_metrics, format_table, latency_of_message
+from repro.workloads import KToNPattern, run_workload
+from tests.conftest import small_cluster
+
+
+def _outcome(n=3, per=4, size=5_000):
+    cluster = small_cluster(n=n)
+    return run_workload(cluster, KToNPattern.n_to_n(n, per, message_bytes=size))
+
+
+def test_collect_metrics_end_to_end():
+    outcome = _outcome()
+    metrics = collect_metrics(outcome)
+    assert metrics.messages_completed == 12
+    assert metrics.aggregate_throughput_mbps > 0
+    assert set(metrics.per_sender_throughput_mbps) == {0, 1, 2}
+    assert metrics.mean_latency_s > 0
+    assert metrics.p50_latency_s <= metrics.p99_latency_s
+    assert metrics.fairness == pytest.approx(1.0)
+
+
+def test_latency_of_message_positive_and_reasonable():
+    outcome = _outcome()
+    for sender, ids in outcome.sent.items():
+        for message_id in ids:
+            latency = latency_of_message(outcome, message_id)
+            assert latency is not None
+            assert 0 < latency < outcome.result.duration_s
+
+
+def test_latency_of_unknown_message_raises():
+    from repro.errors import ConfigurationError
+    from repro.types import MessageId
+
+    outcome = _outcome(n=2, per=1)
+    with pytest.raises(ConfigurationError):
+        latency_of_message(outcome, MessageId(origin=9, local_seq=9))
+
+
+def test_metrics_as_row():
+    outcome = _outcome(n=2, per=2)
+    row = collect_metrics(outcome).as_row()
+    assert len(row) == 4
+
+
+def test_format_table_alignment():
+    text = format_table(
+        ["n", "Mb/s"], [[2, 79.123], [10, 79.456]], title="Figure 8"
+    )
+    lines = text.splitlines()
+    assert lines[0] == "Figure 8"
+    assert "79.12" in text and "79.46" in text
+    # All data rows are equally wide.
+    assert len(lines[2]) == len(lines[3])

@@ -1,0 +1,68 @@
+"""Tests for result export/import round-tripping."""
+
+import pytest
+
+from repro.checker import check_all
+from repro.errors import ConfigurationError
+from repro.metrics.export import (
+    result_from_dict,
+    result_from_json,
+    result_to_dict,
+    result_to_json,
+)
+from tests.conftest import run_broadcasts, small_cluster
+
+
+def _result():
+    cluster = small_cluster(n=3)
+    return run_broadcasts(cluster, [(0, 3, 2_000), (2, 3, 2_000)])
+
+
+def test_round_trip_preserves_checker_view():
+    original = _result()
+    restored = result_from_json(result_to_json(original))
+    check_all(restored)
+    assert restored.duration_s == original.duration_s
+    assert restored.correct_processes() == original.correct_processes()
+    for pid in original.delivery_logs:
+        assert [d.key() for d in restored.delivery_logs[pid].deliveries] == [
+            d.key() for d in original.delivery_logs[pid].deliveries
+        ]
+
+
+def test_round_trip_preserves_metrics_inputs():
+    original = _result()
+    restored = result_from_dict(result_to_dict(original))
+    mid = original.broadcasts[0].message_id
+    assert restored.completion_time(mid) == original.completion_time(mid)
+    assert restored.total_delivered_bytes() == original.total_delivered_bytes()
+    assert restored.broadcast_origin == original.broadcast_origin
+
+
+def test_crashes_survive_round_trip():
+    cluster = small_cluster(n=3)
+    cluster.start()
+    cluster.run(until=5e-3)
+    for _ in range(4):
+        cluster.broadcast(0, size_bytes=1_000)
+    cluster.schedule_crash(2, time=0.01)
+    cluster.run(until=0.05)
+    restored = result_from_dict(result_to_dict(cluster.results()))
+    assert restored.crashed == {2: 0.01}
+
+
+def test_nic_stats_survive():
+    original = _result()
+    restored = result_from_dict(result_to_dict(original))
+    assert restored.nic_stats[0].wire_bytes_tx == original.nic_stats[0].wire_bytes_tx
+
+
+def test_json_is_plain_text():
+    text = result_to_json(_result(), indent=2)
+    assert text.startswith("{")
+    assert "repro.result/1" in text
+
+
+def test_unknown_schema_rejected():
+    with pytest.raises(ConfigurationError):
+        result_from_dict({"schema": "something/else"})

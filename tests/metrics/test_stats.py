@@ -1,0 +1,52 @@
+"""Unit tests for the statistics helpers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics import jain_index, mean, percentile, stddev
+
+
+def test_mean_and_stddev():
+    assert mean([1.0, 2.0, 3.0]) == 2.0
+    assert stddev([2.0, 2.0, 2.0]) == 0.0
+    assert stddev([0.0, 4.0]) == 2.0
+
+
+def test_empty_inputs_raise():
+    for fn in (mean, stddev, jain_index):
+        with pytest.raises(ConfigurationError):
+            fn([])
+    with pytest.raises(ConfigurationError):
+        percentile([], 50)
+
+
+def test_percentile_interpolation():
+    values = [10.0, 20.0, 30.0, 40.0]
+    assert percentile(values, 0) == 10.0
+    assert percentile(values, 100) == 40.0
+    assert percentile(values, 50) == 25.0
+    assert percentile([7.0], 99) == 7.0
+
+
+def test_percentile_bounds():
+    with pytest.raises(ConfigurationError):
+        percentile([1.0], -1)
+    with pytest.raises(ConfigurationError):
+        percentile([1.0], 101)
+
+
+def test_percentile_is_order_independent():
+    assert percentile([3.0, 1.0, 2.0], 50) == 2.0
+
+
+def test_jain_index_extremes():
+    assert jain_index([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+    # One sender hogging everything: index -> 1/n.
+    assert jain_index([10.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+    assert jain_index([0.0, 0.0]) == 1.0  # nobody sent: trivially fair
+
+
+def test_jain_index_moderate_imbalance():
+    balanced = jain_index([10.0, 10.0])
+    skewed = jain_index([15.0, 5.0])
+    assert skewed < balanced

@@ -1,0 +1,77 @@
+"""Tests for the ASCII timeline/utilisation renderers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.timeline import delivery_timeline, event_strip, utilisation_bars
+from tests.conftest import run_broadcasts, small_cluster
+from tests.checker.test_order import build_result
+
+
+def test_delivery_timeline_renders_rows_per_process():
+    cluster = small_cluster(n=3)
+    result = run_broadcasts(cluster, [(0, 5, 2_000), (1, 5, 2_000)])
+    text = delivery_timeline(result, width=32)
+    lines = text.splitlines()
+    assert len(lines) == 4  # header + 3 processes
+    assert lines[1].startswith("p0")
+    assert "|" in lines[1]
+    # Every process delivered something: no all-blank rows.
+    for line in lines[1:]:
+        body = line.split("|")[1]
+        assert any(ch != " " for ch in body)
+
+
+def test_delivery_timeline_marks_crash():
+    cluster = small_cluster(n=3)
+    cluster.start()
+    cluster.run(until=5e-3)
+    for _ in range(8):
+        cluster.broadcast(1, size_bytes=2_000)
+    cluster.schedule_crash(2, time=0.0062)  # mid-delivery
+    cluster.run_until(
+        lambda: all(
+            len(cluster.nodes[p].app_deliveries) >= 8 for p in (0, 1)
+        ),
+        max_time_s=30,
+    )
+    text = delivery_timeline(cluster.results(), width=32)
+    crashed_row = [l for l in text.splitlines() if l.startswith("p2")][0]
+    assert "x" in crashed_row
+
+
+def test_delivery_timeline_empty_logs():
+    result = build_result({0: [], 1: []})
+    assert delivery_timeline(result) == "(no deliveries)"
+
+
+def test_delivery_timeline_rejects_tiny_width():
+    result = build_result({0: [(0, 1, 1)], 1: [(0, 1, 1)]})
+    with pytest.raises(ConfigurationError):
+        delivery_timeline(result, width=4)
+
+
+def test_utilisation_bars_show_percentages():
+    cluster = small_cluster(n=3)
+    result = run_broadcasts(cluster, [(0, 10, 50_000)])
+    text = utilisation_bars(result, width=20)
+    assert "tx " in text and "rx " in text and "cpu" in text
+    assert "%" in text
+    # Three nodes x three resources + header.
+    assert len(text.splitlines()) == 1 + 9
+
+
+def test_utilisation_reveals_sequencer_bottleneck():
+    cluster = small_cluster(n=4, protocol="fixed_sequencer", protocol_config=None)
+    result = run_broadcasts(cluster, [(pid, 6, 50_000) for pid in (1, 2, 3)])
+    stats = result.nic_stats
+    assert stats[0].tx_busy_s > 2 * stats[1].tx_busy_s  # visual basis
+
+
+def test_event_strip():
+    text = event_strip([(1.0, "crash p0"), (1.5, "view 1")], start=0.0, end=2.0,
+                       width=40)
+    assert text.count("^") >= 2 + 2  # markers + label lines
+    assert "crash p0" in text and "view 1" in text
+    with pytest.raises(ConfigurationError):
+        event_strip([], start=1.0, end=1.0)

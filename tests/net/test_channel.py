@@ -1,0 +1,90 @@
+"""Unit tests for the reliable FIFO channel layer (ARQ)."""
+
+import random
+
+import pytest
+
+from repro.net import ChannelStack, Network, NetworkParams
+from repro.net.channel import MAX_RETRIES
+from repro.sim import Simulator
+
+
+def build(loss_rate=0.0, seed=1, retransmit_timeout_s=5e-3):
+    params = NetworkParams(
+        cpu_per_message_s=0.0,
+        cpu_per_byte_s=0.0,
+        loss_rate=loss_rate,
+        retransmit_timeout_s=retransmit_timeout_s,
+    )
+    sim = Simulator()
+    net = Network(sim, params, loss_rng=random.Random(seed))
+    stacks = {}
+    for node in (0, 1):
+        stacks[node] = ChannelStack(sim, net.attach(node), params)
+    return sim, net, stacks
+
+
+def test_passthrough_without_loss():
+    sim, net, stacks = build(loss_rate=0.0)
+    got = []
+    stacks[1].on_receive(lambda src, msg: got.append(msg))
+    stacks[0].send(1, b"hello")
+    sim.run()
+    assert got == [b"hello"]
+    # No ack traffic in passthrough mode.
+    assert net.stats_of(1).messages_tx == 0
+
+
+def test_lossy_channel_delivers_everything_in_order():
+    sim, net, stacks = build(loss_rate=0.3, seed=7)
+    got = []
+    stacks[1].on_receive(lambda src, msg: got.append(msg))
+    sent = [f"m{i}".encode() for i in range(50)]
+    for message in sent:
+        stacks[0].send(1, message)
+    sim.run()
+    assert got == sent
+
+
+def test_retransmissions_actually_happen():
+    sim, net, stacks = build(loss_rate=0.5, seed=3)
+    got = []
+    stacks[1].on_receive(lambda src, msg: got.append(msg))
+    for i in range(20):
+        stacks[0].send(1, f"m{i}".encode())
+    sim.run()
+    assert len(got) == 20
+    assert net.stats_of(0).messages_lost > 0
+
+
+def test_gives_up_on_dead_peer():
+    sim, net, stacks = build(loss_rate=0.01, retransmit_timeout_s=1e-3)
+    net.crash(1)
+    stacks[0].send(1, b"into the void")
+    sim.run()
+    # The sender retried a bounded number of times, then stopped.
+    assert net.stats_of(0).messages_tx <= MAX_RETRIES + 2
+
+
+def test_close_peer_stops_retransmission():
+    sim, net, stacks = build(loss_rate=0.01, retransmit_timeout_s=1e-3)
+    net.crash(1)
+    stacks[0].send(1, b"x")
+    sim.run(until=2e-3)
+    stacks[0].close_peer(1)
+    before = net.stats_of(0).messages_tx
+    sim.run(until=0.5)
+    assert net.stats_of(0).messages_tx == before
+
+
+def test_bidirectional_lossy_traffic():
+    sim, net, stacks = build(loss_rate=0.2, seed=11)
+    got0, got1 = [], []
+    stacks[0].on_receive(lambda src, msg: got0.append(msg))
+    stacks[1].on_receive(lambda src, msg: got1.append(msg))
+    for i in range(30):
+        stacks[0].send(1, f"a{i}".encode())
+        stacks[1].send(0, f"b{i}".encode())
+    sim.run()
+    assert got1 == [f"a{i}".encode() for i in range(30)]
+    assert got0 == [f"b{i}".encode() for i in range(30)]

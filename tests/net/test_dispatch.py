@@ -1,0 +1,63 @@
+"""Unit tests for layer demultiplexing."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net import ChannelStack, Network, NetworkParams
+from repro.net.dispatch import LayerDemux
+from repro.sim import Simulator
+
+
+def build():
+    params = NetworkParams(cpu_per_message_s=0.0, cpu_per_byte_s=0.0)
+    sim = Simulator()
+    net = Network(sim, params)
+    demuxes = {}
+    for node in (0, 1):
+        stack = ChannelStack(sim, net.attach(node), params)
+        demuxes[node] = LayerDemux(stack)
+    return sim, demuxes
+
+
+def test_routing_between_layers():
+    sim, demuxes = build()
+    a_fd = demuxes[0].port("fd")
+    a_proto = demuxes[0].port("proto")
+    b_fd = demuxes[1].port("fd")
+    b_proto = demuxes[1].port("proto")
+
+    fd_got, proto_got = [], []
+    b_fd.on_receive(lambda src, msg: fd_got.append(msg))
+    b_proto.on_receive(lambda src, msg: proto_got.append(msg))
+
+    a_fd.send(1, b"heartbeat")
+    a_proto.send(1, b"data")
+    sim.run()
+    assert fd_got == [b"heartbeat"]
+    assert proto_got == [b"data"]
+
+
+def test_unreceived_layer_drops_silently():
+    sim, demuxes = build()
+    a = demuxes[0].port("x")
+    demuxes[1].port("x")  # port exists, no handler registered
+    a.send(1, b"dropped")
+    sim.run()  # must not raise
+
+
+def test_duplicate_port_rejected():
+    _, demuxes = build()
+    demuxes[0].port("fd")
+    with pytest.raises(ConfigurationError):
+        demuxes[0].port("fd")
+
+
+def test_register_requires_port():
+    _, demuxes = build()
+    with pytest.raises(ConfigurationError):
+        demuxes[0].register("nope", lambda src, msg: None)
+
+
+def test_port_reports_node_id():
+    _, demuxes = build()
+    assert demuxes[0].port("p").node_id == 0

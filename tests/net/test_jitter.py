@@ -1,0 +1,86 @@
+"""Tests for propagation jitter (FIFO-preserving switch noise)."""
+
+import random
+
+import pytest
+
+from repro.checker import check_all
+from repro.errors import ConfigurationError
+from repro.net import Network, NetworkParams
+from repro.sim import Simulator
+from tests.conftest import fast_params, run_broadcasts, small_cluster
+
+
+def test_jitter_validation():
+    with pytest.raises(ConfigurationError):
+        NetworkParams(propagation_jitter_s=-1e-6)
+
+
+def test_jitter_delays_but_preserves_flow_fifo():
+    params = NetworkParams(
+        cpu_per_message_s=0.0, cpu_per_byte_s=0.0,
+        propagation_jitter_s=5e-3,  # huge vs the 0.08 ms wire time
+    )
+    sim = Simulator()
+    net = Network(sim, params, jitter_rng=random.Random(3))
+    a, b = net.attach(0), net.attach(1)
+    got = []
+    b.on_receive(lambda src, msg: got.append(msg))
+    for i in range(50):
+        a.send(1, f"m{i}".encode(), size_bytes=1_000)
+    sim.run()
+    assert got == [f"m{i}".encode() for i in range(50)]
+
+
+def test_jitter_changes_arrival_times_deterministically():
+    def arrivals(seed):
+        params = NetworkParams(
+            cpu_per_message_s=0.0, cpu_per_byte_s=0.0,
+            propagation_jitter_s=1e-3,
+        )
+        sim = Simulator()
+        net = Network(sim, params, jitter_rng=random.Random(seed))
+        a, b = net.attach(0), net.attach(1)
+        times = []
+        b.on_receive(lambda src, msg: times.append(sim.now))
+        for _ in range(10):
+            a.send(1, b"", size_bytes=1_000)
+        sim.run()
+        return times
+
+    assert arrivals(seed=1) == arrivals(seed=1)
+    assert arrivals(seed=1) != arrivals(seed=2)
+
+
+def test_fsr_correct_under_jitter():
+    params = fast_params(propagation_jitter_s=2e-3)
+    cluster = small_cluster(n=4, network=params, seed=11)
+    result = run_broadcasts(cluster, [(pid, 5, 3_000) for pid in range(4)],
+                            max_time_s=120)
+    check_all(result)
+
+
+def test_fsr_correct_under_jitter_with_crash():
+    from repro.checker import (
+        check_integrity, check_total_order, check_uniformity,
+    )
+
+    params = fast_params(propagation_jitter_s=2e-3)
+    cluster = small_cluster(n=5, network=params, seed=12)
+    cluster.start()
+    cluster.run(until=5e-3)
+    for pid in range(5):
+        for _ in range(5):
+            cluster.broadcast(pid, size_bytes=3_000)
+    cluster.schedule_crash(0, time=0.03)
+    cluster.run_until(
+        lambda: all(
+            sum(1 for d in cluster.nodes[p].app_deliveries if d.origin != 0) >= 20
+            for p in range(1, 5)
+        ),
+        max_time_s=120,
+    )
+    result = cluster.results()
+    check_integrity(result)
+    check_total_order(result)
+    check_uniformity(result)

@@ -1,0 +1,36 @@
+"""Unit tests for wire message sizing."""
+
+import pytest
+
+from repro.net.message import Datagram, message_size
+
+
+class _Sized:
+    def wire_size_bytes(self):
+        return 1234
+
+
+def test_message_size_of_bytes_and_str():
+    assert message_size(b"abc") == 3
+    assert message_size(bytearray(b"abcd")) == 4
+    assert message_size("héllo") == len("héllo".encode("utf-8"))
+
+
+def test_message_size_of_wire_message():
+    assert message_size(_Sized()) == 1234
+
+
+def test_message_size_rejects_unknown_types():
+    with pytest.raises(TypeError):
+        message_size(12345)
+
+
+def test_datagram_rejects_negative_size():
+    with pytest.raises(ValueError):
+        Datagram(src=0, dst=1, payload=None, size_bytes=-1, send_time=0.0)
+
+
+def test_datagram_ids_are_unique():
+    a = Datagram(src=0, dst=1, payload=None, size_bytes=0, send_time=0.0)
+    b = Datagram(src=0, dst=1, payload=None, size_bytes=0, send_time=0.0)
+    assert a.datagram_id != b.datagram_id

@@ -1,0 +1,220 @@
+"""Unit tests for the switched-fabric / NIC / CPU model."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net import Network, NetworkParams
+from repro.sim import Simulator
+
+
+def _zero_cpu_params(**overrides):
+    defaults = dict(cpu_per_message_s=0.0, cpu_per_byte_s=0.0)
+    defaults.update(overrides)
+    return NetworkParams(**defaults)
+
+
+def build(params=None):
+    sim = Simulator()
+    net = Network(sim, params or _zero_cpu_params())
+    return sim, net
+
+
+def test_point_to_point_delivery():
+    sim, net = build()
+    a, b = net.attach(0), net.attach(1)
+    got = []
+    b.on_receive(lambda src, msg: got.append((src, msg)))
+    a.send(1, b"hello")
+    sim.run()
+    assert got == [(0, b"hello")]
+
+
+def test_single_message_latency_is_cut_through():
+    """Per-hop latency for a large message ~ one wire time, not two."""
+    params = _zero_cpu_params()
+    sim, net = build(params)
+    a, b = net.attach(0), net.attach(1)
+    times = []
+    b.on_receive(lambda src, msg: times.append(sim.now))
+    a.send(1, b"x" * 100_000)
+    sim.run()
+    wire = params.wire_time(100_000)
+    assert wire < times[0] < wire * 1.1
+
+
+def test_tx_serialisation():
+    """Two messages from one sender serialise on its TX path."""
+    params = _zero_cpu_params()
+    sim, net = build(params)
+    a, b = net.attach(0), net.attach(1)
+    times = []
+    b.on_receive(lambda src, msg: times.append(sim.now))
+    a.send(1, b"x" * 50_000)
+    a.send(1, b"y" * 50_000)
+    sim.run()
+    gap = times[1] - times[0]
+    assert gap == pytest.approx(params.wire_time(50_000), rel=0.01)
+
+
+def test_rx_serialisation_of_concurrent_senders():
+    """Simultaneous arrivals at one receiver queue (switch buffering)."""
+    params = _zero_cpu_params()
+    sim, net = build(params)
+    s1, s2, r = net.attach(0), net.attach(1), net.attach(2)
+    times = []
+    r.on_receive(lambda src, msg: times.append((sim.now, src)))
+    s1.send(2, b"x" * 50_000)
+    s2.send(2, b"y" * 50_000)
+    sim.run()
+    assert len(times) == 2
+    gap = times[1][0] - times[0][0]
+    # The second message waits for the first to clear the RX path.
+    assert gap == pytest.approx(params.wire_time(50_000), rel=0.01)
+
+
+def test_separate_collision_domains():
+    """Disjoint pairs do not interfere (non-blocking switch)."""
+    params = _zero_cpu_params()
+    sim, net = build(params)
+    nodes = [net.attach(i) for i in range(4)]
+    times = {}
+    nodes[1].on_receive(lambda src, msg: times.setdefault("pair_a", sim.now))
+    nodes[3].on_receive(lambda src, msg: times.setdefault("pair_b", sim.now))
+    nodes[0].send(1, b"x" * 100_000)
+    nodes[2].send(3, b"y" * 100_000)
+    sim.run()
+    assert times["pair_a"] == pytest.approx(times["pair_b"])
+
+
+def test_full_duplex():
+    """A node sends and receives simultaneously at full rate."""
+    params = _zero_cpu_params()
+    sim, net = build(params)
+    a, b = net.attach(0), net.attach(1)
+    times = []
+    a.on_receive(lambda src, msg: times.append(("a", sim.now)))
+    b.on_receive(lambda src, msg: times.append(("b", sim.now)))
+    a.send(1, b"x" * 100_000)
+    b.send(0, b"y" * 100_000)
+    sim.run()
+    t = dict(times)
+    assert t["a"] == pytest.approx(t["b"])  # neither direction waits
+
+
+def test_cpu_cost_serialises_processing():
+    params = NetworkParams(cpu_per_message_s=1e-3, cpu_per_byte_s=0.0)
+    sim, net = build(params)
+    a, b = net.attach(0), net.attach(1)
+    times = []
+    b.on_receive(lambda src, msg: times.append(sim.now))
+    a.send(1, b"x")
+    a.send(1, b"y")
+    sim.run()
+    # Both tiny messages arrive quickly; CPU spaces the upcalls 1 ms.
+    assert times[1] - times[0] == pytest.approx(1e-3, rel=0.05)
+
+
+def test_cpu_submit_charges_local_work():
+    params = NetworkParams(cpu_per_message_s=2e-3, cpu_per_byte_s=0.0)
+    sim, net = build(params)
+    a = net.attach(0)
+    net.attach(1)
+    done = []
+    a.cpu_submit(0, lambda: done.append(sim.now))
+    sim.run()
+    assert done == [pytest.approx(2e-3)]
+
+
+def test_crash_stops_traffic_and_drops_inflight():
+    sim, net = build()
+    a, b = net.attach(0), net.attach(1)
+    got = []
+    b.on_receive(lambda src, msg: got.append(msg))
+    a.send(1, b"x" * 100_000)
+    # Crash the sender while the message is in flight.
+    sim.schedule(1e-4, net.crash, 0)
+    sim.run()
+    assert got == []
+    # Sends from a crashed node vanish silently.
+    a.send(1, b"late")
+    sim.run()
+    assert got == []
+
+
+def test_crashed_receiver_discards():
+    sim, net = build()
+    a, b = net.attach(0), net.attach(1)
+    got = []
+    b.on_receive(lambda src, msg: got.append(msg))
+    net.crash(1)
+    a.send(1, b"x")
+    sim.run()
+    assert got == []
+
+
+def test_send_to_unattached_raises():
+    sim, net = build()
+    a = net.attach(0)
+    with pytest.raises(NetworkError):
+        a.send(99, b"x")
+
+
+def test_loopback_rejected():
+    sim, net = build()
+    a = net.attach(0)
+    with pytest.raises(NetworkError):
+        a.send(0, b"x")
+
+
+def test_double_attach_rejected():
+    _, net = build()
+    net.attach(0)
+    with pytest.raises(NetworkError):
+        net.attach(0)
+
+
+def test_stats_accounting():
+    params = _zero_cpu_params()
+    sim, net = build(params)
+    a, b = net.attach(0), net.attach(1)
+    b.on_receive(lambda src, msg: None)
+    a.send(1, b"x" * 10_000)
+    sim.run()
+    assert a.stats.messages_tx == 1
+    assert a.stats.bytes_tx == 10_000
+    assert a.stats.wire_bytes_tx > 10_000  # framing overhead counted
+    assert b.stats.messages_rx == 1
+    assert b.stats.bytes_rx == 10_000
+    assert net.total_wire_bytes() == a.stats.wire_bytes_tx
+
+
+def test_message_loss_is_seeded_and_counted():
+    import random
+
+    params = _zero_cpu_params(loss_rate=0.5)
+    sim = Simulator()
+    net = Network(sim, params, loss_rng=random.Random(1))
+    a, b = net.attach(0), net.attach(1)
+    got = []
+    b.on_receive(lambda src, msg: got.append(msg))
+    for _ in range(100):
+        a.send(1, b"x")
+    sim.run()
+    lost = a.stats.messages_lost
+    assert 0 < lost < 100
+    assert len(got) == 100 - lost
+
+
+def test_tx_idle_callback_fires_when_queue_drains():
+    params = _zero_cpu_params()
+    sim, net = build(params)
+    a, b = net.attach(0), net.attach(1)
+    b.on_receive(lambda src, msg: None)
+    idles = []
+    a.on_tx_idle(lambda: idles.append(sim.now))
+    assert a.tx_idle
+    a.send(1, b"x" * 10_000)
+    assert not a.tx_idle
+    sim.run()
+    assert len(idles) == 1
+    assert a.tx_idle

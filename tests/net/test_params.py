@@ -1,0 +1,71 @@
+"""Unit tests for network parameterisation and framing."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net import FramingModel, NetworkParams
+
+
+def test_tcp_framing_reproduces_netperf_ceiling():
+    """Table 1 of the paper: raw TCP goodput ~94 Mb/s on 100 Mb/s."""
+    params = NetworkParams.fast_ethernet()
+    assert 93e6 < params.raw_goodput_bps() < 95e6
+
+
+def test_udp_framing_close_to_tcp():
+    params = NetworkParams.fast_ethernet().with_framing(FramingModel.udp_like())
+    assert 92e6 < params.raw_goodput_bps() < 96e6
+
+
+def test_wire_bytes_includes_per_frame_overhead():
+    framing = FramingModel(frame_payload=1000, frame_overhead=100)
+    assert framing.wire_bytes(1000) == 1100
+    assert framing.wire_bytes(1001) == 1001 + 2 * 100
+    assert framing.wire_bytes(0) == 100  # empty control message
+    assert framing.wire_bytes(2500) == 2500 + 3 * 100
+
+
+def test_wire_time_scales_with_size():
+    params = NetworkParams.fast_ethernet()
+    assert params.wire_time(100_000) > params.wire_time(1_000) * 50
+
+
+def test_cpu_time_has_fixed_and_per_byte_parts():
+    params = NetworkParams(cpu_per_message_s=1e-3, cpu_per_byte_s=1e-6)
+    assert params.cpu_time(0) == pytest.approx(1e-3)
+    assert params.cpu_time(1000) == pytest.approx(2e-3)
+
+
+def test_first_frame_delay_bounded():
+    params = NetworkParams.fast_ethernet()
+    frame_bytes = params.framing.frame_payload + params.framing.frame_overhead
+    expected = params.propagation_delay_s + frame_bytes * 8 / params.bandwidth_bps
+    assert params.first_frame_delay() == pytest.approx(expected)
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ConfigurationError):
+        NetworkParams(bandwidth_bps=0)
+    with pytest.raises(ConfigurationError):
+        NetworkParams(loss_rate=1.0)
+    with pytest.raises(ConfigurationError):
+        NetworkParams(loss_rate=-0.1)
+    with pytest.raises(ConfigurationError):
+        NetworkParams(cpu_per_message_s=-1)
+    with pytest.raises(ConfigurationError):
+        FramingModel(frame_payload=0)
+    with pytest.raises(ConfigurationError):
+        FramingModel(frame_overhead=-1)
+
+
+def test_with_loss_returns_modified_copy():
+    base = NetworkParams.fast_ethernet()
+    lossy = base.with_loss(0.05)
+    assert lossy.loss_rate == 0.05
+    assert base.loss_rate == 0.0
+    assert lossy.bandwidth_bps == base.bandwidth_bps
+
+
+def test_presets():
+    assert NetworkParams.gigabit().bandwidth_bps == 1e9
+    assert NetworkParams.lossy_fast_ethernet().loss_rate > 0

@@ -1,0 +1,102 @@
+"""Property-based test: safety under random membership churn.
+
+Random interleavings of crashes, graceful leaves, and leader rotations
+while traffic flows.  Safety (integrity, total order, sequence
+consistency) must hold unconditionally; the run must also stay live
+(the run_until would time out on deadlock, failing the test).
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.checker import (
+    check_integrity,
+    check_sequence_consistency,
+    check_total_order,
+)
+from repro.core.fsr import FSRConfig
+from tests.conftest import small_cluster
+
+
+churn_strategy = st.fixed_dictionaries(
+    {
+        "seed": st.integers(0, 2**16),
+        "ops": st.lists(
+            st.tuples(
+                st.sampled_from(["crash", "leave", "rotate"]),
+                st.integers(0, 5),
+            ),
+            min_size=1,
+            max_size=3,
+        ),
+        "messages": st.integers(2, 5),
+    }
+)
+
+
+@given(churn_strategy)
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_safety_under_membership_churn(params):
+    n = 6
+    cluster = small_cluster(n=n, protocol_config=FSRConfig(t=1), seed=params["seed"])
+    cluster.start()
+    cluster.run(until=5e-3)
+
+    gone = set()
+
+    def live_members():
+        return [p for p in range(n) if p not in gone]
+
+    # Broadcast a first wave from everyone.
+    for pid in range(n):
+        for _ in range(params["messages"]):
+            cluster.broadcast(pid, size_bytes=2_000)
+
+    # Apply churn operations, spaced far enough apart for each view
+    # change to complete (t = 1: at most one *crash* per view epoch, so
+    # settle between operations).
+    at = 0.03
+    for op, index in params["ops"]:
+        candidates = live_members()
+        if len(candidates) <= 2:
+            break
+        victim = candidates[index % len(candidates)]
+        if op == "crash":
+            cluster.schedule_crash(victim, time=at)
+            gone.add(victim)
+        elif op == "leave":
+            cluster.sim.schedule(
+                at, cluster.nodes[victim].membership.request_leave
+            )
+            gone.add(victim)
+        else:  # rotate
+            cluster.sim.schedule(
+                at,
+                cluster.nodes[victim].membership.request_leader_rotation,
+            )
+        at += 0.12
+        cluster.run(until=at)
+
+    survivors = live_members()
+    # A second wave from the survivors must complete (liveness).
+    for pid in survivors:
+        cluster.broadcast(pid, size_bytes=2_000)
+
+    def survivors_got_second_wave():
+        for p in survivors:
+            count = sum(
+                1
+                for d in cluster.nodes[p].app_deliveries
+                if d.origin in survivors
+            )
+            if count < params["messages"] * len(survivors) + len(survivors):
+                return False
+        return True
+
+    cluster.run_until(survivors_got_second_wave, step_s=20e-3, max_time_s=120)
+    cluster.run(until=cluster.sim.now + 20e-3)
+
+    result = cluster.results()
+    check_integrity(result)
+    check_total_order(result)
+    check_sequence_consistency(result)

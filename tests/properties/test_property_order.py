@@ -1,0 +1,152 @@
+"""Property-based tests: uniform total order under random scenarios.
+
+These are the heavyweight guarantees of the library: whatever the
+cluster size, backup count, workload shape, message sizes, seeds, and
+crash schedule, the checkers must hold.  Hypothesis shrinks failures to
+minimal scenarios.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.checker import (
+    check_all,
+    check_integrity,
+    check_sequence_consistency,
+    check_total_order,
+    check_uniformity,
+)
+from repro.core.fsr import FSRConfig
+from tests.conftest import fast_params, small_cluster
+
+
+workload_strategy = st.fixed_dictionaries(
+    {
+        "n": st.integers(min_value=2, max_value=6),
+        "t": st.integers(min_value=0, max_value=2),
+        "seed": st.integers(min_value=0, max_value=2**16),
+        "sizes": st.lists(
+            st.integers(min_value=1, max_value=20_000), min_size=1, max_size=12
+        ),
+    }
+)
+
+
+@given(workload_strategy)
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_fsr_total_order_random_workloads(params):
+    n = params["n"]
+    t = min(params["t"], n - 1)
+    cluster = small_cluster(
+        n=n, protocol_config=FSRConfig(t=t), seed=params["seed"]
+    )
+    cluster.start()
+    cluster.run(until=5e-3)
+    for index, size in enumerate(params["sizes"]):
+        sender = (index * 7 + params["seed"]) % n
+        cluster.broadcast(sender, size_bytes=size)
+    cluster.run_until(
+        lambda: cluster.all_correct_delivered(len(params["sizes"])),
+        max_time_s=120.0,
+    )
+    cluster.run(until=cluster.sim.now + 5e-3)
+    check_all(cluster.results())
+
+
+crash_strategy = st.fixed_dictionaries(
+    {
+        "n": st.integers(min_value=3, max_value=6),
+        "seed": st.integers(min_value=0, max_value=2**16),
+        "victim_index": st.integers(min_value=0, max_value=5),
+        "crash_at_ms": st.integers(min_value=6, max_value=80),
+        "messages": st.integers(min_value=2, max_value=8),
+        "protocol": st.sampled_from(["fsr", "fixed_sequencer"]),
+    }
+)
+
+
+@given(crash_strategy)
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_uniformity_random_single_crash(params):
+    """Both fault-tolerant protocols keep uniform total order under
+    randomised single crashes."""
+    n = params["n"]
+    victim = params["victim_index"] % n
+    protocol = params["protocol"]
+    cluster = small_cluster(
+        n=n,
+        protocol=protocol,
+        protocol_config=FSRConfig(t=1) if protocol == "fsr" else None,
+        seed=params["seed"],
+    )
+    cluster.start()
+    cluster.run(until=5e-3)
+    for pid in range(n):
+        for _ in range(params["messages"]):
+            cluster.broadcast(pid, size_bytes=2_000)
+    cluster.schedule_crash(victim, time=params["crash_at_ms"] / 1000.0)
+    expected = params["messages"] * (n - 1)
+    survivors = [p for p in range(n) if p != victim]
+    cluster.run_until(
+        lambda: all(
+            sum(1 for d in cluster.nodes[p].app_deliveries if d.origin != victim)
+            >= expected
+            for p in survivors
+        ),
+        max_time_s=120.0,
+    )
+    cluster.run(until=cluster.sim.now + 10e-3)
+    result = cluster.results()
+    check_integrity(result)
+    check_total_order(result)
+    check_sequence_consistency(result)
+    check_uniformity(result)
+
+
+two_crash_strategy = st.fixed_dictionaries(
+    {
+        "seed": st.integers(min_value=0, max_value=2**16),
+        "victims": st.sets(
+            st.integers(min_value=0, max_value=5), min_size=2, max_size=2
+        ),
+        "gap_ms": st.integers(min_value=0, max_value=30),
+        "crash_at_ms": st.integers(min_value=6, max_value=50),
+    }
+)
+
+
+@given(two_crash_strategy)
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_fsr_uniformity_two_crashes_t2(params):
+    n = 6
+    victims = sorted(params["victims"])
+    cluster = small_cluster(n=n, protocol_config=FSRConfig(t=2), seed=params["seed"])
+    cluster.start()
+    cluster.run(until=5e-3)
+    for pid in range(n):
+        for _ in range(4):
+            cluster.broadcast(pid, size_bytes=2_000)
+    t0 = params["crash_at_ms"] / 1000.0
+    cluster.schedule_crash(victims[0], time=t0)
+    cluster.schedule_crash(victims[1], time=t0 + params["gap_ms"] / 1000.0)
+    survivors = [p for p in range(n) if p not in victims]
+    expected = 4 * (n - 2)
+    cluster.run_until(
+        lambda: all(
+            sum(
+                1
+                for d in cluster.nodes[p].app_deliveries
+                if d.origin not in victims
+            )
+            >= expected
+            for p in survivors
+        ),
+        max_time_s=120.0,
+    )
+    cluster.run(until=cluster.sim.now + 10e-3)
+    result = cluster.results()
+    check_integrity(result)
+    check_total_order(result)
+    check_sequence_consistency(result)
+    check_uniformity(result)

@@ -1,0 +1,106 @@
+"""Property-based tests: replicated state machines never diverge.
+
+Random command streams from random replicas — with and without a crash
+— must leave every (surviving) replica with an identical snapshot.
+This is the end-to-end consequence of uniform total order, checked at
+the application level rather than the delivery-log level.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.smr import Command, KVStore, ReplicatedStateMachine
+from tests.conftest import small_cluster
+
+
+KEYS = ["a", "b", "c"]
+
+command_strategy = st.one_of(
+    st.tuples(st.just("put"), st.sampled_from(KEYS), st.integers(-5, 5)).map(
+        lambda t: Command(t[0], (t[1], t[2]))
+    ),
+    st.tuples(st.just("incr"), st.sampled_from(KEYS), st.integers(1, 3)).map(
+        lambda t: Command(t[0], (t[1], t[2]))
+    ),
+    st.tuples(st.just("delete"), st.sampled_from(KEYS)).map(
+        lambda t: Command(t[0], (t[1],))
+    ),
+    st.tuples(st.just("cas"), st.sampled_from(KEYS), st.none(),
+              st.integers(0, 9)).map(lambda t: Command(t[0], (t[1], t[2], t[3]))),
+)
+
+
+@given(
+    commands=st.lists(
+        st.tuples(st.integers(0, 3), command_strategy), min_size=1, max_size=15
+    ),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_replicas_identical_under_random_commands(commands, seed):
+    n = 4
+    cluster = small_cluster(n=n, seed=seed)
+    replicas = {
+        pid: ReplicatedStateMachine(node.protocol, KVStore())
+        for pid, node in cluster.nodes.items()
+    }
+    cluster.start()
+    cluster.run(until=5e-3)
+    for submitter, command in commands:
+        replicas[submitter % n].submit(command)
+    cluster.run_until(
+        lambda: all(r.applied_count >= len(commands) for r in replicas.values()),
+        max_time_s=60,
+    )
+    snapshots = [replicas[p].snapshot() for p in range(n)]
+    assert all(s == snapshots[0] for s in snapshots)
+
+
+@given(
+    commands=st.lists(
+        st.tuples(st.integers(0, 3), command_strategy), min_size=4, max_size=12
+    ),
+    victim=st.integers(0, 3),
+    crash_at_ms=st.integers(6, 40),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_surviving_replicas_identical_after_crash(
+    commands, victim, crash_at_ms, seed
+):
+    n = 4
+    cluster = small_cluster(n=n, seed=seed)
+    replicas = {
+        pid: ReplicatedStateMachine(node.protocol, KVStore())
+        for pid, node in cluster.nodes.items()
+    }
+    cluster.start()
+    cluster.run(until=5e-3)
+    survivors = [p for p in range(n) if p != victim]
+    expected_from_correct = 0
+    for submitter, command in commands:
+        pid = submitter % n
+        replicas[pid].submit(command)
+        if pid != victim:
+            expected_from_correct += 1
+    cluster.schedule_crash(victim, time=crash_at_ms / 1000.0)
+
+    applied_from_correct = {p: [0] for p in survivors}
+    for p in survivors:
+        replicas[p].on_apply(
+            lambda i, origin, cmd, res, pp=p: (
+                applied_from_correct[pp].__setitem__(
+                    0,
+                    applied_from_correct[pp][0] + (1 if origin != victim else 0),
+                )
+            )
+        )
+    cluster.run_until(
+        lambda: all(
+            applied_from_correct[p][0] >= expected_from_correct for p in survivors
+        ),
+        max_time_s=120,
+    )
+    cluster.run(until=cluster.sim.now + 10e-3)
+    snapshots = [replicas[p].snapshot() for p in survivors]
+    assert all(s == snapshots[0] for s in snapshots)

@@ -1,0 +1,76 @@
+"""Common contract tests run over every baseline protocol.
+
+Every protocol in the registry must provide uniform total order in
+crash-free runs, whatever the traffic pattern.  These tests sweep all
+of them through the same scenarios and checkers.
+"""
+
+import pytest
+
+from repro.checker import check_all
+from tests.conftest import run_broadcasts, small_cluster
+
+BASELINES = [
+    "fixed_sequencer",
+    "moving_sequencer",
+    "privilege",
+    "communication_history",
+    "destination_agreement",
+]
+ALL_PROTOCOLS = ["fsr"] + BASELINES
+
+
+@pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+def test_single_sender_total_order(protocol):
+    cluster = small_cluster(n=4, protocol=protocol, protocol_config=None)
+    result = run_broadcasts(cluster, [(1, 5, 2_000)])
+    check_all(result)
+    assert all(len(log) == 5 for log in result.delivery_logs.values())
+
+
+@pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+def test_all_senders_total_order(protocol):
+    cluster = small_cluster(n=4, protocol=protocol, protocol_config=None)
+    result = run_broadcasts(cluster, [(pid, 4, 2_000) for pid in range(4)])
+    check_all(result)
+    reference = [str(d.message_id) for d in result.delivery_logs[0].deliveries]
+    assert len(reference) == 16
+    for log in result.delivery_logs.values():
+        assert [str(d.message_id) for d in log.deliveries] == reference
+
+
+@pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+def test_two_senders_interleaved(protocol):
+    cluster = small_cluster(n=5, protocol=protocol, protocol_config=None)
+    result = run_broadcasts(cluster, [(1, 6, 1_000), (4, 6, 1_000)])
+    check_all(result)
+
+
+@pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+def test_two_process_group(protocol):
+    cluster = small_cluster(n=2, protocol=protocol, protocol_config=None)
+    result = run_broadcasts(cluster, [(0, 3, 1_000), (1, 3, 1_000)])
+    check_all(result)
+
+
+@pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+def test_large_messages(protocol):
+    cluster = small_cluster(n=3, protocol=protocol, protocol_config=None)
+    result = run_broadcasts(
+        cluster, [(0, 2, 100_000), (2, 2, 100_000)], max_time_s=120.0
+    )
+    check_all(result)
+
+
+@pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+def test_payload_contents_survive(protocol):
+    cluster = small_cluster(n=3, protocol=protocol, protocol_config=None)
+    cluster.start()
+    cluster.run(until=5e-3)
+    payload = b"the-actual-bytes-matter"
+    cluster.broadcast(1, payload=payload)
+    cluster.run_until(lambda: cluster.all_correct_delivered(1), max_time_s=30)
+    result = cluster.results()
+    for deliveries in result.app_deliveries.values():
+        assert len(deliveries) == 1
+        assert deliveries[0].origin == 1

@@ -1,0 +1,96 @@
+"""Sequencer failover tests (paper §2.1: "a new sequencer is elected
+only in the case the previous sequencer fails")."""
+
+import pytest
+
+from repro.checker import (
+    check_integrity,
+    check_sequence_consistency,
+    check_total_order,
+    check_uniformity,
+)
+from tests.conftest import small_cluster
+
+
+def _run_with_crash(n, victim, per_sender=6, size=5_000, crash_at=0.03):
+    cluster = small_cluster(n=n, protocol="fixed_sequencer", protocol_config=None)
+    cluster.start()
+    cluster.run(until=5e-3)
+    for pid in range(n):
+        for _ in range(per_sender):
+            cluster.broadcast(pid, size_bytes=size)
+    cluster.schedule_crash(victim, time=crash_at)
+    survivors = [p for p in range(n) if p != victim]
+    expected = per_sender * (n - 1)
+    cluster.run_until(
+        lambda: all(
+            sum(1 for d in cluster.nodes[p].app_deliveries if d.origin != victim)
+            >= expected
+            for p in survivors
+        ),
+        max_time_s=120.0,
+    )
+    cluster.run(until=cluster.sim.now + 10e-3)
+    return cluster, cluster.results()
+
+
+def _assert_safe(result):
+    check_integrity(result)
+    check_total_order(result)
+    check_sequence_consistency(result)
+    check_uniformity(result)
+
+
+def test_sequencer_crash_elects_next_member():
+    cluster, result = _run_with_crash(n=4, victim=0)
+    _assert_safe(result)
+    for pid in (1, 2, 3):
+        assert cluster.nodes[pid].protocol.sequencer == 1
+
+
+def test_non_sequencer_crash_keeps_sequencer():
+    cluster, result = _run_with_crash(n=4, victim=2)
+    _assert_safe(result)
+    assert cluster.nodes[0].protocol.sequencer == 0
+
+
+def test_all_correct_senders_messages_survive():
+    cluster, result = _run_with_crash(n=5, victim=0, per_sender=5)
+    _assert_safe(result)
+    for survivor in (1, 2, 3, 4):
+        for origin in (1, 2, 3, 4):
+            count = sum(
+                1 for d in result.app_deliveries[survivor] if d.origin == origin
+            )
+            assert count == 5, (survivor, origin, count)
+
+
+def test_two_successive_sequencer_crashes():
+    cluster = small_cluster(n=5, protocol="fixed_sequencer", protocol_config=None)
+    cluster.start()
+    cluster.run(until=5e-3)
+    for pid in range(5):
+        for _ in range(6):
+            cluster.broadcast(pid, size_bytes=5_000)
+    cluster.schedule_crash(0, time=0.02)
+    cluster.schedule_crash(1, time=0.08)
+    survivors = (2, 3, 4)
+    cluster.run_until(
+        lambda: all(
+            sum(1 for d in cluster.nodes[p].app_deliveries if d.origin in survivors)
+            >= 18
+            for p in survivors
+        ),
+        max_time_s=120.0,
+    )
+    cluster.run(until=cluster.sim.now + 10e-3)
+    result = cluster.results()
+    _assert_safe(result)
+    assert cluster.nodes[2].protocol.sequencer == 2
+
+
+def test_crashed_sequencer_log_is_prefix():
+    cluster, result = _run_with_crash(n=4, victim=0, per_sender=8)
+    crashed = [str(d.message_id) for d in result.delivery_logs[0].deliveries]
+    survivor = [str(d.message_id) for d in result.delivery_logs[1].deliveries]
+    assert crashed == survivor[: len(crashed)]

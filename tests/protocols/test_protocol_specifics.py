@@ -1,0 +1,134 @@
+"""Protocol-specific behaviour tests for the baselines."""
+
+import pytest
+
+from repro.checker import check_all
+from repro.errors import ConfigurationError
+from repro.protocols.fixed_sequencer import FixedSequencerConfig
+from repro.protocols.moving_sequencer import MovingSequencerConfig
+from repro.protocols.privilege import PrivilegeConfig
+from tests.conftest import run_broadcasts, small_cluster
+
+
+def test_fixed_sequencer_nic_is_the_bottleneck():
+    """The paper's Figure 1 claim: the sequencer transmits every payload
+    n-1 times while other nodes transmit only their own."""
+    cluster = small_cluster(n=5, protocol="fixed_sequencer", protocol_config=None)
+    result = run_broadcasts(cluster, [(pid, 4, 20_000) for pid in range(1, 5)])
+    check_all(result)
+    sequencer_tx = result.nic_stats[0].wire_bytes_tx
+    other_tx = max(result.nic_stats[p].wire_bytes_tx for p in range(1, 5))
+    assert sequencer_tx > 2.5 * other_tx
+
+
+def test_fixed_sequencer_custom_sequencer_index():
+    cluster = small_cluster(
+        n=4,
+        protocol="fixed_sequencer",
+        protocol_config=FixedSequencerConfig(sequencer_index=2),
+    )
+    result = run_broadcasts(cluster, [(0, 3, 5_000)])
+    check_all(result)
+    assert result.nic_stats[2].wire_bytes_tx > result.nic_stats[1].wire_bytes_tx
+
+
+def test_moving_sequencer_rotates_sequencing():
+    """With several senders, more than one process assigns sequences."""
+    cluster = small_cluster(
+        n=4,
+        protocol="moving_sequencer",
+        protocol_config=MovingSequencerConfig(idle_hold_s=0.5e-3, max_per_token=2),
+    )
+    result = run_broadcasts(cluster, [(pid, 6, 2_000) for pid in range(4)])
+    check_all(result)
+
+
+def test_privilege_token_pass_counting():
+    cluster = small_cluster(
+        n=4,
+        protocol="privilege",
+        protocol_config=PrivilegeConfig(max_per_token=2, idle_hold_s=0.5e-3),
+    )
+    result = run_broadcasts(cluster, [(1, 8, 2_000), (3, 8, 2_000)])
+    check_all(result)
+    passes = sum(
+        node.protocol.stats_token_passes for node in cluster.nodes.values()
+    )
+    # 16 messages at <=2 per visit forces at least 8 full visits.
+    assert passes >= 8
+
+
+def test_privilege_respects_max_per_token():
+    """Delivered order shows no run of one origin longer than the quota
+    while both senders still have traffic pending."""
+    quota = 3
+    cluster = small_cluster(
+        n=4,
+        protocol="privilege",
+        protocol_config=PrivilegeConfig(max_per_token=quota, idle_hold_s=0.5e-3),
+    )
+    result = run_broadcasts(cluster, [(1, 9, 2_000), (2, 9, 2_000)])
+    check_all(result)
+    order = [d.message_id.origin for d in result.delivery_logs[0].deliveries]
+    # Ignore the tail where only one sender has messages left.
+    head = order[: len(order) - quota]
+    longest_run = 1
+    current = 1
+    for a, b in zip(head, head[1:]):
+        current = current + 1 if a == b else 1
+        longest_run = max(longest_run, current)
+    assert longest_run <= quota
+
+
+def test_communication_history_delivers_during_idle_via_nulls():
+    """A lone quiet broadcast still completes (null messages advance
+    the clock front)."""
+    cluster = small_cluster(n=4, protocol="communication_history", protocol_config=None)
+    result = run_broadcasts(cluster, [(2, 1, 1_000)])
+    check_all(result)
+
+
+def test_destination_agreement_batches_under_load():
+    """Concurrent submissions are decided in few instances (batching)."""
+    cluster = small_cluster(n=4, protocol="destination_agreement", protocol_config=None)
+    cluster.start()
+    cluster.run(until=5e-3)
+    for pid in range(4):
+        for _ in range(10):
+            cluster.broadcast(pid, size_bytes=1_000)
+    cluster.run_until(lambda: cluster.all_correct_delivered(40), max_time_s=60)
+    result = cluster.results()
+    check_all(result)
+    instances = max(
+        node.protocol._next_instance for node in cluster.nodes.values()
+    )
+    assert instances - 1 < 40  # strictly fewer instances than messages
+
+
+def test_wrong_config_type_rejected():
+    from repro.errors import ProtocolError
+
+    with pytest.raises(ProtocolError):
+        small_cluster(
+            n=3, protocol="privilege", protocol_config=MovingSequencerConfig()
+        )
+
+
+def test_unknown_protocol_rejected():
+    from repro.cluster import ClusterConfig, build_cluster
+
+    with pytest.raises(ConfigurationError):
+        build_cluster(ClusterConfig(n=3, protocol="does_not_exist"))
+
+
+def test_registry_lists_all_protocols():
+    from repro.protocols import PROTOCOLS
+
+    assert set(PROTOCOLS) >= {
+        "fsr",
+        "fixed_sequencer",
+        "moving_sequencer",
+        "privilege",
+        "communication_history",
+        "destination_agreement",
+    }

@@ -1,0 +1,30 @@
+"""The paper's throughput-efficiency criterion as a one-call helper."""
+
+import pytest
+
+from repro.rounds.analysis import is_throughput_efficient
+
+
+def test_fsr_is_efficient_everywhere():
+    for k in (1, 2, 5):
+        assert is_throughput_efficient("fsr", 5, k, t=1)
+
+
+def test_paper_section2_claims_as_a_table():
+    """§2's qualitative table, checked mechanically: FSR is the only
+    class efficient across all sender patterns."""
+    claims = {
+        # protocol: (k=1, k=2, k=n)
+        "fixed_sequencer": (False, False, False),
+        "moving_sequencer": (False, False, False),
+        "privilege": (False, False, False),
+        "communication_history": (False, False, True),
+        "destination_agreement": (False, False, False),
+    }
+    n = 6
+    for name, expected in claims.items():
+        measured = tuple(
+            is_throughput_efficient(name, n, k) for k in (1, 2, n)
+        )
+        assert measured == expected, (name, measured)
+    assert all(is_throughput_efficient("fsr", n, k, t=1) for k in (1, 2, n))

@@ -1,0 +1,111 @@
+"""Round-model validation of the paper's §4.3 analytical claims."""
+
+import pytest
+
+from repro.rounds import fsr_latency_formula, measure_latency, measure_throughput
+from repro.rounds.analysis import round_factory
+
+
+@pytest.mark.parametrize("n", [2, 3, 4, 5, 7, 10])
+@pytest.mark.parametrize("t", [0, 1, 2])
+def test_latency_formula_exact(n, t):
+    """L(i) = 2n + t - i - 1 for every sender position (paper §4.3.1)."""
+    if t >= n:
+        pytest.skip("t must be < n")
+    factory = round_factory("fsr", t=t)
+    for position in range(n):
+        assert measure_latency(factory, n, position) == fsr_latency_formula(
+            n, t, position
+        )
+
+
+def test_latency_linear_in_n():
+    factory = round_factory("fsr", t=1)
+    latencies = [measure_latency(factory, n, 1) for n in (3, 5, 7, 9)]
+    diffs = [b - a for a, b in zip(latencies, latencies[1:])]
+    assert diffs == [4, 4, 4]  # slope 2 per added process
+
+
+def test_latency_linear_in_t():
+    latencies = [
+        measure_latency(round_factory("fsr", t=t), 8, 5) for t in (0, 1, 2, 3)
+    ]
+    diffs = [b - a for a, b in zip(latencies, latencies[1:])]
+    assert diffs == [1, 1, 1]
+
+
+@pytest.mark.parametrize("n,t,k", [
+    (5, 1, 1), (5, 1, 2), (5, 1, 3), (5, 1, 4),
+    (8, 2, 1), (8, 2, 4), (10, 1, 5), (4, 0, 2),
+])
+def test_throughput_at_least_one(n, t, k):
+    """Throughput >= 1 regardless of n, t, k (paper §4.3.2)."""
+    result = measure_throughput(
+        round_factory("fsr", t=t), n, k, warmup_rounds=300, window_rounds=1500
+    )
+    assert result.throughput >= 0.999
+
+
+def test_throughput_independent_of_n():
+    values = [
+        measure_throughput(round_factory("fsr", t=1), n, 1).throughput
+        for n in (3, 6, 10)
+    ]
+    assert max(values) - min(values) < 0.01
+
+
+def test_throughput_independent_of_t():
+    values = [
+        measure_throughput(round_factory("fsr", t=t), 8, 2).throughput
+        for t in (0, 1, 2, 3)
+    ]
+    assert max(values) - min(values) < 0.01
+
+
+def test_round_model_total_order():
+    """All processes deliver identical sequences in the round model."""
+    result = measure_throughput(round_factory("fsr", t=1), 5, 3,
+                                warmup_rounds=100, window_rounds=400)
+    logs = list(result.delivered.values())
+    shortest = min(len(log) for log in logs)
+    assert shortest > 100
+    reference = logs[0][:shortest]
+    for log in logs[1:]:
+        assert log[:shortest] == reference
+
+
+def test_fairness_in_round_model():
+    """With k senders, delivered counts per origin are balanced."""
+    result = measure_throughput(round_factory("fsr", t=1), 6, 3,
+                                warmup_rounds=200, window_rounds=1200)
+    log = result.delivered[0]
+    counts = {}
+    for origin, _ in log:
+        counts[origin] = counts.get(origin, 0) + 1
+    values = sorted(counts.values())
+    assert len(values) == 3
+    assert values[-1] - values[0] <= max(3, values[-1] * 0.1)
+
+
+def test_unfair_scheduler_starves_far_senders():
+    """Ablation: disabling the forward-list rule lets the sender closest
+    to its successor chain dominate."""
+    fair = measure_throughput(
+        round_factory("fsr", t=1, fairness=True), 6, 2,
+        warmup_rounds=200, window_rounds=800,
+    )
+    unfair = measure_throughput(
+        round_factory("fsr", t=1, fairness=False), 6, 2,
+        warmup_rounds=200, window_rounds=800,
+    )
+
+    def spread(result):
+        counts = {}
+        for origin, _ in result.delivered[0]:
+            counts[origin] = counts.get(origin, 0) + 1
+        values = sorted(counts.values())
+        if len(values) < 2:
+            return 1.0  # one sender delivered nothing at all: max unfair
+        return 1.0 - values[0] / values[-1]
+
+    assert spread(unfair) > spread(fair)

@@ -1,0 +1,112 @@
+"""Unit tests for the round-model engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.rounds import RoundEngine, RoundProcess
+
+
+class Echo(RoundProcess):
+    """Sends a counter to a destination each round; records receipts."""
+
+    def __init__(self, pid, dst=None, broadcast_to=None):
+        super().__init__(pid)
+        self.dst = dst
+        self.broadcast_to = broadcast_to
+        self.received = []
+        self.counter = 0
+
+    def begin_round(self, round_index):
+        self.counter += 1
+        if self.broadcast_to is not None:
+            self.send(self.broadcast_to, (self.pid, self.counter))
+        elif self.dst is not None:
+            self.send(self.dst, (self.pid, self.counter))
+
+    def receive(self, round_index, src, payload):
+        self.received.append((round_index, src, payload))
+
+
+class Quiet(RoundProcess):
+    def __init__(self, pid):
+        super().__init__(pid)
+        self.received = []
+
+    def begin_round(self, round_index):
+        pass
+
+    def receive(self, round_index, src, payload):
+        self.received.append((round_index, src, payload))
+
+
+def test_message_sent_in_round_r_received_end_of_round_r():
+    engine = RoundEngine()
+    sender = Echo(0, dst=1)
+    receiver = Quiet(1)
+    engine.attach(sender)
+    engine.attach(receiver)
+    engine.run_round()
+    assert receiver.received == [(0, 0, (0, 1))]
+
+
+def test_one_receive_per_round_queues_excess():
+    engine = RoundEngine()
+    s1, s2 = Echo(0, dst=2), Echo(1, dst=2)
+    receiver = Quiet(2)
+    for process in (s1, s2, receiver):
+        engine.attach(process)
+    engine.run_round()
+    assert len(receiver.received) == 1
+    # Lower sender id wins the first receive slot.
+    assert receiver.received[0][1] == 0
+    engine.run_round()
+    # Round 1: queued message from sender 1 (round 0) precedes new ones.
+    assert receiver.received[1][2] == (1, 1)
+
+
+def test_broadcast_costs_one_send_slot():
+    engine = RoundEngine()
+    sender = Echo(0, broadcast_to=[1, 2])
+    r1, r2 = Quiet(1), Quiet(2)
+    for process in (sender, r1, r2):
+        engine.attach(process)
+    engine.run_round()
+    assert r1.received and r2.received
+
+
+def test_double_send_in_round_rejected():
+    class DoubleSender(RoundProcess):
+        def begin_round(self, round_index):
+            self.send(1, "a")
+            self.send(1, "b")
+
+        def receive(self, round_index, src, payload):
+            pass
+
+    engine = RoundEngine()
+    engine.attach(DoubleSender(0))
+    engine.attach(Quiet(1))
+    with pytest.raises(SimulationError):
+        engine.run_round()
+
+
+def test_queue_depth_tracked():
+    engine = RoundEngine()
+    for pid in range(3):
+        engine.attach(Echo(pid, dst=(0 if pid else 1)))
+    engine.run_rounds(10)
+    assert max(engine.max_queue_depth.values()) >= 1
+
+
+def test_run_until_bounds():
+    engine = RoundEngine()
+    engine.attach(Quiet(0))
+    with pytest.raises(SimulationError):
+        engine.run_until(lambda: False, max_rounds=5)
+
+
+def test_duplicate_attach_rejected():
+    engine = RoundEngine()
+    engine.attach(Quiet(0))
+    with pytest.raises(SimulationError):
+        engine.attach(Quiet(0))

@@ -1,0 +1,152 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    seen = []
+    sim.schedule(2.0, seen.append, "late")
+    sim.schedule(1.0, seen.append, "early")
+    sim.schedule(3.0, seen.append, "last")
+    sim.run()
+    assert seen == ["early", "late", "last"]
+    assert sim.now == 3.0
+
+
+def test_same_time_events_run_in_schedule_order():
+    sim = Simulator()
+    seen = []
+    for label in ("a", "b", "c"):
+        sim.schedule(1.0, seen.append, label)
+    sim.run()
+    assert seen == ["a", "b", "c"]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_before_now_rejected():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_cancelled_event_does_not_run():
+    sim = Simulator()
+    seen = []
+    handle = sim.schedule(1.0, seen.append, "cancelled")
+    sim.schedule(2.0, seen.append, "kept")
+    handle.cancel()
+    sim.run()
+    assert seen == ["kept"]
+
+
+def test_run_until_is_inclusive_and_advances_clock():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, seen.append, "at-1")
+    sim.schedule(2.0, seen.append, "at-2")
+    sim.run(until=1.0)
+    assert seen == ["at-1"]
+    assert sim.now == 1.0
+    sim.run(until=1.5)
+    assert sim.now == 1.5  # clock advances even with no events
+    sim.run()
+    assert seen == ["at-1", "at-2"]
+
+
+def test_events_scheduled_during_run_execute():
+    sim = Simulator()
+    seen = []
+
+    def first():
+        seen.append("first")
+        sim.schedule(0.5, seen.append, "nested")
+
+    sim.schedule(1.0, first)
+    sim.run()
+    assert seen == ["first", "nested"]
+    assert sim.now == 1.5
+
+
+def test_zero_delay_event_runs_at_same_time():
+    sim = Simulator()
+    times = []
+    sim.schedule(1.0, lambda: sim.schedule(0.0, lambda: times.append(sim.now)))
+    sim.run()
+    assert times == [1.0]
+
+
+def test_step_executes_one_event():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, seen.append, "a")
+    sim.schedule(2.0, seen.append, "b")
+    assert sim.step() is True
+    assert seen == ["a"]
+    assert sim.step() is True
+    assert sim.step() is False
+
+
+def test_max_events_budget():
+    sim = Simulator()
+    seen = []
+    for i in range(5):
+        sim.schedule(float(i + 1), seen.append, i)
+    sim.run(max_events=3)
+    assert seen == [0, 1, 2]
+    sim.run()
+    assert seen == [0, 1, 2, 3, 4]
+
+
+def test_run_is_not_reentrant():
+    sim = Simulator()
+
+    def nested():
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    sim.schedule(1.0, nested)
+    sim.run()
+
+
+def test_events_processed_counter_skips_cancelled():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    handle.cancel()
+    sim.run()
+    assert sim.events_processed == 1
+
+
+def test_drain_cancelled_compacts_heap():
+    sim = Simulator()
+    handles = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+    for handle in handles[:7]:
+        handle.cancel()
+    removed = sim.drain_cancelled()
+    assert removed == 7
+    assert sim.pending_events == 3
+    sim.run()
+    assert sim.events_processed == 3
+
+
+def test_determinism_across_runs():
+    def run_once():
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, lambda: (order.append("x"), sim.schedule(0.0, order.append, "y")))
+        sim.schedule(1.0, order.append, "z")
+        sim.run()
+        return order, sim.now
+
+    assert run_once() == run_once()

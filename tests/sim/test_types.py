@@ -1,0 +1,77 @@
+"""Unit tests for shared value types."""
+
+import pytest
+
+from repro.types import (
+    CrashEvent,
+    Delivery,
+    MessageId,
+    ProcessSet,
+    TimerHandle,
+    View,
+)
+
+
+def test_message_id_ordering_and_str():
+    a = MessageId(origin=1, local_seq=2)
+    b = MessageId(origin=1, local_seq=3)
+    c = MessageId(origin=2, local_seq=1)
+    assert a < b < c
+    assert str(a) == "m1.2"
+    assert a == MessageId(origin=1, local_seq=2)
+    assert len({a, b, a}) == 2  # hashable
+
+
+def test_process_set_ring_arithmetic():
+    ring = ProcessSet(members=(5, 9, 2))
+    assert len(ring) == 3
+    assert 9 in ring and 7 not in ring
+    assert list(ring) == [5, 9, 2]
+    assert ring.position_of(2) == 2
+    assert ring.successor_of(2) == 5
+    assert ring.predecessor_of(5) == 2
+    assert ring.at_position(4) == 9
+
+
+def test_process_set_rejects_duplicates():
+    with pytest.raises(ValueError):
+        ProcessSet(members=(1, 1, 2))
+
+
+def test_view_helpers():
+    view = View(view_id=3, members=(4, 7, 1))
+    assert len(view) == 3
+    assert 7 in view
+    assert view.leader() == 4
+    assert view.process_set().successor_of(1) == 4
+    with pytest.raises(ValueError):
+        View(view_id=0, members=(1, 1))
+    with pytest.raises(ValueError):
+        View(view_id=0, members=()).leader()
+
+
+def test_view_is_immutable_and_hashable():
+    view = View(view_id=1, members=(0, 1))
+    with pytest.raises(AttributeError):
+        view.view_id = 2  # type: ignore[misc]
+    assert hash(view) == hash(View(view_id=1, members=(0, 1)))
+
+
+def test_delivery_key():
+    delivery = Delivery(
+        process=3, message_id=MessageId(origin=2, local_seq=9),
+        sequence=5, time=1.0,
+    )
+    assert delivery.key() == (2, 9)
+
+
+def test_timer_handle_cancel():
+    handle = TimerHandle(sequence=1)
+    assert not handle.cancelled
+    handle.cancel()
+    assert handle.cancelled
+
+
+def test_crash_event_defaults():
+    event = CrashEvent(process=2, time=1.5)
+    assert event.reason == "injected"

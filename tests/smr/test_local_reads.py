@@ -1,0 +1,70 @@
+"""Tests for the footnote-1 local-read fast path."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.smr import Command, KVStore, ReplicatedStateMachine
+from tests.conftest import small_cluster
+
+
+def _replicated(n=3):
+    cluster = small_cluster(n=n)
+    replicas = {
+        pid: ReplicatedStateMachine(node.protocol, KVStore())
+        for pid, node in cluster.nodes.items()
+    }
+    cluster.start()
+    cluster.run(until=5e-3)
+    return cluster, replicas
+
+
+def test_local_read_returns_applied_prefix():
+    cluster, replicas = _replicated()
+    replicas[0].submit(Command("put", ("k", 42)))
+    cluster.run_until(
+        lambda: all(r.applied_count >= 1 for r in replicas.values()),
+        max_time_s=30,
+    )
+    for replica in replicas.values():
+        assert replica.local_read(Command("get", ("k",))) == 42
+
+
+def test_local_read_is_free_of_broadcast_traffic():
+    cluster, replicas = _replicated()
+    replicas[1].submit(Command("put", ("k", 1)))
+    cluster.run_until(
+        lambda: all(r.applied_count >= 1 for r in replicas.values()),
+        max_time_s=30,
+    )
+    tx_before = sum(
+        cluster.network.stats_of(p).messages_tx for p in range(3)
+    )
+    for _ in range(100):
+        replicas[2].local_read(Command("get", ("k",)))
+    cluster.run(until=cluster.sim.now + 0.01)
+    tx_after = sum(
+        cluster.network.stats_of(p).messages_tx for p in range(3)
+    )
+    assert tx_after == tx_before
+
+
+def test_local_read_rejects_mutating_commands():
+    cluster, replicas = _replicated()
+    with pytest.raises(ProtocolError, match="read-only"):
+        replicas[0].local_read(Command("put", ("k", 1)))
+    with pytest.raises(ProtocolError, match="read-only"):
+        replicas[0].local_read(Command("incr", ("k", 1)))
+
+
+def test_local_read_can_lag_the_total_order():
+    """The documented weakness: a replica that has not yet applied a
+    command serves the older value — sequential, not linearisable."""
+    cluster, replicas = _replicated()
+    replicas[0].submit(Command("put", ("k", "new")))
+    # No simulation step yet: nothing applied anywhere.
+    assert replicas[2].local_read(Command("get", ("k",))) is None
+    cluster.run_until(
+        lambda: all(r.applied_count >= 1 for r in replicas.values()),
+        max_time_s=30,
+    )
+    assert replicas[2].local_read(Command("get", ("k",))) == "new"

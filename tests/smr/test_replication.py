@@ -1,0 +1,120 @@
+"""Tests for state machine replication over TO-broadcast."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.smr import Command, KVStore, ReplicatedStateMachine
+from tests.conftest import small_cluster
+
+
+def _replicated_cluster(n=3, protocol="fsr"):
+    cluster = small_cluster(n=n, protocol=protocol, protocol_config=None)
+    replicas = {
+        pid: ReplicatedStateMachine(node.protocol, KVStore())
+        for pid, node in cluster.nodes.items()
+    }
+    cluster.start()
+    cluster.run(until=5e-3)
+    return cluster, replicas
+
+
+def _run_until_applied(cluster, replicas, count, survivors=None, max_time_s=60.0):
+    pids = survivors if survivors is not None else list(replicas)
+    cluster.run_until(
+        lambda: all(replicas[p].applied_count >= count for p in pids),
+        max_time_s=max_time_s,
+    )
+    cluster.run(until=cluster.sim.now + 5e-3)
+
+
+def test_command_round_trip():
+    command = Command("put", ("key", [1, 2, {"x": None}]))
+    assert Command.decode(command.encode()) == Command(
+        "put", ("key", [1, 2, {"x": None}])
+    )
+
+
+def test_undecodable_payload_rejected():
+    with pytest.raises(ProtocolError):
+        Command.decode(b"\xff\xfe not json")
+
+
+def test_kvstore_operations():
+    store = KVStore()
+    assert store.apply(Command("put", ("a", 1))) is None
+    assert store.apply(Command("put", ("a", 2))) == 1
+    assert store.apply(Command("get", ("a",))) == 2
+    assert store.apply(Command("incr", ("a", 5))) == 7
+    assert store.apply(Command("cas", ("a", 7, 8))) is True
+    assert store.apply(Command("cas", ("a", 7, 9))) is False
+    assert store.apply(Command("delete", ("a",))) is True
+    assert store.apply(Command("delete", ("a",))) is False
+    assert len(store) == 0
+
+
+def test_kvstore_rejects_unknown_op_and_bad_incr():
+    store = KVStore()
+    with pytest.raises(ProtocolError):
+        store.apply(Command("explode", ()))
+    store.apply(Command("put", ("s", "text")))
+    with pytest.raises(ProtocolError):
+        store.apply(Command("incr", ("s",)))
+
+
+def test_replicas_converge_under_concurrent_writers():
+    cluster, replicas = _replicated_cluster(n=4)
+    for round_index in range(5):
+        replicas[0].submit(Command("incr", ("counter", 1)))
+        replicas[1].submit(Command("incr", ("counter", 10)))
+        replicas[2].submit(Command("put", (f"k{round_index}", round_index)))
+        replicas[3].submit(Command("cas", ("owner", None, f"p3-{round_index}")))
+    _run_until_applied(cluster, replicas, 20)
+    snapshots = [replicas[p].snapshot() for p in range(4)]
+    assert all(s == snapshots[0] for s in snapshots)
+    assert snapshots[0]["counter"] == 55
+    assert snapshots[0]["owner"] == "p3-0"
+
+
+def test_local_results_visible_after_apply():
+    cluster, replicas = _replicated_cluster(n=3)
+    mid = replicas[1].submit(Command("put", ("x", 42)))
+    replicas[1].submit(Command("incr", ("n", 2)))
+    _run_until_applied(cluster, replicas, 2)
+    assert replicas[1].result_of(mid) is None  # previous value of x
+    assert replicas[1].snapshot() == {"x": 42, "n": 2}
+
+
+def test_apply_callback_sees_total_order():
+    cluster, replicas = _replicated_cluster(n=3)
+    seen = {p: [] for p in range(3)}
+    for pid in range(3):
+        replicas[pid].on_apply(
+            lambda index, origin, cmd, result, p=pid: seen[p].append((origin, cmd.op))
+        )
+    replicas[0].submit(Command("put", ("a", 1)))
+    replicas[2].submit(Command("put", ("b", 2)))
+    _run_until_applied(cluster, replicas, 2)
+    assert seen[0] == seen[1] == seen[2]
+    assert len(seen[0]) == 2
+
+
+def test_replicas_converge_across_leader_crash():
+    cluster, replicas = _replicated_cluster(n=4)
+    for i in range(8):
+        replicas[1].submit(Command("incr", ("a", 1)))
+        replicas[2].submit(Command("incr", ("b", 1)))
+    cluster.schedule_crash(0, time=0.02)
+    _run_until_applied(cluster, replicas, 16, survivors=[1, 2, 3])
+    snapshots = [replicas[p].snapshot() for p in (1, 2, 3)]
+    assert all(s == snapshots[0] for s in snapshots)
+    assert snapshots[0] == {"a": 8, "b": 8}
+
+
+def test_smr_works_over_baseline_protocols():
+    cluster, replicas = _replicated_cluster(n=3, protocol="fixed_sequencer")
+    replicas[0].submit(Command("put", ("k", "v")))
+    replicas[2].submit(Command("incr", ("c", 3)))
+    _run_until_applied(cluster, replicas, 2)
+    assert all(
+        replicas[p].snapshot() == {"k": "v", "c": 3} for p in range(3)
+    )

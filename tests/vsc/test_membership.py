@@ -1,0 +1,174 @@
+"""Unit tests for the group membership / flush protocol."""
+
+from typing import Dict, List
+
+import pytest
+
+from repro.failure import CrashInjector, OracleFailureDetector
+from repro.net import ChannelStack, Network, NetworkParams
+from repro.net.dispatch import LayerDemux
+from repro.sim import Simulator
+from repro.types import View
+from repro.vsc import FlushState, GroupMembership
+
+
+class RecordingClient:
+    """VSCClient capturing every callback for assertions."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.blocks = 0
+        self.views: List[View] = []
+        self.state_payload = f"state-of-{name}"
+
+    def on_block(self) -> None:
+        self.blocks += 1
+
+    def collect_flush_state(self) -> FlushState:
+        return FlushState(payload=self.state_payload, size_bytes=10)
+
+    def on_view(self, view, state) -> None:
+        self.views.append((view, state))
+
+
+def build(n=4):
+    sim = Simulator()
+    params = NetworkParams(cpu_per_message_s=0.0, cpu_per_byte_s=0.0)
+    net = Network(sim, params)
+    injector = CrashInjector(sim, net)
+    members = tuple(range(n))
+    memberships: Dict[int, GroupMembership] = {}
+    clients: Dict[int, RecordingClient] = {}
+    for node in members:
+        stack = ChannelStack(sim, net.attach(node), params)
+        port = LayerDemux(stack).port("vsc")
+        detector = OracleFailureDetector(sim, owner=node, detection_delay_s=1e-3)
+        injector.register_detector(detector)
+        membership = GroupMembership(sim, port, detector, node, members)
+        client = RecordingClient(f"p{node}")
+        membership.set_client(client)
+        memberships[node] = membership
+        clients[node] = client
+    injector.on_crash(lambda pid: memberships[pid].stop())
+    return sim, injector, memberships, clients
+
+
+def test_initial_view_installed_locally():
+    sim, injector, memberships, clients = build()
+    for membership in memberships.values():
+        membership.start()
+    sim.run()
+    for node, client in clients.items():
+        assert len(client.views) == 1
+        view, state = client.views[0]
+        assert view.view_id == 0
+        assert view.members == (0, 1, 2, 3)
+        assert state is None  # bootstrap view carries no recovery state
+
+
+def test_crash_installs_new_view_at_survivors():
+    sim, injector, memberships, clients = build()
+    for membership in memberships.values():
+        membership.start()
+    sim.run()
+    injector.schedule_crash(2, time=0.1)
+    sim.run()
+    for node in (0, 1, 3):
+        views = [v for v, _ in clients[node].views]
+        assert views[-1].members == (0, 1, 3)
+        assert views[-1].view_id > 0
+    # Survivors saw a block before the new view.
+    assert all(clients[node].blocks >= 1 for node in (0, 1, 3))
+
+
+def test_states_collected_from_all_survivors():
+    sim, injector, memberships, clients = build()
+    for membership in memberships.values():
+        membership.start()
+    sim.run()
+    injector.schedule_crash(3, time=0.1)
+    sim.run()
+    _view, state = clients[0].views[-1]
+    # Without a client-side merge, the install aggregates all states.
+    assert set(state.payload) == {0, 1, 2}
+    assert state.payload[1].payload == "state-of-p1"
+
+
+def test_coordinator_crash_mid_flush_recovers():
+    """If the flush coordinator dies too, the next member takes over."""
+    sim, injector, memberships, clients = build()
+    for membership in memberships.values():
+        membership.start()
+    sim.run()
+    injector.schedule_crash(1, time=0.1)
+    # Process 0 coordinates the flush for 1's crash; kill it mid-flush.
+    injector.schedule_crash(0, time=0.1005)
+    sim.run()
+    for node in (2, 3):
+        views = [v for v, _ in clients[node].views]
+        assert views[-1].members == (2, 3)
+
+
+def test_leader_crash_promotes_first_backup():
+    """Ring order is stable: after p0 dies, p1 leads the next view."""
+    sim, injector, memberships, clients = build()
+    for membership in memberships.values():
+        membership.start()
+    sim.run()
+    injector.schedule_crash(0, time=0.1)
+    sim.run()
+    view, _ = clients[1].views[-1]
+    assert view.leader() == 1
+    assert view.members == (1, 2, 3)
+
+
+def test_voluntary_leave():
+    sim, injector, memberships, clients = build()
+    for membership in memberships.values():
+        membership.start()
+    sim.run()
+    memberships[2].request_leave()
+    sim.run()
+    for node in (0, 1, 3):
+        view, _ = clients[node].views[-1]
+        assert view.members == (0, 1, 3)
+
+
+def test_join_appends_to_ring():
+    sim, injector, memberships, clients = build(n=3)
+    for membership in memberships.values():
+        membership.start()
+    sim.run()
+
+    # Build the joiner on the same network.
+    net = injector.network
+    params = net.params
+    stack = ChannelStack(sim, net.attach(7), params)
+    port = LayerDemux(stack).port("vsc")
+    detector = OracleFailureDetector(sim, owner=7, detection_delay_s=1e-3)
+    injector.register_detector(detector)
+    joiner = GroupMembership(sim, port, detector, 7, (7,))
+    joiner_client = RecordingClient("p7")
+    joiner.set_client(joiner_client)
+    joiner.request_join(contact=0)
+    sim.run()
+
+    view, _ = clients[0].views[-1]
+    assert view.members == (0, 1, 2, 7)
+    assert joiner_client.views, "joiner installed the view too"
+    assert joiner_client.views[-1][0].members == (0, 1, 2, 7)
+
+
+def test_two_concurrent_crashes_converge():
+    sim, injector, memberships, clients = build(n=5)
+    for membership in memberships.values():
+        membership.start()
+    sim.run()
+    injector.schedule_crash(2, time=0.1)
+    injector.schedule_crash(4, time=0.1001)
+    sim.run()
+    final_views = set()
+    for node in (0, 1, 3):
+        view, _ = clients[node].views[-1]
+        final_views.add(view.members)
+    assert final_views == {(0, 1, 3)}

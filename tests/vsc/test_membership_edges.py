@@ -1,0 +1,123 @@
+"""Edge-case tests for the membership automaton's message handling."""
+
+import pytest
+
+from repro.errors import MembershipError
+from repro.vsc.membership import (
+    FlushState,
+    GroupMembership,
+    _FlushAck,
+    _FlushReq,
+    _JoinReq,
+    _ViewInstall,
+)
+from tests.vsc.test_membership import RecordingClient, build
+
+
+def test_stale_flush_req_ignored():
+    sim, injector, memberships, clients = build(n=3)
+    for membership in memberships.values():
+        membership.start()
+    sim.run()
+    target = memberships[1]
+    # Drive a genuine flush to raise the epoch.
+    injector.schedule_crash(2, time=0.1)
+    sim.run()
+    blocks_before = clients[1].blocks
+    # Now replay an old-epoch request: must not re-block.
+    target._on_message(0, _FlushReq(epoch=0, coordinator=0, proposed=(0, 1)))
+    sim.run()
+    assert clients[1].blocks == blocks_before
+
+
+def test_stale_view_install_ignored():
+    sim, injector, memberships, clients = build(n=3)
+    for membership in memberships.values():
+        membership.start()
+    sim.run()
+    injector.schedule_crash(2, time=0.1)
+    sim.run()
+    views_before = len(clients[1].views)
+    current = memberships[1].view.view_id
+    memberships[1]._on_message(
+        0, _ViewInstall(epoch=current, members=(0, 1, 2), state=None)
+    )
+    sim.run()
+    assert len(clients[1].views) == views_before
+
+
+def test_flush_ack_for_unknown_attempt_ignored():
+    sim, injector, memberships, clients = build(n=3)
+    for membership in memberships.values():
+        membership.start()
+    sim.run()
+    memberships[0]._on_message(
+        1, _FlushAck(epoch=99, sender=1, state=FlushState(payload=None))
+    )
+    sim.run()  # must not raise or install anything
+    assert len(clients[0].views) == 1
+
+
+def test_duplicate_join_requests_coalesce():
+    sim, injector, memberships, clients = build(n=3)
+    # A silent node 7 exists on the network but never answers.
+    injector.network.attach(7)
+    for membership in memberships.values():
+        membership.start()
+    sim.run()
+    memberships[0]._on_message(5, _JoinReq(joiner=7))
+    memberships[0]._on_message(5, _JoinReq(joiner=7))
+    sim.run()
+    # The joiner never acks, so the flush stalls — but the join must be
+    # pending exactly once.
+    assert memberships[0]._pending_joins == [7]
+
+
+def test_crashed_member_ignores_everything():
+    sim, injector, memberships, clients = build(n=3)
+    for membership in memberships.values():
+        membership.start()
+    sim.run()
+    memberships[2].stop()
+    views = len(clients[2].views)
+    memberships[2]._on_message(
+        0, _ViewInstall(epoch=5, members=(0, 1, 2), state=None)
+    )
+    sim.run()
+    assert len(clients[2].views) == views
+
+
+def test_all_members_suspected_is_fatal():
+    """Suspecting the entire membership is unrecoverable and loud."""
+    sim, injector, memberships, clients = build(n=2)
+    for membership in memberships.values():
+        membership.start()
+    sim.run()
+    detector = memberships[0].detector
+    detector._suspect(1)
+    with pytest.raises(MembershipError):
+        detector._suspect(0)  # nobody left to coordinate
+
+
+def test_member_not_in_initial_membership_rejected():
+    from repro.failure import OracleFailureDetector
+    from repro.net import ChannelStack, Network, NetworkParams
+    from repro.net.dispatch import LayerDemux
+    from repro.sim import Simulator
+
+    sim = Simulator()
+    params = NetworkParams(cpu_per_message_s=0, cpu_per_byte_s=0)
+    net = Network(sim, params)
+    stack = ChannelStack(sim, net.attach(0), params)
+    port = LayerDemux(stack).port("vsc")
+    detector = OracleFailureDetector(sim, owner=0)
+    with pytest.raises(MembershipError):
+        GroupMembership(sim, port, detector, me=0, initial_members=(1, 2))
+
+
+def test_start_is_idempotent():
+    sim, injector, memberships, clients = build(n=2)
+    memberships[0].start()
+    memberships[0].start()
+    sim.run()
+    assert len(clients[0].views) == 1

@@ -1,0 +1,71 @@
+"""Tests for leader rotation (paper §4.3.1)."""
+
+import pytest
+
+from repro.checker import check_all, check_integrity, check_total_order
+from repro.core.fsr import FSRConfig
+from tests.conftest import small_cluster
+
+
+def test_rotation_moves_leader_to_tail():
+    cluster = small_cluster(n=4)
+    cluster.start()
+    cluster.run(until=5e-3)
+    assert cluster.nodes[0].protocol.ring.leader == 0
+
+    cluster.nodes[2].membership.request_leader_rotation()
+    cluster.run_until(
+        lambda: cluster.nodes[1].protocol.ring.leader == 1, max_time_s=10
+    )
+    ring = cluster.nodes[1].protocol.ring
+    assert ring.members == (1, 2, 3, 0)
+    # The old leader is still a member, now at the tail.
+    assert cluster.nodes[0].protocol.ring.members == (1, 2, 3, 0)
+
+
+def test_rotation_preserves_total_order_under_load():
+    cluster = small_cluster(n=5, protocol_config=FSRConfig(t=1))
+    cluster.start()
+    cluster.run(until=5e-3)
+    for pid in range(5):
+        for _ in range(6):
+            cluster.broadcast(pid, size_bytes=5_000)
+    cluster.sim.schedule(0.02, cluster.nodes[0].membership.request_leader_rotation)
+    cluster.run_until(lambda: cluster.all_correct_delivered(30), max_time_s=60)
+    cluster.run(until=cluster.sim.now + 10e-3)
+    result = cluster.results()
+    check_all(result)
+    assert cluster.nodes[1].protocol.ring.leader == 1
+
+
+def test_repeated_rotation_cycles_every_leader():
+    cluster = small_cluster(n=3)
+    cluster.start()
+    cluster.run(until=5e-3)
+    leaders = [cluster.nodes[0].protocol.ring.leader]
+    for _ in range(3):
+        cluster.nodes[0].membership.request_leader_rotation()
+        current = leaders[-1]
+        cluster.run_until(
+            lambda: cluster.nodes[1].protocol.ring.leader != current,
+            max_time_s=10,
+        )
+        leaders.append(cluster.nodes[1].protocol.ring.leader)
+    assert leaders == [0, 1, 2, 0]
+
+
+def test_rotation_during_broadcast_keeps_all_messages():
+    """Nothing is lost: in-flight traffic is recovered by the flush."""
+    cluster = small_cluster(n=4, protocol_config=FSRConfig(t=1))
+    cluster.start()
+    cluster.run(until=5e-3)
+    for pid in range(4):
+        for _ in range(5):
+            cluster.broadcast(pid, size_bytes=20_000)
+    cluster.sim.schedule(0.01, cluster.nodes[3].membership.request_leader_rotation)
+    cluster.run_until(lambda: cluster.all_correct_delivered(20), max_time_s=60)
+    result = cluster.results()
+    check_integrity(result)
+    check_total_order(result)
+    for deliveries in result.app_deliveries.values():
+        assert len(deliveries) == 20

@@ -1,0 +1,72 @@
+"""Unit tests for the workload driver and §5.1 measurement protocol."""
+
+import pytest
+
+from repro.checker import check_all
+from repro.workloads import BurstPattern, KToNPattern, ThrottledPattern, run_workload
+from tests.conftest import small_cluster
+
+
+def test_blast_completes_everything():
+    cluster = small_cluster(n=3)
+    pattern = KToNPattern.n_to_n(3, 4, message_bytes=2_000)
+    outcome = run_workload(cluster, pattern)
+    check_all(outcome.result)
+    assert all(len(ids) == 4 for ids in outcome.sent.values())
+    for deliveries in outcome.result.app_deliveries.values():
+        assert len(deliveries) == 12
+
+
+def test_per_sender_throughput_defined_for_all():
+    cluster = small_cluster(n=3)
+    outcome = run_workload(cluster, KToNPattern.n_to_n(3, 5, message_bytes=5_000))
+    for sender in range(3):
+        value = outcome.sender_throughput_bps(sender)
+        assert value is not None and value > 0
+    assert outcome.aggregate_throughput_bps() == pytest.approx(
+        sum(outcome.sender_throughput_bps(s) for s in range(3))
+    )
+
+
+def test_sender_stop_time_is_completion_of_last_message():
+    cluster = small_cluster(n=3)
+    outcome = run_workload(cluster, KToNPattern.k_to_n(1, 3, 3, message_bytes=2_000))
+    last = outcome.sent[0][-1]
+    assert outcome.sender_stop_time(0) == outcome.result.completion_time(last)
+
+
+def test_burst_pattern_spaces_submissions():
+    cluster = small_cluster(n=3)
+    pattern = BurstPattern(
+        senders=(1,), messages_per_sender=6, message_bytes=1_000,
+        burst_size=2, gap_s=0.02,
+    )
+    outcome = run_workload(cluster, pattern)
+    submits = sorted(
+        record.submit_time for record in outcome.result.broadcasts
+    )
+    assert len(submits) == 6
+    # Three bursts of two: two large gaps of ~20 ms.
+    gaps = [b - a for a, b in zip(submits, submits[1:])]
+    large = [g for g in gaps if g > 0.015]
+    assert len(large) == 2
+
+
+def test_throttled_pattern_paces_submissions():
+    cluster = small_cluster(n=3)
+    pattern = ThrottledPattern(
+        senders=(0,), messages_per_sender=5, message_bytes=10_000,
+        offered_load_bps=8e6,  # one 10 KB message every 10 ms
+    )
+    outcome = run_workload(cluster, pattern)
+    submits = sorted(r.submit_time for r in outcome.result.broadcasts)
+    gaps = [b - a for a, b in zip(submits, submits[1:])]
+    assert all(g == pytest.approx(0.01, rel=0.05) for g in gaps)
+
+
+def test_start_time_measured_after_settle():
+    cluster = small_cluster(n=2)
+    outcome = run_workload(
+        cluster, KToNPattern.n_to_n(2, 2, message_bytes=1_000), settle_s=0.02
+    )
+    assert outcome.start_time >= 0.02

@@ -1,0 +1,72 @@
+"""Workload drivers must cope with senders crashing mid-pattern."""
+
+import pytest
+
+from repro.checker import check_integrity, check_total_order
+from repro.workloads import BurstPattern, ThrottledPattern
+from repro.workloads.driver import _inject_bursts, _inject_throttled
+from tests.conftest import small_cluster
+
+
+def test_burst_sender_crash_stops_its_schedule():
+    cluster = small_cluster(n=4)
+    cluster.start()
+    cluster.run(until=5e-3)
+    pattern = BurstPattern(
+        senders=(1, 2), messages_per_sender=12, message_bytes=2_000,
+        burst_size=3, gap_s=0.01,
+    )
+    sent = {1: [], 2: []}
+    _inject_bursts(cluster, pattern, sent)
+    cluster.schedule_crash(1, time=0.015)  # between bursts
+    cluster.run(until=0.2)
+    # Sender 1 got at most two bursts out before dying.
+    assert len(sent[1]) <= 6
+    # Sender 2 completed its whole schedule.
+    assert len(sent[2]) == 12
+    result = cluster.results()
+    check_integrity(result)
+    check_total_order(result)
+
+
+def test_throttled_sender_crash_stops_its_schedule():
+    cluster = small_cluster(n=4)
+    cluster.start()
+    cluster.run(until=5e-3)
+    pattern = ThrottledPattern(
+        senders=(1, 2), messages_per_sender=20, message_bytes=2_000,
+        offered_load_bps=3.2e6,  # one 2 KB message / 10 ms over 2 senders
+    )
+    sent = {1: [], 2: []}
+    _inject_throttled(cluster, pattern, sent)
+    cluster.schedule_crash(2, time=0.05)
+    cluster.run(until=0.5)
+    assert len(sent[2]) < 20
+    assert len(sent[1]) == 20
+    result = cluster.results()
+    check_integrity(result)
+    check_total_order(result)
+
+
+def test_survivors_deliver_crashed_senders_completed_prefix():
+    cluster = small_cluster(n=4)
+    cluster.start()
+    cluster.run(until=5e-3)
+    pattern = BurstPattern(
+        senders=(3,), messages_per_sender=9, message_bytes=2_000,
+        burst_size=3, gap_s=0.02,
+    )
+    sent = {3: []}
+    _inject_bursts(cluster, pattern, sent)
+    cluster.schedule_crash(3, time=0.025)  # after the second burst fires
+    cluster.run(until=0.4)
+    result = cluster.results()
+    check_integrity(result)
+    check_total_order(result)
+    # Whatever of sender 3's messages the survivors delivered, they all
+    # agree on it exactly.
+    logs = [
+        [str(d.message_id) for d in result.delivery_logs[p].deliveries]
+        for p in (0, 1, 2)
+    ]
+    assert logs[0] == logs[1] == logs[2]

@@ -1,0 +1,52 @@
+"""Unit tests for workload pattern descriptions."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads import BurstPattern, KToNPattern, ThrottledPattern, WorkloadPattern
+
+
+def test_totals():
+    pattern = WorkloadPattern(senders=(0, 1), messages_per_sender=3, message_bytes=100)
+    assert pattern.total_messages == 6
+    assert pattern.total_bytes == 600
+
+
+def test_n_to_n_constructor():
+    pattern = KToNPattern.n_to_n(4, 10)
+    assert pattern.senders == (0, 1, 2, 3)
+    assert pattern.message_bytes == 100_000  # the paper's size
+
+
+def test_k_to_n_constructor():
+    pattern = KToNPattern.k_to_n(2, 5, 7, message_bytes=500)
+    assert pattern.senders == (0, 1)
+    assert pattern.messages_per_sender == 7
+    with pytest.raises(ConfigurationError):
+        KToNPattern.k_to_n(6, 5, 1)
+    with pytest.raises(ConfigurationError):
+        KToNPattern.k_to_n(0, 5, 1)
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        WorkloadPattern(senders=())
+    with pytest.raises(ConfigurationError):
+        WorkloadPattern(messages_per_sender=0)
+    with pytest.raises(ConfigurationError):
+        WorkloadPattern(message_bytes=0)
+    with pytest.raises(ConfigurationError):
+        BurstPattern(burst_size=0)
+    with pytest.raises(ConfigurationError):
+        BurstPattern(gap_s=-1)
+    with pytest.raises(ConfigurationError):
+        ThrottledPattern(offered_load_bps=0)
+
+
+def test_throttled_interval():
+    pattern = ThrottledPattern(
+        senders=(0, 1), message_bytes=100_000, offered_load_bps=40e6,
+        messages_per_sender=5,
+    )
+    # 20 Mb/s per sender, 0.8 Mb per message -> one message per 40 ms.
+    assert pattern.per_sender_interval_s() == pytest.approx(0.04)
