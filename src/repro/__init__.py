@@ -22,6 +22,7 @@ See README.md for the architecture tour and DESIGN.md for the
 paper-to-module map.
 """
 
+from repro.chaos import CampaignConfig, CampaignReport, FaultSchedule, run_campaign
 from repro.cluster import Cluster, ClusterConfig, ExperimentResult, build_cluster
 from repro.core.api import BroadcastListener, TotalOrderBroadcast
 from repro.core.batching import BatchingBroadcast, BatchingConfig
@@ -33,6 +34,10 @@ from repro.types import Delivery, MessageId, View
 __version__ = "1.0.0"
 
 __all__ = [
+    "CampaignConfig",
+    "CampaignReport",
+    "FaultSchedule",
+    "run_campaign",
     "Cluster",
     "ClusterConfig",
     "ExperimentResult",

@@ -1,0 +1,425 @@
+"""Campaign runner: N seeded fault schedules, one oracle verdict each.
+
+``run_campaign`` is the subsystem's front door: it generates one
+schedule per seed (round-robin over the configured scenarios), drives
+each through the full simulated stack via :func:`run_schedule`, judges
+the outcome with the invariant oracle, delta-debugs any failing
+schedule down to a minimal reproducer, and returns a
+:class:`CampaignReport` that serialises to JSON (plus the
+``BENCH_chaos.json`` record the perf trajectory tracks).
+
+A campaign is deterministic for a fixed ``base_seed``: schedules derive
+from ``(scenario, seed)`` pairs, and every randomised subsystem inside
+a run hangs off the cluster's seeded RNG registry.
+"""
+
+from __future__ import annotations
+
+import json
+import time as _time
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.chaos.oracle import Verdict, judge_run
+from repro.chaos.schedules import (
+    DEFAULT_SCENARIOS,
+    FaultEvent,
+    FaultSchedule,
+    ScheduleContext,
+    generate_schedule,
+)
+from repro.chaos.shrink import shrink_schedule
+from repro.checker.wire_monitor import attach_wire_monitor
+from repro.cluster.config import ClusterConfig
+from repro.cluster.harness import Cluster, build_cluster
+from repro.cluster.results import ExperimentResult
+from repro.core.fsr.config import FSRConfig
+from repro.errors import CheckFailure, ConfigurationError, SimulationError
+from repro.net.params import NetworkParams
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Everything one chaos campaign needs.
+
+    The workload and network defaults are tuned so a single run takes a
+    fraction of a wall-clock second: traffic saturates a 6-process ring
+    for ~0.1 simulated seconds, which is the window the schedule
+    generators aim their faults into.
+    """
+
+    seeds: int = 50
+    base_seed: int = 0
+    scenarios: Tuple[str, ...] = DEFAULT_SCENARIOS
+    n: int = 6
+    t: int = 2
+    protocol: str = "fsr"
+    #: Workload: every process broadcasts ``per_sender`` messages of
+    #: ``message_bytes`` right after the settle phase.
+    per_sender: int = 6
+    message_bytes: int = 50_000
+    detection_delay_s: float = 20e-3
+    #: Attach the FSR wire monitor so structural violations abort the
+    #: offending run at the exact send (FSR clusters only).
+    wire_monitor: bool = True
+    #: Simulated-time liveness budget per run.
+    max_time_s: float = 60.0
+    settle_s: float = 0.05
+    #: Delta-debug failing schedules down to minimal reproducers.
+    shrink_failures: bool = True
+    #: Maximum oracle re-runs the shrinker may spend per failure.
+    shrink_budget: int = 48
+    #: Fault window and model knobs handed to the schedule generators.
+    window: Tuple[float, float] = (0.06, 0.16)
+    flush_window_s: float = 8e-3
+
+    def __post_init__(self) -> None:
+        if self.seeds < 1:
+            raise ConfigurationError("a campaign needs at least one seed")
+        if not self.scenarios:
+            raise ConfigurationError("a campaign needs at least one scenario")
+        if self.per_sender < 1:
+            raise ConfigurationError("per_sender must be positive")
+
+    def schedule_context(self) -> ScheduleContext:
+        return ScheduleContext(
+            n=self.n,
+            t=self.t,
+            detection_delay_s=self.detection_delay_s,
+            window=self.window,
+            flush_window_s=self.flush_window_s,
+        )
+
+    def network_params(self, schedule: FaultSchedule) -> NetworkParams:
+        """Fast-calibrated fabric; ARQ forced on when loss is injected."""
+        return NetworkParams(
+            bandwidth_bps=100e6,
+            propagation_delay_s=10e-6,
+            cpu_per_message_s=20e-6,
+            cpu_per_byte_s=5e-9,
+            retransmit_timeout_s=10e-3,
+            force_reliable=schedule.needs_arq(),
+        )
+
+
+# ----------------------------------------------------------------------
+# Single-run execution
+# ----------------------------------------------------------------------
+
+def apply_schedule(cluster: Cluster, schedule: FaultSchedule) -> None:
+    """Arm every fault of ``schedule`` on a built (unstarted ok) cluster."""
+    sim, net = cluster.sim, cluster.network
+    for event in schedule.events:
+        if event.kind == "crash":
+            cluster.schedule_crash(event.process, event.time)
+        elif event.kind == "loss_burst":
+            sim.schedule_at(event.time, net.set_loss_override, event.magnitude)
+            sim.schedule_at(
+                event.time + event.duration_s, net.set_loss_override, None
+            )
+        elif event.kind == "jitter_burst":
+            sim.schedule_at(event.time, net.set_extra_jitter, event.magnitude)
+            sim.schedule_at(
+                event.time + event.duration_s, net.set_extra_jitter, 0.0
+            )
+        elif event.kind == "cpu_slow":
+            sim.schedule_at(
+                event.time, net.set_cpu_scale, event.process, event.magnitude
+            )
+            sim.schedule_at(
+                event.time + event.duration_s, net.set_cpu_scale, event.process, 1.0
+            )
+        else:  # pragma: no cover - FaultEvent validates kinds
+            raise ConfigurationError(f"unknown fault kind {event.kind!r}")
+
+
+def run_schedule(
+    schedule: FaultSchedule, config: Optional[CampaignConfig] = None
+) -> Tuple[Verdict, ExperimentResult]:
+    """Execute one fault schedule end to end and judge it.
+
+    Builds a fresh cluster seeded from the schedule, attaches the wire
+    monitor, submits the standard saturating workload, arms the faults,
+    runs until the liveness predicate holds (or the budget expires), and
+    returns the oracle's verdict together with the frozen result.
+    """
+    cfg = config if config is not None else CampaignConfig()
+    protocol_config = FSRConfig(t=schedule.t) if cfg.protocol == "fsr" else None
+    cluster = build_cluster(ClusterConfig(
+        n=schedule.n,
+        protocol=cfg.protocol,
+        protocol_config=protocol_config,
+        network=cfg.network_params(schedule),
+        seed=schedule.seed,
+        detector=schedule.detector,
+        detection_delay_s=cfg.detection_delay_s,
+    ))
+    if cfg.wire_monitor:
+        attach_wire_monitor(cluster)
+
+    cluster.start()
+    # Arm faults at time zero: generated schedules aim inside the
+    # traffic window, but shrunk candidates may round a fault into the
+    # settle phase, and those must replay rather than error out.
+    apply_schedule(cluster, schedule)
+    cluster.run(until=cfg.settle_s)
+    for pid in range(schedule.n):
+        if cluster.network.is_crashed(pid):
+            continue  # crashed during settle (shrunk schedules only)
+        for _ in range(cfg.per_sender):
+            cluster.broadcast(pid, size_bytes=cfg.message_bytes)
+
+    planned_crashes = {e.process for e in schedule.crashes()}
+    survivors = [p for p in range(schedule.n) if p not in planned_crashes]
+    expected = cfg.per_sender * len(survivors)
+
+    def drained() -> bool:
+        return all(
+            sum(
+                1
+                for d in cluster.nodes[p].app_deliveries
+                if d.origin not in planned_crashes
+            ) >= expected
+            for p in survivors
+        )
+
+    wire_error: Optional[str] = None
+    run_error: Optional[str] = None
+    completed = False
+    try:
+        cluster.run_until(drained, step_s=0.02, max_time_s=cfg.max_time_s)
+        # Settle: let trailing acks/flushes land before judging.
+        cluster.run(until=cluster.sim.now + 2 * cfg.detection_delay_s + 0.05)
+        completed = True
+    except CheckFailure as failure:  # wire monitor abort
+        wire_error = str(failure)
+    except SimulationError:  # liveness budget expired
+        completed = False
+    except Exception as error:  # pragma: no cover - defensive
+        run_error = f"{type(error).__name__}: {error}"
+
+    result = cluster.results()
+    verdict = judge_run(
+        result,
+        drained=completed,
+        wire_error=wire_error,
+        run_error=run_error,
+        expected_unsound=schedule.fd_unsound,
+    )
+    return verdict, result
+
+
+def recovery_outage_ms(
+    result: ExperimentResult, schedule: FaultSchedule
+) -> Optional[float]:
+    """Worst survivor delivery gap straddling any executed crash, in ms.
+
+    ``None`` when the schedule crashed nobody (or no survivor delivered
+    on both sides of a crash instant).
+    """
+    crash_times = [
+        e.time for e in schedule.crashes() if e.process in result.crashed
+    ]
+    if not crash_times:
+        return None
+    worst: Optional[float] = None
+    for process in sorted(result.correct_processes()):
+        times = sorted(d.time for d in result.delivery_logs[process].deliveries)
+        for crash_at in crash_times:
+            before = [t for t in times if t <= crash_at]
+            after = [t for t in times if t > crash_at]
+            if before and after:
+                gap_ms = (min(after) - max(before)) * 1e3
+                worst = gap_ms if worst is None else max(worst, gap_ms)
+    return worst
+
+
+# ----------------------------------------------------------------------
+# Campaign loop + report
+# ----------------------------------------------------------------------
+
+@dataclass
+class SeedOutcome:
+    """One seed's schedule, verdict, and diagnostics."""
+
+    seed: int
+    scenario: str
+    schedule: FaultSchedule
+    verdict: Verdict
+    sim_duration_s: float
+    wall_s: float
+    outage_ms: Optional[float] = None
+    #: Shrunk reproducer, present only for gating (sound) failures.
+    minimal: Optional[FaultSchedule] = None
+
+    @property
+    def failed(self) -> bool:
+        """True when this seed gates the campaign red."""
+        return not self.verdict.ok and not self.verdict.expected_unsound
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "seed": self.seed,
+            "scenario": self.scenario,
+            "schedule": self.schedule.to_dict(),
+            "verdict": self.verdict.to_dict(),
+            "sim_duration_s": round(self.sim_duration_s, 6),
+            "wall_s": round(self.wall_s, 3),
+            "outage_ms": None if self.outage_ms is None else round(self.outage_ms, 3),
+        }
+        if self.minimal is not None:
+            out["minimal_reproducer"] = self.minimal.to_dict()
+        return out
+
+
+@dataclass
+class CampaignReport:
+    """Everything a finished campaign leaves behind."""
+
+    config: CampaignConfig
+    outcomes: List[SeedOutcome] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def failures(self) -> List[SeedOutcome]:
+        return [o for o in self.outcomes if o.failed]
+
+    @property
+    def unsound_outcomes(self) -> List[SeedOutcome]:
+        return [o for o in self.outcomes if o.verdict.expected_unsound]
+
+    def mean_outage_ms(self) -> Optional[float]:
+        outages = [o.outage_ms for o in self.outcomes if o.outage_ms is not None]
+        if not outages:
+            return None
+        return sum(outages) / len(outages)
+
+    def scenario_summary(self) -> Dict[str, Dict[str, object]]:
+        """Per-scenario seeds/failures/mean-outage rollup."""
+        rollup: Dict[str, Dict[str, object]] = {}
+        for outcome in self.outcomes:
+            row = rollup.setdefault(
+                outcome.scenario, {"seeds": 0, "failures": 0, "outages": []}
+            )
+            row["seeds"] += 1
+            if outcome.failed:
+                row["failures"] += 1
+            if outcome.outage_ms is not None:
+                row["outages"].append(outcome.outage_ms)
+        for row in rollup.values():
+            outages = row.pop("outages")
+            row["mean_outage_ms"] = (
+                round(sum(outages) / len(outages), 3) if outages else None
+            )
+        return rollup
+
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> List[Tuple[int, str, bool, float]]:
+        """Wall-clock-free digest for determinism assertions."""
+        return [
+            (o.seed, o.scenario, o.verdict.ok, round(o.sim_duration_s, 9))
+            for o in self.outcomes
+        ]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "config": {
+                "seeds": self.config.seeds,
+                "base_seed": self.config.base_seed,
+                "scenarios": list(self.config.scenarios),
+                "n": self.config.n,
+                "t": self.config.t,
+                "protocol": self.config.protocol,
+                "per_sender": self.config.per_sender,
+                "message_bytes": self.config.message_bytes,
+            },
+            "ok": self.ok,
+            "seeds_run": len(self.outcomes),
+            "failures": len(self.failures),
+            "unsound_runs": len(self.unsound_outcomes),
+            "mean_recovery_outage_ms": (
+                None
+                if self.mean_outage_ms() is None
+                else round(self.mean_outage_ms(), 3)
+            ),
+            "scenarios": self.scenario_summary(),
+            "outcomes": [o.to_dict() for o in self.outcomes],
+        }
+
+    def write_json(self, path) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2)
+            handle.write("\n")
+
+    def bench_record(self) -> Dict[str, object]:
+        """The ``BENCH_chaos.json`` payload for the perf trajectory."""
+        return {
+            "bench": "chaos_campaign",
+            "seeds_run": len(self.outcomes),
+            "failures": len(self.failures),
+            "unsound_runs": len(self.unsound_outcomes),
+            "mean_recovery_outage_ms": (
+                None
+                if self.mean_outage_ms() is None
+                else round(self.mean_outage_ms(), 3)
+            ),
+            "scenarios": {
+                name: {"seeds": row["seeds"], "failures": row["failures"]}
+                for name, row in self.scenario_summary().items()
+            },
+        }
+
+    def write_bench(self, path) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.bench_record(), handle, indent=2)
+            handle.write("\n")
+
+
+ProgressCallback = Callable[[SeedOutcome], None]
+
+
+def run_campaign(
+    config: Optional[CampaignConfig] = None,
+    progress: Optional[ProgressCallback] = None,
+    **overrides,
+) -> CampaignReport:
+    """Run a full chaos campaign and return its report.
+
+    Either pass a prebuilt :class:`CampaignConfig` or keyword overrides
+    for one (``run_campaign(seeds=200, t=2)``).  ``progress`` is invoked
+    once per finished seed (the CLI uses it for live output).
+    """
+    if config is not None and overrides:
+        raise ConfigurationError("pass either a config object or overrides, not both")
+    cfg = config if config is not None else CampaignConfig(**overrides)
+    ctx = cfg.schedule_context()
+    report = CampaignReport(config=cfg)
+    for index in range(cfg.seeds):
+        scenario = cfg.scenarios[index % len(cfg.scenarios)]
+        seed = cfg.base_seed + index
+        schedule = generate_schedule(scenario, seed, ctx)
+        started = _time.perf_counter()
+        verdict, result = run_schedule(schedule, cfg)
+        outcome = SeedOutcome(
+            seed=seed,
+            scenario=scenario,
+            schedule=schedule,
+            verdict=verdict,
+            sim_duration_s=result.duration_s,
+            wall_s=_time.perf_counter() - started,
+            outage_ms=recovery_outage_ms(result, schedule),
+        )
+        if outcome.failed and cfg.shrink_failures:
+            outcome.minimal = shrink_schedule(
+                schedule,
+                lambda candidate: not run_schedule(candidate, cfg)[0].ok,
+                budget=cfg.shrink_budget,
+            )
+        report.outcomes.append(outcome)
+        if progress is not None:
+            progress(outcome)
+    return report

@@ -1,0 +1,120 @@
+"""The invariant oracle: everything a chaos run must satisfy.
+
+After every campaign run the oracle applies the full battery from
+:mod:`repro.checker` — validity, uniform agreement, uniform integrity,
+uniform total order, sequence consistency, uniformity — plus the two
+liveness obligations the delivery-log checkers cannot see:
+
+* the run *drained*: every correct process delivered every message
+  broadcast by a correct process within the time bound, and
+* no online monitor (the FSR wire monitor, which snoops every send for
+  structural violations) aborted the run.
+
+Unlike the checkers, which raise on the first violated property, the
+oracle collects *all* violations: a red seed's report names every
+broken invariant, which matters when a single bug (say, a skipped
+stability bit) breaks uniformity and agreement at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.checker.order import (
+    check_agreement,
+    check_integrity,
+    check_sequence_consistency,
+    check_total_order,
+    check_uniformity,
+    check_validity,
+)
+from repro.cluster.results import ExperimentResult
+from repro.errors import CheckFailure
+
+#: The safety battery, in the order violations are reported.
+SAFETY_CHECKS: Tuple[Tuple[str, Callable[[ExperimentResult], None]], ...] = (
+    ("integrity", check_integrity),
+    ("total_order", check_total_order),
+    ("sequence_consistency", check_sequence_consistency),
+    ("agreement", check_agreement),
+    ("uniformity", check_uniformity),
+    ("validity", check_validity),
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant, with the checker's pointed message."""
+
+    invariant: str
+    message: str
+
+    def to_dict(self) -> Dict[str, str]:
+        return {"invariant": self.invariant, "message": self.message}
+
+
+@dataclass
+class Verdict:
+    """The oracle's judgement of one run."""
+
+    ok: bool
+    violations: List[Violation] = field(default_factory=list)
+    #: True when the schedule deliberately broke a model assumption
+    #: (``fd_unsound``): violations are documentation, not failures.
+    expected_unsound: bool = False
+
+    def summary(self) -> str:
+        if self.ok:
+            return "ok"
+        head = "unsound" if self.expected_unsound else "FAIL"
+        return f"{head}: " + "; ".join(
+            f"{v.invariant}: {v.message}" for v in self.violations
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "ok": self.ok,
+            "expected_unsound": self.expected_unsound,
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+
+def judge_run(
+    result: ExperimentResult,
+    drained: bool,
+    wire_error: Optional[str] = None,
+    run_error: Optional[str] = None,
+    expected_unsound: bool = False,
+) -> Verdict:
+    """Judge one finished (or aborted) run.
+
+    ``drained`` reports whether the liveness predicate (all correct
+    senders' messages delivered everywhere) held within the run's time
+    budget; ``wire_error`` carries a wire-monitor abort and
+    ``run_error`` any other exception that killed the run.
+    """
+    violations: List[Violation] = []
+    if wire_error is not None:
+        violations.append(Violation("wire", wire_error))
+    if run_error is not None:
+        violations.append(Violation("run", run_error))
+    for name, check in SAFETY_CHECKS:
+        try:
+            check(result)
+        except CheckFailure as failure:
+            violations.append(Violation(name, str(failure)))
+    # Liveness is only judged on runs that weren't aborted mid-flight:
+    # an aborted run obviously never drained, and the abort is already
+    # reported as its own violation.
+    if not drained and wire_error is None and run_error is None:
+        violations.append(Violation(
+            "liveness",
+            "run did not drain: some correct process never delivered all "
+            "correct senders' messages within the time budget",
+        ))
+    return Verdict(
+        ok=not violations,
+        violations=violations,
+        expected_unsound=expected_unsound,
+    )

@@ -1,0 +1,411 @@
+"""Seeded, model-aware fault-schedule generators.
+
+A :class:`FaultSchedule` is a declarative description of everything a
+chaos run does to a cluster: process crashes, loss/jitter burst phases,
+and per-node CPU slowdowns.  Generators compose these into the
+interleavings nobody writes by hand — crash storms inside one flush
+window, crashes timed into a view change triggered by an earlier crash,
+repeated leader assassination, degradation phases overlapping recovery.
+
+Generators are *model-aware*: they know the failure detector's
+detection delay and the approximate flush duration, so "crash during
+the view change" lands inside the actual view-change window rather than
+at a random instant.  They are also *bounded*: sound scenarios never
+schedule more than ``t`` crashes, and degradations stay strictly within
+the failure detector's operating envelope (with the oracle detector,
+suspicion is fed by the injector, so no degradation can forge one; with
+the heartbeat detector the generators keep slowdowns far below the
+suspicion timeout).  The single exception is the opt-in
+:func:`fd_violation` scenario, which deliberately stalls a node past
+the heartbeat timeout to document what the protocol does when the
+perfect-failure-detector assumption is broken.
+
+Determinism: ``generate_schedule(scenario, seed, ctx)`` derives its RNG
+from the ``(scenario, seed)`` pair via :class:`random.Random`'s string
+seeding (SHA-512 based, stable across processes), so a campaign with a
+fixed base seed is bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Fault kinds understood by the campaign runner.
+FAULT_KINDS = ("crash", "loss_burst", "jitter_burst", "cpu_slow")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault: a crash, or a timed degradation phase.
+
+    ``process`` targets crashes and CPU slowdowns; burst phases apply to
+    the whole fabric.  ``magnitude`` is kind-specific: loss probability
+    for ``loss_burst``, extra jitter seconds for ``jitter_burst``, CPU
+    cost multiplier for ``cpu_slow``.  ``note`` records the generator's
+    intent ("leader", "during_view_change", ...) for readable reports.
+    """
+
+    kind: str
+    time: float
+    process: Optional[int] = None
+    duration_s: float = 0.0
+    magnitude: float = 0.0
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigurationError(f"unknown fault kind {self.kind!r}")
+        if self.time < 0:
+            raise ConfigurationError("fault time cannot be negative")
+        if self.kind in ("crash", "cpu_slow") and self.process is None:
+            raise ConfigurationError(f"{self.kind} fault needs a target process")
+        if self.kind != "crash" and self.duration_s <= 0:
+            raise ConfigurationError(f"{self.kind} fault needs a positive duration")
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {"kind": self.kind, "time": self.time}
+        if self.process is not None:
+            out["process"] = self.process
+        if self.duration_s:
+            out["duration_s"] = self.duration_s
+        if self.magnitude:
+            out["magnitude"] = self.magnitude
+        if self.note:
+            out["note"] = self.note
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FaultEvent":
+        return cls(
+            kind=str(data["kind"]),
+            time=float(data["time"]),  # type: ignore[arg-type]
+            process=None if data.get("process") is None else int(data["process"]),  # type: ignore[arg-type]
+            duration_s=float(data.get("duration_s", 0.0)),  # type: ignore[arg-type]
+            magnitude=float(data.get("magnitude", 0.0)),  # type: ignore[arg-type]
+            note=str(data.get("note", "")),
+        )
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """A complete, replayable fault scenario for one cluster run."""
+
+    scenario: str
+    seed: int
+    n: int
+    t: int
+    events: Tuple[FaultEvent, ...] = ()
+    #: Failure detector the run must use ("oracle" or "heartbeat").
+    detector: str = "oracle"
+    #: True for scenarios that deliberately break the perfect-FD
+    #: assumption; the oracle reports what fails without failing the
+    #: campaign (these runs document a limit, they don't test a claim).
+    fd_unsound: bool = False
+
+    # ------------------------------------------------------------------
+    def crashes(self) -> Tuple[FaultEvent, ...]:
+        return tuple(e for e in self.events if e.kind == "crash")
+
+    def degradations(self) -> Tuple[FaultEvent, ...]:
+        return tuple(e for e in self.events if e.kind != "crash")
+
+    def needs_arq(self) -> bool:
+        """Whether the run must force reliable channels (loss injected)."""
+        return any(e.kind == "loss_burst" for e in self.events)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "n": self.n,
+            "t": self.t,
+            "detector": self.detector,
+            "fd_unsound": self.fd_unsound,
+            "events": [e.to_dict() for e in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FaultSchedule":
+        return cls(
+            scenario=str(data["scenario"]),
+            seed=int(data["seed"]),  # type: ignore[arg-type]
+            n=int(data["n"]),  # type: ignore[arg-type]
+            t=int(data["t"]),  # type: ignore[arg-type]
+            detector=str(data.get("detector", "oracle")),
+            fd_unsound=bool(data.get("fd_unsound", False)),
+            events=tuple(
+                FaultEvent.from_dict(e)  # type: ignore[arg-type]
+                for e in data.get("events", ())
+            ),
+        )
+
+    def reproducer(self) -> str:
+        """Python snippet reconstructing this schedule verbatim.
+
+        A red campaign's shrunk schedule is printed in this form so it
+        can be pasted straight into a regression test (see
+        ``tests/integration/test_crash_during_view_change.py``).
+        """
+        lines = [
+            "FaultSchedule.from_dict({",
+            f"    \"scenario\": {self.scenario!r}, \"seed\": {self.seed},",
+            f"    \"n\": {self.n}, \"t\": {self.t}, \"detector\": {self.detector!r},",
+        ]
+        if self.fd_unsound:
+            lines.append("    \"fd_unsound\": True,")
+        lines.append("    \"events\": [")
+        for event in self.events:
+            lines.append(f"        {event.to_dict()!r},")
+        lines.append("    ],")
+        lines.append("})")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ScheduleContext:
+    """The cluster model a generator shapes its schedule around."""
+
+    n: int = 6
+    t: int = 2
+    #: Crash-to-suspicion delay of the detector (view change starts
+    #: roughly this long after a crash).
+    detection_delay_s: float = 20e-3
+    #: Interval of simulated time during which workload traffic is in
+    #: flight; faults land here so they actually interleave with load.
+    window: Tuple[float, float] = (0.06, 0.16)
+    #: Approximate duration of one flush round (crash-during-view-change
+    #: scenarios aim inside ``detection + U(0, flush_window)``).
+    flush_window_s: float = 8e-3
+    #: Hardest CPU slowdown a *sound* scenario may apply.  With the
+    #: heartbeat detector, suspicion fires after ``heartbeat_timeout_s``
+    #: without a processed heartbeat; the cap keeps worst-case heartbeat
+    #: service time far below that, preserving FD accuracy.
+    max_slowdown: float = 3.0
+    heartbeat_interval_s: float = 10e-3
+    heartbeat_timeout_s: float = 200e-3
+
+    def __post_init__(self) -> None:
+        if self.n < 2:
+            raise ConfigurationError("chaos needs at least two processes")
+        if not 0 <= self.t < self.n:
+            raise ConfigurationError("need 0 <= t < n")
+        if self.window[0] >= self.window[1]:
+            raise ConfigurationError("empty fault window")
+
+
+def _uniform(rng: random.Random, lo: float, hi: float) -> float:
+    return round(lo + rng.random() * (hi - lo), 4)
+
+
+# ----------------------------------------------------------------------
+# Generators.  Each takes (rng, ctx) and returns a list of FaultEvents
+# (plus optional schedule-level overrides via _SCENARIO_FLAGS).
+# ----------------------------------------------------------------------
+
+def crash_storm(rng: random.Random, ctx: ScheduleContext) -> List[FaultEvent]:
+    """Up to ``t`` crashes; half the time packed into one flush window."""
+    if ctx.t == 0:
+        return []
+    k = rng.randint(1, ctx.t)
+    victims = rng.sample(range(ctx.n), k)
+    clustered = rng.random() < 0.5
+    base = _uniform(rng, *ctx.window)
+    events = []
+    for victim in victims:
+        if clustered:
+            at = round(base + rng.random() * ctx.flush_window_s, 4)
+        else:
+            at = _uniform(rng, *ctx.window)
+        events.append(FaultEvent(
+            "crash", at, process=victim,
+            note="storm" if clustered else "scattered",
+        ))
+    return sorted(events, key=lambda e: e.time)
+
+
+def role_targeted(rng: random.Random, ctx: ScheduleContext) -> List[FaultEvent]:
+    """Crashes aimed at the protocol's load-bearing roles: the leader
+    ``p_0``, the last backup ``p_t`` (where stability is decided), and
+    intermediate backups — the processes whose loss exercises the
+    recovery merge hardest."""
+    if ctx.t == 0:
+        return []
+    roles = {0: "leader", ctx.t: "last_backup"}
+    for backup in range(1, ctx.t):
+        roles[backup] = f"backup_p{backup}"
+    k = rng.randint(1, ctx.t)
+    victims = rng.sample(sorted(roles), min(k, len(roles)))
+    clustered = rng.random() < 0.5
+    base = _uniform(rng, *ctx.window)
+    events = []
+    for victim in victims:
+        if clustered:
+            at = round(base + rng.random() * ctx.flush_window_s, 4)
+        else:
+            at = _uniform(rng, *ctx.window)
+        events.append(FaultEvent("crash", at, process=victim, note=roles[victim]))
+    return sorted(events, key=lambda e: e.time)
+
+
+def view_change_crossfire(
+    rng: random.Random, ctx: ScheduleContext
+) -> List[FaultEvent]:
+    """A first crash triggers a view change; later crashes are timed
+    inside the resulting detection + flush windows (including the
+    coordinator-during-flush case the recovery proof sweats over)."""
+    if ctx.t == 0:
+        return []
+    pool = list(range(ctx.n))
+    first = pool.pop(rng.randrange(len(pool)))
+    t1 = _uniform(rng, ctx.window[0], (ctx.window[0] + ctx.window[1]) / 2)
+    events = [FaultEvent("crash", t1, process=first, note="trigger")]
+    extra = rng.randint(0, ctx.t - 1) if ctx.t > 1 else 0
+    at = t1
+    for _ in range(extra):
+        victim = pool.pop(rng.randrange(len(pool)))
+        at = round(
+            at + ctx.detection_delay_s + rng.random() * ctx.flush_window_s, 4
+        )
+        events.append(FaultEvent(
+            "crash", at, process=victim, note="during_view_change",
+        ))
+    return events
+
+
+def repeated_leader_crash(
+    rng: random.Random, ctx: ScheduleContext
+) -> List[FaultEvent]:
+    """Assassinate each successive leader: ``p_0`` of view 0, then the
+    lowest survivor that leads the next view, and so on — the worst
+    case for back-to-back recoveries."""
+    if ctx.t == 0:
+        return []
+    k = ctx.t if ctx.t == 1 else rng.randint(2, ctx.t)
+    at = _uniform(rng, ctx.window[0], (ctx.window[0] + ctx.window[1]) / 2)
+    events = []
+    for leader in range(k):
+        events.append(FaultEvent(
+            "crash", at, process=leader, note=f"leader_of_view_{leader}",
+        ))
+        # Let the previous view change complete (detection + flush),
+        # then strike again somewhere in the recovered steady state.
+        at = round(
+            at
+            + ctx.detection_delay_s
+            + ctx.flush_window_s
+            + rng.random() * 3 * ctx.flush_window_s,
+            4,
+        )
+    return events
+
+
+def degraded_network(
+    rng: random.Random, ctx: ScheduleContext
+) -> List[FaultEvent]:
+    """Loss bursts, jitter bursts, and per-node CPU slowdowns — kept
+    strictly within the failure detector's bound — optionally overlapped
+    with a crash so degradation coincides with recovery."""
+    events: List[FaultEvent] = []
+    lo, hi = ctx.window
+    if rng.random() < 0.8:
+        events.append(FaultEvent(
+            "loss_burst", _uniform(rng, lo, hi),
+            duration_s=round(0.02 + rng.random() * 0.03, 4),
+            magnitude=round(0.05 + rng.random() * 0.25, 3),
+            note="loss_burst",
+        ))
+    if rng.random() < 0.6:
+        events.append(FaultEvent(
+            "jitter_burst", _uniform(rng, lo, hi),
+            duration_s=round(0.02 + rng.random() * 0.03, 4),
+            magnitude=round(0.2e-3 + rng.random() * 1.8e-3, 6),
+            note="switch_queueing_noise",
+        ))
+    if rng.random() < 0.6:
+        events.append(FaultEvent(
+            "cpu_slow", _uniform(rng, lo, hi),
+            process=rng.randrange(ctx.n),
+            duration_s=round(0.03 + rng.random() * 0.05, 4),
+            magnitude=round(1.5 + rng.random() * (ctx.max_slowdown - 1.5), 2),
+            note="degraded_host",
+        ))
+    if ctx.t >= 1 and rng.random() < 0.5:
+        events.append(FaultEvent(
+            "crash", _uniform(rng, lo, hi),
+            process=rng.randrange(ctx.n), note="crash_under_degradation",
+        ))
+    if not events:  # never generate an empty scenario
+        events.append(FaultEvent(
+            "loss_burst", _uniform(rng, lo, hi),
+            duration_s=0.03, magnitude=0.1, note="loss_burst",
+        ))
+    return sorted(events, key=lambda e: e.time)
+
+
+def fd_violation(rng: random.Random, ctx: ScheduleContext) -> List[FaultEvent]:
+    """OPT-IN, UNSOUND: stall one node's CPU far past the heartbeat
+    timeout, so live peers get falsely suspected — a deliberate breach
+    of the perfect-failure-detector assumption (paper §3).  Runs using
+    this scenario are reported as ``fd_unsound`` and their violations
+    document what breaks; they never gate a campaign."""
+    victim = rng.randrange(ctx.n)
+    # Make per-message service time exceed the suspicion timeout, so
+    # heartbeats queue behind data and the victim's FD goes inaccurate.
+    magnitude = round(
+        4.0 * ctx.heartbeat_timeout_s / max(ctx.heartbeat_interval_s, 1e-6), 1
+    )
+    return [FaultEvent(
+        "cpu_slow", _uniform(rng, *ctx.window),
+        process=victim,
+        duration_s=round(4 * ctx.heartbeat_timeout_s, 4),
+        magnitude=magnitude,
+        note="beyond_fd_bound",
+    )]
+
+
+#: Sound scenarios: safe to gate a campaign on (faults stay within the
+#: model's assumptions, so every invariant must hold on every seed).
+SCENARIOS: Dict[str, Callable[[random.Random, ScheduleContext], List[FaultEvent]]] = {
+    "crash_storm": crash_storm,
+    "role_targeted": role_targeted,
+    "view_change_crossfire": view_change_crossfire,
+    "repeated_leader_crash": repeated_leader_crash,
+    "degraded_network": degraded_network,
+}
+
+#: Unsound scenarios: opt-in, violate a stated model assumption.
+UNSOUND_SCENARIOS = {
+    "fd_violation": fd_violation,
+}
+
+DEFAULT_SCENARIOS: Tuple[str, ...] = tuple(SCENARIOS)
+
+
+def generate_schedule(
+    scenario: str, seed: int, ctx: ScheduleContext
+) -> FaultSchedule:
+    """Deterministically generate one schedule for ``(scenario, seed)``."""
+    unsound = scenario in UNSOUND_SCENARIOS
+    try:
+        generator = UNSOUND_SCENARIOS[scenario] if unsound else SCENARIOS[scenario]
+    except KeyError:
+        known = sorted(SCENARIOS) + sorted(UNSOUND_SCENARIOS)
+        raise ConfigurationError(
+            f"unknown chaos scenario {scenario!r}; known: {', '.join(known)}"
+        ) from None
+    rng = random.Random(f"{scenario}:{seed}")
+    events = generator(rng, ctx)
+    return FaultSchedule(
+        scenario=scenario,
+        seed=seed,
+        n=ctx.n,
+        t=ctx.t,
+        events=tuple(events),
+        detector="heartbeat" if unsound else "oracle",
+        fd_unsound=unsound,
+    )

@@ -1,0 +1,107 @@
+"""Delta-debugging minimization of failing fault schedules.
+
+A red campaign seed typically carries more faults than the bug needs.
+:func:`shrink_schedule` reduces a failing schedule while the oracle
+still fails, in two passes:
+
+1. **Event reduction** (ddmin): try the empty schedule first (if the
+   failure reproduces with no faults at all, the bug is fault-
+   independent and the minimal reproducer says so), then repeatedly try
+   dropping complement chunks of halving size, finally single events,
+   until no single event can be removed.
+2. **Time rounding**: snap each surviving event's time to the coarsest
+   earlier round value (1, then 2, then 3 decimals) that keeps the
+   failure, so reproducers read ``0.1`` instead of ``0.1037``.
+
+The predicate re-runs a full simulation per candidate, so the search is
+budgeted (``budget`` oracle runs); within budget the result is
+1-minimal with respect to event removal.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+from typing import Callable, List, Sequence
+
+from repro.chaos.schedules import FaultEvent, FaultSchedule
+
+#: Predicate: does this candidate schedule still fail the oracle?
+FailurePredicate = Callable[[FaultSchedule], bool]
+
+
+class _Budget:
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+        self.spent = 0
+
+    def exhausted(self) -> bool:
+        return self.spent >= self.limit
+
+
+def shrink_schedule(
+    schedule: FaultSchedule,
+    still_fails: FailurePredicate,
+    budget: int = 64,
+) -> FaultSchedule:
+    """Return a smaller schedule on which ``still_fails`` still holds.
+
+    ``still_fails(schedule)`` is assumed true on entry (the caller just
+    watched it fail); the original is returned unchanged if no smaller
+    failing candidate is found within ``budget`` predicate evaluations.
+    """
+    tokens = _Budget(budget)
+
+    def check(events: Sequence[FaultEvent]) -> bool:
+        if tokens.exhausted():
+            return False
+        tokens.spent += 1
+        return still_fails(replace(schedule, events=tuple(events)))
+
+    events = _reduce_events(list(schedule.events), check)
+    events = _round_times(events, check)
+    return replace(schedule, events=tuple(events))
+
+
+def _reduce_events(
+    events: List[FaultEvent],
+    check: Callable[[Sequence[FaultEvent]], bool],
+) -> List[FaultEvent]:
+    if events and check([]):
+        # Failure independent of every fault: the minimal reproducer is
+        # the bare workload (a protocol bug, not a recovery bug).
+        return []
+    granularity = 2
+    while len(events) >= 2:
+        chunk = math.ceil(len(events) / granularity)
+        reduced = False
+        for start in range(0, len(events), chunk):
+            candidate = events[:start] + events[start + chunk:]
+            if candidate and check(candidate):
+                events = candidate
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if chunk <= 1:
+                break  # 1-minimal: no single event can be dropped
+            granularity = min(len(events), granularity * 2)
+    return events
+
+
+def _round_times(
+    events: List[FaultEvent],
+    check: Callable[[Sequence[FaultEvent]], bool],
+) -> List[FaultEvent]:
+    for index, event in enumerate(events):
+        for decimals in (1, 2, 3):
+            scale = 10 ** decimals
+            rounded = math.floor(event.time * scale) / scale
+            if rounded >= event.time:
+                continue  # already round (or would move later)
+            candidate = list(events)
+            candidate[index] = replace(event, time=rounded)
+            if check(candidate):
+                events = candidate
+                break  # keep the coarsest rounding that still fails
+    return events

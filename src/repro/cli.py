@@ -8,6 +8,7 @@ Usage (also via ``python -m repro``):
     python -m repro latency --max-n 10
     python -m repro compare --n 5
     python -m repro rounds --n 6 --k 2
+    python -m repro chaos --seeds 50
     python -m repro figures
 
 Every subcommand prints the same aligned tables the benchmark harnesses
@@ -139,6 +140,111 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.chaos import (
+        CampaignConfig,
+        SeedOutcome,
+        run_campaign,
+    )
+    from repro.chaos.schedules import (
+        DEFAULT_SCENARIOS,
+        SCENARIOS,
+        UNSOUND_SCENARIOS,
+    )
+    from repro.errors import ConfigurationError
+
+    scenarios = tuple(args.scenario) if args.scenario else DEFAULT_SCENARIOS
+    if args.fd_violation:
+        scenarios += tuple(s for s in UNSOUND_SCENARIOS if s not in scenarios)
+    known = set(SCENARIOS) | set(UNSOUND_SCENARIOS)
+    unknown = sorted(set(scenarios) - known)
+    if unknown:
+        print(
+            f"unknown scenario(s): {', '.join(unknown)} "
+            f"(available: {', '.join(sorted(known))})",
+            file=sys.stderr,
+        )
+        return 2
+    unsound_requested = sorted(set(scenarios) & set(UNSOUND_SCENARIOS))
+    if unsound_requested and not args.fd_violation:
+        print(
+            f"scenario(s) {', '.join(unsound_requested)} violate the "
+            "perfect-failure-detector assumption; pass --fd-violation to "
+            "opt in",
+            file=sys.stderr,
+        )
+        return 2
+
+    try:
+        config = CampaignConfig(
+            seeds=args.seeds,
+            base_seed=args.base_seed,
+            scenarios=scenarios,
+            n=args.n,
+            t=args.t,
+        )
+    except ConfigurationError as exc:
+        print(f"invalid campaign config: {exc}", file=sys.stderr)
+        return 2
+
+    def progress(outcome: SeedOutcome) -> None:
+        marker = "ok"
+        if outcome.failed:
+            marker = "FAIL"
+        elif not outcome.verdict.ok:
+            marker = "unsound"
+        print(
+            f"  seed {outcome.seed:>4}  {outcome.scenario:<24} {marker:<8}"
+            f" sim {outcome.sim_duration_s:6.2f} s",
+            flush=True,
+        )
+
+    report = run_campaign(config, progress=progress if args.verbose else None)
+
+    rows = []
+    for name, row in sorted(report.scenario_summary().items()):
+        outage = row["mean_outage_ms"]
+        rows.append([
+            name,
+            row["seeds"],
+            row["failures"],
+            "-" if outage is None else f"{outage:.1f}",
+        ])
+    print(format_table(
+        ["scenario", "seeds", "failures", "mean outage (ms)"], rows,
+        title=(
+            f"Chaos campaign: {len(report.outcomes)} seeds, "
+            f"n={config.n}, t={config.t}, base seed {config.base_seed}"
+        ),
+    ))
+
+    for outcome in report.unsound_outcomes:
+        if not outcome.verdict.ok:
+            print(
+                f"\n[unsound, documented] seed {outcome.seed} "
+                f"({outcome.scenario}): {outcome.verdict.summary()}"
+            )
+    for outcome in report.failures:
+        print(f"\nFAIL seed {outcome.seed} ({outcome.scenario}):")
+        print(f"  {outcome.verdict.summary()}")
+        reproducer = outcome.minimal or outcome.schedule
+        label = "minimal reproducer" if outcome.minimal else "schedule"
+        print(f"  {label}:")
+        for line in reproducer.reproducer().splitlines():
+            print(f"    {line}")
+
+    if args.report:
+        report.write_json(args.report)
+        print(f"\nfull report written to {args.report}")
+    if args.bench:
+        report.write_bench(args.bench)
+        print(f"bench record written to {args.bench}")
+
+    verdict = "GREEN" if report.ok else "RED"
+    print(f"\ncampaign {verdict}: {len(report.failures)} failing seed(s)")
+    return 0 if report.ok else 1
+
+
 def _cmd_figures(args: argparse.Namespace) -> int:
     # Delegate to the example script's sections to avoid duplication.
     import importlib.util
@@ -198,6 +304,29 @@ def build_parser() -> argparse.ArgumentParser:
     predict.add_argument("--n", type=int, default=5)
     predict.add_argument("--size", type=int, default=100_000)
     predict.set_defaults(func=_cmd_predict)
+
+    chaos = sub.add_parser(
+        "chaos", help="seeded fault-injection campaign with invariant gating"
+    )
+    chaos.add_argument("--seeds", type=int, default=50,
+                       help="number of seeded runs (default 50)")
+    chaos.add_argument("--base-seed", type=int, default=0,
+                       help="first seed; campaign is deterministic per base seed")
+    chaos.add_argument("--scenario", action="append", default=None,
+                       help="restrict to a scenario (repeatable); default: all "
+                            "sound scenarios round-robin")
+    chaos.add_argument("--n", type=int, default=6)
+    chaos.add_argument("--t", type=int, default=2)
+    chaos.add_argument("--fd-violation", action="store_true",
+                       help="also run the unsound failure-detector scenario "
+                            "(its violations are documented, not failures)")
+    chaos.add_argument("--report", default=None, metavar="PATH",
+                       help="write the full JSON campaign report here")
+    chaos.add_argument("--bench", default="BENCH_chaos.json", metavar="PATH",
+                       help="write the bench record here ('' to skip)")
+    chaos.add_argument("--verbose", action="store_true",
+                       help="print one line per seed as it finishes")
+    chaos.set_defaults(func=_cmd_chaos)
 
     figures = sub.add_parser("figures", help="regenerate Table 1 + Figures 6-9")
     figures.set_defaults(func=_cmd_figures)

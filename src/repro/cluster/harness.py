@@ -181,9 +181,13 @@ class Cluster:
         self._broadcast_origin[message_id] = node_id
         return message_id
 
-    def schedule_crash(self, node_id: ProcessId, time: SimTime) -> None:
-        """Crash ``node_id`` at simulated ``time``."""
-        self.injector.schedule_crash(node_id, time)
+    def schedule_crash(self, node_id: ProcessId, time: SimTime):
+        """Crash ``node_id`` at simulated ``time``; returns the event."""
+        return self.injector.schedule_crash(node_id, time)
+
+    def scheduled_crashes(self):
+        """Pending (not yet executed) crash events, in firing order."""
+        return self.injector.scheduled()
 
     def _on_crash(self, node_id: ProcessId) -> None:
         self._crashed[node_id] = self.sim.now

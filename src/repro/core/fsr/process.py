@@ -141,6 +141,19 @@ class FSRProcess(TotalOrderBroadcast):
         self._pending_own: "OrderedDict[MessageId, Segment]" = OrderedDict()
         self._reassembler = Reassembler()
 
+        #: Recovered-but-uncommitted deliveries: entries applied from a
+        #: view install, released only at the membership layer's commit
+        #: (all members stored the merge, so delivering is uniform even
+        #: under ``t`` immediate further crashes).  The view id guards
+        #: against a superseding install racing the commit.
+        self._recovery_pending: List[HoldbackEntry] = []
+        self._recovery_view: Optional[int] = None
+        #: Highest recovered sequence not yet commit-confirmed; while
+        #: any is outstanding this process ships its records in flush
+        #: states even from a non-holder ring position, because it may
+        #: be the only survivor retaining them.
+        self._recovery_floor: SequenceNumber = 0
+
         #: Messages received for a view not yet installed locally.
         self._future_buffer: List[Tuple[int, ProcessId, Any]] = []
         #: Outstanding marshalling jobs (cancelled on view change so a
@@ -284,10 +297,19 @@ class FSRProcess(TotalOrderBroadcast):
             self._ring is not None
             and self._ring.position_of(self.me) <= self._ring.t
         )
+        # Uncommitted recovery records must ship regardless of ring
+        # position: after a coordinator crash mid-install this process
+        # may be the only survivor retaining them, and the next merge's
+        # uniformity check depends on seeing them.
+        recovery_outstanding = self._recovery_floor > self._gc_cursor
         state = FSRFlushState(
             last_delivered=self._holdback.last_delivered,
             watermark=self._watermark,
-            records=dict(self._records) if was_holder else {},
+            records=(
+                dict(self._records)
+                if was_holder or recovery_outstanding
+                else {}
+            ),
             fresh=not self._installed_once,
         )
         return FlushState(payload=state, size_bytes=state.size_bytes())
@@ -333,7 +355,24 @@ class FSRProcess(TotalOrderBroadcast):
             # Joining process: no history to deliver; start at the
             # oldest point the merged records can serve.
             self._holdback.fast_forward(merged.min_last_delivered + 1)
-        # Deliver everything any survivor may already have delivered.
+        # Rebuild retention: own records up to the delivery cursor stay
+        # (we delivered them, so they match the global assignment);
+        # above it the merged records are authoritative — our copies
+        # there may be void old-view assignments that a newer view
+        # reassigned to different messages.
+        records = {
+            seq: record
+            for seq, record in self._records.items()
+            if seq <= self._holdback.last_delivered
+        }
+        # Stage everything any survivor may already have delivered.
+        # Delivery is DEFERRED to the membership layer's view commit:
+        # only once every member has stored the merge is delivering
+        # uniform under ``t`` further crashes.  (The old eager delivery
+        # here was a real uniformity bug: a coordinator that installed,
+        # delivered, and crashed before any other member received its
+        # install took the only copies of those messages with it.)
+        pending: List[HoldbackEntry] = []
         for seq in range(self._holdback.last_delivered + 1, merged.next_sequence):
             record = merged.records.get(seq)
             if record is None:
@@ -341,11 +380,8 @@ class FSRProcess(TotalOrderBroadcast):
                     f"recovery gap at sequence {seq} (merge promised "
                     f"contiguity up to {merged.next_sequence})"
                 )
-            # Keep the record visible during delivery so segment
-            # metadata survives reassembly.
-            if seq > self._gc_cursor:
-                self._records.setdefault(seq, record)
-            self._holdback.mark_deliverable(
+            records[seq] = record
+            pending.append(
                 HoldbackEntry(
                     sequence=seq,
                     message_id=record.message_id,
@@ -353,23 +389,55 @@ class FSRProcess(TotalOrderBroadcast):
                     payload_size=record.payload_size,
                 )
             )
-        # Old-view sequence assignments beyond the merge are void.
-        self._holdback.fast_forward(merged.next_sequence)
+        self._records = records
+        self._seq_of = {r.message_id: s for s, r in records.items()}
+        self._known_payloads.clear()
+        self._recovery_pending = pending
+        self._recovery_view = self._view.view_id if self._view is not None else None
+        self._recovery_floor = merged.next_sequence - 1
         self._next_seq = merged.next_sequence
-        self._watermark = merged.next_sequence - 1
+        # The stability watermark does NOT jump here: the merge is
+        # stored only at members that installed so far.  It advances at
+        # the view commit, or via the first full-circle stable ack of
+        # the new view (a full circle implies every member installed and
+        # therefore stored the merge).  Retention — and with it the next
+        # flush's uniformity guarantee — survives a coordinator crash
+        # mid-install.
         self._consumed_acks.clear()
         self._consumed_prefix = merged.next_sequence - 1
-        self._records.clear()
-        self._seq_of.clear()
-        self._known_payloads.clear()
-        self._gc_cursor = merged.next_sequence - 1
         self._scheduler.drain()
         self._ack_queue.clear()
+
+    def on_view_commit(self, view: View) -> None:
+        """Every member stored the view's install: release recovery.
+
+        The deferred recovered deliveries are now backed by a copy at
+        every member of the new view, so TO-delivering them is uniform;
+        the stability watermark advances over the recovered range,
+        re-enabling garbage collection.
+        """
+        if self._stopped or self._recovery_view != view.view_id:
+            return
+        pending, self._recovery_pending = self._recovery_pending, []
+        self.trace.emit(
+            self.sim.now, "fsr", "recovery_commit",
+            me=self.me, view_id=view.view_id, released=len(pending),
+        )
+        for entry in pending:
+            self._holdback.mark_deliverable(entry)
+        if self._recovery_floor > self._watermark:
+            self._watermark = self._recovery_floor
+            self._maybe_gc()
+        self._pump()
 
     def _rebroadcast_pending(self) -> None:
         """Re-inject own messages that did not survive the old view."""
         assert self._ring is not None
         for seg_id, segment in list(self._pending_own.items()):
+            if seg_id in self._seq_of:
+                # Sequenced and retained by the merge: it delivers at
+                # the view commit; re-injecting would duplicate it.
+                continue
             seg_meta = (
                 None
                 if segment.count == 1

@@ -9,7 +9,7 @@ same simulated instant — a node never "half crashes".
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Set
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.errors import ConfigurationError
 from repro.failure.detector import OracleFailureDetector
@@ -42,6 +42,9 @@ class CrashInjector:
         self._crash_callbacks: List[CrashCallback] = []
         self._crashed: Set[ProcessId] = set()
         self._scheduled: List[CrashEvent] = []
+        #: Scheduled-but-not-yet-fired crash per process (one slot each:
+        #: a crash is terminal, so a second schedule is a duplicate).
+        self._pending: Dict[ProcessId, CrashEvent] = {}
 
     # ------------------------------------------------------------------
     # Wiring
@@ -60,13 +63,36 @@ class CrashInjector:
     def schedule_crash(
         self, process: ProcessId, time: SimTime, reason: str = "injected"
     ) -> CrashEvent:
-        """Arrange for ``process`` to crash at simulated ``time``."""
+        """Arrange for ``process`` to crash at simulated ``time``.
+
+        Idempotent: scheduling a crash for a process that has already
+        crashed, or that already has a pending scheduled crash, is a
+        no-op that emits a ``schedule_ignored`` trace warning and
+        returns the event that stands (the already-pending one for a
+        duplicate).  Campaign schedules audit the outcome through
+        :meth:`scheduled`.
+        """
         if time < self.sim.now:
             raise ConfigurationError(
                 f"cannot schedule crash at {time}; simulation is at {self.sim.now}"
             )
+        if process in self._crashed:
+            self.trace.emit(
+                self.sim.now, "injector", "schedule_ignored",
+                process=process, at=time, why="already_crashed",
+            )
+            return CrashEvent(process=process, time=time, reason="ignored")
+        existing = self._pending.get(process)
+        if existing is not None:
+            self.trace.emit(
+                self.sim.now, "injector", "schedule_ignored",
+                process=process, at=time, why="already_scheduled",
+                pending_time=existing.time,
+            )
+            return existing
         event = CrashEvent(process=process, time=time, reason=reason)
         self._scheduled.append(event)
+        self._pending[process] = event
         self.sim.schedule_at(time, self.crash_now, process, reason)
         return event
 
@@ -80,6 +106,7 @@ class CrashInjector:
         if process in self._crashed:
             return
         self._crashed.add(process)
+        self._pending.pop(process, None)
         self.trace.emit(self.sim.now, "injector", "crash", process=process, reason=reason)
         self.network.crash(process)
         for callback in list(self._crash_callbacks):
@@ -93,6 +120,15 @@ class CrashInjector:
     def crashed(self) -> Set[ProcessId]:
         """Processes that have crashed so far."""
         return set(self._crashed)
+
+    def scheduled(self) -> Tuple[CrashEvent, ...]:
+        """Crashes scheduled but not yet executed, in firing order.
+
+        Lets a campaign audit exactly which of its requested crashes
+        stand (duplicates and post-crash schedules were dropped)."""
+        return tuple(
+            sorted(self._pending.values(), key=lambda e: (e.time, e.process))
+        )
 
     def is_crashed(self, process: ProcessId) -> bool:
         return process in self._crashed

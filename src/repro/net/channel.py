@@ -110,8 +110,17 @@ class ReliableChannel:
     def _arm_timer(self) -> None:
         if self.tx.retransmit_timer is not None or not self.tx.unacked:
             return
+        # Capped exponential backoff: the first retransmit fires after
+        # the base timeout; each further unsuccessful retransmit doubles
+        # the wait (factor configurable) up to the configured cap, so a
+        # loss burst never degenerates into a retransmit storm.  The
+        # timeout is additionally floored at the outstanding window's
+        # round-trip serialisation cost — no ack can arrive before the
+        # window has even crossed the wire.
+        outstanding = sum(env.wire_size_bytes() for _, env in self.tx.unacked)
         self.tx.retransmit_timer = self.sim.schedule(
-            self.params.retransmit_timeout_s, self._on_timeout
+            self.params.retransmit_timeout_for(self.tx.retries, outstanding),
+            self._on_timeout,
         )
 
     def _on_timeout(self) -> None:
@@ -190,7 +199,7 @@ class ChannelStack:
         self.endpoint = endpoint
         self.params = params
         self.trace = trace if trace is not None else TraceLog(enabled=False)
-        self._reliable = params.loss_rate > 0.0
+        self._reliable = params.loss_rate > 0.0 or params.force_reliable
         self._handler: Optional[ReceiveHandler] = None
         self._channels: Dict[ProcessId, ReliableChannel] = {}
         endpoint.on_receive(self._on_raw_receive)

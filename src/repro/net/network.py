@@ -105,6 +105,9 @@ class _Nic:
         self.handler: Optional[ReceiveHandler] = None
         self.crashed = False
         self.stats = NicStats()
+        #: Multiplier on per-message CPU costs (chaos campaigns model a
+        #: degraded host by raising it; 1.0 is nominal speed).
+        self.cpu_scale = 1.0
         #: Fired whenever the TX queue drains; protocols use this to
         #: pace their send scheduling (lazy fairness decisions).
         self.tx_idle_callbacks: List[Callable[[], None]] = []
@@ -245,6 +248,7 @@ class _Nic:
         if self.crashed:
             handle.cancelled = True
             return handle
+        cost *= self.cpu_scale
         self._cpu_queue.append((cost, handle, lambda: action(*args), False))
         self.stats.max_cpu_queue = max(self.stats.max_cpu_queue, len(self._cpu_queue))
         if not self._cpu_busy:
@@ -264,6 +268,7 @@ class _Nic:
         if self.crashed:
             handle.cancelled = True
             return handle
+        cost *= self.cpu_scale
         self._marshal_waiting.append((cost, handle, lambda: action(*args)))
         self.stats.max_tx_cpu_queue = max(
             self.stats.max_tx_cpu_queue, len(self._marshal_waiting)
@@ -417,6 +422,11 @@ class Network:
         self._nics: Dict[ProcessId, _Nic] = {}
         self._loss_rng = loss_rng if loss_rng is not None else random.Random(0)
         self._jitter_rng = jitter_rng if jitter_rng is not None else random.Random(1)
+        #: Chaos-campaign degradations: a phase-scoped loss-rate override
+        #: (``None`` = use ``params.loss_rate``) and extra jitter added on
+        #: top of ``params.propagation_jitter_s``.
+        self._loss_override: Optional[float] = None
+        self._extra_jitter_s: float = 0.0
         #: Last scheduled arrival time per (src, dst): jitter must never
         #: reorder a flow (a LAN switch is FIFO per flow).
         self._last_arrival: Dict[Tuple[ProcessId, ProcessId], float] = {}
@@ -469,22 +479,59 @@ class Network:
         nic.enqueue_rx(datagram)
 
     def _roll_loss(self) -> bool:
-        if self.params.loss_rate <= 0.0:
+        rate = (
+            self._loss_override
+            if self._loss_override is not None
+            else self.params.loss_rate
+        )
+        if rate <= 0.0:
             return False
-        return self._loss_rng.random() < self.params.loss_rate
+        return self._loss_rng.random() < rate
 
     def _arrival_delay(
         self, src: ProcessId, dst: ProcessId, base_delay: float
     ) -> float:
         """Apply per-message jitter, clamped to keep each flow FIFO."""
-        if self.params.propagation_jitter_s <= 0.0:
+        jitter = self.params.propagation_jitter_s + self._extra_jitter_s
+        if jitter <= 0.0:
             return base_delay
-        draw = self._jitter_rng.random() * self.params.propagation_jitter_s
+        draw = self._jitter_rng.random() * jitter
         candidate = self.sim.now + base_delay + draw
         floor = self._last_arrival.get((src, dst), 0.0)
         candidate = max(candidate, floor + 1e-12)
         self._last_arrival[(src, dst)] = candidate
         return candidate - self.sim.now
+
+    # ------------------------------------------------------------------
+    # Degradation (chaos campaigns)
+    # ------------------------------------------------------------------
+    def set_loss_override(self, rate: Optional[float]) -> None:
+        """Override the whole-message loss probability (``None`` restores
+        ``params.loss_rate``).  Only meaningful when the reliable channel
+        layer is active (``loss_rate > 0`` or ``force_reliable``),
+        otherwise messages lost during the override are gone for good."""
+        if rate is not None and not 0.0 <= rate < 1.0:
+            raise NetworkError(f"loss override {rate} outside [0, 1)")
+        self._loss_override = rate
+        self.trace.emit(self.sim.now, "net", "loss_override", rate=rate)
+
+    def set_extra_jitter(self, extra_s: float) -> None:
+        """Add ``extra_s`` of per-message jitter on top of the configured
+        ``propagation_jitter_s`` (0 restores nominal).  Arrivals stay
+        FIFO per flow via the usual clamping."""
+        if extra_s < 0:
+            raise NetworkError("extra jitter cannot be negative")
+        self._extra_jitter_s = extra_s
+        self.trace.emit(self.sim.now, "net", "jitter_override", extra_s=extra_s)
+
+    def set_cpu_scale(self, node_id: ProcessId, scale: float) -> None:
+        """Scale ``node_id``'s per-message CPU costs by ``scale`` (a
+        degraded host; 1.0 restores nominal speed).  Applies to jobs
+        enqueued from now on; jobs already queued keep their cost."""
+        if scale <= 0:
+            raise NetworkError("cpu scale must be positive")
+        self._nic(node_id).cpu_scale = scale
+        self.trace.emit(self.sim.now, "net", "cpu_scale", node=node_id, scale=scale)
 
     # ------------------------------------------------------------------
     # Failure + introspection

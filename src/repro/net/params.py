@@ -98,7 +98,21 @@ class NetworkParams:
     #: lets the channel layer skip acknowledgements entirely.
     loss_rate: float = 0.0
     #: Retransmission timeout used by reliable channels when loss_rate>0.
+    #: This is the *base* timeout; consecutive unsuccessful retransmits
+    #: back off exponentially (see the two knobs below), so a loss burst
+    #: during recovery cannot turn into a retransmit storm.
     retransmit_timeout_s: float = 50e-3
+    #: Multiplier applied to the retransmission timeout after each
+    #: unsuccessful retransmit (1.0 restores the legacy fixed timeout).
+    retransmit_backoff_factor: float = 2.0
+    #: Ceiling on the backoff multiplier, as a multiple of the base
+    #: timeout (the timeout never exceeds ``cap * retransmit_timeout_s``).
+    retransmit_backoff_cap: float = 8.0
+    #: Run the reliable-channel ARQ even when ``loss_rate`` is zero.
+    #: Chaos campaigns set this so mid-run loss bursts (injected through
+    #: :meth:`~repro.net.network.Network.set_loss_override`) find the
+    #: ARQ already in place on a nominally loss-free network.
+    force_reliable: bool = False
     #: Per-receiver switch buffer capacity, in messages; arrivals beyond
     #: it are dropped (drop-tail).  ``None`` models an ample-buffer
     #: switch, which is what the paper's testbed behaves like for these
@@ -119,6 +133,10 @@ class NetworkParams:
             raise ConfigurationError("CPU costs must be non-negative")
         if self.retransmit_timeout_s <= 0:
             raise ConfigurationError("retransmit_timeout_s must be positive")
+        if self.retransmit_backoff_factor < 1.0:
+            raise ConfigurationError("retransmit_backoff_factor must be >= 1")
+        if self.retransmit_backoff_cap < 1.0:
+            raise ConfigurationError("retransmit_backoff_cap must be >= 1")
         if self.switch_buffer_messages is not None and self.switch_buffer_messages < 1:
             raise ConfigurationError("switch_buffer_messages must be positive")
 
@@ -145,6 +163,41 @@ class NetworkParams:
     def raw_goodput_bps(self) -> float:
         """Asymptotic point-to-point goodput (the Netperf number)."""
         return self.bandwidth_bps * self.framing.goodput_fraction()
+
+    def retransmit_timeout_for(
+        self, retries: int, outstanding_bytes: int = 0
+    ) -> float:
+        """ARQ timeout after ``retries`` consecutive unsuccessful
+        retransmits: capped exponential backoff from the base timeout.
+
+        ``retries=0`` (the first transmission, and the first retransmit
+        armed from it) always uses the base timeout, so behaviour is
+        unchanged until a retransmit itself goes unacknowledged.
+
+        ``outstanding_bytes`` — the total size of the sender's unacked
+        window — floors the timeout at the window's round-trip
+        serialisation cost (TX wire time, RX wire time, receive CPU).
+        An acknowledgement physically cannot arrive before the window
+        has crossed the wire once, so a timeout below that floor only
+        ever produces spurious go-back-N duplicates: with the
+        multi-megabyte state transfers a view-change flush sends, a
+        fixed small timeout re-queues the whole window faster than the
+        NIC drains it and the TX queue grows without bound.  For
+        ordinary data messages the floor is far below the base timeout
+        and changes nothing.
+        """
+        scale = min(
+            self.retransmit_backoff_factor ** max(retries, 0),
+            self.retransmit_backoff_cap,
+        )
+        base = self.retransmit_timeout_s
+        if outstanding_bytes > 0:
+            rtt_floor = (
+                2.0 * self.wire_time(outstanding_bytes)
+                + self.cpu_time(outstanding_bytes)
+            )
+            base = max(base, rtt_floor)
+        return base * scale
 
     # ------------------------------------------------------------------
     # Presets

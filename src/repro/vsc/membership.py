@@ -15,6 +15,19 @@ Design properties (relied upon by FSR's recovery, tested in
 * **State exchange before install** — the states passed to
   :meth:`VSCClient.on_view` were collected *after* every member blocked,
   so they jointly describe everything unstable in the previous view.
+  Installs from flush epochs older than the highest epoch a member has
+  acked are rejected: the member's contributed state no longer matches
+  what applying the stale install would make it.
+* **Two-phase install** — after applying an install, each member acks
+  it back to the flush coordinator; once *every* member of the new view
+  has acked, the coordinator sends a commit, delivered to the client
+  via ``on_view_commit``.  A client whose recovery state carries
+  deliveries (FSR) defers TO-delivering recovered messages until the
+  commit: at that point the merged records are stored at all members of
+  the new view, so the deliveries are uniform even if up to ``t``
+  further crashes strike immediately.  If the coordinator crashes
+  before committing, nobody has delivered, every member still retains
+  the records, and the next flush recovers them.
 * **Ring-order stability** — surviving members keep their relative
   order across views; joiners are appended.  After a leader crash the
   new leader is therefore the old first backup, which holds every
@@ -80,6 +93,10 @@ class VSCClient(Protocol):
         the bootstrap view."""
         ...  # pragma: no cover - protocol definition
 
+    # Optional: ``def on_view_commit(self, view: View) -> None`` — every
+    # member of ``view`` has applied (and therefore stored) its install.
+    # Clients that defer recovery deliveries release them here.
+
 
 # ---------------------------------------------------------------------------
 # Wire messages
@@ -107,6 +124,7 @@ class _FlushAck:
 @dataclass
 class _ViewInstall:
     epoch: int
+    coordinator: ProcessId
     members: Tuple[ProcessId, ...]
     #: This receiver's install payload (coordinator-merged).
     state: Optional[FlushState]
@@ -114,6 +132,27 @@ class _ViewInstall:
     def wire_size_bytes(self) -> int:
         state_bytes = self.state.size_bytes if self.state is not None else 0
         return _CONTROL_BYTES + 4 * len(self.members) + state_bytes
+
+
+@dataclass
+class _InstallAck:
+    """A member applied (stored) its install for ``epoch``."""
+
+    epoch: int
+    sender: ProcessId
+
+    def wire_size_bytes(self) -> int:
+        return _CONTROL_BYTES
+
+
+@dataclass
+class _ViewCommit:
+    """Every member of the ``epoch`` view acked its install."""
+
+    epoch: int
+
+    def wire_size_bytes(self) -> int:
+        return _CONTROL_BYTES
 
 
 @dataclass
@@ -193,6 +232,11 @@ class GroupMembership:
         self._attempt_members: Tuple[ProcessId, ...] = ()
         self._acks: Dict[ProcessId, FlushState] = {}
         self._blocked = False
+        #: Install-ack collection for a view this process installed as
+        #: coordinator: (epoch, members still owing an ack).  Abandoned
+        #: when a higher flush epoch supersedes the view.
+        self._commit_epoch: Optional[int] = None
+        self._commit_waiting: Set[ProcessId] = set()
         #: Processes asking to join / leave at the next view change.
         self._pending_joins: List[ProcessId] = []
         self._pending_leaves: Set[ProcessId] = set()
@@ -336,6 +380,10 @@ class GroupMembership:
             self._on_flush_ack(src, message)
         elif isinstance(message, _ViewInstall):
             self._on_view_install(src, message)
+        elif isinstance(message, _InstallAck):
+            self._on_install_ack(message)
+        elif isinstance(message, _ViewCommit):
+            self._on_view_commit(message)
         elif isinstance(message, _JoinReq):
             self._on_join_req(message)
         elif isinstance(message, _LeaveReq):
@@ -376,9 +424,12 @@ class GroupMembership:
         epoch = self._my_attempt
         self._my_attempt = None
         self._attempt_members = ()
+        self._commit_epoch = epoch
+        self._commit_waiting = set(members)
         for member in members:
             install = _ViewInstall(
-                epoch=epoch, members=members, state=payloads.get(member)
+                epoch=epoch, coordinator=self.me, members=members,
+                state=payloads.get(member),
             )
             self._send(member, install)
 
@@ -401,6 +452,18 @@ class GroupMembership:
     def _on_view_install(self, src: ProcessId, install: _ViewInstall) -> None:
         if install.epoch <= self.view.view_id:
             return  # stale (a restarted attempt superseded it)
+        if install.epoch < self._highest_epoch:
+            # Stale install racing a newer flush: this member has already
+            # contributed its state to a higher epoch, so applying the
+            # old install would silently invalidate that contribution
+            # (the newer install, computed from it, could even order the
+            # delivery cursor *backwards*).  The newer epoch's install
+            # supersedes this one — drop it and keep waiting.
+            self.trace.emit(
+                self.sim.now, "vsc", "install_stale",
+                me=self.me, epoch=install.epoch, highest=self._highest_epoch,
+            )
+            return
         view = View(view_id=install.epoch, members=install.members)
         if self.me not in view:
             # We were excluded (e.g. falsely... impossible under perfect
@@ -411,6 +474,43 @@ class GroupMembership:
         self._pending_leaves -= set(self.view.members) - set(view.members)
         self._pending_rotation = 0  # the installed order reflects it
         self._install_locally(view, install.state)
+        # Two-phase install: confirm to the coordinator that the install
+        # (and its recovery records) is applied and stored here.
+        self._send(
+            install.coordinator, _InstallAck(epoch=install.epoch, sender=self.me)
+        )
+
+    def _on_install_ack(self, ack: _InstallAck) -> None:
+        if self._commit_epoch is None or ack.epoch != self._commit_epoch:
+            return
+        if self._highest_epoch > self._commit_epoch:
+            # A newer flush is already superseding this view; committing
+            # it now would let members deliver behind the new flush's
+            # collected states.  The next install covers the recovery.
+            self._commit_epoch = None
+            self._commit_waiting = set()
+            return
+        self._commit_waiting.discard(ack.sender)
+        if self._commit_waiting:
+            return
+        epoch = self._commit_epoch
+        self._commit_epoch = None
+        self.trace.emit(self.sim.now, "vsc", "view_commit_send", me=self.me, epoch=epoch)
+        for member in self.view.members:
+            self._send(member, _ViewCommit(epoch=epoch))
+
+    def _on_view_commit(self, commit: _ViewCommit) -> None:
+        if commit.epoch != self.view.view_id or self._blocked:
+            # Stale, or a newer flush is underway (this member's state is
+            # already pledged to it): the next install supersedes the
+            # commit's deliveries.
+            return
+        self.trace.emit(
+            self.sim.now, "vsc", "view_committed", me=self.me, view_id=commit.epoch
+        )
+        on_commit = getattr(self._client, "on_view_commit", None)
+        if on_commit is not None:
+            on_commit(self.view)
 
     def _install_locally(
         self, view: View, state: Optional[FlushState]

@@ -1,0 +1,80 @@
+"""The campaign must catch deliberately injected protocol bugs.
+
+These tests patch a known-good seam of the FSR process, re-run a small
+campaign, and require (a) a red verdict naming the broken invariant and
+(b) a shrunk minimal reproducer — the end-to-end property the whole
+chaos subsystem exists for.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.chaos import CampaignConfig, run_campaign, run_schedule
+from repro.chaos.schedules import generate_schedule
+from repro.core.fsr.process import FSRProcess
+
+
+@pytest.fixture
+def premature_delivery(monkeypatch):
+    """Uniformity bug: deliver on first receipt, ignoring stability.
+
+    The wire bits stay untouched, so without crashes every run still
+    looks healthy — only a crash interleaving exposes the bug, which is
+    exactly the case the campaign exists to find.
+    """
+    orig = FSRProcess._handle_seq
+
+    def buggy(self, msg):
+        orig(self, msg)
+        self._mark_deliverable(msg.sequence)
+
+    monkeypatch.setattr(FSRProcess, "_handle_seq", buggy)
+
+
+@pytest.fixture
+def skipped_stability_bit(monkeypatch):
+    """Cruder bug: treat every SeqData as already stable on arrival."""
+    orig = FSRProcess._handle_seq
+
+    def buggy(self, msg):
+        orig(self, dataclasses.replace(msg, stable=True))
+
+    monkeypatch.setattr(FSRProcess, "_handle_seq", buggy)
+
+
+def test_premature_delivery_invisible_without_faults(premature_delivery):
+    cfg = CampaignConfig(seeds=10, wire_monitor=False)
+    # A degradation-only schedule (no crash): the bug must NOT show,
+    # proving the catch below is the crash interleaving's doing.
+    schedule = generate_schedule("degraded_network", 24, cfg.schedule_context())
+    assert not schedule.crashes()
+    verdict, _ = run_schedule(schedule, cfg)
+    assert verdict.ok
+
+
+def test_campaign_catches_and_shrinks_premature_delivery(premature_delivery):
+    report = run_campaign(CampaignConfig(seeds=10, wire_monitor=False))
+    assert not report.ok
+    failure = report.failures[0]
+    violated = {v.invariant for v in failure.verdict.violations}
+    assert "uniformity" in violated
+    assert failure.minimal is not None
+    assert len(failure.minimal.events) <= 3
+    # The reproducer replays red on its own.
+    verdict, _ = run_schedule(
+        failure.minimal, CampaignConfig(seeds=10, wire_monitor=False)
+    )
+    assert not verdict.ok
+
+
+def test_campaign_catches_skipped_stability_bit(skipped_stability_bit):
+    report = run_campaign(CampaignConfig(seeds=5, wire_monitor=False))
+    assert not report.ok
+    failure = report.failures[0]
+    violated = {v.invariant for v in failure.verdict.violations}
+    assert violated & {"uniformity", "agreement", "liveness"}
+    # This bug breaks the protocol even without faults, and the shrinker
+    # proves it by reducing the schedule to nothing.
+    assert failure.minimal is not None
+    assert len(failure.minimal.events) <= 3

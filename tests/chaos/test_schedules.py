@@ -1,0 +1,116 @@
+"""Unit tests for the fault-schedule generators."""
+
+import pytest
+
+from repro.chaos.schedules import (
+    DEFAULT_SCENARIOS,
+    SCENARIOS,
+    UNSOUND_SCENARIOS,
+    FaultEvent,
+    FaultSchedule,
+    ScheduleContext,
+    generate_schedule,
+)
+from repro.errors import ConfigurationError
+
+CTX = ScheduleContext(n=6, t=2)
+
+ALL_SCENARIOS = sorted(SCENARIOS) + sorted(UNSOUND_SCENARIOS)
+
+
+@pytest.mark.parametrize("scenario", ALL_SCENARIOS)
+def test_generation_is_deterministic(scenario):
+    for seed in range(5):
+        a = generate_schedule(scenario, seed, CTX)
+        b = generate_schedule(scenario, seed, CTX)
+        assert a == b
+
+
+def test_different_seeds_differ():
+    schedules = {generate_schedule("crash_storm", s, CTX).events for s in range(20)}
+    assert len(schedules) > 1
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+def test_sound_scenarios_respect_crash_budget(scenario):
+    for seed in range(30):
+        schedule = generate_schedule(scenario, seed, CTX)
+        crashes = schedule.crashes()
+        assert len(crashes) <= CTX.t
+        assert len({e.process for e in crashes}) == len(crashes)
+        for event in crashes:
+            assert 0 <= event.process < CTX.n
+        assert not schedule.fd_unsound
+        assert schedule.detector == "oracle"
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+def test_sound_degradations_stay_within_fd_bounds(scenario):
+    for seed in range(30):
+        schedule = generate_schedule(scenario, seed, CTX)
+        for event in schedule.degradations():
+            assert event.duration_s > 0
+            if event.kind == "loss_burst":
+                assert 0.0 < event.magnitude < 1.0
+            elif event.kind == "cpu_slow":
+                assert 1.0 < event.magnitude <= CTX.max_slowdown
+            elif event.kind == "jitter_burst":
+                assert 0.0 < event.magnitude < 0.01
+
+
+def test_fd_violation_is_marked_unsound():
+    schedule = generate_schedule("fd_violation", 0, CTX)
+    assert schedule.fd_unsound
+    assert schedule.detector == "heartbeat"
+    (event,) = schedule.events
+    assert event.kind == "cpu_slow"
+    # The slowdown must push per-heartbeat service past the suspicion
+    # timeout, otherwise the scenario would not violate anything.
+    assert event.magnitude * CTX.heartbeat_interval_s > CTX.heartbeat_timeout_s
+
+
+def test_default_scenarios_are_exactly_the_sound_ones():
+    assert set(DEFAULT_SCENARIOS) == set(SCENARIOS)
+    assert not set(DEFAULT_SCENARIOS) & set(UNSOUND_SCENARIOS)
+
+
+@pytest.mark.parametrize("scenario", ALL_SCENARIOS)
+def test_schedule_roundtrips_through_dict(scenario):
+    schedule = generate_schedule(scenario, 7, CTX)
+    assert FaultSchedule.from_dict(schedule.to_dict()) == schedule
+
+
+def test_reproducer_snippet_evaluates_back():
+    schedule = generate_schedule("view_change_crossfire", 3, CTX)
+    rebuilt = eval(  # noqa: S307 - the snippet is our own output
+        schedule.reproducer(), {"FaultSchedule": FaultSchedule}
+    )
+    assert rebuilt == schedule
+
+
+def test_unknown_scenario_raises():
+    with pytest.raises(ConfigurationError):
+        generate_schedule("nope", 0, CTX)
+
+
+def test_fault_event_validation():
+    with pytest.raises(ConfigurationError):
+        FaultEvent("explode", 0.1)
+    with pytest.raises(ConfigurationError):
+        FaultEvent("crash", -0.1, process=0)
+    with pytest.raises(ConfigurationError):
+        FaultEvent("crash", 0.1)  # crash needs a target
+    with pytest.raises(ConfigurationError):
+        FaultEvent("loss_burst", 0.1)  # burst needs a duration
+
+
+def test_needs_arq_only_with_loss():
+    loss = FaultSchedule(
+        "x", 0, 6, 2,
+        events=(FaultEvent("loss_burst", 0.1, duration_s=0.01, magnitude=0.1),),
+    )
+    crash = FaultSchedule(
+        "x", 0, 6, 2, events=(FaultEvent("crash", 0.1, process=1),)
+    )
+    assert loss.needs_arq()
+    assert not crash.needs_arq()

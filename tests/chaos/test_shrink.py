@@ -1,0 +1,92 @@
+"""Unit tests for the schedule shrinker (synthetic predicates only)."""
+
+from repro.chaos.schedules import FaultEvent, FaultSchedule
+from repro.chaos.shrink import shrink_schedule
+
+
+def crash(process, time):
+    return FaultEvent("crash", time, process=process)
+
+
+def schedule_of(*events):
+    return FaultSchedule("synthetic", 0, 8, 4, events=tuple(events))
+
+
+def test_shrinks_to_the_single_culprit_event():
+    culprit = crash(3, 0.1234)
+    schedule = schedule_of(crash(0, 0.08), crash(1, 0.09), culprit, crash(2, 0.15))
+
+    def fails(candidate):
+        return any(e.process == 3 for e in candidate.events)
+
+    minimal = shrink_schedule(schedule, fails)
+    assert len(minimal.events) == 1
+    assert minimal.events[0].process == 3
+
+
+def test_fault_independent_failure_shrinks_to_empty():
+    schedule = schedule_of(crash(0, 0.08), crash(1, 0.09))
+    minimal = shrink_schedule(schedule, lambda candidate: True)
+    assert minimal.events == ()
+
+
+def test_conjunction_of_two_events_is_preserved():
+    a, b = crash(0, 0.08), crash(1, 0.12)
+    schedule = schedule_of(a, crash(2, 0.09), b, crash(3, 0.1), crash(4, 0.11))
+
+    def fails(candidate):
+        processes = {e.process for e in candidate.events}
+        return {0, 1} <= processes
+
+    minimal = shrink_schedule(schedule, fails)
+    assert {e.process for e in minimal.events} == {0, 1}
+
+
+def test_times_round_to_coarsest_failing_value():
+    schedule = schedule_of(crash(0, 0.1234))
+
+    def fails(candidate):
+        return bool(candidate.events)  # any time works
+
+    minimal = shrink_schedule(schedule, fails)
+    assert minimal.events[0].time == 0.1
+
+
+def test_time_rounding_respects_the_predicate():
+    schedule = schedule_of(crash(0, 0.1234))
+
+    def fails(candidate):
+        return bool(candidate.events) and candidate.events[0].time >= 0.12
+
+    minimal = shrink_schedule(schedule, fails)
+    assert minimal.events[0].time == 0.12
+
+
+def test_budget_exhaustion_returns_schedule_unchanged():
+    events = tuple(crash(p, 0.05 + p * 0.01) for p in range(8))
+    schedule = schedule_of(*events)
+    calls = []
+
+    def fails(candidate):
+        calls.append(1)
+        return len(candidate.events) == len(events)  # only the full set fails
+
+    minimal = shrink_schedule(schedule, fails, budget=3)
+    assert minimal.events == events
+    assert len(calls) <= 3
+
+
+def test_result_is_one_minimal():
+    # Failure needs any two of the first three events.
+    schedule = schedule_of(crash(0, 0.08), crash(1, 0.09), crash(2, 0.1),
+                           crash(3, 0.11))
+
+    def fails(candidate):
+        return sum(1 for e in candidate.events if e.process in (0, 1, 2)) >= 2
+
+    minimal = shrink_schedule(schedule, fails)
+    assert len(minimal.events) == 2
+    # Dropping either survivor breaks the failure: 1-minimal.
+    for index in range(len(minimal.events)):
+        remaining = minimal.events[:index] + minimal.events[index + 1:]
+        assert not fails(schedule_of(*remaining))

@@ -6,15 +6,16 @@ from repro.errors import ConfigurationError
 from repro.failure import CrashInjector, OracleFailureDetector
 from repro.net import Network, NetworkParams
 from repro.sim import Simulator
+from repro.sim.trace import TraceLog
 from repro.types import CrashEvent
 
 
-def build():
+def build(trace=None):
     sim = Simulator()
     net = Network(sim, NetworkParams(cpu_per_message_s=0, cpu_per_byte_s=0))
     net.attach(0)
     net.attach(1)
-    return sim, net, CrashInjector(sim, net)
+    return sim, net, CrashInjector(sim, net, trace=trace)
 
 
 def test_scheduled_crash_silences_network():
@@ -68,3 +69,43 @@ def test_batch_schedule():
     )
     sim.run()
     assert injector.crashed() == {0, 1}
+
+
+def test_duplicate_schedule_is_ignored_with_warning():
+    sim, net, injector = build(trace=TraceLog(enabled=True))
+    first = injector.schedule_crash(0, time=0.5)
+    second = injector.schedule_crash(0, time=0.9)
+    # The pending event stands; the duplicate returns it unchanged.
+    assert second is first
+    warnings = injector.trace.records("injector", "schedule_ignored")
+    assert len(warnings) == 1
+    assert warnings[0].detail["why"] == "already_scheduled"
+    sim.run()
+    # Only the first crash fired: node 0 went down at 0.5, once.
+    assert injector.crashed() == {0}
+
+
+def test_schedule_after_crash_is_ignored_with_warning():
+    sim, net, injector = build(trace=TraceLog(enabled=True))
+    injector.crash_now(0)
+    event = injector.schedule_crash(0, time=1.0)
+    assert event.reason == "ignored"
+    warnings = injector.trace.records("injector", "schedule_ignored")
+    assert len(warnings) == 1
+    assert warnings[0].detail["why"] == "already_crashed"
+    sim.run()
+    assert injector.crashed() == {0}
+
+
+def test_scheduled_lists_pending_crashes_in_firing_order():
+    sim, net, injector = build()
+    assert injector.scheduled() == ()
+    injector.schedule_crash(1, time=0.7)
+    injector.schedule_crash(0, time=0.3)
+    pending = injector.scheduled()
+    assert [(e.process, e.time) for e in pending] == [(0, 0.3), (1, 0.7)]
+    sim.run(until=0.5)
+    # Executed crashes drop off the pending list.
+    assert [(e.process, e.time) for e in injector.scheduled()] == [(1, 0.7)]
+    sim.run()
+    assert injector.scheduled() == ()

@@ -1,0 +1,111 @@
+"""Regression pins for bugs found by the chaos campaign (PR 1).
+
+The first 200-seed campaign went red on two seeds, both exposing the
+same root hole: view installs carrying recovered state were applied (and
+delivered from) unilaterally, so a crash at the wrong instant could
+erase the only copies of delivered messages or replay a stale install
+over a newer flush.  The fix is the two-phase view install — install,
+install-ack, commit — with recovery deliveries deferred to the commit
+and stale (lower-epoch) installs rejected outright.
+
+Each schedule below is the shrinker's minimal reproducer, pinned
+verbatim from the red campaign report.  Both were 2-event reproducers;
+both must now replay green, and the mechanics tests assert the specific
+protocol behaviour that closes each hole (so a regression fails loudly
+even if the oracle's coverage ever narrows).
+"""
+
+from repro.chaos import CampaignConfig, FaultSchedule, apply_schedule, run_schedule
+from repro.cluster import ClusterConfig, build_cluster
+from repro.core.fsr import FSRConfig
+
+# Seed 103: leader p0 crashes, the view-1 coordinator p1 crashes right
+# after sending installs to only part of the membership (large
+# state-carrying installs serialise over the sender's TX link).  Before
+# the fix, the members that did install delivered eagerly, dropped
+# retention, and jumped their GC cursor — so the epoch-2 merge found
+# delivered sequences retained by nobody ("unrecoverable sequence").
+SEED_103 = FaultSchedule.from_dict({
+    "scenario": "repeated_leader_crash", "seed": 103,
+    "n": 6, "t": 2, "detector": "oracle",
+    "events": [
+        {"kind": "crash", "time": 0.068, "process": 0, "note": "leader_of_view_0"},
+        {"kind": "crash", "time": 0.116, "process": 1, "note": "leader_of_view_1"},
+    ],
+})
+
+# Seed 186: an epoch-1 install was still in flight when its coordinator
+# crashed; the receiver had meanwhile pledged its state to the epoch-2
+# flush.  Before the fix it applied the stale install anyway, delivering
+# past the state it had acked — the epoch-2 view then tried to rewind
+# its hold-back queue ("cannot rewind hold-back queue").
+SEED_186 = FaultSchedule.from_dict({
+    "scenario": "role_targeted", "seed": 186,
+    "n": 6, "t": 2, "detector": "oracle",
+    "events": [
+        {"kind": "crash", "time": 0.06, "process": 2, "note": "last_backup"},
+        {"kind": "crash", "time": 0.14, "process": 0, "note": "leader"},
+    ],
+})
+
+CONFIG = CampaignConfig()
+
+
+def _traced_run(schedule):
+    cluster = build_cluster(ClusterConfig(
+        n=schedule.n, protocol="fsr", protocol_config=FSRConfig(t=schedule.t),
+        network=CONFIG.network_params(schedule), seed=schedule.seed,
+        detector="oracle", detection_delay_s=CONFIG.detection_delay_s,
+        trace=True,
+    ))
+    cluster.start()
+    apply_schedule(cluster, schedule)
+    cluster.run(until=CONFIG.settle_s)
+    for pid in range(schedule.n):
+        for _ in range(CONFIG.per_sender):
+            cluster.broadcast(pid, size_bytes=CONFIG.message_bytes)
+    cluster.run(until=0.8)
+    return cluster
+
+
+def test_seed_103_partial_install_then_coordinator_crash_is_green():
+    verdict, _ = run_schedule(SEED_103, CONFIG)
+    assert verdict.ok, verdict.summary()
+
+
+def test_seed_186_stale_install_after_new_flush_is_green():
+    verdict, _ = run_schedule(SEED_186, CONFIG)
+    assert verdict.ok, verdict.summary()
+
+
+def test_recovery_deliveries_wait_for_the_view_commit():
+    """Seed 103 mechanics: no member releases recovered deliveries
+    before it has seen the commit for that view, so a coordinator crash
+    mid-install leaves retention (and the next merge) intact."""
+    cluster = _traced_run(SEED_103)
+    commits = cluster.trace.records("fsr", "recovery_commit")
+    assert commits, "no recovery commit — the fix's path never ran"
+    committed_at = {}
+    for r in commits:
+        key = (r.detail["me"], r.detail["view_id"])
+        committed_at.setdefault(key, r.time)
+    # Every commit that released messages happened at-or-after the
+    # matching membership-layer view_committed event of that member.
+    vsc_commits = {
+        (r.detail["me"], r.detail["view_id"]): r.time
+        for r in cluster.trace.records("vsc", "view_committed")
+    }
+    for key, t in committed_at.items():
+        assert key in vsc_commits
+        assert t >= vsc_commits[key]
+
+
+def test_stale_install_is_rejected():
+    """Seed 186 mechanics: a member that contributed its state to a
+    newer flush refuses the older view's late-arriving install instead
+    of delivering past what it pledged."""
+    cluster = _traced_run(SEED_186)
+    stale = cluster.trace.records("vsc", "install_stale")
+    assert stale, "the in-flight stale install was never rejected"
+    for r in stale:
+        assert r.detail["epoch"] < r.detail["highest"]

@@ -1,0 +1,99 @@
+"""Compound recovery: the flush coordinator crashes mid-flush, then the
+next coordinator crashes before any view installs.
+
+This is the deepest corner of the view-synchronous recovery path: two
+back-to-back coordinator hand-offs with retained state merged across
+three flush attempts.  The schedule is written in the shrinker's
+minimal-reproducer format (``FaultSchedule.from_dict``) so red campaign
+seeds can be regression-pinned here verbatim.
+
+Timeline (verified against the vsc trace, detection delay 20 ms):
+
+* 0.080  p5 crashes — the trigger
+* 0.100  coordinator p0 starts the epoch-1 flush
+* 0.102  p0 crashes mid-flush
+* 0.122  coordinator p1 starts the epoch-2 flush
+* 0.125  p1 crashes before any new view installs
+* ~0.159 coordinator p2 completes recovery, installs view (2,3,4,6)
+"""
+
+import pytest
+
+from repro.chaos import CampaignConfig, FaultSchedule, apply_schedule, run_schedule
+from repro.checker.order import check_total_order, check_uniformity
+from repro.cluster import ClusterConfig, build_cluster
+from repro.core.fsr import FSRConfig
+
+SCHEDULE = FaultSchedule.from_dict({
+    "scenario": "view_change_crossfire", "seed": 0,
+    "n": 7, "t": 3, "detector": "oracle",
+    "events": [
+        {"kind": "crash", "time": 0.08, "process": 5, "note": "trigger"},
+        {"kind": "crash", "time": 0.102, "process": 0,
+         "note": "coordinator_mid_flush"},
+        {"kind": "crash", "time": 0.125, "process": 1,
+         "note": "backup_before_install"},
+    ],
+})
+
+CONFIG = CampaignConfig(n=7, t=3)
+
+
+def test_uniform_total_order_survives_double_coordinator_crash():
+    verdict, result = run_schedule(SCHEDULE, CONFIG)
+    assert verdict.ok, verdict.summary()
+    assert set(result.crashed) == {0, 1, 5}
+    check_total_order(result)
+    check_uniformity(result)
+    # All four survivors converged on the same post-recovery view.
+    for process in (2, 3, 4, 6):
+        deliveries = result.delivery_logs[process].deliveries
+        assert deliveries, f"survivor {process} delivered nothing"
+
+
+def test_crashes_actually_interrupt_two_flushes():
+    """The schedule's premise: both doomed coordinators start (and never
+    finish) a flush, and no view installs until the third attempt."""
+    cluster = build_cluster(ClusterConfig(
+        n=7, protocol="fsr", protocol_config=FSRConfig(t=3),
+        network=CONFIG.network_params(SCHEDULE), seed=0, detector="oracle",
+        detection_delay_s=CONFIG.detection_delay_s, trace=True,
+    ))
+    cluster.start()
+    apply_schedule(cluster, SCHEDULE)
+    cluster.run(until=CONFIG.settle_s)
+    for pid in range(7):
+        for _ in range(CONFIG.per_sender):
+            cluster.broadcast(pid, size_bytes=CONFIG.message_bytes)
+    cluster.run(until=0.6)
+
+    flush_starts = [
+        (r.time, r.detail["me"]) for r in cluster.trace.records("vsc", "flush_start")
+    ]
+    coordinators = [me for _, me in flush_starts]
+    # p0 and p1 each began a flush before dying; p2 finished the job.
+    assert coordinators[:2] == [0, 1]
+    assert 2 in coordinators
+
+    installs = [
+        r for r in cluster.trace.records("vsc", "view_installed") if r.time > 0
+    ]
+    # No view installed while the doomed coordinators were flushing.
+    assert min(r.time for r in installs) > 0.125
+    final_members = installs[-1].detail["members"]
+    assert tuple(final_members) == (2, 3, 4, 6)
+
+
+@pytest.mark.parametrize("shift_ms", [-4.0, 4.0])
+def test_nearby_timings_also_survive(shift_ms):
+    """The invariant holds in a neighbourhood of the crafted timing, not
+    just at one lucky instant."""
+    shifted = FaultSchedule.from_dict({
+        **SCHEDULE.to_dict(),
+        "events": [
+            {**e.to_dict(), "time": round(e.time + shift_ms * 1e-3, 4)}
+            for e in SCHEDULE.events
+        ],
+    })
+    verdict, _ = run_schedule(shifted, CONFIG)
+    assert verdict.ok, verdict.summary()

@@ -7,20 +7,22 @@ import pytest
 from repro.net import ChannelStack, Network, NetworkParams
 from repro.net.channel import MAX_RETRIES
 from repro.sim import Simulator
+from repro.sim.trace import TraceLog
 
 
-def build(loss_rate=0.0, seed=1, retransmit_timeout_s=5e-3):
+def build(loss_rate=0.0, seed=1, retransmit_timeout_s=5e-3, trace=None, **kwargs):
     params = NetworkParams(
         cpu_per_message_s=0.0,
         cpu_per_byte_s=0.0,
         loss_rate=loss_rate,
         retransmit_timeout_s=retransmit_timeout_s,
+        **kwargs,
     )
     sim = Simulator()
     net = Network(sim, params, loss_rng=random.Random(seed))
     stacks = {}
     for node in (0, 1):
-        stacks[node] = ChannelStack(sim, net.attach(node), params)
+        stacks[node] = ChannelStack(sim, net.attach(node), params, trace=trace)
     return sim, net, stacks
 
 

@@ -40,7 +40,7 @@ def test_stale_view_install_ignored():
     views_before = len(clients[1].views)
     current = memberships[1].view.view_id
     memberships[1]._on_message(
-        0, _ViewInstall(epoch=current, members=(0, 1, 2), state=None)
+        0, _ViewInstall(epoch=current, members=(0, 1, 2), state=None, coordinator=0)
     )
     sim.run()
     assert len(clients[1].views) == views_before
@@ -81,7 +81,7 @@ def test_crashed_member_ignores_everything():
     memberships[2].stop()
     views = len(clients[2].views)
     memberships[2]._on_message(
-        0, _ViewInstall(epoch=5, members=(0, 1, 2), state=None)
+        0, _ViewInstall(epoch=5, members=(0, 1, 2), state=None, coordinator=0)
     )
     sim.run()
     assert len(clients[2].views) == views
