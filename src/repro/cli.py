@@ -245,6 +245,82 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_live(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.live.runner import LiveClusterSpec, run_live_benchmark
+
+    try:
+        spec = LiveClusterSpec(
+            processes=args.processes,
+            senders=args.senders,
+            t=args.t,
+            message_bytes=args.size,
+            duration_s=args.duration,
+            window=args.window,
+            sim_compare=not args.no_sim,
+        )
+    except ReproError as exc:
+        print(f"invalid live spec: {exc}", file=sys.stderr)
+        return 2
+
+    print(
+        f"launching {spec.processes} node processes on {spec.host} "
+        f"({spec.senders} sender(s), {spec.message_bytes} B messages, "
+        f"{spec.duration_s:.0f}s)...",
+        flush=True,
+    )
+    try:
+        payload = run_live_benchmark(spec, out_path=args.out)
+    except ReproError as exc:
+        print(f"live run failed: {exc}", file=sys.stderr)
+        return 1
+
+    live = payload["live"]["metrics"]
+    rows = [
+        ["processes", spec.processes],
+        ["senders", spec.senders],
+        ["message bytes", spec.message_bytes],
+        ["messages completed", live["messages_completed"]],
+        ["live throughput (Mb/s)", f"{live['completion_throughput_mbps']:.1f}"],
+        ["live mean latency (ms)", f"{live['mean_latency_s'] * 1e3:.1f}"],
+        ["live p99 latency (ms)", f"{live['p99_latency_s'] * 1e3:.1f}"],
+    ]
+    if payload["sim"] is not None:
+        sim = payload["sim"]["metrics"]
+        rows.append(
+            ["sim throughput (Mb/s)", f"{sim['completion_throughput_mbps']:.1f}"]
+        )
+        rows.append(
+            ["sim mean latency (ms)", f"{sim['mean_latency_s'] * 1e3:.1f}"]
+        )
+    rows.append(["model FSR max (Mb/s)", f"{payload['model']['fsr_mbps']:.1f}"])
+    order = payload["order_check"]
+    rows.append(["total order", "OK" if order["ok"] else "VIOLATED"])
+    print(format_table(["metric", "value"], rows, title="live loopback cluster"))
+    if not order["ok"]:
+        print(f"order check failed: {order['error']}", file=sys.stderr)
+        return 1
+    if payload["timed_out"]:
+        print("warning: at least one node hit its run cap before "
+              "quiescence", file=sys.stderr)
+    print(f"\nbench record written to {args.out}")
+    return 0
+
+
+def _cmd_live_node(args: argparse.Namespace) -> int:
+    # Internal: one cluster member, spawned by ``repro live``.
+    import json as _json
+
+    from repro.live.node import LiveNodeConfig, run_node
+
+    with open(args.config) as fh:
+        config = LiveNodeConfig.from_dict(_json.load(fh))
+    record = run_node(config)
+    with open(args.out, "w") as fh:
+        _json.dump(record, fh)
+    return 0
+
+
 def _cmd_figures(args: argparse.Namespace) -> int:
     # Delegate to the example script's sections to avoid duplication.
     import importlib.util
@@ -327,6 +403,33 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--verbose", action="store_true",
                        help="print one line per seed as it finishes")
     chaos.set_defaults(func=_cmd_chaos)
+
+    live = sub.add_parser(
+        "live", help="real multi-process TCP loopback cluster benchmark"
+    )
+    live.add_argument("--processes", type=int, default=4,
+                      help="cluster size (one OS process per FSR process)")
+    live.add_argument("--senders", type=int, default=1,
+                      help="how many ring positions drive traffic")
+    live.add_argument("--t", type=int, default=1)
+    live.add_argument("--size", type=int, default=100_000,
+                      help="message payload bytes (paper default 100 kB)")
+    live.add_argument("--duration", type=float, default=5.0,
+                      help="seconds of traffic per sender")
+    live.add_argument("--window", type=int, default=4,
+                      help="closed-loop in-flight messages per sender")
+    live.add_argument("--no-sim", action="store_true",
+                      help="skip the simulator comparison run")
+    live.add_argument("--out", default="BENCH_live.json", metavar="PATH",
+                      help="bench record path (default BENCH_live.json)")
+    live.set_defaults(func=_cmd_live)
+
+    live_node = sub.add_parser(
+        "live-node", help=argparse.SUPPRESS
+    )
+    live_node.add_argument("--config", required=True)
+    live_node.add_argument("--out", required=True)
+    live_node.set_defaults(func=_cmd_live_node)
 
     figures = sub.add_parser("figures", help="regenerate Table 1 + Figures 6-9")
     figures.set_defaults(func=_cmd_figures)

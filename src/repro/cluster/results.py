@@ -49,6 +49,10 @@ class ExperimentResult:
     nic_stats: Dict[ProcessId, NicStats]
     #: Structured trace (empty unless the config enabled tracing).
     trace: TraceLog = field(default_factory=lambda: TraceLog(enabled=False))
+    #: Lazy completion-time index; see :meth:`completion_times`.
+    _completion_cache: Optional[Dict[MessageId, SimTime]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------
     def correct_processes(self) -> Set[ProcessId]:
@@ -77,22 +81,39 @@ class ExperimentResult:
                     out.append((process, delivery.time))
         return out
 
+    def completion_times(self) -> Dict[MessageId, SimTime]:
+        """Completion time of every fully-delivered application message.
+
+        A message completes when the *last* correct process delivers it
+        (the paper's Section 5.1 measurement protocol); messages some
+        correct process never delivered are absent.  Built in one pass
+        over the delivery logs and cached — benchmark runs query tens
+        of thousands of completions, and the per-call scan was
+        quadratic in run length.
+        """
+        if self._completion_cache is None:
+            per_process: List[Dict[MessageId, SimTime]] = []
+            for process in self.correct_processes():
+                first: Dict[MessageId, SimTime] = {}
+                for delivery in self.app_deliveries[process]:
+                    if delivery.message_id not in first:
+                        first[delivery.message_id] = delivery.time
+                per_process.append(first)
+            cache: Dict[MessageId, SimTime] = {}
+            if per_process:
+                everywhere = set(per_process[0]).intersection(
+                    *(set(first) for first in per_process[1:])
+                )
+                for message_id in everywhere:
+                    cache[message_id] = max(
+                        first[message_id] for first in per_process
+                    )
+            self._completion_cache = cache
+        return self._completion_cache
+
     def completion_time(self, message_id: MessageId) -> Optional[SimTime]:
         """Time the *last* correct process delivered ``message_id``.
 
-        This matches the paper's measurement protocol (Section 5.1):
-        a broadcast completes when all processes have delivered it.
         Returns ``None`` if some correct process never delivered it.
         """
-        correct = self.correct_processes()
-        times: List[SimTime] = []
-        for process in correct:
-            found = None
-            for delivery in self.app_deliveries[process]:
-                if delivery.message_id == message_id:
-                    found = delivery.time
-                    break
-            if found is None:
-                return None
-            times.append(found)
-        return max(times) if times else None
+        return self.completion_times().get(message_id)

@@ -55,12 +55,12 @@ from repro.core.fsr.ring import Ring
 from repro.core.fsr.segmentation import Reassembler, Segment, split_payload
 from repro.errors import ProtocolError
 from repro.net.dispatch import Port
-from repro.sim.engine import Simulator
 from repro.sim.trace import TraceLog
 from repro.types import (
     Delivery,
     MessageId,
     ProcessId,
+    Scheduler,
     SequenceNumber,
     View,
 )
@@ -79,7 +79,7 @@ class FSRProcess(TotalOrderBroadcast):
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Scheduler,
         port: Port,
         membership: GroupMembership,
         config: FSRConfig,

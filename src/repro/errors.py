@@ -42,6 +42,17 @@ class MembershipError(ReproError):
     """The group membership / virtual synchrony layer was misused."""
 
 
+class CodecError(ReproError):
+    """A wire frame could not be encoded or decoded.
+
+    Raised by the live runtime's binary codec on unrepresentable field
+    values at encode time, and on truncated, oversized, or malformed
+    frames at decode time.  A decoder never raises anything else for bad
+    input: transports treat :class:`CodecError` as "corrupt peer stream,
+    drop the connection".
+    """
+
+
 class CheckFailure(ReproError):
     """A correctness checker found a violated broadcast property.
 

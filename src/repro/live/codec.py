@@ -1,0 +1,356 @@
+"""Binary wire codec for FSR messages (see PROTOCOL.md appendix).
+
+Every frame on a live ring connection is a 4-byte big-endian length
+prefix followed by a message body.  Body sizes match the abstract byte
+accounting of ``wire_size_bytes()`` *exactly* — the simulator charges
+the network for precisely the bytes this codec puts on the wire, which
+is what makes simulated and measured throughput comparable:
+
+========================  =======================================  =====
+part                      struct layout (network byte order)       bytes
+========================  =======================================  =====
+data header               kind B · flags B · n_acks H · mid.origin
+                          i · mid.local_seq q · origin i · view i
+                          · watermark q                             32
+seq extra (SeqData only)  sequence q · stable B                      9
+segment meta (optional)   app local_seq I · index I · count I        12
+ack record (each)         mid.origin i · mid.local_seq q ·
+                          sequence q · flags i (bit0 = stable)       24
+ack-batch header          kind B · flags B · n_acks H · view i ·
+                          watermark q                                16
+========================  =======================================  =====
+
+Two representational invariants are *enforced* at encode time rather
+than widened on the wire, because the protocol already guarantees them
+(and the byte budget counts on it):
+
+* a piggy-backed ack's ``view_id`` equals its carrier's ``view_id`` —
+  FSR creates acks in the current view and clears the ack queue on view
+  change, so the 24-byte ack record carries no view field;
+* a segment's application-level message id has the same ``origin`` as
+  the segment message itself — ``FSRProcess.broadcast`` constructs
+  segments that way, so the 12-byte segment record stores only the
+  application ``local_seq``.
+
+Payloads must be ``bytes``/``bytearray``/``memoryview`` with length
+equal to ``payload_size``; the live runtime never ships placeholder
+payload objects.  All malformed input — encode or decode — raises
+:class:`~repro.errors.CodecError` and nothing else.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+from repro.core.fsr.messages import (
+    ACK_BATCH_HEADER_BYTES,
+    ACK_BYTES,
+    DATA_HEADER_BYTES,
+    SEQ_EXTRA_BYTES,
+    AckBatch,
+    AckMsg,
+    FwdData,
+    SeqData,
+)
+from repro.errors import CodecError
+from repro.types import MessageId, ProcessId
+
+# ---------------------------------------------------------------------------
+# Frame kinds
+# ---------------------------------------------------------------------------
+KIND_FWD_DATA = 1
+KIND_SEQ_DATA = 2
+KIND_ACK_BATCH = 3
+#: Transport-level greeting: first frame on every connection.
+KIND_HELLO = 0x40
+
+#: Flag bits in the data-header ``flags`` field.
+FLAG_STABLE = 0x01
+FLAG_SEGMENT = 0x02
+
+#: Length prefix preceding every body on the wire.
+LENGTH_PREFIX_BYTES = 4
+#: Upper bound on one body; protects readers from corrupt prefixes.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+_LENGTH = struct.Struct("!I")
+_DATA_HEADER = struct.Struct("!BBHiqiiq")  # 32 bytes
+_SEQ_EXTRA = struct.Struct("!qB")  # 9 bytes
+_SEGMENT = struct.Struct("!III")  # 12 bytes
+_ACK = struct.Struct("!iqqi")  # 24 bytes
+_ACK_BATCH_HEADER = struct.Struct("!BBHiq")  # 16 bytes
+_HELLO = struct.Struct("!Bi")  # kind + node id
+
+_SEGMENT_BYTES = _SEGMENT.size
+
+assert _DATA_HEADER.size == DATA_HEADER_BYTES
+assert _SEQ_EXTRA.size == SEQ_EXTRA_BYTES
+assert _ACK.size == ACK_BYTES
+assert _ACK_BATCH_HEADER.size == ACK_BATCH_HEADER_BYTES
+
+
+@dataclass(frozen=True)
+class Hello:
+    """Transport greeting identifying the connecting node."""
+
+    node_id: ProcessId
+
+
+#: Everything the codec can put in a frame body.
+WireMessage = Union[FwdData, SeqData, AckBatch, Hello]
+
+
+def _pack(fmt: struct.Struct, *values: object) -> bytes:
+    try:
+        return fmt.pack(*values)
+    except struct.error as exc:
+        raise CodecError(f"unrepresentable field value: {exc}") from exc
+
+
+def _payload_bytes(message: Union[FwdData, SeqData]) -> bytes:
+    payload = message.payload
+    if isinstance(payload, (bytearray, memoryview)):
+        payload = bytes(payload)
+    if not isinstance(payload, bytes):
+        raise CodecError(
+            f"live payloads must be bytes, got {type(message.payload).__name__}"
+        )
+    if len(payload) != message.payload_size:
+        raise CodecError(
+            f"payload_size={message.payload_size} but payload has "
+            f"{len(payload)} bytes"
+        )
+    return payload
+
+
+def _encode_acks(acks: List[AckMsg], container_view: int) -> bytes:
+    parts = []
+    for ack in acks:
+        if ack.view_id != container_view:
+            raise CodecError(
+                f"ack {ack.message_id} has view {ack.view_id}, carrier has "
+                f"view {container_view}; the 24-byte ack record carries no "
+                "view field"
+            )
+        flags = FLAG_STABLE if ack.stable else 0
+        parts.append(
+            _pack(
+                _ACK,
+                ack.message_id.origin,
+                ack.message_id.local_seq,
+                ack.sequence,
+                flags,
+            )
+        )
+    return b"".join(parts)
+
+
+def _encode_segment(
+    segment: Optional[Tuple[MessageId, int, int]], origin: ProcessId
+) -> bytes:
+    if segment is None:
+        return b""
+    app_id, index, count = segment
+    if app_id.origin != origin:
+        raise CodecError(
+            f"segment app id {app_id} has origin {app_id.origin}, message "
+            f"has origin {origin}; the 12-byte segment record stores only "
+            "the application local_seq"
+        )
+    return _pack(_SEGMENT, app_id.local_seq, index, count)
+
+
+def encode_message(message: WireMessage) -> bytes:
+    """Serialize ``message`` to a frame body (no length prefix)."""
+    if isinstance(message, Hello):
+        return _pack(_HELLO, KIND_HELLO, message.node_id)
+
+    if isinstance(message, AckBatch):
+        header = _pack(
+            _ACK_BATCH_HEADER,
+            KIND_ACK_BATCH,
+            0,
+            len(message.acks),
+            message.view_id,
+            message.watermark,
+        )
+        return header + _encode_acks(message.acks, message.view_id)
+
+    if isinstance(message, (FwdData, SeqData)):
+        is_seq = isinstance(message, SeqData)
+        flags = 0
+        if message.segment is not None:
+            flags |= FLAG_SEGMENT
+        header = _pack(
+            _DATA_HEADER,
+            KIND_SEQ_DATA if is_seq else KIND_FWD_DATA,
+            flags,
+            len(message.piggybacked),
+            message.message_id.origin,
+            message.message_id.local_seq,
+            message.origin,
+            message.view_id,
+            message.watermark,
+        )
+        parts = [header]
+        if is_seq:
+            parts.append(
+                _pack(_SEQ_EXTRA, message.sequence, 1 if message.stable else 0)
+            )
+        parts.append(_encode_segment(message.segment, message.origin))
+        parts.append(_encode_acks(message.piggybacked, message.view_id))
+        parts.append(_payload_bytes(message))
+        return b"".join(parts)
+
+    raise CodecError(f"cannot encode {type(message).__name__}")
+
+
+def encode_frame(message: WireMessage) -> bytes:
+    """Serialize ``message`` to a complete length-prefixed frame."""
+    body = encode_message(message)
+    if len(body) > MAX_FRAME_BYTES:
+        raise CodecError(
+            f"frame body of {len(body)} bytes exceeds MAX_FRAME_BYTES"
+        )
+    return _LENGTH.pack(len(body)) + body
+
+
+class _Reader:
+    """Cursor over a frame body; every read is bounds-checked."""
+
+    def __init__(self, body: bytes) -> None:
+        self.body = body
+        self.offset = 0
+
+    def unpack(self, fmt: struct.Struct) -> Tuple:
+        end = self.offset + fmt.size
+        if end > len(self.body):
+            raise CodecError(
+                f"truncated frame: needed {fmt.size} bytes at offset "
+                f"{self.offset}, body has {len(self.body)}"
+            )
+        values = fmt.unpack_from(self.body, self.offset)
+        self.offset = end
+        return values
+
+    def rest(self) -> bytes:
+        out = self.body[self.offset:]
+        self.offset = len(self.body)
+        return out
+
+    def done(self) -> None:
+        if self.offset != len(self.body):
+            raise CodecError(
+                f"{len(self.body) - self.offset} trailing bytes after frame"
+            )
+
+
+def _decode_acks(reader: _Reader, count: int, view_id: int) -> List[AckMsg]:
+    acks = []
+    for _ in range(count):
+        origin, local_seq, sequence, flags = reader.unpack(_ACK)
+        acks.append(
+            AckMsg(
+                message_id=MessageId(origin, local_seq),
+                sequence=sequence,
+                stable=bool(flags & FLAG_STABLE),
+                view_id=view_id,
+            )
+        )
+    return acks
+
+
+def decode_message(body: bytes) -> WireMessage:
+    """Parse one frame body back into a message.
+
+    Raises :class:`CodecError` on truncation, trailing bytes, or an
+    unknown kind byte — never anything else.
+    """
+    if not body:
+        raise CodecError("empty frame body")
+    kind = body[0]
+
+    if kind == KIND_HELLO:
+        reader = _Reader(body)
+        _, node_id = reader.unpack(_HELLO)
+        reader.done()
+        return Hello(node_id=node_id)
+
+    if kind == KIND_ACK_BATCH:
+        reader = _Reader(body)
+        _, _flags, n_acks, view_id, watermark = reader.unpack(_ACK_BATCH_HEADER)
+        acks = _decode_acks(reader, n_acks, view_id)
+        reader.done()
+        return AckBatch(acks=acks, view_id=view_id, watermark=watermark)
+
+    if kind in (KIND_FWD_DATA, KIND_SEQ_DATA):
+        reader = _Reader(body)
+        (
+            _,
+            flags,
+            n_acks,
+            mid_origin,
+            mid_local_seq,
+            origin,
+            view_id,
+            watermark,
+        ) = reader.unpack(_DATA_HEADER)
+        sequence = stable = None
+        if kind == KIND_SEQ_DATA:
+            sequence, stable_byte = reader.unpack(_SEQ_EXTRA)
+            stable = bool(stable_byte)
+        segment = None
+        if flags & FLAG_SEGMENT:
+            app_local_seq, index, count = reader.unpack(_SEGMENT)
+            segment = (MessageId(origin, app_local_seq), index, count)
+        acks = _decode_acks(reader, n_acks, view_id)
+        payload = reader.rest()
+        common = dict(
+            message_id=MessageId(mid_origin, mid_local_seq),
+            origin=origin,
+            payload=payload,
+            payload_size=len(payload),
+            view_id=view_id,
+            watermark=watermark,
+            piggybacked=acks,
+            segment=segment,
+        )
+        if kind == KIND_SEQ_DATA:
+            return SeqData(sequence=sequence, stable=stable, **common)
+        return FwdData(**common)
+
+    raise CodecError(f"unknown frame kind {kind:#x}")
+
+
+def decode_frame(buffer: bytes) -> Tuple[WireMessage, int]:
+    """Parse one complete frame from the head of ``buffer``.
+
+    Returns ``(message, consumed_bytes)``.  Raises :class:`CodecError`
+    if the buffer does not hold a complete, well-formed frame.  Stream
+    transports that accumulate partial reads should use
+    :func:`frame_length` first; this helper is for whole-frame buffers
+    (tests, datagram-style carriers).
+    """
+    body_len = frame_length(buffer)
+    if body_len is None or len(buffer) < LENGTH_PREFIX_BYTES + body_len:
+        raise CodecError("incomplete frame")
+    body = buffer[LENGTH_PREFIX_BYTES:LENGTH_PREFIX_BYTES + body_len]
+    return decode_message(body), LENGTH_PREFIX_BYTES + body_len
+
+
+def frame_length(buffer: bytes) -> Optional[int]:
+    """Body length announced by the prefix, or ``None`` if not yet read.
+
+    Raises :class:`CodecError` if the announced length exceeds
+    :data:`MAX_FRAME_BYTES` (corrupt stream).
+    """
+    if len(buffer) < LENGTH_PREFIX_BYTES:
+        return None
+    (body_len,) = _LENGTH.unpack_from(buffer, 0)
+    if body_len > MAX_FRAME_BYTES:
+        raise CodecError(
+            f"announced frame body of {body_len} bytes exceeds MAX_FRAME_BYTES"
+        )
+    return body_len

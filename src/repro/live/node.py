@@ -1,0 +1,349 @@
+"""One FSR process hosted in one OS process, over real TCP.
+
+``run_node(config)`` is the whole lifetime of a live cluster member:
+
+1. build the protocol stack — the *same* :class:`FSRProcess` and
+   :class:`GroupMembership` the simulator runs, wired to an
+   :class:`AsyncioScheduler` and a TCP :class:`RingTransport` instead of
+   the simulated NIC;
+2. install the static bootstrap view and barrier on ring connectivity
+   (outbound connected and predecessor greeted);
+3. if this node is a sender, drive a closed-loop windowed workload
+   until the configured deadline;
+4. run to quiescence (no ring traffic for ``quiet_s``), then return a
+   JSON-able record of every broadcast and delivery, timestamped with
+   the system-wide monotonic clock so the runner can merge logs across
+   processes.
+
+Membership is static: the detector never suspects anyone, so the
+membership layer installs the bootstrap view and then stays silent —
+its control port is a :class:`_NullPort` that loudly rejects any use.
+Live view changes are an open roadmap item (ROADMAP.md).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.api import BroadcastListener
+from repro.core.fsr.config import FSRConfig
+from repro.core.fsr.process import FSRProcess
+from repro.errors import ConfigurationError, NetworkError
+from repro.failure.detector import FailureDetector
+from repro.live.scheduler import AsyncioScheduler
+from repro.live.transport import RingTransport
+from repro.types import Delivery, MessageId, ProcessId
+from repro.vsc.membership import GroupMembership
+
+#: How often the quiescence monitor samples traffic counters.
+_POLL_S = 0.05
+
+
+@dataclass
+class LiveNodeConfig:
+    """Everything one live node needs to know; JSON round-trippable."""
+
+    node_id: ProcessId
+    #: Initial membership in ring order (position 0 is the leader).
+    members: List[ProcessId]
+    #: TCP listen address of every member.
+    addresses: Dict[ProcessId, Tuple[str, int]]
+    #: FSR backup count.
+    t: int = 1
+    #: Members driving the workload.
+    senders: List[ProcessId] = field(default_factory=list)
+    message_bytes: int = 100_000
+    #: Senders stop submitting new messages after this long.
+    duration_s: float = 5.0
+    #: Closed-loop window: own messages in flight per sender.
+    window: int = 4
+    #: Barrier settle time after ring connectivity, before senders start.
+    settle_s: float = 0.5
+    #: Ring silence needed to declare the run quiescent.
+    quiet_s: float = 0.5
+    #: Hard cap on the whole run past the start barrier.
+    max_run_s: float = 60.0
+    connect_timeout_s: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.node_id not in self.members:
+            raise ConfigurationError(
+                f"node {self.node_id} not in members {self.members}"
+            )
+        for pid in self.members:
+            if pid not in self.addresses:
+                raise ConfigurationError(f"no address for member {pid}")
+        for pid in self.senders:
+            if pid not in self.members:
+                raise ConfigurationError(f"sender {pid} not in members")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "node_id": self.node_id,
+            "members": list(self.members),
+            "addresses": {
+                str(pid): [host, port]
+                for pid, (host, port) in self.addresses.items()
+            },
+            "t": self.t,
+            "senders": list(self.senders),
+            "message_bytes": self.message_bytes,
+            "duration_s": self.duration_s,
+            "window": self.window,
+            "settle_s": self.settle_s,
+            "quiet_s": self.quiet_s,
+            "max_run_s": self.max_run_s,
+            "connect_timeout_s": self.connect_timeout_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "LiveNodeConfig":
+        return cls(
+            node_id=data["node_id"],
+            members=list(data["members"]),
+            addresses={
+                int(pid): (entry[0], entry[1])
+                for pid, entry in data["addresses"].items()
+            },
+            t=data["t"],
+            senders=list(data["senders"]),
+            message_bytes=data["message_bytes"],
+            duration_s=data["duration_s"],
+            window=data["window"],
+            settle_s=data["settle_s"],
+            quiet_s=data["quiet_s"],
+            max_run_s=data["max_run_s"],
+            connect_timeout_s=data["connect_timeout_s"],
+        )
+
+
+class StaticDetector(FailureDetector):
+    """Failure detector for static live membership: trusts everyone."""
+
+    def monitor(self, peers) -> None:  # noqa: D102 - interface method
+        pass
+
+
+class _NullPort:
+    """Port for layers that must stay silent in a static live run."""
+
+    def __init__(self, node_id: ProcessId) -> None:
+        self._node_id = node_id
+
+    @property
+    def node_id(self) -> ProcessId:
+        return self._node_id
+
+    def send(self, dst: ProcessId, message: Any, size_bytes=None) -> None:
+        raise NetworkError(
+            "static live membership never sends; live view changes are "
+            "not implemented yet (see ROADMAP.md)"
+        )
+
+    def on_receive(self, handler) -> None:
+        pass
+
+
+class LivePort:
+    """Adapts :class:`RingTransport` to the ``Port`` surface FSR uses."""
+
+    def __init__(self, transport: RingTransport) -> None:
+        self._transport = transport
+        self._handler = None
+        transport.on_message = self._dispatch
+
+    @property
+    def node_id(self) -> ProcessId:
+        return self._transport.node_id
+
+    def send(self, dst: ProcessId, message: Any, size_bytes=None) -> None:
+        # size_bytes is the simulator's accounting hint; the codec
+        # serialises the real payload, so it is not needed here.
+        self._transport.send(dst, message)
+
+    def on_receive(self, handler) -> None:
+        self._handler = handler
+
+    def _dispatch(self, src: ProcessId, message: Any) -> None:
+        if self._handler is not None:
+            self._handler(src, message)
+
+
+@dataclass
+class _NodeRun:
+    """Mutable state of one node's workload while the loop runs."""
+
+    deliveries: List[Delivery] = field(default_factory=list)
+    app_deliveries: List[Dict[str, Any]] = field(default_factory=list)
+    broadcasts: List[Dict[str, Any]] = field(default_factory=list)
+    sent: List[MessageId] = field(default_factory=list)
+    outstanding: int = 0
+
+
+async def _run(config: LiveNodeConfig) -> Dict[str, Any]:
+    loop = asyncio.get_running_loop()
+    sched = AsyncioScheduler(loop)
+    me = config.node_id
+    members = tuple(config.members)
+    position = members.index(me)
+    successor = members[(position + 1) % len(members)]
+
+    transport = RingTransport(
+        node_id=me,
+        listen_addr=config.addresses[me],
+        successor_id=successor,
+        successor_addr=config.addresses[successor],
+        on_message=lambda src, msg: None,  # replaced by LivePort
+    )
+    port = LivePort(transport)
+    detector = StaticDetector()
+    membership = GroupMembership(
+        sched,
+        _NullPort(me),
+        detector,
+        me=me,
+        initial_members=members,
+    )
+    process = FSRProcess(
+        sched,
+        port,
+        membership,
+        FSRConfig(t=config.t),
+        tx_gate=lambda: transport.tx_ready,
+    )
+    transport.on_tx_idle(process.on_tx_ready)
+
+    run = _NodeRun()
+    deadline = [float("inf")]
+
+    def refill() -> None:
+        """Keep ``window`` own messages in flight until the deadline."""
+        while (
+            run.outstanding < config.window and sched.now < deadline[0]
+        ):
+            payload = bytes(config.message_bytes)
+            message_id = process.broadcast(payload)
+            run.outstanding += 1
+            run.sent.append(message_id)
+            run.broadcasts.append(
+                {
+                    "origin": message_id.origin,
+                    "local_seq": message_id.local_seq,
+                    "size_bytes": config.message_bytes,
+                    "submit_time": sched.now,
+                }
+            )
+
+    def on_app_deliver(
+        origin: ProcessId, message_id: MessageId, payload: Any, size: int
+    ) -> None:
+        run.app_deliveries.append(
+            {
+                "origin": origin,
+                "msg_origin": message_id.origin,
+                "local_seq": message_id.local_seq,
+                "size_bytes": size,
+                "time": sched.now,
+            }
+        )
+        if origin == me and run.outstanding > 0:
+            run.outstanding -= 1
+            # Refill from a fresh loop iteration, not reentrantly from
+            # inside the protocol's receive path.
+            loop.call_soon(refill)
+
+    process.set_listener(BroadcastListener(on_app_deliver))
+    process.on_protocol_deliver(run.deliveries.append)
+
+    await transport.start()
+    process.start()
+
+    # ------------------------------------------------------------------
+    # Barrier: ring connectivity, then a settle delay.
+    # ------------------------------------------------------------------
+    timeout = config.connect_timeout_s
+    if not await transport.wait_outbound_connected(timeout):
+        raise NetworkError(
+            transport.failure
+            or f"node {me}: successor {successor} not connected after "
+            f"{timeout:.0f}s"
+        )
+    if len(members) > 1 and not await transport.wait_inbound_hello(timeout):
+        raise NetworkError(
+            f"node {me}: no inbound connection after {timeout:.0f}s"
+        )
+    await asyncio.sleep(config.settle_s)
+
+    start_time = sched.now
+    deadline[0] = start_time + config.duration_s
+    if me in config.senders:
+        refill()
+
+    # ------------------------------------------------------------------
+    # Run to quiescence: deadline passed and the ring has gone silent.
+    # ------------------------------------------------------------------
+    timed_out = False
+    last_counters = (-1, -1)
+    last_change = sched.now
+    while True:
+        await asyncio.sleep(_POLL_S)
+        now = sched.now
+        counters = (transport.frames_received, transport.frames_sent)
+        if counters != last_counters or transport.queued_bytes > 0:
+            last_counters = counters
+            last_change = now
+        if transport.failure is not None:
+            raise NetworkError(f"node {me}: {transport.failure}")
+        if now - start_time >= config.max_run_s:
+            timed_out = True
+            break
+        if now < deadline[0]:
+            continue
+        if now - last_change >= config.quiet_s:
+            break
+
+    end_time = sched.now
+    process.stop()
+    await transport.close()
+
+    return {
+        "schema": "repro.live_node/1",
+        "node_id": me,
+        "start_time": start_time,
+        "end_time": end_time,
+        "timed_out": timed_out,
+        "deliveries": [
+            {
+                "origin": d.message_id.origin,
+                "local_seq": d.message_id.local_seq,
+                "sequence": d.sequence,
+                "time": d.time,
+                "size_bytes": d.size_bytes,
+            }
+            for d in run.deliveries
+        ],
+        "app_deliveries": run.app_deliveries,
+        "broadcasts": run.broadcasts,
+        "sent": [
+            {"origin": mid.origin, "local_seq": mid.local_seq}
+            for mid in run.sent
+        ],
+        "stats": {
+            "frames_sent": transport.frames_sent,
+            "frames_received": transport.frames_received,
+            "bytes_sent": transport.bytes_sent,
+            "bytes_received": transport.bytes_received,
+            "reconnects": transport.reconnects,
+            "broadcasts": process.stats_broadcasts,
+            "deliveries": process.stats_deliveries,
+            "acks_piggybacked": process.stats_acks_piggybacked,
+            "acks_standalone": process.stats_acks_standalone,
+        },
+    }
+
+
+def run_node(config: LiveNodeConfig) -> Dict[str, Any]:
+    """Run one live node to completion; returns its result record."""
+    return asyncio.run(_run(config))

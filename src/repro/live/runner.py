@@ -1,0 +1,425 @@
+"""Multi-process localhost cluster launcher and live benchmark driver.
+
+``run_live_cluster(spec)`` is what ``python -m repro live`` executes:
+
+1. allocate one loopback TCP port per node and write a
+   :class:`~repro.live.node.LiveNodeConfig` JSON per node;
+2. spawn one OS process per FSR process (``python -m repro live-node``),
+   so marshalling and protocol CPU genuinely run in parallel, like the
+   paper's one-host-per-process cluster;
+3. collect each node's JSON result, rebase all timestamps to the
+   earliest node start (the monotonic clock is system-wide, so
+   cross-process timestamps are directly comparable), and merge them
+   into the same :class:`~repro.cluster.results.ExperimentResult`
+   container simulated runs produce;
+4. verify the merged logs with the standard correctness checkers, and
+   compute throughput/latency metrics with the standard collector;
+5. optionally run the *simulator* on the same configuration, so
+   ``BENCH_live.json`` reports measured and predicted numbers side by
+   side — the cross-validation the ROADMAP asks for.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.checker.order import check_all
+from repro.cluster.config import ClusterConfig
+from repro.cluster.results import AppDelivery, ExperimentResult
+from repro.core.api import DeliveryLog
+from repro.core.fsr.config import FSRConfig
+from repro.errors import ConfigurationError, NetworkError
+from repro.live.node import LiveNodeConfig
+from repro.metrics.collector import ExperimentMetrics, collect_metrics
+from repro.types import BroadcastRecord, Delivery, MessageId, ProcessId
+from repro.workloads.patterns import KToNPattern
+from repro.workloads.driver import WorkloadOutcome
+
+#: Extra wall-clock slack past a node's own hard cap before we kill it.
+_KILL_SLACK_S = 30.0
+#: Simulated comparison runs cap messages per sender to stay quick.
+_SIM_MESSAGES_CAP = 30
+
+
+@dataclass
+class LiveClusterSpec:
+    """One live loopback benchmark configuration."""
+
+    processes: int = 4
+    senders: int = 1
+    t: int = 1
+    message_bytes: int = 100_000
+    duration_s: float = 5.0
+    window: int = 4
+    host: str = "127.0.0.1"
+    settle_s: float = 0.5
+    quiet_s: float = 0.5
+    max_run_s: float = 60.0
+    connect_timeout_s: float = 10.0
+    #: Also run the simulator on this configuration for comparison.
+    sim_compare: bool = True
+
+    def __post_init__(self) -> None:
+        if self.processes < 2:
+            raise ConfigurationError("a live ring needs at least 2 processes")
+        if not 1 <= self.senders <= self.processes:
+            raise ConfigurationError(
+                f"senders={self.senders} out of range for "
+                f"n={self.processes}"
+            )
+        if self.duration_s <= 0:
+            raise ConfigurationError("duration_s must be positive")
+
+    @property
+    def sender_ids(self) -> Tuple[ProcessId, ...]:
+        """First ``senders`` ring positions drive the workload, like the
+        paper's k-to-n benchmark."""
+        return tuple(range(self.senders))
+
+
+@dataclass
+class LiveRunResult:
+    """Everything one live run produced."""
+
+    result: ExperimentResult
+    outcome: WorkloadOutcome
+    metrics: ExperimentMetrics
+    node_records: Dict[ProcessId, Dict[str, Any]]
+    order_ok: bool
+    order_error: Optional[str]
+    timed_out: bool
+
+
+def _free_ports(host: str, count: int) -> List[int]:
+    """Allocate ``count`` distinct free TCP ports by binding to 0."""
+    sockets: List[socket.socket] = []
+    try:
+        for _ in range(count):
+            sock = socket.socket()
+            sock.bind((host, 0))
+            sockets.append(sock)
+        return [sock.getsockname()[1] for sock in sockets]
+    finally:
+        for sock in sockets:
+            sock.close()
+
+
+def _node_env() -> Dict[str, str]:
+    """Subprocess environment that can ``import repro``."""
+    import repro
+
+    package_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        package_root if not existing
+        else package_root + os.pathsep + existing
+    )
+    return env
+
+
+def launch_live_cluster(spec: LiveClusterSpec) -> Dict[ProcessId, Dict[str, Any]]:
+    """Run the multi-process cluster; returns raw per-node records."""
+    members = list(range(spec.processes))
+    ports = _free_ports(spec.host, spec.processes)
+    addresses = {pid: (spec.host, ports[pid]) for pid in members}
+    env = _node_env()
+    deadline_s = spec.connect_timeout_s + spec.max_run_s + _KILL_SLACK_S
+
+    with tempfile.TemporaryDirectory(prefix="repro-live-") as workdir:
+        procs: Dict[ProcessId, subprocess.Popen] = {}
+        out_paths: Dict[ProcessId, str] = {}
+        try:
+            for pid in members:
+                config = LiveNodeConfig(
+                    node_id=pid,
+                    members=members,
+                    addresses=addresses,
+                    t=spec.t,
+                    senders=list(spec.sender_ids),
+                    message_bytes=spec.message_bytes,
+                    duration_s=spec.duration_s,
+                    window=spec.window,
+                    settle_s=spec.settle_s,
+                    quiet_s=spec.quiet_s,
+                    max_run_s=spec.max_run_s,
+                    connect_timeout_s=spec.connect_timeout_s,
+                )
+                config_path = os.path.join(workdir, f"node{pid}.json")
+                out_path = os.path.join(workdir, f"node{pid}.out.json")
+                with open(config_path, "w") as fh:
+                    json.dump(config.to_dict(), fh)
+                out_paths[pid] = out_path
+                procs[pid] = subprocess.Popen(
+                    [
+                        sys.executable,
+                        "-m",
+                        "repro",
+                        "live-node",
+                        "--config",
+                        config_path,
+                        "--out",
+                        out_path,
+                    ],
+                    env=env,
+                    stdout=subprocess.PIPE,
+                    stderr=subprocess.PIPE,
+                )
+
+            start = time.monotonic()
+            pending = dict(procs)
+            while pending and time.monotonic() - start < deadline_s:
+                for pid in list(pending):
+                    if pending[pid].poll() is not None:
+                        del pending[pid]
+                if pending:
+                    time.sleep(0.05)
+            if pending:
+                for proc in pending.values():
+                    proc.kill()
+                raise NetworkError(
+                    f"live nodes {sorted(pending)} still running after "
+                    f"{deadline_s:.0f}s; killed"
+                )
+
+            failures = []
+            for pid, proc in procs.items():
+                _, stderr = proc.communicate()
+                if proc.returncode != 0:
+                    tail = stderr.decode(errors="replace").strip().splitlines()
+                    failures.append(
+                        f"node {pid} exited {proc.returncode}: "
+                        + ("; ".join(tail[-3:]) if tail else "<no stderr>")
+                    )
+            if failures:
+                raise NetworkError("live run failed: " + " | ".join(failures))
+
+            records: Dict[ProcessId, Dict[str, Any]] = {}
+            for pid, path in out_paths.items():
+                with open(path) as fh:
+                    records[pid] = json.load(fh)
+            return records
+        finally:
+            for proc in procs.values():
+                if proc.poll() is None:
+                    proc.kill()
+
+
+def merge_node_records(
+    spec: LiveClusterSpec, records: Dict[ProcessId, Dict[str, Any]]
+) -> Tuple[ExperimentResult, WorkloadOutcome]:
+    """Merge per-node records into the standard result containers.
+
+    All timestamps are rebased to the earliest node start so merged
+    logs read like a simulated run starting at ~0.
+    """
+    t0 = min(record["start_time"] for record in records.values())
+
+    delivery_logs: Dict[ProcessId, DeliveryLog] = {}
+    app_deliveries: Dict[ProcessId, List[AppDelivery]] = {}
+    broadcasts: List[BroadcastRecord] = []
+    broadcast_origin: Dict[MessageId, ProcessId] = {}
+    sent: Dict[ProcessId, List[MessageId]] = {}
+
+    for pid, record in sorted(records.items()):
+        log = DeliveryLog(process=pid)
+        for entry in record["deliveries"]:
+            log.deliveries.append(
+                Delivery(
+                    process=pid,
+                    message_id=MessageId(entry["origin"], entry["local_seq"]),
+                    sequence=entry["sequence"],
+                    time=entry["time"] - t0,
+                    size_bytes=entry["size_bytes"],
+                )
+            )
+        delivery_logs[pid] = log
+        app_deliveries[pid] = [
+            AppDelivery(
+                process=pid,
+                origin=entry["origin"],
+                message_id=MessageId(entry["msg_origin"], entry["local_seq"]),
+                size_bytes=entry["size_bytes"],
+                time=entry["time"] - t0,
+            )
+            for entry in record["app_deliveries"]
+        ]
+        if record["sent"]:
+            sent[pid] = [
+                MessageId(entry["origin"], entry["local_seq"])
+                for entry in record["sent"]
+            ]
+        for entry in record["broadcasts"]:
+            message_id = MessageId(entry["origin"], entry["local_seq"])
+            broadcasts.append(
+                BroadcastRecord(
+                    message_id=message_id,
+                    size_bytes=entry["size_bytes"],
+                    submit_time=entry["submit_time"] - t0,
+                )
+            )
+            broadcast_origin[message_id] = pid
+
+    broadcasts.sort(key=lambda record: record.submit_time)
+    duration = max(record["end_time"] for record in records.values()) - t0
+    result = ExperimentResult(
+        config=spec,
+        duration_s=duration,
+        delivery_logs=delivery_logs,
+        app_deliveries=app_deliveries,
+        broadcasts=broadcasts,
+        broadcast_origin=broadcast_origin,
+        crashed={},
+        nic_stats={},
+    )
+    if not sent:
+        raise NetworkError("no live node submitted any broadcast")
+    start_time = min(
+        records[pid]["start_time"] - t0 for pid in sent
+    )
+    pattern = KToNPattern(
+        senders=tuple(sorted(sent)),
+        messages_per_sender=max(len(ids) for ids in sent.values()),
+        message_bytes=spec.message_bytes,
+    )
+    outcome = WorkloadOutcome(
+        result=result, start_time=start_time, sent=sent, pattern=pattern
+    )
+    return result, outcome
+
+
+def check_live_order(result: ExperimentResult) -> Optional[str]:
+    """Run the standard correctness oracle; returns the failure text."""
+    from repro.errors import CheckFailure
+
+    try:
+        check_all(result)
+    except CheckFailure as exc:
+        return str(exc)
+    return None
+
+
+def simulate_comparison(
+    spec: LiveClusterSpec, messages_per_sender: int
+) -> ExperimentMetrics:
+    """Run the simulator on the live configuration and collect metrics."""
+    from repro.cluster.harness import build_cluster
+    from repro.workloads.driver import run_workload
+
+    config = ClusterConfig(
+        n=spec.processes,
+        protocol="fsr",
+        protocol_config=FSRConfig(t=spec.t),
+    )
+    cluster = build_cluster(config)
+    pattern = KToNPattern(
+        senders=spec.sender_ids,
+        messages_per_sender=messages_per_sender,
+        message_bytes=spec.message_bytes,
+    )
+    outcome = run_workload(cluster, pattern)
+    return collect_metrics(outcome)
+
+
+def run_live_cluster(spec: LiveClusterSpec) -> LiveRunResult:
+    """Launch, merge, verify, and measure one live loopback run."""
+    records = launch_live_cluster(spec)
+    result, outcome = merge_node_records(spec, records)
+    order_error = check_live_order(result)
+    metrics = collect_metrics(outcome)
+    return LiveRunResult(
+        result=result,
+        outcome=outcome,
+        metrics=metrics,
+        node_records=records,
+        order_ok=order_error is None,
+        order_error=order_error,
+        timed_out=any(r.get("timed_out") for r in records.values()),
+    )
+
+
+def bench_payload(
+    spec: LiveClusterSpec,
+    live: LiveRunResult,
+    sim_metrics: Optional[ExperimentMetrics],
+    sim_messages_per_sender: Optional[int],
+) -> Dict[str, Any]:
+    """Assemble the ``BENCH_live.json`` document."""
+    from repro.analysis import ThroughputPrediction
+    from repro.metrics.export import metrics_to_dict
+    from repro.net.params import NetworkParams
+
+    prediction = ThroughputPrediction.for_paper_setup(
+        NetworkParams.fast_ethernet(),
+        n=spec.processes,
+        message_bytes=spec.message_bytes,
+    )
+    payload: Dict[str, Any] = {
+        "schema": "repro.bench_live/1",
+        "config": {
+            "processes": spec.processes,
+            "senders": spec.senders,
+            "t": spec.t,
+            "message_bytes": spec.message_bytes,
+            "duration_s": spec.duration_s,
+            "window": spec.window,
+            "host": spec.host,
+        },
+        "order_check": {
+            "ok": live.order_ok,
+            "error": live.order_error,
+        },
+        "timed_out": live.timed_out,
+        "live": {
+            "metrics": metrics_to_dict(live.metrics),
+            "messages_sent": sum(
+                len(ids) for ids in live.outcome.sent.values()
+            ),
+            "node_stats": {
+                str(pid): record["stats"]
+                for pid, record in live.node_records.items()
+            },
+        },
+        "sim": (
+            None
+            if sim_metrics is None
+            else {
+                "metrics": metrics_to_dict(sim_metrics),
+                "messages_per_sender": sim_messages_per_sender,
+            }
+        ),
+        "model": {
+            "raw_mbps": prediction.raw_mbps,
+            "fsr_mbps": prediction.fsr_mbps,
+            "fixed_sequencer_mbps": prediction.fixed_sequencer_mbps,
+        },
+    }
+    return payload
+
+
+def run_live_benchmark(
+    spec: LiveClusterSpec, out_path: str = "BENCH_live.json"
+) -> Dict[str, Any]:
+    """The full ``python -m repro live`` pipeline; writes ``out_path``."""
+    live = run_live_cluster(spec)
+    sim_metrics = None
+    sim_messages: Optional[int] = None
+    if spec.sim_compare:
+        live_per_sender = max(
+            (len(ids) for ids in live.outcome.sent.values()), default=1
+        )
+        sim_messages = max(5, min(live_per_sender, _SIM_MESSAGES_CAP))
+        sim_metrics = simulate_comparison(spec, sim_messages)
+    payload = bench_payload(spec, live, sim_metrics, sim_messages)
+    with open(out_path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    return payload

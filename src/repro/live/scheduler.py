@@ -1,0 +1,35 @@
+"""Asyncio-backed implementation of the :class:`~repro.types.Scheduler`
+protocol.
+
+The protocol stack (FSR, the membership layer) reads the clock and
+schedules delayed callbacks through the ``Scheduler`` surface; in the
+live runtime that surface is an asyncio event loop.  ``now`` is the
+loop's monotonic clock (``CLOCK_MONOTONIC`` on Linux, system-wide), so
+timestamps taken in different OS processes on the same machine are
+directly comparable — which is what lets the runner compute cross-node
+latencies from merged per-node logs without clock synchronisation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable
+
+from repro.types import SimTime, Timer
+
+
+class AsyncioScheduler:
+    """Adapts an :class:`asyncio.AbstractEventLoop` to ``Scheduler``."""
+
+    def __init__(self, loop: asyncio.AbstractEventLoop) -> None:
+        self.loop = loop
+
+    @property
+    def now(self) -> SimTime:
+        return self.loop.time()
+
+    def schedule(
+        self, delay: SimTime, callback: Callable[..., None], *args: Any
+    ) -> Timer:
+        # asyncio.TimerHandle has .cancel(), satisfying the Timer protocol.
+        return self.loop.call_later(max(0.0, delay), callback, *args)

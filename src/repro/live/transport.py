@@ -1,0 +1,290 @@
+"""Asyncio ring transport: one persistent TCP connection per ring hop.
+
+FSR's data plane is a unidirectional ring — every process sends data
+only to its ring successor — so the live transport keeps exactly one
+persistent outbound TCP connection (to the successor) and accepts one
+inbound connection (from the predecessor).  TCP provides the reliable
+FIFO channel the paper assumes; what this module adds is:
+
+* length-prefixed framing via :mod:`repro.live.codec`;
+* a ``Hello`` greeting identifying the connecting node, so the receive
+  upcall carries the true source id;
+* reconnect with capped exponential backoff, giving up after the same
+  ``MAX_RETRIES`` budget the simulated ARQ stack uses
+  (:data:`repro.net.channel.MAX_RETRIES`) — by then the peer is dead
+  and membership is responsible for excluding it;
+* TX backpressure: ``tx_ready`` mirrors the simulated NIC's ``tx_idle``
+  gate, so ``FSRProcess``'s fair-send pump throttles on a slow socket
+  exactly like it throttles on a busy simulated NIC.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import CodecError, NetworkError
+from repro.live.codec import (
+    LENGTH_PREFIX_BYTES,
+    Hello,
+    WireMessage,
+    decode_message,
+    encode_frame,
+    frame_length,
+)
+from repro.net.channel import MAX_RETRIES
+from repro.types import ProcessId
+
+ReceiveHandler = Callable[[ProcessId, Any], None]
+
+#: Outbound queue bound before ``tx_ready`` goes False (bytes).
+DEFAULT_MAX_OUTBOUND_BYTES = 4 * 1024 * 1024
+#: First reconnect delay; doubles per attempt up to the cap.
+RECONNECT_BASE_S = 0.05
+RECONNECT_CAP_S = 2.0
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Optional[bytes]:
+    """Read one length-prefixed frame body; ``None`` on clean EOF."""
+    try:
+        prefix = await reader.readexactly(LENGTH_PREFIX_BYTES)
+    except (asyncio.IncompleteReadError, ConnectionError):
+        return None
+    body_len = frame_length(prefix)
+    assert body_len is not None  # prefix is complete by construction
+    try:
+        return await reader.readexactly(body_len)
+    except (asyncio.IncompleteReadError, ConnectionError):
+        return None
+
+
+class RingTransport:
+    """TCP ring hop: outbound to the successor, inbound from anyone.
+
+    ``on_message(src, message)`` is invoked on the event loop for every
+    decoded inbound frame.  ``send(dst, message)`` only accepts the
+    configured successor — the ring never sends anywhere else.
+    """
+
+    def __init__(
+        self,
+        node_id: ProcessId,
+        listen_addr: Tuple[str, int],
+        successor_id: ProcessId,
+        successor_addr: Tuple[str, int],
+        on_message: ReceiveHandler,
+        *,
+        max_outbound_bytes: int = DEFAULT_MAX_OUTBOUND_BYTES,
+        reconnect_base_s: float = RECONNECT_BASE_S,
+        reconnect_cap_s: float = RECONNECT_CAP_S,
+        max_retries: int = MAX_RETRIES,
+    ) -> None:
+        self.node_id = node_id
+        self.listen_addr = listen_addr
+        self.successor_id = successor_id
+        self.successor_addr = successor_addr
+        self.on_message = on_message
+        self.max_outbound_bytes = max_outbound_bytes
+        self.reconnect_base_s = reconnect_base_s
+        self.reconnect_cap_s = reconnect_cap_s
+        self.max_retries = max_retries
+
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._outbound: List[bytes] = []
+        self._queued_bytes = 0
+        self._gate_closed = False
+        self._tx_idle_callbacks: List[Callable[[], None]] = []
+        self._wakeup = asyncio.Event()
+        self._connected = asyncio.Event()
+        self._inbound_hello = asyncio.Event()
+        self._inbound_peers: Dict[ProcessId, asyncio.StreamWriter] = {}
+        self._tasks: List[asyncio.Task] = []
+        self._closing = False
+        self._failure: Optional[str] = None
+
+        #: Transport counters, merged into the node's result stats.
+        self.frames_sent = 0
+        self.frames_received = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.reconnects = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the listening socket and start connecting outbound."""
+        host, port = self.listen_addr
+        self._server = await asyncio.start_server(
+            self._handle_inbound, host, port
+        )
+        self._tasks.append(asyncio.ensure_future(self._outbound_loop()))
+
+    async def close(self) -> None:
+        self._closing = True
+        self._wakeup.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        if self._writer is not None:
+            self._writer.close()
+        for writer in list(self._inbound_peers.values()):
+            writer.close()
+
+    @property
+    def failure(self) -> Optional[str]:
+        """Terminal transport failure (successor unreachable), if any."""
+        return self._failure
+
+    async def wait_outbound_connected(self, timeout: float) -> bool:
+        """Wait until the successor connection is up."""
+        try:
+            await asyncio.wait_for(self._connected.wait(), timeout)
+            return True
+        except asyncio.TimeoutError:
+            return False
+
+    async def wait_inbound_hello(self, timeout: float) -> bool:
+        """Wait until some peer has connected and identified itself."""
+        try:
+            await asyncio.wait_for(self._inbound_hello.wait(), timeout)
+            return True
+        except asyncio.TimeoutError:
+            return False
+
+    # ------------------------------------------------------------------
+    # TX path
+    # ------------------------------------------------------------------
+    @property
+    def tx_ready(self) -> bool:
+        """True while the outbound queue can take another message."""
+        return self._queued_bytes < self.max_outbound_bytes
+
+    @property
+    def queued_bytes(self) -> int:
+        """Bytes queued but not yet drained to the socket."""
+        return self._queued_bytes
+
+    def on_tx_idle(self, callback: Callable[[], None]) -> None:
+        """Register a callback fired when a closed TX gate reopens."""
+        self._tx_idle_callbacks.append(callback)
+
+    def send(self, dst: ProcessId, message: WireMessage) -> None:
+        """Queue ``message`` for the ring successor."""
+        if dst != self.successor_id:
+            raise NetworkError(
+                f"ring transport at node {self.node_id} can only send to "
+                f"successor {self.successor_id}, not {dst}"
+            )
+        frame = encode_frame(message)
+        self._outbound.append(frame)
+        self._queued_bytes += len(frame)
+        if not self.tx_ready:
+            self._gate_closed = True
+        self._wakeup.set()
+
+    async def _outbound_loop(self) -> None:
+        retries = 0
+        while not self._closing:
+            try:
+                reader, writer = await asyncio.open_connection(
+                    *self.successor_addr
+                )
+            except OSError:
+                retries += 1
+                if retries > self.max_retries:
+                    self._failure = (
+                        f"successor {self.successor_id} unreachable after "
+                        f"{self.max_retries} attempts"
+                    )
+                    return
+                delay = min(
+                    self.reconnect_cap_s,
+                    self.reconnect_base_s * (2 ** (retries - 1)),
+                )
+                await asyncio.sleep(delay)
+                continue
+
+            if retries > 0:
+                self.reconnects += 1
+            retries = 0
+            self._writer = writer
+            try:
+                writer.write(encode_frame(Hello(node_id=self.node_id)))
+                await writer.drain()
+                self._connected.set()
+                await self._drain_queue(writer)
+            except (ConnectionError, OSError):
+                pass
+            finally:
+                self._connected.clear()
+                self._writer = None
+                writer.close()
+            # Loop back around and reconnect (unless closing).
+
+    async def _drain_queue(self, writer: asyncio.StreamWriter) -> None:
+        while not self._closing:
+            while self._outbound:
+                # Peek-write-pop: a frame stays queued until drained, so
+                # a connection drop resends it after reconnect instead of
+                # silently losing it (duplicates are cheaper than a stuck
+                # ring, and FSR suppresses re-delivered sequence numbers).
+                frame = self._outbound[0]
+                writer.write(frame)
+                await writer.drain()
+                self._outbound.pop(0)
+                self._queued_bytes -= len(frame)
+                self.frames_sent += 1
+                self.bytes_sent += len(frame)
+                if self._gate_closed and self.tx_ready:
+                    self._gate_closed = False
+                    for callback in list(self._tx_idle_callbacks):
+                        callback()
+            self._wakeup.clear()
+            if self._outbound:
+                continue
+            await self._wakeup.wait()
+
+    # ------------------------------------------------------------------
+    # RX path
+    # ------------------------------------------------------------------
+    async def _handle_inbound(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        peer_id: Optional[ProcessId] = None
+        try:
+            body = await read_frame(reader)
+            if body is None:
+                return
+            hello = decode_message(body)
+            if not isinstance(hello, Hello):
+                raise CodecError(
+                    f"expected Hello, got {type(hello).__name__}"
+                )
+            peer_id = hello.node_id
+            self._inbound_peers[peer_id] = writer
+            self._inbound_hello.set()
+            while True:
+                body = await read_frame(reader)
+                if body is None:
+                    return
+                message = decode_message(body)
+                self.frames_received += 1
+                self.bytes_received += LENGTH_PREFIX_BYTES + len(body)
+                self.on_message(peer_id, message)
+        except CodecError:
+            # Corrupt peer stream: drop the connection; the peer's
+            # transport reconnects and re-greets with a fresh stream.
+            pass
+        finally:
+            if peer_id is not None:
+                self._inbound_peers.pop(peer_id, None)
+            writer.close()

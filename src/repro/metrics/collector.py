@@ -66,39 +66,49 @@ class ExperimentMetrics:
 
 
 def collect_metrics(outcome: WorkloadOutcome) -> ExperimentMetrics:
-    """Compute :class:`ExperimentMetrics` from a workload outcome."""
+    """Compute :class:`ExperimentMetrics` from a workload outcome.
+
+    Runs in linear time: submission times and completion times are
+    looked up through one-pass indexes, never per-message scans — live
+    benchmark runs complete thousands of messages.
+    """
     per_sender: Dict[ProcessId, float] = {}
     for sender in outcome.sent:
         value = outcome.sender_throughput_bps(sender)
         if value is not None:
             per_sender[sender] = value / 1e6
 
+    completions = outcome.result.completion_times()
+    submit_times = {
+        record.message_id: record.submit_time
+        for record in outcome.result.broadcasts
+    }
+
     latencies: List[float] = []
     completed = 0
-    for sender, message_ids in outcome.sent.items():
-        for message_id in message_ids:
-            latency = latency_of_message(outcome, message_id)
-            if latency is not None:
-                latencies.append(latency)
-                completed += 1
-
     # Fairness: how evenly the completed messages divide across senders.
-    counts = []
+    counts: List[float] = []
     for sender, message_ids in outcome.sent.items():
-        delivered = sum(
-            1
-            for message_id in message_ids
-            if outcome.result.completion_time(message_id) is not None
-        )
+        delivered = 0
+        for message_id in message_ids:
+            completion = completions.get(message_id)
+            if completion is None:
+                continue
+            delivered += 1
+            submit = submit_times.get(message_id)
+            if submit is None:
+                raise ConfigurationError(f"{message_id} was never broadcast")
+            latencies.append(completion - submit)
+            completed += 1
         counts.append(float(delivered))
 
     if not latencies:
         raise ConfigurationError("no message completed; nothing to report")
     last_completion = max(
-        outcome.result.completion_time(mid)
+        completions[mid]
         for ids in outcome.sent.values()
         for mid in ids
-        if outcome.result.completion_time(mid) is not None
+        if mid in completions
     )
     total_bytes = completed * outcome.pattern.message_bytes
     completion_mbps = (

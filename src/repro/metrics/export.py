@@ -147,3 +147,23 @@ def result_from_dict(data: Dict[str, Any]) -> ExperimentResult:
 def result_from_json(text: str) -> ExperimentResult:
     """Inverse of :func:`result_to_json`."""
     return result_from_dict(json.loads(text))
+
+
+def metrics_to_dict(metrics: Any) -> Dict[str, Any]:
+    """Convert an :class:`~repro.metrics.collector.ExperimentMetrics`
+    into a JSON-compatible dictionary (used by benchmark records such
+    as ``BENCH_live.json``)."""
+    return {
+        "aggregate_throughput_mbps": metrics.aggregate_throughput_mbps,
+        "completion_throughput_mbps": metrics.completion_throughput_mbps,
+        "per_sender_throughput_mbps": {
+            str(pid): value
+            for pid, value in metrics.per_sender_throughput_mbps.items()
+        },
+        "mean_latency_s": metrics.mean_latency_s,
+        "p50_latency_s": metrics.p50_latency_s,
+        "p99_latency_s": metrics.p99_latency_s,
+        "fairness": metrics.fairness,
+        "duration_s": metrics.duration_s,
+        "messages_completed": metrics.messages_completed,
+    }

@@ -14,6 +14,10 @@ from typing import Any, Protocol, runtime_checkable
 
 from repro.types import ProcessId, SimTime
 
+#: Fallback id source for datagrams constructed directly (tests, ad-hoc
+#: tools).  The :class:`~repro.net.network.Network` never uses it — it
+#: assigns ids from its own per-instance counter, so back-to-back
+#: simulations in one interpreter are bit-identical.
 _datagram_ids = itertools.count(1)
 
 

@@ -29,6 +29,7 @@ transmitted message is never delivered).
 
 from __future__ import annotations
 
+import itertools
 import random
 from collections import deque
 from dataclasses import dataclass, field
@@ -430,6 +431,9 @@ class Network:
         #: Last scheduled arrival time per (src, dst): jitter must never
         #: reorder a flow (a LAN switch is FIFO per flow).
         self._last_arrival: Dict[Tuple[ProcessId, ProcessId], float] = {}
+        #: Datagram ids are scoped to this network so two back-to-back
+        #: simulations in one interpreter produce bit-identical runs.
+        self._datagram_ids = itertools.count(1)
 
     # ------------------------------------------------------------------
     # Topology management
@@ -468,7 +472,12 @@ class Network:
             raise NetworkError("loopback sends are not modelled; handle locally")
         size = message_size(message) if size_bytes is None else size_bytes
         datagram = Datagram(
-            src=src, dst=dst, payload=message, size_bytes=size, send_time=self.sim.now
+            src=src,
+            dst=dst,
+            payload=message,
+            size_bytes=size,
+            send_time=self.sim.now,
+            datagram_id=next(self._datagram_ids),
         )
         src_nic.enqueue_tx(datagram)
 

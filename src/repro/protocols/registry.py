@@ -12,9 +12,8 @@ from typing import Any, Callable, Dict, Optional, Tuple
 from repro.core.api import TotalOrderBroadcast
 from repro.errors import ConfigurationError
 from repro.net.dispatch import Port
-from repro.sim.engine import Simulator
 from repro.sim.trace import TraceLog
-from repro.types import ProcessId
+from repro.types import ProcessId, Scheduler
 from repro.vsc.membership import GroupMembership
 
 
@@ -22,7 +21,7 @@ from repro.vsc.membership import GroupMembership
 class ProtocolContext:
     """Everything a protocol factory may use to build one endpoint."""
 
-    sim: Simulator
+    sim: Scheduler
     node_id: ProcessId
     #: This protocol's own network port.
     port: Port

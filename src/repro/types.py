@@ -8,7 +8,7 @@ avoids import cycles between subsystems.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Any, Callable, Optional, Protocol, Tuple
 
 #: Identifier of a process (a ring position in the initial view).
 ProcessId = int
@@ -21,6 +21,46 @@ ViewId = int
 
 #: Sequence number assigned by a sequencer to order deliveries.
 SequenceNumber = int
+
+
+class Timer(Protocol):
+    """Cancellation handle returned by :meth:`Scheduler.schedule`."""
+
+    def cancel(self) -> None:
+        """Prevent the scheduled callback from running (idempotent)."""
+        ...  # pragma: no cover - protocol definition
+
+
+class Clock(Protocol):
+    """A source of monotonically non-decreasing time in seconds.
+
+    In the discrete-event world this is *simulated* time; in the live
+    asyncio runtime it is the event loop's monotonic clock.  Protocol
+    code must never care which one it is reading.
+    """
+
+    @property
+    def now(self) -> "SimTime":
+        """Current time in seconds."""
+        ...  # pragma: no cover - protocol definition
+
+
+class Scheduler(Clock, Protocol):
+    """The runtime surface protocol automata are written against.
+
+    This is the exact ``Simulator``-shaped subset the protocol stack
+    (FSR, the membership layer) actually uses: read the clock, schedule
+    a callback after a delay, cancel it.  Both the discrete-event
+    :class:`~repro.sim.engine.Simulator` and the live
+    :class:`~repro.live.scheduler.AsyncioScheduler` satisfy it, which is
+    what lets the *same* protocol code run simulated and over real TCP.
+    """
+
+    def schedule(
+        self, delay: "SimTime", callback: Callable[..., None], *args: Any
+    ) -> Timer:
+        """Run ``callback(*args)`` ``delay`` seconds from now."""
+        ...  # pragma: no cover - protocol definition
 
 
 @dataclass(frozen=True, order=True)

@@ -42,9 +42,8 @@ from typing import Any, Dict, List, Optional, Protocol, Set, Tuple
 from repro.errors import MembershipError
 from repro.failure.detector import FailureDetector
 from repro.net.dispatch import Port
-from repro.sim.engine import Simulator
 from repro.sim.trace import TraceLog
-from repro.types import ProcessId, View, ViewId
+from repro.types import ProcessId, Scheduler, View, ViewId
 
 #: Base wire size of membership control messages.
 _CONTROL_BYTES = 24
@@ -202,7 +201,7 @@ class GroupMembership:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Scheduler,
         port: Port,
         detector: FailureDetector,
         me: ProcessId,

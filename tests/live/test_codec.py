@@ -1,0 +1,174 @@
+"""Unit tests for the binary wire codec."""
+
+import pytest
+
+from repro.core.fsr.messages import AckBatch, AckMsg, FwdData, SeqData
+from repro.errors import CodecError
+from repro.live.codec import (
+    LENGTH_PREFIX_BYTES,
+    MAX_FRAME_BYTES,
+    Hello,
+    decode_frame,
+    decode_message,
+    encode_frame,
+    encode_message,
+    frame_length,
+)
+from repro.types import MessageId
+
+
+def _ack(view_id=3, stable=True):
+    return AckMsg(
+        message_id=MessageId(2, 5), sequence=7, stable=stable, view_id=view_id
+    )
+
+
+def _fwd(**overrides):
+    base = dict(
+        message_id=MessageId(1, 9),
+        origin=1,
+        payload=b"x" * 100,
+        payload_size=100,
+        view_id=3,
+        watermark=4,
+        piggybacked=[_ack()],
+        segment=None,
+    )
+    base.update(overrides)
+    return FwdData(**base)
+
+
+def _seq(**overrides):
+    base = dict(
+        message_id=MessageId(1, 9),
+        origin=1,
+        payload=b"y" * 50,
+        payload_size=50,
+        sequence=12,
+        stable=False,
+        view_id=3,
+        watermark=-1,
+        piggybacked=[],
+        segment=(MessageId(1, 4), 2, 8),
+    )
+    base.update(overrides)
+    return SeqData(**base)
+
+
+@pytest.mark.parametrize(
+    "message",
+    [
+        _fwd(),
+        _fwd(piggybacked=[], segment=(MessageId(1, 2), 0, 3)),
+        _fwd(payload=b"", payload_size=0),
+        _seq(),
+        _seq(stable=True, segment=None, piggybacked=[_ack(), _ack(stable=False)]),
+        AckBatch(acks=[_ack()], view_id=3, watermark=2),
+        AckBatch(acks=[], view_id=0, watermark=-1),
+        Hello(node_id=7),
+    ],
+)
+def test_round_trip(message):
+    decoded, consumed = decode_frame(encode_frame(message))
+    assert decoded == message
+    assert consumed == len(encode_frame(message))
+
+
+@pytest.mark.parametrize(
+    "message",
+    [
+        _fwd(),
+        _fwd(segment=(MessageId(1, 2), 0, 3)),
+        _seq(),
+        _seq(segment=None),
+        AckBatch(acks=[_ack(), _ack()], view_id=3),
+    ],
+)
+def test_body_size_matches_wire_size_bytes(message):
+    """The simulator's byte accounting is exactly what goes on the wire."""
+    assert len(encode_message(message)) == message.wire_size_bytes()
+
+
+def test_frame_adds_only_the_length_prefix():
+    message = _fwd()
+    assert (
+        len(encode_frame(message))
+        == LENGTH_PREFIX_BYTES + message.wire_size_bytes()
+    )
+
+
+def test_non_bytes_payload_rejected():
+    with pytest.raises(CodecError, match="bytes"):
+        encode_message(_fwd(payload=object(), payload_size=100))
+
+
+def test_payload_size_mismatch_rejected():
+    with pytest.raises(CodecError, match="payload"):
+        encode_message(_fwd(payload=b"short", payload_size=100))
+
+
+def test_ack_view_mismatch_rejected():
+    """The 24-byte ack record carries no view; FSR's invariant (acks are
+    created in, and cleared with, the carrier's view) is enforced."""
+    with pytest.raises(CodecError, match="view"):
+        encode_message(_fwd(piggybacked=[_ack(view_id=99)]))
+    with pytest.raises(CodecError, match="view"):
+        encode_message(AckBatch(acks=[_ack(view_id=99)], view_id=3))
+
+
+def test_segment_origin_mismatch_rejected():
+    """The 12-byte segment record stores only the app local_seq; a
+    foreign-origin app id would not survive the round trip."""
+    with pytest.raises(CodecError, match="origin"):
+        encode_message(_fwd(segment=(MessageId(42, 2), 0, 3)))
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(CodecError, match="unknown frame kind"):
+        decode_message(b"\xff" + b"\x00" * 40)
+
+
+def test_empty_body_rejected():
+    with pytest.raises(CodecError, match="empty"):
+        decode_message(b"")
+
+
+def test_truncated_header_rejected():
+    body = encode_message(_fwd())
+    with pytest.raises(CodecError, match="truncated"):
+        decode_message(body[:10])
+
+
+def test_truncated_ack_region_rejected():
+    # Empty payload: any cut lands in the header/ack region.
+    body = encode_message(_fwd(payload=b"", payload_size=0))
+    for cut in range(1, len(body)):
+        with pytest.raises(CodecError):
+            decode_message(body[:cut])
+
+
+def test_trailing_bytes_after_ack_batch_rejected():
+    body = encode_message(AckBatch(acks=[_ack()], view_id=3))
+    with pytest.raises(CodecError, match="trailing"):
+        decode_message(body + b"\x00")
+
+
+def test_frame_length_of_short_buffer_is_none():
+    assert frame_length(b"\x00\x00") is None
+
+
+def test_frame_length_rejects_oversized_announcement():
+    huge = (MAX_FRAME_BYTES + 1).to_bytes(4, "big")
+    with pytest.raises(CodecError, match="MAX_FRAME_BYTES"):
+        frame_length(huge)
+
+
+def test_decode_frame_rejects_incomplete_frame():
+    frame = encode_frame(_fwd())
+    with pytest.raises(CodecError, match="incomplete"):
+        decode_frame(frame[:-1])
+
+
+def test_unrepresentable_field_rejected():
+    with pytest.raises(CodecError, match="unrepresentable"):
+        encode_message(_fwd(view_id=2**40))

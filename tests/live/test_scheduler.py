@@ -1,0 +1,71 @@
+"""Tests for the asyncio-backed Scheduler implementation."""
+
+import asyncio
+
+from repro.live.scheduler import AsyncioScheduler
+from repro.sim.engine import Simulator
+
+
+def test_now_tracks_loop_time():
+    async def main():
+        sched = AsyncioScheduler(asyncio.get_running_loop())
+        before = sched.now
+        await asyncio.sleep(0.02)
+        after = sched.now
+        assert after >= before + 0.01
+
+    asyncio.run(main())
+
+
+def test_schedule_fires_callback_with_args():
+    fired = []
+
+    async def main():
+        sched = AsyncioScheduler(asyncio.get_running_loop())
+        sched.schedule(0.01, fired.append, "x")
+        await asyncio.sleep(0.05)
+
+    asyncio.run(main())
+    assert fired == ["x"]
+
+
+def test_cancel_prevents_callback():
+    fired = []
+
+    async def main():
+        sched = AsyncioScheduler(asyncio.get_running_loop())
+        timer = sched.schedule(0.01, fired.append, "x")
+        timer.cancel()
+        timer.cancel()  # idempotent, like the simulator's TimerHandle
+        await asyncio.sleep(0.05)
+
+    asyncio.run(main())
+    assert fired == []
+
+
+def test_negative_delay_clamped_to_now():
+    fired = []
+
+    async def main():
+        sched = AsyncioScheduler(asyncio.get_running_loop())
+        sched.schedule(-5.0, fired.append, "x")
+        await asyncio.sleep(0.02)
+
+    asyncio.run(main())
+    assert fired == ["x"]
+
+
+def test_both_runtimes_satisfy_the_scheduler_protocol():
+    """The structural contract FSRProcess/GroupMembership rely on."""
+    for runtime in (Simulator(),):
+        assert hasattr(runtime, "now")
+        timer = runtime.schedule(0.0, lambda: None)
+        timer.cancel()
+
+    async def live():
+        sched = AsyncioScheduler(asyncio.get_running_loop())
+        assert isinstance(sched.now, float)
+        timer = sched.schedule(0.0, lambda: None)
+        timer.cancel()
+
+    asyncio.run(live())

@@ -1,0 +1,154 @@
+"""Tests for the asyncio ring transport (real loopback sockets)."""
+
+import asyncio
+import socket
+
+import pytest
+
+from repro.core.fsr.messages import AckBatch, AckMsg, FwdData
+from repro.errors import NetworkError
+from repro.live.transport import RingTransport
+from repro.types import MessageId
+
+
+def _free_port():
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    port = sock.getsockname()[1]
+    sock.close()
+    return port
+
+
+def _sample_message(seq=1):
+    return FwdData(
+        message_id=MessageId(0, seq),
+        origin=0,
+        payload=b"p" * 64,
+        payload_size=64,
+        view_id=0,
+        piggybacked=[AckMsg(MessageId(1, 2), 3, True, 0)],
+    )
+
+
+def test_two_node_ring_delivers_frames():
+    async def main():
+        port_a, port_b = _free_port(), _free_port()
+        received = []
+        a = RingTransport(
+            0, ("127.0.0.1", port_a), 1, ("127.0.0.1", port_b),
+            lambda src, msg: received.append(("at_b_is_wrong", src, msg)),
+        )
+        b = RingTransport(
+            1, ("127.0.0.1", port_b), 0, ("127.0.0.1", port_a),
+            lambda src, msg: received.append(("at_b", src, msg)),
+        )
+        # Re-point a's handler: messages a receives come from b.
+        a.on_message = lambda src, msg: received.append(("at_a", src, msg))
+        await a.start()
+        await b.start()
+        assert await a.wait_outbound_connected(5.0)
+        assert await b.wait_outbound_connected(5.0)
+        assert await a.wait_inbound_hello(5.0)
+        assert await b.wait_inbound_hello(5.0)
+
+        first, second = _sample_message(1), _sample_message(2)
+        a.send(1, first)
+        a.send(1, second)
+        b.send(0, AckBatch(acks=[], view_id=0))
+        for _ in range(100):
+            if len(received) >= 3:
+                break
+            await asyncio.sleep(0.01)
+
+        at_b = [entry for entry in received if entry[0] == "at_b"]
+        assert [entry[2] for entry in at_b] == [first, second]  # FIFO
+        assert all(entry[1] == 0 for entry in at_b)  # true source id
+        at_a = [entry for entry in received if entry[0] == "at_a"]
+        assert len(at_a) == 1 and at_a[0][1] == 1
+        assert a.frames_sent == 2 and b.frames_received == 2
+        await a.close()
+        await b.close()
+
+    asyncio.run(main())
+
+
+def test_send_to_non_successor_rejected():
+    async def main():
+        transport = RingTransport(
+            0, ("127.0.0.1", _free_port()), 1, ("127.0.0.1", _free_port()),
+            lambda src, msg: None,
+        )
+        with pytest.raises(NetworkError, match="successor"):
+            transport.send(2, _sample_message())
+
+    asyncio.run(main())
+
+
+def test_reconnects_when_successor_comes_up_late():
+    """The transport retries with backoff until the peer listens."""
+
+    async def main():
+        port_a, port_b = _free_port(), _free_port()
+        received = []
+        a = RingTransport(
+            0, ("127.0.0.1", port_a), 1, ("127.0.0.1", port_b),
+            lambda src, msg: None,
+            reconnect_base_s=0.02,
+        )
+        await a.start()
+        a.send(1, _sample_message())  # queued while disconnected
+        await asyncio.sleep(0.15)  # several failed attempts
+        b = RingTransport(
+            1, ("127.0.0.1", port_b), 0, ("127.0.0.1", port_a),
+            lambda src, msg: received.append((src, msg)),
+        )
+        await b.start()
+        assert await a.wait_outbound_connected(5.0)
+        for _ in range(100):
+            if received:
+                break
+            await asyncio.sleep(0.01)
+        assert received and received[0][0] == 0
+        assert a.reconnects >= 1
+        await a.close()
+        await b.close()
+
+    asyncio.run(main())
+
+
+def test_gives_up_after_max_retries():
+    async def main():
+        a = RingTransport(
+            0, ("127.0.0.1", _free_port()), 1, ("127.0.0.1", _free_port()),
+            lambda src, msg: None,
+            reconnect_base_s=0.005,
+            reconnect_cap_s=0.01,
+            max_retries=3,
+        )
+        await a.start()
+        for _ in range(200):
+            if a.failure is not None:
+                break
+            await asyncio.sleep(0.01)
+        assert a.failure is not None and "unreachable" in a.failure
+        await a.close()
+
+    asyncio.run(main())
+
+
+def test_tx_backpressure_gate():
+    async def main():
+        a = RingTransport(
+            0, ("127.0.0.1", _free_port()), 1, ("127.0.0.1", _free_port()),
+            lambda src, msg: None,
+            max_outbound_bytes=100,
+        )
+        reopened = []
+        a.on_tx_idle(lambda: reopened.append(True))
+        assert a.tx_ready
+        a.send(1, _sample_message())  # ~124-byte frame queued, no connection
+        assert not a.tx_ready
+        assert a.queued_bytes > 0
+        await a.close()
+
+    asyncio.run(main())

@@ -3,6 +3,9 @@
 import pytest
 
 from repro.net.message import Datagram, message_size
+from repro.net.network import Network
+from repro.net.params import NetworkParams
+from repro.sim.engine import Simulator
 
 
 class _Sized:
@@ -34,3 +37,40 @@ def test_datagram_ids_are_unique():
     a = Datagram(src=0, dst=1, payload=None, size_bytes=0, send_time=0.0)
     b = Datagram(src=0, dst=1, payload=None, size_bytes=0, send_time=0.0)
     assert a.datagram_id != b.datagram_id
+
+
+def _run_and_record_datagram_ids():
+    """One tiny two-node exchange; returns the arriving datagram ids."""
+    sim = Simulator()
+    network = Network(sim, NetworkParams.fast_ethernet())
+    a = network.attach(0)
+    b = network.attach(1)
+    b.on_receive(lambda src, msg: None)
+    a.on_receive(lambda src, msg: None)
+
+    ids = []
+    inner_arrive = network._arrive
+
+    def recording_arrive(datagram):
+        ids.append(datagram.datagram_id)
+        inner_arrive(datagram)
+
+    network._arrive = recording_arrive
+    for _ in range(5):
+        a.send(1, b"x" * 100)
+        b.send(0, b"y" * 50)
+    sim.run()
+    return ids
+
+
+def test_datagram_ids_are_deterministic_across_runs():
+    """Back-to-back simulations in one interpreter see identical ids.
+
+    Datagram ids are scoped per Network; a module-global counter would
+    make the second run's ids continue where the first stopped,
+    breaking the engine's bit-identical-runs determinism claim.
+    """
+    first = _run_and_record_datagram_ids()
+    second = _run_and_record_datagram_ids()
+    assert first == second
+    assert first  # the exchange actually moved datagrams
