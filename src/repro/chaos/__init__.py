@@ -12,6 +12,10 @@ the steady state.  This package searches that fault space:
   assumption to document what breaks);
 * :mod:`repro.chaos.campaign` — drives N seeded runs through the
   cluster harness and judges each with the full invariant oracle;
+* :mod:`repro.chaos.live` — drives the *same* seeded schedules against
+  a real localhost cluster (one OS process per node, asyncio TCP),
+  delivering crashes as genuine ``SIGKILL``\\ s and judging the merged
+  crash-surviving journals with the same oracle;
 * :mod:`repro.chaos.oracle` — safety (validity, agreement, integrity,
   total order, uniformity, wire invariants) plus liveness (the run
   drains) as one verdict;
@@ -24,7 +28,8 @@ Quickstart::
     report = run_campaign(CampaignConfig(seeds=50))
     assert report.ok, report.failures[0].verdict.summary()
 
-or from the command line: ``python -m repro chaos --seeds 50``.
+or from the command line: ``python -m repro chaos --seeds 50``
+(simulator) / ``python -m repro chaos --live`` (real SIGKILLs).
 """
 
 from repro.chaos.campaign import (
@@ -35,6 +40,14 @@ from repro.chaos.campaign import (
     recovery_outage_ms,
     run_campaign,
     run_schedule,
+)
+from repro.chaos.live import (
+    LIVE_SCENARIOS,
+    LiveCampaignReport,
+    LiveChaosConfig,
+    LiveSeedOutcome,
+    run_live_campaign,
+    run_live_schedule,
 )
 from repro.chaos.oracle import Verdict, Violation, judge_run
 from repro.chaos.schedules import (
@@ -54,6 +67,12 @@ __all__ = [
     "DEFAULT_SCENARIOS",
     "FaultEvent",
     "FaultSchedule",
+    "LIVE_SCENARIOS",
+    "LiveCampaignReport",
+    "LiveChaosConfig",
+    "LiveSeedOutcome",
+    "run_live_campaign",
+    "run_live_schedule",
     "SCENARIOS",
     "ScheduleContext",
     "SeedOutcome",

@@ -1,0 +1,553 @@
+"""Live chaos campaigns: real SIGKILLs against a real TCP cluster.
+
+The simulator campaign (:mod:`repro.chaos.campaign`) injects crashes by
+silencing a simulated NIC.  This driver runs the *same* seeded
+:class:`~repro.chaos.schedules.FaultSchedule`\\ s against the asyncio
+runtime: it spawns one ``live-node`` OS process per FSR process via
+:class:`~repro.live.runner.LiveCluster` (live membership enabled — a
+heartbeat failure detector and ``GroupMembership``'s flush/install
+protocol run over the transport's control plane), then delivers each
+scheduled crash as a genuine ``SIGKILL`` at its fault time.
+
+Verification is the same invariant battery the simulator campaign uses
+(:func:`repro.chaos.oracle.judge_run`, which wraps
+``checker.order.check_all``) applied to the merged per-node logs.  The
+twist is the killed nodes: a SIGKILLed process cannot report its
+deliveries, so every node journals broadcasts and deliveries to an
+append-and-flush JSONL file as they happen; the journal survives the
+kill and stands in for the node's record.  Without it, uniform
+integrity ("only broadcast messages are delivered") and uniformity
+("anything a crashed node delivered, every survivor delivers") would be
+unverifiable exactly where they matter.
+
+Timebase: every node stamps events with ``CLOCK_MONOTONIC``, which on
+Linux is system-wide, so the parent's ``time.monotonic()`` kill
+timestamps land on the same axis as the nodes' logs and the standard
+``recovery_outage_ms`` metric applies unchanged.
+
+Only crash scenarios are portable — loss/jitter/CPU degradations are
+simulator constructs with no loopback equivalent — and the schedule's
+``detector`` field is ignored: a live run always uses the heartbeat
+detector, because there is no oracle to whisper crash times.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.chaos.oracle import Verdict, Violation, judge_run
+from repro.chaos.schedules import (
+    FaultEvent,
+    FaultSchedule,
+    ScheduleContext,
+    generate_schedule,
+)
+from repro.errors import ConfigurationError, NetworkError
+from repro.live.runner import (
+    LiveCluster,
+    LiveClusterSpec,
+    load_journal_record,
+    merge_node_records,
+)
+from repro.types import ProcessId
+
+#: Scenarios portable to the live runtime: crash-only by construction.
+LIVE_SCENARIOS: Tuple[str, ...] = (
+    "crash_storm",
+    "role_targeted",
+    "view_change_crossfire",
+    "repeated_leader_crash",
+)
+
+#: How often the start-barrier poller re-reads journals.
+_START_POLL_S = 0.02
+#: How often the parent-side quiescence monitor samples journals.
+_QUIESCE_POLL_S = 0.05
+#: Extra wait past the last kill before quiescence may be declared:
+#: covers the heartbeat-timeout detection latency plus one flush, so
+#: the final view change (whose recovery propagates the last stability
+#: watermark to laggards) always runs before nodes are stopped.
+_DETECTION_SLACK_S = 0.6
+#: How long terminated survivors get to write their records.
+_SHUTDOWN_GRACE_S = 15.0
+
+
+@dataclass(frozen=True)
+class LiveChaosConfig:
+    """Everything one live chaos campaign needs.
+
+    Defaults are sized for a localhost cluster: real processes, real
+    sockets, ~1 s failure detection — so the fault window and flush
+    window are three orders of magnitude wider than the simulator
+    campaign's, and the seed count is smaller because each run costs
+    seconds of wall clock, not milliseconds.
+    """
+
+    seeds: int = 25
+    base_seed: int = 0
+    scenarios: Tuple[str, ...] = ("crash_storm", "repeated_leader_crash")
+    n: int = 5
+    t: int = 2
+    senders: int = 2
+    message_bytes: int = 20_000
+    window: int = 2
+    #: Senders stop submitting this long after the start barrier.
+    duration_s: float = 2.5
+    settle_s: float = 0.3
+    quiet_s: float = 0.6
+    max_run_s: float = 30.0
+    connect_timeout_s: float = 10.0
+    host: str = "127.0.0.1"
+    heartbeat_interval_s: float = 0.1
+    heartbeat_timeout_s: float = 1.0
+    #: Wall-clock window (seconds after the last node's start barrier)
+    #: the generators aim faults into; inside ``duration_s`` so kills
+    #: land under load.
+    fault_window: Tuple[float, float] = (0.4, 1.6)
+    #: Approximate live flush duration handed to the generators.
+    flush_window_s: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.seeds < 1:
+            raise ConfigurationError("a campaign needs at least one seed")
+        if not self.scenarios:
+            raise ConfigurationError("a campaign needs at least one scenario")
+        for scenario in self.scenarios:
+            if scenario not in LIVE_SCENARIOS:
+                raise ConfigurationError(
+                    f"scenario {scenario!r} is not live-portable; live "
+                    f"campaigns support: {', '.join(LIVE_SCENARIOS)}"
+                )
+        if self.n - self.t < 2:
+            raise ConfigurationError(
+                "live chaos needs n - t >= 2 so a ring survives worst case"
+            )
+        if not 1 <= self.senders <= self.n:
+            raise ConfigurationError(
+                f"senders={self.senders} out of range for n={self.n}"
+            )
+        if not self.fault_window[0] < self.fault_window[1] <= self.duration_s:
+            raise ConfigurationError(
+                "fault_window must be inside the traffic window "
+                "(0, duration_s]"
+            )
+        if self.max_run_s < self.duration_s + self.heartbeat_timeout_s + 8.0:
+            raise ConfigurationError(
+                "max_run_s too tight: needs duration_s + detection + "
+                "shutdown headroom"
+            )
+
+    def schedule_context(self) -> ScheduleContext:
+        return ScheduleContext(
+            n=self.n,
+            t=self.t,
+            detection_delay_s=self.heartbeat_timeout_s,
+            window=self.fault_window,
+            flush_window_s=self.flush_window_s,
+            heartbeat_interval_s=self.heartbeat_interval_s,
+            heartbeat_timeout_s=self.heartbeat_timeout_s,
+        )
+
+    def cluster_spec(self) -> LiveClusterSpec:
+        return LiveClusterSpec(
+            processes=self.n,
+            senders=self.senders,
+            t=self.t,
+            message_bytes=self.message_bytes,
+            duration_s=self.duration_s,
+            window=self.window,
+            host=self.host,
+            settle_s=self.settle_s,
+            quiet_s=self.quiet_s,
+            max_run_s=self.max_run_s,
+            connect_timeout_s=self.connect_timeout_s,
+            sim_compare=False,
+            view_changes=True,
+            heartbeat_interval_s=self.heartbeat_interval_s,
+            heartbeat_timeout_s=self.heartbeat_timeout_s,
+        )
+
+
+# ----------------------------------------------------------------------
+# Single-schedule execution
+# ----------------------------------------------------------------------
+
+def _await_starts(
+    cluster: LiveCluster, timeout_s: float
+) -> Dict[ProcessId, float]:
+    """Wait until every node's journal reports its start barrier.
+
+    The ``start`` journal line doubles as the ready signal: it is the
+    first flushed line after the node passes the connectivity barrier
+    and begins the workload, so fault times measured from it line up
+    with the schedule generators' traffic window.
+    """
+    deadline = time.monotonic() + timeout_s
+    starts: Dict[ProcessId, float] = {}
+    while len(starts) < len(cluster.members):
+        for pid, proc in cluster.procs.items():
+            if pid not in starts and proc.poll() is not None:
+                raise NetworkError(
+                    f"node {pid} exited {proc.returncode} before its "
+                    "start barrier"
+                )
+        for pid, path in cluster.journal_paths.items():
+            if pid in starts:
+                continue
+            record = load_journal_record(pid, path)
+            if record is not None:
+                starts[pid] = record["start_time"]
+        if len(starts) == len(cluster.members):
+            break
+        if time.monotonic() > deadline:
+            missing = sorted(set(cluster.members) - set(starts))
+            raise NetworkError(
+                f"nodes {missing} never reached the start barrier within "
+                f"{timeout_s:.0f}s"
+            )
+        time.sleep(_START_POLL_S)
+    return starts
+
+
+def _await_quiescence(
+    cluster: LiveCluster,
+    cfg: LiveChaosConfig,
+    base: float,
+    kills: Dict[ProcessId, float],
+) -> bool:
+    """Block until the surviving cluster looks done; True on timeout.
+
+    Survivor nodes never self-exit under live membership (a locally
+    silent ring can hide an undetected crash whose view change is still
+    pending), so the launcher decides: the run is quiescent once the
+    traffic deadline has passed, every executed kill has had time to be
+    detected and flushed (heartbeat timeout + interval + slack), and no
+    survivor journal has grown for ``quiet_s``.  Journals record every
+    broadcast, delivery, and view install — exactly the events whose
+    absence means the run drained.
+    """
+    detection_s = (
+        cfg.heartbeat_timeout_s + cfg.heartbeat_interval_s + _DETECTION_SLACK_S
+    )
+    ready_at = base + cfg.duration_s
+    if kills:
+        ready_at = max(ready_at, max(kills.values()) + detection_s)
+    cutoff = base + cfg.max_run_s - 5.0
+    survivors = [pid for pid in cluster.members if pid not in kills]
+    last_sizes: Dict[ProcessId, int] = {}
+    last_growth = time.monotonic()
+    while True:
+        now = time.monotonic()
+        if now >= cutoff:
+            return True
+        sizes = {}
+        for pid in survivors:
+            try:
+                sizes[pid] = os.path.getsize(cluster.journal_paths[pid])
+            except OSError:
+                sizes[pid] = -1
+        if sizes != last_sizes:
+            last_sizes = sizes
+            last_growth = now
+        if now >= ready_at and now - last_growth >= cfg.quiet_s:
+            return False
+        time.sleep(_QUIESCE_POLL_S)
+
+
+@dataclass
+class LiveSeedOutcome:
+    """One live seed's schedule, verdict, and diagnostics."""
+
+    seed: int
+    scenario: str
+    schedule: FaultSchedule
+    verdict: Verdict
+    wall_s: float
+    outage_ms: Optional[float] = None
+    #: Actual (rebased) kill time per SIGKILLed node.
+    killed: Dict[ProcessId, float] = field(default_factory=dict)
+    #: Survivors the final view excluded (treated as crashed by the
+    #: battery: view-synchrony makes no promises to the evicted).
+    excluded: List[ProcessId] = field(default_factory=list)
+    timed_out: bool = False
+
+    @property
+    def failed(self) -> bool:
+        return not self.verdict.ok and not self.verdict.expected_unsound
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "scenario": self.scenario,
+            "schedule": self.schedule.to_dict(),
+            "verdict": self.verdict.to_dict(),
+            "wall_s": round(self.wall_s, 3),
+            "outage_ms": (
+                None if self.outage_ms is None else round(self.outage_ms, 3)
+            ),
+            "killed": {
+                str(pid): round(at, 4) for pid, at in sorted(self.killed.items())
+            },
+            "excluded": list(self.excluded),
+            "timed_out": self.timed_out,
+        }
+
+
+def run_live_schedule(
+    schedule: FaultSchedule, config: Optional[LiveChaosConfig] = None
+) -> LiveSeedOutcome:
+    """Execute one fault schedule against a real localhost cluster."""
+    cfg = config if config is not None else LiveChaosConfig()
+    spec = cfg.cluster_spec()
+    started_wall = time.perf_counter()
+    crashes = sorted(schedule.crashes(), key=lambda e: e.time)
+
+    run_error: Optional[str] = None
+    parent_timeout = False
+    kills: Dict[ProcessId, float] = {}
+    records: Dict[ProcessId, Dict[str, object]] = {}
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-live-") as workdir:
+        cluster = LiveCluster(spec, workdir, journals=True)
+        try:
+            starts = _await_starts(
+                cluster, spec.connect_timeout_s + spec.settle_s + 15.0
+            )
+            base = max(starts.values())
+            for event in crashes:
+                delay = base + event.time - time.monotonic()
+                if delay > 0:
+                    time.sleep(delay)
+                cluster.kill(event.process)
+                kills[event.process] = time.monotonic()
+            parent_timeout = _await_quiescence(cluster, cfg, base, kills)
+            cluster.terminate(skip=set(kills))
+            cluster.wait(_SHUTDOWN_GRACE_S, skip=set(kills))
+            cluster.raise_on_failures(skip=set(kills))
+            records = cluster.collect(skip=set(kills))
+        except NetworkError as error:
+            run_error = f"{type(error).__name__}: {error}"
+        finally:
+            cluster.shutdown()
+        # Killed nodes answer from beyond the grave: their flushed
+        # journals are read *inside* the tempdir context.
+        for pid, kill_time in kills.items():
+            journal = load_journal_record(pid, cluster.journal_paths[pid])
+            if journal is not None:
+                journal["end_time"] = kill_time
+                records[pid] = journal
+
+    survivors = sorted(set(cluster.members) - set(kills))
+    crashed_times = dict(kills)
+    excluded: List[ProcessId] = []
+    final_views = [
+        records[pid].get("final_view")
+        for pid in survivors
+        if pid in records and records[pid].get("final_view")
+    ]
+    if final_views:
+        latest = max(final_views, key=lambda view: view["view_id"])
+        for pid in survivors:
+            if pid in records and pid not in latest["members"]:
+                excluded.append(pid)
+                crashed_times[pid] = records[pid]["end_time"]
+    timed_out = parent_timeout or any(
+        records[pid].get("timed_out", False)
+        for pid in survivors
+        if pid in records
+    )
+
+    result = None
+    if records:
+        t0 = min(record["start_time"] for record in records.values())
+        try:
+            result, _ = merge_node_records(spec, records, crashed=crashed_times)
+        except NetworkError as error:
+            run_error = run_error or f"{type(error).__name__}: {error}"
+    if result is not None:
+        drained = run_error is None and not timed_out
+        verdict = judge_run(
+            result,
+            drained=drained,
+            run_error=run_error,
+            expected_unsound=schedule.fd_unsound,
+        )
+        # Outage is measured against the *executed* kills at their
+        # actual (rebased) times, not the planned instants.
+        executed = replace(
+            schedule,
+            events=tuple(
+                FaultEvent(
+                    "crash",
+                    round(max(0.0, at - t0), 4),
+                    process=pid,
+                    note="executed",
+                )
+                for pid, at in sorted(kills.items())
+            ),
+        )
+        from repro.chaos.campaign import recovery_outage_ms
+
+        outage_ms = recovery_outage_ms(result, executed)
+        killed_rebased = {
+            pid: max(0.0, at - t0) for pid, at in kills.items()
+        }
+    else:
+        verdict = Verdict(
+            ok=False,
+            violations=[Violation(
+                "run", run_error or "no node produced any record"
+            )],
+            expected_unsound=schedule.fd_unsound,
+        )
+        outage_ms = None
+        killed_rebased = {}
+
+    return LiveSeedOutcome(
+        seed=schedule.seed,
+        scenario=schedule.scenario,
+        schedule=schedule,
+        verdict=verdict,
+        wall_s=time.perf_counter() - started_wall,
+        outage_ms=outage_ms,
+        killed=killed_rebased,
+        excluded=excluded,
+        timed_out=timed_out,
+    )
+
+
+# ----------------------------------------------------------------------
+# Campaign loop + report
+# ----------------------------------------------------------------------
+
+@dataclass
+class LiveCampaignReport:
+    """Everything a finished live campaign leaves behind."""
+
+    config: LiveChaosConfig
+    outcomes: List[LiveSeedOutcome] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def failures(self) -> List[LiveSeedOutcome]:
+        return [o for o in self.outcomes if o.failed]
+
+    def mean_outage_ms(self) -> Optional[float]:
+        outages = [o.outage_ms for o in self.outcomes if o.outage_ms is not None]
+        if not outages:
+            return None
+        return sum(outages) / len(outages)
+
+    def scenario_summary(self) -> Dict[str, Dict[str, object]]:
+        """Per-scenario seeds/failures/outage rollup (the recovery
+        numbers the benchmark record reports per scenario)."""
+        rollup: Dict[str, Dict[str, object]] = {}
+        for outcome in self.outcomes:
+            row = rollup.setdefault(
+                outcome.scenario,
+                {"seeds": 0, "failures": 0, "kills": 0, "outages": []},
+            )
+            row["seeds"] += 1
+            row["kills"] += len(outcome.killed)
+            if outcome.failed:
+                row["failures"] += 1
+            if outcome.outage_ms is not None:
+                row["outages"].append(outcome.outage_ms)
+        for row in rollup.values():
+            outages = row.pop("outages")
+            row["mean_outage_ms"] = (
+                round(sum(outages) / len(outages), 3) if outages else None
+            )
+            row["max_outage_ms"] = (
+                round(max(outages), 3) if outages else None
+            )
+        return rollup
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "config": {
+                "seeds": self.config.seeds,
+                "base_seed": self.config.base_seed,
+                "scenarios": list(self.config.scenarios),
+                "n": self.config.n,
+                "t": self.config.t,
+                "senders": self.config.senders,
+                "message_bytes": self.config.message_bytes,
+                "duration_s": self.config.duration_s,
+                "heartbeat_timeout_s": self.config.heartbeat_timeout_s,
+            },
+            "ok": self.ok,
+            "seeds_run": len(self.outcomes),
+            "failures": len(self.failures),
+            "mean_recovery_outage_ms": (
+                None
+                if self.mean_outage_ms() is None
+                else round(self.mean_outage_ms(), 3)
+            ),
+            "scenarios": self.scenario_summary(),
+            "outcomes": [o.to_dict() for o in self.outcomes],
+        }
+
+    def write_json(self, path) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2)
+            handle.write("\n")
+
+    def bench_record(self) -> Dict[str, object]:
+        """The ``BENCH_chaos_live.json`` payload."""
+        return {
+            "bench": "chaos_live_campaign",
+            "seeds_run": len(self.outcomes),
+            "failures": len(self.failures),
+            "mean_recovery_outage_ms": (
+                None
+                if self.mean_outage_ms() is None
+                else round(self.mean_outage_ms(), 3)
+            ),
+            "scenarios": self.scenario_summary(),
+        }
+
+    def write_bench(self, path) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.bench_record(), handle, indent=2)
+            handle.write("\n")
+
+
+LiveProgressCallback = Callable[[LiveSeedOutcome], None]
+
+
+def run_live_campaign(
+    config: Optional[LiveChaosConfig] = None,
+    progress: Optional[LiveProgressCallback] = None,
+    **overrides,
+) -> LiveCampaignReport:
+    """Run a live chaos campaign and return its report.
+
+    Seed-to-schedule mapping is identical to the simulator campaign
+    (round-robin over scenarios, schedules derived from
+    ``(scenario, seed)``), so a failing live seed can be replayed on
+    the simulator with the same schedule for comparison.
+    """
+    if config is not None and overrides:
+        raise ConfigurationError(
+            "pass either a config object or overrides, not both"
+        )
+    cfg = config if config is not None else LiveChaosConfig(**overrides)
+    ctx = cfg.schedule_context()
+    report = LiveCampaignReport(config=cfg)
+    for index in range(cfg.seeds):
+        scenario = cfg.scenarios[index % len(cfg.scenarios)]
+        seed = cfg.base_seed + index
+        schedule = generate_schedule(scenario, seed, ctx)
+        outcome = run_live_schedule(schedule, cfg)
+        report.outcomes.append(outcome)
+        if progress is not None:
+            progress(outcome)
+    return report

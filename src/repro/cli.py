@@ -140,7 +140,116 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos_live(args: argparse.Namespace) -> int:
+    from repro.chaos.live import (
+        LIVE_SCENARIOS,
+        LiveChaosConfig,
+        LiveSeedOutcome,
+        run_live_campaign,
+    )
+    from repro.errors import ConfigurationError
+
+    if args.fd_violation:
+        print(
+            "--fd-violation is simulator-only: a live run always uses the "
+            "real heartbeat detector",
+            file=sys.stderr,
+        )
+        return 2
+    scenarios = (
+        tuple(args.scenario)
+        if args.scenario
+        else ("crash_storm", "repeated_leader_crash")
+    )
+    unknown = sorted(set(scenarios) - set(LIVE_SCENARIOS))
+    if unknown:
+        print(
+            f"scenario(s) not live-portable: {', '.join(unknown)} "
+            f"(live supports: {', '.join(LIVE_SCENARIOS)})",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        config = LiveChaosConfig(
+            seeds=args.seeds if args.seeds is not None else 25,
+            base_seed=args.base_seed,
+            scenarios=scenarios,
+            n=args.n if args.n is not None else 5,
+            t=args.t if args.t is not None else 2,
+        )
+    except ConfigurationError as exc:
+        print(f"invalid live campaign config: {exc}", file=sys.stderr)
+        return 2
+
+    print(
+        f"live chaos: {config.seeds} seeds over {', '.join(scenarios)} "
+        f"(n={config.n}, t={config.t}, SIGKILL mid-run, ~{config.duration_s:.0f}s "
+        "traffic per run)...",
+        flush=True,
+    )
+
+    def progress(outcome: LiveSeedOutcome) -> None:
+        marker = "FAIL" if outcome.failed else "ok"
+        outage = (
+            "-" if outcome.outage_ms is None else f"{outcome.outage_ms:7.1f}"
+        )
+        print(
+            f"  seed {outcome.seed:>4}  {outcome.scenario:<24} {marker:<5}"
+            f" kills {len(outcome.killed)}  outage {outage} ms"
+            f"  wall {outcome.wall_s:5.1f} s",
+            flush=True,
+        )
+
+    report = run_live_campaign(
+        config, progress=progress if args.verbose else None
+    )
+
+    rows = []
+    for name, row in sorted(report.scenario_summary().items()):
+        mean = row["mean_outage_ms"]
+        worst = row["max_outage_ms"]
+        rows.append([
+            name,
+            row["seeds"],
+            row["failures"],
+            row["kills"],
+            "-" if mean is None else f"{mean:.1f}",
+            "-" if worst is None else f"{worst:.1f}",
+        ])
+    print(format_table(
+        ["scenario", "seeds", "failures", "kills", "mean outage (ms)",
+         "max outage (ms)"],
+        rows,
+        title=(
+            f"Live chaos campaign: {len(report.outcomes)} seeds, "
+            f"n={config.n}, t={config.t}, base seed {config.base_seed}"
+        ),
+    ))
+
+    for outcome in report.failures:
+        print(f"\nFAIL seed {outcome.seed} ({outcome.scenario}):")
+        print(f"  {outcome.verdict.summary()}")
+        print("  schedule (replayable live or on the simulator):")
+        for line in outcome.schedule.reproducer().splitlines():
+            print(f"    {line}")
+
+    if args.report:
+        report.write_json(args.report)
+        print(f"\nfull report written to {args.report}")
+    bench = args.bench if args.bench is not None else "BENCH_chaos_live.json"
+    if bench:
+        report.write_bench(bench)
+        print(f"bench record written to {bench}")
+
+    verdict = "GREEN" if report.ok else "RED"
+    print(f"\nlive campaign {verdict}: {len(report.failures)} failing seed(s)")
+    return 0 if report.ok else 1
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
+    if args.live:
+        return _cmd_chaos_live(args)
+
     from repro.chaos import (
         CampaignConfig,
         SeedOutcome,
@@ -177,11 +286,11 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
     try:
         config = CampaignConfig(
-            seeds=args.seeds,
+            seeds=args.seeds if args.seeds is not None else 50,
             base_seed=args.base_seed,
             scenarios=scenarios,
-            n=args.n,
-            t=args.t,
+            n=args.n if args.n is not None else 6,
+            t=args.t if args.t is not None else 2,
         )
     except ConfigurationError as exc:
         print(f"invalid campaign config: {exc}", file=sys.stderr)
@@ -236,9 +345,10 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     if args.report:
         report.write_json(args.report)
         print(f"\nfull report written to {args.report}")
-    if args.bench:
-        report.write_bench(args.bench)
-        print(f"bench record written to {args.bench}")
+    bench = args.bench if args.bench is not None else "BENCH_chaos.json"
+    if bench:
+        report.write_bench(bench)
+        print(f"bench record written to {bench}")
 
     verdict = "GREEN" if report.ok else "RED"
     print(f"\ncampaign {verdict}: {len(report.failures)} failing seed(s)")
@@ -384,22 +494,32 @@ def build_parser() -> argparse.ArgumentParser:
     chaos = sub.add_parser(
         "chaos", help="seeded fault-injection campaign with invariant gating"
     )
-    chaos.add_argument("--seeds", type=int, default=50,
-                       help="number of seeded runs (default 50)")
+    chaos.add_argument("--live", action="store_true",
+                       help="run against a real localhost cluster: one OS "
+                            "process per node, SIGKILL at fault times, "
+                            "recovery verified on merged journals")
+    chaos.add_argument("--seeds", type=int, default=None,
+                       help="number of seeded runs (default 50; 25 with --live)")
     chaos.add_argument("--base-seed", type=int, default=0,
                        help="first seed; campaign is deterministic per base seed")
     chaos.add_argument("--scenario", action="append", default=None,
                        help="restrict to a scenario (repeatable); default: all "
-                            "sound scenarios round-robin")
-    chaos.add_argument("--n", type=int, default=6)
-    chaos.add_argument("--t", type=int, default=2)
+                            "sound scenarios round-robin (crash_storm + "
+                            "repeated_leader_crash with --live)")
+    chaos.add_argument("--n", type=int, default=None,
+                       help="cluster size (default 6; 5 with --live)")
+    chaos.add_argument("--t", type=int, default=None,
+                       help="FSR backup count (default 2)")
     chaos.add_argument("--fd-violation", action="store_true",
                        help="also run the unsound failure-detector scenario "
-                            "(its violations are documented, not failures)")
+                            "(its violations are documented, not failures; "
+                            "simulator only)")
     chaos.add_argument("--report", default=None, metavar="PATH",
                        help="write the full JSON campaign report here")
-    chaos.add_argument("--bench", default="BENCH_chaos.json", metavar="PATH",
-                       help="write the bench record here ('' to skip)")
+    chaos.add_argument("--bench", default=None, metavar="PATH",
+                       help="write the bench record here ('' to skip; default "
+                            "BENCH_chaos.json, BENCH_chaos_live.json with "
+                            "--live)")
     chaos.add_argument("--verbose", action="store_true",
                        help="print one line per seed as it finishes")
     chaos.set_defaults(func=_cmd_chaos)

@@ -40,9 +40,10 @@ payload objects.  All malformed input — encode or decode — raises
 
 from __future__ import annotations
 
+import pickle
 import struct
 from dataclasses import dataclass
-from typing import List, Optional, Tuple, Union
+from typing import Any, List, Optional, Tuple, Union
 
 from repro.core.fsr.messages import (
     ACK_BATCH_HEADER_BYTES,
@@ -65,6 +66,12 @@ KIND_SEQ_DATA = 2
 KIND_ACK_BATCH = 3
 #: Transport-level greeting: first frame on every connection.
 KIND_HELLO = 0x40
+#: Control-plane envelope (membership / failure-detector traffic).
+KIND_CONTROL = 0x41
+
+#: ``Hello.channel`` values: what kind of traffic the connection carries.
+CHANNEL_RING = 0
+CHANNEL_CONTROL = 1
 
 #: Flag bits in the data-header ``flags`` field.
 FLAG_STABLE = 0x01
@@ -81,7 +88,8 @@ _SEQ_EXTRA = struct.Struct("!qB")  # 9 bytes
 _SEGMENT = struct.Struct("!III")  # 12 bytes
 _ACK = struct.Struct("!iqqi")  # 24 bytes
 _ACK_BATCH_HEADER = struct.Struct("!BBHiq")  # 16 bytes
-_HELLO = struct.Struct("!Bi")  # kind + node id
+_HELLO = struct.Struct("!BBi")  # kind + channel + node id
+_CONTROL_KIND = struct.Struct("!B")  # kind; pickled (layer, inner) follows
 
 _SEGMENT_BYTES = _SEGMENT.size
 
@@ -93,13 +101,38 @@ assert _ACK_BATCH_HEADER.size == ACK_BATCH_HEADER_BYTES
 
 @dataclass(frozen=True)
 class Hello:
-    """Transport greeting identifying the connecting node."""
+    """Transport greeting identifying the connecting node.
+
+    ``channel`` declares what the connection carries: ring data
+    (:data:`CHANNEL_RING`, the default) or control-plane traffic
+    (:data:`CHANNEL_CONTROL`).  The receiver uses it to keep the ring
+    barrier ("my predecessor greeted me") from being satisfied by a
+    mere control connection.
+    """
 
     node_id: ProcessId
+    channel: int = CHANNEL_RING
+
+
+@dataclass(frozen=True)
+class ControlFrame:
+    """Layer-tagged control-plane message (membership, heartbeats).
+
+    Mirrors the simulator's :class:`repro.net.dispatch.LayerDemux`
+    envelope: ``layer`` routes to the right handler ("vsc", "fd"),
+    ``inner`` is the layer's own message object.  Control messages
+    carry arbitrary protocol dataclasses (flush states, recovery
+    records), so the body is pickled — acceptable on the trusted
+    localhost harness the live runtime targets, and every pickle
+    failure is still surfaced as :class:`CodecError` only.
+    """
+
+    layer: str
+    inner: Any
 
 
 #: Everything the codec can put in a frame body.
-WireMessage = Union[FwdData, SeqData, AckBatch, Hello]
+WireMessage = Union[FwdData, SeqData, AckBatch, Hello, ControlFrame]
 
 
 def _pack(fmt: struct.Struct, *values: object) -> bytes:
@@ -165,7 +198,18 @@ def _encode_segment(
 def encode_message(message: WireMessage) -> bytes:
     """Serialize ``message`` to a frame body (no length prefix)."""
     if isinstance(message, Hello):
-        return _pack(_HELLO, KIND_HELLO, message.node_id)
+        return _pack(_HELLO, KIND_HELLO, message.channel, message.node_id)
+
+    if isinstance(message, ControlFrame):
+        if not isinstance(message.layer, str):
+            raise CodecError(
+                f"control layer must be str, got {type(message.layer).__name__}"
+            )
+        try:
+            body = pickle.dumps((message.layer, message.inner))
+        except Exception as exc:
+            raise CodecError(f"unpicklable control message: {exc}") from exc
+        return _CONTROL_KIND.pack(KIND_CONTROL) + body
 
     if isinstance(message, AckBatch):
         header = _pack(
@@ -274,9 +318,28 @@ def decode_message(body: bytes) -> WireMessage:
 
     if kind == KIND_HELLO:
         reader = _Reader(body)
-        _, node_id = reader.unpack(_HELLO)
+        _, channel, node_id = reader.unpack(_HELLO)
         reader.done()
-        return Hello(node_id=node_id)
+        if channel not in (CHANNEL_RING, CHANNEL_CONTROL):
+            raise CodecError(f"unknown hello channel {channel}")
+        return Hello(node_id=node_id, channel=channel)
+
+    if kind == KIND_CONTROL:
+        try:
+            payload = pickle.loads(body[_CONTROL_KIND.size:])
+        except Exception as exc:
+            raise CodecError(f"malformed control frame: {exc}") from exc
+        if (
+            not isinstance(payload, tuple)
+            or len(payload) != 2
+            or not isinstance(payload[0], str)
+        ):
+            raise CodecError(
+                f"control frame must carry a (layer, inner) pair, got "
+                f"{type(payload).__name__}"
+            )
+        layer, inner = payload
+        return ControlFrame(layer=layer, inner=inner)
 
     if kind == KIND_ACK_BATCH:
         reader = _Reader(body)

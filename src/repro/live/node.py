@@ -6,36 +6,52 @@
    :class:`GroupMembership` the simulator runs, wired to an
    :class:`AsyncioScheduler` and a TCP :class:`RingTransport` instead of
    the simulated NIC;
-2. install the static bootstrap view and barrier on ring connectivity
-   (outbound connected and predecessor greeted);
+2. barrier on ring connectivity (outbound connected and predecessor
+   greeted), settle, then install the bootstrap view and start;
 3. if this node is a sender, drive a closed-loop windowed workload
-   until the configured deadline;
-4. run to quiescence (no ring traffic for ``quiet_s``), then return a
-   JSON-able record of every broadcast and delivery, timestamped with
-   the system-wide monotonic clock so the runner can merge logs across
-   processes.
+   until the configured deadline (or a fixed message count);
+4. run to quiescence (no ring or membership traffic for ``quiet_s``),
+   then return a JSON-able record of every broadcast and delivery,
+   timestamped with the system-wide monotonic clock so the runner can
+   merge logs across processes.
 
-Membership is static: the detector never suspects anyone, so the
-membership layer installs the bootstrap view and then stays silent —
-its control port is a :class:`_NullPort` that loudly rejects any use.
-Live view changes are an open roadmap item (ROADMAP.md).
+Membership comes in two modes:
+
+* **static** (default): the detector never suspects anyone, the
+  membership layer installs the bootstrap view and stays silent — its
+  control port is a :class:`_NullPort` that loudly rejects any use.
+* **live view changes** (``view_changes=True``, used by the live chaos
+  campaign): a real :class:`HeartbeatFailureDetector` runs on the
+  asyncio scheduler over the transport's control plane, and
+  :class:`GroupMembership`'s flush/install protocol executes over TCP.
+  On every installed view the ring transport is re-pointed at the new
+  successor *before* FSR resumes pumping (:class:`_RewiringClient`).
+
+With ``journal_path`` set, every broadcast and delivery is additionally
+appended (and flushed) to a JSONL journal as it happens, so a node
+killed with SIGKILL still leaves its log behind — the chaos driver
+merges those journals into the invariant battery, which is what makes
+integrity/uniformity checks meaningful for crashed senders.
 """
 
 from __future__ import annotations
 
 import asyncio
+import json
+import signal
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, TextIO, Tuple
 
 from repro.core.api import BroadcastListener
 from repro.core.fsr.config import FSRConfig
 from repro.core.fsr.process import FSRProcess
 from repro.errors import ConfigurationError, NetworkError
-from repro.failure.detector import FailureDetector
+from repro.failure.detector import FailureDetector, HeartbeatFailureDetector
 from repro.live.scheduler import AsyncioScheduler
 from repro.live.transport import RingTransport
-from repro.types import Delivery, MessageId, ProcessId
-from repro.vsc.membership import GroupMembership
+from repro.net.channel import MAX_RETRIES
+from repro.types import Delivery, MessageId, ProcessId, View
+from repro.vsc.membership import FlushState, GroupMembership
 
 #: How often the quiescence monitor samples traffic counters.
 _POLL_S = 0.05
@@ -66,6 +82,17 @@ class LiveNodeConfig:
     #: Hard cap on the whole run past the start barrier.
     max_run_s: float = 60.0
     connect_timeout_s: float = 10.0
+    #: Run real membership (heartbeat detector + flush over TCP).
+    view_changes: bool = False
+    heartbeat_interval_s: float = 0.1
+    heartbeat_timeout_s: float = 1.0
+    #: Fixed-count sender mode: each sender submits exactly this many
+    #: messages (closed loop), ignoring ``duration_s`` — used by the
+    #: sim/live conformance test, where the workloads must be identical.
+    messages_per_sender: Optional[int] = None
+    #: JSONL event journal, appended and flushed as events happen so a
+    #: SIGKILLed node still leaves its log behind.
+    journal_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.node_id not in self.members:
@@ -96,6 +123,11 @@ class LiveNodeConfig:
             "quiet_s": self.quiet_s,
             "max_run_s": self.max_run_s,
             "connect_timeout_s": self.connect_timeout_s,
+            "view_changes": self.view_changes,
+            "heartbeat_interval_s": self.heartbeat_interval_s,
+            "heartbeat_timeout_s": self.heartbeat_timeout_s,
+            "messages_per_sender": self.messages_per_sender,
+            "journal_path": self.journal_path,
         }
 
     @classmethod
@@ -116,6 +148,11 @@ class LiveNodeConfig:
             quiet_s=data["quiet_s"],
             max_run_s=data["max_run_s"],
             connect_timeout_s=data["connect_timeout_s"],
+            view_changes=data.get("view_changes", False),
+            heartbeat_interval_s=data.get("heartbeat_interval_s", 0.1),
+            heartbeat_timeout_s=data.get("heartbeat_timeout_s", 1.0),
+            messages_per_sender=data.get("messages_per_sender"),
+            journal_path=data.get("journal_path"),
         )
 
 
@@ -138,8 +175,8 @@ class _NullPort:
 
     def send(self, dst: ProcessId, message: Any, size_bytes=None) -> None:
         raise NetworkError(
-            "static live membership never sends; live view changes are "
-            "not implemented yet (see ROADMAP.md)"
+            "static live membership never sends; enable view_changes for "
+            "live membership over TCP"
         )
 
     def on_receive(self, handler) -> None:
@@ -171,6 +208,119 @@ class LivePort:
             self._handler(src, message)
 
 
+class ControlPort:
+    """One control-plane layer's port, mirroring the sim's ``LayerDemux``.
+
+    Sends go through :meth:`RingTransport.send_control` with this
+    port's layer tag; receives arrive via :class:`_ControlDispatch`.
+    ``last_activity`` timestamps the most recent send *or* receive on
+    this layer — the quiescence monitor uses the membership port's to
+    avoid tearing a node down mid-flush.
+    """
+
+    def __init__(
+        self, transport: RingTransport, layer: str, sched: AsyncioScheduler
+    ) -> None:
+        self._transport = transport
+        self.layer = layer
+        self._sched = sched
+        self._handler: Optional[Callable[[ProcessId, Any], None]] = None
+        self.last_activity: float = 0.0
+
+    @property
+    def node_id(self) -> ProcessId:
+        return self._transport.node_id
+
+    def send(self, dst: ProcessId, message: Any, size_bytes=None) -> None:
+        self.last_activity = self._sched.now
+        self._transport.send_control(dst, self.layer, message)
+
+    def on_receive(self, handler) -> None:
+        self._handler = handler
+
+    def dispatch(self, src: ProcessId, message: Any) -> None:
+        self.last_activity = self._sched.now
+        if self._handler is not None:
+            self._handler(src, message)
+
+
+class _ControlDispatch:
+    """Routes inbound control frames to the right layer's port."""
+
+    def __init__(self) -> None:
+        self._ports: Dict[str, ControlPort] = {}
+
+    def port(
+        self, transport: RingTransport, layer: str, sched: AsyncioScheduler
+    ) -> ControlPort:
+        port = ControlPort(transport, layer, sched)
+        self._ports[layer] = port
+        return port
+
+    def __call__(self, layer: str, src: ProcessId, inner: Any) -> None:
+        port = self._ports.get(layer)
+        if port is not None:
+            port.dispatch(src, inner)
+
+
+class _RewiringClient:
+    """VSC client wrapper: re-point the ring hop before FSR resumes.
+
+    ``FSRProcess.on_view`` immediately pumps traffic to the *new* ring
+    successor, and the transport only accepts its configured successor
+    — so the transport must be retargeted first.  Everything else
+    delegates to the wrapped process.
+    """
+
+    def __init__(
+        self, process: FSRProcess, rewire: Callable[[View], None]
+    ) -> None:
+        self._process = process
+        self._rewire = rewire
+        #: Last installed view, exposed in the node's result record.
+        self.current_view: Optional[View] = None
+
+    def on_block(self) -> None:
+        self._process.on_block()
+
+    def collect_flush_state(self) -> FlushState:
+        return self._process.collect_flush_state()
+
+    def merge_states(self, states, receivers):
+        return self._process.merge_states(states, receivers)
+
+    def on_view(self, view: View, state: Optional[FlushState]) -> None:
+        self.current_view = view
+        self._rewire(view)
+        self._process.on_view(view, state)
+
+    def on_view_commit(self, view: View) -> None:
+        self._process.on_view_commit(view)
+
+
+class _Journal:
+    """Append-and-flush JSONL event log that survives SIGKILL.
+
+    ``flush()`` hands the line to the OS on every event; page cache
+    contents survive the process, so a killed node's journal is intact
+    up to (at worst) one torn final line, which readers tolerate.
+    """
+
+    def __init__(self, path: Optional[str]) -> None:
+        self._fh: Optional[TextIO] = open(path, "w") if path else None
+
+    def write(self, entry: Dict[str, Any]) -> None:
+        if self._fh is None:
+            return
+        self._fh.write(json.dumps(entry) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
 @dataclass
 class _NodeRun:
     """Mutable state of one node's workload while the loop runs."""
@@ -189,6 +339,7 @@ async def _run(config: LiveNodeConfig) -> Dict[str, Any]:
     members = tuple(config.members)
     position = members.index(me)
     successor = members[(position + 1) % len(members)]
+    journal = _Journal(config.journal_path)
 
     transport = RingTransport(
         node_id=me,
@@ -196,12 +347,32 @@ async def _run(config: LiveNodeConfig) -> Dict[str, Any]:
         successor_id=successor,
         successor_addr=config.addresses[successor],
         on_message=lambda src, msg: None,  # replaced by LivePort
+        peers=dict(config.addresses),
+        # With live membership a dead successor is not terminal: the
+        # view change retargets the hop, so keep dialling until then.
+        max_retries=None if config.view_changes else MAX_RETRIES,
     )
     port = LivePort(transport)
-    detector = StaticDetector()
+
+    vsc_port: Any
+    if config.view_changes:
+        dispatch = _ControlDispatch()
+        transport.on_control = dispatch
+        fd_port = dispatch.port(transport, "fd", sched)
+        vsc_port = dispatch.port(transport, "vsc", sched)
+        detector: FailureDetector = HeartbeatFailureDetector(
+            sched,
+            fd_port,
+            interval_s=config.heartbeat_interval_s,
+            timeout_s=config.heartbeat_timeout_s,
+        )
+    else:
+        fd_port = None
+        vsc_port = _NullPort(me)
+        detector = StaticDetector()
     membership = GroupMembership(
         sched,
-        _NullPort(me),
+        vsc_port,
         detector,
         me=me,
         initial_members=members,
@@ -215,53 +386,88 @@ async def _run(config: LiveNodeConfig) -> Dict[str, Any]:
     )
     transport.on_tx_idle(process.on_tx_ready)
 
+    client: Any = process
+    if config.view_changes:
+        def rewire(view: View) -> None:
+            ring = view.members
+            succ = ring[(ring.index(me) + 1) % len(ring)]
+            transport.retarget(succ, config.addresses[succ])
+            transport.prune_control_peers(view.members)
+            journal.write({
+                "type": "view",
+                "view_id": view.view_id,
+                "members": list(ring),
+                "time": sched.now,
+            })
+
+        client = _RewiringClient(process, rewire)
+        membership.set_client(client)
+
     run = _NodeRun()
     deadline = [float("inf")]
 
+    def may_submit() -> bool:
+        if config.messages_per_sender is not None:
+            return len(run.sent) < config.messages_per_sender
+        return sched.now < deadline[0]
+
     def refill() -> None:
         """Keep ``window`` own messages in flight until the deadline."""
-        while (
-            run.outstanding < config.window and sched.now < deadline[0]
-        ):
+        while run.outstanding < config.window and may_submit():
             payload = bytes(config.message_bytes)
             message_id = process.broadcast(payload)
             run.outstanding += 1
             run.sent.append(message_id)
-            run.broadcasts.append(
-                {
-                    "origin": message_id.origin,
-                    "local_seq": message_id.local_seq,
-                    "size_bytes": config.message_bytes,
-                    "submit_time": sched.now,
-                }
-            )
+            record = {
+                "origin": message_id.origin,
+                "local_seq": message_id.local_seq,
+                "size_bytes": config.message_bytes,
+                "submit_time": sched.now,
+            }
+            run.broadcasts.append(record)
+            journal.write({"type": "broadcast", **record})
 
     def on_app_deliver(
         origin: ProcessId, message_id: MessageId, payload: Any, size: int
     ) -> None:
-        run.app_deliveries.append(
-            {
-                "origin": origin,
-                "msg_origin": message_id.origin,
-                "local_seq": message_id.local_seq,
-                "size_bytes": size,
-                "time": sched.now,
-            }
-        )
+        record = {
+            "origin": origin,
+            "msg_origin": message_id.origin,
+            "local_seq": message_id.local_seq,
+            "size_bytes": size,
+            "time": sched.now,
+        }
+        run.app_deliveries.append(record)
+        journal.write({"type": "app_delivery", **record})
         if origin == me and run.outstanding > 0:
             run.outstanding -= 1
             # Refill from a fresh loop iteration, not reentrantly from
             # inside the protocol's receive path.
             loop.call_soon(refill)
 
+    def on_protocol_deliver(delivery: Delivery) -> None:
+        run.deliveries.append(delivery)
+        journal.write({
+            "type": "delivery",
+            "origin": delivery.message_id.origin,
+            "local_seq": delivery.message_id.local_seq,
+            "sequence": delivery.sequence,
+            "time": delivery.time,
+            "size_bytes": delivery.size_bytes,
+        })
+
     process.set_listener(BroadcastListener(on_app_deliver))
-    process.on_protocol_deliver(run.deliveries.append)
+    process.on_protocol_deliver(on_protocol_deliver)
 
     await transport.start()
-    process.start()
 
     # ------------------------------------------------------------------
-    # Barrier: ring connectivity, then a settle delay.
+    # Barrier: ring connectivity, then a settle delay, then start.  The
+    # protocol (and with it the heartbeat detector's monitoring) only
+    # starts once the ring is up, so slow sibling startup cannot be
+    # mistaken for a crash.  Traffic from peers that start slightly
+    # earlier is buffered by FSR's future-view buffer until our own
+    # bootstrap view installs.
     # ------------------------------------------------------------------
     timeout = config.connect_timeout_s
     if not await transport.wait_outbound_connected(timeout):
@@ -275,20 +481,43 @@ async def _run(config: LiveNodeConfig) -> Dict[str, Any]:
             f"node {me}: no inbound connection after {timeout:.0f}s"
         )
     await asyncio.sleep(config.settle_s)
+    process.start()
 
     start_time = sched.now
-    deadline[0] = start_time + config.duration_s
+    journal.write({"type": "start", "time": start_time, "node_id": me})
+    if config.messages_per_sender is not None:
+        # Fixed-count workload: no time deadline; quiescence decides.
+        deadline[0] = start_time
+    else:
+        deadline[0] = start_time + config.duration_s
     if me in config.senders:
         refill()
 
     # ------------------------------------------------------------------
-    # Run to quiescence: deadline passed and the ring has gone silent.
+    # Run until told to stop.  Static mode self-detects quiescence:
+    # deadline passed and the ring silent for ``quiet_s``.  With live
+    # membership a node must NOT self-exit on local silence — a silent
+    # peer may be dead but not yet suspected, and exiting would skip
+    # the view change whose recovery finishes propagating stability to
+    # laggards.  The launcher owns termination there: it watches all
+    # survivor journals and SIGTERMs everyone simultaneously (which
+    # also avoids a suspect-and-reflush cascade as nodes wind down).
+    # ``max_run_s`` stays as the local backstop in both modes.
     # ------------------------------------------------------------------
+    stop_requested = asyncio.Event()
+    try:
+        loop.add_signal_handler(signal.SIGTERM, stop_requested.set)
+    except (NotImplementedError, RuntimeError):  # pragma: no cover
+        pass
     timed_out = False
     last_counters = (-1, -1)
     last_change = sched.now
     while True:
-        await asyncio.sleep(_POLL_S)
+        try:
+            await asyncio.wait_for(stop_requested.wait(), _POLL_S)
+            break
+        except asyncio.TimeoutError:
+            pass
         now = sched.now
         counters = (transport.frames_received, transport.frames_sent)
         if counters != last_counters or transport.queued_bytes > 0:
@@ -299,21 +528,36 @@ async def _run(config: LiveNodeConfig) -> Dict[str, Any]:
         if now - start_time >= config.max_run_s:
             timed_out = True
             break
+        if config.view_changes:
+            continue  # the launcher signals the stop
         if now < deadline[0]:
             continue
         if now - last_change >= config.quiet_s:
             break
+    try:
+        loop.remove_signal_handler(signal.SIGTERM)
+    except (NotImplementedError, RuntimeError, ValueError):  # pragma: no cover
+        pass
 
     end_time = sched.now
     process.stop()
+    if isinstance(detector, HeartbeatFailureDetector):
+        detector.stop()
     await transport.close()
 
-    return {
+    final_view = membership.view
+    if isinstance(client, _RewiringClient) and client.current_view is not None:
+        final_view = client.current_view
+    record = {
         "schema": "repro.live_node/1",
         "node_id": me,
         "start_time": start_time,
         "end_time": end_time,
         "timed_out": timed_out,
+        "final_view": {
+            "view_id": final_view.view_id,
+            "members": list(final_view.members),
+        },
         "deliveries": [
             {
                 "origin": d.message_id.origin,
@@ -336,12 +580,18 @@ async def _run(config: LiveNodeConfig) -> Dict[str, Any]:
             "bytes_sent": transport.bytes_sent,
             "bytes_received": transport.bytes_received,
             "reconnects": transport.reconnects,
+            "retargets": transport.retargets,
+            "control_frames_sent": transport.control_frames_sent,
+            "control_frames_received": transport.control_frames_received,
             "broadcasts": process.stats_broadcasts,
             "deliveries": process.stats_deliveries,
             "acks_piggybacked": process.stats_acks_piggybacked,
             "acks_standalone": process.stats_acks_standalone,
         },
     }
+    journal.write({"type": "end", "time": end_time})
+    journal.close()
+    return record
 
 
 def run_node(config: LiveNodeConfig) -> Dict[str, Any]:

@@ -66,6 +66,12 @@ class LiveClusterSpec:
     connect_timeout_s: float = 10.0
     #: Also run the simulator on this configuration for comparison.
     sim_compare: bool = True
+    #: Run live membership (heartbeat detector + flush over TCP).
+    view_changes: bool = False
+    heartbeat_interval_s: float = 0.1
+    heartbeat_timeout_s: float = 1.0
+    #: Fixed-count workload (overrides ``duration_s`` as the stop rule).
+    messages_per_sender: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.processes < 2:
@@ -126,23 +132,44 @@ def _node_env() -> Dict[str, str]:
     return env
 
 
-def launch_live_cluster(spec: LiveClusterSpec) -> Dict[ProcessId, Dict[str, Any]]:
-    """Run the multi-process cluster; returns raw per-node records."""
-    members = list(range(spec.processes))
-    ports = _free_ports(spec.host, spec.processes)
-    addresses = {pid: (spec.host, ports[pid]) for pid in members}
-    env = _node_env()
-    deadline_s = spec.connect_timeout_s + spec.max_run_s + _KILL_SLACK_S
+class LiveCluster:
+    """A spawned localhost cluster plus the bookkeeping to reap it.
 
-    with tempfile.TemporaryDirectory(prefix="repro-live-") as workdir:
-        procs: Dict[ProcessId, subprocess.Popen] = {}
-        out_paths: Dict[ProcessId, str] = {}
+    Spawns one ``python -m repro live-node`` subprocess per member and
+    guarantees — via :meth:`shutdown`, which callers must run in a
+    ``finally`` block — that every child is killed *and waited on*, so
+    neither a node that failed to bind its port nor a crashed launcher
+    leaves orphaned siblings or zombies behind.
+    """
+
+    def __init__(
+        self,
+        spec: LiveClusterSpec,
+        workdir: str,
+        *,
+        journals: bool = False,
+    ) -> None:
+        self.spec = spec
+        self.members = list(range(spec.processes))
+        ports = _free_ports(spec.host, spec.processes)
+        self.addresses = {
+            pid: (spec.host, ports[pid]) for pid in self.members
+        }
+        self.out_paths: Dict[ProcessId, str] = {}
+        self.journal_paths: Dict[ProcessId, str] = {}
+        self.procs: Dict[ProcessId, subprocess.Popen] = {}
+        env = _node_env()
         try:
-            for pid in members:
+            for pid in self.members:
+                journal_path = (
+                    os.path.join(workdir, f"node{pid}.journal.jsonl")
+                    if journals
+                    else None
+                )
                 config = LiveNodeConfig(
                     node_id=pid,
-                    members=members,
-                    addresses=addresses,
+                    members=self.members,
+                    addresses=self.addresses,
                     t=spec.t,
                     senders=list(spec.sender_ids),
                     message_bytes=spec.message_bytes,
@@ -152,13 +179,20 @@ def launch_live_cluster(spec: LiveClusterSpec) -> Dict[ProcessId, Dict[str, Any]
                     quiet_s=spec.quiet_s,
                     max_run_s=spec.max_run_s,
                     connect_timeout_s=spec.connect_timeout_s,
+                    view_changes=spec.view_changes,
+                    heartbeat_interval_s=spec.heartbeat_interval_s,
+                    heartbeat_timeout_s=spec.heartbeat_timeout_s,
+                    messages_per_sender=spec.messages_per_sender,
+                    journal_path=journal_path,
                 )
                 config_path = os.path.join(workdir, f"node{pid}.json")
                 out_path = os.path.join(workdir, f"node{pid}.out.json")
                 with open(config_path, "w") as fh:
                     json.dump(config.to_dict(), fh)
-                out_paths[pid] = out_path
-                procs[pid] = subprocess.Popen(
+                self.out_paths[pid] = out_path
+                if journal_path is not None:
+                    self.journal_paths[pid] = journal_path
+                self.procs[pid] = subprocess.Popen(
                     [
                         sys.executable,
                         "-m",
@@ -173,53 +207,213 @@ def launch_live_cluster(spec: LiveClusterSpec) -> Dict[ProcessId, Dict[str, Any]
                     stdout=subprocess.PIPE,
                     stderr=subprocess.PIPE,
                 )
+        except BaseException:
+            # Spawning sibling k+1 failed: reap siblings 0..k before
+            # propagating, or they outlive the launcher.
+            self.shutdown()
+            raise
 
-            start = time.monotonic()
-            pending = dict(procs)
-            while pending and time.monotonic() - start < deadline_s:
-                for pid in list(pending):
-                    if pending[pid].poll() is not None:
-                        del pending[pid]
-                if pending:
-                    time.sleep(0.05)
+    def kill(self, pid: ProcessId) -> bool:
+        """SIGKILL one node; True if it was still running."""
+        proc = self.procs[pid]
+        if proc.poll() is not None:
+            return False
+        proc.kill()
+        proc.wait()
+        return True
+
+    def terminate(self, skip: Optional[set] = None) -> None:
+        """SIGTERM every still-running non-skipped node (graceful stop)."""
+        for pid, proc in self.procs.items():
+            if pid in (skip or set()) or proc.poll() is not None:
+                continue
+            proc.terminate()
+
+    def wait(
+        self,
+        deadline_s: float,
+        *,
+        skip: Optional[set] = None,
+        fail_fast: bool = True,
+    ) -> None:
+        """Wait for every non-skipped node to exit.
+
+        With ``fail_fast`` (the default), a node exiting nonzero stops
+        the wait immediately — there is no point holding the full
+        deadline when a node already died at startup; the caller's
+        ``finally: shutdown()`` reaps the survivors.
+        """
+        start = time.monotonic()
+        pending = {
+            pid: proc
+            for pid, proc in self.procs.items()
+            if pid not in (skip or set())
+        }
+        while pending and time.monotonic() - start < deadline_s:
+            for pid in list(pending):
+                if pending[pid].poll() is not None:
+                    del pending[pid]
+                    if fail_fast and self.procs[pid].returncode != 0:
+                        return
             if pending:
-                for proc in pending.values():
-                    proc.kill()
-                raise NetworkError(
-                    f"live nodes {sorted(pending)} still running after "
-                    f"{deadline_s:.0f}s; killed"
+                time.sleep(0.05)
+        if pending:
+            for proc in pending.values():
+                proc.kill()
+                proc.wait()
+            raise NetworkError(
+                f"live nodes {sorted(pending)} still running after "
+                f"{deadline_s:.0f}s; killed"
+            )
+
+    def raise_on_failures(self, *, skip: Optional[set] = None) -> None:
+        """Collect stderr of nonzero exits and raise if any."""
+        failures = []
+        for pid, proc in self.procs.items():
+            if pid in (skip or set()) or proc.poll() is None:
+                continue
+            _, stderr = proc.communicate()
+            if proc.returncode != 0:
+                tail = stderr.decode(errors="replace").strip().splitlines()
+                failures.append(
+                    f"node {pid} exited {proc.returncode}: "
+                    + ("; ".join(tail[-3:]) if tail else "<no stderr>")
                 )
+        if failures:
+            raise NetworkError("live run failed: " + " | ".join(failures))
 
-            failures = []
-            for pid, proc in procs.items():
-                _, stderr = proc.communicate()
-                if proc.returncode != 0:
-                    tail = stderr.decode(errors="replace").strip().splitlines()
-                    failures.append(
-                        f"node {pid} exited {proc.returncode}: "
-                        + ("; ".join(tail[-3:]) if tail else "<no stderr>")
-                    )
-            if failures:
-                raise NetworkError("live run failed: " + " | ".join(failures))
+    def collect(self, *, skip: Optional[set] = None) -> Dict[ProcessId, Dict[str, Any]]:
+        """Load the result record of every non-skipped node."""
+        records: Dict[ProcessId, Dict[str, Any]] = {}
+        for pid, path in self.out_paths.items():
+            if pid in (skip or set()):
+                continue
+            with open(path) as fh:
+                records[pid] = json.load(fh)
+        return records
 
-            records: Dict[ProcessId, Dict[str, Any]] = {}
-            for pid, path in out_paths.items():
-                with open(path) as fh:
-                    records[pid] = json.load(fh)
-            return records
+    def shutdown(self) -> None:
+        """Kill and *reap* every child still alive. Idempotent."""
+        for proc in self.procs.values():
+            if proc.poll() is None:
+                proc.kill()
+        for proc in self.procs.values():
+            try:
+                proc.wait(timeout=10.0)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                pass
+
+
+def launch_live_cluster(spec: LiveClusterSpec) -> Dict[ProcessId, Dict[str, Any]]:
+    """Run the multi-process cluster; returns raw per-node records."""
+    deadline_s = spec.connect_timeout_s + spec.max_run_s + _KILL_SLACK_S
+    with tempfile.TemporaryDirectory(prefix="repro-live-") as workdir:
+        cluster = LiveCluster(spec, workdir)
+        try:
+            cluster.wait(deadline_s)
+            cluster.raise_on_failures()
+            return cluster.collect()
         finally:
-            for proc in procs.values():
-                if proc.poll() is None:
-                    proc.kill()
+            cluster.shutdown()
+
+
+def load_journal_record(
+    pid: ProcessId, path: str
+) -> Optional[Dict[str, Any]]:
+    """Rebuild a partial node record from a crash-surviving journal.
+
+    Returns ``None`` when the node never reached its start barrier (no
+    ``start`` line).  A torn final line — possible when the node was
+    SIGKILLed mid-write — is silently dropped; every *flushed* line
+    before it is intact.
+    """
+    events: List[Dict[str, Any]] = []
+    try:
+        with open(path) as fh:
+            for line in fh:
+                try:
+                    events.append(json.loads(line))
+                except ValueError:
+                    break  # torn tail line
+    except OSError:
+        return None
+    start = next((e for e in events if e.get("type") == "start"), None)
+    if start is None:
+        return None
+    last_time = max(
+        (e["time"] for e in events if "time" in e), default=start["time"]
+    )
+    record: Dict[str, Any] = {
+        "schema": "repro.live_node_journal/1",
+        "node_id": pid,
+        "start_time": start["time"],
+        "end_time": last_time,
+        "timed_out": False,
+        "deliveries": [],
+        "app_deliveries": [],
+        "broadcasts": [],
+        "sent": [],
+        "views": [],
+    }
+    for event in events:
+        kind = event.get("type")
+        if kind == "broadcast":
+            record["broadcasts"].append(
+                {
+                    "origin": event["origin"],
+                    "local_seq": event["local_seq"],
+                    "size_bytes": event["size_bytes"],
+                    "submit_time": event["submit_time"],
+                }
+            )
+            record["sent"].append(
+                {"origin": event["origin"], "local_seq": event["local_seq"]}
+            )
+        elif kind == "delivery":
+            record["deliveries"].append(
+                {
+                    "origin": event["origin"],
+                    "local_seq": event["local_seq"],
+                    "sequence": event["sequence"],
+                    "time": event["time"],
+                    "size_bytes": event["size_bytes"],
+                }
+            )
+        elif kind == "app_delivery":
+            record["app_deliveries"].append(
+                {
+                    "origin": event["origin"],
+                    "msg_origin": event["msg_origin"],
+                    "local_seq": event["local_seq"],
+                    "size_bytes": event["size_bytes"],
+                    "time": event["time"],
+                }
+            )
+        elif kind == "view":
+            record["views"].append(
+                {
+                    "view_id": event["view_id"],
+                    "members": event["members"],
+                    "time": event["time"],
+                }
+            )
+    return record
 
 
 def merge_node_records(
-    spec: LiveClusterSpec, records: Dict[ProcessId, Dict[str, Any]]
+    spec: LiveClusterSpec,
+    records: Dict[ProcessId, Dict[str, Any]],
+    crashed: Optional[Dict[ProcessId, float]] = None,
 ) -> Tuple[ExperimentResult, WorkloadOutcome]:
     """Merge per-node records into the standard result containers.
 
     All timestamps are rebased to the earliest node start so merged
-    logs read like a simulated run starting at ~0.
+    logs read like a simulated run starting at ~0.  ``crashed`` maps
+    killed nodes to their (monotonic) kill times; their records are
+    journal-derived partials, and the crash times flow into
+    :class:`ExperimentResult` so the checkers treat them like
+    simulator crashes (no liveness obligations, logs still checked
+    for order/integrity prefix consistency).
     """
     t0 = min(record["start_time"] for record in records.values())
 
@@ -277,7 +471,9 @@ def merge_node_records(
         app_deliveries=app_deliveries,
         broadcasts=broadcasts,
         broadcast_origin=broadcast_origin,
-        crashed={},
+        crashed={
+            pid: kill_time - t0 for pid, kill_time in (crashed or {}).items()
+        },
         nic_stats={},
     )
     if not sent:

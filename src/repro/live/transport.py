@@ -11,11 +11,18 @@ FIFO channel the paper assumes; what this module adds is:
   upcall carries the true source id;
 * reconnect with capped exponential backoff, giving up after the same
   ``MAX_RETRIES`` budget the simulated ARQ stack uses
-  (:data:`repro.net.channel.MAX_RETRIES`) — by then the peer is dead
-  and membership is responsible for excluding it;
+  (:data:`repro.net.channel.MAX_RETRIES`) — or retrying forever when
+  ``max_retries=None``, the mode live view changes run in: there a dead
+  successor is membership's problem, and :meth:`RingTransport.retarget`
+  re-points the hop at the new successor once a view installs;
 * TX backpressure: ``tx_ready`` mirrors the simulated NIC's ``tx_idle``
   gate, so ``FSRProcess``'s fair-send pump throttles on a slow socket
-  exactly like it throttles on a busy simulated NIC.
+  exactly like it throttles on a busy simulated NIC;
+* a control plane: membership and failure-detector traffic is not
+  ring-shaped (a flush coordinator talks to every member), so the
+  transport keeps one lazily dialled, infinitely retried connection per
+  control peer, mirroring the simulator's ``LayerDemux`` with
+  layer-tagged :class:`~repro.live.codec.ControlFrame` envelopes.
 """
 
 from __future__ import annotations
@@ -25,7 +32,10 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import CodecError, NetworkError
 from repro.live.codec import (
+    CHANNEL_CONTROL,
+    CHANNEL_RING,
     LENGTH_PREFIX_BYTES,
+    ControlFrame,
     Hello,
     WireMessage,
     decode_message,
@@ -36,6 +46,7 @@ from repro.net.channel import MAX_RETRIES
 from repro.types import ProcessId
 
 ReceiveHandler = Callable[[ProcessId, Any], None]
+ControlHandler = Callable[[str, ProcessId, Any], None]
 
 #: Outbound queue bound before ``tx_ready`` goes False (bytes).
 DEFAULT_MAX_OUTBOUND_BYTES = 4 * 1024 * 1024
@@ -58,12 +69,95 @@ async def read_frame(reader: asyncio.StreamReader) -> Optional[bytes]:
         return None
 
 
+class _ControlPeer:
+    """One lazily dialled control connection: queue + dial/drain task.
+
+    Control peers retry forever with capped backoff — a peer that is
+    genuinely dead gets pruned when the next view installs without it
+    (:meth:`RingTransport.prune_control_peers`).  Frames use the same
+    peek-write-pop discipline as the ring queue, so a connection drop
+    resends rather than loses.
+    """
+
+    def __init__(
+        self, transport: "RingTransport", peer_id: ProcessId,
+        addr: Tuple[str, int],
+    ) -> None:
+        self.transport = transport
+        self.peer_id = peer_id
+        self.addr = addr
+        self.outbound: List[bytes] = []
+        self.wakeup = asyncio.Event()
+        self.closing = False
+        self.task: asyncio.Task = asyncio.ensure_future(self._loop())
+
+    def send(self, frame: bytes) -> None:
+        self.outbound.append(frame)
+        self.wakeup.set()
+
+    def close(self) -> None:
+        self.closing = True
+        self.wakeup.set()
+        self.task.cancel()
+
+    async def _loop(self) -> None:
+        retries = 0
+        transport = self.transport
+        while not self.closing and not transport._closing:
+            try:
+                reader, writer = await asyncio.open_connection(*self.addr)
+            except OSError:
+                retries += 1
+                await asyncio.sleep(transport._backoff(retries))
+                continue
+            retries = 0
+            eof: Optional[asyncio.Future] = None
+            try:
+                writer.write(encode_frame(Hello(
+                    node_id=transport.node_id, channel=CHANNEL_CONTROL,
+                )))
+                await writer.drain()
+                eof = asyncio.ensure_future(reader.read(1))
+                while not self.closing and not transport._closing:
+                    while self.outbound:
+                        if eof.done():
+                            raise ConnectionResetError("control peer hung up")
+                        frame = self.outbound[0]
+                        writer.write(frame)
+                        await writer.drain()
+                        self.outbound.pop(0)
+                        transport.control_frames_sent += 1
+                    self.wakeup.clear()
+                    if self.outbound:
+                        continue
+                    waiter = asyncio.ensure_future(self.wakeup.wait())
+                    try:
+                        await asyncio.wait(
+                            {eof, waiter},
+                            return_when=asyncio.FIRST_COMPLETED,
+                        )
+                    finally:
+                        waiter.cancel()
+                    if eof.done():
+                        break  # reconnect with the queue intact
+            except (ConnectionError, OSError):
+                pass
+            finally:
+                if eof is not None:
+                    eof.cancel()
+                writer.close()
+
+
 class RingTransport:
     """TCP ring hop: outbound to the successor, inbound from anyone.
 
     ``on_message(src, message)`` is invoked on the event loop for every
-    decoded inbound frame.  ``send(dst, message)`` only accepts the
-    configured successor — the ring never sends anywhere else.
+    decoded inbound ring frame.  ``send(dst, message)`` only accepts the
+    *current* ring successor — the ring never sends anywhere else; a
+    view change re-points the hop via :meth:`retarget`.  Control-plane
+    traffic goes through :meth:`send_control` / ``on_control`` and its
+    own per-peer connections, and is counted separately so ring
+    quiescence detection is not defeated by heartbeats.
     """
 
     def __init__(
@@ -74,16 +168,19 @@ class RingTransport:
         successor_addr: Tuple[str, int],
         on_message: ReceiveHandler,
         *,
+        peers: Optional[Dict[ProcessId, Tuple[str, int]]] = None,
         max_outbound_bytes: int = DEFAULT_MAX_OUTBOUND_BYTES,
         reconnect_base_s: float = RECONNECT_BASE_S,
         reconnect_cap_s: float = RECONNECT_CAP_S,
-        max_retries: int = MAX_RETRIES,
+        max_retries: Optional[int] = MAX_RETRIES,
     ) -> None:
         self.node_id = node_id
         self.listen_addr = listen_addr
         self.successor_id = successor_id
         self.successor_addr = successor_addr
         self.on_message = on_message
+        #: Control-plane upcall: ``on_control(layer, src, inner)``.
+        self.on_control: Optional[ControlHandler] = None
         self.max_outbound_bytes = max_outbound_bytes
         self.reconnect_base_s = reconnect_base_s
         self.reconnect_cap_s = reconnect_cap_s
@@ -96,19 +193,30 @@ class RingTransport:
         self._gate_closed = False
         self._tx_idle_callbacks: List[Callable[[], None]] = []
         self._wakeup = asyncio.Event()
+        self._dial_wakeup = asyncio.Event()
         self._connected = asyncio.Event()
         self._inbound_hello = asyncio.Event()
-        self._inbound_peers: Dict[ProcessId, asyncio.StreamWriter] = {}
+        #: Inbound writers keyed by (peer id, channel).
+        self._inbound_peers: Dict[Tuple[ProcessId, int], asyncio.StreamWriter] = {}
+        #: Addresses control connections may dial (from the cluster config).
+        self._peer_addrs: Dict[ProcessId, Tuple[str, int]] = dict(peers or {})
+        self._control_peers: Dict[ProcessId, _ControlPeer] = {}
         self._tasks: List[asyncio.Task] = []
         self._closing = False
         self._failure: Optional[str] = None
+        #: Bumped by retarget(); dial/drain loops abandon stale epochs.
+        self._epoch = 0
 
-        #: Transport counters, merged into the node's result stats.
+        #: Ring-data transport counters, merged into the node's result
+        #: stats (and polled for quiescence — control traffic excluded).
         self.frames_sent = 0
         self.frames_received = 0
         self.bytes_sent = 0
         self.bytes_received = 0
         self.reconnects = 0
+        self.retargets = 0
+        self.control_frames_sent = 0
+        self.control_frames_received = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -124,12 +232,19 @@ class RingTransport:
     async def close(self) -> None:
         self._closing = True
         self._wakeup.set()
+        self._dial_wakeup.set()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
-        for task in self._tasks:
+        for peer in list(self._control_peers.values()):
+            peer.close()
+        pending = list(self._tasks) + [
+            p.task for p in self._control_peers.values()
+        ]
+        self._control_peers.clear()
+        for task in pending:
             task.cancel()
-        for task in self._tasks:
+        for task in pending:
             try:
                 await task
             except (asyncio.CancelledError, Exception):
@@ -153,15 +268,62 @@ class RingTransport:
             return False
 
     async def wait_inbound_hello(self, timeout: float) -> bool:
-        """Wait until some peer has connected and identified itself."""
+        """Wait until some peer has connected the *ring* channel."""
         try:
             await asyncio.wait_for(self._inbound_hello.wait(), timeout)
             return True
         except asyncio.TimeoutError:
             return False
 
+    def _backoff(self, retries: int) -> float:
+        return min(
+            self.reconnect_cap_s,
+            self.reconnect_base_s * (2 ** min(retries - 1, 16)),
+        )
+
     # ------------------------------------------------------------------
-    # TX path
+    # Ring re-wiring (view changes)
+    # ------------------------------------------------------------------
+    def retarget(
+        self, successor_id: ProcessId, successor_addr: Tuple[str, int]
+    ) -> None:
+        """Re-point the ring hop at a new successor (view install).
+
+        Queued frames are dropped: they carry the superseded view's id,
+        so the new successor would discard them on arrival anyway, and
+        the origin re-broadcasts anything that matters after the view
+        change.  A closed TX gate reopens (asynchronously, so the
+        protocol's pump runs after the caller finishes installing the
+        new ring, not reentrantly from inside it).  No-op when the
+        successor is unchanged — in-flight traffic survives the view
+        change on the same connection.
+        """
+        successor_addr = (successor_addr[0], successor_addr[1])
+        if (
+            successor_id == self.successor_id
+            and successor_addr == self.successor_addr
+        ):
+            return
+        self.successor_id = successor_id
+        self.successor_addr = successor_addr
+        self._epoch += 1
+        self.retargets += 1
+        self._outbound.clear()
+        self._queued_bytes = 0
+        self._failure = None
+        self._connected.clear()
+        if self._gate_closed:
+            self._gate_closed = False
+            loop = asyncio.get_event_loop()
+            for callback in list(self._tx_idle_callbacks):
+                loop.call_soon(callback)
+        if self._writer is not None:
+            self._writer.close()
+        self._wakeup.set()
+        self._dial_wakeup.set()
+
+    # ------------------------------------------------------------------
+    # TX path (ring data)
     # ------------------------------------------------------------------
     @property
     def tx_ready(self) -> bool:
@@ -193,24 +355,34 @@ class RingTransport:
 
     async def _outbound_loop(self) -> None:
         retries = 0
+        epoch = self._epoch
         while not self._closing:
+            if self._epoch != epoch:
+                epoch = self._epoch
+                retries = 0
+            addr = self.successor_addr
             try:
-                reader, writer = await asyncio.open_connection(
-                    *self.successor_addr
-                )
+                reader, writer = await asyncio.open_connection(*addr)
             except OSError:
+                if self._epoch != epoch:
+                    continue  # retargeted while dialling the old address
                 retries += 1
-                if retries > self.max_retries:
+                if self.max_retries is not None and retries > self.max_retries:
                     self._failure = (
                         f"successor {self.successor_id} unreachable after "
                         f"{self.max_retries} attempts"
                     )
                     return
-                delay = min(
-                    self.reconnect_cap_s,
-                    self.reconnect_base_s * (2 ** (retries - 1)),
-                )
-                await asyncio.sleep(delay)
+                self._dial_wakeup.clear()
+                try:
+                    await asyncio.wait_for(
+                        self._dial_wakeup.wait(), self._backoff(retries)
+                    )
+                except asyncio.TimeoutError:
+                    pass
+                continue
+            if self._epoch != epoch:
+                writer.close()
                 continue
 
             if retries > 0:
@@ -221,7 +393,7 @@ class RingTransport:
                 writer.write(encode_frame(Hello(node_id=self.node_id)))
                 await writer.drain()
                 self._connected.set()
-                await self._drain_queue(writer)
+                await self._drain_queue(reader, writer, epoch)
             except (ConnectionError, OSError):
                 pass
             finally:
@@ -230,28 +402,94 @@ class RingTransport:
                 writer.close()
             # Loop back around and reconnect (unless closing).
 
-    async def _drain_queue(self, writer: asyncio.StreamWriter) -> None:
-        while not self._closing:
-            while self._outbound:
-                # Peek-write-pop: a frame stays queued until drained, so
-                # a connection drop resends it after reconnect instead of
-                # silently losing it (duplicates are cheaper than a stuck
-                # ring, and FSR suppresses re-delivered sequence numbers).
-                frame = self._outbound[0]
-                writer.write(frame)
-                await writer.drain()
-                self._outbound.pop(0)
-                self._queued_bytes -= len(frame)
-                self.frames_sent += 1
-                self.bytes_sent += len(frame)
-                if self._gate_closed and self.tx_ready:
-                    self._gate_closed = False
-                    for callback in list(self._tx_idle_callbacks):
-                        callback()
-            self._wakeup.clear()
-            if self._outbound:
-                continue
-            await self._wakeup.wait()
+    async def _drain_queue(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        epoch: int,
+    ) -> None:
+        # The successor never sends on this socket, so any readable
+        # byte — in practice EOF — means it hung up.  Watching for it
+        # here (instead of discovering the corpse on the next write)
+        # keeps queued frames queued when the peer dies, so a restart
+        # or retarget resends them instead of feeding a dead kernel
+        # buffer.
+        eof = asyncio.ensure_future(reader.read(1))
+        try:
+            while not self._closing and self._epoch == epoch:
+                while self._outbound and self._epoch == epoch:
+                    if eof.done():
+                        return  # peer gone; head frame stays queued
+                    # Peek-write-pop: a frame stays queued until
+                    # drained, so a connection drop resends it after
+                    # reconnect instead of silently losing it
+                    # (duplicates are cheaper than a stuck ring, and
+                    # FSR suppresses re-delivered sequence numbers).
+                    frame = self._outbound[0]
+                    writer.write(frame)
+                    await writer.drain()
+                    if self._epoch != epoch:
+                        return  # retargeted mid-drain; queue was reset
+                    self._outbound.pop(0)
+                    self._queued_bytes -= len(frame)
+                    self.frames_sent += 1
+                    self.bytes_sent += len(frame)
+                    if self._gate_closed and self.tx_ready:
+                        self._gate_closed = False
+                        for callback in list(self._tx_idle_callbacks):
+                            callback()
+                self._wakeup.clear()
+                if self._outbound:
+                    continue
+                waiter = asyncio.ensure_future(self._wakeup.wait())
+                try:
+                    await asyncio.wait(
+                        {eof, waiter}, return_when=asyncio.FIRST_COMPLETED
+                    )
+                finally:
+                    waiter.cancel()
+                if eof.done():
+                    return
+        finally:
+            eof.cancel()
+
+    # ------------------------------------------------------------------
+    # Control plane
+    # ------------------------------------------------------------------
+    def send_control(self, dst: ProcessId, layer: str, message: Any) -> None:
+        """Queue a layer-tagged control message for ``dst``.
+
+        Unlike the ring hop, control traffic may address any configured
+        peer; the connection is dialled on first use and retried
+        forever until :meth:`prune_control_peers` drops the peer.
+        """
+        if dst == self.node_id:
+            raise NetworkError(
+                f"node {self.node_id}: control plane does not loop back "
+                "to self (local sends go through the scheduler)"
+            )
+        peer = self._control_peers.get(dst)
+        if peer is None:
+            addr = self._peer_addrs.get(dst)
+            if addr is None:
+                raise NetworkError(
+                    f"node {self.node_id}: no address configured for "
+                    f"control peer {dst}"
+                )
+            peer = _ControlPeer(self, dst, addr)
+            self._control_peers[dst] = peer
+        peer.send(encode_frame(ControlFrame(layer=layer, inner=message)))
+
+    def prune_control_peers(self, keep) -> None:
+        """Drop control connections to peers outside ``keep``.
+
+        Called on view install: heartbeats and flush retries to an
+        excluded (dead) member would otherwise dial it forever.
+        """
+        keep = set(keep)
+        for pid in list(self._control_peers):
+            if pid not in keep:
+                self._control_peers.pop(pid).close()
 
     # ------------------------------------------------------------------
     # RX path
@@ -259,7 +497,7 @@ class RingTransport:
     async def _handle_inbound(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        peer_id: Optional[ProcessId] = None
+        peer_key: Optional[Tuple[ProcessId, int]] = None
         try:
             body = await read_frame(reader)
             if body is None:
@@ -270,21 +508,34 @@ class RingTransport:
                     f"expected Hello, got {type(hello).__name__}"
                 )
             peer_id = hello.node_id
-            self._inbound_peers[peer_id] = writer
-            self._inbound_hello.set()
+            channel = hello.channel
+            peer_key = (peer_id, channel)
+            self._inbound_peers[peer_key] = writer
+            if channel == CHANNEL_RING:
+                self._inbound_hello.set()
             while True:
                 body = await read_frame(reader)
                 if body is None:
                     return
                 message = decode_message(body)
-                self.frames_received += 1
-                self.bytes_received += LENGTH_PREFIX_BYTES + len(body)
-                self.on_message(peer_id, message)
+                if channel == CHANNEL_CONTROL:
+                    if not isinstance(message, ControlFrame):
+                        raise CodecError(
+                            "expected ControlFrame on control channel, "
+                            f"got {type(message).__name__}"
+                        )
+                    self.control_frames_received += 1
+                    if self.on_control is not None:
+                        self.on_control(message.layer, peer_id, message.inner)
+                else:
+                    self.frames_received += 1
+                    self.bytes_received += LENGTH_PREFIX_BYTES + len(body)
+                    self.on_message(peer_id, message)
         except CodecError:
             # Corrupt peer stream: drop the connection; the peer's
             # transport reconnects and re-greets with a fresh stream.
             pass
         finally:
-            if peer_id is not None:
-                self._inbound_peers.pop(peer_id, None)
+            if peer_key is not None:
+                self._inbound_peers.pop(peer_key, None)
             writer.close()

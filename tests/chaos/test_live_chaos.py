@@ -1,0 +1,58 @@
+"""Smoke test for the live chaos driver: one real SIGKILL campaign.
+
+One seeded crash-storm schedule runs against a real 4-node localhost
+cluster with live membership; the scheduled kill is a genuine SIGKILL,
+recovery runs through the heartbeat detector and view-change flush, and
+the merged journals must pass the full invariant battery.  The 25-seed
+campaign lives in ``python -m repro chaos --live``; this is the
+one-seed always-on guard.
+"""
+
+import json
+
+import pytest
+
+from repro.chaos.live import LiveChaosConfig, run_live_campaign
+
+pytestmark = [pytest.mark.slow, pytest.mark.live_smoke, pytest.mark.chaos_smoke]
+
+
+def test_one_seed_live_crash_storm_survives_the_battery(tmp_path):
+    config = LiveChaosConfig(
+        seeds=1,
+        scenarios=("crash_storm",),
+        n=4,
+        t=1,
+        senders=1,
+        message_bytes=10_000,
+        duration_s=2.0,
+        fault_window=(0.4, 1.2),
+        heartbeat_timeout_s=0.8,
+        max_run_s=25.0,
+    )
+    report = run_live_campaign(config)
+
+    assert report.ok, "\n\n".join(
+        outcome.verdict.summary() for outcome in report.failures
+    )
+    assert len(report.outcomes) == 1
+    outcome = report.outcomes[0]
+    assert outcome.scenario == "crash_storm"
+    assert not outcome.timed_out
+    # The schedule really killed something, and recovery has a cost the
+    # campaign can see: an outage straddling the kill.
+    assert outcome.killed, "crash_storm scheduled no kill"
+    assert outcome.outage_ms is not None and outcome.outage_ms > 0.0
+
+    # The bench record round-trips with per-scenario recovery stats.
+    bench_path = tmp_path / "BENCH_chaos_live.json"
+    report.write_bench(str(bench_path))
+    record = json.loads(bench_path.read_text())
+    assert record["bench"] == "chaos_live_campaign"
+    assert record["seeds_run"] == 1
+    assert record["failures"] == 0
+    storm = record["scenarios"]["crash_storm"]
+    assert storm["seeds"] == 1
+    assert storm["failures"] == 0
+    assert storm["kills"] >= 1
+    assert storm["mean_outage_ms"] > 0.0

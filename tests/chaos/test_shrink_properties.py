@@ -1,0 +1,124 @@
+"""Property tests for the schedule shrinker (hypothesis).
+
+The fixed-case tests in ``test_shrink.py`` pin specific behaviours;
+these pin the ddmin *contract* over randomly generated schedules and
+culprit predicates:
+
+* the shrunk schedule still fails the predicate,
+* it is 1-minimal (no single event can be dropped),
+* shrinking is deterministic (same inputs, same output), and
+* it only ever removes or time-rounds events — never invents them.
+
+Predicates are keyed on event *processes*, not times, so they are
+stable under the shrinker's time-rounding phase.
+"""
+
+from dataclasses import replace
+
+from hypothesis import given, settings, strategies as st
+
+from repro.chaos.schedules import FaultEvent, FaultSchedule
+from repro.chaos.shrink import shrink_schedule
+
+_processes = st.integers(min_value=0, max_value=7)
+# Times on a 0.1ms grid in (0, 1): exact in binary enough for the
+# rounding phase to behave like production schedules do.
+_times = st.integers(min_value=1, max_value=9_999).map(lambda n: n / 10_000)
+
+_event_lists = st.lists(
+    st.tuples(_processes, _times),
+    min_size=1,
+    max_size=10,
+)
+
+
+def _schedule(raw_events):
+    events = tuple(
+        FaultEvent("crash", time, process=process)
+        for process, time in raw_events
+    )
+    return FaultSchedule("synthetic", 0, 8, 4, events=events)
+
+
+def _culprit_predicate(culprits):
+    """Fails iff every culprit process still has at least one event.
+
+    Monotone in the event set and independent of times, which makes
+    the ground-truth minimum exactly one event per culprit.
+    """
+
+    def fails(candidate):
+        return culprits <= {e.process for e in candidate.events}
+
+    return fails
+
+
+@st.composite
+def _cases(draw):
+    raw = draw(_event_lists)
+    processes = sorted({process for process, _ in raw})
+    culprits = draw(
+        st.sets(st.sampled_from(processes), min_size=1)
+    )
+    return _schedule(raw), frozenset(culprits)
+
+
+@settings(max_examples=200, deadline=None)
+@given(_cases())
+def test_shrunk_schedule_still_fails(case):
+    schedule, culprits = case
+    fails = _culprit_predicate(culprits)
+    minimal = shrink_schedule(schedule, fails, budget=10_000)
+    assert fails(minimal)
+
+
+@settings(max_examples=200, deadline=None)
+@given(_cases())
+def test_shrunk_schedule_is_one_minimal(case):
+    schedule, culprits = case
+    fails = _culprit_predicate(culprits)
+    minimal = shrink_schedule(schedule, fails, budget=10_000)
+    # Ground truth: one event per culprit process suffices, and ddmin
+    # with an ample budget must find a set of exactly that size.
+    assert len(minimal.events) == len(culprits)
+    for index in range(len(minimal.events)):
+        remaining = replace(
+            minimal,
+            events=minimal.events[:index] + minimal.events[index + 1:],
+        )
+        assert not fails(remaining), "a droppable event survived ddmin"
+
+
+@settings(max_examples=100, deadline=None)
+@given(_cases())
+def test_shrinking_is_deterministic(case):
+    schedule, culprits = case
+    first = shrink_schedule(schedule, _culprit_predicate(culprits), budget=10_000)
+    second = shrink_schedule(schedule, _culprit_predicate(culprits), budget=10_000)
+    assert first == second
+
+
+@settings(max_examples=200, deadline=None)
+@given(_cases())
+def test_shrinking_never_invents_events(case):
+    schedule, culprits = case
+    minimal = shrink_schedule(schedule, _culprit_predicate(culprits), budget=10_000)
+    assert len(minimal.events) <= len(schedule.events)
+    originals = list(schedule.events)
+    for event in minimal.events:
+        # Each survivor descends from an original event: same kind and
+        # process, time only ever rounded *down* by the rounding phase.
+        parent = next(
+            (
+                o
+                for o in originals
+                if o.kind == event.kind
+                and o.process == event.process
+                and event.time <= o.time
+            ),
+            None,
+        )
+        assert parent is not None, f"{event} has no ancestor in the input"
+        originals.remove(parent)
+    # Everything but the event list is untouched.
+    assert replace(minimal, events=schedule.events) == schedule
