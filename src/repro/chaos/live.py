@@ -54,6 +54,8 @@ from repro.live.runner import (
     load_journal_record,
     merge_node_records,
 )
+from repro.obs.analyze import recovery_outage_from_spans
+from repro.obs.journal import Timeline, merge_span_journals
 from repro.types import ProcessId
 
 #: Scenarios portable to the live runtime: crash-only by construction.
@@ -170,6 +172,10 @@ class LiveChaosConfig:
             view_changes=True,
             heartbeat_interval_s=self.heartbeat_interval_s,
             heartbeat_timeout_s=self.heartbeat_timeout_s,
+            # Span journals survive SIGKILL like the event journals do,
+            # and the recovery-outage metric is read off the merged span
+            # timeline rather than ad-hoc per-scenario timing.
+            spans=True,
         )
 
 
@@ -340,6 +346,12 @@ def run_live_schedule(
             if journal is not None:
                 journal["end_time"] = kill_time
                 records[pid] = journal
+        # Span journals (all nodes, killed included) merge on the same
+        # rebase origin the record merger uses.
+        timeline: Optional[Timeline] = None
+        if records:
+            t0 = min(record["start_time"] for record in records.values())
+            timeline = merge_span_journals(cluster.span_paths, t0=t0)
 
     survivors = sorted(set(cluster.members) - set(kills))
     crashed_times = dict(kills)
@@ -363,7 +375,6 @@ def run_live_schedule(
 
     result = None
     if records:
-        t0 = min(record["start_time"] for record in records.values())
         try:
             result, _ = merge_node_records(spec, records, crashed=crashed_times)
         except NetworkError as error:
@@ -376,26 +387,36 @@ def run_live_schedule(
             run_error=run_error,
             expected_unsound=schedule.fd_unsound,
         )
-        # Outage is measured against the *executed* kills at their
-        # actual (rebased) times, not the planned instants.
-        executed = replace(
-            schedule,
-            events=tuple(
-                FaultEvent(
-                    "crash",
-                    round(max(0.0, at - t0), 4),
-                    process=pid,
-                    note="executed",
-                )
-                for pid, at in sorted(kills.items())
-            ),
-        )
-        from repro.chaos.campaign import recovery_outage_ms
-
-        outage_ms = recovery_outage_ms(result, executed)
         killed_rebased = {
             pid: max(0.0, at - t0) for pid, at in kills.items()
         }
+        # Outage is measured against the *executed* kills at their
+        # actual (rebased) times, not the planned instants — read off
+        # the span timeline, the same lifecycle record every other
+        # report uses.  The delivery-log path stays as a fallback for
+        # runs whose span journals were lost.
+        if timeline is not None and timeline.events:
+            outage_ms = recovery_outage_from_spans(
+                timeline,
+                crash_times=sorted(killed_rebased.values()),
+                survivors=sorted(result.correct_processes()),
+            )
+        else:
+            executed = replace(
+                schedule,
+                events=tuple(
+                    FaultEvent(
+                        "crash",
+                        round(at, 4),
+                        process=pid,
+                        note="executed",
+                    )
+                    for pid, at in sorted(killed_rebased.items())
+                ),
+            )
+            from repro.chaos.campaign import recovery_outage_ms
+
+            outage_ms = recovery_outage_ms(result, executed)
     else:
         verdict = Verdict(
             ok=False,

@@ -368,6 +368,8 @@ def _cmd_live(args: argparse.Namespace) -> int:
             duration_s=args.duration,
             window=args.window,
             sim_compare=not args.no_sim,
+            spans=args.spans or args.timeline is not None,
+            log_level=args.log_level,
         )
     except ReproError as exc:
         print(f"invalid live spec: {exc}", file=sys.stderr)
@@ -376,11 +378,15 @@ def _cmd_live(args: argparse.Namespace) -> int:
     print(
         f"launching {spec.processes} node processes on {spec.host} "
         f"({spec.senders} sender(s), {spec.message_bytes} B messages, "
-        f"{spec.duration_s:.0f}s)...",
+        f"{spec.duration_s:.0f}s"
+        + (", spans on" if spec.spans else "")
+        + ")...",
         flush=True,
     )
     try:
-        payload = run_live_benchmark(spec, out_path=args.out)
+        payload = run_live_benchmark(
+            spec, out_path=args.out, timeline_path=args.timeline
+        )
     except ReproError as exc:
         print(f"live run failed: {exc}", file=sys.stderr)
         return 1
@@ -407,6 +413,12 @@ def _cmd_live(args: argparse.Namespace) -> int:
     order = payload["order_check"]
     rows.append(["total order", "OK" if order["ok"] else "VIOLATED"])
     print(format_table(["metric", "value"], rows, title="live loopback cluster"))
+    breakdown = payload["live"].get("stage_breakdown")
+    if breakdown is not None:
+        from repro.obs.analyze import StageBreakdown
+
+        print()
+        print(StageBreakdown.from_dict(breakdown).render_table())
     if not order["ok"]:
         print(f"order check failed: {order['error']}", file=sys.stderr)
         return 1
@@ -414,6 +426,8 @@ def _cmd_live(args: argparse.Namespace) -> int:
         print("warning: at least one node hit its run cap before "
               "quiescence", file=sys.stderr)
     print(f"\nbench record written to {args.out}")
+    if args.timeline:
+        print(f"merged span timeline written to {args.timeline}")
     return 0
 
 
@@ -428,6 +442,64 @@ def _cmd_live_node(args: argparse.Namespace) -> int:
     record = run_node(config)
     with open(args.out, "w") as fh:
         _json.dump(record, fh)
+    return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    import json as _json
+    import os as _os
+
+    from repro.errors import ReproError
+    from repro.obs.analyze import (
+        link_utilization,
+        prometheus_snapshot,
+        render_link_table,
+        stage_breakdown,
+    )
+    from repro.obs.journal import Timeline
+
+    if not _os.path.exists(args.timeline):
+        print(f"timeline not found: {args.timeline}", file=sys.stderr)
+        return 2
+    timeline = Timeline.load_jsonl(args.timeline)
+    if not timeline.events:
+        print(f"no span events in {args.timeline}", file=sys.stderr)
+        return 2
+    try:
+        breakdown = stage_breakdown(timeline)
+    except ReproError as exc:
+        print(f"stage breakdown failed: {exc}", file=sys.stderr)
+        return 1
+
+    print(
+        f"timeline: {len(timeline.events)} span events, "
+        f"{len(timeline.messages())} messages, "
+        f"{len(timeline.nodes())} nodes, {timeline.duration_s:.3f}s"
+    )
+    print()
+    print(breakdown.render_table())
+    print()
+    print(render_link_table(link_utilization(timeline)))
+    if args.prom:
+        with open(args.prom, "w") as fh:
+            fh.write(prometheus_snapshot(timeline, breakdown))
+        print(f"\nPrometheus snapshot written to {args.prom}")
+    if args.json:
+        with open(args.json, "w") as fh:
+            _json.dump(
+                {
+                    "schema": "repro.obs_report/1",
+                    "stage_breakdown": breakdown.to_dict(),
+                    "links": [
+                        link.to_dict()
+                        for link in link_utilization(timeline)
+                    ],
+                },
+                fh,
+                indent=2,
+            )
+            fh.write("\n")
+        print(f"JSON report written to {args.json}")
     return 0
 
 
@@ -542,7 +614,28 @@ def build_parser() -> argparse.ArgumentParser:
                       help="skip the simulator comparison run")
     live.add_argument("--out", default="BENCH_live.json", metavar="PATH",
                       help="bench record path (default BENCH_live.json)")
+    live.add_argument("--spans", action="store_true",
+                      help="trace per-message lifecycle spans + telemetry "
+                           "on every node (JSONL journals, merged and "
+                           "analyzed into a latency stage breakdown)")
+    live.add_argument("--timeline", default=None, metavar="PATH",
+                      help="write the merged cross-node span timeline here "
+                           "(implies --spans); feed it to 'repro obs'")
+    live.add_argument("--log-level", default=None, metavar="LEVEL",
+                      help="per-node structured logging level "
+                           "(DEBUG/INFO/WARNING; default off)")
     live.set_defaults(func=_cmd_live)
+
+    obs = sub.add_parser(
+        "obs", help="analyze a merged span timeline (latency stages, links)"
+    )
+    obs.add_argument("timeline", metavar="TIMELINE",
+                     help="timeline JSONL from 'repro live --timeline PATH'")
+    obs.add_argument("--prom", default=None, metavar="PATH",
+                     help="write a Prometheus text snapshot here")
+    obs.add_argument("--json", default=None, metavar="PATH",
+                     help="write the stage/link report as JSON here")
+    obs.set_defaults(func=_cmd_obs)
 
     live_node = sub.add_parser(
         "live-node", help=argparse.SUPPRESS

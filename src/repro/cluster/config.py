@@ -39,6 +39,9 @@ class ClusterConfig:
     heartbeat_timeout_s: float = 200e-3
     #: Record a structured trace of the run (slows large runs).
     trace: bool = False
+    #: Record per-message lifecycle spans (``repro.obs``); off by
+    #: default, free when disabled.
+    spans: bool = False
 
     def __post_init__(self) -> None:
         if self.n < 1:

@@ -22,6 +22,7 @@ from repro.failure.injector import CrashInjector
 from repro.net.channel import ChannelStack
 from repro.net.dispatch import LayerDemux
 from repro.net.network import Network, NetworkEndpoint
+from repro.obs.span import SpanLog
 from repro.protocols.registry import ProtocolContext, build_protocol
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngRegistry
@@ -61,6 +62,9 @@ class Cluster:
         self.config = config
         self.sim = Simulator()
         self.trace = TraceLog(enabled=config.trace)
+        #: One shared span log: node ids disambiguate emitters, exactly
+        #: like the per-node journals a live run merges.
+        self.spans = SpanLog(enabled=config.spans)
         self.rngs = RngRegistry(seed=config.seed)
         self.network = Network(
             self.sim,
@@ -126,6 +130,7 @@ class Cluster:
             tx_gate=lambda: endpoint.tx_idle,
             on_tx_idle=endpoint.on_tx_idle,
             cpu_submit=endpoint.cpu_submit,
+            spans=self.spans,
         )
         protocol = build_protocol(config.protocol, context)
 
@@ -252,6 +257,7 @@ class Cluster:
                 node_id: self.network.stats_of(node_id) for node_id in self.members
             },
             trace=self.trace,
+            spans=self.spans,
         )
 
 

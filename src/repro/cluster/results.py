@@ -7,6 +7,7 @@ from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.core.api import DeliveryLog
 from repro.net.network import NicStats
+from repro.obs.span import SpanLog
 from repro.sim.trace import TraceLog
 from repro.types import BroadcastRecord, MessageId, ProcessId, SimTime
 
@@ -49,6 +50,8 @@ class ExperimentResult:
     nic_stats: Dict[ProcessId, NicStats]
     #: Structured trace (empty unless the config enabled tracing).
     trace: TraceLog = field(default_factory=lambda: TraceLog(enabled=False))
+    #: Lifecycle spans (empty unless the config enabled spans).
+    spans: SpanLog = field(default_factory=lambda: SpanLog(enabled=False))
     #: Lazy completion-time index; see :meth:`completion_times`.
     _completion_cache: Optional[Dict[MessageId, SimTime]] = field(
         default=None, init=False, repr=False, compare=False

@@ -55,6 +55,7 @@ from repro.core.fsr.ring import Ring
 from repro.core.fsr.segmentation import Reassembler, Segment, split_payload
 from repro.errors import ProtocolError
 from repro.net.dispatch import Port
+from repro.obs.span import SpanLog
 from repro.sim.trace import TraceLog
 from repro.types import (
     Delivery,
@@ -86,6 +87,7 @@ class FSRProcess(TotalOrderBroadcast):
         trace: Optional[TraceLog] = None,
         tx_gate: Optional[Callable[[], bool]] = None,
         cpu_submit: Optional[Callable[[int, Callable[[], None]], Any]] = None,
+        spans: Optional[SpanLog] = None,
     ) -> None:
         self.sim = sim
         self.port = port
@@ -93,6 +95,11 @@ class FSRProcess(TotalOrderBroadcast):
         self.config = config
         self.me: ProcessId = port.node_id
         self.trace = trace if trace is not None else TraceLog(enabled=False)
+        #: Per-message lifecycle spans (repro.obs); disabled by default,
+        #: and every emission site guards on ``spans.enabled`` before
+        #: building arguments so the disabled cost is one attribute
+        #: check and zero allocations.
+        self.spans = spans if spans is not None else SpanLog(enabled=False)
         #: Returns True when the NIC TX path can take another message;
         #: the harness wires this to the endpoint, unit tests leave the
         #: default (always ready).
@@ -212,6 +219,10 @@ class FSRProcess(TotalOrderBroadcast):
                 )
         self.stats_broadcasts += 1
         app_id = self._next_message_id()
+        if self.spans.enabled:
+            self.spans.emit(
+                self.sim.now, self.me, "broadcast", app_id.origin, app_id.local_seq
+            )
         segments = split_payload(app_id, payload, size_bytes, self.config.segment_size)
         for segment in segments:
             seg_id = app_id if segment.count == 1 else self._next_message_id()
@@ -518,6 +529,12 @@ class FSRProcess(TotalOrderBroadcast):
                 msg.message_id, msg.origin, msg.payload, msg.payload_size, msg.segment
             )
         else:
+            if self.spans.enabled:
+                app = msg.segment[0] if msg.segment is not None else msg.message_id
+                self.spans.emit(
+                    self.sim.now, self.me, "fwd_hop", app.origin, app.local_seq,
+                    hop=ring.position_of(self.me),
+                )
             self._scheduler.enqueue_forward(
                 FwdData(
                     message_id=msg.message_id,
@@ -558,6 +575,18 @@ class FSRProcess(TotalOrderBroadcast):
             self.sim.now, "fsr", "sequence",
             me=self.me, msg=str(message_id), seq=sequence, stable=stable_at_birth,
         )
+        if self.spans.enabled:
+            app = segment[0] if segment is not None else message_id
+            self.spans.emit(
+                self.sim.now, self.me, "sequenced", app.origin, app.local_seq,
+                sequence=sequence,
+            )
+            if stable_at_birth:
+                # t = 0: the leader's copy alone is the stability set.
+                self.spans.emit(
+                    self.sim.now, self.me, "stable", app.origin, app.local_seq,
+                    sequence=sequence,
+                )
         if stable_at_birth:
             self._mark_deliverable(sequence)
         if ring.n == 1:
@@ -599,6 +628,20 @@ class FSRProcess(TotalOrderBroadcast):
         )
         my_pos = ring.position_of(self.me)
         stabilising = (not msg.stable) and my_pos == ring.t
+        if self.spans.enabled:
+            app = msg.segment[0] if msg.segment is not None else msg.message_id
+            if 0 < my_pos <= ring.t and not msg.stable:
+                # A backup just retained its copy (via _learn_sequenced).
+                self.spans.emit(
+                    self.sim.now, self.me, "stored", app.origin, app.local_seq,
+                    sequence=msg.sequence, hop=my_pos,
+                )
+            if stabilising:
+                # Transited the last backup p_t: now survives any t crashes.
+                self.spans.emit(
+                    self.sim.now, self.me, "stable", app.origin, app.local_seq,
+                    sequence=msg.sequence,
+                )
         out_stable = msg.stable or stabilising
         if out_stable:
             self._mark_deliverable(msg.sequence)
@@ -633,6 +676,14 @@ class FSRProcess(TotalOrderBroadcast):
         self._learn_from_ack(ack)
         my_pos = ring.position_of(self.me)
         stabilising = (not ack.stable) and my_pos == ring.t
+        if self.spans.enabled and stabilising:
+            record = self._records.get(ack.sequence)
+            seg = record.segment if record is not None else None
+            app = seg[0] if seg is not None else ack.message_id
+            self.spans.emit(
+                self.sim.now, self.me, "stable", app.origin, app.local_seq,
+                sequence=ack.sequence,
+            )
         out_stable = ack.stable or stabilising
         if out_stable:
             self._mark_deliverable(ack.sequence)
@@ -761,6 +812,12 @@ class FSRProcess(TotalOrderBroadcast):
             )
         completed = self._reassembler.on_segment(app_segment)
         if completed is not None:
+            if self.spans.enabled:
+                app = app_segment.app_message_id
+                self.spans.emit(
+                    self.sim.now, self.me, "delivered", app.origin, app.local_seq,
+                    sequence=entry.sequence,
+                )
             payload, size = completed
             self._listener.deliver(origin, app_segment.app_message_id, payload, size)
         self._maybe_gc()

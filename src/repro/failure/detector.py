@@ -86,9 +86,18 @@ class OracleFailureDetector(FailureDetector):
 
 @dataclass
 class _Heartbeat:
-    """Tiny liveness probe."""
+    """Tiny liveness probe.
+
+    ``echo`` / ``sent_at`` support RTT telemetry on the live control
+    plane: a detector with an ``rtt_observer`` echoes every probe back
+    with the original send timestamp, and the prober observes the round
+    trip.  Without an observer (the simulator) no echoes are ever sent,
+    so simulated message counts are unchanged.
+    """
 
     sender: ProcessId
+    echo: bool = False
+    sent_at: float = 0.0
 
     def wire_size_bytes(self) -> int:
         return 8
@@ -112,6 +121,7 @@ class HeartbeatFailureDetector(FailureDetector):
         interval_s: float = 10e-3,
         timeout_s: float = 100e-3,
         trace: Optional[TraceLog] = None,
+        rtt_observer: Optional[Callable[[ProcessId, float], None]] = None,
     ) -> None:
         super().__init__()
         self.sim = sim
@@ -119,6 +129,11 @@ class HeartbeatFailureDetector(FailureDetector):
         self.interval_s = interval_s
         self.timeout_s = timeout_s
         self.trace = trace if trace is not None else TraceLog(enabled=False)
+        #: Telemetry hook: ``rtt_observer(peer, rtt_s)`` per echoed
+        #: probe.  Setting it also makes this detector echo peers'
+        #: probes; ``None`` (the default, and always in simulation)
+        #: keeps the wire protocol exactly one heartbeat per interval.
+        self._rtt_observer = rtt_observer
         self._monitored: Set[ProcessId] = set()
         self._last_heard: Dict[ProcessId, float] = {}
         self._stopped = False
@@ -143,6 +158,17 @@ class HeartbeatFailureDetector(FailureDetector):
     # ------------------------------------------------------------------
     def _on_heartbeat(self, src: ProcessId, message: _Heartbeat) -> None:
         self._last_heard[src] = self.sim.now
+        if self._rtt_observer is None:
+            return
+        if message.echo:
+            self._rtt_observer(src, self.sim.now - message.sent_at)
+        else:
+            self.port.send(
+                src,
+                _Heartbeat(
+                    sender=self.port.node_id, echo=True, sent_at=message.sent_at
+                ),
+            )
 
     def _tick(self) -> None:
         if self._stopped:
@@ -150,7 +176,7 @@ class HeartbeatFailureDetector(FailureDetector):
         me = self.port.node_id
         for pid in self._monitored:
             if pid not in self._suspected:
-                self.port.send(pid, _Heartbeat(sender=me))
+                self.port.send(pid, _Heartbeat(sender=me, sent_at=self.sim.now))
         deadline = self.sim.now - self.timeout_s
         for pid in sorted(self._monitored):
             if pid in self._suspected:

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import logging
 import signal
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, TextIO, Tuple
@@ -50,11 +51,16 @@ from repro.failure.detector import FailureDetector, HeartbeatFailureDetector
 from repro.live.scheduler import AsyncioScheduler
 from repro.live.transport import RingTransport
 from repro.net.channel import MAX_RETRIES
+from repro.obs.journal import SpanJournal
+from repro.obs.span import SpanLog
+from repro.obs.telemetry import Telemetry
 from repro.types import Delivery, MessageId, ProcessId, View
 from repro.vsc.membership import FlushState, GroupMembership
 
 #: How often the quiescence monitor samples traffic counters.
 _POLL_S = 0.05
+#: How often a span-journalling node snapshots telemetry to its file.
+_TELEMETRY_SNAPSHOT_S = 1.0
 
 
 @dataclass
@@ -93,6 +99,12 @@ class LiveNodeConfig:
     #: JSONL event journal, appended and flushed as events happen so a
     #: SIGKILLed node still leaves its log behind.
     journal_path: Optional[str] = None
+    #: JSONL span/telemetry journal (``repro.obs``); ``None`` disables
+    #: span emission entirely (the hot path pays one attribute check).
+    span_path: Optional[str] = None
+    #: Python logging level name for this node's process ("INFO", ...);
+    #: ``None`` leaves logging unconfigured (silent).
+    log_level: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.node_id not in self.members:
@@ -128,6 +140,8 @@ class LiveNodeConfig:
             "heartbeat_timeout_s": self.heartbeat_timeout_s,
             "messages_per_sender": self.messages_per_sender,
             "journal_path": self.journal_path,
+            "span_path": self.span_path,
+            "log_level": self.log_level,
         }
 
     @classmethod
@@ -153,6 +167,8 @@ class LiveNodeConfig:
             heartbeat_timeout_s=data.get("heartbeat_timeout_s", 1.0),
             messages_per_sender=data.get("messages_per_sender"),
             journal_path=data.get("journal_path"),
+            span_path=data.get("span_path"),
+            log_level=data.get("log_level"),
         )
 
 
@@ -321,6 +337,21 @@ class _Journal:
             self._fh = None
 
 
+def _configure_logging(config: LiveNodeConfig) -> logging.Logger:
+    """Per-node logger; ``log_level`` configures the root handler.
+
+    Each node is its own OS process, so ``basicConfig`` here also turns
+    on the transport's module-level logger without cross-node bleed.
+    """
+    if config.log_level:
+        level = getattr(logging, config.log_level.upper(), logging.INFO)
+        logging.basicConfig(
+            level=level,
+            format="%(asctime)s %(levelname)s %(name)s %(message)s",
+        )
+    return logging.getLogger(f"repro.live.node.{config.node_id}")
+
+
 @dataclass
 class _NodeRun:
     """Mutable state of one node's workload while the loop runs."""
@@ -340,6 +371,11 @@ async def _run(config: LiveNodeConfig) -> Dict[str, Any]:
     position = members.index(me)
     successor = members[(position + 1) % len(members)]
     journal = _Journal(config.journal_path)
+    logger = _configure_logging(config)
+    telemetry = Telemetry()
+    # capacity=0: sinks (the span journal) still fire, but nothing
+    # accumulates in memory — a live node's spans live on disk only.
+    spans = SpanLog(enabled=config.span_path is not None, capacity=0)
 
     transport = RingTransport(
         node_id=me,
@@ -360,11 +396,18 @@ async def _run(config: LiveNodeConfig) -> Dict[str, Any]:
         transport.on_control = dispatch
         fd_port = dispatch.port(transport, "fd", sched)
         vsc_port = dispatch.port(transport, "vsc", sched)
+        # RTT observation doubles heartbeat traffic (probe + echo), so
+        # only turn it on when this run is collecting observability data.
+        rtt_observer = None
+        if config.span_path is not None:
+            rtt_hist = telemetry.histogram("heartbeat_rtt_s")
+            rtt_observer = lambda peer, rtt: rtt_hist.observe(rtt)  # noqa: E731
         detector: FailureDetector = HeartbeatFailureDetector(
             sched,
             fd_port,
             interval_s=config.heartbeat_interval_s,
             timeout_s=config.heartbeat_timeout_s,
+            rtt_observer=rtt_observer,
         )
     else:
         fd_port = None
@@ -376,6 +419,7 @@ async def _run(config: LiveNodeConfig) -> Dict[str, Any]:
         detector,
         me=me,
         initial_members=members,
+        telemetry=telemetry,
     )
     process = FSRProcess(
         sched,
@@ -383,6 +427,7 @@ async def _run(config: LiveNodeConfig) -> Dict[str, Any]:
         membership,
         FSRConfig(t=config.t),
         tx_gate=lambda: transport.tx_ready,
+        spans=spans,
     )
     transport.on_tx_idle(process.on_tx_ready)
 
@@ -481,10 +526,49 @@ async def _run(config: LiveNodeConfig) -> Dict[str, Any]:
             f"node {me}: no inbound connection after {timeout:.0f}s"
         )
     await asyncio.sleep(config.settle_s)
+    logger.info(
+        "ring up: position=%d successor=%d members=%s", position, successor,
+        list(members),
+    )
+
+    def telemetry_snapshot() -> Dict[str, Any]:
+        """Registry snapshot merged with the transport's live counters.
+
+        Counter/gauge names match what ``repro.obs.analyze`` reads
+        (``transport_bytes_sent``, ``transport_tx_stalls``,
+        ``transport_queued_bytes``).
+        """
+        snap = telemetry.snapshot()
+        counters = snap["counters"]
+        counters["transport_frames_sent"] = transport.frames_sent
+        counters["transport_frames_received"] = transport.frames_received
+        counters["transport_bytes_sent"] = transport.bytes_sent
+        counters["transport_bytes_received"] = transport.bytes_received
+        counters["transport_reconnects"] = transport.reconnects
+        counters["transport_retargets"] = transport.retargets
+        counters["transport_tx_stalls"] = transport.tx_stalls
+        counters["transport_control_frames_sent"] = transport.control_frames_sent
+        counters["transport_control_frames_received"] = (
+            transport.control_frames_received
+        )
+        snap["gauges"]["transport_queued_bytes"] = {
+            "value": float(transport.queued_bytes),
+            "high_water": float(transport.queued_bytes_hwm),
+        }
+        return snap
+
+    # The span journal opens just before the protocol starts: peers that
+    # raced ahead may hand us deliverable traffic from inside
+    # ``process.start()``, and those spans must reach the sink.
+    span_journal: Optional[SpanJournal] = None
+    if config.span_path is not None:
+        span_journal = SpanJournal(config.span_path, me, start_time=sched.now)
+        spans.add_sink(span_journal.sink())
     process.start()
 
     start_time = sched.now
     journal.write({"type": "start", "time": start_time, "node_id": me})
+    logger.info("protocol started at %.6f", start_time)
     if config.messages_per_sender is not None:
         # Fixed-count workload: no time deadline; quiescence decides.
         deadline[0] = start_time
@@ -512,21 +596,31 @@ async def _run(config: LiveNodeConfig) -> Dict[str, Any]:
     timed_out = False
     last_counters = (-1, -1)
     last_change = sched.now
+    last_snapshot = sched.now
     while True:
         try:
             await asyncio.wait_for(stop_requested.wait(), _POLL_S)
+            logger.info("stop requested (SIGTERM)")
             break
         except asyncio.TimeoutError:
             pass
         now = sched.now
+        if (
+            span_journal is not None
+            and now - last_snapshot >= _TELEMETRY_SNAPSHOT_S
+        ):
+            span_journal.write_telemetry(now, telemetry_snapshot())
+            last_snapshot = now
         counters = (transport.frames_received, transport.frames_sent)
         if counters != last_counters or transport.queued_bytes > 0:
             last_counters = counters
             last_change = now
         if transport.failure is not None:
+            logger.error("transport failure: %s", transport.failure)
             raise NetworkError(f"node {me}: {transport.failure}")
         if now - start_time >= config.max_run_s:
             timed_out = True
+            logger.warning("max_run_s (%.1fs) reached", config.max_run_s)
             break
         if config.view_changes:
             continue  # the launcher signals the stop
@@ -544,6 +638,11 @@ async def _run(config: LiveNodeConfig) -> Dict[str, Any]:
     if isinstance(detector, HeartbeatFailureDetector):
         detector.stop()
     await transport.close()
+    logger.info(
+        "stopped after %.3fs: %d broadcast, %d delivered, %d reconnects, "
+        "%d tx stalls", end_time - start_time, len(run.sent),
+        len(run.app_deliveries), transport.reconnects, transport.tx_stalls,
+    )
 
     final_view = membership.view
     if isinstance(client, _RewiringClient) and client.current_view is not None:
@@ -588,7 +687,11 @@ async def _run(config: LiveNodeConfig) -> Dict[str, Any]:
             "acks_piggybacked": process.stats_acks_piggybacked,
             "acks_standalone": process.stats_acks_standalone,
         },
+        "telemetry": telemetry_snapshot(),
     }
+    if span_journal is not None:
+        span_journal.write_telemetry(end_time, record["telemetry"])
+        span_journal.close()
     journal.write({"type": "end", "time": end_time})
     journal.close()
     return record

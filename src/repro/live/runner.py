@@ -39,6 +39,8 @@ from repro.core.fsr.config import FSRConfig
 from repro.errors import ConfigurationError, NetworkError
 from repro.live.node import LiveNodeConfig
 from repro.metrics.collector import ExperimentMetrics, collect_metrics
+from repro.obs.analyze import StageBreakdown, crosscheck_latency, stage_breakdown
+from repro.obs.journal import Timeline, merge_span_journals
 from repro.types import BroadcastRecord, Delivery, MessageId, ProcessId
 from repro.workloads.patterns import KToNPattern
 from repro.workloads.driver import WorkloadOutcome
@@ -72,6 +74,10 @@ class LiveClusterSpec:
     heartbeat_timeout_s: float = 1.0
     #: Fixed-count workload (overrides ``duration_s`` as the stop rule).
     messages_per_sender: Optional[int] = None
+    #: Collect per-message lifecycle spans + telemetry (``repro.obs``).
+    spans: bool = False
+    #: Python logging level for the node processes ("INFO", "DEBUG", ...).
+    log_level: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.processes < 2:
@@ -102,6 +108,11 @@ class LiveRunResult:
     order_ok: bool
     order_error: Optional[str]
     timed_out: bool
+    #: Merged cross-node span timeline (``spec.spans`` runs only).
+    timeline: Optional[Timeline] = None
+    #: Latency stage breakdown over the timeline, cross-checked against
+    #: the collector's end-to-end latency.
+    breakdown: Optional[StageBreakdown] = None
 
 
 def _free_ports(host: str, count: int) -> List[int]:
@@ -157,6 +168,7 @@ class LiveCluster:
         }
         self.out_paths: Dict[ProcessId, str] = {}
         self.journal_paths: Dict[ProcessId, str] = {}
+        self.span_paths: Dict[ProcessId, str] = {}
         self.procs: Dict[ProcessId, subprocess.Popen] = {}
         env = _node_env()
         try:
@@ -164,6 +176,11 @@ class LiveCluster:
                 journal_path = (
                     os.path.join(workdir, f"node{pid}.journal.jsonl")
                     if journals
+                    else None
+                )
+                span_path = (
+                    os.path.join(workdir, f"node{pid}.spans.jsonl")
+                    if spec.spans
                     else None
                 )
                 config = LiveNodeConfig(
@@ -184,6 +201,8 @@ class LiveCluster:
                     heartbeat_timeout_s=spec.heartbeat_timeout_s,
                     messages_per_sender=spec.messages_per_sender,
                     journal_path=journal_path,
+                    span_path=span_path,
+                    log_level=spec.log_level,
                 )
                 config_path = os.path.join(workdir, f"node{pid}.json")
                 out_path = os.path.join(workdir, f"node{pid}.out.json")
@@ -192,6 +211,8 @@ class LiveCluster:
                 self.out_paths[pid] = out_path
                 if journal_path is not None:
                     self.journal_paths[pid] = journal_path
+                if span_path is not None:
+                    self.span_paths[pid] = span_path
                 self.procs[pid] = subprocess.Popen(
                     [
                         sys.executable,
@@ -304,15 +325,36 @@ class LiveCluster:
                 pass
 
 
-def launch_live_cluster(spec: LiveClusterSpec) -> Dict[ProcessId, Dict[str, Any]]:
-    """Run the multi-process cluster; returns raw per-node records."""
+def merge_span_timeline(
+    cluster: LiveCluster, records: Dict[ProcessId, Dict[str, Any]]
+) -> Optional[Timeline]:
+    """Merge the cluster's span journals, rebased to the records' origin.
+
+    The rebase origin is the earliest node ``start_time`` — the *same*
+    origin :func:`merge_node_records` uses — so span timestamps line up
+    exactly with the merged :class:`ExperimentResult` and the stage
+    breakdown can be cross-checked against the metrics collector.
+    """
+    if not cluster.span_paths:
+        return None
+    t0 = min(record["start_time"] for record in records.values())
+    return merge_span_journals(cluster.span_paths, t0=t0)
+
+
+def launch_live_cluster(
+    spec: LiveClusterSpec,
+) -> Tuple[Dict[ProcessId, Dict[str, Any]], Optional[Timeline]]:
+    """Run the multi-process cluster; returns per-node records and the
+    merged span timeline (``None`` unless ``spec.spans``)."""
     deadline_s = spec.connect_timeout_s + spec.max_run_s + _KILL_SLACK_S
     with tempfile.TemporaryDirectory(prefix="repro-live-") as workdir:
         cluster = LiveCluster(spec, workdir)
         try:
             cluster.wait(deadline_s)
             cluster.raise_on_failures()
-            return cluster.collect()
+            records = cluster.collect()
+            # Span journals live in the tempdir — merge before it goes.
+            return records, merge_span_timeline(cluster, records)
         finally:
             cluster.shutdown()
 
@@ -527,10 +569,17 @@ def simulate_comparison(
 
 def run_live_cluster(spec: LiveClusterSpec) -> LiveRunResult:
     """Launch, merge, verify, and measure one live loopback run."""
-    records = launch_live_cluster(spec)
+    records, timeline = launch_live_cluster(spec)
     result, outcome = merge_node_records(spec, records)
     order_error = check_live_order(result)
     metrics = collect_metrics(outcome)
+    breakdown = None
+    if timeline is not None and timeline.events:
+        # Stage breakdown and collector latency share one submission
+        # timestamp source (``result.broadcasts``); the cross-check
+        # asserts the per-stage sums agree with the end-to-end number.
+        breakdown = stage_breakdown(timeline, broadcasts=result.broadcasts)
+        crosscheck_latency(breakdown, metrics.mean_latency_s)
     return LiveRunResult(
         result=result,
         outcome=outcome,
@@ -539,6 +588,8 @@ def run_live_cluster(spec: LiveClusterSpec) -> LiveRunResult:
         order_ok=order_error is None,
         order_error=order_error,
         timed_out=any(r.get("timed_out") for r in records.values()),
+        timeline=timeline,
+        breakdown=breakdown,
     )
 
 
@@ -583,6 +634,9 @@ def bench_payload(
                 str(pid): record["stats"]
                 for pid, record in live.node_records.items()
             },
+            "stage_breakdown": (
+                live.breakdown.to_dict() if live.breakdown is not None else None
+            ),
         },
         "sim": (
             None
@@ -602,10 +656,14 @@ def bench_payload(
 
 
 def run_live_benchmark(
-    spec: LiveClusterSpec, out_path: str = "BENCH_live.json"
+    spec: LiveClusterSpec,
+    out_path: str = "BENCH_live.json",
+    timeline_path: Optional[str] = None,
 ) -> Dict[str, Any]:
     """The full ``python -m repro live`` pipeline; writes ``out_path``."""
     live = run_live_cluster(spec)
+    if timeline_path is not None and live.timeline is not None:
+        live.timeline.write_jsonl(timeline_path)
     sim_metrics = None
     sim_messages: Optional[int] = None
     if spec.sim_compare:

@@ -28,6 +28,7 @@ FIFO channel the paper assumes; what this module adds is:
 from __future__ import annotations
 
 import asyncio
+import logging
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import CodecError, NetworkError
@@ -44,6 +45,8 @@ from repro.live.codec import (
 )
 from repro.net.channel import MAX_RETRIES
 from repro.types import ProcessId
+
+logger = logging.getLogger(__name__)
 
 ReceiveHandler = Callable[[ProcessId, Any], None]
 ControlHandler = Callable[[str, ProcessId, Any], None]
@@ -217,6 +220,10 @@ class RingTransport:
         self.retargets = 0
         self.control_frames_sent = 0
         self.control_frames_received = 0
+        #: Times the TX gate transitioned open -> closed (backpressure).
+        self.tx_stalls = 0
+        #: High-water mark of the outbound queue depth, in bytes.
+        self.queued_bytes_hwm = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -308,6 +315,10 @@ class RingTransport:
         self.successor_addr = successor_addr
         self._epoch += 1
         self.retargets += 1
+        logger.info(
+            "node %d: ring retargeted to successor %d at %s:%d",
+            self.node_id, successor_id, successor_addr[0], successor_addr[1],
+        )
         self._outbound.clear()
         self._queued_bytes = 0
         self._failure = None
@@ -349,7 +360,15 @@ class RingTransport:
         frame = encode_frame(message)
         self._outbound.append(frame)
         self._queued_bytes += len(frame)
+        if self._queued_bytes > self.queued_bytes_hwm:
+            self.queued_bytes_hwm = self._queued_bytes
         if not self.tx_ready:
+            if not self._gate_closed:
+                self.tx_stalls += 1
+                logger.debug(
+                    "node %d: TX gate closed at %d queued bytes",
+                    self.node_id, self._queued_bytes,
+                )
             self._gate_closed = True
         self._wakeup.set()
 
@@ -372,6 +391,7 @@ class RingTransport:
                         f"successor {self.successor_id} unreachable after "
                         f"{self.max_retries} attempts"
                     )
+                    logger.error("node %d: %s", self.node_id, self._failure)
                     return
                 self._dial_wakeup.clear()
                 try:
@@ -387,6 +407,10 @@ class RingTransport:
 
             if retries > 0:
                 self.reconnects += 1
+                logger.warning(
+                    "node %d: reconnected to successor %d after %d failed "
+                    "dial(s)", self.node_id, self.successor_id, retries,
+                )
             retries = 0
             self._writer = writer
             try:

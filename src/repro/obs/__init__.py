@@ -1,0 +1,88 @@
+"""Unified observability: message-lifecycle spans and runtime telemetry.
+
+One instrumentation layer for both runtimes — the discrete-event
+simulator and the live asyncio/TCP cluster emit the same per-message
+lifecycle spans (``broadcast -> fwd_hop -> sequenced -> stored ->
+stable -> delivered``) through the shared ``Clock`` protocol, and live
+nodes add operational telemetry the simulator cannot see (reconnects,
+backpressure stalls, heartbeat RTTs, view-install durations).
+
+Everything is off by default and free when disabled; see DESIGN.md
+§"Observability" and ``python -m repro obs``.
+
+Only :mod:`repro.obs.span` is imported eagerly: the protocol core
+imports it, so the package init must not pull in the analysis side
+(whose stats helpers live next to the metrics collector, which imports
+the cluster, which imports the protocol core).  The remaining names
+resolve lazily on first attribute access.
+"""
+
+from typing import TYPE_CHECKING
+
+from repro.obs.span import KIND_RANK, SPAN_KINDS, SpanEvent, SpanLog
+
+if TYPE_CHECKING:  # pragma: no cover - typing-time only
+    from repro.obs.analyze import (  # noqa: F401
+        LinkUtilization,
+        StageBreakdown,
+        StageStats,
+        crosscheck_latency,
+        link_utilization,
+        prometheus_snapshot,
+        recovery_outage_from_spans,
+        render_link_table,
+        stage_breakdown,
+    )
+    from repro.obs.journal import (  # noqa: F401
+        SpanJournal,
+        Timeline,
+        load_span_journal,
+        merge_span_journals,
+        timeline_from_spanlog,
+    )
+    from repro.obs.telemetry import (  # noqa: F401
+        Counter,
+        Gauge,
+        Histogram,
+        Telemetry,
+        render_prometheus,
+    )
+
+_LAZY = {
+    "LinkUtilization": "repro.obs.analyze",
+    "StageBreakdown": "repro.obs.analyze",
+    "StageStats": "repro.obs.analyze",
+    "crosscheck_latency": "repro.obs.analyze",
+    "link_utilization": "repro.obs.analyze",
+    "prometheus_snapshot": "repro.obs.analyze",
+    "recovery_outage_from_spans": "repro.obs.analyze",
+    "render_link_table": "repro.obs.analyze",
+    "stage_breakdown": "repro.obs.analyze",
+    "SpanJournal": "repro.obs.journal",
+    "Timeline": "repro.obs.journal",
+    "load_span_journal": "repro.obs.journal",
+    "merge_span_journals": "repro.obs.journal",
+    "timeline_from_spanlog": "repro.obs.journal",
+    "Counter": "repro.obs.telemetry",
+    "Gauge": "repro.obs.telemetry",
+    "Histogram": "repro.obs.telemetry",
+    "Telemetry": "repro.obs.telemetry",
+    "render_prometheus": "repro.obs.telemetry",
+}
+
+__all__ = [
+    "KIND_RANK",
+    "SPAN_KINDS",
+    "SpanEvent",
+    "SpanLog",
+    *sorted(_LAZY),
+]
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.obs' has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

@@ -1,0 +1,380 @@
+"""Timeline analysis: latency-stage breakdown and link utilization.
+
+The paper's latency story (§4.3.1) is stage-level: end-to-end latency
+decomposes into the forward hops to the leader, the sequencing wait,
+and the stability wait.  :func:`stage_breakdown` reproduces that
+decomposition from a merged span timeline:
+
+* **hop** — TO-broadcast until the leader assigns a sequence number
+  (the ``FwdData`` arc plus the leader's queue);
+* **sequencing** — sequence assignment until the message becomes
+  *stable* at the last backup ``p_t`` (the ``SeqData`` ring transit);
+* **stability** — stability until the last process app-delivers
+  (stable/ack propagation plus hold-back release).
+
+The three components sum to the end-to-end latency *by construction*
+(each boundary is one span event), so the breakdown and the metrics
+collector cannot tell different stories — and a cross-check against
+``ExperimentResult.broadcasts`` submission timestamps enforces that the
+two reports share one submission-time source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import CheckFailure
+from repro.metrics.stats import mean, percentile
+from repro.obs.journal import Timeline
+from repro.obs.telemetry import render_prometheus
+from repro.types import BroadcastRecord, MessageId
+
+#: Stage names in lifecycle order.
+STAGES = ("hop", "sequencing", "stability")
+
+#: Allowed drift between a ``broadcast`` span and the authoritative
+#: submission timestamp in ``ExperimentResult.broadcasts``.  Both are
+#: stamped in the same event-loop iteration (the same sim instant in
+#: simulation), so anything beyond bookkeeping jitter means the two
+#: reports no longer share a submission-time source.
+SUBMIT_DRIFT_TOLERANCE_S = 0.010
+
+
+@dataclass(frozen=True)
+class StageStats:
+    """Distribution summary of one latency stage across messages."""
+
+    mean_s: float
+    p50_s: float
+    p99_s: float
+    #: This stage's share of mean end-to-end latency (0..1).
+    share: float
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "mean_s": self.mean_s,
+            "p50_s": self.p50_s,
+            "p99_s": self.p99_s,
+            "share": self.share,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, float]) -> "StageStats":
+        return cls(
+            mean_s=data["mean_s"],
+            p50_s=data["p50_s"],
+            p99_s=data["p99_s"],
+            share=data["share"],
+        )
+
+
+@dataclass
+class StageBreakdown:
+    """Latency-stage decomposition of a run."""
+
+    messages: int
+    #: Messages skipped for an incomplete lifecycle (e.g. in flight at
+    #: a crash, or delivered only after the trace window closed).
+    skipped: int
+    stages: Dict[str, StageStats]
+    end_to_end: StageStats
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "messages": self.messages,
+            "skipped": self.skipped,
+            "stages": {name: s.to_dict() for name, s in self.stages.items()},
+            "end_to_end": self.end_to_end.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "StageBreakdown":
+        return cls(
+            messages=data["messages"],
+            skipped=data["skipped"],
+            stages={
+                name: StageStats.from_dict(s)
+                for name, s in data["stages"].items()
+            },
+            end_to_end=StageStats.from_dict(data["end_to_end"]),
+        )
+
+    def render_table(self) -> str:
+        header = f"{'stage':<12} {'mean ms':>9} {'p50 ms':>9} {'p99 ms':>9} {'share':>7}"
+        lines = [header, "-" * len(header)]
+        for name in STAGES:
+            s = self.stages[name]
+            lines.append(
+                f"{name:<12} {s.mean_s * 1e3:>9.2f} {s.p50_s * 1e3:>9.2f} "
+                f"{s.p99_s * 1e3:>9.2f} {s.share * 100:>6.1f}%"
+            )
+        e = self.end_to_end
+        lines.append("-" * len(header))
+        lines.append(
+            f"{'end-to-end':<12} {e.mean_s * 1e3:>9.2f} {e.p50_s * 1e3:>9.2f} "
+            f"{e.p99_s * 1e3:>9.2f} {'100.0%':>7}"
+        )
+        lines.append(f"({self.messages} messages, {self.skipped} incomplete)")
+        return "\n".join(lines)
+
+
+def _stats(samples: Sequence[float], mean_e2e: float) -> StageStats:
+    return StageStats(
+        mean_s=mean(samples),
+        p50_s=percentile(samples, 50.0),
+        p99_s=percentile(samples, 99.0),
+        share=(mean(samples) / mean_e2e) if mean_e2e > 0 else 0.0,
+    )
+
+
+def stage_breakdown(
+    timeline: Timeline,
+    broadcasts: Optional[Iterable[BroadcastRecord]] = None,
+    completions: Optional[Dict[MessageId, float]] = None,
+    submit_tolerance_s: float = SUBMIT_DRIFT_TOLERANCE_S,
+) -> StageBreakdown:
+    """Decompose per-message latency into hop/sequencing/stability.
+
+    ``broadcasts`` (when the caller has an ``ExperimentResult``) is the
+    authoritative submission-time source — the same one
+    :func:`repro.metrics.collector.collect_metrics` uses.  Each
+    message's ``broadcast`` span is cross-checked against it and a
+    :class:`~repro.errors.CheckFailure` raised on drift beyond
+    ``submit_tolerance_s``, so the stage breakdown and the latency
+    report cannot silently diverge.  ``completions`` likewise overrides
+    the last ``delivered`` span (pass
+    ``result.completion_times()`` to score only correct processes).
+    Standalone timeline analysis (``python -m repro obs`` on a file)
+    passes neither and trusts the spans.
+    """
+    submit_times: Optional[Dict[MessageId, float]] = None
+    if broadcasts is not None:
+        submit_times = {
+            record.message_id: record.submit_time for record in broadcasts
+        }
+
+    hop: List[float] = []
+    sequencing: List[float] = []
+    stability: List[float] = []
+    end_to_end: List[float] = []
+    skipped = 0
+
+    for message_id, events in timeline.by_message().items():
+        first: Dict[str, float] = {}
+        last_delivered: Optional[float] = None
+        for event in events:
+            if event.kind == "delivered":
+                if last_delivered is None or event.time > last_delivered:
+                    last_delivered = event.time
+            elif event.kind not in first:
+                first[event.kind] = event.time
+
+        completion = last_delivered
+        if completions is not None:
+            completion = completions.get(message_id, completion)
+        if (
+            "broadcast" not in first
+            or "sequenced" not in first
+            or "stable" not in first
+            or completion is None
+        ):
+            skipped += 1
+            continue
+
+        submit = first["broadcast"]
+        if submit_times is not None:
+            authoritative = submit_times.get(message_id)
+            if authoritative is None:
+                raise CheckFailure(
+                    f"span timeline has {message_id} but "
+                    "ExperimentResult.broadcasts does not: the stage "
+                    "breakdown and the metrics report disagree on what "
+                    "was submitted"
+                )
+            if abs(authoritative - submit) > submit_tolerance_s:
+                raise CheckFailure(
+                    f"{message_id}: broadcast span at {submit:.6f} but "
+                    f"recorded submission at {authoritative:.6f} "
+                    f"(drift {abs(authoritative - submit) * 1e3:.2f} ms > "
+                    f"{submit_tolerance_s * 1e3:.1f} ms): submission "
+                    "timestamps no longer share one source"
+                )
+            submit = authoritative
+
+        # Boundaries are shared span events, so the three components
+        # sum to the end-to-end value exactly.
+        hop.append(first["sequenced"] - submit)
+        sequencing.append(first["stable"] - first["sequenced"])
+        stability.append(completion - first["stable"])
+        end_to_end.append(completion - submit)
+
+    if not end_to_end:
+        raise CheckFailure(
+            "no message in the timeline completed a full lifecycle "
+            "(broadcast/sequenced/stable/delivered); was the run traced "
+            "with spans enabled?"
+        )
+
+    mean_e2e = mean(end_to_end)
+    return StageBreakdown(
+        messages=len(end_to_end),
+        skipped=skipped,
+        stages={
+            "hop": _stats(hop, mean_e2e),
+            "sequencing": _stats(sequencing, mean_e2e),
+            "stability": _stats(stability, mean_e2e),
+        },
+        end_to_end=_stats(end_to_end, mean_e2e),
+    )
+
+
+def crosscheck_latency(
+    breakdown: StageBreakdown,
+    mean_latency_s: float,
+    rel_tolerance: float = 0.05,
+) -> None:
+    """Assert the stage sum matches the metrics collector's latency.
+
+    The acceptance bar for the observability layer: hop + sequencing +
+    stability must explain the measured end-to-end number, not merely
+    co-exist with it.
+    """
+    stage_sum = sum(breakdown.stages[name].mean_s for name in STAGES)
+    reference = max(mean_latency_s, 1e-9)
+    drift = abs(stage_sum - mean_latency_s) / reference
+    if drift > rel_tolerance:
+        raise CheckFailure(
+            f"stage breakdown sums to {stage_sum * 1e3:.2f} ms but the "
+            f"metrics collector measured {mean_latency_s * 1e3:.2f} ms "
+            f"end-to-end ({drift * 100:.1f}% apart > "
+            f"{rel_tolerance * 100:.0f}%)"
+        )
+
+
+# ----------------------------------------------------------------------
+# Per-link utilization
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class LinkUtilization:
+    """One ring link (node -> successor), from live telemetry."""
+
+    node: int
+    successor: int
+    bytes_sent: int
+    mbps: float
+    tx_stalls: int
+    queue_hwm_bytes: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "node": self.node,
+            "successor": self.successor,
+            "bytes_sent": self.bytes_sent,
+            "mbps": self.mbps,
+            "tx_stalls": self.tx_stalls,
+            "queue_hwm_bytes": self.queue_hwm_bytes,
+        }
+
+
+def link_utilization(timeline: Timeline) -> List[LinkUtilization]:
+    """Per-link throughput/backpressure from telemetry snapshots.
+
+    Nodes are assumed to be in ring order (live clusters number them
+    so); the link leaving node ``i`` lands on the next telemetry-bearing
+    node.  Empty when the timeline carries no telemetry (simulated runs
+    report NIC utilization through the simulator's own NIC stats).
+    """
+    nodes = sorted(timeline.telemetry)
+    if not nodes or timeline.duration_s <= 0:
+        return []
+    links: List[LinkUtilization] = []
+    for index, node in enumerate(nodes):
+        snap = timeline.telemetry[node]
+        counters = dict(snap.get("counters", {}))
+        gauges = dict(snap.get("gauges", {}))
+        bytes_sent = int(counters.get("transport_bytes_sent", 0))
+        links.append(
+            LinkUtilization(
+                node=node,
+                successor=nodes[(index + 1) % len(nodes)],
+                bytes_sent=bytes_sent,
+                mbps=bytes_sent * 8.0 / timeline.duration_s / 1e6,
+                tx_stalls=int(counters.get("transport_tx_stalls", 0)),
+                queue_hwm_bytes=float(
+                    dict(gauges.get("transport_queued_bytes", {})).get(
+                        "high_water", 0.0
+                    )
+                ),
+            )
+        )
+    return links
+
+
+def render_link_table(links: List[LinkUtilization]) -> str:
+    if not links:
+        return "(no telemetry in timeline — simulated run?)"
+    header = (
+        f"{'link':<10} {'Mb/s':>8} {'bytes':>12} {'stalls':>7} {'queue hwm':>10}"
+    )
+    lines = [header, "-" * len(header)]
+    for link in links:
+        lines.append(
+            f"{link.node}->{link.successor:<7} {link.mbps:>8.1f} "
+            f"{link.bytes_sent:>12} {link.tx_stalls:>7} "
+            f"{link.queue_hwm_bytes:>10.0f}"
+        )
+    return "\n".join(lines)
+
+
+def prometheus_snapshot(
+    timeline: Timeline, breakdown: Optional[StageBreakdown] = None
+) -> str:
+    """Prometheus text exposition: per-node telemetry + stage gauges."""
+    extra: Dict[str, float] = {}
+    if breakdown is not None:
+        for name in STAGES:
+            extra[f"latency_stage_{name}_mean_seconds"] = (
+                breakdown.stages[name].mean_s
+            )
+            extra[f"latency_stage_{name}_share"] = breakdown.stages[name].share
+        extra["latency_end_to_end_mean_seconds"] = breakdown.end_to_end.mean_s
+        extra["latency_end_to_end_p99_seconds"] = breakdown.end_to_end.p99_s
+    return render_prometheus(timeline.telemetry, extra=extra)
+
+
+# ----------------------------------------------------------------------
+# Recovery outage from spans (chaos-live's measurement path)
+# ----------------------------------------------------------------------
+
+def recovery_outage_from_spans(
+    timeline: Timeline,
+    crash_times: Sequence[float],
+    survivors: Iterable[int],
+) -> Optional[float]:
+    """Worst survivor gap in ``delivered`` spans straddling a crash, ms.
+
+    The span-timeline version of
+    :func:`repro.chaos.campaign.recovery_outage_ms`: instead of
+    ad-hoc per-scenario timing over delivery logs, the outage is read
+    off the same lifecycle timeline every other report uses, so outage
+    stats and traces cannot disagree.  ``None`` when nobody crashed or
+    no survivor delivered on both sides of a crash instant.
+    """
+    if not crash_times:
+        return None
+    per_node: Dict[int, List[float]] = {}
+    for event in timeline.events:
+        if event.kind == "delivered":
+            per_node.setdefault(event.node, []).append(event.time)
+    worst: Optional[float] = None
+    for node in sorted(survivors):
+        times = sorted(per_node.get(node, []))
+        for crash_at in crash_times:
+            before = [t for t in times if t <= crash_at]
+            after = [t for t in times if t > crash_at]
+            if before and after:
+                gap_ms = (min(after) - max(before)) * 1e3
+                worst = gap_ms if worst is None else max(worst, gap_ms)
+    return worst

@@ -1,0 +1,248 @@
+"""Span journals and the cross-node timeline merger.
+
+Live nodes append every span event (and periodic telemetry snapshots)
+to a per-node JSONL file, flushed line by line — the same
+crash-surviving discipline as the chaos event journal, so a SIGKILLed
+node's spans survive up to at worst one torn final line.  The merger
+joins per-node files into one :class:`Timeline`: all events rebased to
+a common origin and sorted, ready for ``python -m repro obs``.
+
+The monotonic clock live nodes stamp spans with is system-wide on
+Linux, so cross-process timestamps are directly comparable after a
+single rebase.  Simulated runs skip the files entirely —
+:func:`timeline_from_spanlog` wraps an in-memory ``SpanLog``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, TextIO
+
+from repro.obs.span import SpanEvent, SpanLog, lifecycle_sort_key
+from repro.types import MessageId
+
+SPAN_JOURNAL_SCHEMA = "repro.span_journal/1"
+TIMELINE_SCHEMA = "repro.timeline/1"
+
+
+class SpanJournal:
+    """Append-and-flush JSONL writer for one node's spans + telemetry.
+
+    The first line is a ``span_meta`` header naming the node; a journal
+    without it never reached the point of emitting spans and loaders
+    reject it (mirrors the chaos journal's start-barrier rule).
+    """
+
+    def __init__(self, path: Optional[str], node: int, start_time: float = 0.0) -> None:
+        self._fh: Optional[TextIO] = open(path, "w") if path else None
+        self.node = node
+        if self._fh is not None:
+            self._write({
+                "type": "span_meta",
+                "schema": SPAN_JOURNAL_SCHEMA,
+                "node": node,
+                "start_time": start_time,
+            })
+
+    def _write(self, entry: Dict[str, Any]) -> None:
+        if self._fh is None:
+            return
+        self._fh.write(json.dumps(entry) + "\n")
+        self._fh.flush()
+
+    def write_span(self, event: SpanEvent) -> None:
+        self._write(event.to_dict())
+
+    def write_telemetry(self, time: float, snapshot: Dict[str, Any]) -> None:
+        self._write({"type": "telemetry", "time": time, "snapshot": snapshot})
+
+    def sink(self) -> Any:
+        """A callable suitable for :meth:`SpanLog.add_sink`."""
+        return self.write_span
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+def load_span_journal(path: str) -> Optional[Dict[str, Any]]:
+    """Load one per-node span journal; torn-tail tolerant.
+
+    Returns ``None`` for a missing file or one with no ``span_meta``
+    header (the node never started emitting).  Otherwise returns
+    ``{"node", "start_time", "events", "telemetry"}`` where ``events``
+    is a list of :class:`SpanEvent` and ``telemetry`` the list of
+    snapshot entries in write order.
+    """
+    entries: List[Dict[str, Any]] = []
+    try:
+        with open(path) as fh:
+            for line in fh:
+                try:
+                    entries.append(json.loads(line))
+                except ValueError:
+                    break  # torn tail line from a SIGKILL mid-write
+    except OSError:
+        return None
+    meta = next((e for e in entries if e.get("type") == "span_meta"), None)
+    if meta is None:
+        return None
+    events = [
+        SpanEvent.from_dict(entry)
+        for entry in entries
+        if entry.get("type") == "span"
+    ]
+    telemetry = [entry for entry in entries if entry.get("type") == "telemetry"]
+    return {
+        "node": meta["node"],
+        "start_time": meta.get("start_time", 0.0),
+        "events": events,
+        "telemetry": telemetry,
+    }
+
+
+@dataclass
+class Timeline:
+    """A merged, rebased, time-sorted cross-node span timeline.
+
+    ``telemetry`` holds each node's *final* telemetry snapshot (the
+    live counters at the end of the run); ``duration_s`` spans from the
+    rebased origin to the last event, which is what the per-link
+    utilization summary divides by.
+    """
+
+    events: List[SpanEvent] = field(default_factory=list)
+    telemetry: Dict[int, Dict[str, Any]] = field(default_factory=dict)
+    duration_s: float = 0.0
+
+    def messages(self) -> List[MessageId]:
+        seen: Dict[MessageId, None] = {}
+        for event in self.events:
+            seen.setdefault(event.message_id, None)
+        return list(seen)
+
+    def lifecycle(self, message: MessageId) -> List[SpanEvent]:
+        return sorted(
+            (
+                e for e in self.events
+                if e.origin == message.origin and e.local_seq == message.local_seq
+            ),
+            key=lifecycle_sort_key,
+        )
+
+    def by_message(self) -> Dict[MessageId, List[SpanEvent]]:
+        """All lifecycles at once (one pass, not one scan per message)."""
+        grouped: Dict[MessageId, List[SpanEvent]] = {}
+        for event in self.events:
+            grouped.setdefault(event.message_id, []).append(event)
+        for events in grouped.values():
+            events.sort(key=lifecycle_sort_key)
+        return grouped
+
+    def nodes(self) -> List[int]:
+        ids = {e.node for e in self.events} | set(self.telemetry)
+        return sorted(ids)
+
+    # ------------------------------------------------------------------
+    # Persistence (the merged-timeline artifact ``repro obs`` consumes)
+    # ------------------------------------------------------------------
+    def write_jsonl(self, path: str) -> None:
+        with open(path, "w") as fh:
+            fh.write(json.dumps({
+                "type": "timeline_meta",
+                "schema": TIMELINE_SCHEMA,
+                "duration_s": self.duration_s,
+                "nodes": self.nodes(),
+            }) + "\n")
+            for node in sorted(self.telemetry):
+                fh.write(json.dumps({
+                    "type": "telemetry",
+                    "node": node,
+                    "snapshot": self.telemetry[node],
+                }) + "\n")
+            for event in self.events:
+                fh.write(json.dumps(event.to_dict()) + "\n")
+
+    @classmethod
+    def load_jsonl(cls, path: str) -> "Timeline":
+        events: List[SpanEvent] = []
+        telemetry: Dict[int, Dict[str, Any]] = {}
+        duration = 0.0
+        with open(path) as fh:
+            for line in fh:
+                try:
+                    entry = json.loads(line)
+                except ValueError:
+                    break  # tolerate a torn tail here too
+                kind = entry.get("type")
+                if kind == "timeline_meta":
+                    duration = float(entry.get("duration_s", 0.0))
+                elif kind == "telemetry":
+                    telemetry[int(entry["node"])] = entry["snapshot"]
+                elif kind == "span":
+                    events.append(SpanEvent.from_dict(entry))
+        events.sort(key=lifecycle_sort_key)
+        if events and not duration:
+            duration = events[-1].time - min(e.time for e in events)
+        return cls(events=events, telemetry=telemetry, duration_s=duration)
+
+
+def _rebase(event: SpanEvent, t0: float) -> SpanEvent:
+    if t0 == 0.0:
+        return event
+    return SpanEvent(
+        time=event.time - t0,
+        node=event.node,
+        kind=event.kind,
+        origin=event.origin,
+        local_seq=event.local_seq,
+        sequence=event.sequence,
+        hop=event.hop,
+    )
+
+
+def merge_span_journals(
+    paths: Dict[int, str], t0: Optional[float] = None
+) -> Timeline:
+    """Join per-node span journals into one cross-node timeline.
+
+    ``t0`` is the rebase origin; pass the run's earliest node start so
+    span times align with the merged ``ExperimentResult``.  Defaults to
+    the earliest journal ``start_time``.  Journals that never started
+    (missing/empty) are skipped — a crashed node contributes whatever
+    it flushed before dying.
+    """
+    loaded = {}
+    for node, path in paths.items():
+        journal = load_span_journal(path)
+        if journal is not None:
+            loaded[node] = journal
+    if not loaded:
+        return Timeline()
+    if t0 is None:
+        t0 = min(journal["start_time"] for journal in loaded.values())
+    events: List[SpanEvent] = []
+    telemetry: Dict[int, Dict[str, Any]] = {}
+    for node, journal in loaded.items():
+        events.extend(_rebase(event, t0) for event in journal["events"])
+        if journal["telemetry"]:
+            telemetry[node] = journal["telemetry"][-1]["snapshot"]
+    events.sort(key=lifecycle_sort_key)
+    duration = max((e.time for e in events), default=0.0)
+    return Timeline(events=events, telemetry=telemetry, duration_s=duration)
+
+
+def timeline_from_spanlog(
+    spans: SpanLog,
+    duration_s: Optional[float] = None,
+    telemetry: Optional[Dict[int, Dict[str, Any]]] = None,
+) -> Timeline:
+    """Wrap an in-memory (simulated) span log as a timeline."""
+    events = sorted(spans.records(), key=lifecycle_sort_key)
+    if duration_s is None:
+        duration_s = max((e.time for e in events), default=0.0)
+    return Timeline(
+        events=events, telemetry=dict(telemetry or {}), duration_s=duration_s
+    )

@@ -1,0 +1,211 @@
+"""Per-message lifecycle spans, shared by the simulator and the live runtime.
+
+A *span event* marks one stage of a message's life on one node::
+
+    broadcast -> fwd_hop(i) -> sequenced -> stored -> stable -> delivered
+
+Events are keyed by the application-level :class:`~repro.types.MessageId`
+(``origin``, ``local_seq``) so a message's spans join directly with
+``ExperimentResult.broadcasts`` and the metrics collector's completion
+times.  Timestamps come from whatever ``Clock`` the emitting runtime
+uses — ``Simulator.now`` in simulation, ``loop.time()`` (CLOCK_MONOTONIC)
+on live nodes — through one code path.
+
+Like :class:`repro.sim.trace.TraceLog`, a disabled :class:`SpanLog`
+costs one attribute check per emission site and allocates nothing, so
+benchmark throughput is unaffected.  Call sites guard with
+``if spans.enabled:`` *before* building arguments; ``emit`` re-checks
+so direct calls stay safe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional
+
+from repro.types import MessageId
+
+#: Lifecycle stages in causal order.  ``fwd_hop`` may repeat (one per
+#: non-leader hop on the way to the leader) and ``stored`` appears once
+#: per backup; the rest appear once per message per emitting node.
+SPAN_KINDS = ("broadcast", "fwd_hop", "sequenced", "stored", "stable", "delivered")
+
+#: Causal rank of each kind — used to sort a message's events into
+#: lifecycle order when wall-clock timestamps tie (or, cross-node, when
+#: clocks are close enough to interleave).
+KIND_RANK: Dict[str, int] = {kind: rank for rank, kind in enumerate(SPAN_KINDS)}
+
+
+@dataclass(frozen=True)
+class SpanEvent:
+    """One lifecycle event for one message on one node.
+
+    Kept flat (no nested detail dict) so it serialises to a single
+    JSONL object and costs one allocation per event.
+    """
+
+    time: float
+    node: int
+    kind: str
+    origin: int
+    local_seq: int
+    sequence: Optional[int] = None
+    hop: Optional[int] = None
+
+    @property
+    def message_id(self) -> MessageId:
+        return MessageId(origin=self.origin, local_seq=self.local_seq)
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "type": "span",
+            "time": self.time,
+            "node": self.node,
+            "kind": self.kind,
+            "origin": self.origin,
+            "local_seq": self.local_seq,
+        }
+        if self.sequence is not None:
+            out["sequence"] = self.sequence
+        if self.hop is not None:
+            out["hop"] = self.hop
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SpanEvent":
+        return cls(
+            time=float(data["time"]),  # type: ignore[arg-type]
+            node=int(data["node"]),  # type: ignore[arg-type]
+            kind=str(data["kind"]),
+            origin=int(data["origin"]),  # type: ignore[arg-type]
+            local_seq=int(data["local_seq"]),  # type: ignore[arg-type]
+            sequence=(
+                int(data["sequence"]) if data.get("sequence") is not None  # type: ignore[arg-type]
+                else None
+            ),
+            hop=int(data["hop"]) if data.get("hop") is not None else None,  # type: ignore[arg-type]
+        )
+
+    def __str__(self) -> str:
+        extra = ""
+        if self.sequence is not None:
+            extra += f" seq={self.sequence}"
+        if self.hop is not None:
+            extra += f" hop={self.hop}"
+        return (
+            f"[{self.time:.6f}] n{self.node} {self.kind} "
+            f"({self.origin},{self.local_seq}){extra}"
+        )
+
+
+def lifecycle_sort_key(event: SpanEvent) -> tuple:
+    """Sort key placing a message's events in causal lifecycle order."""
+    return (event.time, KIND_RANK.get(event.kind, len(SPAN_KINDS)), event.node)
+
+
+class SpanLog:
+    """Append-only per-message lifecycle log with cheap filtering.
+
+    Mirrors :class:`~repro.sim.trace.TraceLog`'s discipline: disabled by
+    default, and a disabled log costs one attribute check per emission
+    site.  Sinks (e.g. a live node's JSONL journal) see every record as
+    it is emitted.
+    """
+
+    def __init__(self, enabled: bool = False, capacity: Optional[int] = None) -> None:
+        self.enabled = enabled
+        self._records: List[SpanEvent] = []
+        self._capacity = capacity
+        self._dropped = 0
+        self._sinks: List[Callable[[SpanEvent], None]] = []
+
+    def emit(
+        self,
+        time: float,
+        node: int,
+        kind: str,
+        origin: int,
+        local_seq: int,
+        sequence: Optional[int] = None,
+        hop: Optional[int] = None,
+    ) -> None:
+        """Record one lifecycle event if span logging is enabled."""
+        if not self.enabled:
+            return
+        event = SpanEvent(
+            time=time, node=node, kind=kind, origin=origin,
+            local_seq=local_seq, sequence=sequence, hop=hop,
+        )
+        if self._capacity is not None and len(self._records) >= self._capacity:
+            self._dropped += 1
+        else:
+            self._records.append(event)
+        for sink in self._sinks:
+            sink(event)
+
+    def add_sink(self, sink: Callable[[SpanEvent], None]) -> None:
+        """Stream every future event to ``sink`` (e.g. a journal writer)."""
+        self._sinks.append(sink)
+
+    # ------------------------------------------------------------------
+    # Querying
+    # ------------------------------------------------------------------
+    def records(
+        self,
+        kind: Optional[str] = None,
+        message: Optional[MessageId] = None,
+        node: Optional[int] = None,
+    ) -> List[SpanEvent]:
+        """Return events, optionally filtered by kind/message/node."""
+        return list(self._iter(kind, message, node))
+
+    def count(
+        self,
+        kind: Optional[str] = None,
+        message: Optional[MessageId] = None,
+        node: Optional[int] = None,
+    ) -> int:
+        return sum(1 for _ in self._iter(kind, message, node))
+
+    def lifecycle(self, message: MessageId) -> List[SpanEvent]:
+        """All events for one message, in causal lifecycle order."""
+        return sorted(self._iter(None, message, None), key=lifecycle_sort_key)
+
+    def messages(self) -> List[MessageId]:
+        """Distinct message ids, in first-appearance order."""
+        seen: Dict[MessageId, None] = {}
+        for event in self._records:
+            seen.setdefault(event.message_id, None)
+        return list(seen)
+
+    @property
+    def dropped(self) -> int:
+        return self._dropped
+
+    def _iter(
+        self,
+        kind: Optional[str],
+        message: Optional[MessageId],
+        node: Optional[int],
+    ) -> Iterator[SpanEvent]:
+        for event in self._records:
+            if kind is not None and event.kind != kind:
+                continue
+            if message is not None and (
+                event.origin != message.origin
+                or event.local_seq != message.local_seq
+            ):
+                continue
+            if node is not None and event.node != node:
+                continue
+            yield event
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def dump(self, limit: int = 200) -> str:
+        tail = self._records[-limit:]
+        lines = [str(event) for event in tail]
+        if len(self._records) > limit:
+            lines.insert(0, f"... ({len(self._records) - limit} earlier events elided)")
+        return "\n".join(lines)

@@ -12,6 +12,7 @@ from typing import Any, Callable, Dict, Optional, Tuple
 from repro.core.api import TotalOrderBroadcast
 from repro.errors import ConfigurationError
 from repro.net.dispatch import Port
+from repro.obs.span import SpanLog
 from repro.sim.trace import TraceLog
 from repro.types import ProcessId, Scheduler
 from repro.vsc.membership import GroupMembership
@@ -41,6 +42,8 @@ class ProtocolContext:
     #: every message costs one CPU pass at its origin, like everywhere
     #: else.  ``None`` means run callbacks immediately (unit tests).
     cpu_submit: Optional[Callable[[int, Callable[[], None]], Any]] = None
+    #: Shared per-message lifecycle span log (``None``: spans off).
+    spans: Optional[SpanLog] = None
 
 
 ProtocolFactory = Callable[[ProtocolContext], TotalOrderBroadcast]
@@ -83,6 +86,7 @@ def _build_fsr(context: ProtocolContext) -> TotalOrderBroadcast:
         trace=context.trace,
         tx_gate=context.tx_gate,
         cpu_submit=context.cpu_submit,
+        spans=context.spans,
     )
     context.on_tx_idle(process.on_tx_ready)
     return process

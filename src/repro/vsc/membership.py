@@ -207,6 +207,7 @@ class GroupMembership:
         me: ProcessId,
         initial_members: Tuple[ProcessId, ...],
         trace: Optional[TraceLog] = None,
+        telemetry: Optional[Any] = None,
     ) -> None:
         if me not in initial_members:
             raise MembershipError(f"process {me} is not in the initial membership")
@@ -215,6 +216,12 @@ class GroupMembership:
         self.detector = detector
         self.me = me
         self.trace = trace if trace is not None else TraceLog(enabled=False)
+        #: Optional :class:`repro.obs.Telemetry` registry (duck-typed to
+        #: keep this layer import-light): records how long this member
+        #: was blocked per view change (``view_install_s``) and how many
+        #: flushes/views it saw.  ``None`` costs one check per install.
+        self._telemetry = telemetry
+        self._blocked_since: Optional[float] = None
 
         self._client: Optional[VSCClient] = None
         self.view: View = View(view_id=0, members=tuple(initial_members))
@@ -398,6 +405,9 @@ class GroupMembership:
         self._highest_epoch = max(self._highest_epoch, req.epoch)
         if not self._blocked:
             self._blocked = True
+            if self._telemetry is not None:
+                self._blocked_since = self.sim.now
+                self._telemetry.counter("membership_flushes").inc()
             if self._client is not None:
                 self._client.on_block()
         state = (
@@ -518,6 +528,13 @@ class GroupMembership:
         self._highest_epoch = max(self._highest_epoch, view.view_id)
         self._installed_any = True
         self._blocked = False
+        if self._telemetry is not None:
+            self._telemetry.counter("views_installed").inc()
+            if self._blocked_since is not None:
+                self._telemetry.histogram("view_install_s").observe(
+                    self.sim.now - self._blocked_since
+                )
+                self._blocked_since = None
         self.detector.monitor(view.members)
         self.trace.emit(
             self.sim.now, "vsc", "view_installed",

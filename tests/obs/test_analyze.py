@@ -1,0 +1,158 @@
+"""Stage breakdown and its cross-checks against the metrics collector.
+
+The load-bearing property: hop + sequencing + stability sum *exactly*
+to end-to-end latency (shared span boundaries), and the breakdown
+refuses to report when its submission timestamps drift from the
+authoritative ``ExperimentResult.broadcasts`` source the latency
+metrics use.
+"""
+
+import pytest
+
+from repro import ClusterConfig, FSRConfig, build_cluster
+from repro.errors import CheckFailure
+from repro.metrics import collect_metrics
+from repro.obs.analyze import (
+    STAGES,
+    crosscheck_latency,
+    link_utilization,
+    recovery_outage_from_spans,
+    stage_breakdown,
+)
+from repro.obs.journal import Timeline, timeline_from_spanlog
+from repro.obs.span import SpanEvent, SpanLog
+from repro.types import BroadcastRecord, MessageId
+from repro.workloads import KToNPattern, run_workload
+
+
+def _sim_outcome(n=4, t=1, senders=2, messages=6):
+    cluster = build_cluster(ClusterConfig(
+        n=n, protocol="fsr", protocol_config=FSRConfig(t=t), spans=True,
+    ))
+    pattern = KToNPattern(
+        senders=tuple(range(senders)),
+        messages_per_sender=messages,
+        message_bytes=8_000,
+    )
+    return run_workload(cluster, pattern)
+
+
+def test_stages_sum_exactly_to_end_to_end_and_match_collector():
+    outcome = _sim_outcome()
+    result = outcome.result
+    metrics = collect_metrics(outcome)
+    timeline = timeline_from_spanlog(result.spans)
+
+    breakdown = stage_breakdown(timeline, broadcasts=result.broadcasts)
+    assert breakdown.skipped == 0
+    stage_sum = sum(breakdown.stages[name].mean_s for name in STAGES)
+    assert stage_sum == pytest.approx(breakdown.end_to_end.mean_s, rel=1e-9)
+    # In simulation both reports see the same instants: exact agreement.
+    assert breakdown.end_to_end.mean_s == pytest.approx(
+        metrics.mean_latency_s, rel=1e-9
+    )
+    crosscheck_latency(breakdown, metrics.mean_latency_s)
+    for name in STAGES:
+        assert 0.0 <= breakdown.stages[name].share <= 1.0
+    assert sum(
+        breakdown.stages[name].share for name in STAGES
+    ) == pytest.approx(1.0, rel=1e-9)
+
+
+def test_tampered_submission_time_raises_checkfailure():
+    outcome = _sim_outcome(messages=3)
+    result = outcome.result
+    timeline = timeline_from_spanlog(result.spans)
+    tampered = [
+        BroadcastRecord(
+            message_id=record.message_id,
+            size_bytes=record.size_bytes,
+            submit_time=record.submit_time - 1.0,  # a second of drift
+        )
+        for record in result.broadcasts
+    ]
+    with pytest.raises(CheckFailure, match="no longer share one source"):
+        stage_breakdown(timeline, broadcasts=tampered)
+
+
+def test_span_message_missing_from_broadcasts_raises_checkfailure():
+    outcome = _sim_outcome(messages=3)
+    result = outcome.result
+    timeline = timeline_from_spanlog(result.spans)
+    truncated = result.broadcasts[:-1]
+    with pytest.raises(CheckFailure, match="broadcasts does not"):
+        stage_breakdown(timeline, broadcasts=truncated)
+
+
+def test_crosscheck_rejects_divergent_latency():
+    outcome = _sim_outcome(messages=3)
+    breakdown = stage_breakdown(timeline_from_spanlog(outcome.result.spans))
+    with pytest.raises(CheckFailure, match="apart"):
+        crosscheck_latency(breakdown, breakdown.end_to_end.mean_s * 2.0)
+
+
+def test_empty_timeline_refuses_to_report():
+    with pytest.raises(CheckFailure, match="full lifecycle"):
+        stage_breakdown(Timeline())
+
+
+def test_breakdown_dict_round_trip():
+    from repro.obs.analyze import StageBreakdown
+
+    breakdown = stage_breakdown(
+        timeline_from_spanlog(_sim_outcome(messages=3).result.spans)
+    )
+    clone = StageBreakdown.from_dict(breakdown.to_dict())
+    assert clone.messages == breakdown.messages
+    assert clone.end_to_end.mean_s == breakdown.end_to_end.mean_s
+    assert clone.render_table() == breakdown.render_table()
+
+
+def test_link_utilization_reads_transport_telemetry():
+    telemetry = {
+        0: {
+            "counters": {"transport_bytes_sent": 1_000_000,
+                         "transport_tx_stalls": 2},
+            "gauges": {"transport_queued_bytes": {"value": 0.0,
+                                                  "high_water": 4096.0}},
+        },
+        1: {
+            "counters": {"transport_bytes_sent": 2_000_000},
+            "gauges": {},
+        },
+    }
+    timeline = Timeline(
+        events=[SpanEvent(1.0, 0, "broadcast", 0, 1)],
+        telemetry=telemetry,
+        duration_s=2.0,
+    )
+    links = link_utilization(timeline)
+    assert [(l.node, l.successor) for l in links] == [(0, 1), (1, 0)]
+    assert links[0].mbps == pytest.approx(1_000_000 * 8 / 2.0 / 1e6)
+    assert links[0].tx_stalls == 2
+    assert links[0].queue_hwm_bytes == 4096.0
+    assert links[1].tx_stalls == 0
+
+
+def test_recovery_outage_reads_survivor_gap_straddling_crash():
+    def delivered(time, node, seq):
+        return SpanEvent(time, node, "delivered", 0, seq, sequence=seq)
+
+    events = [
+        delivered(1.0, 0, 1), delivered(1.1, 0, 2), delivered(3.0, 0, 3),
+        delivered(1.0, 1, 1), delivered(1.1, 1, 2), delivered(2.5, 1, 3),
+    ]
+    timeline = Timeline(events=events, duration_s=3.0)
+    # Crash at t=2.0: node 0's gap is 3.0 - 1.1 = 1.9 s, node 1's 1.4 s.
+    outage = recovery_outage_from_spans(timeline, [2.0], survivors=[0, 1])
+    assert outage == pytest.approx(1900.0)
+    # Only node 1 counted: the smaller gap.
+    assert recovery_outage_from_spans(
+        timeline, [2.0], survivors=[1]
+    ) == pytest.approx(1400.0)
+    # No crashes -> no outage to speak of.
+    assert recovery_outage_from_spans(timeline, [], survivors=[0, 1]) is None
+    # Crash after the last delivery: nothing straddles it.
+    assert recovery_outage_from_spans(
+        timeline, [5.0], survivors=[0, 1]
+    ) is None

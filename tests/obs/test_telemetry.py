@@ -1,0 +1,68 @@
+"""Telemetry registry: instruments, snapshots, Prometheus rendering."""
+
+import pytest
+
+from repro.obs.telemetry import Telemetry, render_prometheus
+
+
+def test_counter_accumulates():
+    telemetry = Telemetry()
+    telemetry.counter("reconnects").inc()
+    telemetry.counter("reconnects").inc(3)
+    assert telemetry.counter("reconnects").value == 4
+
+
+def test_gauge_tracks_high_water():
+    telemetry = Telemetry()
+    gauge = telemetry.gauge("queued_bytes")
+    gauge.set(100.0)
+    gauge.set(500.0)
+    gauge.set(50.0)
+    assert gauge.value == 50.0
+    assert gauge.high_water == 500.0
+
+
+def test_histogram_summary_uses_exact_percentiles():
+    telemetry = Telemetry()
+    hist = telemetry.histogram("rtt_s")
+    for value in [1.0, 2.0, 3.0, 4.0]:
+        hist.observe(value)
+    summary = hist.summary()
+    assert summary["count"] == 4
+    assert summary["sum"] == 10.0
+    assert summary["min"] == 1.0
+    assert summary["max"] == 4.0
+    assert summary["mean"] == pytest.approx(2.5)
+    assert 1.0 <= summary["p50"] <= 3.0
+    assert summary["p99"] <= 4.0
+    assert telemetry.histogram("empty").summary() == {"count": 0}
+
+
+def test_snapshot_is_plain_json_shape():
+    telemetry = Telemetry()
+    telemetry.counter("frames").inc(7)
+    telemetry.gauge("depth").set(3.0)
+    telemetry.histogram("lat").observe(0.5)
+    snap = telemetry.snapshot()
+    assert snap["counters"] == {"frames": 7}
+    assert snap["gauges"] == {"depth": {"value": 3.0, "high_water": 3.0}}
+    assert snap["histograms"]["lat"]["count"] == 1
+
+
+def test_render_prometheus_labels_nodes_and_types():
+    telemetry = Telemetry()
+    telemetry.counter("transport_reconnects").inc(2)
+    telemetry.gauge("transport_queued_bytes").set(128.0)
+    telemetry.histogram("heartbeat_rtt_s").observe(0.01)
+    text = render_prometheus(
+        {3: telemetry.snapshot()}, extra={"latency_stage_hop_share": 0.4}
+    )
+    assert '# TYPE repro_transport_reconnects_total counter' in text
+    assert 'repro_transport_reconnects_total{node="3"} 2' in text
+    assert 'repro_transport_queued_bytes{node="3"} 128.0' in text
+    assert 'repro_transport_queued_bytes_high_water{node="3"} 128.0' in text
+    assert 'repro_heartbeat_rtt_s_count{node="3"} 1' in text
+    assert 'quantile="0.5"' in text
+    assert "repro_latency_stage_hop_share 0.4" in text
+    # Each metric name gets exactly one TYPE header.
+    assert text.count("# TYPE repro_transport_reconnects_total") == 1
