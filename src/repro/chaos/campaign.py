@@ -72,6 +72,16 @@ class CampaignConfig:
     #: Fault window and model knobs handed to the schedule generators.
     window: Tuple[float, float] = (0.06, 0.16)
     flush_window_s: float = 8e-3
+    #: Heartbeat bounds for schedules that run a real (message-driven)
+    #: detector.  The default timeout is deliberately generous: with the
+    #: saturating campaign workload, heartbeats queue behind ~4 ms data
+    #: frames and worst-case silences reach ~0.2 s — a timeout near that
+    #: false-suspects live peers and (without a quorum) can split
+    #: membership.  Scenarios using the oracle ignore these.
+    heartbeat_interval_s: float = 10e-3
+    heartbeat_timeout_s: float = 0.8
+    #: Let generators scope bursts to single directed links.
+    link_faults: bool = False
 
     def __post_init__(self) -> None:
         if self.seeds < 1:
@@ -88,6 +98,9 @@ class CampaignConfig:
             detection_delay_s=self.detection_delay_s,
             window=self.window,
             flush_window_s=self.flush_window_s,
+            heartbeat_interval_s=self.heartbeat_interval_s,
+            heartbeat_timeout_s=self.heartbeat_timeout_s,
+            link_faults=self.link_faults,
         )
 
     def network_params(self, schedule: FaultSchedule) -> NetworkParams:
@@ -106,21 +119,62 @@ class CampaignConfig:
 # Single-run execution
 # ----------------------------------------------------------------------
 
+def _schedule_block(sim, net, src, dst, start: float, end: float) -> None:
+    sim.schedule_at(start, net.set_link_blocked, src, dst, True)
+    sim.schedule_at(end, net.set_link_blocked, src, dst, False)
+
+
 def apply_schedule(cluster: Cluster, schedule: FaultSchedule) -> None:
     """Arm every fault of ``schedule`` on a built (unstarted ok) cluster."""
     sim, net = cluster.sim, cluster.network
     for event in schedule.events:
+        end = event.time + event.duration_s
         if event.kind == "crash":
             cluster.schedule_crash(event.process, event.time)
         elif event.kind == "loss_burst":
-            sim.schedule_at(event.time, net.set_loss_override, event.magnitude)
-            sim.schedule_at(
-                event.time + event.duration_s, net.set_loss_override, None
-            )
+            if event.link is not None:
+                src, dst = event.link
+                sim.schedule_at(
+                    event.time, net.set_link_loss, src, dst, event.magnitude
+                )
+                sim.schedule_at(end, net.set_link_loss, src, dst, None)
+            else:
+                sim.schedule_at(
+                    event.time, net.set_loss_override, event.magnitude
+                )
+                sim.schedule_at(end, net.set_loss_override, None)
         elif event.kind == "jitter_burst":
-            sim.schedule_at(event.time, net.set_extra_jitter, event.magnitude)
+            if event.link is not None:
+                src, dst = event.link
+                sim.schedule_at(
+                    event.time, net.set_link_extra_jitter, src, dst,
+                    event.magnitude,
+                )
+                sim.schedule_at(end, net.set_link_extra_jitter, src, dst, 0.0)
+            else:
+                sim.schedule_at(event.time, net.set_extra_jitter, event.magnitude)
+                sim.schedule_at(end, net.set_extra_jitter, 0.0)
+        elif event.kind == "asym_loss":
+            src, dst = event.link
             sim.schedule_at(
-                event.time + event.duration_s, net.set_extra_jitter, 0.0
+                event.time, net.set_link_loss, src, dst, event.magnitude
+            )
+            sim.schedule_at(end, net.set_link_loss, src, dst, None)
+        elif event.kind == "partition":
+            group = set(event.group or ())
+            others = [p for p in range(schedule.n) if p not in group]
+            for a in sorted(group):
+                for b in others:
+                    _schedule_block(sim, net, a, b, event.time, end)
+                    _schedule_block(sim, net, b, a, event.time, end)
+        elif event.kind == "partial_partition":
+            a, b = event.link
+            _schedule_block(sim, net, a, b, event.time, end)
+            _schedule_block(sim, net, b, a, event.time, end)
+        elif event.kind == "bandwidth_cap":
+            raise ConfigurationError(
+                "bandwidth_cap is live-only (the simulator models link "
+                "rate via NetworkParams.bandwidth_bps)"
             )
         elif event.kind == "cpu_slow":
             sim.schedule_at(
@@ -145,7 +199,7 @@ def run_schedule(
     """
     cfg = config if config is not None else CampaignConfig()
     protocol_config = FSRConfig(t=schedule.t) if cfg.protocol == "fsr" else None
-    cluster = build_cluster(ClusterConfig(
+    cluster_config = ClusterConfig(
         n=schedule.n,
         protocol=cfg.protocol,
         protocol_config=protocol_config,
@@ -153,7 +207,15 @@ def run_schedule(
         seed=schedule.seed,
         detector=schedule.detector,
         detection_delay_s=cfg.detection_delay_s,
-    ))
+        heartbeat_interval_s=cfg.heartbeat_interval_s,
+        heartbeat_timeout_s=cfg.heartbeat_timeout_s,
+        # Any run with a real (message-driven) detector can false-suspect
+        # under pathological silence, and partitions make suspicion
+        # symmetric; the primary-partition guard keeps a minority from
+        # installing its own view and splitting the sequence.
+        require_quorum=schedule.detector != "oracle",
+    )
+    cluster = build_cluster(cluster_config)
     if cfg.wire_monitor:
         attach_wire_monitor(cluster)
 
@@ -170,7 +232,15 @@ def run_schedule(
             cluster.broadcast(pid, size_bytes=cfg.message_bytes)
 
     planned_crashes = {e.process for e in schedule.crashes()}
-    survivors = [p for p in range(schedule.n) if p not in planned_crashes]
+    # A long-lived full partition strands its minority outside the
+    # primary component: those processes stop delivering (like crashed
+    # ones) and the liveness obligation falls on the majority alone.
+    casualties = (
+        set(schedule.partition_casualties(cluster_config.heartbeat_timeout_s))
+        - planned_crashes
+    )
+    excluded = planned_crashes | casualties
+    survivors = [p for p in range(schedule.n) if p not in excluded]
     expected = cfg.per_sender * len(survivors)
 
     def drained() -> bool:
@@ -178,7 +248,7 @@ def run_schedule(
             sum(
                 1
                 for d in cluster.nodes[p].app_deliveries
-                if d.origin not in planned_crashes
+                if d.origin not in excluded
             ) >= expected
             for p in survivors
         )
@@ -199,6 +269,13 @@ def run_schedule(
         run_error = f"{type(error).__name__}: {error}"
 
     result = cluster.results()
+    # Partition casualties are judged like crashed processes (their log
+    # must be a consistent prefix, but they owe no further deliveries);
+    # mark them at end-of-run, the same convention the live campaign
+    # uses for view-excluded survivors.
+    for pid in sorted(casualties):
+        if pid not in result.crashed:
+            result.crashed[pid] = result.duration_s
     verdict = judge_run(
         result,
         drained=completed,

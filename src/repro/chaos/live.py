@@ -25,10 +25,20 @@ Linux is system-wide, so the parent's ``time.monotonic()`` kill
 timestamps land on the same axis as the nodes' logs and the standard
 ``recovery_outage_ms`` metric applies unchanged.
 
-Only crash scenarios are portable — loss/jitter/CPU degradations are
-simulator constructs with no loopback equivalent — and the schedule's
-``detector`` field is ignored: a live run always uses the heartbeat
-detector, because there is no oracle to whisper crash times.
+Crash scenarios are portable directly; network-degradation scenarios
+(``degraded_network``, ``hostile_network``) are portable through the
+egress :class:`~repro.chaos.netem.NetShaper` each node arms at protocol
+start — the launcher passes the schedule's link-level events into every
+node's config, and the shaper imposes delay/jitter, synthetic loss,
+bandwidth caps, and partitions on the real TCP traffic.  Shaped runs
+switch the failure detector to the adaptive (EWMA) variant and turn on
+membership's primary-partition guard, and the battery additionally
+checks that no *survivor* was evicted without an excuse: an eviction
+that is neither a SIGKILL nor an expected partition casualty is a false
+suspicion and fails the seed.  CPU-slow events stay simulator-only.
+The schedule's ``detector`` field is otherwise ignored: a live run
+always runs a real detector, because there is no oracle to whisper
+crash times.
 """
 
 from __future__ import annotations
@@ -58,13 +68,19 @@ from repro.obs.analyze import recovery_outage_from_spans
 from repro.obs.journal import Timeline, merge_span_journals
 from repro.types import ProcessId
 
-#: Scenarios portable to the live runtime: crash-only by construction.
+#: Scenarios portable to the live runtime: crash scenarios directly,
+#: network-degradation scenarios via the egress shaper.
 LIVE_SCENARIOS: Tuple[str, ...] = (
     "crash_storm",
     "role_targeted",
     "view_change_crossfire",
     "repeated_leader_crash",
+    "degraded_network",
+    "hostile_network",
 )
+
+#: Scenarios whose schedules carry link-level events the shaper enforces.
+_NETEM_SCENARIOS = ("degraded_network", "hostile_network")
 
 #: How often the start-barrier poller re-reads journals.
 _START_POLL_S = 0.02
@@ -113,6 +129,15 @@ class LiveChaosConfig:
     fault_window: Tuple[float, float] = (0.4, 1.6)
     #: Approximate live flush duration handed to the generators.
     flush_window_s: float = 0.3
+    #: Detector for crash-only scenarios ("heartbeat" or "adaptive").
+    #: Shaped (netem) scenarios always run ``shaped_detector_mode``:
+    #: their generators bound sub-threshold faults against the adaptive
+    #: floor, and the false-suspicion gate below is the claim under test.
+    detector_mode: str = "heartbeat"
+    #: Detector for shaped (netem) runs.  "adaptive" is the claim under
+    #: test; "heartbeat" exists for the EXPERIMENTS.md ablation that
+    #: counts a fixed bound's false suspicions under the same noise.
+    shaped_detector_mode: str = "adaptive"
 
     def __post_init__(self) -> None:
         if self.seeds < 1:
@@ -143,6 +168,21 @@ class LiveChaosConfig:
                 "max_run_s too tight: needs duration_s + detection + "
                 "shutdown headroom"
             )
+        for mode in (self.detector_mode, self.shaped_detector_mode):
+            if mode not in ("heartbeat", "adaptive"):
+                raise ConfigurationError(
+                    f"unknown detector mode {mode!r}; "
+                    "use 'heartbeat' or 'adaptive'"
+                )
+        if any(s in _NETEM_SCENARIOS for s in self.scenarios):
+            # Shaped runs enable the primary-partition guard, which
+            # only ever installs strict-majority views — so the t-kill
+            # worst case must still leave a majority standing.
+            if 2 * (self.n - self.t) <= self.n:
+                raise ConfigurationError(
+                    "netem scenarios need 2*(n - t) > n: the quorum "
+                    "guard must be satisfiable after t kills"
+                )
 
     def schedule_context(self) -> ScheduleContext:
         return ScheduleContext(
@@ -153,9 +193,16 @@ class LiveChaosConfig:
             flush_window_s=self.flush_window_s,
             heartbeat_interval_s=self.heartbeat_interval_s,
             heartbeat_timeout_s=self.heartbeat_timeout_s,
+            # Bias degradations toward single directed links (a flaky
+            # cable, not weather): cluster-wide bursts stay possible,
+            # and the shaper applies those to every egress link.
+            link_faults=True,
         )
 
-    def cluster_spec(self) -> LiveClusterSpec:
+    def cluster_spec(
+        self, schedule: Optional[FaultSchedule] = None
+    ) -> LiveClusterSpec:
+        netem = tuple(schedule.netem_events()) if schedule is not None else ()
         return LiveClusterSpec(
             processes=self.n,
             senders=self.senders,
@@ -172,6 +219,17 @@ class LiveChaosConfig:
             view_changes=True,
             heartbeat_interval_s=self.heartbeat_interval_s,
             heartbeat_timeout_s=self.heartbeat_timeout_s,
+            detector_mode=(
+                self.shaped_detector_mode if netem else self.detector_mode
+            ),
+            netem_events=[e.to_dict() for e in netem],
+            netem_scenario=schedule.scenario if schedule is not None else "",
+            netem_seed=schedule.seed if schedule is not None else 0,
+            run_seed=schedule.seed if schedule is not None else 0,
+            # The guard is what keeps a partitioned minority from
+            # installing its own view and splitting the sequence; only
+            # needed when links can actually partition.
+            require_quorum=bool(netem),
             # Span journals survive SIGKILL like the event journals do,
             # and the recovery-outage metric is read off the merged span
             # timeline rather than ad-hoc per-scenario timing.
@@ -225,6 +283,7 @@ def _await_quiescence(
     cfg: LiveChaosConfig,
     base: float,
     kills: Dict[ProcessId, float],
+    netem_end_s: float = 0.0,
 ) -> bool:
     """Block until the surviving cluster looks done; True on timeout.
 
@@ -243,6 +302,11 @@ def _await_quiescence(
     ready_at = base + cfg.duration_s
     if kills:
         ready_at = max(ready_at, max(kills.values()) + detection_s)
+    if netem_end_s > 0.0:
+        # A shaped run is not judged mid-storm: a healing partition
+        # still has a detection-plus-flush tail (evictions, backlog
+        # release) before the cluster can genuinely drain.
+        ready_at = max(ready_at, base + netem_end_s + detection_s)
     cutoff = base + cfg.max_run_s - 5.0
     survivors = [pid for pid in cluster.members if pid not in kills]
     last_sizes: Dict[ProcessId, int] = {}
@@ -280,10 +344,19 @@ class LiveSeedOutcome:
     #: Survivors the final view excluded (treated as crashed by the
     #: battery: view-synchrony makes no promises to the evicted).
     excluded: List[ProcessId] = field(default_factory=list)
+    #: Excluded survivors that were neither SIGKILLed nor the minority
+    #: side of a long partition — i.e. evictions the failure detector
+    #: had no excuse for.  Any entry fails the seed.
+    false_suspicions: List[ProcessId] = field(default_factory=list)
+    #: Minority members of partitions long enough to be detected; their
+    #: eviction is the *correct* outcome, not a false suspicion.
+    expected_casualties: List[ProcessId] = field(default_factory=list)
     timed_out: bool = False
 
     @property
     def failed(self) -> bool:
+        if self.false_suspicions:
+            return True
         return not self.verdict.ok and not self.verdict.expected_unsound
 
     def to_dict(self) -> Dict[str, object]:
@@ -300,6 +373,8 @@ class LiveSeedOutcome:
                 str(pid): round(at, 4) for pid, at in sorted(self.killed.items())
             },
             "excluded": list(self.excluded),
+            "false_suspicions": list(self.false_suspicions),
+            "expected_casualties": list(self.expected_casualties),
             "timed_out": self.timed_out,
         }
 
@@ -309,9 +384,12 @@ def run_live_schedule(
 ) -> LiveSeedOutcome:
     """Execute one fault schedule against a real localhost cluster."""
     cfg = config if config is not None else LiveChaosConfig()
-    spec = cfg.cluster_spec()
+    spec = cfg.cluster_spec(schedule)
     started_wall = time.perf_counter()
     crashes = sorted(schedule.crashes(), key=lambda e: e.time)
+    netem_end_s = max(
+        (e.time + e.duration_s for e in schedule.netem_events()), default=0.0
+    )
 
     run_error: Optional[str] = None
     parent_timeout = False
@@ -330,7 +408,9 @@ def run_live_schedule(
                     time.sleep(delay)
                 cluster.kill(event.process)
                 kills[event.process] = time.monotonic()
-            parent_timeout = _await_quiescence(cluster, cfg, base, kills)
+            parent_timeout = _await_quiescence(
+                cluster, cfg, base, kills, netem_end_s=netem_end_s
+            )
             cluster.terminate(skip=set(kills))
             cluster.wait(_SHUTDOWN_GRACE_S, skip=set(kills))
             cluster.raise_on_failures(skip=set(kills))
@@ -367,6 +447,15 @@ def run_live_schedule(
             if pid in records and pid not in latest["members"]:
                 excluded.append(pid)
                 crashed_times[pid] = records[pid]["end_time"]
+    # An eviction needs an excuse: a SIGKILL (not in ``excluded`` by
+    # construction) or membership on the minority side of a partition
+    # long enough for detection.  Anything else is a false suspicion —
+    # the adaptive detector's timeout was beaten by sub-threshold noise.
+    expected_casualties = sorted(
+        set(schedule.partition_casualties(cfg.heartbeat_timeout_s))
+        - set(kills)
+    )
+    false_suspicions = sorted(set(excluded) - set(expected_casualties))
     timed_out = parent_timeout or any(
         records[pid].get("timed_out", False)
         for pid in survivors
@@ -437,6 +526,8 @@ def run_live_schedule(
         outage_ms=outage_ms,
         killed=killed_rebased,
         excluded=excluded,
+        false_suspicions=false_suspicions,
+        expected_casualties=expected_casualties,
         timed_out=timed_out,
     )
 
@@ -473,10 +564,14 @@ class LiveCampaignReport:
         for outcome in self.outcomes:
             row = rollup.setdefault(
                 outcome.scenario,
-                {"seeds": 0, "failures": 0, "kills": 0, "outages": []},
+                {
+                    "seeds": 0, "failures": 0, "kills": 0,
+                    "false_suspicions": 0, "outages": [],
+                },
             )
             row["seeds"] += 1
             row["kills"] += len(outcome.killed)
+            row["false_suspicions"] += len(outcome.false_suspicions)
             if outcome.failed:
                 row["failures"] += 1
             if outcome.outage_ms is not None:
@@ -503,6 +598,7 @@ class LiveCampaignReport:
                 "message_bytes": self.config.message_bytes,
                 "duration_s": self.config.duration_s,
                 "heartbeat_timeout_s": self.config.heartbeat_timeout_s,
+                "detector_mode": self.config.detector_mode,
             },
             "ok": self.ok,
             "seeds_run": len(self.outcomes),
@@ -527,6 +623,9 @@ class LiveCampaignReport:
             "bench": "chaos_live_campaign",
             "seeds_run": len(self.outcomes),
             "failures": len(self.failures),
+            "false_suspicions": sum(
+                len(o.false_suspicions) for o in self.outcomes
+            ),
             "mean_recovery_outage_ms": (
                 None
                 if self.mean_outage_ms() is None

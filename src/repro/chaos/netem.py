@@ -1,0 +1,289 @@
+"""Seeded link-level network emulation for the live runtime.
+
+The simulator injects loss and jitter by construction; real sockets
+need an emulation layer.  :class:`NetShaper` sits on the egress side of
+``repro.live.transport.RingTransport`` — both the ring data path and
+the control-plane mesh — and imposes per-directed-link delay/jitter,
+probabilistic loss, reordering pressure, bandwidth caps, and full or
+partial partitions on real TCP traffic.  It is driven by the same
+:class:`repro.chaos.schedules.FaultEvent` vocabulary the simulator
+honors, so one ``(scenario, seed)`` pair means the same storm on both
+runtimes.
+
+Semantics, and why they look the way they do over TCP:
+
+* **Delay/jitter** — each frame's release time is stamped when it is
+  *enqueued* (``plan``), not when it is written, so constant added
+  delay shifts the pipeline without serializing it: throughput under
+  pure delay is unchanged, exactly like propagation delay on a wire.
+  Release times are clamped monotone per (link, channel): TCP is a
+  FIFO byte stream, so an emulated frame cannot overtake its
+  predecessor on the same connection.
+* **Reordering** — true reordering is impossible through a TCP stream
+  (the protocol stack beneath us would repair it), and the FSR
+  automaton assumes FIFO channels anyway.  What reordering does to a
+  kernel is delay-until-repair; the shaper models it as occasional
+  delay spikes (one extra jitter magnitude), the same way the
+  simulator's FIFO clamp converts jitter into burst tails.
+* **Loss** — a dropped segment on a real LAN is retransmitted by TCP
+  after an RTO; the connection sees delay, not absence.  The shaper
+  rolls per-frame loss and converts it into bounded synthetic
+  retransmit delay (geometric repeats, hard-capped at ``max_retx``),
+  keeping the worst-case heartbeat gap *provably* below the adaptive
+  failure detector's floor — the "sub-threshold faults never cause a
+  view change" claim is by construction, not by luck.
+* **Partitions** — a partitioned link holds frames entirely (the
+  transport polls :meth:`is_blocked` before writing), so queues grow
+  and backpressure engages exactly as a dead path would cause.  Heal
+  releases the backlog in order.  A full ``partition`` event isolates
+  its (minority) ``group`` in both directions because *each* side's
+  shaper blocks its own egress toward the other side.
+
+``delay_cap_s`` bounds the total emulated delay added to any one frame;
+the live node derives it from the failure detector's floor so that no
+schedule the generators emit can turn jitter into a false suspicion.
+
+Determinism: every directed link draws from its own
+``random.Random(f"netem:{scenario}:{seed}:{src}->{dst}")``, so a replay
+of the same schedule shapes the same frames the same way regardless of
+how other links interleave.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.chaos.schedules import FaultEvent
+from repro.errors import ConfigurationError
+from repro.obs.telemetry import Telemetry
+
+
+class _LinkState:
+    """Active impairments for one directed link (me -> dst)."""
+
+    __slots__ = (
+        "delay_s", "jitter_s", "loss_rates", "rates_bps", "blocked",
+        "busy_until", "rng",
+    )
+
+    def __init__(self, rng: random.Random) -> None:
+        self.delay_s = 0.0
+        self.jitter_s = 0.0
+        self.loss_rates: List[float] = []
+        self.rates_bps: List[float] = []
+        self.blocked = 0
+        self.busy_until: Dict[str, float] = {}
+        self.rng = rng
+
+    @property
+    def loss(self) -> float:
+        return max(self.loss_rates, default=0.0)
+
+    @property
+    def rate_bps(self) -> float:
+        return min(self.rates_bps, default=0.0)
+
+    def idle(self) -> bool:
+        return (
+            self.delay_s <= 0.0
+            and self.jitter_s <= 0.0
+            and not self.loss_rates
+            and not self.rates_bps
+            and self.blocked <= 0
+        )
+
+
+class NetShaper:
+    """Egress shaper for one live node.
+
+    One instance per node; the transport consults it for every outbound
+    ring frame and control frame.  :meth:`arm` schedules the fault
+    timeline on the node's scheduler, timed relative to protocol start
+    (the same origin the schedule's event times use).
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        n: int,
+        events: Sequence[FaultEvent],
+        scenario: str,
+        seed: int,
+        rto_s: float = 0.05,
+        max_retx: int = 3,
+        reorder_p: float = 0.05,
+        delay_cap_s: Optional[float] = None,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
+        if not 0 <= node_id < n:
+            raise ConfigurationError("shaper node_id out of range")
+        self.node_id = node_id
+        self.n = n
+        self.scenario = scenario
+        self.seed = seed
+        self.rto_s = rto_s
+        self.max_retx = max_retx
+        self.reorder_p = reorder_p
+        self.delay_cap_s = delay_cap_s
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self._events: Tuple[FaultEvent, ...] = tuple(
+            e for e in events if e.kind not in ("crash", "cpu_slow")
+        )
+        self._links: Dict[int, _LinkState] = {}
+        self._last_release: Dict[Tuple[int, str], float] = {}
+        self._armed = False
+
+    # ------------------------------------------------------------------
+    # Fault timeline.
+    # ------------------------------------------------------------------
+    def _event_dsts(self, event: FaultEvent) -> Tuple[int, ...]:
+        """Destinations on MY egress this event impairs (may be none)."""
+        me = self.node_id
+        others = tuple(p for p in range(self.n) if p != me)
+        if event.kind == "partition":
+            group = set(event.group or ())
+            if me in group:
+                return tuple(p for p in others if p not in group)
+            return tuple(p for p in others if p in group)
+        if event.kind == "partial_partition":
+            a, b = event.link  # type: ignore[misc]
+            if me == a:
+                return (b,)
+            if me == b:
+                return (a,)
+            return ()
+        if event.link is not None:
+            src, dst = event.link
+            return (dst,) if src == me else ()
+        # Cluster-wide burst: all of my egress links.
+        return others
+
+    def _link(self, dst: int) -> _LinkState:
+        state = self._links.get(dst)
+        if state is None:
+            state = _LinkState(random.Random(
+                f"netem:{self.scenario}:{self.seed}:{self.node_id}->{dst}"
+            ))
+            self._links[dst] = state
+        return state
+
+    def arm(self, sched: object) -> None:
+        """Schedule activate/deactivate callbacks for every event that
+        touches this node's egress.  ``sched`` is any object with the
+        ``schedule(delay_s, fn, *args)`` scheduler protocol (the live
+        ``AsyncioScheduler``); call it at protocol start so event times
+        line up with the schedule's origin."""
+        if self._armed:
+            raise ConfigurationError("shaper already armed")
+        self._armed = True
+        schedule = getattr(sched, "schedule")
+        for event in self._events:
+            if not self._event_dsts(event):
+                continue
+            schedule(max(event.time, 0.0), self._activate, event)
+            schedule(event.time + event.duration_s, self._deactivate, event)
+
+    def _activate(self, event: FaultEvent) -> None:
+        for dst in self._event_dsts(event):
+            state = self._link(dst)
+            if event.kind in ("partition", "partial_partition"):
+                state.blocked += 1
+            elif event.kind in ("loss_burst", "asym_loss"):
+                state.loss_rates.append(event.magnitude)
+            elif event.kind == "jitter_burst":
+                state.jitter_s += event.magnitude
+            elif event.kind == "bandwidth_cap":
+                state.rates_bps.append(event.magnitude)
+        self.telemetry.counter("netem_events_applied").inc()
+        self._update_gauges()
+
+    def _deactivate(self, event: FaultEvent) -> None:
+        for dst in self._event_dsts(event):
+            state = self._link(dst)
+            if event.kind in ("partition", "partial_partition"):
+                state.blocked = max(0, state.blocked - 1)
+            elif event.kind in ("loss_burst", "asym_loss"):
+                if event.magnitude in state.loss_rates:
+                    state.loss_rates.remove(event.magnitude)
+            elif event.kind == "jitter_burst":
+                state.jitter_s = max(0.0, state.jitter_s - event.magnitude)
+            elif event.kind == "bandwidth_cap":
+                if event.magnitude in state.rates_bps:
+                    state.rates_bps.remove(event.magnitude)
+        self._update_gauges()
+
+    def _update_gauges(self) -> None:
+        blocked = sum(1 for s in self._links.values() if s.blocked > 0)
+        impaired = sum(1 for s in self._links.values() if not s.idle())
+        self.telemetry.gauge("netem_links_blocked").set(blocked)
+        self.telemetry.gauge("netem_links_impaired").set(impaired)
+
+    # ------------------------------------------------------------------
+    # Transport-facing queries.
+    # ------------------------------------------------------------------
+    def is_blocked(self, dst: int) -> bool:
+        """True while the directed link me->dst is partitioned away."""
+        state = self._links.get(dst)
+        return state is not None and state.blocked > 0
+
+    def plan(self, dst: int, nbytes: int, now: float, channel: str = "ring") -> float:
+        """Release timestamp for a frame enqueued to ``dst`` at ``now``.
+
+        Called at enqueue time so emulated propagation delay overlaps
+        across in-flight frames instead of serializing them.  The
+        result is monotone per (link, channel): a TCP stream cannot
+        reorder.
+        """
+        state = self._links.get(dst)
+        key = (dst, channel)
+        if state is None or state.idle():
+            release = max(now, self._last_release.get(key, 0.0))
+            self._last_release[key] = release
+            return release
+        rng = state.rng
+        added = state.delay_s
+        if state.jitter_s > 0.0:
+            added += rng.uniform(0.0, state.jitter_s)
+            if rng.random() < self.reorder_p:
+                # Reordering pressure: this frame got queued behind a
+                # burst tail the FIFO clamp will smear over successors.
+                added += state.jitter_s
+        loss = state.loss
+        if loss > 0.0:
+            retx = 0
+            while retx < self.max_retx and rng.random() < loss:
+                retx += 1
+            if retx:
+                added += retx * self.rto_s
+                self.telemetry.counter("netem_synthetic_retx").inc(retx)
+        if self.delay_cap_s is not None:
+            added = min(added, self.delay_cap_s)
+        release = now + added
+        rate = state.rate_bps
+        if rate > 0.0:
+            start = max(now, state.busy_until.get(channel, 0.0))
+            tx_s = nbytes * 8.0 / rate
+            state.busy_until[channel] = start + tx_s
+            release = start + tx_s + added
+        release = max(release, self._last_release.get(key, 0.0))
+        self._last_release[key] = release
+        if added > 0.0:
+            self.telemetry.counter("netem_frames_shaped").inc()
+            self.telemetry.histogram("netem_added_delay_s").observe(added)
+        return release
+
+    def active_summary(self) -> Dict[str, object]:
+        """Current impairments, for journals and debugging."""
+        links: Dict[str, Dict[str, object]] = {}
+        for dst, state in sorted(self._links.items()):
+            if state.idle():
+                continue
+            links[str(dst)] = {
+                "delay_s": round(state.delay_s, 6),
+                "jitter_s": round(state.jitter_s, 6),
+                "loss": state.loss,
+                "rate_bps": state.rate_bps,
+                "blocked": state.blocked > 0,
+            }
+        return {"node": self.node_id, "links": links}

@@ -35,7 +35,26 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.errors import ConfigurationError
 
 #: Fault kinds understood by the campaign runner.
-FAULT_KINDS = ("crash", "loss_burst", "jitter_burst", "cpu_slow")
+FAULT_KINDS = (
+    "crash",
+    "loss_burst",
+    "jitter_burst",
+    "cpu_slow",
+    "partition",
+    "partial_partition",
+    "asym_loss",
+    "bandwidth_cap",
+)
+
+#: Kinds that may (loss/jitter bursts, bandwidth caps) or must
+#: (asym_loss, partial_partition) carry a directed ``link``.
+LINK_KINDS = (
+    "loss_burst",
+    "jitter_burst",
+    "asym_loss",
+    "partial_partition",
+    "bandwidth_cap",
+)
 
 
 @dataclass(frozen=True)
@@ -43,10 +62,16 @@ class FaultEvent:
     """One fault: a crash, or a timed degradation phase.
 
     ``process`` targets crashes and CPU slowdowns; burst phases apply to
-    the whole fabric.  ``magnitude`` is kind-specific: loss probability
-    for ``loss_burst``, extra jitter seconds for ``jitter_burst``, CPU
-    cost multiplier for ``cpu_slow``.  ``note`` records the generator's
-    intent ("leader", "during_view_change", ...) for readable reports.
+    the whole fabric unless ``link`` scopes them to one directed edge
+    ``(src, dst)``.  ``magnitude`` is kind-specific: loss probability
+    for ``loss_burst``/``asym_loss``, extra jitter seconds for
+    ``jitter_burst``, CPU cost multiplier for ``cpu_slow``, link rate
+    in bits/s for ``bandwidth_cap``.
+    ``partition`` isolates the (minority) ``group`` from the rest of the
+    cluster in both directions for ``duration_s``; ``partial_partition``
+    severs only the single ``link`` pair.  ``note`` records the
+    generator's intent ("leader", "minority_island", ...) for readable
+    reports.
     """
 
     kind: str
@@ -55,6 +80,11 @@ class FaultEvent:
     duration_s: float = 0.0
     magnitude: float = 0.0
     note: str = ""
+    #: Directed edge ``(src, dst)`` for link-scoped faults.  For
+    #: ``partial_partition`` the cut applies in both directions.
+    link: Optional[Tuple[int, int]] = None
+    #: Minority side of a full ``partition``.
+    group: Optional[Tuple[int, ...]] = None
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -65,6 +95,15 @@ class FaultEvent:
             raise ConfigurationError(f"{self.kind} fault needs a target process")
         if self.kind != "crash" and self.duration_s <= 0:
             raise ConfigurationError(f"{self.kind} fault needs a positive duration")
+        if self.kind in ("asym_loss", "partial_partition") and self.link is None:
+            raise ConfigurationError(f"{self.kind} fault needs a link (src, dst)")
+        if self.kind == "partition" and not self.group:
+            raise ConfigurationError("partition fault needs a non-empty group")
+        if self.link is not None:
+            if self.kind not in LINK_KINDS:
+                raise ConfigurationError(f"{self.kind} fault cannot carry a link")
+            if len(self.link) != 2 or self.link[0] == self.link[1]:
+                raise ConfigurationError("link must be a (src, dst) pair, src != dst")
 
     def to_dict(self) -> Dict[str, object]:
         out: Dict[str, object] = {"kind": self.kind, "time": self.time}
@@ -76,10 +115,16 @@ class FaultEvent:
             out["magnitude"] = self.magnitude
         if self.note:
             out["note"] = self.note
+        if self.link is not None:
+            out["link"] = list(self.link)
+        if self.group is not None:
+            out["group"] = list(self.group)
         return out
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "FaultEvent":
+        link = data.get("link")
+        group = data.get("group")
         return cls(
             kind=str(data["kind"]),
             time=float(data["time"]),  # type: ignore[arg-type]
@@ -87,6 +132,8 @@ class FaultEvent:
             duration_s=float(data.get("duration_s", 0.0)),  # type: ignore[arg-type]
             magnitude=float(data.get("magnitude", 0.0)),  # type: ignore[arg-type]
             note=str(data.get("note", "")),
+            link=None if link is None else (int(link[0]), int(link[1])),  # type: ignore[index]
+            group=None if group is None else tuple(int(p) for p in group),  # type: ignore[union-attr]
         )
 
 
@@ -115,7 +162,35 @@ class FaultSchedule:
 
     def needs_arq(self) -> bool:
         """Whether the run must force reliable channels (loss injected)."""
-        return any(e.kind == "loss_burst" for e in self.events)
+        return any(e.kind in ("loss_burst", "asym_loss") for e in self.events)
+
+    def netem_events(self) -> Tuple[FaultEvent, ...]:
+        """The events a link shaper delivers (everything but crashes and
+        CPU slowdowns, which are process faults, not network faults)."""
+        return tuple(
+            e for e in self.events if e.kind not in ("crash", "cpu_slow")
+        )
+
+    def partition_casualties(self, detection_s: float) -> Tuple[int, ...]:
+        """Processes a long-lived full partition is expected to exclude.
+
+        A ``partition`` whose duration exceeds the detector's suspicion
+        bound strands its (minority) ``group`` outside the primary
+        component: the majority installs a view without them, and — with
+        permanent suspicions — the heal does not re-admit them.  Those
+        processes are judged like crashed ones (prefix consistency, no
+        liveness obligation).  Blip partitions that heal before any
+        suspicion can fire expect no casualties.
+        """
+        out: set = set()
+        for event in self.events:
+            if (
+                event.kind == "partition"
+                and event.group
+                and event.duration_s >= detection_s
+            ):
+                out.update(event.group)
+        return tuple(sorted(out))
 
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, object]:
@@ -188,6 +263,11 @@ class ScheduleContext:
     max_slowdown: float = 3.0
     heartbeat_interval_s: float = 10e-3
     heartbeat_timeout_s: float = 200e-3
+    #: True when the consumer can impose per-directed-link faults (the
+    #: live NetShaper, or the simulator's per-link overrides).  With it
+    #: set, ``degraded_network`` scopes most bursts to single links
+    #: instead of the whole fabric, and ``hostile_network`` is allowed.
+    link_faults: bool = False
 
     def __post_init__(self) -> None:
         if self.n < 2:
@@ -200,6 +280,14 @@ class ScheduleContext:
 
 def _uniform(rng: random.Random, lo: float, hi: float) -> float:
     return round(lo + rng.random() * (hi - lo), 4)
+
+
+def _random_link(rng: random.Random, n: int) -> Tuple[int, int]:
+    src = rng.randrange(n)
+    dst = rng.randrange(n - 1)
+    if dst >= src:
+        dst += 1
+    return (src, dst)
 
 
 # ----------------------------------------------------------------------
@@ -309,22 +397,37 @@ def degraded_network(
 ) -> List[FaultEvent]:
     """Loss bursts, jitter bursts, and per-node CPU slowdowns — kept
     strictly within the failure detector's bound — optionally overlapped
-    with a crash so degradation coincides with recovery."""
+    with a crash so degradation coincides with recovery.
+
+    With ``ctx.link_faults`` (live runs, or sim runs with per-link
+    overrides) bursts usually carry an explicit directed ``link``:
+    a flaky cable degrades one edge, not the whole switch.
+    """
     events: List[FaultEvent] = []
     lo, hi = ctx.window
+
+    def _burst_link() -> Optional[Tuple[int, int]]:
+        if ctx.link_faults and rng.random() < 0.7:
+            return _random_link(rng, ctx.n)
+        return None
+
     if rng.random() < 0.8:
+        link = _burst_link()
         events.append(FaultEvent(
             "loss_burst", _uniform(rng, lo, hi),
             duration_s=round(0.02 + rng.random() * 0.03, 4),
             magnitude=round(0.05 + rng.random() * 0.25, 3),
-            note="loss_burst",
+            note="flaky_link" if link else "loss_burst",
+            link=link,
         ))
     if rng.random() < 0.6:
+        link = _burst_link()
         events.append(FaultEvent(
             "jitter_burst", _uniform(rng, lo, hi),
             duration_s=round(0.02 + rng.random() * 0.03, 4),
             magnitude=round(0.2e-3 + rng.random() * 1.8e-3, 6),
-            note="switch_queueing_noise",
+            note="congested_link" if link else "switch_queueing_noise",
+            link=link,
         ))
     if rng.random() < 0.6:
         events.append(FaultEvent(
@@ -343,6 +446,142 @@ def degraded_network(
         events.append(FaultEvent(
             "loss_burst", _uniform(rng, lo, hi),
             duration_s=0.03, magnitude=0.1, note="loss_burst",
+        ))
+    return sorted(events, key=lambda e: e.time)
+
+
+def hostile_network(
+    rng: random.Random, ctx: ScheduleContext
+) -> List[FaultEvent]:
+    """Hostile-but-survivable networks: link jitter storms, lossy links,
+    partition blips, hard minority partitions, and crashes under jitter.
+
+    Each seed draws ONE pattern, so every run has a single analyzable
+    expectation (the patterns compose badly: loss retransmit delay plus
+    jitter plus a partition blip could add up past the detector floor,
+    and the campaign's "zero false suspicions under sub-threshold
+    jitter" claim needs the bound to hold by construction):
+
+    - ``jitter_storm`` / ``kill_under_jitter``: per-link and cluster
+      jitter strictly below the adaptive detector's floor — no view
+      change may result (except for the scheduled kill).
+    - ``lossy_links``: probabilistic loss on directed links.  Over TCP
+      the shaper models loss as bounded synthetic retransmit delay, so
+      the worst heartbeat gap stays under the floor.
+    - ``blip_partition``: a full partition that heals before any
+      suspicion can accrue — the run must come out with zero view
+      changes.
+    - ``hard_partition``: a strict-minority island cut off for longer
+      than the suspicion ceiling; the majority must exclude it and keep
+      ordering, and the heal must not split the sequence.  The minority
+      stays strictly below ``n/2`` so the quorum guard leaves exactly
+      one primary component (equal splits would deadlock: suspicions
+      are permanent, so neither side could ever form a quorum).
+    - ``partial_partition``: one severed pair, both endpoints ranked
+      below the top two members — neither endpoint can ever believe
+      itself coordinator, so dueling concurrent flushes (the classic
+      split-membership trap of partial cuts) are impossible by
+      construction.
+    """
+    from repro.failure.detector import adaptive_floor_s
+
+    floor_s = adaptive_floor_s(ctx.heartbeat_interval_s, ctx.heartbeat_timeout_s)
+    jitter_cap = 0.35 * max(
+        floor_s - ctx.heartbeat_interval_s, ctx.heartbeat_interval_s
+    )
+    lo, hi = ctx.window
+    span = hi - lo
+
+    patterns = ["jitter_storm", "lossy_links"]
+    if (ctx.n - 1) // 2 >= 1:
+        patterns += ["blip_partition", "hard_partition"]
+    if ctx.n >= 4:
+        patterns.append("partial_partition")
+    if ctx.t >= 1:
+        patterns.append("kill_under_jitter")
+    pattern = rng.choice(patterns)
+    events: List[FaultEvent] = []
+
+    def _jitter(at: float, link: Optional[Tuple[int, int]], note: str) -> FaultEvent:
+        return FaultEvent(
+            "jitter_burst", at,
+            duration_s=round((0.2 + rng.random() * 0.3) * span, 4),
+            magnitude=round((0.3 + 0.7 * rng.random()) * jitter_cap, 6),
+            note=note, link=link,
+        )
+
+    if pattern == "jitter_storm":
+        for _ in range(rng.randint(2, 4)):
+            link = _random_link(rng, ctx.n) if rng.random() < 0.7 else None
+            events.append(_jitter(
+                _uniform(rng, lo, hi), link,
+                "link_jitter" if link else "fabric_jitter",
+            ))
+    elif pattern == "lossy_links":
+        for _ in range(rng.randint(1, 3)):
+            at = _uniform(rng, lo, hi)
+            duration = round((0.2 + rng.random() * 0.3) * span, 4)
+            magnitude = round(0.08 + rng.random() * 0.22, 3)
+            if rng.random() < 0.5:
+                events.append(FaultEvent(
+                    "asym_loss", at, duration_s=duration, magnitude=magnitude,
+                    link=_random_link(rng, ctx.n), note="one_way_loss",
+                ))
+            else:
+                link = _random_link(rng, ctx.n) if rng.random() < 0.7 else None
+                events.append(FaultEvent(
+                    "loss_burst", at, duration_s=duration, magnitude=magnitude,
+                    link=link, note="flaky_link" if link else "fabric_loss",
+                ))
+    elif pattern == "blip_partition":
+        minority = rng.sample(range(ctx.n), rng.randint(1, (ctx.n - 1) // 2))
+        events.append(FaultEvent(
+            "partition", _uniform(rng, lo, hi),
+            duration_s=round(0.5 * floor_s * (0.5 + 0.5 * rng.random()), 4),
+            group=tuple(sorted(minority)), note="heals_before_suspicion",
+        ))
+    elif pattern == "hard_partition":
+        minority = rng.sample(range(ctx.n), rng.randint(1, (ctx.n - 1) // 2))
+        events.append(FaultEvent(
+            "partition", _uniform(rng, lo, (lo + hi) / 2),
+            duration_s=round(
+                ctx.heartbeat_timeout_s * (1.8 + 0.6 * rng.random()), 4
+            ),
+            group=tuple(sorted(minority)), note="minority_island",
+        ))
+    elif pattern == "partial_partition":
+        a, b = rng.sample(range(2, ctx.n), 2)
+        long_cut = rng.random() < 0.5
+        duration = (
+            round(ctx.heartbeat_timeout_s * (1.8 + 0.6 * rng.random()), 4)
+            if long_cut
+            else round(0.5 * floor_s * (0.5 + 0.5 * rng.random()), 4)
+        )
+        events.append(FaultEvent(
+            "partial_partition", _uniform(rng, lo, (lo + hi) / 2),
+            duration_s=duration, link=(a, b),
+            note="severed_pair" if long_cut else "severed_pair_blip",
+        ))
+    else:  # kill_under_jitter
+        kill_at = _uniform(rng, lo + 0.3 * span, hi)
+        jitter_at = round(max(lo, kill_at - 0.3 * span), 4)
+        burst = _jitter(jitter_at, None, "jitter_during_recovery")
+        # Stretch the burst over detection and recovery of the kill.
+        burst = FaultEvent(
+            "jitter_burst", jitter_at,
+            duration_s=round(
+                kill_at - jitter_at + 2.0 * ctx.heartbeat_timeout_s, 4
+            ),
+            magnitude=burst.magnitude, note=burst.note,
+        )
+        events.append(burst)
+        if rng.random() < 0.5:
+            events.append(_jitter(
+                _uniform(rng, lo, hi), _random_link(rng, ctx.n), "link_jitter",
+            ))
+        events.append(FaultEvent(
+            "crash", kill_at, process=rng.randrange(ctx.n),
+            note="crash_under_jitter",
         ))
     return sorted(events, key=lambda e: e.time)
 
@@ -376,6 +615,7 @@ SCENARIOS: Dict[str, Callable[[random.Random, ScheduleContext], List[FaultEvent]
     "view_change_crossfire": view_change_crossfire,
     "repeated_leader_crash": repeated_leader_crash,
     "degraded_network": degraded_network,
+    "hostile_network": hostile_network,
 }
 
 #: Unsound scenarios: opt-in, violate a stated model assumption.
@@ -383,7 +623,19 @@ UNSOUND_SCENARIOS = {
     "fd_violation": fd_violation,
 }
 
-DEFAULT_SCENARIOS: Tuple[str, ...] = tuple(SCENARIOS)
+#: Scenarios that need a real (message-driven) failure detector: the
+#: oracle is fed by the crash injector and cannot observe a partition,
+#: so partition runs would neither exclude the minority nor drain.
+_SCENARIO_DETECTOR = {
+    "hostile_network": "heartbeat",
+}
+
+#: Default sim-campaign rotation.  ``hostile_network`` is opt-in there:
+#: it targets the live runtime (heartbeat detector, long real-time
+#: partitions) and is exercised by ``python -m repro chaos --live``.
+DEFAULT_SCENARIOS: Tuple[str, ...] = tuple(
+    name for name in SCENARIOS if name != "hostile_network"
+)
 
 
 def generate_schedule(
@@ -400,12 +652,13 @@ def generate_schedule(
         ) from None
     rng = random.Random(f"{scenario}:{seed}")
     events = generator(rng, ctx)
+    detector = _SCENARIO_DETECTOR.get(scenario, "heartbeat" if unsound else "oracle")
     return FaultSchedule(
         scenario=scenario,
         seed=seed,
         n=ctx.n,
         t=ctx.t,
         events=tuple(events),
-        detector="heartbeat" if unsound else "oracle",
+        detector=detector,
         fd_unsound=unsound,
     )

@@ -193,10 +193,15 @@ def _cmd_chaos_live(args: argparse.Namespace) -> int:
         outage = (
             "-" if outcome.outage_ms is None else f"{outcome.outage_ms:7.1f}"
         )
+        suspicion = (
+            f"  FALSE-SUSPECT {outcome.false_suspicions}"
+            if outcome.false_suspicions
+            else ""
+        )
         print(
             f"  seed {outcome.seed:>4}  {outcome.scenario:<24} {marker:<5}"
             f" kills {len(outcome.killed)}  outage {outage} ms"
-            f"  wall {outcome.wall_s:5.1f} s",
+            f"  wall {outcome.wall_s:5.1f} s{suspicion}",
             flush=True,
         )
 
@@ -213,12 +218,13 @@ def _cmd_chaos_live(args: argparse.Namespace) -> int:
             row["seeds"],
             row["failures"],
             row["kills"],
+            row["false_suspicions"],
             "-" if mean is None else f"{mean:.1f}",
             "-" if worst is None else f"{worst:.1f}",
         ])
     print(format_table(
-        ["scenario", "seeds", "failures", "kills", "mean outage (ms)",
-         "max outage (ms)"],
+        ["scenario", "seeds", "failures", "kills", "false susp.",
+         "mean outage (ms)", "max outage (ms)"],
         rows,
         title=(
             f"Live chaos campaign: {len(report.outcomes)} seeds, "
@@ -229,6 +235,11 @@ def _cmd_chaos_live(args: argparse.Namespace) -> int:
     for outcome in report.failures:
         print(f"\nFAIL seed {outcome.seed} ({outcome.scenario}):")
         print(f"  {outcome.verdict.summary()}")
+        if outcome.false_suspicions:
+            print(
+                f"  false suspicions: nodes {outcome.false_suspicions} "
+                "evicted with no kill and no partition excuse"
+            )
         print("  schedule (replayable live or on the simulator):")
         for line in outcome.schedule.reproducer().splitlines():
             print(f"    {line}")

@@ -29,14 +29,21 @@ class ClusterConfig:
     network: NetworkParams = field(default_factory=NetworkParams.fast_ethernet)
     #: Root seed for all randomised subsystems.
     seed: int = 0
-    #: Failure detector flavour: "oracle" or "heartbeat".
+    #: Failure detector flavour: "oracle", "heartbeat", or "adaptive"
+    #: (heartbeat with an EWMA-adapted suspicion timeout).
     detector: str = "oracle"
     #: Crash-to-suspicion delay of the oracle detector (seconds).
     detection_delay_s: float = 20e-3
-    #: Heartbeat period (heartbeat detector only).
+    #: Heartbeat period (heartbeat/adaptive detectors only).
     heartbeat_interval_s: float = 10e-3
-    #: Suspicion timeout (heartbeat detector only).
+    #: Suspicion timeout (heartbeat), or its ceiling (adaptive).
     heartbeat_timeout_s: float = 200e-3
+    #: Primary-partition guard: membership refuses to install a view
+    #: keeping less than a strict majority of the current one.  Needed
+    #: whenever the run can partition (hostile-network chaos); off by
+    #: default because configurations with ``t >= n/2`` legitimately
+    #: install minority views after mass crashes.
+    require_quorum: bool = False
     #: Record a structured trace of the run (slows large runs).
     trace: bool = False
     #: Record per-message lifecycle spans (``repro.obs``); off by
@@ -46,9 +53,10 @@ class ClusterConfig:
     def __post_init__(self) -> None:
         if self.n < 1:
             raise ConfigurationError("a cluster needs at least one process")
-        if self.detector not in ("oracle", "heartbeat"):
+        if self.detector not in ("oracle", "heartbeat", "adaptive"):
             raise ConfigurationError(
-                f"unknown detector {self.detector!r}; use 'oracle' or 'heartbeat'"
+                f"unknown detector {self.detector!r}; "
+                "use 'oracle', 'heartbeat', or 'adaptive'"
             )
         if self.detection_delay_s < 0:
             raise ConfigurationError("detection_delay_s cannot be negative")

@@ -14,6 +14,7 @@ from repro.cluster.results import AppDelivery, ExperimentResult
 from repro.core.api import BroadcastListener, DeliveryLog, TotalOrderBroadcast
 from repro.errors import ConfigurationError, SimulationError
 from repro.failure.detector import (
+    AdaptiveFailureDetector,
     FailureDetector,
     HeartbeatFailureDetector,
     OracleFailureDetector,
@@ -100,6 +101,14 @@ class Cluster:
                 self.sim, owner=node_id, detection_delay_s=config.detection_delay_s
             )
             self.injector.register_detector(detector)
+        elif config.detector == "adaptive":
+            detector = AdaptiveFailureDetector(
+                self.sim,
+                fd_port,
+                interval_s=config.heartbeat_interval_s,
+                timeout_s=config.heartbeat_timeout_s,
+                trace=self.trace,
+            )
         else:
             detector = HeartbeatFailureDetector(
                 self.sim,
@@ -116,6 +125,7 @@ class Cluster:
             me=node_id,
             initial_members=self.members,
             trace=self.trace,
+            require_quorum=config.require_quorum,
         )
 
         proto_port = demux.port("proto")

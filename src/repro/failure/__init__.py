@@ -19,15 +19,19 @@ Two implementations are provided:
 """
 
 from repro.failure.detector import (
+    AdaptiveFailureDetector,
     FailureDetector,
     HeartbeatFailureDetector,
     OracleFailureDetector,
+    adaptive_floor_s,
 )
 from repro.failure.injector import CrashInjector
 
 __all__ = [
+    "AdaptiveFailureDetector",
     "FailureDetector",
     "HeartbeatFailureDetector",
     "OracleFailureDetector",
     "CrashInjector",
+    "adaptive_floor_s",
 ]

@@ -7,14 +7,28 @@ membership layer does not care which one it is wired to.
 
 from __future__ import annotations
 
+import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Set
 
 from repro.net.dispatch import Port
+from repro.obs.telemetry import Telemetry
 from repro.sim.engine import Simulator
 from repro.sim.trace import TraceLog
 from repro.types import ProcessId, TimerHandle
+
+
+def adaptive_floor_s(interval_s: float, ceiling_s: float) -> float:
+    """Default lower clamp of the adaptive suspicion timeout.
+
+    Never below four heartbeat intervals (one delayed probe plus
+    scheduling noise must not look like a crash) and never below 35% of
+    the configured ceiling (the bound chaos generators keep
+    "sub-threshold" jitter under — see
+    ``repro.chaos.schedules.hostile_network``).
+    """
+    return max(4.0 * interval_s, 0.35 * ceiling_s)
 
 #: Upcall signature: invoked once per newly suspected process.
 SuspectCallback = Callable[[ProcessId], None]
@@ -122,6 +136,7 @@ class HeartbeatFailureDetector(FailureDetector):
         timeout_s: float = 100e-3,
         trace: Optional[TraceLog] = None,
         rtt_observer: Optional[Callable[[ProcessId, float], None]] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         super().__init__()
         self.sim = sim
@@ -129,6 +144,7 @@ class HeartbeatFailureDetector(FailureDetector):
         self.interval_s = interval_s
         self.timeout_s = timeout_s
         self.trace = trace if trace is not None else TraceLog(enabled=False)
+        self.telemetry = telemetry
         #: Telemetry hook: ``rtt_observer(peer, rtt_s)`` per echoed
         #: probe.  Setting it also makes this detector echo peers'
         #: probes; ``None`` (the default, and always in simulation)
@@ -156,8 +172,16 @@ class HeartbeatFailureDetector(FailureDetector):
             self._tick_timer = None
 
     # ------------------------------------------------------------------
+    def _timeout_for(self, pid: ProcessId) -> float:
+        """Suspicion bound for ``pid``; subclasses adapt it per peer."""
+        return self.timeout_s
+
+    def _note_heartbeat(self, src: ProcessId, now: float) -> None:
+        """Hook: called on every arrival from ``src`` (probe or echo)."""
+
     def _on_heartbeat(self, src: ProcessId, message: _Heartbeat) -> None:
         self._last_heard[src] = self.sim.now
+        self._note_heartbeat(src, self.sim.now)
         if self._rtt_observer is None:
             return
         if message.echo:
@@ -174,17 +198,114 @@ class HeartbeatFailureDetector(FailureDetector):
         if self._stopped:
             return
         me = self.port.node_id
+        now = self.sim.now
         for pid in self._monitored:
             if pid not in self._suspected:
-                self.port.send(pid, _Heartbeat(sender=me, sent_at=self.sim.now))
-        deadline = self.sim.now - self.timeout_s
+                self.port.send(pid, _Heartbeat(sender=me, sent_at=now))
+        worst_level = 0.0
+        worst_timeout = 0.0
         for pid in sorted(self._monitored):
             if pid in self._suspected:
                 continue
-            if self._last_heard.get(pid, 0.0) < deadline:
+            timeout = self._timeout_for(pid)
+            silence = now - self._last_heard.get(pid, 0.0)
+            worst_level = max(worst_level, silence / max(timeout, 1e-9))
+            worst_timeout = max(worst_timeout, timeout)
+            if silence > timeout:
                 self.trace.emit(
-                    self.sim.now, "fd", "suspect", owner=me, peer=pid,
+                    now, "fd", "suspect", owner=me, peer=pid,
                     last_heard=self._last_heard.get(pid),
+                    timeout_s=timeout,
                 )
+                if self.telemetry is not None:
+                    self.telemetry.counter("fd_suspicions").inc()
                 self._suspect(pid)
+        if self.telemetry is not None and self._monitored:
+            self.telemetry.gauge("fd_suspicion_level").set(round(worst_level, 4))
+            self.telemetry.gauge("fd_timeout_s").set(round(worst_timeout, 6))
         self._tick_timer = self.sim.schedule(self.interval_s, self._tick)
+
+
+class AdaptiveFailureDetector(HeartbeatFailureDetector):
+    """Heartbeat detector with a per-peer adaptive suspicion timeout.
+
+    A fixed bound cannot win the accuracy/completeness trade-off on a
+    real network: set it for the healthy case and background jitter
+    triggers false-suspicion view-change storms; set it for the hostile
+    case and every genuine crash costs the full pessimistic timeout.
+    Following the φ-accrual idea (Hayashibara et al.), this detector
+    keeps an EWMA estimate of each peer's heartbeat inter-arrival mean
+    and variance and suspects only when the current silence exceeds
+
+        ``clamp(mean + k·std, floor, ceiling)``
+
+    - ``mean + k·std`` tracks what *this* link actually delivers, so
+      sub-threshold jitter widens the bound before it can misfire;
+    - ``floor`` (default :func:`adaptive_floor_s`) keeps one delayed
+      probe from ever looking like a crash;
+    - ``ceiling`` (the configured ``timeout_s``) preserves the
+      completeness guarantee: a genuine crash is still suspected within
+      the same worst-case bound as the fixed detector, because silence
+      past the ceiling is suspect regardless of learned state.
+
+    Until ``warmup_samples`` gaps have been observed for a peer, the
+    ceiling applies (a freshly monitored peer gets the full grace the
+    fixed detector gives).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        port: Port,
+        interval_s: float = 10e-3,
+        timeout_s: float = 100e-3,
+        trace: Optional[TraceLog] = None,
+        rtt_observer: Optional[Callable[[ProcessId, float], None]] = None,
+        telemetry: Optional[Telemetry] = None,
+        floor_s: Optional[float] = None,
+        safety_factor: float = 4.0,
+        alpha: float = 0.2,
+        warmup_samples: int = 5,
+    ) -> None:
+        self.floor_s = (
+            floor_s if floor_s is not None
+            else adaptive_floor_s(interval_s, timeout_s)
+        )
+        self.ceiling_s = timeout_s
+        self.safety_factor = safety_factor
+        self.alpha = alpha
+        self.warmup_samples = warmup_samples
+        self._gap_mean: Dict[ProcessId, float] = {}
+        self._gap_var: Dict[ProcessId, float] = {}
+        self._prev_arrival: Dict[ProcessId, float] = {}
+        self._gap_samples: Dict[ProcessId, int] = {}
+        super().__init__(
+            sim, port,
+            interval_s=interval_s, timeout_s=timeout_s, trace=trace,
+            rtt_observer=rtt_observer, telemetry=telemetry,
+        )
+
+    def _note_heartbeat(self, src: ProcessId, now: float) -> None:
+        prev = self._prev_arrival.get(src)
+        self._prev_arrival[src] = now
+        if prev is None:
+            return
+        gap = now - prev
+        if gap <= 0.0:
+            return
+        mean = self._gap_mean.get(src, gap)
+        var = self._gap_var.get(src, 0.0)
+        delta = gap - mean
+        mean += self.alpha * delta
+        var = (1.0 - self.alpha) * (var + self.alpha * delta * delta)
+        self._gap_mean[src] = mean
+        self._gap_var[src] = var
+        self._gap_samples[src] = self._gap_samples.get(src, 0) + 1
+
+    def _timeout_for(self, pid: ProcessId) -> float:
+        if self._gap_samples.get(pid, 0) < self.warmup_samples:
+            return self.ceiling_s
+        estimate = self._gap_mean[pid] + self.safety_factor * math.sqrt(
+            self._gap_var[pid]
+        )
+        return min(self.ceiling_s, max(self.floor_s, estimate))

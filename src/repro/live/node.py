@@ -39,6 +39,7 @@ from __future__ import annotations
 import asyncio
 import json
 import logging
+import random
 import signal
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, TextIO, Tuple
@@ -47,7 +48,12 @@ from repro.core.api import BroadcastListener
 from repro.core.fsr.config import FSRConfig
 from repro.core.fsr.process import FSRProcess
 from repro.errors import ConfigurationError, NetworkError
-from repro.failure.detector import FailureDetector, HeartbeatFailureDetector
+from repro.failure.detector import (
+    AdaptiveFailureDetector,
+    FailureDetector,
+    HeartbeatFailureDetector,
+    adaptive_floor_s,
+)
 from repro.live.scheduler import AsyncioScheduler
 from repro.live.transport import RingTransport
 from repro.net.channel import MAX_RETRIES
@@ -92,6 +98,24 @@ class LiveNodeConfig:
     view_changes: bool = False
     heartbeat_interval_s: float = 0.1
     heartbeat_timeout_s: float = 1.0
+    #: Failure-detector flavour when ``view_changes``: "heartbeat"
+    #: (fixed timeout) or "adaptive" (EWMA-adapted, floor/ceiling
+    #: clamped — the hostile-network campaigns run this one).
+    detector_mode: str = "heartbeat"
+    #: Link-level fault events for this node's egress shaper, as
+    #: serialised :class:`repro.chaos.schedules.FaultEvent` dicts.
+    #: Empty list: no shaper, zero hot-path overhead.
+    netem_events: List[Dict[str, Any]] = field(default_factory=list)
+    #: Scenario name + seed the shaper derives its per-link RNGs from.
+    netem_scenario: str = ""
+    netem_seed: int = 0
+    #: Run-level seed for transport reconnect jitter; makes live chaos
+    #: runs reproducible from ``(scenario, seed)``.
+    run_seed: int = 0
+    #: Primary-partition guard (see ``GroupMembership``): refuse views
+    #: keeping less than a strict majority of the current one.  The
+    #: chaos driver turns this on for partitionable runs.
+    require_quorum: bool = False
     #: Fixed-count sender mode: each sender submits exactly this many
     #: messages (closed loop), ignoring ``duration_s`` — used by the
     #: sim/live conformance test, where the workloads must be identical.
@@ -117,6 +141,11 @@ class LiveNodeConfig:
         for pid in self.senders:
             if pid not in self.members:
                 raise ConfigurationError(f"sender {pid} not in members")
+        if self.detector_mode not in ("heartbeat", "adaptive"):
+            raise ConfigurationError(
+                f"unknown detector_mode {self.detector_mode!r}; "
+                "use 'heartbeat' or 'adaptive'"
+            )
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -138,6 +167,12 @@ class LiveNodeConfig:
             "view_changes": self.view_changes,
             "heartbeat_interval_s": self.heartbeat_interval_s,
             "heartbeat_timeout_s": self.heartbeat_timeout_s,
+            "detector_mode": self.detector_mode,
+            "netem_events": list(self.netem_events),
+            "netem_scenario": self.netem_scenario,
+            "netem_seed": self.netem_seed,
+            "run_seed": self.run_seed,
+            "require_quorum": self.require_quorum,
             "messages_per_sender": self.messages_per_sender,
             "journal_path": self.journal_path,
             "span_path": self.span_path,
@@ -165,6 +200,12 @@ class LiveNodeConfig:
             view_changes=data.get("view_changes", False),
             heartbeat_interval_s=data.get("heartbeat_interval_s", 0.1),
             heartbeat_timeout_s=data.get("heartbeat_timeout_s", 1.0),
+            detector_mode=data.get("detector_mode", "heartbeat"),
+            netem_events=list(data.get("netem_events", [])),
+            netem_scenario=data.get("netem_scenario", ""),
+            netem_seed=data.get("netem_seed", 0),
+            run_seed=data.get("run_seed", 0),
+            require_quorum=data.get("require_quorum", False),
             messages_per_sender=data.get("messages_per_sender"),
             journal_path=data.get("journal_path"),
             span_path=data.get("span_path"),
@@ -377,6 +418,30 @@ async def _run(config: LiveNodeConfig) -> Dict[str, Any]:
     # accumulates in memory — a live node's spans live on disk only.
     spans = SpanLog(enabled=config.span_path is not None, capacity=0)
 
+    shaper = None
+    if config.netem_events:
+        # Imported lazily: repro.chaos's package init imports the live
+        # runner, so a module-level import here would be circular.
+        from repro.chaos.netem import NetShaper
+        from repro.chaos.schedules import FaultEvent
+
+        # Cap total emulated delay strictly below the adaptive
+        # detector's floor: even if jitter, reordering pressure, and
+        # synthetic retransmits stack up on one frame, a heartbeat can
+        # never be late enough to look like a crash.
+        floor = adaptive_floor_s(
+            config.heartbeat_interval_s, config.heartbeat_timeout_s
+        )
+        shaper = NetShaper(
+            me,
+            len(members),
+            tuple(FaultEvent.from_dict(e) for e in config.netem_events),
+            config.netem_scenario,
+            config.netem_seed,
+            delay_cap_s=max(0.0, floor - 2 * config.heartbeat_interval_s),
+            telemetry=telemetry,
+        )
+
     transport = RingTransport(
         node_id=me,
         listen_addr=config.addresses[me],
@@ -387,6 +452,8 @@ async def _run(config: LiveNodeConfig) -> Dict[str, Any]:
         # With live membership a dead successor is not terminal: the
         # view change retargets the hop, so keep dialling until then.
         max_retries=None if config.view_changes else MAX_RETRIES,
+        shaper=shaper,
+        rng=random.Random(f"live:{config.run_seed}:{me}"),
     )
     port = LivePort(transport)
 
@@ -402,12 +469,18 @@ async def _run(config: LiveNodeConfig) -> Dict[str, Any]:
         if config.span_path is not None:
             rtt_hist = telemetry.histogram("heartbeat_rtt_s")
             rtt_observer = lambda peer, rtt: rtt_hist.observe(rtt)  # noqa: E731
-        detector: FailureDetector = HeartbeatFailureDetector(
+        detector_cls = (
+            AdaptiveFailureDetector
+            if config.detector_mode == "adaptive"
+            else HeartbeatFailureDetector
+        )
+        detector: FailureDetector = detector_cls(
             sched,
             fd_port,
             interval_s=config.heartbeat_interval_s,
             timeout_s=config.heartbeat_timeout_s,
             rtt_observer=rtt_observer,
+            telemetry=telemetry,
         )
     else:
         fd_port = None
@@ -420,6 +493,7 @@ async def _run(config: LiveNodeConfig) -> Dict[str, Any]:
         me=me,
         initial_members=members,
         telemetry=telemetry,
+        require_quorum=config.require_quorum,
     )
     process = FSRProcess(
         sched,
@@ -555,6 +629,8 @@ async def _run(config: LiveNodeConfig) -> Dict[str, Any]:
             "value": float(transport.queued_bytes),
             "high_water": float(transport.queued_bytes_hwm),
         }
+        if shaper is not None:
+            snap["netem"] = shaper.active_summary()
         return snap
 
     # The span journal opens just before the protocol starts: peers that
@@ -564,6 +640,10 @@ async def _run(config: LiveNodeConfig) -> Dict[str, Any]:
     if config.span_path is not None:
         span_journal = SpanJournal(config.span_path, me, start_time=sched.now)
         spans.add_sink(span_journal.sink())
+    if shaper is not None:
+        # Armed at protocol start so the schedule's event times share
+        # the same origin as the workload deadline (and the sim's).
+        shaper.arm(sched)
     process.start()
 
     start_time = sched.now

@@ -72,6 +72,19 @@ class LiveClusterSpec:
     view_changes: bool = False
     heartbeat_interval_s: float = 0.1
     heartbeat_timeout_s: float = 1.0
+    #: Failure-detector flavour for view-change runs ("heartbeat" or
+    #: "adaptive"); hostile-network campaigns run "adaptive".
+    detector_mode: str = "heartbeat"
+    #: Link-level fault events (serialised ``FaultEvent`` dicts) every
+    #: node's egress shaper enforces, plus the (scenario, seed) pair the
+    #: shapers derive their per-link RNG streams from.
+    netem_events: List[Dict[str, Any]] = field(default_factory=list)
+    netem_scenario: str = ""
+    netem_seed: int = 0
+    #: Seeds each node's transport reconnect jitter.
+    run_seed: int = 0
+    #: Primary-partition guard on every node's membership layer.
+    require_quorum: bool = False
     #: Fixed-count workload (overrides ``duration_s`` as the stop rule).
     messages_per_sender: Optional[int] = None
     #: Collect per-message lifecycle spans + telemetry (``repro.obs``).
@@ -199,6 +212,12 @@ class LiveCluster:
                     view_changes=spec.view_changes,
                     heartbeat_interval_s=spec.heartbeat_interval_s,
                     heartbeat_timeout_s=spec.heartbeat_timeout_s,
+                    detector_mode=spec.detector_mode,
+                    netem_events=list(spec.netem_events),
+                    netem_scenario=spec.netem_scenario,
+                    netem_seed=spec.netem_seed,
+                    run_seed=spec.run_seed,
+                    require_quorum=spec.require_quorum,
                     messages_per_sender=spec.messages_per_sender,
                     journal_path=journal_path,
                     span_path=span_path,

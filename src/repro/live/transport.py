@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import asyncio
 import logging
+import random
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import CodecError, NetworkError
@@ -56,6 +57,8 @@ DEFAULT_MAX_OUTBOUND_BYTES = 4 * 1024 * 1024
 #: First reconnect delay; doubles per attempt up to the cap.
 RECONNECT_BASE_S = 0.05
 RECONNECT_CAP_S = 2.0
+#: Poll period while the shaper holds a link fully blocked (partition).
+BLOCK_POLL_S = 0.02
 
 
 async def read_frame(reader: asyncio.StreamReader) -> Optional[bytes]:
@@ -89,13 +92,14 @@ class _ControlPeer:
         self.transport = transport
         self.peer_id = peer_id
         self.addr = addr
-        self.outbound: List[bytes] = []
+        #: Queued (frame, earliest-release loop time) pairs.
+        self.outbound: List[Tuple[bytes, float]] = []
         self.wakeup = asyncio.Event()
         self.closing = False
         self.task: asyncio.Task = asyncio.ensure_future(self._loop())
 
-    def send(self, frame: bytes) -> None:
-        self.outbound.append(frame)
+    def send(self, frame: bytes, release: float = 0.0) -> None:
+        self.outbound.append((frame, release))
         self.wakeup.set()
 
     def close(self) -> None:
@@ -125,7 +129,14 @@ class _ControlPeer:
                     while self.outbound:
                         if eof.done():
                             raise ConnectionResetError("control peer hung up")
-                        frame = self.outbound[0]
+                        frame, release = self.outbound[0]
+                        if not await transport._pace(
+                            self.peer_id, release,
+                            lambda: self.closing or eof.done(),
+                        ):
+                            break
+                        if eof.done():
+                            raise ConnectionResetError("control peer hung up")
                         writer.write(frame)
                         await writer.drain()
                         self.outbound.pop(0)
@@ -176,6 +187,8 @@ class RingTransport:
         reconnect_base_s: float = RECONNECT_BASE_S,
         reconnect_cap_s: float = RECONNECT_CAP_S,
         max_retries: Optional[int] = MAX_RETRIES,
+        shaper: Optional[Any] = None,
+        rng: Optional[random.Random] = None,
     ) -> None:
         self.node_id = node_id
         self.listen_addr = listen_addr
@@ -188,10 +201,22 @@ class RingTransport:
         self.reconnect_base_s = reconnect_base_s
         self.reconnect_cap_s = reconnect_cap_s
         self.max_retries = max_retries
+        #: Optional egress :class:`repro.chaos.netem.NetShaper`.  When
+        #: set, every queued frame carries an earliest-release loop time
+        #: from ``shaper.plan()`` and the drain loops hold frames while
+        #: the shaper reports the destination link blocked (partition).
+        self._shaper = shaper
+        #: Reconnect-jitter RNG.  Seeded per node from the run seed so
+        #: live chaos runs are reproducible from ``(scenario, seed)``;
+        #: the deterministic default keeps non-chaos runs stable too.
+        self._rng = rng if rng is not None else random.Random(
+            f"transport:{node_id}"
+        )
 
         self._server: Optional[asyncio.AbstractServer] = None
         self._writer: Optional[asyncio.StreamWriter] = None
-        self._outbound: List[bytes] = []
+        #: Queued (frame, earliest-release loop time) pairs.
+        self._outbound: List[Tuple[bytes, float]] = []
         self._queued_bytes = 0
         self._gate_closed = False
         self._tx_idle_callbacks: List[Callable[[], None]] = []
@@ -283,10 +308,48 @@ class RingTransport:
             return False
 
     def _backoff(self, retries: int) -> float:
-        return min(
+        base = min(
             self.reconnect_cap_s,
             self.reconnect_base_s * (2 ** min(retries - 1, 16)),
         )
+        # Jitter desynchronises reconnect stampedes after a partition
+        # heals; drawn from the node's seeded RNG, not the global one,
+        # so a chaos run replays identically from its seed.
+        return base * (0.75 + 0.5 * self._rng.random())
+
+    def _plan_release(self, dst: ProcessId, nbytes: int, channel: str) -> float:
+        """Earliest loop time the next frame to ``dst`` may hit the wire."""
+        if self._shaper is None:
+            return 0.0
+        loop = asyncio.get_event_loop()
+        return self._shaper.plan(dst, nbytes, loop.time(), channel=channel)
+
+    async def _pace(
+        self, dst: ProcessId, release: float, aborted: Callable[[], bool]
+    ) -> bool:
+        """Hold the head frame until the shaper lets it onto the wire.
+
+        Sleeps until ``release`` (event-loop time, stamped at enqueue so
+        per-frame delays overlap instead of serialising), then polls
+        while the shaper reports the link to ``dst`` blocked (partition).
+        Returns ``False`` when ``aborted()`` fires or the transport is
+        closing; the caller re-checks its own state before writing.
+        """
+        if self._shaper is None:
+            return True
+        loop = asyncio.get_event_loop()
+        while not (self._closing or aborted()):
+            delay = release - loop.time()
+            if delay > 0:
+                # Cap the sleep so aborts (retarget, peer EOF, close)
+                # are noticed promptly even under long shaped delays.
+                await asyncio.sleep(min(delay, BLOCK_POLL_S))
+                continue
+            if self._shaper.is_blocked(dst):
+                await asyncio.sleep(BLOCK_POLL_S)
+                continue
+            return True
+        return False
 
     # ------------------------------------------------------------------
     # Ring re-wiring (view changes)
@@ -358,7 +421,8 @@ class RingTransport:
                 f"successor {self.successor_id}, not {dst}"
             )
         frame = encode_frame(message)
-        self._outbound.append(frame)
+        release = self._plan_release(dst, len(frame), "ring")
+        self._outbound.append((frame, release))
         self._queued_bytes += len(frame)
         if self._queued_bytes > self.queued_bytes_hwm:
             self.queued_bytes_hwm = self._queued_bytes
@@ -449,7 +513,12 @@ class RingTransport:
                     # reconnect instead of silently losing it
                     # (duplicates are cheaper than a stuck ring, and
                     # FSR suppresses re-delivered sequence numbers).
-                    frame = self._outbound[0]
+                    frame, release = self._outbound[0]
+                    if not await self._pace(
+                        self.successor_id, release,
+                        lambda: self._epoch != epoch or eof.done(),
+                    ):
+                        return  # retargeted, peer gone, or closing
                     writer.write(frame)
                     await writer.drain()
                     if self._epoch != epoch:
@@ -502,7 +571,8 @@ class RingTransport:
                 )
             peer = _ControlPeer(self, dst, addr)
             self._control_peers[dst] = peer
-        peer.send(encode_frame(ControlFrame(layer=layer, inner=message)))
+        frame = encode_frame(ControlFrame(layer=layer, inner=message))
+        peer.send(frame, self._plan_release(dst, len(frame), "ctl"))
 
     def prune_control_peers(self, keep) -> None:
         """Drop control connections to peers outside ``keep``.

@@ -152,9 +152,14 @@ class _Nic:
         self.stats.messages_tx += 1
         self.stats.tx_busy_s += wire_time
 
-        lost = self.network._roll_loss()
+        lost = self.network._roll_loss(self.node_id, datagram.dst)
         if lost:
             self.stats.messages_lost += 1
+        elif self.network._link_blocked(self.node_id, datagram.dst):
+            # Partitioned link: the frame left this NIC but the cut is
+            # beyond it — the network holds it until the link heals
+            # (mirroring a stalled TCP connection, not a drop).
+            self.network._hold(datagram)
         else:
             # Cut-through at frame granularity: the receiver starts
             # receiving after one frame (or after the whole message, if
@@ -428,6 +433,13 @@ class Network:
         #: top of ``params.propagation_jitter_s``.
         self._loss_override: Optional[float] = None
         self._extra_jitter_s: float = 0.0
+        #: Per-directed-link degradations (hostile-network chaos): loss
+        #: overrides, extra jitter, and blocked (partitioned) links with
+        #: their held in-flight datagrams, released in order on heal.
+        self._link_loss: Dict[Tuple[ProcessId, ProcessId], float] = {}
+        self._link_jitter: Dict[Tuple[ProcessId, ProcessId], float] = {}
+        self._link_blocks: Dict[Tuple[ProcessId, ProcessId], int] = {}
+        self._held: Dict[Tuple[ProcessId, ProcessId], List[Datagram]] = {}
         #: Last scheduled arrival time per (src, dst): jitter must never
         #: reorder a flow (a LAN switch is FIFO per flow).
         self._last_arrival: Dict[Tuple[ProcessId, ProcessId], float] = {}
@@ -487,12 +499,13 @@ class Network:
             return
         nic.enqueue_rx(datagram)
 
-    def _roll_loss(self) -> bool:
+    def _roll_loss(self, src: ProcessId, dst: ProcessId) -> bool:
         rate = (
             self._loss_override
             if self._loss_override is not None
             else self.params.loss_rate
         )
+        rate = max(rate, self._link_loss.get((src, dst), 0.0))
         if rate <= 0.0:
             return False
         return self._loss_rng.random() < rate
@@ -501,7 +514,11 @@ class Network:
         self, src: ProcessId, dst: ProcessId, base_delay: float
     ) -> float:
         """Apply per-message jitter, clamped to keep each flow FIFO."""
-        jitter = self.params.propagation_jitter_s + self._extra_jitter_s
+        jitter = (
+            self.params.propagation_jitter_s
+            + self._extra_jitter_s
+            + self._link_jitter.get((src, dst), 0.0)
+        )
         if jitter <= 0.0:
             return base_delay
         draw = self._jitter_rng.random() * jitter
@@ -543,11 +560,95 @@ class Network:
         self.trace.emit(self.sim.now, "net", "cpu_scale", node=node_id, scale=scale)
 
     # ------------------------------------------------------------------
+    # Per-link degradation (hostile-network chaos)
+    # ------------------------------------------------------------------
+    def set_link_loss(
+        self, src: ProcessId, dst: ProcessId, rate: Optional[float]
+    ) -> None:
+        """Loss probability for the directed link ``src -> dst`` alone
+        (``None`` clears it).  Combines with any cluster-wide override
+        by taking the worse of the two."""
+        if rate is not None and not 0.0 <= rate < 1.0:
+            raise NetworkError(f"link loss {rate} outside [0, 1)")
+        if rate is None:
+            self._link_loss.pop((src, dst), None)
+        else:
+            self._link_loss[(src, dst)] = rate
+        self.trace.emit(
+            self.sim.now, "net", "link_loss", src=src, dst=dst, rate=rate
+        )
+
+    def set_link_extra_jitter(
+        self, src: ProcessId, dst: ProcessId, extra_s: float
+    ) -> None:
+        """Extra per-message jitter on the directed link ``src -> dst``
+        (0 clears it).  FIFO per flow, as ever."""
+        if extra_s < 0:
+            raise NetworkError("extra jitter cannot be negative")
+        if extra_s == 0.0:
+            self._link_jitter.pop((src, dst), None)
+        else:
+            self._link_jitter[(src, dst)] = extra_s
+        self.trace.emit(
+            self.sim.now, "net", "link_jitter", src=src, dst=dst, extra_s=extra_s
+        )
+
+    def set_link_blocked(
+        self, src: ProcessId, dst: ProcessId, blocked: bool
+    ) -> None:
+        """Partition the directed link ``src -> dst``: datagrams are
+        held in transmission order and released when the last block is
+        lifted (nested blocks stack).  A full partition blocks every
+        cross link in both directions; heal releases the backlog, so
+        ordering across the heal is exactly what a stalled-then-resumed
+        TCP connection would deliver."""
+        key = (src, dst)
+        if blocked:
+            self._link_blocks[key] = self._link_blocks.get(key, 0) + 1
+        else:
+            count = self._link_blocks.get(key, 0) - 1
+            if count > 0:
+                self._link_blocks[key] = count
+            else:
+                self._link_blocks.pop(key, None)
+                self._release_held(key)
+        self.trace.emit(
+            self.sim.now, "net", "link_blocked", src=src, dst=dst,
+            blocked=blocked,
+        )
+
+    def _link_blocked(self, src: ProcessId, dst: ProcessId) -> bool:
+        return self._link_blocks.get((src, dst), 0) > 0
+
+    def _hold(self, datagram: Datagram) -> None:
+        self._held.setdefault((datagram.src, datagram.dst), []).append(datagram)
+
+    def _release_held(self, key: Tuple[ProcessId, ProcessId]) -> None:
+        held = self._held.pop(key, None)
+        if not held:
+            return
+        src_nic = self._nics.get(key[0])
+        if src_nic is None or src_nic.crashed:
+            return  # the sender died mid-partition; its frames died too
+        for datagram in held:
+            delay = self._arrival_delay(
+                datagram.src, datagram.dst, self.params.propagation_delay_s
+            )
+            handle = self.sim.schedule(delay, self._arrive, datagram)
+            src_nic._inflight[datagram.datagram_id] = handle
+            self.sim.schedule(
+                delay, src_nic._inflight.pop, datagram.datagram_id, None
+            )
+
+    # ------------------------------------------------------------------
     # Failure + introspection
     # ------------------------------------------------------------------
     def crash(self, node_id: ProcessId) -> None:
         """Crash ``node_id``: it immediately stops sending and receiving."""
         self._nic(node_id).crash()
+        for key in list(self._held):
+            if key[0] == node_id:
+                del self._held[key]
         self.trace.emit(self.sim.now, "net", "crash", node=node_id)
 
     def is_crashed(self, node_id: ProcessId) -> bool:

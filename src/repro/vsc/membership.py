@@ -208,6 +208,7 @@ class GroupMembership:
         initial_members: Tuple[ProcessId, ...],
         trace: Optional[TraceLog] = None,
         telemetry: Optional[Any] = None,
+        require_quorum: bool = False,
     ) -> None:
         if me not in initial_members:
             raise MembershipError(f"process {me} is not in the initial membership")
@@ -215,6 +216,18 @@ class GroupMembership:
         self.port = port
         self.detector = detector
         self.me = me
+        #: Primary-partition guard (opt-in).  With a perfect failure
+        #: detector every suspicion is a real crash and any survivor set
+        #: may install the next view — including a singleton.  On a real
+        #: network a partition makes suspicion symmetric: both sides
+        #: think the other died.  Requiring the proposed view to keep a
+        #: strict majority of the current members (voluntary leavers
+        #: excluded from the base) means at most one side — the primary
+        #: component — can ever install, so a minority island stalls
+        #: instead of splitting the sequence.  Off by default: sim
+        #: configurations with ``t >= n/2`` legitimately install
+        #: minority views.
+        self._require_quorum = require_quorum
         self.trace = trace if trace is not None else TraceLog(enabled=False)
         #: Optional :class:`repro.obs.Telemetry` registry (duck-typed to
         #: keep this layer import-light): records how long this member
@@ -331,6 +344,12 @@ class GroupMembership:
         if self._live_coordinator() != self.me:
             return
         proposed = self._propose_members()
+        if self._require_quorum and not self._has_quorum(proposed):
+            self.trace.emit(
+                self.sim.now, "vsc", "quorum_lost",
+                me=self.me, proposed=proposed, view=self.view.members,
+            )
+            return
         if self._my_attempt is not None and proposed == self._attempt_members:
             return  # the running attempt is still valid
         epoch = self._highest_epoch + 1
@@ -345,6 +364,16 @@ class GroupMembership:
         req = _FlushReq(epoch=epoch, coordinator=self.me, proposed=proposed)
         for member in proposed:
             self._send(member, req)
+
+    def _has_quorum(self, proposed: Tuple[ProcessId, ...]) -> bool:
+        """Strict majority of the current view's involuntary members."""
+        base = [
+            m for m in self.view.members if m not in self._pending_leaves
+        ]
+        if not base:
+            return True
+        kept = sum(1 for m in proposed if m in base)
+        return 2 * kept > len(base)
 
     def _propose_members(self) -> Tuple[ProcessId, ...]:
         suspected = self.detector.suspected()

@@ -1,0 +1,194 @@
+"""Unit tests for the live link-level shaper (``repro.chaos.netem``)."""
+
+import pytest
+
+from repro.chaos.netem import NetShaper
+from repro.chaos.schedules import FaultEvent
+from repro.errors import ConfigurationError
+from repro.obs.telemetry import Telemetry
+
+
+class FakeSched:
+    """Records scheduled callbacks and fires them on demand."""
+
+    def __init__(self):
+        self.calls = []
+
+    def schedule(self, delay, fn, *args):
+        self.calls.append((delay, fn, args))
+
+    def fire_all(self):
+        for _, fn, args in sorted(self.calls, key=lambda c: c[0]):
+            fn(*args)
+
+
+def make_shaper(events, node_id=0, n=4, **kwargs):
+    return NetShaper(node_id, n, events, "test", 7, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Event -> egress mapping
+# ----------------------------------------------------------------------
+
+def test_partition_blocks_both_sides_of_the_cut_only():
+    event = FaultEvent("partition", 0.1, duration_s=0.5, group=(0, 1))
+    inside = make_shaper([event], node_id=0)
+    outside = make_shaper([event], node_id=2)
+    # Node 0 (in the minority group) blocks egress toward 2 and 3.
+    assert inside._event_dsts(event) == (2, 3)
+    # Node 2 (outside) blocks egress toward the group only.
+    assert outside._event_dsts(event) == (0, 1)
+
+
+def test_partial_partition_touches_only_the_pair():
+    event = FaultEvent(
+        "partial_partition", 0.1, duration_s=0.5, link=(2, 3)
+    )
+    assert make_shaper([event], node_id=2)._event_dsts(event) == (3,)
+    assert make_shaper([event], node_id=3)._event_dsts(event) == (2,)
+    assert make_shaper([event], node_id=0)._event_dsts(event) == ()
+
+
+def test_linked_burst_applies_to_src_egress_only():
+    event = FaultEvent(
+        "asym_loss", 0.1, duration_s=0.5, magnitude=0.2, link=(1, 2)
+    )
+    assert make_shaper([event], node_id=1)._event_dsts(event) == (2,)
+    assert make_shaper([event], node_id=2)._event_dsts(event) == ()
+
+
+def test_cluster_wide_burst_hits_all_egress_links():
+    event = FaultEvent("jitter_burst", 0.1, duration_s=0.5, magnitude=0.05)
+    assert make_shaper([event], node_id=1)._event_dsts(event) == (0, 2, 3)
+
+
+def test_crash_and_cpu_slow_are_not_shaper_business():
+    shaper = make_shaper([
+        FaultEvent("crash", 0.1, process=1),
+        FaultEvent("cpu_slow", 0.1, process=1, duration_s=0.2, magnitude=2.0),
+    ])
+    assert shaper._events == ()
+
+
+# ----------------------------------------------------------------------
+# Arming and the fault timeline
+# ----------------------------------------------------------------------
+
+def test_arm_schedules_activate_and_deactivate():
+    event = FaultEvent("jitter_burst", 0.3, duration_s=0.5, magnitude=0.05)
+    shaper = make_shaper([event])
+    sched = FakeSched()
+    shaper.arm(sched)
+    delays = sorted(delay for delay, _, _ in sched.calls)
+    assert delays == [pytest.approx(0.3), pytest.approx(0.8)]
+    with pytest.raises(ConfigurationError):
+        shaper.arm(sched)
+
+
+def test_irrelevant_events_are_not_armed():
+    # Node 0 is not an endpoint of this pair: nothing to schedule.
+    event = FaultEvent(
+        "partial_partition", 0.1, duration_s=0.5, link=(2, 3)
+    )
+    shaper = make_shaper([event], node_id=0)
+    sched = FakeSched()
+    shaper.arm(sched)
+    assert sched.calls == []
+
+
+def test_blocking_window_and_heal():
+    event = FaultEvent("partition", 0.0, duration_s=1.0, group=(1,))
+    shaper = make_shaper([event], node_id=0)
+    assert not shaper.is_blocked(1)
+    shaper._activate(event)
+    assert shaper.is_blocked(1)
+    assert not shaper.is_blocked(2)
+    shaper._deactivate(event)
+    assert not shaper.is_blocked(1)
+
+
+def test_deactivate_restores_pass_through():
+    event = FaultEvent("jitter_burst", 0.0, duration_s=1.0, magnitude=0.2)
+    shaper = make_shaper([event])
+    shaper._activate(event)
+    assert shaper.plan(1, 100, now=5.0) > 5.0
+    shaper._deactivate(event)
+    # Fresh channel: nothing lingers once the burst ends.
+    assert shaper.plan(2, 100, now=6.0) == pytest.approx(6.0)
+
+
+# ----------------------------------------------------------------------
+# plan(): delay, loss, caps, monotonicity, determinism
+# ----------------------------------------------------------------------
+
+def test_idle_link_is_pass_through():
+    shaper = make_shaper([])
+    assert shaper.plan(1, 1000, now=2.5) == pytest.approx(2.5)
+
+
+def test_release_is_monotone_per_channel():
+    event = FaultEvent("jitter_burst", 0.0, duration_s=9.0, magnitude=0.1)
+    shaper = make_shaper([event])
+    shaper._activate(event)
+    last = 0.0
+    for i in range(200):
+        release = shaper.plan(1, 100, now=i * 1e-3)
+        assert release >= last  # TCP FIFO: no overtaking
+        last = release
+
+
+def test_loss_becomes_bounded_synthetic_retx_delay():
+    event = FaultEvent("asym_loss", 0.0, duration_s=9.0, magnitude=0.5,
+                       link=(0, 1))
+    telemetry = Telemetry()
+    shaper = make_shaper([event], telemetry=telemetry)
+    shaper._activate(event)
+    worst = shaper.max_retx * shaper.rto_s
+    for i in range(300):
+        release = shaper.plan(1, 100, now=float(i))
+        assert release - i <= worst + 1e-9
+    assert telemetry.snapshot()["counters"]["netem_synthetic_retx"] > 0
+
+
+def test_delay_cap_bounds_total_added_delay():
+    events = [
+        FaultEvent("jitter_burst", 0.0, duration_s=9.0, magnitude=0.3),
+        FaultEvent("asym_loss", 0.0, duration_s=9.0, magnitude=0.9,
+                   link=(0, 1)),
+    ]
+    shaper = make_shaper(events, delay_cap_s=0.05)
+    for event in events:
+        shaper._activate(event)
+    for i in range(200):
+        release = shaper.plan(1, 100, now=float(i))
+        assert release - i <= 0.05 + 1e-9
+
+
+def test_bandwidth_cap_serialises_frames():
+    event = FaultEvent("bandwidth_cap", 0.0, duration_s=9.0,
+                       magnitude=8_000.0)  # 1000 bytes/s
+    shaper = make_shaper([event])
+    shaper._activate(event)
+    first = shaper.plan(1, 500, now=0.0)   # 0.5s of budget
+    second = shaper.plan(1, 500, now=0.0)  # queued behind the first
+    assert first == pytest.approx(0.5)
+    assert second == pytest.approx(1.0)
+
+
+def test_same_seed_shapes_identically():
+    def run():
+        event = FaultEvent("jitter_burst", 0.0, duration_s=9.0,
+                           magnitude=0.1)
+        shaper = make_shaper([event])
+        shaper._activate(event)
+        return [shaper.plan(1, 100, now=float(i)) for i in range(50)]
+
+    assert run() == run()
+
+
+def test_active_summary_reports_impairments():
+    event = FaultEvent("partition", 0.0, duration_s=1.0, group=(1,))
+    shaper = make_shaper([event], node_id=0)
+    shaper._activate(event)
+    summary = shaper.active_summary()
+    assert summary["links"]["1"]["blocked"] is True

@@ -41,21 +41,31 @@ def test_sound_scenarios_respect_crash_budget(scenario):
         for event in crashes:
             assert 0 <= event.process < CTX.n
         assert not schedule.fd_unsound
-        assert schedule.detector == "oracle"
+        # Partition scenarios need a real detector (the oracle cannot
+        # observe a partition); everything else stays on the oracle.
+        expected_detector = (
+            "heartbeat" if scenario == "hostile_network" else "oracle"
+        )
+        assert schedule.detector == expected_detector
 
 
 @pytest.mark.parametrize("scenario", sorted(SCENARIOS))
 def test_sound_degradations_stay_within_fd_bounds(scenario):
+    from repro.failure.detector import adaptive_floor_s
+
+    floor = adaptive_floor_s(CTX.heartbeat_interval_s, CTX.heartbeat_timeout_s)
     for seed in range(30):
         schedule = generate_schedule(scenario, seed, CTX)
         for event in schedule.degradations():
             assert event.duration_s > 0
-            if event.kind == "loss_burst":
+            if event.kind in ("loss_burst", "asym_loss"):
                 assert 0.0 < event.magnitude < 1.0
             elif event.kind == "cpu_slow":
                 assert 1.0 < event.magnitude <= CTX.max_slowdown
             elif event.kind == "jitter_burst":
-                assert 0.0 < event.magnitude < 0.01
+                # Strictly below the adaptive detector's floor: jitter
+                # alone must never be able to trigger a suspicion.
+                assert 0.0 < event.magnitude < floor - CTX.heartbeat_interval_s
 
 
 def test_fd_violation_is_marked_unsound():
@@ -70,7 +80,9 @@ def test_fd_violation_is_marked_unsound():
 
 
 def test_default_scenarios_are_exactly_the_sound_ones():
-    assert set(DEFAULT_SCENARIOS) == set(SCENARIOS)
+    # hostile_network is sound but targets the live runtime; the sim
+    # campaign runs it opt-in (``--scenario hostile_network``) only.
+    assert set(DEFAULT_SCENARIOS) == set(SCENARIOS) - {"hostile_network"}
     assert not set(DEFAULT_SCENARIOS) & set(UNSOUND_SCENARIOS)
 
 

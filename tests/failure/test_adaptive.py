@@ -1,0 +1,117 @@
+"""Unit tests for the adaptive (EWMA) failure detector."""
+
+import pytest
+
+from repro.failure import AdaptiveFailureDetector, adaptive_floor_s
+from repro.net import ChannelStack, Network, NetworkParams
+from repro.net.dispatch import LayerDemux
+from repro.obs.telemetry import Telemetry
+from repro.sim import Simulator
+
+INTERVAL = 5e-3
+TIMEOUT = 100e-3
+
+
+def _rig(n=3, telemetry=None, **kwargs):
+    params = NetworkParams(cpu_per_message_s=0.0, cpu_per_byte_s=0.0)
+    sim = Simulator()
+    net = Network(sim, params)
+    detectors = {}
+    for node in range(n):
+        stack = ChannelStack(sim, net.attach(node), params)
+        port = LayerDemux(stack).port("fd")
+        detectors[node] = AdaptiveFailureDetector(
+            sim, port, interval_s=INTERVAL, timeout_s=TIMEOUT,
+            telemetry=telemetry if node == 0 else None, **kwargs
+        )
+        detectors[node].monitor(range(n))
+    return sim, net, detectors
+
+
+def test_floor_formula():
+    # Floor = max(4 heartbeat periods, 35% of the ceiling): one delayed
+    # probe can never look like a crash, and the bound keeps meaningful
+    # headroom below the completeness ceiling.
+    assert adaptive_floor_s(0.1, 1.0) == pytest.approx(0.4)
+    assert adaptive_floor_s(0.01, 1.0) == pytest.approx(0.35)
+    assert adaptive_floor_s(0.5, 1.0) == pytest.approx(2.0)
+
+
+def test_ceiling_applies_during_warmup():
+    sim, net, detectors = _rig()
+    detector = detectors[0]
+    assert detector._timeout_for(1) == pytest.approx(TIMEOUT)
+    # One gap observed is still warmup.
+    detector._note_heartbeat(1, 0.010)
+    detector._note_heartbeat(1, 0.015)
+    assert detector._timeout_for(1) == pytest.approx(TIMEOUT)
+
+
+def test_steady_gaps_converge_to_the_floor():
+    sim, net, detectors = _rig()
+    detector = detectors[0]
+    for i in range(50):
+        detector._note_heartbeat(1, i * INTERVAL)
+    timeout = detector._timeout_for(1)
+    # Zero variance: mean + k*std ~= one interval, clamped up to floor.
+    assert timeout == pytest.approx(detector.floor_s)
+    assert detector.floor_s < TIMEOUT
+
+
+def test_jittery_gaps_widen_the_timeout():
+    sim, net, detectors = _rig(floor_s=1e-4)
+    detector = detectors[0]
+    now = 0.0
+    for i in range(100):
+        now += INTERVAL if i % 2 == 0 else 5 * INTERVAL
+        detector._note_heartbeat(1, now)
+    steady = detectors[1]
+    for i in range(100):
+        steady._note_heartbeat(0, i * INTERVAL)
+    assert detector._timeout_for(1) > steady._timeout_for(0)
+
+
+def test_timeout_never_exceeds_ceiling():
+    sim, net, detectors = _rig(floor_s=1e-4)
+    detector = detectors[0]
+    now = 0.0
+    for i in range(100):
+        now += TIMEOUT  # pathological gaps as large as the ceiling
+        detector._note_heartbeat(1, now)
+    assert detector._timeout_for(1) <= TIMEOUT
+
+
+def test_no_false_suspicions_on_quiet_network():
+    sim, net, detectors = _rig()
+    sim.run(until=1.0)
+    for detector in detectors.values():
+        assert detector.suspected() == set()
+
+
+def test_detects_crash_within_ceiling():
+    sim, net, detectors = _rig()
+    sim.run(until=0.2)  # past warmup: the learned timeout is in force
+    suspected_at = []
+    detectors[0].on_suspect(lambda pid: suspected_at.append((pid, sim.now)))
+    net.crash(2)
+    detectors[2].stop()
+    sim.run(until=0.5)
+    assert [pid for pid, _ in suspected_at] == [2]
+    (_, at), = suspected_at
+    # Completeness: within the ceiling (+1 tick); accuracy bonus: the
+    # learned bound on a quiet network detects faster than the ceiling.
+    assert at - 0.2 <= TIMEOUT + 2 * INTERVAL
+    assert at - 0.2 >= detectors[0].floor_s - 2 * INTERVAL
+
+
+def test_suspicion_telemetry_gauges():
+    telemetry = Telemetry()
+    sim, net, detectors = _rig(telemetry=telemetry)
+    sim.run(until=0.2)
+    snap = telemetry.snapshot()
+    assert 0.0 <= snap["gauges"]["fd_suspicion_level"]["value"] < 1.0
+    assert snap["gauges"]["fd_timeout_s"]["value"] > 0.0
+    net.crash(1)
+    detectors[1].stop()
+    sim.run(until=0.6)
+    assert telemetry.snapshot()["counters"]["fd_suspicions"] >= 1

@@ -152,3 +152,33 @@ def test_tx_backpressure_gate():
         await a.close()
 
     asyncio.run(main())
+
+
+def test_backoff_jitter_is_seeded_and_bounded():
+    import random
+
+    async def main():
+        def build(rng):
+            return RingTransport(
+                0, ("127.0.0.1", _free_port()), 1, ("127.0.0.1", _free_port()),
+                lambda src, msg: None,
+                rng=rng,
+            )
+
+        a, b = build(random.Random("replay")), build(random.Random("replay"))
+        seq_a = [a._backoff(r) for r in range(1, 8)]
+        seq_b = [b._backoff(r) for r in range(1, 8)]
+        # Same seed, same reconnect schedule: chaos runs replay exactly.
+        assert seq_a == seq_b
+        for retries, delay in enumerate(seq_a, start=1):
+            base = min(
+                a.reconnect_cap_s, a.reconnect_base_s * 2 ** (retries - 1)
+            )
+            assert 0.75 * base <= delay <= 1.25 * base
+        # A different seed desynchronises the stampede.
+        c = build(random.Random("other"))
+        assert [c._backoff(r) for r in range(1, 8)] != seq_a
+        for transport in (a, b, c):
+            await transport.close()
+
+    asyncio.run(main())

@@ -1,0 +1,130 @@
+"""Primary-partition quorum guard on the membership layer.
+
+With ``require_quorum=True`` a coordinator refuses to start a flush for
+a proposed view that would keep a minority of the current members:
+during a symmetric partition only the majority side may install, so
+a minority island stalls instead of forking the sequence.
+"""
+
+from typing import Dict, List
+
+from repro.failure import CrashInjector, OracleFailureDetector
+from repro.net import ChannelStack, Network, NetworkParams
+from repro.net.dispatch import LayerDemux
+from repro.sim import Simulator
+from repro.types import View
+from repro.vsc import FlushState, GroupMembership
+
+
+class RecordingClient:
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.blocks = 0
+        self.views: List[View] = []
+
+    def on_block(self) -> None:
+        self.blocks += 1
+
+    def collect_flush_state(self) -> FlushState:
+        return FlushState(payload=f"state-of-{self.name}", size_bytes=10)
+
+    def on_view(self, view, state) -> None:
+        self.views.append((view, state))
+
+
+def build(n=5, require_quorum=True):
+    sim = Simulator()
+    params = NetworkParams(cpu_per_message_s=0.0, cpu_per_byte_s=0.0)
+    net = Network(sim, params)
+    injector = CrashInjector(sim, net)
+    members = tuple(range(n))
+    memberships: Dict[int, GroupMembership] = {}
+    clients: Dict[int, RecordingClient] = {}
+    for node in members:
+        stack = ChannelStack(sim, net.attach(node), params)
+        port = LayerDemux(stack).port("vsc")
+        detector = OracleFailureDetector(sim, owner=node, detection_delay_s=1e-3)
+        injector.register_detector(detector)
+        membership = GroupMembership(
+            sim, port, detector, node, members,
+            require_quorum=require_quorum,
+        )
+        client = RecordingClient(f"p{node}")
+        membership.set_client(client)
+        memberships[node] = membership
+        clients[node] = client
+    injector.on_crash(lambda pid: memberships[pid].stop())
+    return sim, injector, memberships, clients
+
+
+def _start(sim, memberships):
+    for membership in memberships.values():
+        membership.start()
+    sim.run()
+
+
+def test_majority_loss_stalls_instead_of_installing():
+    sim, injector, memberships, clients = build(n=5)
+    _start(sim, memberships)
+    # Kill 3 of 5: the 2 survivors are a minority of the old view.
+    for victim in (2, 3, 4):
+        injector.schedule_crash(victim, time=0.1)
+    sim.run()
+    for node in (0, 1):
+        views = [v for v, _ in clients[node].views]
+        # Only the bootstrap view: the guard refused the minority flush.
+        assert [v.members for v in views] == [(0, 1, 2, 3, 4)]
+
+
+def test_minority_loss_still_installs():
+    sim, injector, memberships, clients = build(n=5)
+    _start(sim, memberships)
+    # Kill 2 of 5: the 3 survivors keep a strict majority.
+    injector.schedule_crash(3, time=0.1)
+    injector.schedule_crash(4, time=0.1)
+    sim.run()
+    for node in (0, 1, 2):
+        views = [v for v, _ in clients[node].views]
+        assert views[-1].members == (0, 1, 2)
+
+
+def test_guard_off_allows_minority_views():
+    sim, injector, memberships, clients = build(n=5, require_quorum=False)
+    _start(sim, memberships)
+    for victim in (2, 3, 4):
+        injector.schedule_crash(victim, time=0.1)
+    sim.run()
+    for node in (0, 1):
+        views = [v for v, _ in clients[node].views]
+        assert views[-1].members == (0, 1)
+
+
+def test_quorum_refusal_is_traced():
+    from repro.sim.trace import TraceLog
+
+    sim = Simulator()
+    params = NetworkParams(cpu_per_message_s=0.0, cpu_per_byte_s=0.0)
+    net = Network(sim, params)
+    injector = CrashInjector(sim, net)
+    members = (0, 1, 2)
+    memberships = {}
+    traces = {}
+    for node in members:
+        stack = ChannelStack(sim, net.attach(node), params)
+        port = LayerDemux(stack).port("vsc")
+        detector = OracleFailureDetector(sim, owner=node, detection_delay_s=1e-3)
+        injector.register_detector(detector)
+        trace = TraceLog(enabled=True)
+        membership = GroupMembership(
+            sim, port, detector, node, members,
+            trace=trace, require_quorum=True,
+        )
+        membership.set_client(RecordingClient(f"p{node}"))
+        memberships[node] = membership
+        traces[node] = trace
+    injector.on_crash(lambda pid: memberships[pid].stop())
+    _start(sim, memberships)
+    injector.schedule_crash(1, time=0.1)
+    injector.schedule_crash(2, time=0.1)
+    sim.run()
+    assert traces[0].count(kind="quorum_lost") > 0
