@@ -1,0 +1,238 @@
+"""Multi-ring sharded total order — aggregate goodput vs ring count.
+
+The multiring protocol (DESIGN.md §5f) runs S concurrent FSR rings with
+rotated sequencer chains and folds their per-ring orders into one global
+order via bucket interleaving.  Each ring gets its own (simulated or
+real) NIC and protocol core, so aggregate goodput should scale with S
+until the bucket skew of the sender-hash caps it — with 8 senders over
+S=4 rings the worst ring carries 3 of 8 senders, bounding the ideal
+speedup at 8/3 ≈ 2.7x.
+
+The sweep runs the SAME n/sender/message configuration at S ∈ {1, 2, 4}
+on the simulator (S=1 exercises the byte-identical single-ring
+delegation) and optionally on the live loopback runtime, verifying the
+full invariant battery on every run, and writes ``BENCH_multiring.json``.
+The acceptance gate is sim goodput at S=4 ≥ 2x S=1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, Optional, Sequence
+
+from repro import ClusterConfig, FSRConfig, build_cluster
+from repro.checker.order import check_all
+from repro.metrics import collect_metrics, format_table
+from repro.metrics.collector import ExperimentMetrics
+from repro.net import NetworkParams
+from repro.protocols.multiring.config import MultiRingConfig
+from repro.workloads import KToNPattern, run_workload
+
+SHARD_COUNTS = (1, 2, 4)
+N = 8
+SENDERS = 8
+MESSAGES_PER_SENDER = 24
+MESSAGE_BYTES = 100_000
+
+#: Live sweep shape: small enough for a CI loopback host, same k-to-n
+#: closed-loop workload.
+LIVE_PROCESSES = 4
+LIVE_SENDERS = 4
+LIVE_MESSAGES_PER_SENDER = 25
+LIVE_MESSAGE_BYTES = 10_000
+
+#: The acceptance gate from the issue: S=4 must at least double S=1.
+MIN_SPEEDUP_S4 = 2.0
+
+
+def sim_point(shards: int, seed: int = 0) -> ExperimentMetrics:
+    """One simulated sweep point; the invariant battery gates it."""
+    cluster = build_cluster(ClusterConfig(
+        n=N,
+        protocol="multiring",
+        protocol_config=MultiRingConfig(shards=shards, fsr=FSRConfig(t=1)),
+        network=NetworkParams.fast_ethernet(),
+        seed=seed,
+    ))
+    pattern = KToNPattern.k_to_n(
+        SENDERS, N, MESSAGES_PER_SENDER, message_bytes=MESSAGE_BYTES
+    )
+    outcome = run_workload(cluster, pattern, max_time_s=1200.0)
+    check_all(outcome.result)
+    return collect_metrics(outcome)
+
+
+def _metrics_dict(metrics: ExperimentMetrics) -> Dict[str, float]:
+    return {
+        "aggregate_throughput_mbps": round(
+            metrics.aggregate_throughput_mbps, 2
+        ),
+        "completion_throughput_mbps": round(
+            metrics.completion_throughput_mbps, 2
+        ),
+        "mean_latency_ms": round(metrics.mean_latency_s * 1e3, 2),
+        "p99_latency_ms": round(metrics.p99_latency_s * 1e3, 2),
+        "fairness": round(metrics.fairness, 4),
+    }
+
+
+def run_sim_sweep(
+    shard_counts: Sequence[int] = SHARD_COUNTS,
+) -> Dict[str, Any]:
+    """The simulated goodput-vs-S sweep, acceptance-gated."""
+    points: Dict[int, ExperimentMetrics] = {
+        shards: sim_point(shards) for shards in shard_counts
+    }
+    base = points[min(shard_counts)].aggregate_throughput_mbps
+    sweep = {
+        str(shards): {
+            **_metrics_dict(metrics),
+            "speedup": round(metrics.aggregate_throughput_mbps / base, 3),
+        }
+        for shards, metrics in points.items()
+    }
+    payload = {
+        "config": {
+            "n": N,
+            "senders": SENDERS,
+            "messages_per_sender": MESSAGES_PER_SENDER,
+            "message_bytes": MESSAGE_BYTES,
+            "t": 1,
+        },
+        "points": sweep,
+    }
+    if 4 in points and 1 in points:
+        speedup = (
+            points[4].aggregate_throughput_mbps
+            / points[1].aggregate_throughput_mbps
+        )
+        payload["s4_vs_s1_speedup"] = round(speedup, 3)
+        assert speedup >= MIN_SPEEDUP_S4, (
+            f"S=4 goodput only {speedup:.2f}x S=1 (need >= {MIN_SPEEDUP_S4}x)"
+        )
+    return payload
+
+
+def run_live_sweep(
+    shard_counts: Sequence[int] = SHARD_COUNTS,
+) -> Dict[str, Any]:
+    """The live loopback sweep; order-checked, no speedup gate.
+
+    Loopback TCP shares one host's kernel and cores across all rings,
+    so live scaling is reported, not asserted — the resource-parallelism
+    claim is the simulator's (per-ring NIC/CPU model); the live sweep's
+    job is conformance: the same protocol, real sockets, order intact.
+    """
+    from repro.live.runner import LiveClusterSpec, run_live_cluster
+
+    points: Dict[str, Any] = {}
+    for shards in shard_counts:
+        spec = LiveClusterSpec(
+            processes=LIVE_PROCESSES,
+            senders=LIVE_SENDERS,
+            t=1,
+            shards=shards,
+            message_bytes=LIVE_MESSAGE_BYTES,
+            messages_per_sender=LIVE_MESSAGES_PER_SENDER,
+            sim_compare=False,
+        )
+        live = run_live_cluster(spec)
+        assert live.order_ok, f"live S={shards}: {live.order_error}"
+        points[str(shards)] = _metrics_dict(live.metrics)
+    return {
+        "config": {
+            "processes": LIVE_PROCESSES,
+            "senders": LIVE_SENDERS,
+            "messages_per_sender": LIVE_MESSAGES_PER_SENDER,
+            "message_bytes": LIVE_MESSAGE_BYTES,
+            "t": 1,
+        },
+        "points": points,
+    }
+
+
+def build_payload(
+    live_shards: Optional[Sequence[int]] = None,
+) -> Dict[str, Any]:
+    payload: Dict[str, Any] = {
+        "schema": "repro.bench_multiring/1",
+        "bench": "multiring_goodput_vs_shards",
+        "sim": run_sim_sweep(),
+    }
+    if live_shards:
+        payload["live"] = run_live_sweep(live_shards)
+    return payload
+
+
+def _print_sweep(title: str, sweep: Dict[str, Any]) -> None:
+    rows = [
+        [
+            shards,
+            f"{point['aggregate_throughput_mbps']:.1f}",
+            f"{point['completion_throughput_mbps']:.1f}",
+            f"{point['mean_latency_ms']:.1f}",
+            f"{point.get('speedup', 1.0):.2f}" if "speedup" in point else "-",
+        ]
+        for shards, point in sorted(
+            sweep["points"].items(), key=lambda kv: int(kv[0])
+        )
+    ]
+    print(format_table(
+        ["rings S", "agg Mb/s", "compl Mb/s", "mean lat ms", "speedup"],
+        rows,
+        title=title,
+    ))
+
+
+def bench_multiring_goodput_vs_shards(benchmark):
+    """pytest-benchmark entry: the simulated sweep only (CI-friendly)."""
+    payload = {}
+
+    def run():
+        payload["sim"] = run_sim_sweep()
+        return payload
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    sweep = payload["sim"]
+    print()
+    _print_sweep("Multiring — sim goodput vs ring count S", sweep)
+    for shards, point in sweep["points"].items():
+        benchmark.extra_info[f"mbps_s{shards}"] = (
+            point["aggregate_throughput_mbps"]
+        )
+    benchmark.extra_info["s4_vs_s1_speedup"] = sweep.get("s4_vs_s1_speedup")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="multiring goodput-vs-S sweep (sim + optional live)"
+    )
+    parser.add_argument(
+        "--out", default="BENCH_multiring.json", metavar="PATH"
+    )
+    parser.add_argument(
+        "--live-shards", type=int, nargs="*", default=None, metavar="S",
+        help="also sweep these ring counts on the live loopback runtime "
+             "(e.g. --live-shards 1 2)",
+    )
+    args = parser.parse_args(argv)
+
+    payload = build_payload(live_shards=args.live_shards)
+    _print_sweep("Multiring — sim goodput vs ring count S", payload["sim"])
+    if "live" in payload:
+        print()
+        _print_sweep(
+            "Multiring — live loopback goodput vs ring count S",
+            payload["live"],
+        )
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"\nbench record written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

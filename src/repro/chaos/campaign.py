@@ -36,6 +36,7 @@ from repro.cluster.results import ExperimentResult
 from repro.core.fsr.config import FSRConfig
 from repro.errors import CheckFailure, ConfigurationError, SimulationError
 from repro.net.params import NetworkParams
+from repro.protocols.multiring.config import MultiRingConfig
 
 
 @dataclass(frozen=True)
@@ -54,6 +55,9 @@ class CampaignConfig:
     n: int = 6
     t: int = 2
     protocol: str = "fsr"
+    #: Ring count for ``protocol="multiring"`` campaigns; ignored for
+    #: every other protocol.
+    shards: int = 2
     #: Workload: every process broadcasts ``per_sender`` messages of
     #: ``message_bytes`` right after the settle phase.
     per_sender: int = 6
@@ -101,6 +105,7 @@ class CampaignConfig:
             heartbeat_interval_s=self.heartbeat_interval_s,
             heartbeat_timeout_s=self.heartbeat_timeout_s,
             link_faults=self.link_faults,
+            shards=self.shards if self.protocol == "multiring" else 1,
         )
 
     def network_params(self, schedule: FaultSchedule) -> NetworkParams:
@@ -198,7 +203,14 @@ def run_schedule(
     returns the oracle's verdict together with the frozen result.
     """
     cfg = config if config is not None else CampaignConfig()
-    protocol_config = FSRConfig(t=schedule.t) if cfg.protocol == "fsr" else None
+    if cfg.protocol == "fsr":
+        protocol_config = FSRConfig(t=schedule.t)
+    elif cfg.protocol == "multiring":
+        protocol_config = MultiRingConfig(
+            shards=cfg.shards, fsr=FSRConfig(t=schedule.t)
+        )
+    else:
+        protocol_config = None
     cluster_config = ClusterConfig(
         n=schedule.n,
         protocol=cfg.protocol,
@@ -411,6 +423,7 @@ class CampaignReport:
                 "n": self.config.n,
                 "t": self.config.t,
                 "protocol": self.config.protocol,
+                "shards": self.config.shards,
                 "per_sender": self.config.per_sender,
                 "message_bytes": self.config.message_bytes,
             },

@@ -25,6 +25,7 @@ from repro.checker.order import (
     check_agreement,
     check_integrity,
     check_sequence_consistency,
+    check_shard_interleave,
     check_total_order,
     check_uniformity,
     check_validity,
@@ -40,6 +41,7 @@ SAFETY_CHECKS: Tuple[Tuple[str, Callable[[ExperimentResult], None]], ...] = (
     ("agreement", check_agreement),
     ("uniformity", check_uniformity),
     ("validity", check_validity),
+    ("shard_interleave", check_shard_interleave),
 )
 
 

@@ -268,6 +268,10 @@ class ScheduleContext:
     #: set, ``degraded_network`` scopes most bursts to single links
     #: instead of the whole fabric, and ``hostile_network`` is allowed.
     link_faults: bool = False
+    #: Concurrent rings of the multi-ring protocol (1 = single ring).
+    #: The ``ring_crash`` scenario uses it to aim at one ring's whole
+    #: sequencer chain.
+    shards: int = 1
 
     def __post_init__(self) -> None:
         if self.n < 2:
@@ -586,6 +590,41 @@ def hostile_network(
     return sorted(events, key=lambda e: e.time)
 
 
+def ring_crash(rng: random.Random, ctx: ScheduleContext) -> List[FaultEvent]:
+    """Decapitate one inner ring of a multi-ring deployment.
+
+    Kills the head of ring ``i``'s sequencer chain — its leader and the
+    leading backups — inside one flush window, so the whole chain of a
+    single ring goes down at once.  Tolerance-bounded: at most
+    ``min(t, n - 1)`` crashes (killing the full ``t + 1``-member chain
+    would exceed what any ``t``-resilient protocol promises).  The
+    multiplexer must stall only the dead ring's buckets; after the view
+    installs, the epoch rotation re-aims those buckets at a surviving
+    chain and the order must hold across the reassignment.
+
+    With ``shards == 1`` this degenerates to clustered role-targeted
+    leader+backup kills — still a valid (single-ring) schedule.
+    """
+    if ctx.t == 0:
+        return []
+    from repro.protocols.multiring.buckets import offset_for_ring
+
+    ring = rng.randrange(max(1, ctx.shards))
+    offset = offset_for_ring(ring, ctx.n, max(1, ctx.shards))
+    kills = min(ctx.t, ctx.n - 1)
+    base = _uniform(rng, *ctx.window)
+    events = []
+    for position in range(kills):
+        victim = (offset + position) % ctx.n
+        events.append(FaultEvent(
+            "crash",
+            round(base + rng.random() * ctx.flush_window_s, 4),
+            process=victim,
+            note=f"ring{ring}_chain_p{position}",
+        ))
+    return sorted(events, key=lambda e: e.time)
+
+
 def fd_violation(rng: random.Random, ctx: ScheduleContext) -> List[FaultEvent]:
     """OPT-IN, UNSOUND: stall one node's CPU far past the heartbeat
     timeout, so live peers get falsely suspected — a deliberate breach
@@ -616,6 +655,7 @@ SCENARIOS: Dict[str, Callable[[random.Random, ScheduleContext], List[FaultEvent]
     "repeated_leader_crash": repeated_leader_crash,
     "degraded_network": degraded_network,
     "hostile_network": hostile_network,
+    "ring_crash": ring_crash,
 }
 
 #: Unsound scenarios: opt-in, violate a stated model assumption.
@@ -633,9 +673,15 @@ _SCENARIO_DETECTOR = {
 #: Default sim-campaign rotation.  ``hostile_network`` is opt-in there:
 #: it targets the live runtime (heartbeat detector, long real-time
 #: partitions) and is exercised by ``python -m repro chaos --live``.
+#: ``ring_crash`` is opt-in too: it targets the multi-ring protocol
+#: (``python -m repro chaos --shards S`` adds it).
 DEFAULT_SCENARIOS: Tuple[str, ...] = tuple(
-    name for name in SCENARIOS if name != "hostile_network"
+    name for name in SCENARIOS if name not in ("hostile_network", "ring_crash")
 )
+
+#: Rotation for multi-ring campaigns: the default battery plus the
+#: whole-ring decapitation scenario.
+MULTIRING_SCENARIOS: Tuple[str, ...] = DEFAULT_SCENARIOS + ("ring_crash",)
 
 
 def generate_schedule(

@@ -169,6 +169,71 @@ def check_validity(
                 )
 
 
+def check_shard_interleave(result: ExperimentResult) -> None:
+    """The multiplexed order respects the static slot-to-ring rule.
+
+    Multi-ring runs tag every delivery with the inner ring that ordered
+    it and the global multiplexer slot that released it.  The total
+    order is only deterministic if every node fills slot ``s`` from ring
+    ``s % shards`` — so a mis-interleaved log (right messages, wrong
+    ring for a slot, or two nodes disagreeing on a slot's message) is a
+    protocol bug even when the pairwise order checks happen to pass.
+
+    No-op for single-ring runs (no ring tags, or ``shards <= 1``).
+    """
+    # Sim results carry a ClusterConfig (shards on the protocol config);
+    # live results carry the LiveClusterSpec (shards on the spec itself).
+    config = result.config
+    shards = getattr(getattr(config, "protocol_config", None), "shards", None)
+    if shards is None:
+        shards = getattr(config, "shards", None)
+    if shards is None or shards <= 1:
+        return
+    tagged = any(
+        delivery.ring is not None
+        for log in result.delivery_logs.values()
+        for delivery in log.deliveries
+    )
+    if not tagged:
+        return
+    slot_map: Dict[int, MessageId] = {}
+    for process, log in result.delivery_logs.items():
+        previous_slot = None
+        for delivery in log.deliveries:
+            if delivery.ring is None or delivery.slot is None:
+                raise CheckFailure(
+                    f"shard interleave: process {process} delivered "
+                    f"{delivery.message_id} without ring/slot tags in a "
+                    f"{shards}-shard run"
+                )
+            if not 0 <= delivery.ring < shards:
+                raise CheckFailure(
+                    f"shard interleave: process {process} delivered "
+                    f"{delivery.message_id} from ring {delivery.ring} "
+                    f"(shards={shards})"
+                )
+            if delivery.slot % shards != delivery.ring:
+                raise CheckFailure(
+                    f"shard interleave: process {process} filled slot "
+                    f"{delivery.slot} from ring {delivery.ring}; the "
+                    f"interleaving rule demands ring {delivery.slot % shards}"
+                )
+            if previous_slot is not None and delivery.slot <= previous_slot:
+                raise CheckFailure(
+                    f"shard interleave: process {process} delivered slot "
+                    f"{delivery.slot} after slot {previous_slot}"
+                )
+            previous_slot = delivery.slot
+            existing = slot_map.get(delivery.slot)
+            if existing is None:
+                slot_map[delivery.slot] = delivery.message_id
+            elif existing != delivery.message_id:
+                raise CheckFailure(
+                    f"shard interleave: slot {delivery.slot} maps to "
+                    f"{existing} and {delivery.message_id}"
+                )
+
+
 def check_all(
     result: ExperimentResult,
     ignore_agreement: Iterable[ProcessId] = (),
@@ -180,3 +245,4 @@ def check_all(
     check_agreement(result, ignore=ignore_agreement)
     check_uniformity(result)
     check_validity(result)
+    check_shard_interleave(result)

@@ -147,10 +147,23 @@ def attach_wire_monitor(cluster) -> WireMonitor:
     """Attach a :class:`WireMonitor` to every FSR process of ``cluster``.
 
     Must be called before ``cluster.start()`` so no send goes unseen.
-    Only meaningful for ``protocol="fsr"`` clusters.
+    Multi-ring clusters get one monitor per inner ring: each ring is an
+    independent FSR instance with its own leader and sequence stream, so
+    sharing the leader-monotonicity tracker across rings would false-
+    positive.  Other protocols are left unmonitored.
     """
     monitor = WireMonitor()
+    ring_monitors: Dict[int, WireMonitor] = {}
     for node in cluster.nodes.values():
-        if isinstance(node.protocol, FSRProcess):
-            monitor.attach(node.protocol)
+        protocol = node.protocol
+        if isinstance(protocol, FSRProcess):
+            monitor.attach(protocol)
+            continue
+        inner = getattr(protocol, "inner", None)
+        if inner:
+            for ring_index, process in enumerate(inner):
+                if isinstance(process, FSRProcess):
+                    ring_monitors.setdefault(
+                        ring_index, WireMonitor()
+                    ).attach(process)
     return monitor

@@ -36,10 +36,22 @@ from repro.workloads import KToNPattern, run_workload
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    protocol_config = FSRConfig(t=args.t) if args.protocol == "fsr" else None
+    protocol = args.protocol
+    if args.shards > 1 and protocol == "fsr":
+        protocol = "multiring"
+    if protocol == "multiring":
+        from repro.protocols.multiring.config import MultiRingConfig
+
+        protocol_config = MultiRingConfig(
+            shards=args.shards, fsr=FSRConfig(t=args.t)
+        )
+    elif protocol == "fsr":
+        protocol_config = FSRConfig(t=args.t)
+    else:
+        protocol_config = None
     cluster = build_cluster(
         ClusterConfig(
-            n=args.n, protocol=args.protocol, protocol_config=protocol_config,
+            n=args.n, protocol=protocol, protocol_config=protocol_config,
             seed=args.seed,
         )
     )
@@ -51,7 +63,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(format_table(
         ["metric", "value"],
         [
-            ["protocol", args.protocol],
+            ["protocol", protocol],
+            ["rings", args.shards],
             ["processes", args.n],
             ["senders", args.senders],
             ["messages/sender", args.messages],
@@ -259,6 +272,9 @@ def _cmd_chaos_live(args: argparse.Namespace) -> int:
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
     if args.live:
+        if args.shards > 1:
+            print("--shards is simulator-only for chaos runs", file=sys.stderr)
+            return 2
         return _cmd_chaos_live(args)
 
     from repro.chaos import (
@@ -268,12 +284,15 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     )
     from repro.chaos.schedules import (
         DEFAULT_SCENARIOS,
+        MULTIRING_SCENARIOS,
         SCENARIOS,
         UNSOUND_SCENARIOS,
     )
     from repro.errors import ConfigurationError
 
-    scenarios = tuple(args.scenario) if args.scenario else DEFAULT_SCENARIOS
+    multiring = args.shards > 1
+    default_scenarios = MULTIRING_SCENARIOS if multiring else DEFAULT_SCENARIOS
+    scenarios = tuple(args.scenario) if args.scenario else default_scenarios
     if args.fd_violation:
         scenarios += tuple(s for s in UNSOUND_SCENARIOS if s not in scenarios)
     known = set(SCENARIOS) | set(UNSOUND_SCENARIOS)
@@ -302,6 +321,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             scenarios=scenarios,
             n=args.n if args.n is not None else 6,
             t=args.t if args.t is not None else 2,
+            protocol="multiring" if multiring else "fsr",
+            shards=args.shards if multiring else 2,
         )
     except ConfigurationError as exc:
         print(f"invalid campaign config: {exc}", file=sys.stderr)
@@ -375,6 +396,7 @@ def _cmd_live(args: argparse.Namespace) -> int:
             processes=args.processes,
             senders=args.senders,
             t=args.t,
+            shards=args.shards,
             message_bytes=args.size,
             duration_s=args.duration,
             window=args.window,
@@ -405,6 +427,7 @@ def _cmd_live(args: argparse.Namespace) -> int:
     live = payload["live"]["metrics"]
     rows = [
         ["processes", spec.processes],
+        ["rings", spec.shards],
         ["senders", spec.senders],
         ["message bytes", spec.message_bytes],
         ["messages completed", live["messages_completed"]],
@@ -465,6 +488,7 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         link_utilization,
         prometheus_snapshot,
         render_link_table,
+        ring_breakdowns,
         stage_breakdown,
     )
     from repro.obs.journal import Timeline
@@ -482,13 +506,23 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         print(f"stage breakdown failed: {exc}", file=sys.stderr)
         return 1
 
+    rings = timeline.rings()
     print(
         f"timeline: {len(timeline.events)} span events, "
         f"{len(timeline.messages())} messages, "
-        f"{len(timeline.nodes())} nodes, {timeline.duration_s:.3f}s"
+        f"{len(timeline.nodes())} nodes, "
+        + (f"{len(rings)} rings, " if rings else "")
+        + f"{timeline.duration_s:.3f}s"
     )
     print()
     print(breakdown.render_table())
+    if rings:
+        for ring, ring_bd in sorted(
+            ring_breakdowns(timeline).items()
+        ):
+            print()
+            print(f"ring {ring}:")
+            print(ring_bd.render_table())
     print()
     print(render_link_table(link_utilization(timeline)))
     if args.prom:
@@ -501,6 +535,12 @@ def _cmd_obs(args: argparse.Namespace) -> int:
                 {
                     "schema": "repro.obs_report/1",
                     "stage_breakdown": breakdown.to_dict(),
+                    "ring_stage_breakdowns": {
+                        str(ring): ring_bd.to_dict()
+                        for ring, ring_bd in sorted(
+                            ring_breakdowns(timeline).items()
+                        )
+                    },
                     "links": [
                         link.to_dict()
                         for link in link_utilization(timeline)
@@ -540,6 +580,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="one k-to-n experiment")
     run.add_argument("--protocol", default="fsr")
+    run.add_argument("--shards", type=int, default=1,
+                     help="concurrent FSR rings; >1 switches to the "
+                          "multiring protocol (ISS-style bucket "
+                          "multiplexing)")
     run.add_argument("--n", type=int, default=5)
     run.add_argument("--t", type=int, default=1)
     run.add_argument("--senders", type=int, default=5)
@@ -593,6 +637,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="cluster size (default 6; 5 with --live)")
     chaos.add_argument("--t", type=int, default=None,
                        help="FSR backup count (default 2)")
+    chaos.add_argument("--shards", type=int, default=1,
+                       help="concurrent FSR rings; >1 campaigns the "
+                            "multiring protocol and adds the ring_crash "
+                            "scenario (simulator only)")
     chaos.add_argument("--fd-violation", action="store_true",
                        help="also run the unsound failure-detector scenario "
                             "(its violations are documented, not failures; "
@@ -615,6 +663,9 @@ def build_parser() -> argparse.ArgumentParser:
     live.add_argument("--senders", type=int, default=1,
                       help="how many ring positions drive traffic")
     live.add_argument("--t", type=int, default=1)
+    live.add_argument("--shards", type=int, default=1,
+                      help="concurrent FSR rings (multiring protocol); "
+                           "each extra ring gets its own TCP port per node")
     live.add_argument("--size", type=int, default=100_000,
                       help="message payload bytes (paper default 100 kB)")
     live.add_argument("--duration", type=float, default=5.0,

@@ -31,6 +31,39 @@ from repro.sim.trace import TraceLog
 from repro.types import BroadcastRecord, MessageId, ProcessId, SimTime
 from repro.vsc.membership import GroupMembership
 
+#: Id offset between a node's per-ring synthetic NICs (multi-ring only).
+#: Ring ``r`` of node ``p`` attaches to the network as ``p + r * STRIDE``;
+#: real node ids stay far below the stride.
+RING_STRIDE = 4096
+
+
+class _RingPort:
+    """Port adapter mapping one inner ring's traffic onto an alias NIC.
+
+    Each extra ring of a multi-ring node gets its own simulated NIC (its
+    own TX/RX/CPU queues — the multi-queue-NIC + one-protocol-core-per-
+    ring resource model), attached under an alias id.  This adapter
+    translates peer ids on the way through so the protocol automaton
+    only ever sees real node ids.
+    """
+
+    def __init__(self, stack: ChannelStack, real_id: ProcessId, delta: int) -> None:
+        self._stack = stack
+        self._real_id = real_id
+        self._delta = delta
+
+    @property
+    def node_id(self) -> ProcessId:
+        return self._real_id
+
+    def send(self, dst: ProcessId, message: Any,
+             size_bytes: Optional[int] = None) -> None:
+        self._stack.send(dst + self._delta, message, size_bytes)
+
+    def on_receive(self, handler: Callable[[ProcessId, Any], None]) -> None:
+        delta = self._delta
+        self._stack.on_receive(lambda src, message: handler(src - delta, message))
+
 
 class ClusterNode:
     """Everything living at one simulated machine."""
@@ -44,6 +77,7 @@ class ClusterNode:
         detector: FailureDetector,
         membership: GroupMembership,
         protocol: TotalOrderBroadcast,
+        ring_alias_ids: Optional[List[ProcessId]] = None,
     ) -> None:
         self.node_id = node_id
         self.endpoint = endpoint
@@ -52,6 +86,8 @@ class ClusterNode:
         self.detector = detector
         self.membership = membership
         self.protocol = protocol
+        #: Synthetic per-ring NIC ids (multi-ring; crashed with the node).
+        self.ring_alias_ids = ring_alias_ids or []
         self.delivery_log = DeliveryLog(process=node_id)
         self.app_deliveries: List[AppDelivery] = []
 
@@ -129,6 +165,9 @@ class Cluster:
         )
 
         proto_port = demux.port("proto")
+        ring_links, ring_alias_ids = self._build_ring_links(
+            node_id, endpoint, proto_port
+        )
         context = ProtocolContext(
             sim=self.sim,
             node_id=node_id,
@@ -141,11 +180,13 @@ class Cluster:
             on_tx_idle=endpoint.on_tx_idle,
             cpu_submit=endpoint.cpu_submit,
             spans=self.spans,
+            ring_links=ring_links,
         )
         protocol = build_protocol(config.protocol, context)
 
         node = ClusterNode(
-            node_id, endpoint, stack, demux, detector, membership, protocol
+            node_id, endpoint, stack, demux, detector, membership, protocol,
+            ring_alias_ids=ring_alias_ids,
         )
         protocol.set_listener(
             BroadcastListener(
@@ -164,6 +205,62 @@ class Cluster:
         if deliver_hook is not None:
             deliver_hook(node.delivery_log.deliveries.append)
         return node
+
+    def _build_ring_links(
+        self,
+        node_id: ProcessId,
+        endpoint: NetworkEndpoint,
+        proto_port: Any,
+    ) -> Tuple[Optional[List[Any]], List[ProcessId]]:
+        """Provision per-ring NICs for the multi-ring protocol.
+
+        Ring 0 rides the node's main endpoint (sharing it with the
+        membership and failure-detector layers, like single-ring FSR);
+        each further ring gets its own synthetic network attachment —
+        its own TX/RX/CPU queues — under an alias id, wrapped in its own
+        :class:`ChannelStack` so ARQ covers the alias links under loss.
+        """
+        config = self.config
+        if config.protocol != "multiring":
+            return None, []
+        from repro.protocols.multiring.config import MultiRingConfig
+        from repro.protocols.multiring.core import RingLink
+
+        mr_config = config.protocol_config
+        if not isinstance(mr_config, MultiRingConfig):
+            mr_config = MultiRingConfig()
+        if mr_config.shards <= 1:
+            return None, []
+        links: List[Any] = [
+            RingLink(
+                ring=0,
+                port=proto_port,
+                tx_gate=lambda: endpoint.tx_idle,
+                on_tx_idle=endpoint.on_tx_idle,
+                cpu_submit=endpoint.cpu_submit,
+            )
+        ]
+        alias_ids: List[ProcessId] = []
+        for ring in range(1, mr_config.shards):
+            delta = ring * RING_STRIDE
+            alias_id = node_id + delta
+            alias_endpoint = self.network.attach(alias_id)
+            alias_stack = ChannelStack(
+                self.sim, alias_endpoint, config.network, trace=self.trace
+            )
+            links.append(
+                RingLink(
+                    ring=ring,
+                    port=_RingPort(alias_stack, node_id, delta),
+                    tx_gate=(
+                        lambda _endpoint=alias_endpoint: _endpoint.tx_idle
+                    ),
+                    on_tx_idle=alias_endpoint.on_tx_idle,
+                    cpu_submit=alias_endpoint.cpu_submit,
+                )
+            )
+            alias_ids.append(alias_id)
+        return links, alias_ids
 
     # ------------------------------------------------------------------
     # Operation
@@ -208,6 +305,9 @@ class Cluster:
         self._crashed[node_id] = self.sim.now
         node = self.nodes[node_id]
         node.protocol.stop()
+        # A crashed machine takes its per-ring NICs with it.
+        for alias_id in node.ring_alias_ids:
+            self.network.crash(alias_id)
         stop = getattr(node.detector, "stop", None)
         if stop is not None:
             stop()

@@ -88,6 +88,7 @@ class FSRProcess(TotalOrderBroadcast):
         tx_gate: Optional[Callable[[], bool]] = None,
         cpu_submit: Optional[Callable[[int, Callable[[], None]], Any]] = None,
         spans: Optional[SpanLog] = None,
+        id_factory: Optional[Callable[[], MessageId]] = None,
     ) -> None:
         self.sim = sim
         self.port = port
@@ -107,6 +108,11 @@ class FSRProcess(TotalOrderBroadcast):
         #: Charges origin-side marshalling CPU before a message enters
         #: the ring; ``None`` (unit tests) runs the callback inline.
         self._cpu_submit = cpu_submit
+        #: Source of fresh message ids.  The multi-ring fan-out shares
+        #: one per-node counter across its S inner rings so app-level
+        #: ids stay unique per origin regardless of which ring carried
+        #: the message; stand-alone instances use a private counter.
+        self._id_factory = id_factory
 
         self._listener = BroadcastListener()
         self._protocol_deliver_cb: Optional[ProtocolDeliverCallback] = None
@@ -277,6 +283,8 @@ class FSRProcess(TotalOrderBroadcast):
                 self._marshal_jobs[seg_id] = handle
 
     def _next_message_id(self) -> MessageId:
+        if self._id_factory is not None:
+            return self._id_factory()
         self._local_counter += 1
         return MessageId(origin=self.me, local_seq=self._local_counter)
 

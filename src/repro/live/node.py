@@ -80,6 +80,16 @@ class LiveNodeConfig:
     addresses: Dict[ProcessId, Tuple[str, int]]
     #: FSR backup count.
     t: int = 1
+    #: Concurrent FSR rings (``repro.protocols.multiring``); 1 runs the
+    #: classic single-ring stack untouched.
+    shards: int = 1
+    #: Per-ring listen addresses, one map per ring, when ``shards > 1``.
+    #: Ring 0 conventionally reuses ``addresses``; each ring gets its
+    #: own TCP port per node so the S rings genuinely parallelise the
+    #: send path (the live analogue of the sim's per-ring alias NICs).
+    ring_addresses: List[Dict[ProcessId, Tuple[str, int]]] = field(
+        default_factory=list
+    )
     #: Members driving the workload.
     senders: List[ProcessId] = field(default_factory=list)
     message_bytes: int = 100_000
@@ -146,6 +156,26 @@ class LiveNodeConfig:
                 f"unknown detector_mode {self.detector_mode!r}; "
                 "use 'heartbeat' or 'adaptive'"
             )
+        if self.shards < 1:
+            raise ConfigurationError("shards must be at least 1")
+        if self.shards > 1:
+            if len(self.ring_addresses) != self.shards:
+                raise ConfigurationError(
+                    f"shards={self.shards} needs {self.shards} ring address "
+                    f"maps, got {len(self.ring_addresses)}"
+                )
+            for ring, addrs in enumerate(self.ring_addresses):
+                for pid in self.members:
+                    if pid not in addrs:
+                        raise ConfigurationError(
+                            f"ring {ring}: no address for member {pid}"
+                        )
+
+    def ring_addrs(self) -> List[Dict[ProcessId, Tuple[str, int]]]:
+        """Per-ring address maps; single-ring configs use ``addresses``."""
+        if self.ring_addresses:
+            return self.ring_addresses
+        return [self.addresses]
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -156,6 +186,14 @@ class LiveNodeConfig:
                 for pid, (host, port) in self.addresses.items()
             },
             "t": self.t,
+            "shards": self.shards,
+            "ring_addresses": [
+                {
+                    str(pid): [host, port]
+                    for pid, (host, port) in addrs.items()
+                }
+                for addrs in self.ring_addresses
+            ],
             "senders": list(self.senders),
             "message_bytes": self.message_bytes,
             "duration_s": self.duration_s,
@@ -189,6 +227,14 @@ class LiveNodeConfig:
                 for pid, entry in data["addresses"].items()
             },
             t=data["t"],
+            shards=data.get("shards", 1),
+            ring_addresses=[
+                {
+                    int(pid): (entry[0], entry[1])
+                    for pid, entry in addrs.items()
+                }
+                for addrs in data.get("ring_addresses", [])
+            ],
             senders=list(data["senders"]),
             message_bytes=data["message_bytes"],
             duration_s=data["duration_s"],
@@ -442,20 +488,33 @@ async def _run(config: LiveNodeConfig) -> Dict[str, Any]:
             telemetry=telemetry,
         )
 
-    transport = RingTransport(
-        node_id=me,
-        listen_addr=config.addresses[me],
-        successor_id=successor,
-        successor_addr=config.addresses[successor],
-        on_message=lambda src, msg: None,  # replaced by LivePort
-        peers=dict(config.addresses),
-        # With live membership a dead successor is not terminal: the
-        # view change retargets the hop, so keep dialling until then.
-        max_retries=None if config.view_changes else MAX_RETRIES,
-        shaper=shaper,
-        rng=random.Random(f"live:{config.run_seed}:{me}"),
-    )
-    port = LivePort(transport)
+    # One transport per inner ring.  Multi-ring rotation preserves the
+    # cyclic member order, so every node keeps the SAME ring successor
+    # in all rings — each extra ring is the same hop on its own port.
+    # Ring 0 carries the control plane (and the egress shaper, which
+    # models per-host faults); extra rings are pure data planes.
+    ring_addrs = config.ring_addrs()
+    transports: List[RingTransport] = []
+    for ring_index in range(config.shards):
+        addrs = ring_addrs[ring_index]
+        seed = (
+            f"live:{config.run_seed}:{me}" if ring_index == 0
+            else f"live:{config.run_seed}:{me}:{ring_index}"
+        )
+        transports.append(RingTransport(
+            node_id=me,
+            listen_addr=addrs[me],
+            successor_id=successor,
+            successor_addr=addrs[successor],
+            on_message=lambda src, msg: None,  # replaced by LivePort
+            peers=dict(addrs) if ring_index == 0 else None,
+            # With live membership a dead successor is not terminal: the
+            # view change retargets the hop, so keep dialling until then.
+            max_retries=None if config.view_changes else MAX_RETRIES,
+            shaper=shaper if ring_index == 0 else None,
+            rng=random.Random(seed),
+        ))
+    transport = transports[0]
 
     vsc_port: Any
     if config.view_changes:
@@ -495,22 +554,49 @@ async def _run(config: LiveNodeConfig) -> Dict[str, Any]:
         telemetry=telemetry,
         require_quorum=config.require_quorum,
     )
-    process = FSRProcess(
-        sched,
-        port,
-        membership,
-        FSRConfig(t=config.t),
-        tx_gate=lambda: transport.tx_ready,
-        spans=spans,
-    )
-    transport.on_tx_idle(process.on_tx_ready)
+    process: Any
+    if config.shards > 1:
+        from repro.protocols.multiring import (
+            MultiRingConfig,
+            MultiRingProcess,
+            RingLink,
+        )
+
+        links = [
+            RingLink(
+                ring=ring_index,
+                port=LivePort(ring_transport),
+                tx_gate=(lambda _t=ring_transport: _t.tx_ready),
+                on_tx_idle=ring_transport.on_tx_idle,
+            )
+            for ring_index, ring_transport in enumerate(transports)
+        ]
+        process = MultiRingProcess(
+            sched,
+            membership,
+            MultiRingConfig(shards=config.shards, fsr=FSRConfig(t=config.t)),
+            links,
+            spans=spans,
+        )
+    else:
+        port = LivePort(transport)
+        process = FSRProcess(
+            sched,
+            port,
+            membership,
+            FSRConfig(t=config.t),
+            tx_gate=lambda: transport.tx_ready,
+            spans=spans,
+        )
+        transport.on_tx_idle(process.on_tx_ready)
 
     client: Any = process
     if config.view_changes:
         def rewire(view: View) -> None:
             ring = view.members
             succ = ring[(ring.index(me) + 1) % len(ring)]
-            transport.retarget(succ, config.addresses[succ])
+            for ring_index, ring_transport in enumerate(transports):
+                ring_transport.retarget(succ, ring_addrs[ring_index][succ])
             transport.prune_control_peers(view.members)
             journal.write({
                 "type": "view",
@@ -566,19 +652,24 @@ async def _run(config: LiveNodeConfig) -> Dict[str, Any]:
 
     def on_protocol_deliver(delivery: Delivery) -> None:
         run.deliveries.append(delivery)
-        journal.write({
+        entry = {
             "type": "delivery",
             "origin": delivery.message_id.origin,
             "local_seq": delivery.message_id.local_seq,
             "sequence": delivery.sequence,
             "time": delivery.time,
             "size_bytes": delivery.size_bytes,
-        })
+        }
+        if delivery.ring is not None:
+            entry["ring"] = delivery.ring
+            entry["slot"] = delivery.slot
+        journal.write(entry)
 
     process.set_listener(BroadcastListener(on_app_deliver))
     process.on_protocol_deliver(on_protocol_deliver)
 
-    await transport.start()
+    for ring_transport in transports:
+        await ring_transport.start()
 
     # ------------------------------------------------------------------
     # Barrier: ring connectivity, then a settle delay, then start.  The
@@ -589,16 +680,20 @@ async def _run(config: LiveNodeConfig) -> Dict[str, Any]:
     # bootstrap view installs.
     # ------------------------------------------------------------------
     timeout = config.connect_timeout_s
-    if not await transport.wait_outbound_connected(timeout):
-        raise NetworkError(
-            transport.failure
-            or f"node {me}: successor {successor} not connected after "
-            f"{timeout:.0f}s"
-        )
-    if len(members) > 1 and not await transport.wait_inbound_hello(timeout):
-        raise NetworkError(
-            f"node {me}: no inbound connection after {timeout:.0f}s"
-        )
+    for ring_index, ring_transport in enumerate(transports):
+        if not await ring_transport.wait_outbound_connected(timeout):
+            raise NetworkError(
+                ring_transport.failure
+                or f"node {me}: ring {ring_index} successor {successor} not "
+                f"connected after {timeout:.0f}s"
+            )
+        if len(members) > 1 and not await ring_transport.wait_inbound_hello(
+            timeout
+        ):
+            raise NetworkError(
+                f"node {me}: ring {ring_index} got no inbound connection "
+                f"after {timeout:.0f}s"
+            )
     await asyncio.sleep(config.settle_s)
     logger.info(
         "ring up: position=%d successor=%d members=%s", position, successor,
@@ -614,20 +709,36 @@ async def _run(config: LiveNodeConfig) -> Dict[str, Any]:
         """
         snap = telemetry.snapshot()
         counters = snap["counters"]
-        counters["transport_frames_sent"] = transport.frames_sent
-        counters["transport_frames_received"] = transport.frames_received
-        counters["transport_bytes_sent"] = transport.bytes_sent
-        counters["transport_bytes_received"] = transport.bytes_received
-        counters["transport_reconnects"] = transport.reconnects
-        counters["transport_retargets"] = transport.retargets
-        counters["transport_tx_stalls"] = transport.tx_stalls
+        counters["transport_frames_sent"] = sum(
+            t.frames_sent for t in transports
+        )
+        counters["transport_frames_received"] = sum(
+            t.frames_received for t in transports
+        )
+        counters["transport_bytes_sent"] = sum(
+            t.bytes_sent for t in transports
+        )
+        counters["transport_bytes_received"] = sum(
+            t.bytes_received for t in transports
+        )
+        counters["transport_reconnects"] = sum(
+            t.reconnects for t in transports
+        )
+        counters["transport_retargets"] = sum(
+            t.retargets for t in transports
+        )
+        counters["transport_tx_stalls"] = sum(
+            t.tx_stalls for t in transports
+        )
         counters["transport_control_frames_sent"] = transport.control_frames_sent
         counters["transport_control_frames_received"] = (
             transport.control_frames_received
         )
         snap["gauges"]["transport_queued_bytes"] = {
-            "value": float(transport.queued_bytes),
-            "high_water": float(transport.queued_bytes_hwm),
+            "value": float(sum(t.queued_bytes for t in transports)),
+            "high_water": float(
+                sum(t.queued_bytes_hwm for t in transports)
+            ),
         }
         if shaper is not None:
             snap["netem"] = shaper.active_summary()
@@ -691,13 +802,20 @@ async def _run(config: LiveNodeConfig) -> Dict[str, Any]:
         ):
             span_journal.write_telemetry(now, telemetry_snapshot())
             last_snapshot = now
-        counters = (transport.frames_received, transport.frames_sent)
-        if counters != last_counters or transport.queued_bytes > 0:
+        counters = (
+            sum(t.frames_received for t in transports),
+            sum(t.frames_sent for t in transports),
+        )
+        queued = sum(t.queued_bytes for t in transports)
+        if counters != last_counters or queued > 0:
             last_counters = counters
             last_change = now
-        if transport.failure is not None:
-            logger.error("transport failure: %s", transport.failure)
-            raise NetworkError(f"node {me}: {transport.failure}")
+        for ring_transport in transports:
+            if ring_transport.failure is not None:
+                logger.error(
+                    "transport failure: %s", ring_transport.failure
+                )
+                raise NetworkError(f"node {me}: {ring_transport.failure}")
         if now - start_time >= config.max_run_s:
             timed_out = True
             logger.warning("max_run_s (%.1fs) reached", config.max_run_s)
@@ -717,7 +835,8 @@ async def _run(config: LiveNodeConfig) -> Dict[str, Any]:
     process.stop()
     if isinstance(detector, HeartbeatFailureDetector):
         detector.stop()
-    await transport.close()
+    for ring_transport in transports:
+        await ring_transport.close()
     logger.info(
         "stopped after %.3fs: %d broadcast, %d delivered, %d reconnects, "
         "%d tx stalls", end_time - start_time, len(run.sent),
@@ -744,6 +863,11 @@ async def _run(config: LiveNodeConfig) -> Dict[str, Any]:
                 "sequence": d.sequence,
                 "time": d.time,
                 "size_bytes": d.size_bytes,
+                **(
+                    {"ring": d.ring, "slot": d.slot}
+                    if d.ring is not None
+                    else {}
+                ),
             }
             for d in run.deliveries
         ],
@@ -754,12 +878,12 @@ async def _run(config: LiveNodeConfig) -> Dict[str, Any]:
             for mid in run.sent
         ],
         "stats": {
-            "frames_sent": transport.frames_sent,
-            "frames_received": transport.frames_received,
-            "bytes_sent": transport.bytes_sent,
-            "bytes_received": transport.bytes_received,
-            "reconnects": transport.reconnects,
-            "retargets": transport.retargets,
+            "frames_sent": sum(t.frames_sent for t in transports),
+            "frames_received": sum(t.frames_received for t in transports),
+            "bytes_sent": sum(t.bytes_sent for t in transports),
+            "bytes_received": sum(t.bytes_received for t in transports),
+            "reconnects": sum(t.reconnects for t in transports),
+            "retargets": sum(t.retargets for t in transports),
             "control_frames_sent": transport.control_frames_sent,
             "control_frames_received": transport.control_frames_received,
             "broadcasts": process.stats_broadcasts,

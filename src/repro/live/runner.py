@@ -39,7 +39,12 @@ from repro.core.fsr.config import FSRConfig
 from repro.errors import ConfigurationError, NetworkError
 from repro.live.node import LiveNodeConfig
 from repro.metrics.collector import ExperimentMetrics, collect_metrics
-from repro.obs.analyze import StageBreakdown, crosscheck_latency, stage_breakdown
+from repro.obs.analyze import (
+    StageBreakdown,
+    crosscheck_latency,
+    ring_breakdowns,
+    stage_breakdown,
+)
 from repro.obs.journal import Timeline, merge_span_journals
 from repro.types import BroadcastRecord, Delivery, MessageId, ProcessId
 from repro.workloads.patterns import KToNPattern
@@ -58,6 +63,10 @@ class LiveClusterSpec:
     processes: int = 4
     senders: int = 1
     t: int = 1
+    #: Concurrent FSR rings (``repro.protocols.multiring``); 1 runs the
+    #: classic single-ring stack.  Each extra ring gets its own TCP port
+    #: per node.
+    shards: int = 1
     message_bytes: int = 100_000
     duration_s: float = 5.0
     window: int = 4
@@ -102,6 +111,8 @@ class LiveClusterSpec:
             )
         if self.duration_s <= 0:
             raise ConfigurationError("duration_s must be positive")
+        if self.shards < 1:
+            raise ConfigurationError("shards must be at least 1")
 
     @property
     def sender_ids(self) -> Tuple[ProcessId, ...]:
@@ -126,6 +137,8 @@ class LiveRunResult:
     #: Latency stage breakdown over the timeline, cross-checked against
     #: the collector's end-to-end latency.
     breakdown: Optional[StageBreakdown] = None
+    #: Per-inner-ring breakdowns (multiring runs with spans only).
+    per_ring_breakdown: Optional[Dict[int, StageBreakdown]] = None
 
 
 def _free_ports(host: str, count: int) -> List[int]:
@@ -175,10 +188,17 @@ class LiveCluster:
     ) -> None:
         self.spec = spec
         self.members = list(range(spec.processes))
-        ports = _free_ports(spec.host, spec.processes)
-        self.addresses = {
-            pid: (spec.host, ports[pid]) for pid in self.members
-        }
+        ports = _free_ports(spec.host, spec.processes * spec.shards)
+        # One port per (node, ring); ring 0 is the canonical address map
+        # (and the control plane), extra rings are pure data planes.
+        self.ring_addresses = [
+            {
+                pid: (spec.host, ports[ring * spec.processes + pid])
+                for pid in self.members
+            }
+            for ring in range(spec.shards)
+        ]
+        self.addresses = self.ring_addresses[0]
         self.out_paths: Dict[ProcessId, str] = {}
         self.journal_paths: Dict[ProcessId, str] = {}
         self.span_paths: Dict[ProcessId, str] = {}
@@ -201,6 +221,10 @@ class LiveCluster:
                     members=self.members,
                     addresses=self.addresses,
                     t=spec.t,
+                    shards=spec.shards,
+                    ring_addresses=(
+                        self.ring_addresses if spec.shards > 1 else []
+                    ),
                     senders=list(spec.sender_ids),
                     message_bytes=spec.message_bytes,
                     duration_s=spec.duration_s,
@@ -431,15 +455,17 @@ def load_journal_record(
                 {"origin": event["origin"], "local_seq": event["local_seq"]}
             )
         elif kind == "delivery":
-            record["deliveries"].append(
-                {
-                    "origin": event["origin"],
-                    "local_seq": event["local_seq"],
-                    "sequence": event["sequence"],
-                    "time": event["time"],
-                    "size_bytes": event["size_bytes"],
-                }
-            )
+            entry = {
+                "origin": event["origin"],
+                "local_seq": event["local_seq"],
+                "sequence": event["sequence"],
+                "time": event["time"],
+                "size_bytes": event["size_bytes"],
+            }
+            if "ring" in event:
+                entry["ring"] = event["ring"]
+                entry["slot"] = event["slot"]
+            record["deliveries"].append(entry)
         elif kind == "app_delivery":
             record["app_deliveries"].append(
                 {
@@ -494,6 +520,8 @@ def merge_node_records(
                     sequence=entry["sequence"],
                     time=entry["time"] - t0,
                     size_bytes=entry["size_bytes"],
+                    ring=entry.get("ring"),
+                    slot=entry.get("slot"),
                 )
             )
         delivery_logs[pid] = log
@@ -571,11 +599,22 @@ def simulate_comparison(
     from repro.cluster.harness import build_cluster
     from repro.workloads.driver import run_workload
 
-    config = ClusterConfig(
-        n=spec.processes,
-        protocol="fsr",
-        protocol_config=FSRConfig(t=spec.t),
-    )
+    if spec.shards > 1:
+        from repro.protocols.multiring.config import MultiRingConfig
+
+        config = ClusterConfig(
+            n=spec.processes,
+            protocol="multiring",
+            protocol_config=MultiRingConfig(
+                shards=spec.shards, fsr=FSRConfig(t=spec.t)
+            ),
+        )
+    else:
+        config = ClusterConfig(
+            n=spec.processes,
+            protocol="fsr",
+            protocol_config=FSRConfig(t=spec.t),
+        )
     cluster = build_cluster(config)
     pattern = KToNPattern(
         senders=spec.sender_ids,
@@ -593,12 +632,26 @@ def run_live_cluster(spec: LiveClusterSpec) -> LiveRunResult:
     order_error = check_live_order(result)
     metrics = collect_metrics(outcome)
     breakdown = None
+    per_ring = None
     if timeline is not None and timeline.events:
-        # Stage breakdown and collector latency share one submission
-        # timestamp source (``result.broadcasts``); the cross-check
-        # asserts the per-stage sums agree with the end-to-end number.
-        breakdown = stage_breakdown(timeline, broadcasts=result.broadcasts)
-        crosscheck_latency(breakdown, metrics.mean_latency_s)
+        if timeline.rings():
+            # Multi-ring run: spans end at *inner ring* delivery while
+            # the collector measures to the multiplexer's app delivery
+            # (which may wait on sibling rings), so the end-to-end
+            # cross-check does not apply; noop filler messages are
+            # traced but never submitted, so match non-strictly.
+            breakdown = stage_breakdown(
+                timeline,
+                broadcasts=result.broadcasts,
+                strict_submissions=False,
+            )
+            per_ring = ring_breakdowns(timeline, broadcasts=result.broadcasts)
+        else:
+            # Stage breakdown and collector latency share one submission
+            # timestamp source (``result.broadcasts``); the cross-check
+            # asserts the per-stage sums agree with the end-to-end number.
+            breakdown = stage_breakdown(timeline, broadcasts=result.broadcasts)
+            crosscheck_latency(breakdown, metrics.mean_latency_s)
     return LiveRunResult(
         result=result,
         outcome=outcome,
@@ -609,6 +662,7 @@ def run_live_cluster(spec: LiveClusterSpec) -> LiveRunResult:
         timed_out=any(r.get("timed_out") for r in records.values()),
         timeline=timeline,
         breakdown=breakdown,
+        per_ring_breakdown=per_ring,
     )
 
 
@@ -634,6 +688,7 @@ def bench_payload(
             "processes": spec.processes,
             "senders": spec.senders,
             "t": spec.t,
+            "shards": spec.shards,
             "message_bytes": spec.message_bytes,
             "duration_s": spec.duration_s,
             "window": spec.window,
@@ -655,6 +710,14 @@ def bench_payload(
             },
             "stage_breakdown": (
                 live.breakdown.to_dict() if live.breakdown is not None else None
+            ),
+            "ring_stage_breakdowns": (
+                None
+                if live.per_ring_breakdown is None
+                else {
+                    str(ring): bd.to_dict()
+                    for ring, bd in live.per_ring_breakdown.items()
+                }
             ),
         },
         "sim": (

@@ -133,6 +133,7 @@ def stage_breakdown(
     broadcasts: Optional[Iterable[BroadcastRecord]] = None,
     completions: Optional[Dict[MessageId, float]] = None,
     submit_tolerance_s: float = SUBMIT_DRIFT_TOLERANCE_S,
+    strict_submissions: bool = True,
 ) -> StageBreakdown:
     """Decompose per-message latency into hop/sequencing/stability.
 
@@ -147,6 +148,11 @@ def stage_breakdown(
     ``result.completion_times()`` to score only correct processes).
     Standalone timeline analysis (``python -m repro obs`` on a file)
     passes neither and trusts the spans.
+
+    ``strict_submissions=False`` skips (instead of failing on) traced
+    messages absent from ``broadcasts`` — multi-ring runs inject noop
+    filler messages below the application, which the rings trace but
+    the workload never submitted.
     """
     submit_times: Optional[Dict[MessageId, float]] = None
     if broadcasts is not None:
@@ -186,6 +192,9 @@ def stage_breakdown(
         if submit_times is not None:
             authoritative = submit_times.get(message_id)
             if authoritative is None:
+                if not strict_submissions:
+                    skipped += 1
+                    continue
                 raise CheckFailure(
                     f"span timeline has {message_id} but "
                     "ExperimentResult.broadcasts does not: the stage "
@@ -227,6 +236,33 @@ def stage_breakdown(
         },
         end_to_end=_stats(end_to_end, mean_e2e),
     )
+
+
+def ring_breakdowns(
+    timeline: Timeline,
+    broadcasts: Optional[Iterable[BroadcastRecord]] = None,
+) -> Dict[int, StageBreakdown]:
+    """Per-inner-ring stage breakdowns of a multi-ring timeline.
+
+    Every FSR lifecycle span of a multi-ring run is tagged with the
+    inner ring that carried the message, so each ring's sequencing
+    pipeline can be profiled independently — an overloaded or recovering
+    ring shows up as that ring's stages ballooning while its siblings
+    stay flat.  Rings whose sub-timeline has no completed lifecycle
+    (all noops, or all in flight at a crash) are omitted.  Empty for
+    single-ring timelines (no ring tags).
+    """
+    out: Dict[int, StageBreakdown] = {}
+    for ring in timeline.rings():
+        try:
+            out[ring] = stage_breakdown(
+                timeline.for_ring(ring),
+                broadcasts=broadcasts,
+                strict_submissions=False,
+            )
+        except CheckFailure:
+            continue
+    return out
 
 
 def crosscheck_latency(

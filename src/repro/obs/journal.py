@@ -145,6 +145,18 @@ class Timeline:
         ids = {e.node for e in self.events} | set(self.telemetry)
         return sorted(ids)
 
+    def rings(self) -> List[int]:
+        """Inner-ring ids present (multiring runs); empty otherwise."""
+        return sorted({e.ring for e in self.events if e.ring is not None})
+
+    def for_ring(self, ring: int) -> "Timeline":
+        """The sub-timeline of one inner ring's span events."""
+        return Timeline(
+            events=[e for e in self.events if e.ring == ring],
+            telemetry=self.telemetry,
+            duration_s=self.duration_s,
+        )
+
     # ------------------------------------------------------------------
     # Persistence (the merged-timeline artifact ``repro obs`` consumes)
     # ------------------------------------------------------------------
@@ -200,6 +212,7 @@ def _rebase(event: SpanEvent, t0: float) -> SpanEvent:
         local_seq=event.local_seq,
         sequence=event.sequence,
         hop=event.hop,
+        ring=event.ring,
     )
 
 

@@ -51,6 +51,8 @@ class SpanEvent:
     local_seq: int
     sequence: Optional[int] = None
     hop: Optional[int] = None
+    #: Inner ring instance the event happened on (multi-ring only).
+    ring: Optional[int] = None
 
     @property
     def message_id(self) -> MessageId:
@@ -69,6 +71,8 @@ class SpanEvent:
             out["sequence"] = self.sequence
         if self.hop is not None:
             out["hop"] = self.hop
+        if self.ring is not None:
+            out["ring"] = self.ring
         return out
 
     @classmethod
@@ -84,6 +88,7 @@ class SpanEvent:
                 else None
             ),
             hop=int(data["hop"]) if data.get("hop") is not None else None,  # type: ignore[arg-type]
+            ring=int(data["ring"]) if data.get("ring") is not None else None,  # type: ignore[arg-type]
         )
 
     def __str__(self) -> str:
@@ -92,6 +97,8 @@ class SpanEvent:
             extra += f" seq={self.sequence}"
         if self.hop is not None:
             extra += f" hop={self.hop}"
+        if self.ring is not None:
+            extra += f" ring={self.ring}"
         return (
             f"[{self.time:.6f}] n{self.node} {self.kind} "
             f"({self.origin},{self.local_seq}){extra}"
@@ -128,13 +135,14 @@ class SpanLog:
         local_seq: int,
         sequence: Optional[int] = None,
         hop: Optional[int] = None,
+        ring: Optional[int] = None,
     ) -> None:
         """Record one lifecycle event if span logging is enabled."""
         if not self.enabled:
             return
         event = SpanEvent(
             time=time, node=node, kind=kind, origin=origin,
-            local_seq=local_seq, sequence=sequence, hop=hop,
+            local_seq=local_seq, sequence=sequence, hop=hop, ring=ring,
         )
         if self._capacity is not None and len(self._records) >= self._capacity:
             self._dropped += 1

@@ -1,0 +1,51 @@
+"""Multi-ring sharded total order: S concurrent FSR rings, one order.
+
+The subsystem follows the ISS recipe ("State-Machine Replication
+Scalability Made Simple", PAPERS.md): partition the sequence space into
+buckets, run independent ordering instances — here, S FSR rings over
+rotated leader assignments of the *same* member set — and multiplex
+their per-ring total orders into a single global one with a
+deterministic round-robin interleaving rule.
+
+Modules:
+
+* :mod:`repro.protocols.multiring.buckets` — the deterministic
+  sender-to-bucket hash, epoch-based bucket rotation, and the static
+  slot-to-ring arithmetic the mux and the checkers share;
+* :mod:`repro.protocols.multiring.mux` — the pure bucket-interleaving
+  multiplexer (per-ring FIFO queues, slot counter, weighted noops);
+* :mod:`repro.protocols.multiring.config` — :class:`MultiRingConfig`;
+* :mod:`repro.protocols.multiring.core` — :class:`MultiRingProcess`,
+  the runtime-agnostic fan-out endpoint both the simulator and the
+  live asyncio runtime instantiate.
+"""
+
+from repro.protocols.multiring.buckets import (
+    bucket_of_sender,
+    bucket_of_slot,
+    mix64,
+    offset_for_ring,
+    ring_of_bucket,
+    ring_of_sender,
+    ring_of_slot,
+    rotated_members,
+)
+from repro.protocols.multiring.config import MultiRingConfig
+from repro.protocols.multiring.core import MultiRingProcess, RingLink
+from repro.protocols.multiring.mux import InterleaveMux, NOOP_MAGIC
+
+__all__ = [
+    "InterleaveMux",
+    "MultiRingConfig",
+    "MultiRingProcess",
+    "NOOP_MAGIC",
+    "RingLink",
+    "bucket_of_sender",
+    "bucket_of_slot",
+    "mix64",
+    "offset_for_ring",
+    "ring_of_bucket",
+    "ring_of_sender",
+    "ring_of_slot",
+    "rotated_members",
+]

@@ -1,0 +1,98 @@
+"""Bucket and slot arithmetic shared by the mux, the core, and checkers.
+
+Two independent mappings keep the multiplexed order deterministic:
+
+* **sender -> bucket -> ring** routes *new* broadcasts.  The bucket of
+  a sender is a deterministic hash (a splitmix64-style mixer — NOT
+  Python's per-interpreter-randomised ``hash``), and the bucket's ring
+  rotates with the membership epoch, so a view change reassigns a dead
+  ring's buckets to the surviving rotation.  Messages already in
+  flight are NOT re-routed: the FSR recovery machinery re-broadcasts
+  them inside their original inner ring, so rotation never moves a
+  message between per-ring streams.
+
+* **slot -> ring** drives the multiplexer and is deliberately *static*
+  (``slot % shards``, independent of the epoch).  Nodes install views
+  at different local times; had the slot mapping depended on the
+  epoch, two nodes mid-view-change would interleave the same per-ring
+  streams differently and diverge.  With ``num_buckets % shards == 0``
+  the static mapping is consistent with bucket arithmetic:
+  ``bucket_of_slot(s) % shards == ring_of_slot(s)`` for every slot.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.types import ProcessId
+
+#: 64-bit mask for the mixer.
+_MASK = (1 << 64) - 1
+
+
+def mix64(value: int) -> int:
+    """splitmix64 finalising mixer: deterministic, well-spread, stable
+    across interpreters and machines (unlike builtin ``hash``)."""
+    z = (value + 0x9E3779B97F4A7C15) & _MASK
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK
+    return (z ^ (z >> 31)) & _MASK
+
+
+def bucket_of_sender(sender: ProcessId, num_buckets: int) -> int:
+    """Deterministic hash-of-sender bucket assignment."""
+    return mix64(sender) % num_buckets
+
+
+def ring_of_bucket(bucket: int, epoch: int, shards: int) -> int:
+    """Ring serving ``bucket`` during membership ``epoch``.
+
+    The rotation by the epoch is what reassigns a dead ring's buckets
+    after a view change: every bucket moves to the next ring, so no
+    bucket stays pinned to a sequencer chain that just lost its head.
+    """
+    return (bucket + epoch) % shards
+
+
+def ring_of_sender(
+    sender: ProcessId, epoch: int, shards: int, num_buckets: int
+) -> int:
+    """Ring a broadcast by ``sender`` enters during ``epoch``."""
+    return ring_of_bucket(bucket_of_sender(sender, num_buckets), epoch, shards)
+
+
+def bucket_of_slot(slot: int, num_buckets: int) -> int:
+    """The bucket a global sequence slot belongs to (each slot lands in
+    exactly one bucket)."""
+    return slot % num_buckets
+
+
+def ring_of_slot(slot: int, shards: int) -> int:
+    """The ring a global sequence slot consumes from.  Static — never a
+    function of the epoch (see module docstring)."""
+    return slot % shards
+
+
+def offset_for_ring(ring: int, n: int, shards: int) -> int:
+    """Leader rotation offset of ``ring`` in a view of ``n`` members.
+
+    Ring ``r``'s member list is the view rotated by this offset, so the
+    S sequencer chains start at members spread evenly around the ring
+    (``r * floor(n / shards)``), putting one sequencer's CPU and NIC
+    load on a different node per ring.
+    """
+    return (ring * max(1, n // shards)) % n
+
+
+def rotated_members(
+    members: Sequence[ProcessId], ring: int, shards: int
+) -> Tuple[ProcessId, ...]:
+    """Member list of inner ``ring``: the view rotated by its offset.
+
+    Rotation preserves the cyclic successor order, so every node keeps
+    the *same* ring successor in all S rings — one TCP hop (or one
+    simulated NIC path) per ring, all pointed at the same neighbour.
+    """
+    n = len(members)
+    offset = offset_for_ring(ring, n, shards)
+    return tuple(members[(offset + i) % n] for i in range(n))

@@ -1,0 +1,44 @@
+"""Multi-ring protocol configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.fsr.config import FSRConfig
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class MultiRingConfig:
+    """Knobs of one multi-ring deployment.
+
+    ``shards`` concurrent FSR rings share the membership; each ring
+    runs an unmodified :class:`FSRConfig` automaton.  ``num_buckets``
+    partitions the sender space (and the slot space); it must be a
+    multiple of ``shards`` so the static slot-to-ring mapping agrees
+    with bucket arithmetic (see :mod:`repro.protocols.multiring.buckets`).
+    """
+
+    #: Number of concurrent FSR ring instances.
+    shards: int = 2
+    #: Configuration of each inner FSR ring.
+    fsr: FSRConfig = field(default_factory=FSRConfig)
+    #: How long the multiplexer tolerates a blocked slot before the due
+    #: ring's leader fills it with a weighted noop.
+    noop_delay_s: float = 2e-3
+    #: Buckets partitioning the sender and slot spaces.
+    num_buckets: int = 32
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ConfigurationError("shards must be at least 1")
+        if self.num_buckets < self.shards:
+            raise ConfigurationError("need at least one bucket per shard")
+        if self.num_buckets % self.shards != 0:
+            raise ConfigurationError(
+                f"num_buckets ({self.num_buckets}) must be a multiple of "
+                f"shards ({self.shards}) so slot buckets map to static "
+                "slot rings consistently"
+            )
+        if self.noop_delay_s <= 0:
+            raise ConfigurationError("noop_delay_s must be positive")

@@ -1,0 +1,191 @@
+"""The bucket-interleaving multiplexer (pure, runtime-agnostic).
+
+One :class:`InterleaveMux` runs at every node, downstream of the S
+inner FSR rings.  Each ring feeds it that ring's app-level deliveries
+*in the ring's own total order*; the mux releases them in global slot
+order: slot ``s`` consumes the head of ring ``s % shards``'s queue.
+
+Because every correct node sees identical per-ring streams (each inner
+ring is itself a uniform total order) and the slot-to-ring mapping is
+static, the mux output is a deterministic monotone function of the
+per-ring stream prefixes — every node extends the same global order.
+
+**Weighted noops** keep the round-robin from head-of-line blocking on
+an idle ring: when the due ring's queue is empty while real messages
+wait elsewhere, that ring's leader broadcasts a noop carrying a weight
+``w``; the mux consumes ``w`` of that ring's slots per noop.  Noops
+travel through the full inner-ring ordering (so every node consumes
+them at the same position), are never delivered to the application,
+and never consume global sequence numbers — the global sequence counts
+real messages only and stays contiguous from 1.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, List, Optional, Union
+
+from repro.errors import ProtocolError
+from repro.types import MessageId, ProcessId
+
+#: Payload prefix marking a slot-filler noop.  Contains ASCII letters,
+#: so it can never collide with the all-zero ``bytes(n)`` payloads the
+#: live workload driver submits.
+NOOP_MAGIC = b"\x00repro.mr.noop\x00"
+
+
+def encode_noop(weight: int) -> bytes:
+    """Serialise a noop covering ``weight`` slots of its ring."""
+    if weight < 1:
+        raise ProtocolError(f"noop weight must be positive, got {weight}")
+    return NOOP_MAGIC + str(weight).encode("ascii")
+
+
+def decode_noop(payload: Any) -> Optional[int]:
+    """Return the noop's weight, or ``None`` for a real payload."""
+    if not isinstance(payload, (bytes, bytearray)):
+        return None
+    if not bytes(payload).startswith(NOOP_MAGIC):
+        return None
+    return int(bytes(payload)[len(NOOP_MAGIC):] or b"1")
+
+
+class RealItem:
+    """One application message waiting in a ring queue."""
+
+    __slots__ = ("origin", "message_id", "payload", "size_bytes")
+
+    def __init__(
+        self,
+        origin: ProcessId,
+        message_id: MessageId,
+        payload: Any,
+        size_bytes: int,
+    ) -> None:
+        self.origin = origin
+        self.message_id = message_id
+        self.payload = payload
+        self.size_bytes = size_bytes
+
+
+class NoopItem:
+    """A noop filler: consumes ``weight`` slots of its ring."""
+
+    __slots__ = ("weight",)
+
+    def __init__(self, weight: int) -> None:
+        self.weight = weight
+
+
+#: Callback fired for each released real message:
+#: (ring, slot, global_sequence, item).
+MuxDeliver = Callable[[int, int, int, RealItem], None]
+
+
+class InterleaveMux:
+    """Round-robins global sequence slots across S per-ring queues."""
+
+    def __init__(self, shards: int, on_deliver: MuxDeliver) -> None:
+        if shards < 1:
+            raise ProtocolError("mux needs at least one ring")
+        self.shards = shards
+        self._on_deliver = on_deliver
+        self._queues: List[Deque[Union[RealItem, NoopItem]]] = [
+            deque() for _ in range(shards)
+        ]
+        #: Next global slot to fill (0-based; slot s consumes ring s % S).
+        self._slot = 0
+        #: Last released global sequence number (real messages only).
+        self._seq = 0
+        self._pumping = False
+
+    # ------------------------------------------------------------------
+    # Feeding
+    # ------------------------------------------------------------------
+    def push_real(
+        self,
+        ring: int,
+        origin: ProcessId,
+        message_id: MessageId,
+        payload: Any,
+        size_bytes: int,
+    ) -> None:
+        """Enqueue one app-level delivery from inner ``ring``."""
+        self._queues[ring].append(RealItem(origin, message_id, payload, size_bytes))
+        self.pump()
+
+    def push_noop(self, ring: int, weight: int) -> None:
+        """Enqueue a noop covering ``weight`` slots of ``ring``."""
+        if weight < 1:
+            raise ProtocolError(f"noop weight must be positive, got {weight}")
+        self._queues[ring].append(NoopItem(weight))
+        self.pump()
+
+    # ------------------------------------------------------------------
+    # Draining
+    # ------------------------------------------------------------------
+    def pump(self) -> None:
+        """Release every message whose slot can be filled.
+
+        Reentrancy-guarded: an ``on_deliver`` upcall may feed the mux
+        (e.g. the application broadcasting from a delivery callback);
+        the outer pump finishes the drain.
+        """
+        if self._pumping:
+            return
+        self._pumping = True
+        try:
+            while True:
+                queue = self._queues[self._slot % self.shards]
+                if not queue:
+                    break
+                head = queue[0]
+                if isinstance(head, NoopItem):
+                    head.weight -= 1
+                    if head.weight <= 0:
+                        queue.popleft()
+                    self._slot += 1
+                    continue
+                queue.popleft()
+                slot = self._slot
+                self._slot += 1
+                self._seq += 1
+                self._on_deliver(slot % self.shards, slot, self._seq, head)
+        finally:
+            self._pumping = False
+
+    # ------------------------------------------------------------------
+    # Introspection (noop scheduling, tests)
+    # ------------------------------------------------------------------
+    @property
+    def slot(self) -> int:
+        """Next unfilled global slot."""
+        return self._slot
+
+    @property
+    def next_sequence(self) -> int:
+        """Global sequence number the next real release will get."""
+        return self._seq + 1
+
+    @property
+    def due_ring(self) -> int:
+        """Ring the next slot consumes from."""
+        return self._slot % self.shards
+
+    def pending_real(self, ring: Optional[int] = None) -> int:
+        """Count of queued real messages (one ring, or all)."""
+        queues = self._queues if ring is None else [self._queues[ring]]
+        return sum(
+            1
+            for queue in queues
+            for item in queue
+            if isinstance(item, RealItem)
+        )
+
+    @property
+    def blocked(self) -> bool:
+        """True when the due ring is empty while real messages wait
+        elsewhere — the state a noop resolves."""
+        if self._queues[self.due_ring]:
+            return False
+        return self.pending_real() > 0

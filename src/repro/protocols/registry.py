@@ -7,7 +7,7 @@ benchmarks means adding one entry.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple
 
 from repro.core.api import TotalOrderBroadcast
 from repro.errors import ConfigurationError
@@ -44,6 +44,11 @@ class ProtocolContext:
     cpu_submit: Optional[Callable[[int, Callable[[], None]], Any]] = None
     #: Shared per-message lifecycle span log (``None``: spans off).
     spans: Optional[SpanLog] = None
+    #: Per-ring network resources for the multi-ring protocol: one
+    #: :class:`repro.protocols.multiring.core.RingLink` per shard (the
+    #: harness provisions S independent NIC/transport paths per node).
+    #: ``None`` for single-port protocols.
+    ring_links: Optional[Sequence[Any]] = None
 
 
 ProtocolFactory = Callable[[ProtocolContext], TotalOrderBroadcast]
@@ -92,8 +97,73 @@ def _build_fsr(context: ProtocolContext) -> TotalOrderBroadcast:
     return process
 
 
+def _build_multiring(context: ProtocolContext) -> TotalOrderBroadcast:
+    from repro.core.fsr.config import FSRConfig
+    from repro.protocols.multiring.config import MultiRingConfig
+    from repro.protocols.multiring.core import MultiRingProcess, RingLink
+
+    config = context.config if context.config is not None else MultiRingConfig()
+    if isinstance(config, FSRConfig):
+        # Convenience: an FSRConfig configures the inner rings.
+        config = MultiRingConfig(fsr=config)
+    if not isinstance(config, MultiRingConfig):
+        raise ConfigurationError(
+            "protocol 'multiring' expects MultiRingConfig, got "
+            f"{type(config).__name__}"
+        )
+    if config.shards == 1:
+        # One shard is exactly the single-ring protocol: delegate so the
+        # delivered stream is byte-identical to the plain FSR path (no
+        # mux, no ring/slot tags, no noop machinery).
+        return _build_fsr(
+            ProtocolContext(
+                sim=context.sim,
+                node_id=context.node_id,
+                port=context.port,
+                membership=context.membership,
+                members=context.members,
+                config=config.fsr,
+                trace=context.trace,
+                tx_gate=context.tx_gate,
+                on_tx_idle=context.on_tx_idle,
+                cpu_submit=context.cpu_submit,
+                spans=context.spans,
+            )
+        )
+    links: Sequence[Any]
+    if context.ring_links is not None:
+        links = context.ring_links
+    else:
+        # Degenerate wiring (unit tests): every ring shares the node's
+        # single port-equivalent.  Ring 0 keeps the real port; others
+        # would collide, so this path requires explicit links.
+        raise ConfigurationError(
+            "protocol 'multiring' with shards > 1 needs per-ring links "
+            "(context.ring_links); the harness provisions them"
+        )
+    if len(links) != config.shards:
+        raise ConfigurationError(
+            f"multiring: got {len(links)} ring links for "
+            f"{config.shards} shards"
+        )
+    for link in links:
+        if not isinstance(link, RingLink):
+            raise ConfigurationError(
+                f"multiring: ring link {link!r} is not a RingLink"
+            )
+    return MultiRingProcess(
+        sim=context.sim,
+        membership=context.membership,
+        config=config,
+        ring_links=links,
+        trace=context.trace,
+        spans=context.spans,
+    )
+
+
 def _register_builtin() -> None:
     register_protocol("fsr", _build_fsr)
+    register_protocol("multiring", _build_multiring)
 
     # Baselines are registered lazily to keep import costs down and to
     # avoid import cycles; each module self-registers on first import.

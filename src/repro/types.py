@@ -99,6 +99,10 @@ class Delivery:
     time: SimTime
     #: Payload size in bytes (the payload itself is not retained).
     size_bytes: int = 0
+    #: Inner ring instance that ordered this message (multi-ring only).
+    ring: Optional[int] = None
+    #: Global multiplexer slot that released it (multi-ring only).
+    slot: Optional[int] = None
 
     def key(self) -> Tuple[ProcessId, int]:
         """Return the (origin, local_seq) pair identifying the message."""

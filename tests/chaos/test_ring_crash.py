@@ -1,0 +1,73 @@
+"""The ``ring_crash`` chaos scenario: decapitating one inner ring.
+
+Schedule-level properties (victims are one ring's sequencer-chain
+prefix, tolerance-bounded) plus one end-to-end multiring run under the
+schedule, judged by the oracle with the shard-interleave check armed.
+"""
+
+import re
+
+import pytest
+
+from repro.chaos.campaign import CampaignConfig, run_schedule
+from repro.chaos.schedules import (
+    DEFAULT_SCENARIOS,
+    MULTIRING_SCENARIOS,
+    SCENARIOS,
+    ScheduleContext,
+    generate_schedule,
+)
+from repro.protocols.multiring import offset_for_ring
+
+CTX = ScheduleContext(n=6, t=2, shards=2)
+
+
+def test_multiring_scenarios_extend_defaults_with_ring_crash():
+    assert "ring_crash" in SCENARIOS
+    assert "ring_crash" not in DEFAULT_SCENARIOS
+    assert set(MULTIRING_SCENARIOS) == set(DEFAULT_SCENARIOS) | {"ring_crash"}
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_ring_crash_targets_one_chain_prefix(seed):
+    schedule = generate_schedule("ring_crash", seed, CTX)
+    crashes = schedule.crashes()
+    # Tolerance-bounded: never more than min(t, n-1) kills.
+    assert 0 < len(crashes) <= min(CTX.t, CTX.n - 1)
+    # Every victim belongs to the same ring's chain, in prefix order
+    # starting at that ring's rotation offset.
+    rings = {
+        int(re.match(r"ring(\d+)_chain_p(\d+)", e.note).group(1))
+        for e in crashes
+    }
+    assert len(rings) == 1
+    ring = rings.pop()
+    offset = offset_for_ring(ring, CTX.n, CTX.shards)
+    expected = {(offset + i) % CTX.n for i in range(len(crashes))}
+    assert {e.process for e in crashes} == expected
+
+
+def test_ring_crash_is_deterministic():
+    for seed in range(5):
+        assert generate_schedule("ring_crash", seed, CTX) == generate_schedule(
+            "ring_crash", seed, CTX
+        )
+
+
+@pytest.mark.chaos_smoke
+def test_ring_crash_run_is_green_on_multiring():
+    cfg = CampaignConfig(protocol="multiring", shards=2, n=6, t=2)
+    schedule = generate_schedule("ring_crash", 0, ScheduleContext(
+        n=cfg.n, t=cfg.t, shards=cfg.shards,
+    ))
+    verdict, result = run_schedule(schedule, cfg)
+    assert verdict.ok, verdict.summary()
+    # The run really exercised the sharded path: tagged deliveries on
+    # more than one ring.
+    rings = {
+        d.ring
+        for log in result.delivery_logs.values()
+        for d in log.deliveries
+        if d.ring is not None
+    }
+    assert rings <= {0, 1} and rings

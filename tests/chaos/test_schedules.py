@@ -82,7 +82,11 @@ def test_fd_violation_is_marked_unsound():
 def test_default_scenarios_are_exactly_the_sound_ones():
     # hostile_network is sound but targets the live runtime; the sim
     # campaign runs it opt-in (``--scenario hostile_network``) only.
-    assert set(DEFAULT_SCENARIOS) == set(SCENARIOS) - {"hostile_network"}
+    # ring_crash is sound but aims at the multiring protocol; it joins
+    # the rotation through MULTIRING_SCENARIOS (``--shards`` campaigns).
+    assert set(DEFAULT_SCENARIOS) == set(SCENARIOS) - {
+        "hostile_network", "ring_crash",
+    }
     assert not set(DEFAULT_SCENARIOS) & set(UNSOUND_SCENARIOS)
 
 

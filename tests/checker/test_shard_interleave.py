@@ -1,0 +1,124 @@
+"""Unit tests for the shard-interleave checker.
+
+The checker generalises the battery beyond a single sequencer stream:
+a multi-ring log must fill slot ``s`` from ring ``s % shards``, keep
+per-process slots strictly increasing, and map each slot to one message
+cluster-wide.  Hand-built logs violating each clause must be rejected;
+clean logs and single-ring logs must pass.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.checker.order import check_shard_interleave
+from repro.cluster.results import ExperimentResult
+from repro.core.api import DeliveryLog
+from repro.errors import CheckFailure
+from repro.types import Delivery, MessageId
+
+
+def mid(origin, local):
+    return MessageId(origin=origin, local_seq=local)
+
+
+def build_result(logs, shards=2, live_style=False):
+    """logs: {pid: [(origin, local, seq, ring, slot), ...]}"""
+    delivery_logs = {}
+    time = 0.0
+    for pid, entries in logs.items():
+        log = DeliveryLog(process=pid)
+        for origin, local, seq, ring, slot in entries:
+            time += 0.001
+            log.deliveries.append(Delivery(
+                process=pid,
+                message_id=mid(origin, local),
+                sequence=seq,
+                time=time,
+                size_bytes=10,
+                ring=ring,
+                slot=slot,
+            ))
+        delivery_logs[pid] = log
+    if live_style:
+        # Live results carry the LiveClusterSpec: shards sits directly
+        # on the config object, with no protocol_config attribute.
+        config = SimpleNamespace(shards=shards)
+    else:
+        config = SimpleNamespace(
+            protocol_config=SimpleNamespace(shards=shards)
+        )
+    return ExperimentResult(
+        config=config,
+        duration_s=time,
+        delivery_logs=delivery_logs,
+        app_deliveries={pid: [] for pid in logs},
+        broadcasts=[],
+        broadcast_origin={},
+        crashed={},
+        nic_stats={},
+    )
+
+
+#: A clean two-ring interleaving: slots 0,1,2 from rings 0,1,0.
+CLEAN = {
+    0: [(0, 1, 1, 0, 0), (1, 1, 2, 1, 1), (0, 2, 3, 0, 2)],
+    1: [(0, 1, 1, 0, 0), (1, 1, 2, 1, 1), (0, 2, 3, 0, 2)],
+}
+
+
+def test_clean_interleaving_passes():
+    check_shard_interleave(build_result(CLEAN))
+    check_shard_interleave(build_result(CLEAN, live_style=True))
+
+
+def test_single_ring_results_are_exempt():
+    # shards=1 runs carry no ring tags; the checker must no-op.
+    untagged = {
+        0: [(0, 1, 1, None, None), (1, 1, 2, None, None)],
+    }
+    check_shard_interleave(build_result(untagged, shards=1))
+    check_shard_interleave(build_result(untagged, shards=2))  # no tags at all
+
+
+def test_mis_interleaved_slot_rejected():
+    # Slot 1 must come from ring 1; a log filling it from ring 0 breaks
+    # the deterministic interleaving rule even though the messages and
+    # pairwise order are untouched.
+    bad = {
+        0: [(0, 1, 1, 0, 0), (1, 1, 2, 0, 1), (0, 2, 3, 0, 2)],
+    }
+    with pytest.raises(CheckFailure, match="interleaving rule demands"):
+        check_shard_interleave(build_result(bad))
+
+
+def test_untagged_delivery_in_tagged_run_rejected():
+    bad = {
+        0: [(0, 1, 1, 0, 0), (1, 1, 2, None, None)],
+    }
+    with pytest.raises(CheckFailure, match="without ring/slot tags"):
+        check_shard_interleave(build_result(bad))
+
+
+def test_ring_out_of_range_rejected():
+    bad = {0: [(0, 1, 1, 4, 0)]}
+    with pytest.raises(CheckFailure, match="shards=2"):
+        check_shard_interleave(build_result(bad))
+
+
+def test_non_increasing_slots_rejected():
+    bad = {
+        0: [(0, 1, 1, 0, 2), (1, 1, 2, 0, 2)],
+    }
+    with pytest.raises(CheckFailure, match="after slot"):
+        check_shard_interleave(build_result(bad))
+
+
+def test_conflicting_slot_assignment_across_nodes_rejected():
+    # Both nodes deliver slot 0, but disagree on which message fills it.
+    bad = {
+        0: [(0, 1, 1, 0, 0)],
+        1: [(5, 9, 1, 0, 0)],
+    }
+    with pytest.raises(CheckFailure, match="slot 0 maps to"):
+        check_shard_interleave(build_result(bad))

@@ -1,0 +1,111 @@
+"""Property tests for the multi-ring bucket/slot arithmetic.
+
+The determinism of the multiplexed global order rests on three
+arithmetic facts (DESIGN.md §5f): every sequence slot belongs to
+exactly one bucket; the epoch rotation is a permutation of the bucket
+space (full coverage, no overlap); and every mapping is a pure function
+of its inputs — any two nodes agreeing on the epoch agree on every
+assignment.  Hypothesis sweeps the parameter space.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.protocols.multiring.buckets import (
+    bucket_of_sender,
+    bucket_of_slot,
+    offset_for_ring,
+    ring_of_bucket,
+    ring_of_sender,
+    ring_of_slot,
+    rotated_members,
+)
+
+#: shards and a bucket count that is a valid multiple of it.
+shards_and_buckets = st.tuples(
+    st.integers(min_value=1, max_value=8),
+    st.integers(min_value=1, max_value=8),
+).map(lambda sk: (sk[0], sk[0] * sk[1]))
+
+epochs = st.integers(min_value=0, max_value=10_000)
+senders = st.integers(min_value=0, max_value=2**63 - 1)
+slots = st.integers(min_value=0, max_value=2**32)
+
+
+@given(shards_and_buckets, slots)
+def test_every_slot_lands_in_exactly_one_bucket(sb, slot):
+    shards, num_buckets = sb
+    bucket = bucket_of_slot(slot, num_buckets)
+    assert 0 <= bucket < num_buckets
+    # Exactly one: any window of num_buckets consecutive slots covers
+    # every bucket once (the slot -> bucket map is periodic and bijective
+    # on each period).
+    window = [bucket_of_slot(slot + i, num_buckets) for i in range(num_buckets)]
+    assert sorted(window) == list(range(num_buckets))
+
+
+@given(shards_and_buckets, epochs)
+def test_rotation_preserves_coverage_without_overlap(sb, epoch):
+    shards, num_buckets = sb
+    per_ring = {}
+    for bucket in range(num_buckets):
+        ring = ring_of_bucket(bucket, epoch, shards)
+        assert 0 <= ring < shards
+        per_ring.setdefault(ring, []).append(bucket)
+    # Full coverage, no overlap, and an even split: the rotation is a
+    # permutation of the identity partition.
+    assert sorted(b for bs in per_ring.values() for b in bs) == list(
+        range(num_buckets)
+    )
+    assert all(len(bs) == num_buckets // shards for bs in per_ring.values())
+    # The next epoch shifts every bucket by exactly one ring.
+    for bucket in range(num_buckets):
+        assert ring_of_bucket(bucket, epoch + 1, shards) == (
+            ring_of_bucket(bucket, epoch, shards) + 1
+        ) % shards
+
+
+@given(shards_and_buckets, epochs, senders)
+def test_assignment_is_deterministic_across_nodes(sb, epoch, sender):
+    shards, num_buckets = sb
+    # Two nodes with the same epoch compute the identical assignment —
+    # the mapping depends on nothing but its arguments.
+    a = ring_of_sender(sender, epoch, shards, num_buckets)
+    b = ring_of_sender(sender, epoch, shards, num_buckets)
+    assert a == b
+    assert a == ring_of_bucket(
+        bucket_of_sender(sender, num_buckets), epoch, shards
+    )
+
+
+@given(shards_and_buckets, epochs, slots)
+def test_slot_ring_is_epoch_independent_and_bucket_consistent(sb, epoch, slot):
+    shards, num_buckets = sb
+    # The mux mapping must NOT rotate with the epoch (nodes install
+    # views at different local times) ...
+    assert ring_of_slot(slot, shards) == slot % shards
+    # ... and must agree with bucket arithmetic at epoch 0, which is
+    # what makes "bucket interleaving" and "slot round-robin" the same
+    # rule when num_buckets % shards == 0.
+    assert bucket_of_slot(slot, num_buckets) % shards == ring_of_slot(
+        slot, shards
+    )
+
+
+@given(
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=2, max_value=12),
+)
+@settings(max_examples=60)
+def test_rotated_members_are_permutations_sharing_successors(shards, n):
+    members = tuple(range(n))
+
+    def succ(ring_members, node):
+        return ring_members[(ring_members.index(node) + 1) % n]
+
+    for ring in range(shards):
+        rotated = rotated_members(members, ring, shards)
+        assert sorted(rotated) == list(members)
+        assert rotated[0] == offset_for_ring(ring, n, shards)
+        for node in members:
+            assert succ(rotated, node) == succ(members, node)

@@ -1,0 +1,224 @@
+"""Unit tests for the multi-ring building blocks.
+
+Covers the three pure pieces in isolation: bucket/slot arithmetic
+(:mod:`repro.protocols.multiring.buckets`), the bucket-interleaving
+multiplexer (:mod:`repro.protocols.multiring.mux`), and the protocol
+configuration validation.  Cluster-level behaviour lives in
+``test_multiring_cluster.py``.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.core.fsr import FSRConfig
+from repro.protocols.multiring import (
+    NOOP_MAGIC,
+    InterleaveMux,
+    MultiRingConfig,
+    bucket_of_sender,
+    bucket_of_slot,
+    mix64,
+    offset_for_ring,
+    ring_of_bucket,
+    ring_of_sender,
+    ring_of_slot,
+    rotated_members,
+)
+from repro.protocols.multiring.mux import decode_noop, encode_noop
+from repro.types import MessageId
+
+
+# ----------------------------------------------------------------------
+# Bucket arithmetic
+# ----------------------------------------------------------------------
+def test_mix64_is_deterministic_and_spread():
+    assert mix64(7) == mix64(7)
+    assert 0 <= mix64(7) < 1 << 64
+    # The mixer must actually spread a dense sender space; a degenerate
+    # mixer (identity, constant) would pile senders onto few buckets.
+    buckets = {bucket_of_sender(s, 32) for s in range(64)}
+    assert len(buckets) > 16
+
+
+def test_ring_of_bucket_rotation_is_cyclic():
+    shards = 4
+    for bucket in range(32):
+        base = ring_of_bucket(bucket, epoch=0, shards=shards)
+        # Advancing the epoch by one moves every bucket to the next ring;
+        # advancing by S is the identity.
+        assert ring_of_bucket(bucket, 1, shards) == (base + 1) % shards
+        assert ring_of_bucket(bucket, shards, shards) == base
+
+
+def test_ring_of_sender_composes_bucket_and_rotation():
+    for sender in range(8):
+        for epoch in (0, 1, 5):
+            assert ring_of_sender(sender, epoch, 2, 32) == ring_of_bucket(
+                bucket_of_sender(sender, 32), epoch, 2
+            )
+
+
+def test_slot_mapping_is_static_and_bucket_consistent():
+    # slot -> ring never depends on the epoch, and with num_buckets a
+    # multiple of shards it agrees with bucket arithmetic.
+    for shards, num_buckets in ((1, 32), (2, 32), (4, 32), (4, 8)):
+        for slot in range(3 * num_buckets):
+            assert ring_of_slot(slot, shards) == slot % shards
+            assert bucket_of_slot(slot, num_buckets) % shards == ring_of_slot(
+                slot, shards
+            )
+
+
+def test_rotated_members_preserves_successor():
+    # Rotation must keep the cyclic successor order: every node has the
+    # SAME ring successor in all S rings (one live TCP neighbour, S
+    # ports), only the chain *head* moves.
+    members = tuple(range(6))
+
+    def successor(ring_members, node):
+        i = ring_members.index(node)
+        return ring_members[(i + 1) % len(ring_members)]
+
+    for shards in (2, 3):
+        for ring in range(shards):
+            rotated = rotated_members(members, ring, shards)
+            assert sorted(rotated) == sorted(members)
+            assert rotated[0] == offset_for_ring(ring, 6, shards)
+            for node in members:
+                assert successor(rotated, node) == successor(members, node)
+
+
+def test_offset_for_ring_spreads_leaders():
+    offsets = {offset_for_ring(ring, 8, 4) for ring in range(4)}
+    assert offsets == {0, 2, 4, 6}
+
+
+# ----------------------------------------------------------------------
+# Noop encoding
+# ----------------------------------------------------------------------
+def test_noop_roundtrip_and_real_payloads():
+    assert decode_noop(encode_noop(1)) == 1
+    assert decode_noop(encode_noop(17)) == 17
+    # The all-zero payloads the workload drivers submit must never be
+    # mistaken for noops.
+    assert decode_noop(bytes(100)) is None
+    assert decode_noop(b"hello") is None
+    assert decode_noop(None) is None
+    assert decode_noop(NOOP_MAGIC) == 1  # bare magic defaults to weight 1
+    with pytest.raises(ProtocolError):
+        encode_noop(0)
+
+
+# ----------------------------------------------------------------------
+# The interleaving multiplexer
+# ----------------------------------------------------------------------
+def _mid(origin, local):
+    return MessageId(origin=origin, local_seq=local)
+
+
+def _mux(shards):
+    released = []
+    mux = InterleaveMux(
+        shards,
+        lambda ring, slot, seq, item: released.append(
+            (ring, slot, seq, item.message_id)
+        ),
+    )
+    return mux, released
+
+
+def test_mux_round_robins_slots_across_rings():
+    mux, released = _mux(2)
+    mux.push_real(0, 0, _mid(0, 1), b"a", 10)
+    mux.push_real(1, 1, _mid(1, 1), b"b", 10)
+    mux.push_real(0, 0, _mid(0, 2), b"c", 10)
+    mux.push_real(1, 1, _mid(1, 2), b"d", 10)
+    assert released == [
+        (0, 0, 1, _mid(0, 1)),
+        (1, 1, 2, _mid(1, 1)),
+        (0, 2, 3, _mid(0, 2)),
+        (1, 3, 4, _mid(1, 2)),
+    ]
+    assert mux.slot == 4
+    assert mux.next_sequence == 5
+
+
+def test_mux_stalls_on_empty_due_ring_and_noop_unblocks():
+    mux, released = _mux(2)
+    # Slot 0 is due from ring 0, which is empty: the real message queued
+    # on ring 1 must wait (this is exactly the head-of-line state).
+    mux.push_real(1, 1, _mid(1, 1), b"x", 10)
+    assert released == []
+    assert mux.blocked
+    assert mux.due_ring == 0
+    assert mux.pending_real() == 1
+    mux.push_noop(0, 1)
+    assert released == [(1, 1, 1, _mid(1, 1))]
+    assert not mux.blocked
+
+
+def test_mux_weighted_noop_covers_multiple_slots():
+    mux, released = _mux(2)
+    mux.push_noop(0, 3)  # covers ring 0's slots 0, 2, 4
+    for local in (1, 2, 3):
+        mux.push_real(1, 1, _mid(1, local), b"x", 10)
+    assert [(slot, seq) for _, slot, seq, _ in released] == [
+        (1, 1), (3, 2), (5, 3)
+    ]
+    # All three noop slots consumed: slot 6 is due from ring 0 again.
+    assert mux.slot == 6
+    assert mux.due_ring == 0
+
+
+def test_mux_global_sequence_counts_real_messages_only():
+    mux, released = _mux(2)
+    mux.push_noop(0, 2)
+    mux.push_real(1, 1, _mid(1, 1), b"x", 10)
+    mux.push_real(1, 1, _mid(1, 2), b"y", 10)
+    # Sequences stay contiguous from 1 even though slots 0 and 2 were
+    # burned by the noop.
+    assert [seq for _, _, seq, _ in released] == [1, 2]
+
+
+def test_mux_reentrant_push_from_delivery_callback():
+    # An on_deliver upcall may feed the mux (the app broadcasting from
+    # its delivery handler); the drain must stay single and ordered.
+    released = []
+    mux = InterleaveMux(1, lambda ring, slot, seq, item: None)
+
+    def on_deliver(ring, slot, seq, item):
+        released.append((slot, seq, item.message_id))
+        if item.message_id == _mid(0, 1):
+            mux.push_real(0, 0, _mid(0, 2), b"again", 10)
+
+    mux._on_deliver = on_deliver
+    mux.push_real(0, 0, _mid(0, 1), b"first", 10)
+    assert released == [(0, 1, _mid(0, 1)), (1, 2, _mid(0, 2))]
+
+
+def test_mux_rejects_bad_arguments():
+    with pytest.raises(ProtocolError):
+        InterleaveMux(0, lambda *a: None)
+    mux, _ = _mux(2)
+    with pytest.raises(ProtocolError):
+        mux.push_noop(0, 0)
+
+
+# ----------------------------------------------------------------------
+# Configuration validation
+# ----------------------------------------------------------------------
+def test_config_defaults_are_valid():
+    config = MultiRingConfig()
+    assert config.shards == 2
+    assert config.num_buckets % config.shards == 0
+
+
+@pytest.mark.parametrize("kwargs", [
+    dict(shards=0),
+    dict(shards=3, num_buckets=32),   # 32 % 3 != 0
+    dict(shards=4, num_buckets=2),    # fewer buckets than shards
+    dict(noop_delay_s=0.0),
+])
+def test_config_rejects_invalid(kwargs):
+    with pytest.raises(ConfigurationError):
+        MultiRingConfig(fsr=FSRConfig(t=1), **kwargs)

@@ -1,0 +1,142 @@
+"""Cluster-level multi-ring tests on the simulator.
+
+The satellite guarantees: ``--shards 1`` is byte-identical to the
+single-ring FSR path; S > 1 runs pass the full invariant battery with
+ring/slot-tagged deliveries; and decapitating one ring's sequencer
+chain stalls only that ring's buckets until the view change rotates
+them onto a surviving chain.
+"""
+
+import pytest
+
+from repro.checker import check_all
+from repro.core.fsr import FSRConfig
+from repro.protocols.multiring import (
+    MultiRingConfig,
+    MultiRingProcess,
+    offset_for_ring,
+)
+from tests.conftest import run_broadcasts, small_cluster
+
+PLAN = [(0, 5, 8_000), (1, 5, 8_000), (2, 5, 8_000)]
+
+
+def _delivered(result):
+    """Per-process delivered stream: (message_id, sequence) pairs."""
+    return {
+        pid: [(d.message_id, d.sequence) for d in log.deliveries]
+        for pid, log in result.delivery_logs.items()
+    }
+
+
+def test_single_shard_is_byte_identical_to_fsr():
+    # shards=1 delegates to the plain FSR builder, so the same seed and
+    # workload must produce the *same* delivered sequences — no mux, no
+    # noop traffic, no ring tags.
+    fsr = run_broadcasts(
+        small_cluster(n=4, seed=7), PLAN
+    )
+    multi = run_broadcasts(
+        small_cluster(
+            n=4,
+            protocol="multiring",
+            protocol_config=MultiRingConfig(shards=1, fsr=FSRConfig(t=1)),
+            seed=7,
+        ),
+        PLAN,
+    )
+    assert _delivered(multi) == _delivered(fsr)
+    for log in multi.delivery_logs.values():
+        assert all(d.ring is None and d.slot is None for d in log.deliveries)
+    check_all(multi)
+
+
+@pytest.mark.parametrize("shards", [2, 4])
+def test_multiring_delivers_one_agreed_order(shards):
+    cluster = small_cluster(
+        n=4,
+        protocol="multiring",
+        protocol_config=MultiRingConfig(shards=shards, fsr=FSRConfig(t=1)),
+        seed=3,
+    )
+    plan = [(pid, 4, 8_000) for pid in range(4)]
+    result = run_broadcasts(cluster, plan)
+    check_all(result)  # includes the shard-interleave checker
+    streams = set()
+    for pid, log in result.delivery_logs.items():
+        assert len(log) == 16
+        for d in log.deliveries:
+            assert d.ring is not None and 0 <= d.ring < shards
+            assert d.slot is not None and d.slot % shards == d.ring
+        streams.add(tuple((d.message_id, d.sequence) for d in log.deliveries))
+    # Every node extended the identical multiplexed order.
+    assert len(streams) == 1
+
+
+def test_multiring_processes_expose_inner_rings():
+    cluster = small_cluster(
+        n=4,
+        protocol="multiring",
+        protocol_config=MultiRingConfig(shards=2, fsr=FSRConfig(t=1)),
+    )
+    for node in cluster.nodes.values():
+        assert isinstance(node.protocol, MultiRingProcess)
+        assert len(node.protocol.inner) == 2
+        assert node.protocol.epoch == 0
+
+
+def test_ring_chain_crash_rotates_buckets_and_recovers():
+    n, shards = 6, 2
+    cluster = small_cluster(
+        n=n,
+        protocol="multiring",
+        protocol_config=MultiRingConfig(shards=shards, fsr=FSRConfig(t=1)),
+        seed=11,
+    )
+    # Decapitate ring 1: its rotated member list starts at this node, so
+    # killing it takes down that ring's sequencer.
+    victim = offset_for_ring(1, n, shards)
+    senders = [p for p in range(n) if p != victim]
+
+    cluster.start()
+    cluster.run(until=5e-3)
+    per_sender = 4
+    for pid in senders:
+        for _ in range(per_sender):
+            cluster.broadcast(pid, size_bytes=8_000)
+    cluster.schedule_crash(victim, time=0.03)
+
+    expected = per_sender * len(senders)
+    cluster.run_until(
+        lambda: all(
+            len(cluster.nodes[p].app_deliveries) >= expected for p in senders
+        ),
+        max_time_s=120.0,
+    )
+    # The view change installed: the epoch advanced, rotating the dead
+    # ring's buckets onto the surviving chain.
+    for pid in senders:
+        assert cluster.nodes[pid].protocol.epoch >= 1
+
+    # Post-rotation traffic must keep flowing through the new mapping.
+    for pid in senders[:2]:
+        cluster.broadcast(pid, size_bytes=8_000)
+    cluster.run_until(
+        lambda: all(
+            len(cluster.nodes[p].app_deliveries) >= expected + 2
+            for p in senders
+        ),
+        max_time_s=120.0,
+    )
+    cluster.run(until=cluster.sim.now + 10e-3)
+
+    result = cluster.results()
+    check_all(result)
+    streams = {
+        tuple(
+            (d.message_id, d.sequence)
+            for d in result.delivery_logs[p].deliveries
+        )
+        for p in senders
+    }
+    assert len(streams) == 1
