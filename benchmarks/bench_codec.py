@@ -1,0 +1,183 @@
+"""Codec hot-path microbenchmark — ns/msg, allocating vs zero-copy.
+
+Times the four paths the live fast path (DESIGN.md §5g) cares about,
+over representative ring frames (FwdData with piggybacked acks, SeqData,
+AckBatch) at small and large payloads:
+
+* encode: the allocating :func:`encode_frame` (byte-concatenation)
+  vs :class:`FrameEncoder` (reusable buffer, cached ``pack_into``);
+* decode: plain frames vs the same frames wrapped in a batch frame
+  (memoryview entry slicing, one payload copy per message).
+
+Prints ns/msg for each path and the encode speedup; ``--out`` writes
+the numbers as JSON.  Pure CPU — no sockets, no event loop — so the
+numbers are stable enough for a laptop or a CI smoke run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.fsr.messages import AckBatch, AckMsg, FwdData, SeqData
+from repro.live.codec import (
+    FrameBatch,
+    FrameEncoder,
+    decode_frame,
+    decode_message,
+    encode_frame,
+)
+from repro.metrics import format_table
+from repro.types import MessageId
+
+
+def _workload(payload_bytes: int) -> List[Any]:
+    """A representative mix: data frames dominate, acks piggybacked."""
+    acks = [AckMsg(MessageId(i % 4, i), i % 4, bool(i % 2), 0)
+            for i in range(4)]
+    payload = b"x" * payload_bytes
+    mix: List[Any] = []
+    for seq in range(8):
+        mix.append(FwdData(
+            message_id=MessageId(seq % 4, seq),
+            origin=seq % 4,
+            payload=payload,
+            payload_size=payload_bytes,
+            view_id=0,
+            piggybacked=acks[: seq % 3],
+        ))
+        mix.append(SeqData(
+            message_id=MessageId(seq % 4, seq),
+            origin=seq % 4,
+            payload=payload,
+            payload_size=payload_bytes,
+            view_id=0,
+            sequence=seq,
+            stable=bool(seq % 2),
+            piggybacked=acks[: seq % 3],
+        ))
+    mix.append(AckBatch(acks=acks, view_id=0, watermark=5))
+    return mix
+
+
+def _time_ns_per_msg(fn, messages: List[Any], iterations: int) -> float:
+    # Warm up caches (struct tables, encoder buffer growth).
+    for message in messages:
+        fn(message)
+    start = time.perf_counter_ns()
+    for _ in range(iterations):
+        for message in messages:
+            fn(message)
+    elapsed = time.perf_counter_ns() - start
+    return elapsed / (iterations * len(messages))
+
+
+def _time_decode_ns_per_msg(
+    frames: List[bytes], iterations: int
+) -> float:
+    for frame in frames:
+        decode_frame(frame)
+    start = time.perf_counter_ns()
+    for _ in range(iterations):
+        for frame in frames:
+            decode_frame(frame)
+    elapsed = time.perf_counter_ns() - start
+    return elapsed / (iterations * len(frames))
+
+
+def _time_batch_decode_ns_per_msg(
+    body: bytes, count: int, iterations: int
+) -> float:
+    decode_message(body)
+    start = time.perf_counter_ns()
+    for _ in range(iterations):
+        decode_message(body)
+    elapsed = time.perf_counter_ns() - start
+    return elapsed / (iterations * count)
+
+
+def run_point(payload_bytes: int, iterations: int) -> Dict[str, float]:
+    messages = _workload(payload_bytes)
+    encoder = FrameEncoder()
+
+    encode_old = _time_ns_per_msg(encode_frame, messages, iterations)
+    encode_new = _time_ns_per_msg(
+        encoder.encode_frame, messages, iterations
+    )
+    # Sanity: the fast path must be byte-identical before we time it.
+    for message in messages:
+        assert encoder.encode_frame(message) == encode_frame(message)
+
+    frames = [encode_frame(message) for message in messages]
+    decode_plain = _time_decode_ns_per_msg(frames, iterations)
+    batch_body = encode_frame(FrameBatch(messages=messages))[4:]
+    decode_batch = _time_batch_decode_ns_per_msg(
+        batch_body, len(messages), iterations
+    )
+
+    return {
+        "payload_bytes": payload_bytes,
+        "encode_old_ns": round(encode_old, 1),
+        "encode_new_ns": round(encode_new, 1),
+        "encode_speedup": round(encode_old / encode_new, 3),
+        "decode_plain_ns": round(decode_plain, 1),
+        "decode_batch_ns": round(decode_batch, 1),
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="codec hot-path microbenchmark (ns/msg)"
+    )
+    parser.add_argument(
+        "--iterations", type=int, default=2000, metavar="N",
+        help="timing loop repetitions over the 17-message mix",
+    )
+    parser.add_argument(
+        "--payloads", type=int, nargs="*", default=[64, 1024, 8192],
+        metavar="BYTES",
+    )
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="also write the numbers as JSON")
+    args = parser.parse_args(argv)
+
+    points = [
+        run_point(payload, args.iterations) for payload in args.payloads
+    ]
+    rows = [
+        [
+            point["payload_bytes"],
+            f"{point['encode_old_ns']:.0f}",
+            f"{point['encode_new_ns']:.0f}",
+            f"{point['encode_speedup']:.2f}x",
+            f"{point['decode_plain_ns']:.0f}",
+            f"{point['decode_batch_ns']:.0f}",
+        ]
+        for point in points
+    ]
+    print(format_table(
+        ["payload B", "enc old ns", "enc new ns", "speedup",
+         "dec plain ns", "dec batch ns"],
+        rows,
+        title="Codec hot path — ns/msg (lower is better)",
+    ))
+
+    if args.out:
+        payload = {
+            "schema": "repro.bench_codec/1",
+            "bench": "codec_ns_per_msg",
+            "iterations": args.iterations,
+            "points": points,
+        }
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,6 +36,9 @@ from repro.workloads import KToNPattern, run_workload
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.core.batching import batching_config_from_flags
+    from repro.errors import ConfigurationError
+
     protocol = args.protocol
     if args.shards > 1 and protocol == "fsr":
         protocol = "multiring"
@@ -49,6 +52,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         protocol_config = FSRConfig(t=args.t)
     else:
         protocol_config = None
+    try:
+        batching = batching_config_from_flags(
+            args.batch_bytes, args.batch_messages, args.batch_delay
+        )
+    except ConfigurationError as exc:
+        print(f"invalid batch config: {exc}", file=sys.stderr)
+        return 2
+    if batching is not None:
+        return _run_packed(args, protocol, protocol_config, batching)
     cluster = build_cluster(
         ClusterConfig(
             n=args.n, protocol=protocol, protocol_config=protocol_config,
@@ -76,6 +88,74 @@ def _cmd_run(args: argparse.Namespace) -> int:
             ["simulated time (s)", f"{outcome.result.duration_s:.2f}"],
         ],
         title="k-to-n experiment",
+    ))
+    return 0
+
+
+def _run_packed(
+    args: argparse.Namespace, protocol: str, protocol_config, batching
+) -> int:
+    """``repro run`` with ``--batch-*``: packed senders over the protocol.
+
+    Wraps every node's protocol in :class:`BatchingBroadcast` — the same
+    packing the live transport's fast path applies at the frame level —
+    and reports pack statistics next to goodput.
+    """
+    from repro.core.api import BroadcastListener
+    from repro.core.batching import BatchingBroadcast
+
+    cluster = build_cluster(
+        ClusterConfig(
+            n=args.n, protocol=protocol, protocol_config=protocol_config,
+            seed=args.seed,
+        )
+    )
+    count = [0]
+    sources = {
+        pid: BatchingBroadcast(
+            cluster.sim, node.protocol, origin=pid, config=batching
+        )
+        for pid, node in cluster.nodes.items()
+    }
+    sources[0].set_listener(
+        BroadcastListener(lambda *a: count.__setitem__(0, count[0] + 1))
+    )
+    cluster.start()
+    cluster.run(until=0.05)
+    start = cluster.sim.now
+    for pid in range(args.senders):
+        for _ in range(args.messages):
+            sources[pid].broadcast(b"x" * args.size)
+    for pid in range(args.senders):
+        sources[pid].flush()
+    total = args.messages * args.senders
+    cluster.run_until(lambda: count[0] >= total, max_time_s=args.max_time)
+    elapsed = cluster.sim.now - start
+    packs = sum(s.stats_packs_sent for s in sources.values())
+    packed = sum(s.stats_messages_packed for s in sources.values())
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["protocol", f"{protocol} + packing"],
+            ["rings", args.shards],
+            ["processes", args.n],
+            ["senders", args.senders],
+            ["messages/sender", args.messages],
+            ["message bytes", args.size],
+            ["max pack bytes", batching.max_batch_bytes],
+            ["max pack messages", batching.max_batch_messages],
+            ["max pack delay (ms)", f"{batching.max_delay_s * 1e3:.2f}"],
+            ["packs sent", packs],
+            ["messages packed", packed],
+            ["mean pack size", f"{packed / packs:.1f}" if packs else "-"],
+            [
+                "goodput (Mb/s)",
+                f"{total * args.size * 8 / elapsed / 1e6:.1f}"
+                if elapsed > 0 else "-",
+            ],
+            ["simulated time (s)", f"{cluster.sim.now:.2f}"],
+        ],
+        title="k-to-n experiment (packed)",
     ))
     return 0
 
@@ -403,6 +483,9 @@ def _cmd_live(args: argparse.Namespace) -> int:
             sim_compare=not args.no_sim,
             spans=args.spans or args.timeline is not None,
             log_level=args.log_level,
+            batch_bytes=args.batch_bytes,
+            batch_messages=args.batch_messages,
+            batch_delay_s=args.batch_delay,
         )
     except ReproError as exc:
         print(f"invalid live spec: {exc}", file=sys.stderr)
@@ -435,6 +518,18 @@ def _cmd_live(args: argparse.Namespace) -> int:
         ["live mean latency (ms)", f"{live['mean_latency_s'] * 1e3:.1f}"],
         ["live p99 latency (ms)", f"{live['p99_latency_s'] * 1e3:.1f}"],
     ]
+    node_stats = payload["live"]["node_stats"].values()
+    if any(s.get("batches_sent") for s in node_stats):
+        flushes = sum(s["flushes"] for s in node_stats)
+        frames = sum(s["frames_sent"] for s in node_stats)
+        rows.append(["tx flushes (syscalls)", flushes])
+        rows.append([
+            "frames per flush", f"{frames / flushes:.1f}" if flushes else "-"
+        ])
+        rows.append([
+            "acks ridden on data",
+            sum(s["acks_ridden"] for s in node_stats),
+        ])
     if payload["sim"] is not None:
         sim = payload["sim"]["metrics"]
         rows.append(
@@ -571,6 +666,26 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_batch_flags(sub: argparse.ArgumentParser) -> None:
+    """The shared ``--batch-*`` trio: message packing / frame coalescing.
+
+    On ``repro run`` they wrap the protocol in the simulator's
+    ``BatchingBroadcast``; on ``repro live`` they arm the transport fast
+    path (DESIGN.md §5g).  Setting any one enables batching with the
+    others at their defaults; nonpositive values are rejected with the
+    same ``ConfigurationError`` on both paths.
+    """
+    sub.add_argument("--batch-bytes", type=int, default=None,
+                     help="flush a batch at this many payload bytes "
+                          "(default 60000 when batching is on)")
+    sub.add_argument("--batch-messages", type=int, default=None,
+                     help="flush a batch at this many messages "
+                          "(default 64 when batching is on)")
+    sub.add_argument("--batch-delay", type=float, default=None,
+                     help="max seconds the head message waits before "
+                          "its batch flushes (default 0.002)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -591,6 +706,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--size", type=int, default=100_000)
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--max-time", type=float, default=600.0)
+    _add_batch_flags(run)
     run.set_defaults(func=_cmd_run)
 
     latency = sub.add_parser("latency", help="Figure 6 latency sweep")
@@ -686,6 +802,7 @@ def build_parser() -> argparse.ArgumentParser:
     live.add_argument("--log-level", default=None, metavar="LEVEL",
                       help="per-node structured logging level "
                            "(DEBUG/INFO/WARNING; default off)")
+    _add_batch_flags(live)
     live.set_defaults(func=_cmd_live)
 
     obs = sub.add_parser(

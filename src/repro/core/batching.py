@@ -54,6 +54,36 @@ class BatchingConfig:
             raise ConfigurationError("max_delay_s cannot be negative")
 
 
+def batching_config_from_flags(
+    batch_bytes: Optional[int],
+    batch_messages: Optional[int],
+    batch_delay_s: Optional[float],
+) -> Optional[BatchingConfig]:
+    """Shared ``--batch-*`` flag handling for ``repro run`` and ``repro live``.
+
+    All three ``None`` means batching is off (returns ``None``); any
+    subset set fills the rest from the :class:`BatchingConfig` defaults.
+    Nonpositive values raise :class:`ConfigurationError` via the
+    config's own validation — the sim and live paths reject identically.
+    """
+    if batch_bytes is None and batch_messages is None and batch_delay_s is None:
+        return None
+    defaults = BatchingConfig()
+    return BatchingConfig(
+        max_batch_bytes=(
+            batch_bytes if batch_bytes is not None else defaults.max_batch_bytes
+        ),
+        max_batch_messages=(
+            batch_messages if batch_messages is not None
+            else defaults.max_batch_messages
+        ),
+        max_delay_s=(
+            batch_delay_s if batch_delay_s is not None
+            else defaults.max_delay_s
+        ),
+    )
+
+
 @dataclass
 class _Pack:
     """One packed protocol payload: a list of (id, payload, size)."""

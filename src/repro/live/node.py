@@ -45,6 +45,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, TextIO, Tuple
 
 from repro.core.api import BroadcastListener
+from repro.core.batching import BatchingConfig, batching_config_from_flags
 from repro.core.fsr.config import FSRConfig
 from repro.core.fsr.process import FSRProcess
 from repro.errors import ConfigurationError, NetworkError
@@ -139,8 +140,24 @@ class LiveNodeConfig:
     #: Python logging level name for this node's process ("INFO", ...);
     #: ``None`` leaves logging unconfigured (silent).
     log_level: Optional[str] = None
+    #: Transport fast path (DESIGN.md §5g): flush thresholds for frame
+    #: coalescing on the ring hop.  All three ``None`` disables batching
+    #: — the transport stays byte-identical to the unbatched wire.  Any
+    #: subset set fills the rest from :class:`BatchingConfig` defaults.
+    batch_bytes: Optional[int] = None
+    batch_messages: Optional[int] = None
+    batch_delay_s: Optional[float] = None
+
+    def batch_config(self) -> Optional[BatchingConfig]:
+        """Transport flush policy, or ``None`` when batching is off."""
+        return batching_config_from_flags(
+            self.batch_bytes, self.batch_messages, self.batch_delay_s
+        )
 
     def __post_init__(self) -> None:
+        # Surfaces nonpositive batch thresholds as ConfigurationError
+        # at config time, matching the sim path's validation.
+        self.batch_config()
         if self.node_id not in self.members:
             raise ConfigurationError(
                 f"node {self.node_id} not in members {self.members}"
@@ -215,6 +232,9 @@ class LiveNodeConfig:
             "journal_path": self.journal_path,
             "span_path": self.span_path,
             "log_level": self.log_level,
+            "batch_bytes": self.batch_bytes,
+            "batch_messages": self.batch_messages,
+            "batch_delay_s": self.batch_delay_s,
         }
 
     @classmethod
@@ -256,6 +276,9 @@ class LiveNodeConfig:
             journal_path=data.get("journal_path"),
             span_path=data.get("span_path"),
             log_level=data.get("log_level"),
+            batch_bytes=data.get("batch_bytes"),
+            batch_messages=data.get("batch_messages"),
+            batch_delay_s=data.get("batch_delay_s"),
         )
 
 
@@ -494,6 +517,7 @@ async def _run(config: LiveNodeConfig) -> Dict[str, Any]:
     # Ring 0 carries the control plane (and the egress shaper, which
     # models per-host faults); extra rings are pure data planes.
     ring_addrs = config.ring_addrs()
+    batching = config.batch_config()
     transports: List[RingTransport] = []
     for ring_index in range(config.shards):
         addrs = ring_addrs[ring_index]
@@ -513,6 +537,8 @@ async def _run(config: LiveNodeConfig) -> Dict[str, Any]:
             max_retries=None if config.view_changes else MAX_RETRIES,
             shaper=shaper if ring_index == 0 else None,
             rng=random.Random(seed),
+            batching=batching,
+            telemetry=telemetry,
         ))
     transport = transports[0]
 
@@ -734,6 +760,30 @@ async def _run(config: LiveNodeConfig) -> Dict[str, Any]:
         counters["transport_control_frames_received"] = (
             transport.control_frames_received
         )
+        counters["transport_flushes"] = sum(t.flushes for t in transports)
+        counters["transport_batches_sent"] = sum(
+            t.batches_sent for t in transports
+        )
+        counters["transport_batched_frames"] = sum(
+            t.batched_frames for t in transports
+        )
+        counters["transport_acks_ridden"] = sum(
+            t.acks_ridden for t in transports
+        )
+        counters["transport_batches_received"] = sum(
+            t.batches_received for t in transports
+        )
+        # Bytes per syscall: the fast path's whole point — how many
+        # wire bytes each write+drain cycle amortised.
+        flushes = counters["transport_flushes"]
+        snap["gauges"]["transport_bytes_per_flush"] = {
+            "value": (
+                counters["transport_bytes_sent"] / flushes if flushes else 0.0
+            ),
+            "high_water": (
+                counters["transport_bytes_sent"] / flushes if flushes else 0.0
+            ),
+        }
         snap["gauges"]["transport_queued_bytes"] = {
             "value": float(sum(t.queued_bytes for t in transports)),
             "high_water": float(
@@ -886,6 +936,11 @@ async def _run(config: LiveNodeConfig) -> Dict[str, Any]:
             "retargets": sum(t.retargets for t in transports),
             "control_frames_sent": transport.control_frames_sent,
             "control_frames_received": transport.control_frames_received,
+            "flushes": sum(t.flushes for t in transports),
+            "batches_sent": sum(t.batches_sent for t in transports),
+            "batched_frames": sum(t.batched_frames for t in transports),
+            "acks_ridden": sum(t.acks_ridden for t in transports),
+            "batches_received": sum(t.batches_received for t in transports),
             "broadcasts": process.stats_broadcasts,
             "deliveries": process.stats_deliveries,
             "acks_piggybacked": process.stats_acks_piggybacked,

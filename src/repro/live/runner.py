@@ -100,6 +100,12 @@ class LiveClusterSpec:
     spans: bool = False
     #: Python logging level for the node processes ("INFO", "DEBUG", ...).
     log_level: Optional[str] = None
+    #: Transport fast-path flush thresholds (DESIGN.md §5g); all three
+    #: ``None`` ships one frame per syscall, byte-identical to the
+    #: unbatched wire.  Validation matches the sim's ``BatchingConfig``.
+    batch_bytes: Optional[int] = None
+    batch_messages: Optional[int] = None
+    batch_delay_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.processes < 2:
@@ -113,6 +119,13 @@ class LiveClusterSpec:
             raise ConfigurationError("duration_s must be positive")
         if self.shards < 1:
             raise ConfigurationError("shards must be at least 1")
+        # Shared BatchConfig validation with the sim path: nonpositive
+        # thresholds raise ConfigurationError here, not at node startup.
+        from repro.core.batching import batching_config_from_flags
+
+        batching_config_from_flags(
+            self.batch_bytes, self.batch_messages, self.batch_delay_s
+        )
 
     @property
     def sender_ids(self) -> Tuple[ProcessId, ...]:
@@ -246,6 +259,9 @@ class LiveCluster:
                     journal_path=journal_path,
                     span_path=span_path,
                     log_level=spec.log_level,
+                    batch_bytes=spec.batch_bytes,
+                    batch_messages=spec.batch_messages,
+                    batch_delay_s=spec.batch_delay_s,
                 )
                 config_path = os.path.join(workdir, f"node{pid}.json")
                 out_path = os.path.join(workdir, f"node{pid}.out.json")
@@ -693,6 +709,9 @@ def bench_payload(
             "duration_s": spec.duration_s,
             "window": spec.window,
             "host": spec.host,
+            "batch_bytes": spec.batch_bytes,
+            "batch_messages": spec.batch_messages,
+            "batch_delay_s": spec.batch_delay_s,
         },
         "order_check": {
             "ok": live.order_ok,

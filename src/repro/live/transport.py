@@ -22,7 +22,14 @@ FIFO channel the paper assumes; what this module adds is:
   ring-shaped (a flush coordinator talks to every member), so the
   transport keeps one lazily dialled, infinitely retried connection per
   control peer, mirroring the simulator's ``LayerDemux`` with
-  layer-tagged :class:`~repro.live.codec.ControlFrame` envelopes.
+  layer-tagged :class:`~repro.live.codec.ControlFrame` envelopes;
+* an optional fast path (``batching=BatchingConfig(...)``): each drain
+  cycle coalesces every releasable queued frame into one batch frame —
+  a single ``writelines`` and a single ``drain()`` per flush — riding
+  pending ``AckBatch``es on the same syscall as data frames instead of
+  paying a standalone send for each (DESIGN.md §5g).  With batching
+  unset the transport is byte- and syscall-identical to the unbatched
+  build: one frame per write, one ``drain()`` per frame.
 """
 
 from __future__ import annotations
@@ -30,16 +37,24 @@ from __future__ import annotations
 import asyncio
 import logging
 import random
+import socket
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.core.batching import BatchingConfig
+from repro.core.fsr.messages import AckBatch
 from repro.errors import CodecError, NetworkError
 from repro.live.codec import (
+    BATCH_HEADER_BYTES,
     CHANNEL_CONTROL,
     CHANNEL_RING,
     LENGTH_PREFIX_BYTES,
+    MAX_FRAME_BYTES,
     ControlFrame,
+    FrameBatch,
+    FrameEncoder,
     Hello,
     WireMessage,
+    batch_frame_parts,
     decode_message,
     encode_frame,
     frame_length,
@@ -59,6 +74,22 @@ RECONNECT_BASE_S = 0.05
 RECONNECT_CAP_S = 2.0
 #: Poll period while the shaper holds a link fully blocked (partition).
 BLOCK_POLL_S = 0.02
+
+
+def _set_nodelay(writer: asyncio.StreamWriter) -> None:
+    """Disable Nagle on an outbound connection.
+
+    The ring carries many small latency-critical frames (acks, token
+    passes); without this every coalesced flush can sit behind the
+    kernel's delayed-ACK/Nagle interaction.  Failures are ignored —
+    some transports (tests with mock writers) have no real socket.
+    """
+    sock = writer.get_extra_info("socket")
+    if sock is not None:
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass
 
 
 async def read_frame(reader: asyncio.StreamReader) -> Optional[bytes]:
@@ -117,6 +148,7 @@ class _ControlPeer:
                 retries += 1
                 await asyncio.sleep(transport._backoff(retries))
                 continue
+            _set_nodelay(writer)
             retries = 0
             eof: Optional[asyncio.Future] = None
             try:
@@ -125,6 +157,7 @@ class _ControlPeer:
                 )))
                 await writer.drain()
                 eof = asyncio.ensure_future(reader.read(1))
+                loop = asyncio.get_event_loop()
                 while not self.closing and not transport._closing:
                     while self.outbound:
                         if eof.done():
@@ -137,10 +170,23 @@ class _ControlPeer:
                             break
                         if eof.done():
                             raise ConnectionResetError("control peer hung up")
-                        writer.write(frame)
+                        # Coalesce every queued, already-releasable
+                        # frame into one write + one drain per wakeup —
+                        # draining after every single heartbeat was a
+                        # syscall per frame for no ordering benefit.
+                        now = loop.time()
+                        count = 1
+                        while (
+                            count < len(self.outbound)
+                            and self.outbound[count][1] <= now
+                        ):
+                            count += 1
+                        writer.writelines(
+                            [f for f, _ in self.outbound[:count]]
+                        )
                         await writer.drain()
-                        self.outbound.pop(0)
-                        transport.control_frames_sent += 1
+                        del self.outbound[:count]
+                        transport.control_frames_sent += count
                     self.wakeup.clear()
                     if self.outbound:
                         continue
@@ -189,6 +235,8 @@ class RingTransport:
         max_retries: Optional[int] = MAX_RETRIES,
         shaper: Optional[Any] = None,
         rng: Optional[random.Random] = None,
+        batching: Optional[BatchingConfig] = None,
+        telemetry: Optional[Any] = None,
     ) -> None:
         self.node_id = node_id
         self.listen_addr = listen_addr
@@ -212,11 +260,26 @@ class RingTransport:
         self._rng = rng if rng is not None else random.Random(
             f"transport:{node_id}"
         )
+        #: Fast-path flush policy (DESIGN.md §5g).  ``None`` keeps the
+        #: transport byte- and syscall-identical to the unbatched build.
+        self.batching = batching
+        #: Hot-path encoder: reusable buffer, prepacked struct headers.
+        self._encoder = FrameEncoder()
+        #: Per-flush telemetry (frames per flush, bytes per syscall).
+        self._flush_frames_hist = (
+            telemetry.histogram("transport_flush_frames")
+            if telemetry is not None else None
+        )
+        self._flush_bytes_hist = (
+            telemetry.histogram("transport_flush_bytes")
+            if telemetry is not None else None
+        )
 
         self._server: Optional[asyncio.AbstractServer] = None
         self._writer: Optional[asyncio.StreamWriter] = None
-        #: Queued (frame, earliest-release loop time) pairs.
-        self._outbound: List[Tuple[bytes, float]] = []
+        #: Queued (frame, earliest-release loop time, is-ack, enqueue
+        #: loop time) tuples.
+        self._outbound: List[Tuple[bytes, float, bool, float]] = []
         self._queued_bytes = 0
         self._gate_closed = False
         self._tx_idle_callbacks: List[Callable[[], None]] = []
@@ -249,6 +312,15 @@ class RingTransport:
         self.tx_stalls = 0
         #: High-water mark of the outbound queue depth, in bytes.
         self.queued_bytes_hwm = 0
+        #: Fast-path counters: drain cycles (one write + one drain each,
+        #: counted in both modes), batch frames sent, frames that rode
+        #: inside them, AckBatches that shared a flush with data instead
+        #: of paying their own syscall, and batch frames received.
+        self.flushes = 0
+        self.batches_sent = 0
+        self.batched_frames = 0
+        self.acks_ridden = 0
+        self.batches_received = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -420,9 +492,14 @@ class RingTransport:
                 f"ring transport at node {self.node_id} can only send to "
                 f"successor {self.successor_id}, not {dst}"
             )
-        frame = encode_frame(message)
+        frame = self._encoder.encode_frame(message)
         release = self._plan_release(dst, len(frame), "ring")
-        self._outbound.append((frame, release))
+        self._outbound.append((
+            frame,
+            release,
+            isinstance(message, AckBatch),
+            asyncio.get_event_loop().time(),
+        ))
         self._queued_bytes += len(frame)
         if self._queued_bytes > self.queued_bytes_hwm:
             self.queued_bytes_hwm = self._queued_bytes
@@ -468,6 +545,7 @@ class RingTransport:
             if self._epoch != epoch:
                 writer.close()
                 continue
+            _set_nodelay(writer)
 
             if retries > 0:
                 self.reconnects += 1
@@ -503,6 +581,8 @@ class RingTransport:
         # or retarget resends them instead of feeding a dead kernel
         # buffer.
         eof = asyncio.ensure_future(reader.read(1))
+        batching = self.batching
+        loop = asyncio.get_event_loop()
         try:
             while not self._closing and self._epoch == epoch:
                 while self._outbound and self._epoch == epoch:
@@ -513,24 +593,44 @@ class RingTransport:
                     # reconnect instead of silently losing it
                     # (duplicates are cheaper than a stuck ring, and
                     # FSR suppresses re-delivered sequence numbers).
-                    frame, release = self._outbound[0]
+                    frame, release, _, t_enq = self._outbound[0]
                     if not await self._pace(
                         self.successor_id, release,
                         lambda: self._epoch != epoch or eof.done(),
                     ):
                         return  # retargeted, peer gone, or closing
-                    writer.write(frame)
+                    if batching is None:
+                        # Unbatched build: one frame per write, one
+                        # drain per frame — byte- and syscall-identical
+                        # to the pre-fastpath transport (the parity
+                        # baseline the benchmarks compare against).
+                        writer.write(frame)
+                        await writer.drain()
+                        if self._epoch != epoch:
+                            return  # retargeted mid-drain; queue reset
+                        self._pop_flushed(1)
+                        self._note_flush(1, len(frame))
+                        continue
+                    if not await self._hold_for_batch(
+                        batching, t_enq, epoch, eof, loop
+                    ):
+                        return
+                    frames, is_ack = self._collect_batch(batching, loop)
+                    if len(frames) == 1:
+                        # A lone releasable message ships as a plain
+                        # frame: byte-identical to the unbatched wire,
+                        # no holding cost once max_delay_s expired.
+                        writer.write(frames[0])
+                        wire = len(frames[0])
+                    else:
+                        parts = batch_frame_parts(frames)
+                        writer.writelines(parts)
+                        wire = sum(len(p) for p in parts)
                     await writer.drain()
                     if self._epoch != epoch:
                         return  # retargeted mid-drain; queue was reset
-                    self._outbound.pop(0)
-                    self._queued_bytes -= len(frame)
-                    self.frames_sent += 1
-                    self.bytes_sent += len(frame)
-                    if self._gate_closed and self.tx_ready:
-                        self._gate_closed = False
-                        for callback in list(self._tx_idle_callbacks):
-                            callback()
+                    self._pop_flushed(len(frames))
+                    self._note_flush(len(frames), wire, is_ack)
                 self._wakeup.clear()
                 if self._outbound:
                     continue
@@ -545,6 +645,106 @@ class RingTransport:
                     return
         finally:
             eof.cancel()
+
+    async def _hold_for_batch(
+        self,
+        batching: BatchingConfig,
+        head_t_enq: float,
+        epoch: int,
+        eof: "asyncio.Future",
+        loop: asyncio.AbstractEventLoop,
+    ) -> bool:
+        """Hold the flush briefly so more frames can join the batch.
+
+        Mirrors the simulator's pack rule: flush when the byte or
+        message threshold is reached, or once the *head* frame has
+        waited ``max_delay_s`` since enqueue — the bound on added
+        latency.  Returns ``False`` if the connection/epoch died while
+        holding.
+        """
+        while (
+            not self._closing
+            and self._epoch == epoch
+            and not eof.done()
+            and len(self._outbound) < batching.max_batch_messages
+            and self._queued_bytes < batching.max_batch_bytes
+        ):
+            remaining = head_t_enq + batching.max_delay_s - loop.time()
+            if remaining <= 0:
+                break
+            self._wakeup.clear()
+            waiter = asyncio.ensure_future(self._wakeup.wait())
+            try:
+                await asyncio.wait(
+                    {eof, waiter},
+                    timeout=remaining,
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+            finally:
+                waiter.cancel()
+        return not (self._closing or self._epoch != epoch or eof.done())
+
+    def _collect_batch(
+        self, batching: BatchingConfig, loop: asyncio.AbstractEventLoop
+    ) -> Tuple[List[bytes], List[bool]]:
+        """Frames (and their is-ack flags) joining this flush.
+
+        Takes the longest queue prefix that fits ``max_batch_messages``/
+        ``max_batch_bytes`` (always at least the head frame) and whose
+        shaped release times have passed — coalescing an unreleased
+        frame would let a batch overtake the shaper's schedule.
+        """
+        now = loop.time() if self._shaper is not None else 0.0
+        frames: List[bytes] = []
+        is_ack: List[bool] = []
+        total = 0
+        for frame, release, ack, _ in self._outbound:
+            if frames:
+                if len(frames) >= batching.max_batch_messages:
+                    break
+                if total + len(frame) > batching.max_batch_bytes:
+                    break
+                if (
+                    BATCH_HEADER_BYTES + total + len(frame)
+                    > MAX_FRAME_BYTES
+                ):
+                    break
+                if release > now:
+                    break
+            frames.append(frame)
+            is_ack.append(ack)
+            total += len(frame)
+        return frames, is_ack
+
+    def _pop_flushed(self, count: int) -> None:
+        """Dequeue ``count`` drained frames and reopen the TX gate."""
+        for _ in range(count):
+            frame = self._outbound.pop(0)[0]
+            self._queued_bytes -= len(frame)
+            self.frames_sent += 1
+        if self._gate_closed and self.tx_ready:
+            self._gate_closed = False
+            for callback in list(self._tx_idle_callbacks):
+                callback()
+
+    def _note_flush(
+        self, count: int, wire_bytes: int, is_ack: Optional[List[bool]] = None
+    ) -> None:
+        """Account one write+drain cycle in counters and telemetry."""
+        self.flushes += 1
+        self.bytes_sent += wire_bytes
+        if count > 1:
+            self.batches_sent += 1
+            self.batched_frames += count
+            if is_ack is not None:
+                acks = sum(is_ack)
+                if acks and acks < count:
+                    # AckBatches sharing the syscall with data frames:
+                    # the live analogue of the sim's piggybacked acks.
+                    self.acks_ridden += acks
+        if self._flush_frames_hist is not None:
+            self._flush_frames_hist.observe(count)
+            self._flush_bytes_hist.observe(wire_bytes)
 
     # ------------------------------------------------------------------
     # Control plane
@@ -621,6 +821,14 @@ class RingTransport:
                     self.control_frames_received += 1
                     if self.on_control is not None:
                         self.on_control(message.layer, peer_id, message.inner)
+                elif isinstance(message, FrameBatch):
+                    # One coalesced flush from the predecessor: unpack
+                    # and deliver each ride-along in wire order.
+                    self.batches_received += 1
+                    self.frames_received += len(message.messages)
+                    self.bytes_received += LENGTH_PREFIX_BYTES + len(body)
+                    for inner in message.messages:
+                        self.on_message(peer_id, inner)
                 else:
                     self.frames_received += 1
                     self.bytes_received += LENGTH_PREFIX_BYTES + len(body)

@@ -1,0 +1,281 @@
+"""Transport fast-path tests: coalescing, ack riding, wire parity.
+
+Real loopback sockets throughout.  The load-bearing claims:
+
+* with batching enabled, frames queued together leave in one batch
+  frame (one write + one drain) and arrive in FIFO order;
+* pending ``AckBatch``es ride the same flush as data frames
+  (``acks_ridden``) instead of paying their own syscall;
+* with batching *disabled* the byte stream is exactly the unbatched
+  wire: ``Hello`` frame followed by each message's plain frame — the
+  parity that keeps sim/live throughput comparable;
+* a lone message under batching still ships as a plain frame;
+* the control peer coalesces queued frames per wakeup;
+* config validation and serde match the sim path.
+"""
+
+import asyncio
+import socket
+
+import pytest
+
+from repro.core.batching import BatchingConfig
+from repro.core.fsr.messages import AckBatch, AckMsg, FwdData
+from repro.errors import ConfigurationError
+from repro.live.codec import Hello, encode_frame
+from repro.live.node import LiveNodeConfig
+from repro.live.runner import LiveClusterSpec
+from repro.live.transport import RingTransport
+from repro.types import MessageId
+
+
+def _free_port():
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    port = sock.getsockname()[1]
+    sock.close()
+    return port
+
+
+def _sample_message(seq=1, payload=64):
+    return FwdData(
+        message_id=MessageId(0, seq),
+        origin=0,
+        payload=b"p" * payload,
+        payload_size=payload,
+        view_id=0,
+        piggybacked=[AckMsg(MessageId(1, 2), 3, True, 0)],
+    )
+
+
+def _pair(port_a, port_b, received, batching):
+    a = RingTransport(
+        0, ("127.0.0.1", port_a), 1, ("127.0.0.1", port_b),
+        lambda src, msg: None,
+        batching=batching,
+    )
+    b = RingTransport(
+        1, ("127.0.0.1", port_b), 0, ("127.0.0.1", port_a),
+        lambda src, msg: received.append((src, msg)),
+    )
+    return a, b
+
+
+def test_batched_queue_coalesces_into_batch_frames():
+    async def main():
+        received = []
+        a, b = _pair(
+            _free_port(), _free_port(), received,
+            BatchingConfig(max_delay_s=0.02),
+        )
+        await a.start()
+        await b.start()
+        assert await a.wait_outbound_connected(5.0)
+
+        messages = [_sample_message(seq) for seq in range(10)]
+        for message in messages:
+            a.send(1, message)  # same loop tick: all queued together
+        for _ in range(200):
+            if len(received) >= len(messages):
+                break
+            await asyncio.sleep(0.01)
+
+        assert [entry[1] for entry in received] == messages  # FIFO
+        assert all(entry[0] == 0 for entry in received)
+        assert a.frames_sent == len(messages)
+        assert b.frames_received == len(messages)
+        # The whole burst left in fewer syscalls than frames.
+        assert a.flushes < a.frames_sent
+        assert a.batches_sent >= 1
+        assert a.batched_frames >= 2
+        assert b.batches_received == a.batches_sent
+        await a.close()
+        await b.close()
+
+    asyncio.run(main())
+
+
+def test_ack_batch_rides_with_data_frames():
+    async def main():
+        received = []
+        a, b = _pair(
+            _free_port(), _free_port(), received,
+            BatchingConfig(max_delay_s=0.02),
+        )
+        await a.start()
+        await b.start()
+        assert await a.wait_outbound_connected(5.0)
+
+        data = _sample_message(1)
+        acks = AckBatch(
+            acks=[AckMsg(MessageId(0, 1), 7, False, 0)],
+            view_id=0, watermark=3,
+        )
+        a.send(1, data)
+        a.send(1, acks)
+        for _ in range(200):
+            if len(received) >= 2:
+                break
+            await asyncio.sleep(0.01)
+
+        assert [entry[1] for entry in received] == [data, acks]
+        assert a.acks_ridden == 1  # shared a flush with the data frame
+        await a.close()
+        await b.close()
+
+    asyncio.run(main())
+
+
+async def _capture_stream(port, chunks, stop):
+    async def handle(reader, writer):
+        while not reader.at_eof():
+            data = await reader.read(65536)
+            if not data:
+                break
+            chunks.append(data)
+        stop.set()
+        writer.close()
+
+    return await asyncio.start_server(handle, "127.0.0.1", port)
+
+
+def _raw_wire_bytes(transport_factory, messages):
+    """Bytes a transport puts on the wire for ``messages``, captured by
+    a raw TCP sink standing in for the successor."""
+
+    async def main():
+        port = _free_port()
+        chunks, stop = [], asyncio.Event()
+        server = await _capture_stream(port, chunks, stop)
+        transport = transport_factory(port)
+        await transport.start()
+        assert await transport.wait_outbound_connected(5.0)
+        for message in messages:
+            transport.send(1, message)
+        for _ in range(200):
+            if transport.queued_bytes == 0:
+                break
+            await asyncio.sleep(0.01)
+        await asyncio.sleep(0.05)  # let the sink read the tail
+        await transport.close()
+        server.close()
+        await server.wait_closed()
+        return b"".join(chunks)
+
+    return asyncio.run(main())
+
+
+def test_disabled_batching_is_byte_identical_on_the_wire():
+    messages = [_sample_message(seq) for seq in range(5)]
+    wire = _raw_wire_bytes(
+        lambda port: RingTransport(
+            0, ("127.0.0.1", _free_port()), 1, ("127.0.0.1", port),
+            lambda src, msg: None,
+        ),
+        messages,
+    )
+    expected = encode_frame(Hello(node_id=0)) + b"".join(
+        encode_frame(message) for message in messages
+    )
+    assert wire == expected
+
+
+def test_lone_message_under_batching_ships_plain_frame():
+    message = _sample_message(1)
+    wire = _raw_wire_bytes(
+        lambda port: RingTransport(
+            0, ("127.0.0.1", _free_port()), 1, ("127.0.0.1", port),
+            lambda src, msg: None,
+            batching=BatchingConfig(max_delay_s=0.005),
+        ),
+        [message],
+    )
+    assert wire == encode_frame(Hello(node_id=0)) + encode_frame(message)
+
+
+def test_control_peer_coalesces_queued_frames():
+    async def main():
+        port_a, port_b = _free_port(), _free_port()
+        received = []
+        a = RingTransport(
+            0, ("127.0.0.1", port_a), 1, ("127.0.0.1", port_b),
+            lambda src, msg: None,
+            peers={1: ("127.0.0.1", port_b)},
+        )
+        b = RingTransport(
+            1, ("127.0.0.1", port_b), 0, ("127.0.0.1", port_a),
+            lambda src, msg: None,
+        )
+        b.on_control = lambda layer, src, inner: received.append(
+            (layer, src, inner)
+        )
+        await a.start()
+        await b.start()
+        for index in range(8):
+            a.send_control(1, "fd", {"beat": index})
+        for _ in range(200):
+            if len(received) >= 8:
+                break
+            await asyncio.sleep(0.01)
+        assert [entry[2]["beat"] for entry in received] == list(range(8))
+        assert all(entry[:2] == ("fd", 0) for entry in received)
+        assert a.control_frames_sent == 8
+        await a.close()
+        await b.close()
+
+    asyncio.run(main())
+
+
+def test_node_config_batch_serde_round_trip():
+    config = LiveNodeConfig(
+        node_id=0,
+        members=[0, 1],
+        addresses={0: ("127.0.0.1", 1), 1: ("127.0.0.1", 2)},
+        batch_bytes=4096,
+        batch_delay_s=0.001,
+    )
+    restored = LiveNodeConfig.from_dict(config.to_dict())
+    assert restored.batch_config() == BatchingConfig(
+        max_batch_bytes=4096,
+        max_batch_messages=BatchingConfig().max_batch_messages,
+        max_delay_s=0.001,
+    )
+    # All-None means batching off, surviving serde too.
+    plain = LiveNodeConfig(
+        node_id=0,
+        members=[0, 1],
+        addresses={0: ("127.0.0.1", 1), 1: ("127.0.0.1", 2)},
+    )
+    assert LiveNodeConfig.from_dict(plain.to_dict()).batch_config() is None
+
+
+def test_nonpositive_batch_config_rejected_everywhere():
+    with pytest.raises(ConfigurationError):
+        LiveNodeConfig(
+            node_id=0,
+            members=[0, 1],
+            addresses={0: ("127.0.0.1", 1), 1: ("127.0.0.1", 2)},
+            batch_bytes=0,
+        )
+    with pytest.raises(ConfigurationError):
+        LiveClusterSpec(processes=2, batch_messages=-1)
+    with pytest.raises(ConfigurationError):
+        LiveClusterSpec(processes=2, batch_delay_s=-0.5)
+
+
+def test_cli_batch_flags_parse_on_run_and_live():
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    for command in (["run"], ["live"]):
+        args = parser.parse_args(
+            command + ["--batch-bytes", "8192", "--batch-messages", "32",
+                       "--batch-delay", "0.001"]
+        )
+        assert args.batch_bytes == 8192
+        assert args.batch_messages == 32
+        assert args.batch_delay == 0.001
+        defaults = parser.parse_args(command)
+        assert defaults.batch_bytes is None
+        assert defaults.batch_messages is None
+        assert defaults.batch_delay is None
