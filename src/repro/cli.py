@@ -560,6 +560,155 @@ def _cmd_live(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.serve.runner import ServeSpec, run_serve_benchmark
+
+    try:
+        spec = ServeSpec(
+            processes=args.processes,
+            t=args.t,
+            lease_s=args.lease,
+            heartbeat_timeout_s=args.heartbeat_timeout,
+            rates=(
+                [float(r) for r in args.rate]
+                if args.rate
+                else [100.0, 300.0, 600.0]
+            ),
+            kill_leader=not args.no_kill,
+            kill_rate=args.kill_rate,
+            duration_s=args.duration,
+            sessions=args.sessions,
+            read_fraction=args.read_fraction,
+            keys=args.keys,
+            zipf_s=args.zipf,
+            value_bytes=args.value_bytes,
+            retry_timeout_s=args.retry_timeout,
+            seed=args.seed,
+        )
+    except (ReproError, ValueError) as exc:
+        print(f"invalid serve spec: {exc}", file=sys.stderr)
+        return 2
+
+    points = len(spec.rates) + (1 if spec.kill_leader else 0)
+    print(
+        f"serve benchmark: {spec.processes} nodes, {spec.sessions} sessions, "
+        f"{points} load point(s) x {spec.duration_s:.0f}s"
+        + (", leader SIGKILL mid-load" if spec.kill_leader else "")
+        + "...",
+        flush=True,
+    )
+    try:
+        payload = run_serve_benchmark(spec, out_path=args.out)
+    except ReproError as exc:
+        print(f"serve benchmark failed: {exc}", file=sys.stderr)
+        return 1
+
+    rows = []
+    for point in payload["curve"]:
+        load = point["load"]
+        rows.append([
+            f"{point['offered_rps']:.0f}",
+            "-" if point["achieved_rps"] is None
+            else f"{point['achieved_rps']:.0f}",
+            _ms(load["latency_p50_s"]),
+            _ms(load["latency_p99_s"]),
+            load["retries"],
+            load["cached_responses"],
+            load["local_reads"],
+            "-",
+        ])
+    kill = payload["kill_point"]
+    if kill is not None:
+        load = kill["load"]
+        rows.append([
+            f"{kill['offered_rps']:.0f} (kill)",
+            "-" if kill["achieved_rps"] is None
+            else f"{kill['achieved_rps']:.0f}",
+            _ms(load["latency_p50_s"]),
+            _ms(load["latency_p99_s"]),
+            load["retries"],
+            load["cached_responses"],
+            load["local_reads"],
+            "-" if kill["outage_s"] is None else f"{kill['outage_s'] * 1e3:.0f}",
+        ])
+    print(format_table(
+        ["offered rps", "achieved", "p50 (ms)", "p99 (ms)", "retries",
+         "cached", "local reads", "outage (ms)"],
+        rows,
+        title=(
+            f"session service: {spec.processes} nodes, lease "
+            f"{spec.lease_s:.1f}s, {spec.read_fraction:.0%} reads"
+        ),
+    ))
+    violations = [
+        v
+        for point in payload["curve"] + ([kill] if kill else [])
+        for v in point["violations"]
+    ]
+    for violation in violations:
+        print(f"INVARIANT VIOLATED: {violation}", file=sys.stderr)
+    verdict = "GREEN" if payload["invariants_ok"] else "RED"
+    print(f"\nexactly-once battery {verdict}; bench record written to {args.out}")
+    return 0 if payload["invariants_ok"] else 1
+
+
+def _ms(value) -> str:
+    return "-" if value is None else f"{value * 1e3:.1f}"
+
+
+def _cmd_serve_load(args: argparse.Namespace) -> int:
+    # Client-side entrypoint: open-loop load against a *running* serve
+    # cluster (its nodes print their serve addresses at start).
+    import asyncio as _asyncio
+
+    from repro.serve.loadgen import LoadConfig, run_load
+
+    addresses = []
+    for spec in args.address:
+        host, _, port = spec.rpartition(":")
+        try:
+            addresses.append((host or "127.0.0.1", int(port)))
+        except ValueError:
+            print(f"bad address {spec!r} (want host:port)", file=sys.stderr)
+            return 2
+    try:
+        config = LoadConfig(
+            rate_rps=args.rate,
+            sessions=args.sessions,
+            duration_s=args.duration,
+            read_fraction=args.read_fraction,
+            keys=args.keys,
+            zipf_s=args.zipf,
+            value_bytes=args.value_bytes,
+            retry_timeout_s=args.retry_timeout,
+            seed=args.seed,
+        )
+    except ValueError as exc:
+        print(f"invalid load config: {exc}", file=sys.stderr)
+        return 2
+    stats = _asyncio.run(run_load(addresses, config))
+    summary = stats.to_dict()
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["offered", summary["offered"]],
+            ["completed", summary["completed"]],
+            ["retries", summary["retries"]],
+            ["reconnects", summary["reconnects"]],
+            ["cached responses", summary["cached_responses"]],
+            ["local reads", summary["local_reads"]],
+            ["errors", summary["errors"]],
+            ["timeouts", summary["timeouts"]],
+            ["mean latency (ms)", _ms(summary["latency_mean_s"])],
+            ["p50 latency (ms)", _ms(summary["latency_p50_s"])],
+            ["p99 latency (ms)", _ms(summary["latency_p99_s"])],
+        ],
+        title=f"open-loop load: {args.rate:.0f} rps over {args.sessions} sessions",
+    ))
+    return 0 if summary["timeouts"] == 0 else 1
+
+
 def _cmd_live_node(args: argparse.Namespace) -> int:
     # Internal: one cluster member, spawned by ``repro live``.
     import json as _json
@@ -804,6 +953,66 @@ def build_parser() -> argparse.ArgumentParser:
                            "(DEBUG/INFO/WARNING; default off)")
     _add_batch_flags(live)
     live.set_defaults(func=_cmd_live)
+
+    serve = sub.add_parser(
+        "serve",
+        help="client-serving KV service benchmark: latency-vs-load curve "
+             "with exactly-once sessions and a leader-kill point",
+    )
+    serve.add_argument("--processes", type=int, default=3,
+                       help="cluster size (one serve port per node)")
+    serve.add_argument("--t", type=int, default=1)
+    serve.add_argument("--lease", type=float, default=0.8, metavar="S",
+                       help="leader lease for local reads, seconds")
+    serve.add_argument("--heartbeat-timeout", type=float, default=1.0,
+                       metavar="S",
+                       help="failure-detector timeout (drives view-change "
+                            "latency after the kill)")
+    serve.add_argument("--rate", action="append", type=float, default=None,
+                       metavar="RPS",
+                       help="offered-load point (repeatable; default "
+                            "100 300 600)")
+    serve.add_argument("--duration", type=float, default=4.0,
+                       help="load window per point, seconds")
+    serve.add_argument("--sessions", type=int, default=20,
+                       help="concurrent light client sessions")
+    serve.add_argument("--read-fraction", type=float, default=0.5)
+    serve.add_argument("--keys", type=int, default=100,
+                       help="key space size (Zipf-distributed access)")
+    serve.add_argument("--zipf", type=float, default=1.1,
+                       help="Zipf skew parameter")
+    serve.add_argument("--value-bytes", type=int, default=64)
+    serve.add_argument("--retry-timeout", type=float, default=1.0,
+                       metavar="S",
+                       help="client retry/failover timeout per request")
+    serve.add_argument("--no-kill", action="store_true",
+                       help="skip the kill-the-leader-mid-load point")
+    serve.add_argument("--kill-rate", type=float, default=None, metavar="RPS",
+                       help="offered rate for the kill point (default: "
+                            "middle of the sweep)")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--out", default="BENCH_serve.json", metavar="PATH",
+                       help="bench record path (default BENCH_serve.json)")
+    serve.set_defaults(func=_cmd_serve)
+
+    serve_load = sub.add_parser(
+        "serve-load",
+        help="open-loop session load against an already-running serve "
+             "cluster",
+    )
+    serve_load.add_argument("address", nargs="+", metavar="HOST:PORT",
+                            help="serve addresses to fan sessions over")
+    serve_load.add_argument("--rate", type=float, default=200.0,
+                            help="total offered load, requests/second")
+    serve_load.add_argument("--duration", type=float, default=5.0)
+    serve_load.add_argument("--sessions", type=int, default=20)
+    serve_load.add_argument("--read-fraction", type=float, default=0.5)
+    serve_load.add_argument("--keys", type=int, default=100)
+    serve_load.add_argument("--zipf", type=float, default=1.1)
+    serve_load.add_argument("--value-bytes", type=int, default=64)
+    serve_load.add_argument("--retry-timeout", type=float, default=1.0)
+    serve_load.add_argument("--seed", type=int, default=0)
+    serve_load.set_defaults(func=_cmd_serve_load)
 
     obs = sub.add_parser(
         "obs", help="analyze a merged span timeline (latency stages, links)"

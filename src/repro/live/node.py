@@ -131,6 +131,11 @@ class LiveNodeConfig:
     #: messages (closed loop), ignoring ``duration_s`` — used by the
     #: sim/live conformance test, where the workloads must be identical.
     messages_per_sender: Optional[int] = None
+    #: Client-facing session server listen address (``repro.serve``);
+    #: ``None`` disables serving entirely.
+    serve_addr: Optional[Tuple[str, int]] = None
+    #: Leader lease duration for locally served reads (serve mode).
+    lease_s: float = 0.8
     #: JSONL event journal, appended and flushed as events happen so a
     #: SIGKILLed node still leaves its log behind.
     journal_path: Optional[str] = None
@@ -168,6 +173,14 @@ class LiveNodeConfig:
         for pid in self.senders:
             if pid not in self.members:
                 raise ConfigurationError(f"sender {pid} not in members")
+        if self.serve_addr is not None and self.senders:
+            raise ConfigurationError(
+                "serve mode replaces the sender workload; a serving "
+                "cluster must run with no senders (client sessions are "
+                "the only broadcast source)"
+            )
+        if self.lease_s <= 0:
+            raise ConfigurationError("lease_s must be positive")
         if self.detector_mode not in ("heartbeat", "adaptive"):
             raise ConfigurationError(
                 f"unknown detector_mode {self.detector_mode!r}; "
@@ -229,6 +242,12 @@ class LiveNodeConfig:
             "run_seed": self.run_seed,
             "require_quorum": self.require_quorum,
             "messages_per_sender": self.messages_per_sender,
+            "serve_addr": (
+                [self.serve_addr[0], self.serve_addr[1]]
+                if self.serve_addr is not None
+                else None
+            ),
+            "lease_s": self.lease_s,
             "journal_path": self.journal_path,
             "span_path": self.span_path,
             "log_level": self.log_level,
@@ -273,6 +292,12 @@ class LiveNodeConfig:
             run_seed=data.get("run_seed", 0),
             require_quorum=data.get("require_quorum", False),
             messages_per_sender=data.get("messages_per_sender"),
+            serve_addr=(
+                (data["serve_addr"][0], data["serve_addr"][1])
+                if data.get("serve_addr") is not None
+                else None
+            ),
+            lease_s=data.get("lease_s", 0.8),
             journal_path=data.get("journal_path"),
             span_path=data.get("span_path"),
             log_level=data.get("log_level"),
@@ -616,6 +641,30 @@ async def _run(config: LiveNodeConfig) -> Dict[str, Any]:
         )
         transport.on_tx_idle(process.on_tx_ready)
 
+    serve_server: Any = None
+    if config.serve_addr is not None:
+        # Imported lazily: repro.serve imports the live scheduler, so a
+        # module-level import here would be circular for some paths.
+        from repro.serve.lease import LeaderLease
+        from repro.serve.server import SessionServer
+        from repro.serve.session import SessionMachine
+        from repro.smr.kvstore import KVStore
+        from repro.smr.machine import ReplicatedStateMachine
+
+        serve_machine = SessionMachine(KVStore())
+        # Claims the broadcast listener slot; the combined listener
+        # installed below hands every delivery back to it.
+        serve_rsm = ReplicatedStateMachine(process, serve_machine)
+        serve_server = SessionServer(
+            me,
+            serve_rsm,
+            serve_machine,
+            LeaderLease(sched, me, config.lease_s),
+            sched,
+            telemetry=telemetry,
+            journal=journal.write,
+        )
+
     client: Any = process
     if config.view_changes:
         def rewire(view: View) -> None:
@@ -624,6 +673,8 @@ async def _run(config: LiveNodeConfig) -> Dict[str, Any]:
             for ring_index, ring_transport in enumerate(transports):
                 ring_transport.retarget(succ, ring_addrs[ring_index][succ])
             transport.prune_control_peers(view.members)
+            if serve_server is not None:
+                serve_server.on_view(view)
             journal.write({
                 "type": "view",
                 "view_id": view.view_id,
@@ -691,7 +742,16 @@ async def _run(config: LiveNodeConfig) -> Dict[str, Any]:
             entry["slot"] = delivery.slot
         journal.write(entry)
 
-    process.set_listener(BroadcastListener(on_app_deliver))
+    if serve_server is not None:
+        def app_deliver(
+            origin: ProcessId, message_id: MessageId, payload: Any, size: int
+        ) -> None:
+            on_app_deliver(origin, message_id, payload, size)
+            serve_rsm.deliver(origin, message_id, payload, size)
+
+        process.set_listener(BroadcastListener(app_deliver))
+    else:
+        process.set_listener(BroadcastListener(on_app_deliver))
     process.on_protocol_deliver(on_protocol_deliver)
 
     for ring_transport in transports:
@@ -806,6 +866,12 @@ async def _run(config: LiveNodeConfig) -> Dict[str, Any]:
         # the same origin as the workload deadline (and the sim's).
         shaper.arm(sched)
     process.start()
+    if serve_server is not None:
+        # The bootstrap view may have installed without the rewire hook
+        # (static mode has none); seed the lease from it either way.
+        serve_server.on_view(membership.view)
+        host, serve_port = config.serve_addr
+        await serve_server.start(host, serve_port)
 
     start_time = sched.now
     journal.write({"type": "start", "time": start_time, "node_id": me})
@@ -870,7 +936,7 @@ async def _run(config: LiveNodeConfig) -> Dict[str, Any]:
             timed_out = True
             logger.warning("max_run_s (%.1fs) reached", config.max_run_s)
             break
-        if config.view_changes:
+        if config.view_changes or serve_server is not None:
             continue  # the launcher signals the stop
         if now < deadline[0]:
             continue
@@ -882,6 +948,8 @@ async def _run(config: LiveNodeConfig) -> Dict[str, Any]:
         pass
 
     end_time = sched.now
+    if serve_server is not None:
+        await serve_server.close()
     process.stop()
     if isinstance(detector, HeartbeatFailureDetector):
         detector.stop()
@@ -948,6 +1016,8 @@ async def _run(config: LiveNodeConfig) -> Dict[str, Any]:
         },
         "telemetry": telemetry_snapshot(),
     }
+    if serve_server is not None:
+        record["serve"] = serve_server.stats()
     if span_journal is not None:
         span_journal.write_telemetry(end_time, record["telemetry"])
         span_journal.close()

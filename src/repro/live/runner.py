@@ -106,14 +106,26 @@ class LiveClusterSpec:
     batch_bytes: Optional[int] = None
     batch_messages: Optional[int] = None
     batch_delay_s: Optional[float] = None
+    #: Run a client-facing session server on every node
+    #: (``repro.serve``); implies ``senders == 0`` — client sessions
+    #: are the only broadcast source, and the launcher owns termination.
+    serve: bool = False
+    #: Leader lease duration for locally served reads (serve runs).
+    lease_s: float = 0.8
 
     def __post_init__(self) -> None:
         if self.processes < 2:
             raise ConfigurationError("a live ring needs at least 2 processes")
-        if not 1 <= self.senders <= self.processes:
+        low = 0 if self.serve else 1
+        if not low <= self.senders <= self.processes:
             raise ConfigurationError(
                 f"senders={self.senders} out of range for "
                 f"n={self.processes}"
+            )
+        if self.serve and self.senders != 0:
+            raise ConfigurationError(
+                "serve clusters take their load from client sessions; "
+                "set senders=0"
             )
         if self.duration_s <= 0:
             raise ConfigurationError("duration_s must be positive")
@@ -201,7 +213,17 @@ class LiveCluster:
     ) -> None:
         self.spec = spec
         self.members = list(range(spec.processes))
-        ports = _free_ports(spec.host, spec.processes * spec.shards)
+        extra = spec.processes if spec.serve else 0
+        ports = _free_ports(spec.host, spec.processes * spec.shards + extra)
+        #: Client-facing session server address per node (serve runs).
+        self.serve_addresses: Dict[ProcessId, Tuple[str, int]] = (
+            {
+                pid: (spec.host, ports[spec.processes * spec.shards + pid])
+                for pid in self.members
+            }
+            if spec.serve
+            else {}
+        )
         # One port per (node, ring); ring 0 is the canonical address map
         # (and the control plane), extra rings are pure data planes.
         self.ring_addresses = [
@@ -256,6 +278,8 @@ class LiveCluster:
                     run_seed=spec.run_seed,
                     require_quorum=spec.require_quorum,
                     messages_per_sender=spec.messages_per_sender,
+                    serve_addr=self.serve_addresses.get(pid),
+                    lease_s=spec.lease_s,
                     journal_path=journal_path,
                     span_path=span_path,
                     log_level=spec.log_level,

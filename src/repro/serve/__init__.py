@@ -1,0 +1,42 @@
+"""``repro.serve`` — a live client-serving KV service with exactly-once
+sessions, layered on the replicated state machine and the live runtime.
+
+The paper's FSR ring exists to power state-machine replication; this
+package gives :mod:`repro.smr` its front door:
+
+* :mod:`repro.serve.session` — the exactly-once session layer *inside*
+  the replicated state machine: requests are identified by
+  ``(client_id, seq_no)`` and deduplicated at apply time, so a retry
+  after leader failover applies exactly once and re-sent acked requests
+  are answered from a replicated response cache.
+* :mod:`repro.serve.wire` — the client-facing length-prefixed codec.
+* :mod:`repro.serve.lease` — the leader lease gating local reads.
+* :mod:`repro.serve.server` — the per-node asyncio session server.
+* :mod:`repro.serve.client` — a pipelining session client with retry
+  and failover.
+* :mod:`repro.serve.loadgen` — an open-loop load generator (Poisson
+  arrivals, Zipf keys, many light sessions).
+* :mod:`repro.serve.runner` — the ``python -m repro serve`` benchmark
+  driver (latency-vs-offered-load curve, leader-kill point,
+  exactly-once invariant battery, ``BENCH_serve.json``).
+* :mod:`repro.serve.sim` — the same session layer on the discrete-event
+  engine, for sim/live conformance tests.
+"""
+
+from repro.serve.lease import LeaderLease
+from repro.serve.session import (
+    LEASE_OP,
+    SESSION_OP,
+    SessionMachine,
+    lease_command,
+    session_command,
+)
+
+__all__ = [
+    "LeaderLease",
+    "LEASE_OP",
+    "SESSION_OP",
+    "SessionMachine",
+    "lease_command",
+    "session_command",
+]

@@ -1,0 +1,339 @@
+"""Pipelining session client with retry and failover.
+
+One :class:`SessionClient` is one session: a ``client_id`` plus a
+monotonically increasing per-request ``seq``.  Requests may be
+pipelined (``submit`` returns a future immediately); responses are
+matched back by ``seq``.  When a connection dies — or a request sits
+unanswered past ``retry_timeout_s`` — the client rotates to the next
+server address, reconnects, and **resends every pending request in seq
+order**.  The server-side dedup table makes those resends safe: a
+request that was already applied is answered from the replicated cache
+("cached"), never executed twice.
+
+Session-read metadata maintained here:
+
+* ``first_unacked`` — lowest seq not yet acked; sent on every request
+  so servers can prune their response caches (and their floor).
+* ``barrier`` — highest seq seen acked; sent on reads so a lease
+  holder only serves locally once its replica reflects this client's
+  own writes (session monotonic reads).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import CodecError, NetworkError
+from repro.serve.wire import (
+    Request,
+    Response,
+    encode_request,
+    read_frame,
+    decode_response,
+)
+
+logger = logging.getLogger(__name__)
+
+#: How often the failover monitor checks for a stuck oldest request.
+_MONITOR_S = 0.05
+
+
+class SessionClient:
+    """One exactly-once client session over the serve cluster."""
+
+    def __init__(
+        self,
+        client_id: str,
+        addresses: List[Tuple[str, int]],
+        *,
+        retry_timeout_s: float = 1.0,
+        connect_timeout_s: float = 2.0,
+        reconnect_backoff_s: float = 0.05,
+        prefer: int = 0,
+        ordered_reads: bool = False,
+    ) -> None:
+        if not addresses:
+            raise NetworkError("session client needs at least one server address")
+        self.client_id = client_id
+        self.addresses = list(addresses)
+        self.retry_timeout_s = retry_timeout_s
+        self.connect_timeout_s = connect_timeout_s
+        self.reconnect_backoff_s = reconnect_backoff_s
+        self.ordered_reads = ordered_reads
+        self._addr_index = prefer % len(addresses)
+        self._next_seq = 1
+        self._barrier = 0
+        #: seq -> (request dict sans cursors, future, submit walltime)
+        self._pending: "Dict[int, _PendingRequest]" = {}
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._reader_task: Optional[asyncio.Task] = None
+        self._monitor_task: Optional[asyncio.Task] = None
+        self._conn_lock = asyncio.Lock()
+        self._closed = False
+        # -- client-visible session metrics --
+        self.acks = 0
+        self.retries = 0
+        self.reconnects = 0
+        self.cached_responses = 0
+        self.local_reads = 0
+        self.errors = 0
+        #: (seq, op, args) of every acknowledged mutating request, in
+        #: ack order — the chaos battery's ground truth.
+        self.acked_writes: List[Tuple[int, str, Tuple[Any, ...]]] = []
+
+    # -- public API ----------------------------------------------------
+    @property
+    def barrier(self) -> int:
+        return self._barrier
+
+    @property
+    def first_unacked(self) -> int:
+        return min(self._pending, default=self._next_seq)
+
+    async def connect(self) -> None:
+        await self._ensure_connected()
+        if self._monitor_task is None:
+            self._monitor_task = asyncio.ensure_future(self._monitor())
+
+    def submit(self, op: str, *args: Any, ordered: bool = False) -> "asyncio.Future[Response]":
+        """Pipeline a request; the future resolves with its Response."""
+        if self._closed:
+            raise NetworkError("session client is closed")
+        seq = self._next_seq
+        self._next_seq += 1
+        fut: asyncio.Future = asyncio.get_running_loop().create_future()
+        entry = _PendingRequest(
+            seq=seq,
+            op=op,
+            args=tuple(args),
+            ordered=ordered or (self.ordered_reads and op == "get"),
+            future=fut,
+            submit_time=asyncio.get_running_loop().time(),
+        )
+        self._pending[seq] = entry
+        self._send(entry)
+        return fut
+
+    async def request(self, op: str, *args: Any, ordered: bool = False) -> Response:
+        """Submit and await one request."""
+        return await self.submit(op, *args, ordered=ordered)
+
+    async def resend(self, seq: Optional[int] = None) -> None:
+        """Force a duplicate send of a request (testing hook).
+
+        With ``seq`` of an *acked* request, fabricates a fresh duplicate
+        on the wire and awaits its (cached) response — used by the
+        conformance and dedup tests to prove re-sent acked requests are
+        answered from the cache without a second application.
+        """
+        if seq is None:
+            for entry in sorted(self._pending.values(), key=lambda e: e.seq):
+                self.retries += 1
+                self._send(entry)
+            return
+        entry = self._pending.get(seq)
+        if entry is not None:
+            self.retries += 1
+            self._send(entry)
+            return
+        raise NetworkError(f"seq {seq} is not pending; use duplicate() for acked seqs")
+
+    async def duplicate(self, seq: int, op: str, *args: Any) -> Response:
+        """Re-send an already-acked request verbatim and await the reply."""
+        fut: asyncio.Future = asyncio.get_running_loop().create_future()
+        entry = _PendingRequest(
+            seq=seq,
+            op=op,
+            args=tuple(args),
+            ordered=False,
+            future=fut,
+            submit_time=asyncio.get_running_loop().time(),
+            count_ack=False,
+        )
+        self._pending[seq] = entry
+        self.retries += 1
+        self._send(entry)
+        return await fut
+
+    async def close(self) -> None:
+        self._closed = True
+        for task in (self._monitor_task, self._reader_task):
+            if task is not None:
+                task.cancel()
+        for task in (self._monitor_task, self._reader_task):
+            if task is not None:
+                try:
+                    await task
+                except (asyncio.CancelledError, Exception):
+                    pass
+        self._monitor_task = None
+        self._reader_task = None
+        await self._teardown_connection()
+        for entry in self._pending.values():
+            if not entry.future.done():
+                entry.future.cancel()
+        self._pending.clear()
+
+    # -- connection management ----------------------------------------
+    async def _ensure_connected(self) -> None:
+        async with self._conn_lock:
+            if self._writer is not None or self._closed:
+                return
+            last_error: Optional[Exception] = None
+            for attempt in range(3 * len(self.addresses)):
+                host, port = self.addresses[self._addr_index]
+                try:
+                    reader, writer = await asyncio.wait_for(
+                        asyncio.open_connection(host, port),
+                        self.connect_timeout_s,
+                    )
+                    self._reader = reader
+                    self._writer = writer
+                    if self._reader_task is not None:
+                        self._reader_task.cancel()
+                    self._reader_task = asyncio.ensure_future(self._read_loop(reader))
+                    return
+                except (ConnectionError, OSError, asyncio.TimeoutError) as exc:
+                    last_error = exc
+                    self._addr_index = (self._addr_index + 1) % len(self.addresses)
+                    await asyncio.sleep(self.reconnect_backoff_s)
+            raise NetworkError(
+                f"client {self.client_id}: no server reachable: {last_error}"
+            )
+
+    async def _teardown_connection(self) -> None:
+        writer, self._writer, self._reader = self._writer, None, None
+        if writer is not None:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _failover(self) -> None:
+        """Drop the connection, rotate servers, reconnect, resend."""
+        if self._closed:
+            return
+        self.reconnects += 1
+        await self._teardown_connection()
+        self._addr_index = (self._addr_index + 1) % len(self.addresses)
+        try:
+            await self._ensure_connected()
+        except NetworkError as exc:
+            logger.warning("client %s failover failed: %s", self.client_id, exc)
+            return
+        self._resend_pending()
+
+    def _resend_pending(self) -> None:
+        for entry in sorted(self._pending.values(), key=lambda e: e.seq):
+            self.retries += 1
+            self._send(entry)
+
+    def _send(self, entry: "_PendingRequest") -> None:
+        writer = self._writer
+        if writer is None:
+            return  # failover in progress; _resend_pending will retry
+        request = Request(
+            client=self.client_id,
+            seq=entry.seq,
+            first_unacked=self.first_unacked,
+            barrier=self._barrier,
+            op=entry.op,
+            args=entry.args,
+            ordered=entry.ordered,
+        )
+        try:
+            writer.write(encode_request(request))
+        except (ConnectionError, OSError):
+            pass  # reader task / monitor will notice and fail over
+
+    # -- background tasks ----------------------------------------------
+    async def _read_loop(self, reader: asyncio.StreamReader) -> None:
+        try:
+            while True:
+                body = await read_frame(reader)
+                if body is None:
+                    break
+                try:
+                    response = decode_response(body)
+                except CodecError as exc:
+                    logger.warning("client %s: bad response: %s", self.client_id, exc)
+                    break
+                self._on_response(response)
+        except asyncio.CancelledError:
+            return
+        except (ConnectionError, OSError):
+            pass
+        if not self._closed and reader is self._reader:
+            asyncio.ensure_future(self._failover())
+
+    def _on_response(self, response: Response) -> None:
+        entry = self._pending.pop(response.seq, None)
+        if entry is None:
+            return  # duplicate ack from a resend; already settled
+        if response.served == "cached":
+            self.cached_responses += 1
+        elif response.served == "local":
+            self.local_reads += 1
+        if not response.ok and response.error and response.error.startswith("unavailable:"):
+            # Transport-level rejection, not a deterministic outcome:
+            # leave it pending and let the monitor retry elsewhere.
+            self._pending[response.seq] = entry
+            asyncio.ensure_future(self._failover())
+            return
+        if entry.count_ack:
+            self.acks += 1
+            self._barrier = max(self._barrier, response.seq)
+            if not response.ok:
+                self.errors += 1
+            elif entry.op not in ("get",):
+                self.acked_writes.append((entry.seq, entry.op, entry.args))
+        if not entry.future.done():
+            entry.future.set_result(response)
+
+    async def _monitor(self) -> None:
+        """Fail over when the oldest pending request is stuck."""
+        try:
+            while not self._closed:
+                await asyncio.sleep(_MONITOR_S)
+                if not self._pending:
+                    continue
+                now = asyncio.get_running_loop().time()
+                oldest = min(self._pending.values(), key=lambda e: e.sent_or_submit())
+                if now - oldest.sent_or_submit() >= self.retry_timeout_s:
+                    oldest.last_resend = now
+                    await self._failover()
+        except asyncio.CancelledError:
+            return
+
+
+class _PendingRequest:
+    """One in-flight request, retained until its ack arrives."""
+
+    __slots__ = ("seq", "op", "args", "ordered", "future", "submit_time",
+                 "last_resend", "count_ack")
+
+    def __init__(
+        self,
+        seq: int,
+        op: str,
+        args: Tuple[Any, ...],
+        ordered: bool,
+        future: asyncio.Future,
+        submit_time: float,
+        count_ack: bool = True,
+    ) -> None:
+        self.seq = seq
+        self.op = op
+        self.args = args
+        self.ordered = ordered
+        self.future = future
+        self.submit_time = submit_time
+        self.last_resend: Optional[float] = None
+        self.count_ack = count_ack
+
+    def sent_or_submit(self) -> float:
+        return self.last_resend if self.last_resend is not None else self.submit_time

@@ -1,0 +1,93 @@
+"""Leader leases for locally served reads.
+
+The current view's leader (``view.members[0]``) may serve read-only
+requests from its local replica while it holds the lease, avoiding a
+full ring round-trip per read.  Safety argument:
+
+* Renewals ride the totally ordered log (:data:`~repro.serve.session.LEASE_OP`
+  no-ops).  When the leader observes its *own* renewal applied, the
+  lease extends to ``submit_time + lease_s`` — measured from
+  *submission*, so the extension is valid no matter how long the ring
+  took to order it.
+* A new leader installed by a view change waits ``lease_s`` after the
+  install before serving locally: any lease the displaced leader could
+  still believe in was granted from a ``submit_time`` before the
+  install, hence expires within ``lease_s`` of it.  On a localhost
+  cluster both deadlines read the same monotonic clock, so the
+  old-lease and new-lease windows cannot overlap.
+* The lease alone gives *leader-local* reads, not session monotonic
+  reads — the server additionally checks the client's barrier against
+  the replicated session table (:meth:`SessionMachine.session_applied_seq`)
+  before serving locally, so even a stale lease can never serve a read
+  older than the client's own acknowledged writes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.types import Clock, ProcessId, View
+
+
+class LeaderLease:
+    """Tracks whether this node may serve reads locally."""
+
+    def __init__(self, clock: Clock, node_id: ProcessId, lease_s: float) -> None:
+        self.clock = clock
+        self.node_id = node_id
+        self.lease_s = lease_s
+        self._leader: Optional[ProcessId] = None
+        self._view_id: Optional[int] = None
+        #: Earliest instant this node may serve locally (new-leader grace).
+        self._safe_from = 0.0
+        #: Lease expiry; local reads allowed strictly before it.
+        self._expiry = 0.0
+        #: Local-read attempts rejected because the lease was unsafe.
+        self.rejections = 0
+
+    @property
+    def leader(self) -> Optional[ProcessId]:
+        return self._leader
+
+    @property
+    def view_id(self) -> Optional[int]:
+        return self._view_id
+
+    @property
+    def expiry(self) -> float:
+        return self._expiry
+
+    def on_view(self, view: View) -> None:
+        """Track a view install; start the new-leader grace period."""
+        previous = self._leader
+        first_view = self._view_id is None
+        self._view_id = view.view_id
+        self._leader = view.leader() if view.members else None
+        if self._leader != self.node_id:
+            self._expiry = 0.0
+            return
+        if previous == self.node_id:
+            return  # still leader; existing lease remains valid
+        if first_view and view.view_id == 0:
+            # Bootstrap view: no displaced leader, no lease to wait out.
+            self._safe_from = self.clock.now
+        else:
+            self._safe_from = self.clock.now + self.lease_s
+
+    def note_renewal(self, node_id: ProcessId, submit_time: float) -> None:
+        """A lease command was applied; extend if it is our own."""
+        if node_id != self.node_id or self._leader != self.node_id:
+            return
+        self._expiry = max(self._expiry, submit_time + self.lease_s)
+
+    def holds(self) -> bool:
+        """May this node serve a read locally right now?"""
+        now = self.clock.now
+        ok = (
+            self._leader == self.node_id
+            and self._safe_from <= now
+            and now < self._expiry
+        )
+        if not ok:
+            self.rejections += 1
+        return ok

@@ -1,0 +1,201 @@
+"""Open-loop load generator for the session service.
+
+Unlike the k saturating closed-loop senders of the broadcast
+benchmarks, this models the paper's intended workload shape — many
+light clients — as an *open loop*: request arrival times are drawn
+from a Poisson process at the configured offered rate and submitted on
+schedule whether or not earlier requests completed, so queueing delay
+shows up as client-visible latency instead of silently throttling the
+offered load.  Keys follow a Zipf distribution (precomputed CDF +
+bisection — no numpy dependency), and the offered rate is spread over
+``sessions`` independent pipelined sessions with round-robin server
+fan-in.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import random
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.serve.client import SessionClient
+
+#: Extra time after the last scheduled arrival to drain pending acks.
+_DRAIN_GRACE_S = 2.0
+
+
+@dataclass
+class LoadConfig:
+    """One open-loop load point."""
+
+    #: Total offered load across all sessions, requests/second.
+    rate_rps: float = 200.0
+    #: Concurrent light sessions the load is spread over.
+    sessions: int = 20
+    #: Submission window; the run drains pending requests afterwards.
+    duration_s: float = 5.0
+    #: Fraction of requests that are reads (``get``).
+    read_fraction: float = 0.5
+    #: Key space size; keys are ``k0 .. k{keys-1}``.
+    keys: int = 100
+    #: Zipf skew (1.0 = classic; larger = more skewed).
+    zipf_s: float = 1.1
+    #: Payload bytes per ``put`` value.
+    value_bytes: int = 64
+    #: Client-side retry/failover timeout per request.
+    retry_timeout_s: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rate_rps <= 0:
+            raise ValueError("rate_rps must be positive")
+        if self.sessions < 1:
+            raise ValueError("sessions must be at least 1")
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ValueError("read_fraction must be in [0, 1]")
+
+
+class ZipfKeys:
+    """Zipf(s) sampler over ``k0..k{n-1}`` via inverse-CDF bisection."""
+
+    def __init__(self, n: int, s: float, rng: random.Random) -> None:
+        self._rng = rng
+        weights = [1.0 / (rank ** s) for rank in range(1, n + 1)]
+        total = sum(weights)
+        self._cdf: List[float] = []
+        acc = 0.0
+        for w in weights:
+            acc += w / total
+            self._cdf.append(acc)
+        self._cdf[-1] = 1.0  # guard against float drift
+
+    def sample(self) -> str:
+        return f"k{bisect_left(self._cdf, self._rng.random())}"
+
+
+@dataclass
+class LoadStats:
+    """Aggregated client-visible results of one load point."""
+
+    offered: int = 0
+    completed: int = 0
+    acks: int = 0
+    retries: int = 0
+    reconnects: int = 0
+    cached_responses: int = 0
+    local_reads: int = 0
+    errors: int = 0
+    timeouts: int = 0
+    #: Client-visible latencies, seconds, completion order.
+    latencies: List[float] = field(default_factory=list)
+    #: Monotonic completion stamp of every ack (outage analysis).
+    ack_times: List[float] = field(default_factory=list)
+    #: Ground truth for the exactly-once battery:
+    #: (client_id, seq, op, args) per acknowledged mutating request.
+    acked_writes: List[Tuple[str, int, str, Tuple[Any, ...]]] = field(
+        default_factory=list
+    )
+
+    def percentile(self, q: float) -> Optional[float]:
+        if not self.latencies:
+            return None
+        ordered = sorted(self.latencies)
+        index = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+        return ordered[index]
+
+    def to_dict(self) -> Dict[str, Any]:
+        mean = (
+            sum(self.latencies) / len(self.latencies) if self.latencies else None
+        )
+        return {
+            "offered": self.offered,
+            "completed": self.completed,
+            "acks": self.acks,
+            "retries": self.retries,
+            "reconnects": self.reconnects,
+            "cached_responses": self.cached_responses,
+            "local_reads": self.local_reads,
+            "errors": self.errors,
+            "timeouts": self.timeouts,
+            "acked_writes": len(self.acked_writes),
+            "latency_mean_s": mean,
+            "latency_p50_s": self.percentile(0.50),
+            "latency_p99_s": self.percentile(0.99),
+        }
+
+
+async def run_load(
+    addresses: List[Tuple[str, int]],
+    config: LoadConfig,
+    *,
+    client_prefix: str = "c",
+) -> LoadStats:
+    """Drive one open-loop load point against a serve cluster."""
+    stats = LoadStats()
+    loop = asyncio.get_running_loop()
+
+    async def one_session(index: int) -> None:
+        rng = random.Random((config.seed << 16) ^ index)
+        zipf = ZipfKeys(config.keys, config.zipf_s, rng)
+        client = SessionClient(
+            f"{client_prefix}{config.seed}-{index}",
+            addresses,
+            retry_timeout_s=config.retry_timeout_s,
+            prefer=index,  # spread the fan-in round-robin over servers
+        )
+        await client.connect()
+        value = "v" * config.value_bytes
+        rate = config.rate_rps / config.sessions
+        pending: set = set()
+        start = loop.time()
+        deadline = start + config.duration_s
+        next_arrival = start + rng.expovariate(rate)
+        try:
+            while next_arrival < deadline:
+                delay = next_arrival - loop.time()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                key = zipf.sample()
+                if rng.random() < config.read_fraction:
+                    fut = client.submit("get", key)
+                else:
+                    fut = client.submit("put", key, value)
+                stats.offered += 1
+                submitted = loop.time()
+
+                def on_done(f: asyncio.Future, t0: float = submitted) -> None:
+                    pending.discard(f)
+                    if f.cancelled() or f.exception() is not None:
+                        return
+                    now = loop.time()
+                    stats.completed += 1
+                    stats.latencies.append(now - t0)
+                    stats.ack_times.append(now)
+
+                pending.add(fut)
+                fut.add_done_callback(on_done)
+                next_arrival += rng.expovariate(rate)
+            if pending:
+                done, still_pending = await asyncio.wait(
+                    pending,
+                    timeout=config.retry_timeout_s * 3 + _DRAIN_GRACE_S,
+                )
+                stats.timeouts += len(still_pending)
+        finally:
+            stats.acks += client.acks
+            stats.retries += client.retries
+            stats.reconnects += client.reconnects
+            stats.cached_responses += client.cached_responses
+            stats.local_reads += client.local_reads
+            stats.errors += client.errors
+            stats.acked_writes.extend(
+                (client.client_id, seq, op, args)
+                for seq, op, args in client.acked_writes
+            )
+            await client.close()
+
+    await asyncio.gather(*(one_session(i) for i in range(config.sessions)))
+    return stats

@@ -1,0 +1,414 @@
+"""The ``python -m repro serve`` benchmark driver.
+
+Launches a serve-mode live cluster (every node runs a
+:class:`~repro.serve.server.SessionServer`, no internal senders),
+drives the open-loop load generator against it at a sweep of offered
+rates, and emits ``BENCH_serve.json`` with the client-visible
+latency-vs-offered-load curve — including a kill-the-leader-mid-load
+point whose results are gated on the exactly-once invariant battery:
+
+* every *acknowledged* mutating request was applied on every survivor
+  exactly once (no lost acked writes, no double applies);
+* per client, first applications happen in strictly increasing seq
+  order on every node;
+* all survivors applied the *identical* command sequence, and a killed
+  node's journal is a prefix of it (uniform total order);
+* every survivor's state-machine snapshot hashes identically.
+
+Timebase: clients, the launcher's kill stamp, and every node's journal
+all read ``CLOCK_MONOTONIC`` (system-wide on Linux), so the
+client-visible outage around a SIGKILL is measured on one axis.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import NetworkError
+from repro.live.runner import LiveCluster, LiveClusterSpec, load_journal_record
+from repro.serve.loadgen import LoadConfig, LoadStats, run_load
+from repro.types import ProcessId
+
+#: Slack past detection + view change before declaring an outage stuck.
+_START_TIMEOUT_S = 30.0
+#: How long terminated survivors get to write their records.
+_SHUTDOWN_GRACE_S = 15.0
+#: Fraction of the load window after which the leader is killed.
+_KILL_AT_FRACTION = 0.35
+
+
+@dataclass
+class ServeSpec:
+    """One serve benchmark configuration."""
+
+    processes: int = 3
+    t: int = 1
+    host: str = "127.0.0.1"
+    lease_s: float = 0.8
+    heartbeat_interval_s: float = 0.1
+    heartbeat_timeout_s: float = 1.0
+    #: Offered-load sweep, requests/second (the curve's x axis).
+    rates: List[float] = field(default_factory=lambda: [100.0, 300.0, 600.0])
+    #: Also run a kill-the-leader point at ``kill_rate``.
+    kill_leader: bool = True
+    #: Offered rate for the leader-kill point; None uses the middle of
+    #: the sweep.
+    kill_rate: Optional[float] = None
+    #: Load window per point.
+    duration_s: float = 4.0
+    sessions: int = 20
+    read_fraction: float = 0.5
+    keys: int = 100
+    zipf_s: float = 1.1
+    value_bytes: int = 64
+    #: Client retry/failover timeout; must exceed one ring round trip
+    #: and stay below detection + view change so retries drive failover.
+    retry_timeout_s: float = 1.0
+    seed: int = 0
+
+    def live_spec(self) -> LiveClusterSpec:
+        return LiveClusterSpec(
+            processes=self.processes,
+            senders=0,
+            t=self.t,
+            host=self.host,
+            duration_s=self.duration_s,
+            max_run_s=self.duration_s + 120.0,
+            sim_compare=False,
+            view_changes=True,
+            heartbeat_interval_s=self.heartbeat_interval_s,
+            heartbeat_timeout_s=self.heartbeat_timeout_s,
+            run_seed=self.seed,
+            serve=True,
+            lease_s=self.lease_s,
+        )
+
+
+@dataclass
+class ServePoint:
+    """Result of one offered-load point."""
+
+    rate_rps: float
+    stats: LoadStats
+    killed: Optional[ProcessId] = None
+    kill_time: Optional[float] = None
+    #: Worst client-visible ack gap in the recovery window around the
+    #: kill (the serve analogue of ``recovery_outage_from_spans``).
+    outage_s: Optional[float] = None
+    violations: List[str] = field(default_factory=list)
+    node_serve_stats: Dict[ProcessId, Dict[str, Any]] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        duration = None
+        if self.stats.ack_times:
+            duration = max(self.stats.ack_times) - min(self.stats.ack_times)
+        achieved = (
+            self.stats.completed / duration if duration else None
+        )
+        return {
+            "offered_rps": self.rate_rps,
+            "achieved_rps": achieved,
+            "killed": self.killed,
+            "outage_s": self.outage_s,
+            "violations": self.violations,
+            "load": self.stats.to_dict(),
+            "node_serve_stats": {
+                str(pid): stats for pid, stats in self.node_serve_stats.items()
+            },
+        }
+
+
+def load_applied_log(path: str) -> List[Dict[str, Any]]:
+    """Extract the session ``apply`` entries from a node journal.
+
+    Tolerates a torn final line, like
+    :func:`~repro.live.runner.load_journal_record`.
+    """
+    applied: List[Dict[str, Any]] = []
+    try:
+        with open(path) as fh:
+            for line in fh:
+                try:
+                    event = json.loads(line)
+                except ValueError:
+                    break  # torn tail line
+                if event.get("type") == "apply":
+                    applied.append(event)
+    except OSError:
+        return []
+    return applied
+
+
+def verify_serve_run(
+    stats: LoadStats,
+    applied_by_node: Dict[ProcessId, List[Dict[str, Any]]],
+    survivors: List[ProcessId],
+    killed: Optional[ProcessId] = None,
+    snapshot_hashes: Optional[Dict[ProcessId, str]] = None,
+) -> List[str]:
+    """The exactly-once invariant battery; returns violations (empty = green)."""
+    violations: List[str] = []
+
+    # 1. Acked writes exist exactly once on every survivor.
+    for pid in survivors:
+        counts: Dict[Tuple[str, int], int] = {}
+        for event in applied_by_node.get(pid, []):
+            key = (event["client"], event["seq"])
+            counts[key] = counts.get(key, 0) + 1
+        for key, count in counts.items():
+            if count > 1:
+                violations.append(
+                    f"node {pid}: {key} applied {count} times (double apply)"
+                )
+        for client, seq, op, _args in stats.acked_writes:
+            if counts.get((client, seq), 0) != 1:
+                violations.append(
+                    f"node {pid}: acked write ({client!r}, {seq}) applied "
+                    f"{counts.get((client, seq), 0)} times (lost or duplicated)"
+                )
+
+    # 2. Per client, first applications in strictly increasing seq order.
+    for pid, applied in applied_by_node.items():
+        last_seq: Dict[str, int] = {}
+        for event in applied:
+            client, seq = event["client"], event["seq"]
+            if seq <= last_seq.get(client, 0):
+                violations.append(
+                    f"node {pid}: client {client!r} seq {seq} applied after "
+                    f"{last_seq[client]} (session order violated)"
+                )
+            last_seq[client] = max(last_seq.get(client, 0), seq)
+
+    # 3. Identical applied sequence on survivors; killed node a prefix.
+    sequences = {
+        pid: [(e["client"], e["seq"]) for e in applied_by_node.get(pid, [])]
+        for pid in applied_by_node
+    }
+    survivor_seqs = [sequences[pid] for pid in survivors if pid in sequences]
+    if survivor_seqs:
+        reference = survivor_seqs[0]
+        for pid in survivors[1:]:
+            if sequences.get(pid, []) != reference:
+                violations.append(
+                    f"node {pid}: applied sequence diverges from node "
+                    f"{survivors[0]} (total order violated)"
+                )
+        if killed is not None and killed in sequences:
+            killed_seq = sequences[killed]
+            if killed_seq != reference[: len(killed_seq)]:
+                violations.append(
+                    f"killed node {killed}: applied sequence is not a prefix "
+                    "of the survivors' (uniformity violated)"
+                )
+
+    # 4. Survivor state snapshots identical.
+    if snapshot_hashes:
+        digests = {snapshot_hashes[pid] for pid in survivors if pid in snapshot_hashes}
+        if len(digests) > 1:
+            violations.append(
+                f"survivor snapshot hashes diverge: {sorted(digests)}"
+            )
+    return violations
+
+
+def client_outage(
+    ack_times: List[float], kill_time: float, window_s: float
+) -> Optional[float]:
+    """Worst client-visible ack gap caused by a kill.
+
+    The serve analogue of
+    :func:`repro.obs.analyze.recovery_outage_from_spans`: the largest
+    gap between consecutive acks whose interval intersects
+    ``[kill_time, kill_time + window_s]`` — in-flight responses
+    draining just after the SIGKILL do not mask the view-change stall,
+    and trailing low-rate drain gaps long after recovery do not
+    inflate it.  ``None`` when no ack lands in the window.
+    """
+    window_end = kill_time + window_s
+    stamps = sorted(t for t in ack_times if t <= window_end)
+    if not stamps or stamps[-1] < kill_time:
+        return None
+    worst: Optional[float] = None
+    previous = stamps[0]
+    for stamp in stamps[1:]:
+        if stamp >= kill_time:  # gap [previous, stamp] touches the window
+            gap = stamp - previous
+            worst = gap if worst is None else max(worst, gap)
+        previous = stamp
+    if worst is None:
+        # Single ack in the window: measure from the kill instant.
+        return max(0.0, min(t for t in stamps if t >= kill_time) - kill_time)
+    return worst
+
+
+def _await_starts(cluster: LiveCluster, timeout_s: float) -> None:
+    """Block until every node's journal reports its start barrier."""
+    deadline = time.monotonic() + timeout_s
+    started: set = set()
+    while len(started) < len(cluster.members):
+        for pid, proc in cluster.procs.items():
+            if pid not in started and proc.poll() is not None:
+                raise NetworkError(
+                    f"serve node {pid} exited {proc.returncode} before its "
+                    "start barrier"
+                )
+        for pid, path in cluster.journal_paths.items():
+            if pid in started:
+                continue
+            if load_journal_record(pid, path) is not None:
+                started.add(pid)
+        if len(started) == len(cluster.members):
+            return
+        if time.monotonic() > deadline:
+            missing = sorted(set(cluster.members) - started)
+            raise NetworkError(
+                f"serve nodes {missing} never reached the start barrier "
+                f"within {timeout_s:.0f}s"
+            )
+        time.sleep(0.05)
+
+
+def run_serve_point(
+    spec: ServeSpec, rate_rps: float, kill_leader: bool = False
+) -> ServePoint:
+    """Launch a serve cluster, drive one load point, verify, tear down."""
+    live_spec = spec.live_spec()
+    with tempfile.TemporaryDirectory(prefix="repro-serve-") as workdir:
+        cluster = LiveCluster(live_spec, workdir, journals=True)
+        killed: Optional[ProcessId] = None
+        kill_time: Optional[float] = None
+        try:
+            _await_starts(cluster, _START_TIMEOUT_S)
+            addresses = [
+                cluster.serve_addresses[pid] for pid in cluster.members
+            ]
+            load_config = LoadConfig(
+                rate_rps=rate_rps,
+                sessions=spec.sessions,
+                duration_s=spec.duration_s,
+                read_fraction=spec.read_fraction,
+                keys=spec.keys,
+                zipf_s=spec.zipf_s,
+                value_bytes=spec.value_bytes,
+                retry_timeout_s=spec.retry_timeout_s,
+                seed=spec.seed,
+            )
+
+            async def drive() -> LoadStats:
+                nonlocal killed, kill_time
+                loop = asyncio.get_running_loop()
+                kill_handle = None
+                if kill_leader:
+                    # Ring position 0 leads the bootstrap view; it holds
+                    # the lease when the SIGKILL lands mid-load.
+                    victim = cluster.members[0]
+
+                    def do_kill() -> None:
+                        nonlocal killed, kill_time
+                        if cluster.kill(victim):
+                            killed = victim
+                            kill_time = loop.time()
+
+                    kill_handle = loop.call_later(
+                        spec.duration_s * _KILL_AT_FRACTION, do_kill
+                    )
+                try:
+                    return await run_load(addresses, load_config)
+                finally:
+                    if kill_handle is not None:
+                        kill_handle.cancel()
+
+            stats = asyncio.run(drive())
+            skip = {killed} if killed is not None else set()
+            cluster.terminate(skip=skip)
+            cluster.wait(_SHUTDOWN_GRACE_S, skip=skip, fail_fast=False)
+            cluster.raise_on_failures(skip=skip)
+            records = cluster.collect(skip=skip)
+            applied_by_node = {
+                pid: load_applied_log(path)
+                for pid, path in cluster.journal_paths.items()
+            }
+            survivors = [pid for pid in cluster.members if pid != killed]
+            snapshot_hashes = {
+                pid: record["serve"]["snapshot_hash"]
+                for pid, record in records.items()
+                if "serve" in record
+            }
+            violations = verify_serve_run(
+                stats, applied_by_node, survivors, killed, snapshot_hashes
+            )
+            outage_s: Optional[float] = None
+            if kill_time is not None:
+                if any(t >= kill_time for t in stats.ack_times):
+                    outage_s = client_outage(
+                        stats.ack_times,
+                        kill_time,
+                        window_s=spec.heartbeat_timeout_s
+                        + spec.retry_timeout_s
+                        + 2.0,
+                    )
+                else:
+                    violations.append(
+                        "no acknowledged request after the leader kill "
+                        "(service never recovered)"
+                    )
+            return ServePoint(
+                rate_rps=rate_rps,
+                stats=stats,
+                killed=killed,
+                kill_time=kill_time,
+                outage_s=outage_s,
+                violations=violations,
+                node_serve_stats={
+                    pid: record["serve"]
+                    for pid, record in records.items()
+                    if "serve" in record
+                },
+            )
+        finally:
+            cluster.shutdown()
+
+
+def run_serve_benchmark(
+    spec: ServeSpec, out_path: str = "BENCH_serve.json"
+) -> Dict[str, Any]:
+    """The full ``python -m repro serve`` pipeline; writes ``out_path``."""
+    points = [run_serve_point(spec, rate) for rate in spec.rates]
+    kill_point: Optional[ServePoint] = None
+    if spec.kill_leader:
+        kill_rate = (
+            spec.kill_rate
+            if spec.kill_rate is not None
+            else spec.rates[len(spec.rates) // 2]
+        )
+        kill_point = run_serve_point(spec, kill_rate, kill_leader=True)
+    all_points = points + ([kill_point] if kill_point is not None else [])
+    payload: Dict[str, Any] = {
+        "schema": "repro.bench_serve/1",
+        "config": {
+            "processes": spec.processes,
+            "t": spec.t,
+            "lease_s": spec.lease_s,
+            "heartbeat_timeout_s": spec.heartbeat_timeout_s,
+            "sessions": spec.sessions,
+            "duration_s": spec.duration_s,
+            "read_fraction": spec.read_fraction,
+            "keys": spec.keys,
+            "zipf_s": spec.zipf_s,
+            "value_bytes": spec.value_bytes,
+            "retry_timeout_s": spec.retry_timeout_s,
+            "seed": spec.seed,
+        },
+        "curve": [point.to_dict() for point in points],
+        "kill_point": kill_point.to_dict() if kill_point is not None else None,
+        "invariants_ok": all(not point.violations for point in all_points),
+    }
+    with open(out_path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    return payload

@@ -1,0 +1,323 @@
+"""The per-node asyncio session server.
+
+One :class:`SessionServer` runs inside every live node (when the
+cluster is launched with ``serve=True``).  It accepts pipelined,
+length-prefixed requests from client sessions and answers each one via
+one of three paths:
+
+* **cached** — the replicated dedup table already holds the outcome
+  for ``(client, seq)``: answer from the cache, never re-execute.
+* **local** — the request is read-only, this node holds the leader
+  lease, and the replicated session table already reflects the
+  client's ``barrier`` (session monotonic reads): serve from the local
+  replica without a ring round-trip.
+* **ordered** — everything else: wrap the request in a session
+  envelope, TO-broadcast it, and respond when the total order applies
+  it here.
+
+Every *first* application of a session command is journalled (type
+``"apply"``), so a SIGKILLed node still leaves its applied sequence
+behind — the serve chaos battery replays those journals to prove no
+acknowledged write was lost or doubly applied.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import logging
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import CodecError, ReproError
+from repro.live.scheduler import AsyncioScheduler
+from repro.obs.telemetry import Telemetry
+from repro.serve.lease import LeaderLease
+from repro.serve.session import SessionMachine, lease_command, session_command
+from repro.serve.wire import (
+    Request,
+    Response,
+    encode_response,
+    read_frame,
+    decode_request,
+)
+from repro.smr.machine import Command, ReplicatedStateMachine
+from repro.types import ProcessId, View
+
+logger = logging.getLogger(__name__)
+
+#: Renewals per lease period; 3 keeps the lease alive across one lost
+#: renewal without ever serving from an expired one.
+_RENEWALS_PER_LEASE = 3
+
+
+def snapshot_hash(snapshot: Any) -> str:
+    """Stable short digest of a machine snapshot, for cross-replica
+    state-equality checks in the invariant battery."""
+    encoded = json.dumps(snapshot, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()[:16]
+
+
+class SessionServer:
+    """Client-facing TCP front end of one replica."""
+
+    def __init__(
+        self,
+        node_id: ProcessId,
+        rsm: ReplicatedStateMachine,
+        machine: SessionMachine,
+        lease: LeaderLease,
+        sched: AsyncioScheduler,
+        telemetry: Optional[Telemetry] = None,
+        journal: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> None:
+        self.node_id = node_id
+        self.rsm = rsm
+        self.machine = machine
+        self.lease = lease
+        self.sched = sched
+        self.telemetry = telemetry or Telemetry()
+        self._journal = journal
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._view: Optional[View] = None
+        self._waiters: Dict[Tuple[str, int], List[asyncio.Future]] = {}
+        self._conn_tasks: set = set()
+        self._renew_handle: Optional[Any] = None
+        self._closed = False
+        self._requests = self.telemetry.counter("serve_requests")
+        self._cached = self.telemetry.counter("serve_cached")
+        self._local = self.telemetry.counter("serve_local_reads")
+        self._ordered = self.telemetry.counter("serve_ordered")
+        self._lease_rejects = self.telemetry.counter("serve_lease_rejects")
+        self._barrier_rejects = self.telemetry.counter("serve_barrier_rejects")
+        machine.on_session_apply(self._on_session_apply)
+        machine.on_lease_apply(self._on_lease_apply)
+
+    # -- lifecycle -----------------------------------------------------
+    async def start(self, host: str, port: int) -> None:
+        self._server = await asyncio.start_server(self._handle_conn, host, port)
+        self._renew_tick()
+        logger.info("session server %d listening on %s:%d", self.node_id, host, port)
+
+    async def close(self) -> None:
+        self._closed = True
+        if self._renew_handle is not None:
+            self._renew_handle.cancel()
+            self._renew_handle = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        for waiters in self._waiters.values():
+            for fut in waiters:
+                if not fut.done():
+                    fut.cancel()
+        self._waiters.clear()
+
+    # -- membership / lease -------------------------------------------
+    def on_view(self, view: View) -> None:
+        """Track a view install (called by the node's rewire hook)."""
+        self._view = view
+        was_leader = self.lease.leader == self.node_id
+        self.lease.on_view(view)
+        if self.lease.leader == self.node_id and not was_leader:
+            # Don't submit from inside the membership install path; the
+            # first renewal goes out on the next loop iteration.
+            self.sched.loop.call_soon(self._renew_once)
+
+    def _renew_once(self) -> None:
+        if self._closed or self.lease.leader != self.node_id:
+            return
+        try:
+            self.rsm.submit(lease_command(self.node_id, self.sched.now))
+        except ReproError as exc:  # blocked mid view change: next tick retries
+            logger.debug("lease renewal submit failed: %s", exc)
+
+    def _renew_tick(self) -> None:
+        if self._closed:
+            return
+        self._renew_once()
+        self._renew_handle = self.sched.schedule(
+            self.lease.lease_s / _RENEWALS_PER_LEASE, self._renew_tick
+        )
+
+    def _on_lease_apply(self, node_id: ProcessId, submit_time: float) -> None:
+        self.lease.note_renewal(node_id, submit_time)
+
+    # -- apply side ----------------------------------------------------
+    def _on_session_apply(
+        self,
+        client_id: str,
+        seq_no: int,
+        op: str,
+        args: Tuple[Any, ...],
+        outcome: Tuple[str, Any],
+        applied_index: int,
+    ) -> None:
+        if self._journal is not None:
+            self._journal({
+                "type": "apply",
+                "client": client_id,
+                "seq": seq_no,
+                "op": op,
+                "status": outcome[0],
+                "index": applied_index,
+                "time": self.sched.now,
+            })
+        waiters = self._waiters.pop((client_id, seq_no), None)
+        if waiters:
+            for fut in waiters:
+                if not fut.done():
+                    fut.set_result(outcome)
+
+    # -- request handling ----------------------------------------------
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        write_lock = asyncio.Lock()
+        pending: set = set()
+        try:
+            while True:
+                body = await read_frame(reader)
+                if body is None:
+                    break
+                try:
+                    request = decode_request(body)
+                except CodecError as exc:
+                    logger.warning("bad request frame: %s", exc)
+                    break
+                sub = asyncio.ensure_future(
+                    self._serve_one(request, writer, write_lock)
+                )
+                pending.add(sub)
+                sub.add_done_callback(pending.discard)
+        except (CodecError, ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            for sub in list(pending):
+                sub.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            if task is not None:
+                self._conn_tasks.discard(task)
+
+    async def _serve_one(
+        self,
+        request: Request,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        try:
+            response = await self._dispatch(request)
+        except asyncio.CancelledError:
+            return
+        except ReproError as exc:
+            # Transport-level failure (e.g. broadcast rejected during a
+            # view change): tell the client to retry, possibly elsewhere.
+            response = self._response(
+                request, ok=False, error=f"unavailable: {exc}", served="ordered"
+            )
+        async with write_lock:
+            try:
+                writer.write(encode_response(response))
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass  # client gone; it will retry on a new connection
+
+    def _response(
+        self,
+        request: Request,
+        ok: bool,
+        result: Any = None,
+        error: Optional[str] = None,
+        served: str = "ordered",
+    ) -> Response:
+        view = self._view
+        return Response(
+            seq=request.seq,
+            ok=ok,
+            result=result,
+            error=error,
+            served=served,
+            leader=self.lease.leader,
+            view_id=view.view_id if view is not None else self.lease.view_id,
+        )
+
+    def _from_outcome(
+        self, request: Request, outcome: Tuple[str, Any], served: str
+    ) -> Response:
+        status, value = outcome
+        if status == "ok":
+            return self._response(request, ok=True, result=value, served=served)
+        return self._response(request, ok=False, error=value, served=served)
+
+    async def _dispatch(self, request: Request) -> Response:
+        self._requests.inc()
+        client, seq = request.client, request.seq
+        cached = self.machine.lookup(client, seq)
+        if cached is not None:
+            self._cached.inc()
+            return self._from_outcome(request, cached, served="cached")
+        read_only_ops = getattr(self.machine.inner, "READ_ONLY_OPS", frozenset())
+        if request.op in read_only_ops and not request.ordered:
+            if not self.lease.holds():
+                self._lease_rejects.inc()
+            elif self.machine.session_applied_seq(client) < request.barrier:
+                # Session monotonic reads: our replica has not yet
+                # applied everything this client saw acked — an ordered
+                # read is the only safe answer.
+                self._barrier_rejects.inc()
+            else:
+                self._local.inc()
+                result = self.machine.local_read(
+                    Command(request.op, request.args)
+                )
+                return self._response(request, ok=True, result=result, served="local")
+        # Ordered path: through the total order, exactly once.
+        fut: asyncio.Future = self.sched.loop.create_future()
+        key = (client, seq)
+        self._waiters.setdefault(key, []).append(fut)
+        try:
+            self.rsm.submit(session_command(
+                client, seq, request.first_unacked, request.op, request.args
+            ))
+            self._ordered.inc()
+            outcome = await fut
+        finally:
+            waiters = self._waiters.get(key)
+            if waiters is not None:
+                if fut in waiters:
+                    waiters.remove(fut)
+                if not waiters:
+                    del self._waiters[key]
+        return self._from_outcome(request, outcome, served="ordered")
+
+    # -- reporting -----------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """JSON-able serving summary for the node's result record."""
+        return {
+            "requests": self._requests.value,
+            "cached": self._cached.value,
+            "local_reads": self._local.value,
+            "ordered": self._ordered.value,
+            "lease_rejects": self._lease_rejects.value,
+            "barrier_rejects": self._barrier_rejects.value,
+            "dedup_hits": self.machine.dedup_hits,
+            "session_applies": self.machine.session_applies,
+            "lease_applies": self.machine.lease_applies,
+            "sessions": len(self.machine.sessions),
+            "applied_index": self.machine.applied_index,
+            "snapshot_hash": snapshot_hash(self.machine.snapshot()),
+        }

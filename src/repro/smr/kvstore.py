@@ -36,10 +36,21 @@ class KVStore(StateMachine):
         handler = getattr(self, f"_op_{command.op}", None)
         if handler is None:
             raise ProtocolError(f"unknown KV operation {command.op!r}")
-        return handler(*command.args)
+        try:
+            return handler(*command.args)
+        except TypeError as exc:
+            # Wrong arity / argument types are a deterministic rejection
+            # of the command, not a replica crash.
+            raise ProtocolError(
+                f"bad arguments for {command.op!r}: {exc}"
+            ) from exc
 
     def snapshot(self) -> Dict[str, Any]:
         return dict(self._data)
+
+    def restore(self, snapshot: Dict[str, Any]) -> None:
+        """Replace the store's contents with ``snapshot``."""
+        self._data = dict(snapshot)
 
     def __len__(self) -> int:
         return len(self._data)

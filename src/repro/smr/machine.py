@@ -36,9 +36,9 @@ class Command:
     def decode(cls, payload: bytes) -> "Command":
         try:
             op, args = json.loads(payload.decode("utf-8"))
-        except (ValueError, UnicodeDecodeError) as exc:
+            return cls(op=op, args=tuple(args))
+        except (ValueError, TypeError, UnicodeDecodeError) as exc:
             raise ProtocolError(f"undecodable command payload: {exc}") from exc
-        return cls(op=op, args=tuple(args))
 
 
 class StateMachine(ABC):
@@ -91,6 +91,18 @@ class ReplicatedStateMachine:
     def result_of(self, message_id: MessageId) -> Any:
         """Result of a locally observed command, if applied already."""
         return self._local_results.get(message_id)
+
+    def deliver(
+        self, origin: ProcessId, message_id: MessageId, payload: Any, size: int
+    ) -> None:
+        """Public delivery entry point for multiplexed listeners.
+
+        The constructor claims the broadcast endpoint's single listener
+        slot.  Runtimes that must observe deliveries themselves (the
+        live node journals every delivery) install their own combined
+        listener instead and forward each delivery here.
+        """
+        self._on_deliver(origin, message_id, payload, size)
 
     def _on_deliver(
         self, origin: ProcessId, message_id: MessageId, payload: Any, size: int

@@ -1,0 +1,114 @@
+"""Leader lease safety unit tests.
+
+The lease's one job: a node may serve a local read only while no other
+node could believe it is leader with an unexpired lease.  Expiry is
+measured from renewal *submission* time; a newly installed leader
+waits out one full lease before serving (except at bootstrap, where no
+displaced leader exists).
+"""
+
+from repro.serve.lease import LeaderLease
+from repro.types import View
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+
+def test_non_leader_never_holds():
+    clock = FakeClock()
+    lease = LeaderLease(clock, node_id=1, lease_s=0.5)
+    lease.on_view(View(view_id=0, members=(0, 1, 2)))
+    lease.note_renewal(1, 0.0)  # own renewal, but node 0 leads
+    assert not lease.holds()
+    assert lease.rejections == 1
+
+
+def test_bootstrap_leader_serves_after_first_renewal_without_grace():
+    clock = FakeClock()
+    lease = LeaderLease(clock, node_id=0, lease_s=0.5)
+    lease.on_view(View(view_id=0, members=(0, 1, 2)))
+    assert not lease.holds()  # no renewal applied yet
+    lease.note_renewal(0, submit_time=0.0)
+    assert lease.holds()
+    assert lease.expiry == 0.5
+
+
+def test_expiry_is_submission_time_plus_lease():
+    clock = FakeClock()
+    lease = LeaderLease(clock, node_id=0, lease_s=0.5)
+    lease.on_view(View(view_id=0, members=(0, 1)))
+    # Renewal submitted at t=0.1; ordering latency does not extend it.
+    clock.now = 0.4
+    lease.note_renewal(0, submit_time=0.1)
+    assert lease.expiry == 0.6
+    clock.now = 0.59
+    assert lease.holds()
+    clock.now = 0.6  # strictly-before semantics at the boundary
+    assert not lease.holds()
+    # Renewals never shorten the lease.
+    lease.note_renewal(0, submit_time=0.0)
+    assert lease.expiry == 0.6
+
+
+def test_other_nodes_renewals_ignored():
+    clock = FakeClock()
+    lease = LeaderLease(clock, node_id=0, lease_s=0.5)
+    lease.on_view(View(view_id=0, members=(0, 1)))
+    lease.note_renewal(1, submit_time=0.0)
+    assert not lease.holds()
+
+
+def test_new_leader_waits_out_the_old_lease():
+    clock = FakeClock()
+    lease = LeaderLease(clock, node_id=1, lease_s=0.5)
+    lease.on_view(View(view_id=0, members=(0, 1, 2)))
+    # Node 0 crashes; node 1 leads the next view at t=1.0.
+    clock.now = 1.0
+    lease.on_view(View(view_id=1, members=(1, 2)))
+    lease.note_renewal(1, submit_time=1.0)
+    # Inside the grace window: the displaced leader's lease (granted
+    # from a submit_time < 1.0) may still be live somewhere.
+    clock.now = 1.2
+    assert not lease.holds()
+    # Past the grace window, a fresh renewal serves.
+    clock.now = 1.5
+    lease.note_renewal(1, submit_time=1.4)
+    assert lease.holds()
+
+
+def test_grace_applies_even_on_a_first_view_with_nonzero_id():
+    # A node that joins (or replays) straight into view 3 must not
+    # assume bootstrap: somebody may have led view 2 with a live lease.
+    clock = FakeClock(now=2.0)
+    lease = LeaderLease(clock, node_id=0, lease_s=0.5)
+    lease.on_view(View(view_id=3, members=(0, 1)))
+    lease.note_renewal(0, submit_time=2.0)
+    assert not lease.holds()
+    clock.now = 2.5
+    lease.note_renewal(0, submit_time=2.4)
+    assert lease.holds()
+
+
+def test_losing_leadership_drops_the_lease_immediately():
+    clock = FakeClock()
+    lease = LeaderLease(clock, node_id=0, lease_s=0.5)
+    lease.on_view(View(view_id=0, members=(0, 1)))
+    lease.note_renewal(0, submit_time=0.0)
+    assert lease.holds()
+    lease.on_view(View(view_id=1, members=(1, 0)))  # node 1 now leads
+    assert not lease.holds()
+    # A stale renewal of ours applying after the view change is inert.
+    lease.note_renewal(0, submit_time=0.1)
+    assert not lease.holds()
+
+
+def test_staying_leader_across_views_keeps_the_lease():
+    clock = FakeClock()
+    lease = LeaderLease(clock, node_id=0, lease_s=0.5)
+    lease.on_view(View(view_id=0, members=(0, 1, 2)))
+    lease.note_renewal(0, submit_time=0.0)
+    clock.now = 0.2
+    lease.on_view(View(view_id=1, members=(0, 2)))  # node 1 evicted
+    assert lease.holds()  # still leader: no self-displacement, no grace

@@ -1,0 +1,186 @@
+"""Live serve battery: real node processes, real TCP client sessions.
+
+Three layers, all marked ``live_smoke``:
+
+* sim/live conformance — the same scripted session replayed through a
+  real serve cluster applies the identical command sequence the
+  simulator pins down (``test_sim_conformance.py``);
+* a leader-kill chaos regression — SIGKILL the lease holder mid-load
+  and gate on the exactly-once invariant battery;
+* the ``repro serve`` benchmark pipeline end to end.
+"""
+
+import asyncio
+import contextlib
+import tempfile
+
+import pytest
+
+from repro.serve.client import SessionClient
+from repro.serve.runner import (
+    ServeSpec,
+    _await_starts,
+    load_applied_log,
+    run_serve_benchmark,
+    run_serve_point,
+)
+from repro.serve.sim import (
+    CONFORMANCE_SCRIPT,
+    expected_applied,
+    run_scripted_session,
+)
+from repro.live.runner import LiveCluster
+
+pytestmark = pytest.mark.live_smoke
+
+_START_TIMEOUT_S = 30.0
+_SHUTDOWN_GRACE_S = 15.0
+
+
+@contextlib.contextmanager
+def serve_cluster(processes=3, **overrides):
+    spec = ServeSpec(processes=processes, **overrides).live_spec()
+    with tempfile.TemporaryDirectory(prefix="repro-serve-test-") as workdir:
+        cluster = LiveCluster(spec, workdir, journals=True)
+        try:
+            _await_starts(cluster, _START_TIMEOUT_S)
+            yield cluster
+        finally:
+            cluster.shutdown()
+
+
+def _finish(cluster):
+    """Terminate, reap, and return (records, applied-per-node)."""
+    cluster.terminate()
+    cluster.wait(_SHUTDOWN_GRACE_S, fail_fast=False)
+    cluster.raise_on_failures()
+    records = cluster.collect()
+    applied = {
+        pid: [(e["client"], e["seq"], e["op"]) for e in load_applied_log(path)]
+        for pid, path in cluster.journal_paths.items()
+    }
+    return records, applied
+
+
+def test_live_conformance_matches_sim():
+    sim = run_scripted_session()
+    expected = expected_applied(CONFORMANCE_SCRIPT)
+    assert sim.applied[0] == expected  # the sim half, pinned again here
+
+    with serve_cluster() as cluster:
+        address = cluster.serve_addresses[cluster.members[0]]
+
+        async def replay():
+            # ordered_reads=True: gets ride the total order too, so
+            # they appear in the applied sequence exactly as on the sim.
+            clients = {
+                name: SessionClient(name, [address], ordered_reads=True)
+                for name in ("alice", "bob")
+            }
+            for client in clients.values():
+                await client.connect()
+            responses = {}
+            try:
+                for client_name, seq, _fu, op, args in CONFORMANCE_SCRIPT:
+                    client = clients[client_name]
+                    if (client_name, seq) in responses:
+                        dup = await asyncio.wait_for(
+                            client.duplicate(seq, op, *args), 10.0
+                        )
+                        first = responses[(client_name, seq)]
+                        assert dup.served == "cached"
+                        assert (dup.ok, dup.result, dup.error) == (
+                            first.ok, first.result, first.error
+                        )
+                    else:
+                        response = await asyncio.wait_for(
+                            client.request(op, *args), 10.0
+                        )
+                        responses[(client_name, seq)] = response
+            finally:
+                for client in clients.values():
+                    await client.close()
+
+        asyncio.run(replay())
+        records, applied = _finish(cluster)
+
+    for node_id, node_applied in applied.items():
+        assert node_applied == expected, f"node {node_id} diverged from sim"
+    hashes = {r["serve"]["snapshot_hash"] for r in records.values()}
+    assert len(hashes) == 1, "replica states diverged"
+
+
+def test_session_dedup_and_failover_reads_live():
+    with serve_cluster() as cluster:
+        addresses = [cluster.serve_addresses[pid] for pid in cluster.members]
+
+        async def scenario():
+            client = SessionClient("solo", addresses, retry_timeout_s=2.0)
+            await client.connect()
+            try:
+                put = await asyncio.wait_for(client.request("put", "k", "v"), 10.0)
+                assert put.ok and put.served == "ordered"
+                dup = await asyncio.wait_for(
+                    client.duplicate(1, "put", "k", "v"), 10.0
+                )
+                assert dup.served == "cached" and dup.ok
+                # Reads are session monotonic whichever node serves.
+                read = await asyncio.wait_for(client.request("get", "k"), 10.0)
+                assert read.ok and read.result == "v"
+            finally:
+                await client.close()
+
+        asyncio.run(scenario())
+        records, applied = _finish(cluster)
+
+    # One application of seq 1 everywhere, despite the duplicate.
+    for node_applied in applied.values():
+        assert node_applied.count(("solo", 1, "put")) == 1
+
+
+def test_leader_kill_preserves_exactly_once():
+    """SIGKILL the lease holder mid-load: no acked write lost or doubly
+    applied, and the client-visible outage is about detection plus a
+    view change."""
+    spec = ServeSpec(
+        processes=3,
+        rates=[120.0],
+        duration_s=3.0,
+        sessions=8,
+        heartbeat_timeout_s=1.0,
+        retry_timeout_s=1.0,
+    )
+    point = run_serve_point(spec, 120.0, kill_leader=True)
+    assert point.violations == [], point.violations
+    assert point.killed is not None
+    assert point.stats.acked_writes, "no writes acked — load never ran"
+    assert point.stats.timeouts == 0
+    # Outage ≈ detection (heartbeat timeout) + view change + reconnect
+    # slack; far below it would mean the metric missed the stall, far
+    # above it that recovery dragged past detection + view change.
+    assert point.outage_s is not None
+    assert 0.3 < point.outage_s < spec.heartbeat_timeout_s + 2.0, point.outage_s
+
+
+@pytest.mark.slow
+def test_serve_benchmark_writes_bench_record(tmp_path):
+    out = tmp_path / "BENCH_serve.json"
+    spec = ServeSpec(
+        processes=3,
+        rates=[60.0],
+        duration_s=1.5,
+        sessions=5,
+        kill_leader=True,
+        kill_rate=80.0,
+    )
+    payload = run_serve_benchmark(spec, out_path=str(out))
+    import json
+
+    on_disk = json.loads(out.read_text())
+    assert on_disk == payload
+    assert on_disk["schema"] == "repro.bench_serve/1"
+    assert len(on_disk["curve"]) == 1
+    assert on_disk["curve"][0]["load"]["completed"] > 0
+    assert on_disk["kill_point"] is not None
+    assert on_disk["kill_point"]["killed"] is not None
+    assert on_disk["invariants_ok"] is True

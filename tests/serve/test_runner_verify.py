@@ -1,0 +1,128 @@
+"""Unit tests for the exactly-once invariant battery and outage metric.
+
+These run on synthetic journals — no cluster — so every violation
+branch is exercised, including the ones a healthy live run never hits.
+"""
+
+from repro.serve.loadgen import LoadStats
+from repro.serve.runner import client_outage, verify_serve_run
+
+
+def _stats(acked):
+    stats = LoadStats()
+    stats.acked_writes = acked
+    return stats
+
+
+def _apply(client, seq):
+    return {"client": client, "seq": seq, "op": "put", "status": "ok"}
+
+
+def test_clean_run_passes_the_battery():
+    applied = [_apply("c", 1), _apply("c", 2), _apply("d", 1)]
+    violations = verify_serve_run(
+        _stats([("c", 1, "put", ()), ("c", 2, "put", ())]),
+        {0: list(applied), 1: list(applied), 2: list(applied)},
+        survivors=[0, 1, 2],
+        snapshot_hashes={0: "h", 1: "h", 2: "h"},
+    )
+    assert violations == []
+
+
+def test_lost_acked_write_detected():
+    applied = [_apply("c", 1)]
+    violations = verify_serve_run(
+        _stats([("c", 1, "put", ()), ("c", 2, "put", ())]),  # seq 2 acked...
+        {0: list(applied), 1: list(applied)},                 # ...never applied
+        survivors=[0, 1],
+    )
+    assert any("lost or duplicated" in v for v in violations)
+
+
+def test_double_apply_detected():
+    applied = [_apply("c", 1), _apply("c", 1)]
+    violations = verify_serve_run(
+        _stats([("c", 1, "put", ())]),
+        {0: applied},
+        survivors=[0],
+    )
+    assert any("double apply" in v for v in violations)
+    assert any("session order violated" in v for v in violations)
+
+
+def test_session_order_regression_detected():
+    applied = [_apply("c", 2), _apply("c", 1)]
+    violations = verify_serve_run(
+        _stats([]), {0: applied}, survivors=[0],
+    )
+    assert any("session order violated" in v for v in violations)
+
+
+def test_survivor_divergence_detected():
+    violations = verify_serve_run(
+        _stats([]),
+        {0: [_apply("c", 1)], 1: [_apply("d", 1)]},
+        survivors=[0, 1],
+    )
+    assert any("total order violated" in v for v in violations)
+
+
+def test_killed_node_must_be_a_prefix():
+    survivor = [_apply("c", 1), _apply("c", 2)]
+    ok = verify_serve_run(
+        _stats([]),
+        {0: survivor, 1: survivor[:1]},
+        survivors=[0],
+        killed=1,
+    )
+    assert ok == []
+    bad = verify_serve_run(
+        _stats([]),
+        {0: survivor, 1: [_apply("d", 9)]},
+        survivors=[0],
+        killed=1,
+    )
+    assert any("uniformity violated" in v for v in bad)
+
+
+def test_snapshot_hash_divergence_detected():
+    applied = [_apply("c", 1)]
+    violations = verify_serve_run(
+        _stats([]),
+        {0: list(applied), 1: list(applied)},
+        survivors=[0, 1],
+        snapshot_hashes={0: "aaaa", 1: "bbbb"},
+    )
+    assert any("snapshot hashes diverge" in v for v in violations)
+
+
+# -- the outage metric -------------------------------------------------
+def test_outage_is_the_worst_gap_straddling_the_kill():
+    # Acks every 10 ms, a kill at t=1.0, service stalls until t=2.1.
+    acks = [0.97, 0.98, 0.99, 2.1, 2.11, 2.12]
+    outage = client_outage(acks, kill_time=1.0, window_s=3.0)
+    assert abs(outage - (2.1 - 0.99)) < 1e-9
+
+
+def test_outage_not_masked_by_in_flight_acks_draining():
+    # Two in-flight responses land right after the SIGKILL; the real
+    # stall is still the 1.1 s view-change gap.
+    acks = [0.99, 1.001, 1.002, 2.1, 2.11]
+    outage = client_outage(acks, kill_time=1.0, window_s=3.0)
+    assert abs(outage - (2.1 - 1.002)) < 1e-9
+
+
+def test_outage_ignores_trailing_drain_gaps_outside_the_window():
+    acks = [0.99, 1.5, 9.0]  # the 7.5 s tail gap is not kill-related
+    outage = client_outage(acks, kill_time=1.0, window_s=2.0)
+    assert abs(outage - (1.5 - 0.99)) < 1e-9
+
+
+def test_outage_none_without_acks_in_the_window():
+    assert client_outage([0.5], kill_time=1.0, window_s=2.0) is None
+    assert client_outage([], kill_time=1.0, window_s=2.0) is None
+
+
+def test_outage_single_post_kill_ack_measured_from_the_kill():
+    outage = client_outage([1.8], kill_time=1.0, window_s=2.0)
+    assert abs(outage - 0.8) < 1e-9

@@ -1,0 +1,238 @@
+"""Property tests for the replicated session dedup table.
+
+The exactly-once contract (DESIGN.md §5h): for *any* interleaving of
+retries, reorders and duplicates of a client's requests, every request
+executes against the inner machine exactly once, and every re-sent
+already-acknowledged request is answered from the response cache with
+the outcome of its first execution — including deterministic errors.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.serve.session import (
+    ERROR,
+    OK,
+    SessionMachine,
+    SessionState,
+    lease_command,
+    session_command,
+)
+from repro.smr.kvstore import KVStore
+from repro.smr.machine import Command
+
+# One logical request: (op, args) over a tiny key space.  ``bogus`` and
+# ``incr`` on a string key are deterministic errors; they must dedup
+# exactly like successes.
+_OPS = st.sampled_from([
+    ("put", ("a", 1)),
+    ("put", ("b", "text")),
+    ("incr", ("a", 2)),
+    ("incr", ("b", 1)),  # ProtocolError once "b" holds text
+    ("get", ("a",)),
+    ("delete", ("a",)),
+    ("cas", ("a", 1, 2)),
+    ("bogus", ("a",)),   # always a ProtocolError
+])
+
+
+@st.composite
+def delivery_schedules(draw):
+    """A per-client request list plus an adversarial delivery order.
+
+    Every request is delivered at least once; duplicates are injected
+    and the whole stream is shuffled arbitrarily (cross-client reorder
+    is unrestricted; same-client reorder models failover interleaving).
+    """
+    clients = draw(st.lists(
+        st.sampled_from(["alice", "bob", "carol"]),
+        min_size=1, max_size=3, unique=True,
+    ))
+    requests = []
+    for client in clients:
+        ops = draw(st.lists(_OPS, min_size=1, max_size=6))
+        for seq, op_args in enumerate(ops, start=1):
+            # first_unacked=1: the client never acks, so nothing is
+            # pruned and any duplicate may arrive at any time.
+            requests.append((client, seq, 1, *op_args))
+    duplicates = draw(st.lists(
+        st.sampled_from(requests), min_size=0, max_size=8,
+    ))
+    schedule = requests + duplicates
+    permutation = draw(st.permutations(schedule))
+    return requests, permutation
+
+
+@given(delivery_schedules())
+@settings(max_examples=120, deadline=None)
+def test_any_interleaving_applies_each_request_exactly_once(schedule):
+    requests, deliveries = schedule
+    machine = SessionMachine(KVStore())
+    first_applies = []
+    machine.on_session_apply(
+        lambda client, seq, op, args, outcome, index:
+            first_applies.append((client, seq))
+    )
+    outcomes = {}
+    for client, seq, first_unacked, op, args in deliveries:
+        outcome = machine.apply(session_command(client, seq, first_unacked, op, args))
+        key = (client, seq)
+        if key in outcomes:
+            # A duplicate must see the first execution's exact outcome.
+            assert outcomes[key] == outcome
+        else:
+            outcomes[key] = outcome
+
+    distinct = {(client, seq) for client, seq, *_ in requests}
+    # Exactly one first-application per distinct request, no more.
+    assert sorted(first_applies) == sorted(distinct)
+    assert machine.session_applies == len(distinct)
+    assert machine.dedup_hits == len(deliveries) - len(distinct)
+    # Every outcome is a tagged status the server can serve from cache.
+    assert all(status in (OK, ERROR) for status, _ in outcomes.values())
+
+
+@given(delivery_schedules())
+@settings(max_examples=60, deadline=None)
+def test_replicas_converge_under_different_interleavings(schedule):
+    """Duplicates are invisible to state: a replica that sees the
+    adversarial stream (duplicates everywhere) ends with the same inner
+    state and session table as one that saw only the first deliveries
+    in the same relative order."""
+    requests, deliveries = schedule
+    machine_a = SessionMachine(KVStore())
+    machine_b = SessionMachine(KVStore())
+    firsts = []
+    seen = set()
+    for delivery in deliveries:
+        key = delivery[:2]
+        if key not in seen:
+            seen.add(key)
+            firsts.append(delivery)
+    # Replica A applies the adversarial stream; replica B only the
+    # first deliveries, in the same relative order.
+    for client, seq, first_unacked, op, args in deliveries:
+        machine_a.apply(session_command(client, seq, first_unacked, op, args))
+    for client, seq, first_unacked, op, args in firsts:
+        machine_b.apply(session_command(client, seq, first_unacked, op, args))
+    snap_a = machine_a.snapshot()
+    snap_b = machine_b.snapshot()
+    # Duplicates bump applied_index (every ordered command does) but
+    # must not change inner state or cached outcomes.
+    assert snap_a["inner"] == snap_b["inner"]
+    assert snap_a["sessions"] == snap_b["sessions"]
+
+
+@given(
+    st.lists(_OPS, min_size=1, max_size=8),
+    st.data(),
+)
+@settings(max_examples=80, deadline=None)
+def test_pruning_never_drops_a_retryable_response(ops, data):
+    """With an honestly advancing ``first_unacked`` cursor, any seq the
+    client may still retry (>= first_unacked) stays answerable from the
+    cache, and the cache never grows past the unacked window."""
+    machine = SessionMachine(KVStore())
+    acked = 0
+    for seq, (op, args) in enumerate(ops, start=1):
+        first_unacked = acked + 1
+        outcome = machine.apply(
+            session_command("c", seq, first_unacked, op, args)
+        )
+        # Retry of anything not yet acked: cached, not re-executed.
+        retry_seq = data.draw(
+            st.integers(min_value=first_unacked, max_value=seq),
+            label="retry_seq",
+        )
+        op_r, args_r = ops[retry_seq - 1]
+        applies_before = machine.session_applies
+        retry_outcome = machine.apply(
+            session_command("c", retry_seq, first_unacked, op_r, args_r)
+        )
+        assert machine.session_applies == applies_before
+        if retry_seq == seq:
+            assert retry_outcome == outcome
+        # The client acks a prefix (or not) before the next request.
+        acked = data.draw(
+            st.integers(min_value=acked, max_value=seq), label="acked"
+        )
+    state = machine.sessions["c"]
+    assert state.floor <= acked
+    assert all(seq > state.floor for seq in state.results)
+
+
+@given(delivery_schedules())
+@settings(max_examples=40, deadline=None)
+def test_snapshot_restore_round_trip_preserves_dedup(schedule):
+    _requests, deliveries = schedule
+    machine = SessionMachine(KVStore())
+    for client, seq, first_unacked, op, args in deliveries:
+        machine.apply(session_command(client, seq, first_unacked, op, args))
+    snap = machine.snapshot()
+
+    restored = SessionMachine(KVStore())
+    restored.restore(snap)
+    assert restored.snapshot() == snap
+    # A duplicate delivered after restore still hits the dedup table.
+    client, seq, first_unacked, op, args = deliveries[0]
+    before = restored.session_applies
+    outcome = restored.apply(session_command(client, seq, first_unacked, op, args))
+    assert restored.session_applies == before
+    assert outcome == machine.lookup(client, seq)
+
+
+def test_session_state_lookup_below_floor_is_a_pruned_error():
+    state = SessionState()
+    state.record(1, (OK, None))
+    state.record(2, (OK, "x"))
+    state.prune(3)  # client acked 1 and 2
+    assert state.floor == 2
+    assert state.results == {}
+    status, message = state.lookup(1)
+    assert status == ERROR and "pruned" in message
+    assert state.lookup(3) is None
+    assert state.applied_seq() == 2
+
+
+def test_floor_never_regresses():
+    state = SessionState()
+    state.prune(5)
+    assert state.floor == 4
+    state.prune(2)  # stale cursor from a reordered duplicate
+    assert state.floor == 4
+
+
+def test_malformed_envelopes_rejected():
+    machine = SessionMachine(KVStore())
+    with pytest.raises(ProtocolError):
+        machine.apply(Command("@session", ("c", 1, 1)))  # too few fields
+    with pytest.raises(ProtocolError):
+        machine.apply(session_command("c", 0, 1, "put", ("a", 1)))
+    with pytest.raises(ProtocolError):
+        machine.apply(session_command("c", True, 1, "put", ("a", 1)))
+    with pytest.raises(ProtocolError):
+        machine.apply(Command("@lease", (1,)))
+
+
+def test_lease_commands_are_noops_with_upcalls():
+    machine = SessionMachine(KVStore())
+    renewals = []
+    machine.on_lease_apply(lambda node, t: renewals.append((node, t)))
+    inner_before = machine.inner.snapshot()
+    assert machine.apply(lease_command(2, 1.5)) is None
+    assert renewals == [(2, 1.5)]
+    assert machine.lease_applies == 1
+    assert machine.inner.snapshot() == inner_before
+
+
+def test_local_read_bypasses_apply_and_rejects_mutations():
+    machine = SessionMachine(KVStore())
+    machine.apply(session_command("c", 1, 1, "put", ("a", 7)))
+    index = machine.applied_index
+    assert machine.local_read(Command("get", ("a",))) == 7
+    assert machine.applied_index == index
+    with pytest.raises(ProtocolError):
+        machine.local_read(Command("put", ("a", 8)))

@@ -1,0 +1,117 @@
+"""Tests for the serve wire protocol (length-prefixed JSON frames)."""
+
+import asyncio
+import json
+import struct
+
+import pytest
+
+from repro.errors import CodecError
+from repro.serve.wire import (
+    LENGTH_PREFIX_BYTES,
+    MAX_FRAME_BYTES,
+    Request,
+    Response,
+    decode_request,
+    decode_response,
+    encode_frame,
+    encode_request,
+    encode_response,
+    frame_length,
+    read_frame,
+)
+
+
+def _strip(frame: bytes) -> bytes:
+    assert frame_length(frame) == len(frame) - LENGTH_PREFIX_BYTES
+    return frame[LENGTH_PREFIX_BYTES:]
+
+
+def test_request_round_trip():
+    request = Request(
+        client="alice", seq=3, first_unacked=2, barrier=2,
+        op="put", args=("k", "v"), ordered=True,
+    )
+    assert decode_request(_strip(encode_request(request))) == request
+
+
+def test_response_round_trip():
+    response = Response(
+        seq=3, ok=True, result=[1, "x"], served="local", leader=0, view_id=2,
+    )
+    assert decode_response(_strip(encode_response(response))) == response
+    error = Response(seq=4, ok=False, error="boom", served="cached")
+    assert decode_response(_strip(encode_response(error))) == error
+
+
+@pytest.mark.parametrize("mutate", [
+    lambda d: d.pop("client"),
+    lambda d: d.pop("seq"),
+    lambda d: d.update(client=""),
+    lambda d: d.update(client=7),
+    lambda d: d.update(seq=0),
+    lambda d: d.update(seq=True),
+    lambda d: d.update(seq="3"),
+    lambda d: d.update(first_unacked=-1),
+    lambda d: d.update(barrier=None),
+    lambda d: d.update(op=9),
+    lambda d: d.update(args="not-a-list"),
+    lambda d: d.update(ordered="yes"),
+])
+def test_malformed_request_bodies_rejected(mutate):
+    body = Request(
+        client="c", seq=1, first_unacked=1, barrier=0, op="get", args=("k",)
+    ).to_dict()
+    mutate(body)
+    with pytest.raises(CodecError):
+        decode_request(json.dumps(body).encode())
+
+
+def test_non_dict_and_non_json_bodies_rejected():
+    with pytest.raises(CodecError):
+        decode_request(b"[1, 2]")
+    with pytest.raises(CodecError):
+        decode_request(b"\xff\xfe")
+    with pytest.raises(CodecError):
+        decode_response(b"null")
+
+
+def test_unencodable_and_oversized_frames_rejected():
+    with pytest.raises(CodecError):
+        encode_frame({"x": object()})
+    with pytest.raises(CodecError):
+        encode_frame({"x": "y" * (MAX_FRAME_BYTES + 1)})
+
+
+def _reader_with(data: bytes) -> asyncio.StreamReader:
+    reader = asyncio.StreamReader()
+    reader.feed_data(data)
+    reader.feed_eof()
+    return reader
+
+
+def test_read_frame_streams_frames_and_handles_eof():
+    async def scenario():
+        frame_a = encode_frame({"a": 1})
+        frame_b = encode_frame({"b": 2})
+        reader = _reader_with(frame_a + frame_b)
+        assert json.loads(await read_frame(reader)) == {"a": 1}
+        assert json.loads(await read_frame(reader)) == {"b": 2}
+        assert await read_frame(reader) is None  # clean EOF
+
+    asyncio.run(scenario())
+
+
+def test_read_frame_rejects_truncation_and_oversize():
+    async def scenario():
+        # Truncated mid-frame: the prefix promises more than arrives.
+        frame = encode_frame({"a": 1})
+        reader = _reader_with(frame[:-2])
+        with pytest.raises(CodecError):
+            await read_frame(reader)
+        # Oversized length prefix: refused before buffering the body.
+        reader = _reader_with(struct.pack("!I", MAX_FRAME_BYTES + 1))
+        with pytest.raises(CodecError):
+            await read_frame(reader)
+
+    asyncio.run(scenario())

@@ -1,0 +1,128 @@
+"""Gap coverage for the SMR layer: error paths and snapshot plumbing.
+
+These paths matter once real clients drive the replicated machine
+(``repro.serve``): a malformed or adversarial command must be a
+deterministic rejection — identical on every replica — never a replica
+crash, and snapshots must round-trip for the dedup-table state the
+session layer persists through them.
+"""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.smr import Command, KVStore, ReplicatedStateMachine
+
+
+# -- Command codec edge cases ------------------------------------------
+@pytest.mark.parametrize("payload", [
+    b"5",                      # not a [op, args] pair
+    b"{}",                     # empty object
+    b'{"op": "put"}',          # object, not a pair
+    b'["put", 7]',             # args not iterable
+    b'["put"]',                # too few elements
+    b'["put", [], []]',        # too many elements
+    b"\xff\xfe not json",
+])
+def test_command_decode_rejects_malformed_payloads(payload):
+    with pytest.raises(ProtocolError):
+        Command.decode(payload)
+
+
+# -- KVStore error paths -----------------------------------------------
+def test_kvstore_bad_arity_is_a_deterministic_rejection():
+    store = KVStore()
+    with pytest.raises(ProtocolError):
+        store.apply(Command("put", ("only-one-arg",)))
+    with pytest.raises(ProtocolError):
+        store.apply(Command("get", ()))
+    with pytest.raises(ProtocolError):
+        store.apply(Command("cas", ("k",)))
+    # The failed commands left no partial state behind.
+    assert store.snapshot() == {}
+
+
+def test_kvstore_bad_incr_amount_rejected():
+    store = KVStore()
+    store.apply(Command("put", ("k", 1)))
+    with pytest.raises(ProtocolError):
+        store.apply(Command("incr", ("k", "not-a-number")))
+    assert store.apply(Command("get", ("k",))) == 1
+
+
+def test_kvstore_snapshot_restore_round_trip():
+    store = KVStore()
+    store.apply(Command("put", ("a", 1)))
+    store.apply(Command("put", ("b", ["nested", {"x": None}])))
+    snap = store.snapshot()
+
+    other = KVStore()
+    other.restore(snap)
+    assert other.snapshot() == snap
+    assert other.apply(Command("get", ("b",))) == ["nested", {"x": None}]
+    # Restore replaces, not merges.
+    other.restore({})
+    assert len(other) == 0
+
+
+def test_kvstore_snapshot_is_isolated_from_the_store():
+    store = KVStore()
+    store.apply(Command("put", ("a", 1)))
+    snap = store.snapshot()
+    snap["a"] = 99
+    snap["rogue"] = True
+    assert store.apply(Command("get", ("a",))) == 1
+    assert store.apply(Command("get", ("rogue",))) is None
+
+
+# -- ReplicatedStateMachine plumbing -----------------------------------
+class _RecordingBroadcast:
+    """Minimal TotalOrderBroadcast stand-in: records, delivers on demand."""
+
+    def __init__(self) -> None:
+        self.listener = None
+        self.sent = []
+
+    def set_listener(self, listener) -> None:
+        self.listener = listener
+
+    def broadcast(self, payload: bytes):
+        message_id = f"m{len(self.sent)}"
+        self.sent.append((message_id, payload))
+        return message_id
+
+
+def test_rsm_public_deliver_matches_listener_path():
+    broadcast = _RecordingBroadcast()
+    rsm = ReplicatedStateMachine(broadcast, KVStore())
+    applies = []
+    rsm.on_apply(lambda index, origin, command, result:
+                 applies.append((index, origin, command.op, result)))
+
+    message_id = rsm.submit(Command("put", ("k", "v")))
+    # A multiplexing runtime forwards deliveries explicitly.
+    rsm.deliver(2, message_id, broadcast.sent[0][1], size=10)
+    assert rsm.applied_count == 1
+    assert rsm.result_of(message_id) is None  # put of a fresh key
+    assert applies == [(1, 2, "put", None)]
+    assert rsm.snapshot() == {"k": "v"}
+
+
+def test_rsm_result_of_unknown_message_is_none():
+    rsm = ReplicatedStateMachine(_RecordingBroadcast(), KVStore())
+    assert rsm.result_of("never-delivered") is None
+
+
+def test_rsm_undecodable_delivery_raises_protocol_error():
+    rsm = ReplicatedStateMachine(_RecordingBroadcast(), KVStore())
+    with pytest.raises(ProtocolError):
+        rsm.deliver(0, "m0", b"garbage", size=7)
+    assert rsm.applied_count == 0
+
+
+def test_rsm_local_read_rejects_mutations():
+    rsm = ReplicatedStateMachine(_RecordingBroadcast(), KVStore())
+    rsm.deliver(0, "m0", Command("put", ("k", 5)).encode(), size=1)
+    assert rsm.local_read(Command("get", ("k",))) == 5
+    with pytest.raises(ProtocolError):
+        rsm.local_read(Command("delete", ("k",)))
+    assert rsm.applied_count == 1  # the rejected read applied nothing
