@@ -585,6 +585,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             value_bytes=args.value_bytes,
             retry_timeout_s=args.retry_timeout,
             seed=args.seed,
+            trace_requests=args.trace_requests,
+            metrics_port=args.metrics_port,
+            profile_dir=args.profile,
+            log_level=args.log_level,
         )
     except (ReproError, ValueError) as exc:
         print(f"invalid serve spec: {exc}", file=sys.stderr)
@@ -595,11 +599,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"serve benchmark: {spec.processes} nodes, {spec.sessions} sessions, "
         f"{points} load point(s) x {spec.duration_s:.0f}s"
         + (", leader SIGKILL mid-load" if spec.kill_leader else "")
+        + (", request tracing on" if spec.trace_requests else "")
+        + (", live /metrics on" if spec.metrics_port is not None else "")
         + "...",
         flush=True,
     )
     try:
-        payload = run_serve_benchmark(spec, out_path=args.out)
+        payload = run_serve_benchmark(
+            spec,
+            out_path=args.out,
+            timeline_path=args.timeline,
+            prom_path=args.prom,
+        )
     except ReproError as exc:
         print(f"serve benchmark failed: {exc}", file=sys.stderr)
         return 1
@@ -641,9 +652,37 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"{spec.lease_s:.1f}s, {spec.read_fraction:.0%} reads"
         ),
     ))
+    all_points = payload["curve"] + ([kill] if kill else [])
+    for point in all_points:
+        if point.get("request_breakdown"):
+            from repro.obs.reqtrace import RequestBreakdown
+
+            print()
+            print(f"offered {point['offered_rps']:.0f} rps"
+                  + (" (kill)" if point.get("killed") is not None else "")
+                  + ":")
+            print(
+                RequestBreakdown.from_dict(
+                    point["request_breakdown"]
+                ).render_table()
+            )
+    parity = [
+        point["scrape_parity_ok"]
+        for point in all_points
+        if point.get("scrape_parity_ok") is not None
+    ]
+    if parity:
+        print(
+            "\nlive /metrics scrape parity: "
+            + ("OK" if all(parity) else "DIVERGED")
+        )
+    if args.timeline:
+        print(f"merged trace timeline written to {args.timeline}")
+    if args.prom:
+        print(f"mid-load Prometheus scrape written to {args.prom}")
     violations = [
         v
-        for point in payload["curve"] + ([kill] if kill else [])
+        for point in all_points
         for v in point["violations"]
     ]
     for violation in violations:
@@ -661,9 +700,15 @@ def _cmd_serve_load(args: argparse.Namespace) -> int:
     # Client-side entrypoint: open-loop load against a *running* serve
     # cluster (its nodes print their serve addresses at start).
     import asyncio as _asyncio
+    import logging as _logging
 
     from repro.serve.loadgen import LoadConfig, run_load
 
+    if args.log_level:
+        _logging.basicConfig(
+            level=getattr(_logging, args.log_level.upper(), _logging.INFO),
+            format="%(asctime)s %(levelname)s %(name)s %(message)s",
+        )
     addresses = []
     for spec in args.address:
         host, _, port = spec.rpartition(":")
@@ -750,16 +795,32 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         print(f"stage breakdown failed: {exc}", file=sys.stderr)
         return 1
 
+    requests_bd = None
+    if timeline.requests:
+        from repro.obs.reqtrace import request_breakdown
+
+        try:
+            requests_bd = request_breakdown(timeline.requests)
+        except ReproError as exc:
+            print(f"request breakdown failed: {exc}", file=sys.stderr)
+            return 1
+
     rings = timeline.rings()
     print(
         f"timeline: {len(timeline.events)} span events, "
         f"{len(timeline.messages())} messages, "
-        f"{len(timeline.nodes())} nodes, "
+        + (f"{len(timeline.requests)} request events, " if timeline.requests
+           else "")
+        + f"{len(timeline.nodes())} nodes, "
         + (f"{len(rings)} rings, " if rings else "")
         + f"{timeline.duration_s:.3f}s"
+        + (f", {timeline.dropped} spans dropped" if timeline.dropped else "")
     )
     print()
     print(breakdown.render_table())
+    if requests_bd is not None:
+        print()
+        print(requests_bd.render_table())
     if rings:
         for ring, ring_bd in sorted(
             ring_breakdowns(timeline).items()
@@ -771,7 +832,7 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     print(render_link_table(link_utilization(timeline)))
     if args.prom:
         with open(args.prom, "w") as fh:
-            fh.write(prometheus_snapshot(timeline, breakdown))
+            fh.write(prometheus_snapshot(timeline, breakdown, requests_bd))
         print(f"\nPrometheus snapshot written to {args.prom}")
     if args.json:
         with open(args.json, "w") as fh:
@@ -779,6 +840,12 @@ def _cmd_obs(args: argparse.Namespace) -> int:
                 {
                     "schema": "repro.obs_report/1",
                     "stage_breakdown": breakdown.to_dict(),
+                    "request_breakdown": (
+                        requests_bd.to_dict()
+                        if requests_bd is not None
+                        else None
+                    ),
+                    "spans_dropped": timeline.dropped,
                     "ring_stage_breakdowns": {
                         str(ring): ring_bd.to_dict()
                         for ring, ring_bd in sorted(
@@ -993,6 +1060,27 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument("--out", default="BENCH_serve.json", metavar="PATH",
                        help="bench record path (default BENCH_serve.json)")
+    serve.add_argument("--trace-requests", action="store_true",
+                       help="end-to-end request tracing: per-request "
+                            "queue/replication/apply/respond breakdown, "
+                            "cross-checked against measured latency")
+    serve.add_argument("--metrics-port", type=int, default=None,
+                       metavar="PORT",
+                       help="serve live /metrics + /healthz per node; 0 "
+                            "picks ephemeral ports, otherwise node i "
+                            "listens on PORT+i")
+    serve.add_argument("--profile", default=None, metavar="DIR",
+                       help="CPU-profile every node; flamegraph-collapsed "
+                            "stacks land in DIR/node<i>.collapsed.txt")
+    serve.add_argument("--log-level", default=None, metavar="LEVEL",
+                       help="node process logging level (INFO, DEBUG, ...)")
+    serve.add_argument("--timeline", default=None, metavar="PATH",
+                       help="write the merged request/span timeline here "
+                            "(needs --trace-requests); feed it to "
+                            "'repro obs'")
+    serve.add_argument("--prom", default=None, metavar="PATH",
+                       help="save the mid-load Prometheus scrape here "
+                            "(needs --metrics-port)")
     serve.set_defaults(func=_cmd_serve)
 
     serve_load = sub.add_parser(
@@ -1012,6 +1100,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve_load.add_argument("--value-bytes", type=int, default=64)
     serve_load.add_argument("--retry-timeout", type=float, default=1.0)
     serve_load.add_argument("--seed", type=int, default=0)
+    serve_load.add_argument("--log-level", default=None, metavar="LEVEL",
+                            help="client-side logging level (INFO, DEBUG, "
+                                 "...); surfaces failover/retry decisions")
     serve_load.set_defaults(func=_cmd_serve_load)
 
     obs = sub.add_parser(

@@ -59,6 +59,12 @@ from repro.live.scheduler import AsyncioScheduler
 from repro.live.transport import RingTransport
 from repro.net.channel import MAX_RETRIES
 from repro.obs.journal import SpanJournal
+from repro.obs.profile import (
+    CpuAccountant,
+    EventLoopLagSampler,
+    SamplingProfiler,
+)
+from repro.obs.reqtrace import RequestLog
 from repro.obs.span import SpanLog
 from repro.obs.telemetry import Telemetry
 from repro.types import Delivery, MessageId, ProcessId, View
@@ -142,6 +148,18 @@ class LiveNodeConfig:
     #: JSONL span/telemetry journal (``repro.obs``); ``None`` disables
     #: span emission entirely (the hot path pays one attribute check).
     span_path: Optional[str] = None
+    #: Request tracing (``repro.obs.reqtrace``): stamp server-side
+    #: request-lifecycle events into the span journal.  Needs
+    #: ``span_path`` (the journal is the only sink) and serve mode.
+    trace_requests: bool = False
+    #: Live metrics plane (``repro.obs.httpexport``): HTTP listen
+    #: address for ``/metrics`` + ``/healthz``; ``None`` disables.
+    metrics_addr: Optional[Tuple[str, int]] = None
+    #: CPU profiling: write flamegraph-collapsed stacks of the event
+    #: loop thread here and charge protocol CPU (encode / decode / FSR
+    #: automaton / apply) to per-stage accounts.  ``None`` disables —
+    #: the hot path pays one attribute check per delivery.
+    profile_path: Optional[str] = None
     #: Python logging level name for this node's process ("INFO", ...);
     #: ``None`` leaves logging unconfigured (silent).
     log_level: Optional[str] = None
@@ -181,6 +199,11 @@ class LiveNodeConfig:
             )
         if self.lease_s <= 0:
             raise ConfigurationError("lease_s must be positive")
+        if self.trace_requests and self.span_path is None:
+            raise ConfigurationError(
+                "trace_requests needs span_path: request-trace events "
+                "are journalled, never held in node memory"
+            )
         if self.detector_mode not in ("heartbeat", "adaptive"):
             raise ConfigurationError(
                 f"unknown detector_mode {self.detector_mode!r}; "
@@ -250,6 +273,13 @@ class LiveNodeConfig:
             "lease_s": self.lease_s,
             "journal_path": self.journal_path,
             "span_path": self.span_path,
+            "trace_requests": self.trace_requests,
+            "metrics_addr": (
+                [self.metrics_addr[0], self.metrics_addr[1]]
+                if self.metrics_addr is not None
+                else None
+            ),
+            "profile_path": self.profile_path,
             "log_level": self.log_level,
             "batch_bytes": self.batch_bytes,
             "batch_messages": self.batch_messages,
@@ -300,6 +330,13 @@ class LiveNodeConfig:
             lease_s=data.get("lease_s", 0.8),
             journal_path=data.get("journal_path"),
             span_path=data.get("span_path"),
+            trace_requests=data.get("trace_requests", False),
+            metrics_addr=(
+                (data["metrics_addr"][0], data["metrics_addr"][1])
+                if data.get("metrics_addr") is not None
+                else None
+            ),
+            profile_path=data.get("profile_path"),
             log_level=data.get("log_level"),
             batch_bytes=data.get("batch_bytes"),
             batch_messages=data.get("batch_messages"),
@@ -335,11 +372,22 @@ class _NullPort:
 
 
 class LivePort:
-    """Adapts :class:`RingTransport` to the ``Port`` surface FSR uses."""
+    """Adapts :class:`RingTransport` to the ``Port`` surface FSR uses.
 
-    def __init__(self, transport: RingTransport) -> None:
+    With a :class:`~repro.obs.profile.CpuAccountant`, inbound dispatch
+    (the FSR automaton's whole receive path runs inside the handler)
+    is charged to the ``fsr`` stage and outbound sends (codec encode +
+    enqueue) to ``encode`` — the seam that splits protocol CPU out of
+    event-loop wall time.
+    """
+
+    def __init__(self, transport: RingTransport, profile: Any = None) -> None:
         self._transport = transport
         self._handler = None
+        self._fsr_stage = profile.stage("fsr") if profile is not None else None
+        self._encode_stage = (
+            profile.stage("encode") if profile is not None else None
+        )
         transport.on_message = self._dispatch
 
     @property
@@ -349,14 +397,23 @@ class LivePort:
     def send(self, dst: ProcessId, message: Any, size_bytes=None) -> None:
         # size_bytes is the simulator's accounting hint; the codec
         # serialises the real payload, so it is not needed here.
-        self._transport.send(dst, message)
+        if self._encode_stage is None:
+            self._transport.send(dst, message)
+        else:
+            with self._encode_stage:
+                self._transport.send(dst, message)
 
     def on_receive(self, handler) -> None:
         self._handler = handler
 
     def _dispatch(self, src: ProcessId, message: Any) -> None:
-        if self._handler is not None:
+        if self._handler is None:
+            return
+        if self._fsr_stage is None:
             self._handler(src, message)
+        else:
+            with self._fsr_stage:
+                self._handler(src, message)
 
 
 class ControlPort:
@@ -511,6 +568,10 @@ async def _run(config: LiveNodeConfig) -> Dict[str, Any]:
     # capacity=0: sinks (the span journal) still fire, but nothing
     # accumulates in memory — a live node's spans live on disk only.
     spans = SpanLog(enabled=config.span_path is not None, capacity=0)
+    # Request-trace events stream the same way: capacity=0, journal
+    # sink attached once the span journal opens.
+    reqlog = RequestLog(enabled=config.trace_requests, capacity=0)
+    cpu = CpuAccountant() if config.profile_path is not None else None
 
     shaper = None
     if config.netem_events:
@@ -616,7 +677,7 @@ async def _run(config: LiveNodeConfig) -> Dict[str, Any]:
         links = [
             RingLink(
                 ring=ring_index,
-                port=LivePort(ring_transport),
+                port=LivePort(ring_transport, cpu),
                 tx_gate=(lambda _t=ring_transport: _t.tx_ready),
                 on_tx_idle=ring_transport.on_tx_idle,
             )
@@ -630,7 +691,7 @@ async def _run(config: LiveNodeConfig) -> Dict[str, Any]:
             spans=spans,
         )
     else:
-        port = LivePort(transport)
+        port = LivePort(transport, cpu)
         process = FSRProcess(
             sched,
             port,
@@ -655,6 +716,7 @@ async def _run(config: LiveNodeConfig) -> Dict[str, Any]:
         # Claims the broadcast listener slot; the combined listener
         # installed below hands every delivery back to it.
         serve_rsm = ReplicatedStateMachine(process, serve_machine)
+        serve_rsm.profile = cpu
         serve_server = SessionServer(
             me,
             serve_rsm,
@@ -663,6 +725,7 @@ async def _run(config: LiveNodeConfig) -> Dict[str, Any]:
             sched,
             telemetry=telemetry,
             journal=journal.write,
+            reqlog=reqlog,
         )
 
     client: Any = process
@@ -747,6 +810,9 @@ async def _run(config: LiveNodeConfig) -> Dict[str, Any]:
             origin: ProcessId, message_id: MessageId, payload: Any, size: int
         ) -> None:
             on_app_deliver(origin, message_id, payload, size)
+            # Total-order boundary: a traced request this node proposed
+            # just got delivered — stamp "ordered" before the apply.
+            serve_server.note_ordered(message_id)
             serve_rsm.deliver(origin, message_id, payload, size)
 
         process.set_listener(BroadcastListener(app_deliver))
@@ -793,6 +859,8 @@ async def _run(config: LiveNodeConfig) -> Dict[str, Any]:
         (``transport_bytes_sent``, ``transport_tx_stalls``,
         ``transport_queued_bytes``).
         """
+        if cpu is not None:
+            cpu.publish(telemetry)
         snap = telemetry.snapshot()
         counters = snap["counters"]
         counters["transport_frames_sent"] = sum(
@@ -861,6 +929,8 @@ async def _run(config: LiveNodeConfig) -> Dict[str, Any]:
     if config.span_path is not None:
         span_journal = SpanJournal(config.span_path, me, start_time=sched.now)
         spans.add_sink(span_journal.sink())
+        if config.trace_requests:
+            reqlog.add_sink(span_journal.request_sink())
     if shaper is not None:
         # Armed at protocol start so the schedule's event times share
         # the same origin as the workload deadline (and the sim's).
@@ -872,6 +942,52 @@ async def _run(config: LiveNodeConfig) -> Dict[str, Any]:
         serve_server.on_view(membership.view)
         host, serve_port = config.serve_addr
         await serve_server.start(host, serve_port)
+
+    # Observability plane: the lag sampler always runs (10 Hz timer —
+    # its absence from the disabled-cost budget is deliberate, it IS
+    # the baseline); profiler and /metrics are opt-in.
+    lag_sampler = EventLoopLagSampler(sched, telemetry)
+    lag_sampler.start()
+    profiler: Optional[SamplingProfiler] = None
+    if config.profile_path is not None:
+        profiler = SamplingProfiler()
+        profiler.start()
+    metrics_server: Any = None
+    if config.metrics_addr is not None:
+        # Imported lazily to keep the node's import graph lean when the
+        # metrics plane is off.
+        from repro.obs.httpexport import MetricsServer
+
+        def health() -> Dict[str, Any]:
+            view = membership.view
+            if (
+                isinstance(client, _RewiringClient)
+                and client.current_view is not None
+            ):
+                view = client.current_view
+            info: Dict[str, Any] = {
+                "node": me,
+                "view_id": view.view_id,
+                "members": list(view.members),
+                "role": (
+                    "leader"
+                    if view.members and view.members[0] == me
+                    else "follower"
+                ),
+            }
+            if serve_server is not None:
+                info["lease_holder"] = serve_server.lease.leader
+                info["lease_held"] = serve_server.lease.holds()
+                info["applied_index"] = serve_server.machine.applied_index
+            return info
+
+        metrics_server = MetricsServer(me, telemetry_snapshot, health)
+        metrics_host, metrics_port = config.metrics_addr
+        await metrics_server.start(metrics_host, metrics_port)
+        logger.info(
+            "metrics plane listening on %s:%s", metrics_host,
+            metrics_server.port,
+        )
 
     start_time = sched.now
     journal.write({"type": "start", "time": start_time, "node_id": me})
@@ -948,6 +1064,15 @@ async def _run(config: LiveNodeConfig) -> Dict[str, Any]:
         pass
 
     end_time = sched.now
+    lag_sampler.stop()
+    if profiler is not None:
+        profiler.stop()
+        samples = profiler.write_collapsed(config.profile_path)
+        logger.info(
+            "profiler wrote %d samples to %s", samples, config.profile_path
+        )
+    if metrics_server is not None:
+        await metrics_server.close()
     if serve_server is not None:
         await serve_server.close()
     process.stop()
@@ -1018,6 +1143,10 @@ async def _run(config: LiveNodeConfig) -> Dict[str, Any]:
     }
     if serve_server is not None:
         record["serve"] = serve_server.stats()
+    if cpu is not None:
+        record["cpu_stages"] = cpu.totals()
+    if metrics_server is not None:
+        record["metrics_port"] = metrics_server.port
     if span_journal is not None:
         span_journal.write_telemetry(end_time, record["telemetry"])
         span_journal.close()

@@ -112,6 +112,20 @@ class LiveClusterSpec:
     serve: bool = False
     #: Leader lease duration for locally served reads (serve runs).
     lease_s: float = 0.8
+    #: Request tracing (``repro.obs.reqtrace``): servers journal
+    #: request-lifecycle events.  Requires ``spans`` (the events ride
+    #: the span journals) and only does anything for serve runs.
+    trace_requests: bool = False
+    #: Live metrics plane: every node serves ``/metrics`` + ``/healthz``
+    #: on its own loopback port (``LiveCluster.metrics_addresses``).
+    metrics: bool = False
+    #: Fixed base for the metrics ports (node ``i`` listens on
+    #: ``base + i``); 0 allocates ephemeral ports like everything else.
+    metrics_base_port: int = 0
+    #: Directory for per-node flamegraph-collapsed CPU profiles
+    #: (``node<id>.collapsed.txt``); ``None`` disables profiling.
+    #: Deliberately not the run's tempdir — profiles outlive the run.
+    profile_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.processes < 2:
@@ -129,6 +143,10 @@ class LiveClusterSpec:
             )
         if self.duration_s <= 0:
             raise ConfigurationError("duration_s must be positive")
+        if self.trace_requests and not self.spans:
+            raise ConfigurationError(
+                "trace_requests rides the span journals; enable spans"
+            )
         if self.shards < 1:
             raise ConfigurationError("shards must be at least 1")
         # Shared BatchConfig validation with the sim path: nonpositive
@@ -213,8 +231,15 @@ class LiveCluster:
     ) -> None:
         self.spec = spec
         self.members = list(range(spec.processes))
-        extra = spec.processes if spec.serve else 0
-        ports = _free_ports(spec.host, spec.processes * spec.shards + extra)
+        serve_extra = spec.processes if spec.serve else 0
+        metrics_extra = (
+            spec.processes
+            if spec.metrics and not spec.metrics_base_port
+            else 0
+        )
+        ports = _free_ports(
+            spec.host, spec.processes * spec.shards + serve_extra + metrics_extra
+        )
         #: Client-facing session server address per node (serve runs).
         self.serve_addresses: Dict[ProcessId, Tuple[str, int]] = (
             {
@@ -224,6 +249,18 @@ class LiveCluster:
             if spec.serve
             else {}
         )
+        #: Live ``/metrics`` + ``/healthz`` address per node.
+        self.metrics_addresses: Dict[ProcessId, Tuple[str, int]] = {}
+        if spec.metrics:
+            self.metrics_addresses = {
+                pid: (
+                    spec.host,
+                    spec.metrics_base_port + pid
+                    if spec.metrics_base_port
+                    else ports[spec.processes * spec.shards + serve_extra + pid],
+                )
+                for pid in self.members
+            }
         # One port per (node, ring); ring 0 is the canonical address map
         # (and the control plane), extra rings are pure data planes.
         self.ring_addresses = [
@@ -238,6 +275,8 @@ class LiveCluster:
         self.journal_paths: Dict[ProcessId, str] = {}
         self.span_paths: Dict[ProcessId, str] = {}
         self.procs: Dict[ProcessId, subprocess.Popen] = {}
+        if spec.profile_dir is not None:
+            os.makedirs(spec.profile_dir, exist_ok=True)
         env = _node_env()
         try:
             for pid in self.members:
@@ -249,6 +288,13 @@ class LiveCluster:
                 span_path = (
                     os.path.join(workdir, f"node{pid}.spans.jsonl")
                     if spec.spans
+                    else None
+                )
+                profile_path = (
+                    os.path.join(
+                        spec.profile_dir, f"node{pid}.collapsed.txt"
+                    )
+                    if spec.profile_dir is not None
                     else None
                 )
                 config = LiveNodeConfig(
@@ -282,6 +328,9 @@ class LiveCluster:
                     lease_s=spec.lease_s,
                     journal_path=journal_path,
                     span_path=span_path,
+                    trace_requests=spec.trace_requests,
+                    metrics_addr=self.metrics_addresses.get(pid),
+                    profile_path=profile_path,
                     log_level=spec.log_level,
                     batch_bytes=spec.batch_bytes,
                     batch_messages=spec.batch_messages,

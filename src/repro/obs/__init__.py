@@ -33,12 +33,30 @@ if TYPE_CHECKING:  # pragma: no cover - typing-time only
         render_link_table,
         stage_breakdown,
     )
+    from repro.obs.httpexport import (  # noqa: F401
+        MetricsServer,
+        fetch_metrics,
+        http_get,
+        prometheus_metric_names,
+    )
     from repro.obs.journal import (  # noqa: F401
         SpanJournal,
         Timeline,
         load_span_journal,
         merge_span_journals,
         timeline_from_spanlog,
+    )
+    from repro.obs.profile import (  # noqa: F401
+        CpuAccountant,
+        EventLoopLagSampler,
+        SamplingProfiler,
+    )
+    from repro.obs.reqtrace import (  # noqa: F401
+        RequestBreakdown,
+        RequestEvent,
+        RequestLog,
+        crosscheck_request_latency,
+        request_breakdown,
     )
     from repro.obs.telemetry import (  # noqa: F401
         Counter,
@@ -58,6 +76,18 @@ _LAZY = {
     "recovery_outage_from_spans": "repro.obs.analyze",
     "render_link_table": "repro.obs.analyze",
     "stage_breakdown": "repro.obs.analyze",
+    "MetricsServer": "repro.obs.httpexport",
+    "fetch_metrics": "repro.obs.httpexport",
+    "http_get": "repro.obs.httpexport",
+    "prometheus_metric_names": "repro.obs.httpexport",
+    "CpuAccountant": "repro.obs.profile",
+    "EventLoopLagSampler": "repro.obs.profile",
+    "SamplingProfiler": "repro.obs.profile",
+    "RequestBreakdown": "repro.obs.reqtrace",
+    "RequestEvent": "repro.obs.reqtrace",
+    "RequestLog": "repro.obs.reqtrace",
+    "crosscheck_request_latency": "repro.obs.reqtrace",
+    "request_breakdown": "repro.obs.reqtrace",
     "SpanJournal": "repro.obs.journal",
     "Timeline": "repro.obs.journal",
     "load_span_journal": "repro.obs.journal",

@@ -365,10 +365,18 @@ def render_link_table(links: List[LinkUtilization]) -> str:
 
 
 def prometheus_snapshot(
-    timeline: Timeline, breakdown: Optional[StageBreakdown] = None
+    timeline: Timeline,
+    breakdown: Optional[StageBreakdown] = None,
+    requests: Optional[Any] = None,
 ) -> str:
-    """Prometheus text exposition: per-node telemetry + stage gauges."""
-    extra: Dict[str, float] = {}
+    """Prometheus text exposition: per-node telemetry + stage gauges.
+
+    ``requests`` (a :class:`~repro.obs.reqtrace.RequestBreakdown`)
+    adds the serve-layer request-stage gauges; ``spans_dropped``
+    surfaces capacity-capped span loss so a truncated trace can never
+    read as a complete one.
+    """
+    extra: Dict[str, float] = {"spans_dropped": float(timeline.dropped)}
     if breakdown is not None:
         for name in STAGES:
             extra[f"latency_stage_{name}_mean_seconds"] = (
@@ -377,6 +385,16 @@ def prometheus_snapshot(
             extra[f"latency_stage_{name}_share"] = breakdown.stages[name].share
         extra["latency_end_to_end_mean_seconds"] = breakdown.end_to_end.mean_s
         extra["latency_end_to_end_p99_seconds"] = breakdown.end_to_end.p99_s
+    if requests is not None:
+        from repro.obs.reqtrace import REQUEST_STAGES
+
+        for name in REQUEST_STAGES:
+            extra[f"request_stage_{name}_mean_seconds"] = (
+                requests.stages[name].mean_s
+            )
+            extra[f"request_stage_{name}_share"] = requests.stages[name].share
+        extra["request_end_to_end_mean_seconds"] = requests.overall.mean_s
+        extra["request_end_to_end_p99_seconds"] = requests.overall.p99_s
     return render_prometheus(timeline.telemetry, extra=extra)
 
 

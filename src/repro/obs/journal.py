@@ -19,6 +19,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, TextIO
 
+from repro.obs.reqtrace import RequestEvent, request_sort_key
 from repro.obs.span import SpanEvent, SpanLog, lifecycle_sort_key
 from repro.types import MessageId
 
@@ -54,12 +55,19 @@ class SpanJournal:
     def write_span(self, event: SpanEvent) -> None:
         self._write(event.to_dict())
 
+    def write_request(self, event: RequestEvent) -> None:
+        self._write(event.to_dict())
+
     def write_telemetry(self, time: float, snapshot: Dict[str, Any]) -> None:
         self._write({"type": "telemetry", "time": time, "snapshot": snapshot})
 
     def sink(self) -> Any:
         """A callable suitable for :meth:`SpanLog.add_sink`."""
         return self.write_span
+
+    def request_sink(self) -> Any:
+        """A callable suitable for :meth:`RequestLog.add_sink`."""
+        return self.write_request
 
     def close(self) -> None:
         if self._fh is not None:
@@ -94,11 +102,17 @@ def load_span_journal(path: str) -> Optional[Dict[str, Any]]:
         for entry in entries
         if entry.get("type") == "span"
     ]
+    requests = [
+        RequestEvent.from_dict(entry)
+        for entry in entries
+        if entry.get("type") == "req"
+    ]
     telemetry = [entry for entry in entries if entry.get("type") == "telemetry"]
     return {
         "node": meta["node"],
         "start_time": meta.get("start_time", 0.0),
         "events": events,
+        "requests": requests,
         "telemetry": telemetry,
     }
 
@@ -116,6 +130,10 @@ class Timeline:
     events: List[SpanEvent] = field(default_factory=list)
     telemetry: Dict[int, Dict[str, Any]] = field(default_factory=dict)
     duration_s: float = 0.0
+    #: Request-scoped serve-layer events (``--trace-requests`` runs).
+    requests: List[RequestEvent] = field(default_factory=list)
+    #: Span events lost to a capacity cap at collection time.
+    dropped: int = 0
 
     def messages(self) -> List[MessageId]:
         seen: Dict[MessageId, None] = {}
@@ -157,6 +175,10 @@ class Timeline:
             duration_s=self.duration_s,
         )
 
+    def request_keys(self) -> List[tuple]:
+        """Distinct ``(client, seq)`` request identities, sorted."""
+        return sorted({(r.client, r.seq) for r in self.requests})
+
     # ------------------------------------------------------------------
     # Persistence (the merged-timeline artifact ``repro obs`` consumes)
     # ------------------------------------------------------------------
@@ -167,6 +189,7 @@ class Timeline:
                 "schema": TIMELINE_SCHEMA,
                 "duration_s": self.duration_s,
                 "nodes": self.nodes(),
+                "dropped": self.dropped,
             }) + "\n")
             for node in sorted(self.telemetry):
                 fh.write(json.dumps({
@@ -176,12 +199,16 @@ class Timeline:
                 }) + "\n")
             for event in self.events:
                 fh.write(json.dumps(event.to_dict()) + "\n")
+            for request in self.requests:
+                fh.write(json.dumps(request.to_dict()) + "\n")
 
     @classmethod
     def load_jsonl(cls, path: str) -> "Timeline":
         events: List[SpanEvent] = []
+        requests: List[RequestEvent] = []
         telemetry: Dict[int, Dict[str, Any]] = {}
         duration = 0.0
+        dropped = 0
         with open(path) as fh:
             for line in fh:
                 try:
@@ -191,14 +218,21 @@ class Timeline:
                 kind = entry.get("type")
                 if kind == "timeline_meta":
                     duration = float(entry.get("duration_s", 0.0))
+                    dropped = int(entry.get("dropped", 0))
                 elif kind == "telemetry":
                     telemetry[int(entry["node"])] = entry["snapshot"]
                 elif kind == "span":
                     events.append(SpanEvent.from_dict(entry))
+                elif kind == "req":
+                    requests.append(RequestEvent.from_dict(entry))
         events.sort(key=lifecycle_sort_key)
+        requests.sort(key=request_sort_key)
         if events and not duration:
             duration = events[-1].time - min(e.time for e in events)
-        return cls(events=events, telemetry=telemetry, duration_s=duration)
+        return cls(
+            events=events, telemetry=telemetry, duration_s=duration,
+            requests=requests, dropped=dropped,
+        )
 
 
 def _rebase(event: SpanEvent, t0: float) -> SpanEvent:
@@ -213,6 +247,27 @@ def _rebase(event: SpanEvent, t0: float) -> SpanEvent:
         sequence=event.sequence,
         hop=event.hop,
         ring=event.ring,
+    )
+
+
+def rebase_request(event: RequestEvent, t0: float) -> RequestEvent:
+    """Shift one request event onto the merged timeline's origin.
+
+    Public (unlike the span ``_rebase``) because the serve runner must
+    rebase *client-side* events it collected in the launcher process —
+    the monotonic clock is system-wide on Linux, so subtracting the
+    same ``t0`` as the node journals puts them on one axis.
+    """
+    if t0 == 0.0:
+        return event
+    return RequestEvent(
+        time=event.time - t0,
+        node=event.node,
+        kind=event.kind,
+        client=event.client,
+        seq=event.seq,
+        origin=event.origin,
+        local_seq=event.local_seq,
     )
 
 
@@ -237,14 +292,25 @@ def merge_span_journals(
     if t0 is None:
         t0 = min(journal["start_time"] for journal in loaded.values())
     events: List[SpanEvent] = []
+    requests: List[RequestEvent] = []
     telemetry: Dict[int, Dict[str, Any]] = {}
     for node, journal in loaded.items():
         events.extend(_rebase(event, t0) for event in journal["events"])
+        requests.extend(
+            rebase_request(event, t0) for event in journal.get("requests", [])
+        )
         if journal["telemetry"]:
             telemetry[node] = journal["telemetry"][-1]["snapshot"]
     events.sort(key=lifecycle_sort_key)
-    duration = max((e.time for e in events), default=0.0)
-    return Timeline(events=events, telemetry=telemetry, duration_s=duration)
+    requests.sort(key=request_sort_key)
+    duration = max(
+        (e.time for e in events),
+        default=max((r.time for r in requests), default=0.0),
+    )
+    return Timeline(
+        events=events, telemetry=telemetry, duration_s=duration,
+        requests=requests,
+    )
 
 
 def timeline_from_spanlog(
@@ -257,5 +323,6 @@ def timeline_from_spanlog(
     if duration_s is None:
         duration_s = max((e.time for e in events), default=0.0)
     return Timeline(
-        events=events, telemetry=dict(telemetry or {}), duration_s=duration_s
+        events=events, telemetry=dict(telemetry or {}), duration_s=duration_s,
+        dropped=spans.dropped,
     )

@@ -144,10 +144,13 @@ class SpanLog:
             time=time, node=node, kind=kind, origin=origin,
             local_seq=local_seq, sequence=sequence, hop=hop, ring=ring,
         )
-        if self._capacity is not None and len(self._records) >= self._capacity:
-            self._dropped += 1
-        else:
+        if self._capacity is None or len(self._records) < self._capacity:
             self._records.append(event)
+        elif not self._sinks:
+            # Only count a drop when the event reaches *no* destination:
+            # live nodes run capacity=0 with a journal sink, which is
+            # streaming, not dropping.
+            self._dropped += 1
         for sink in self._sinks:
             sink(event)
 

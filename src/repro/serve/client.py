@@ -26,6 +26,7 @@ import logging
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import CodecError, NetworkError
+from repro.obs.reqtrace import CLIENT_NODE, RequestLog
 from repro.serve.wire import (
     Request,
     Response,
@@ -53,6 +54,7 @@ class SessionClient:
         reconnect_backoff_s: float = 0.05,
         prefer: int = 0,
         ordered_reads: bool = False,
+        reqlog: Optional[RequestLog] = None,
     ) -> None:
         if not addresses:
             raise NetworkError("session client needs at least one server address")
@@ -62,6 +64,12 @@ class SessionClient:
         self.connect_timeout_s = connect_timeout_s
         self.reconnect_backoff_s = reconnect_backoff_s
         self.ordered_reads = ordered_reads
+        #: Request tracing: when set (and enabled), requests go out with
+        #: the wire ``trace`` flag and this log records ``send`` /
+        #: ``acked`` stamps plus ``failover_resend`` markers.
+        # `is None`, not `or`: an enabled-but-empty RequestLog is falsy
+        # (it has __len__), and must not be swapped for a disabled one.
+        self.reqlog = reqlog if reqlog is not None else RequestLog(enabled=False)
         self._addr_index = prefer % len(addresses)
         self._next_seq = 1
         self._barrier = 0
@@ -114,6 +122,12 @@ class SessionClient:
             submit_time=asyncio.get_running_loop().time(),
         )
         self._pending[seq] = entry
+        if self.reqlog.enabled:
+            # Stamp at submit (not the wire write) so the trace shares
+            # the load generator's latency clock start.
+            self.reqlog.emit(
+                entry.submit_time, CLIENT_NODE, "send", self.client_id, seq
+            )
         self._send(entry)
         return fut
 
@@ -220,6 +234,11 @@ class SessionClient:
         self.reconnects += 1
         await self._teardown_connection()
         self._addr_index = (self._addr_index + 1) % len(self.addresses)
+        logger.info(
+            "client %s: failing over to %s:%d (%d pending)",
+            self.client_id, *self.addresses[self._addr_index],
+            len(self._pending),
+        )
         try:
             await self._ensure_connected()
         except NetworkError as exc:
@@ -230,6 +249,11 @@ class SessionClient:
     def _resend_pending(self) -> None:
         for entry in sorted(self._pending.values(), key=lambda e: e.seq):
             self.retries += 1
+            if self.reqlog.enabled:
+                self.reqlog.emit(
+                    asyncio.get_running_loop().time(), CLIENT_NODE,
+                    "failover_resend", self.client_id, entry.seq,
+                )
             self._send(entry)
 
     def _send(self, entry: "_PendingRequest") -> None:
@@ -244,6 +268,7 @@ class SessionClient:
             op=entry.op,
             args=entry.args,
             ordered=entry.ordered,
+            trace=self.reqlog.enabled,
         )
         try:
             writer.write(encode_request(request))
@@ -291,6 +316,11 @@ class SessionClient:
                 self.errors += 1
             elif entry.op not in ("get",):
                 self.acked_writes.append((entry.seq, entry.op, entry.args))
+        if self.reqlog.enabled:
+            self.reqlog.emit(
+                asyncio.get_running_loop().time(), CLIENT_NODE,
+                "acked", self.client_id, response.seq,
+            )
         if not entry.future.done():
             entry.future.set_result(response)
 

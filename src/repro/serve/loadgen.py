@@ -21,6 +21,7 @@ from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.obs.reqtrace import RequestEvent, RequestLog
 from repro.serve.client import SessionClient
 
 #: Extra time after the last scheduled arrival to drain pending acks.
@@ -48,6 +49,9 @@ class LoadConfig:
     #: Client-side retry/failover timeout per request.
     retry_timeout_s: float = 1.0
     seed: int = 0
+    #: Request tracing: stamp send/acked client-side and set the wire
+    #: ``trace`` flag so servers emit the server-side stages.
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if self.rate_rps <= 0:
@@ -98,6 +102,10 @@ class LoadStats:
     acked_writes: List[Tuple[str, int, str, Tuple[Any, ...]]] = field(
         default_factory=list
     )
+    #: Client-side request-trace events (``LoadConfig.trace`` runs);
+    #: raw monotonic timestamps — the runner rebases them onto the
+    #: merged timeline.  Not serialised by :meth:`to_dict`.
+    request_events: List[RequestEvent] = field(default_factory=list)
 
     def percentile(self, q: float) -> Optional[float]:
         if not self.latencies:
@@ -136,6 +144,9 @@ async def run_load(
     """Drive one open-loop load point against a serve cluster."""
     stats = LoadStats()
     loop = asyncio.get_running_loop()
+    # One shared log across sessions: client ids disambiguate, and the
+    # runner wants a single event stream to merge into the timeline.
+    reqlog = RequestLog(enabled=config.trace)
 
     async def one_session(index: int) -> None:
         rng = random.Random((config.seed << 16) ^ index)
@@ -145,6 +156,7 @@ async def run_load(
             addresses,
             retry_timeout_s=config.retry_timeout_s,
             prefer=index,  # spread the fan-in round-robin over servers
+            reqlog=reqlog,
         )
         await client.connect()
         value = "v" * config.value_bytes
@@ -159,12 +171,17 @@ async def run_load(
                 if delay > 0:
                     await asyncio.sleep(delay)
                 key = zipf.sample()
+                # Stamp before submit(): the request's cost starts when
+                # the client decides to send, encode + socket write
+                # included.  This is also the instant the request trace
+                # stamps "send", so the 5% cross-check compares like
+                # with like.
+                submitted = loop.time()
                 if rng.random() < config.read_fraction:
                     fut = client.submit("get", key)
                 else:
                     fut = client.submit("put", key, value)
                 stats.offered += 1
-                submitted = loop.time()
 
                 def on_done(f: asyncio.Future, t0: float = submitted) -> None:
                     pending.discard(f)
@@ -198,4 +215,5 @@ async def run_load(
             await client.close()
 
     await asyncio.gather(*(one_session(i) for i in range(config.sessions)))
+    stats.request_events = reqlog.records()
     return stats

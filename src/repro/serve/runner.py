@@ -31,6 +31,17 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import NetworkError
 from repro.live.runner import LiveCluster, LiveClusterSpec, load_journal_record
+from repro.obs.journal import (
+    Timeline,
+    merge_span_journals,
+    rebase_request,
+)
+from repro.obs.reqtrace import (
+    RequestBreakdown,
+    crosscheck_request_latency,
+    request_breakdown,
+    request_sort_key,
+)
 from repro.serve.loadgen import LoadConfig, LoadStats, run_load
 from repro.types import ProcessId
 
@@ -38,6 +49,11 @@ from repro.types import ProcessId
 _START_TIMEOUT_S = 30.0
 #: How long terminated survivors get to write their records.
 _SHUTDOWN_GRACE_S = 15.0
+#: How long survivors get to finish applying acked writes before
+#: SIGTERM (see :func:`_await_drain`); generous vs the ~ms it takes.
+_DRAIN_TIMEOUT_S = 5.0
+#: Ring-quiet window the drain requires on top of write coverage.
+_DRAIN_SETTLE_S = 0.2
 #: Fraction of the load window after which the leader is killed.
 _KILL_AT_FRACTION = 0.35
 
@@ -70,6 +86,21 @@ class ServeSpec:
     #: and stay below detection + view change so retries drive failover.
     retry_timeout_s: float = 1.0
     seed: int = 0
+    #: End-to-end request tracing (``repro.obs.reqtrace``): clients set
+    #: the wire flag, servers journal lifecycle events, and the runner
+    #: merges both into a queue/replication/apply/respond breakdown
+    #: hard-cross-checked against the load generator's measured mean.
+    trace_requests: bool = False
+    #: Live metrics plane: ``None`` disables; ``0`` gives every node an
+    #: ephemeral ``/metrics`` + ``/healthz`` port; a positive value is a
+    #: base port (node ``i`` listens on ``metrics_port + i``).  The
+    #: runner scrapes mid-load and gates counter-name parity with the
+    #: post-mortem telemetry snapshot.
+    metrics_port: Optional[int] = None
+    #: Directory for per-node flamegraph-collapsed CPU profiles.
+    profile_dir: Optional[str] = None
+    #: Node process logging level ("INFO", "DEBUG", ...).
+    log_level: Optional[str] = None
 
     def live_spec(self) -> LiveClusterSpec:
         return LiveClusterSpec(
@@ -86,6 +117,14 @@ class ServeSpec:
             run_seed=self.seed,
             serve=True,
             lease_s=self.lease_s,
+            # Trace events ride the span journals, so tracing implies
+            # span collection on every node.
+            spans=self.trace_requests,
+            trace_requests=self.trace_requests,
+            metrics=self.metrics_port is not None,
+            metrics_base_port=self.metrics_port or 0,
+            profile_dir=self.profile_dir,
+            log_level=self.log_level,
         )
 
 
@@ -102,6 +141,16 @@ class ServePoint:
     outage_s: Optional[float] = None
     violations: List[str] = field(default_factory=list)
     node_serve_stats: Dict[ProcessId, Dict[str, Any]] = field(default_factory=dict)
+    #: Request-stage breakdown over the merged client + node trace
+    #: events (``trace_requests`` runs); cross-checked vs the loadgen.
+    request_breakdown: Optional[RequestBreakdown] = None
+    #: Merged span/trace timeline (``trace_requests`` runs).
+    timeline: Optional[Timeline] = None
+    #: Mid-load ``/metrics`` scrape text per node (``metrics`` runs).
+    live_scrapes: Dict[ProcessId, str] = field(default_factory=dict)
+    #: Live-scrape counter names == post-mortem snapshot names; ``None``
+    #: when no scrape happened.
+    scrape_parity_ok: Optional[bool] = None
 
     def to_dict(self) -> Dict[str, Any]:
         duration = None
@@ -120,6 +169,12 @@ class ServePoint:
             "node_serve_stats": {
                 str(pid): stats for pid, stats in self.node_serve_stats.items()
             },
+            "request_breakdown": (
+                self.request_breakdown.to_dict()
+                if self.request_breakdown is not None
+                else None
+            ),
+            "scrape_parity_ok": self.scrape_parity_ok,
         }
 
 
@@ -246,6 +301,36 @@ def client_outage(
     return worst
 
 
+def _scrape_parity(
+    scrapes: Dict[ProcessId, str],
+    records: Dict[ProcessId, Dict[str, Any]],
+) -> Optional[bool]:
+    """Counter-name parity: live mid-run scrape vs post-mortem snapshot.
+
+    Every counter the live plane served mid-run must appear in the
+    node's final snapshot — otherwise dashboards built on the live
+    endpoint name series the record path cannot explain.  The check is
+    a subset, not equality: counters register lazily on first use
+    (``fd_suspicions``, ``membership_flushes``), so a kill-point
+    snapshot legitimately grows names *after* the scrape.  Gauges are
+    excluded for the same reason in the other direction.
+    """
+    if not scrapes:
+        return None
+    from repro.obs.httpexport import prometheus_metric_names
+    from repro.obs.telemetry import render_prometheus
+
+    ok = True
+    for pid, text in scrapes.items():
+        record = records.get(pid)
+        if record is None:
+            continue
+        post = render_prometheus({pid: record["telemetry"]})
+        if not prometheus_metric_names(text) <= prometheus_metric_names(post):
+            ok = False
+    return ok
+
+
 def _await_starts(cluster: LiveCluster, timeout_s: float) -> None:
     """Block until every node's journal reports its start barrier."""
     deadline = time.monotonic() + timeout_s
@@ -273,6 +358,55 @@ def _await_starts(cluster: LiveCluster, timeout_s: float) -> None:
         time.sleep(0.05)
 
 
+def _await_drain(
+    cluster: LiveCluster,
+    acked_writes: List[Tuple[str, int, str, Any]],
+    killed: Optional[ProcessId],
+    timeout_s: float,
+) -> None:
+    """Block until every survivor's journal holds every acked write.
+
+    The launcher owns termination in serve mode, and clients are
+    satisfied as soon as *one* replica applies and responds — the
+    delivery to a trailing replica can still be on the ring at that
+    moment.  SIGTERMing on client completion therefore raced the final
+    applies and flaked the uniformity battery (an acked write "applied
+    0 times" on the node that lost the race).  Journals are
+    append-and-flush per apply, so polling them is enough; on timeout
+    we proceed and let the battery report what's genuinely missing.
+    """
+    acked = {(client, seq) for client, seq, _op, _args in acked_writes}
+    survivors = [pid for pid in cluster.members if pid != killed]
+    deadline = time.monotonic() + timeout_s
+    last_counts: Optional[List[int]] = None
+    settled_since = time.monotonic()
+    while time.monotonic() < deadline:
+        applied_sets = [
+            {
+                (entry["client"], entry["seq"])
+                for entry in load_applied_log(cluster.journal_paths[pid])
+            }
+            for pid in survivors
+        ]
+        counts = [len(s) for s in applied_sets]
+        if counts != last_counts:
+            last_counts = counts
+            settled_since = time.monotonic()
+        drained = (
+            all(acked <= applied for applied in applied_sets)
+            # Unacked commands (ordered reads, writes whose client gave
+            # up) also mutate the session tables: survivors must reach
+            # the *same* applied set and sit still for a beat, or a
+            # straggling apply between our check and the SIGTERM still
+            # diverges the snapshot hashes.
+            and len(set(counts)) == 1
+            and time.monotonic() - settled_since >= _DRAIN_SETTLE_S
+        )
+        if drained:
+            return
+        time.sleep(0.02)
+
+
 def run_serve_point(
     spec: ServeSpec, rate_rps: float, kill_leader: bool = False
 ) -> ServePoint:
@@ -297,12 +431,32 @@ def run_serve_point(
                 value_bytes=spec.value_bytes,
                 retry_timeout_s=spec.retry_timeout_s,
                 seed=spec.seed,
+                trace=spec.trace_requests,
             )
+            scrapes: Dict[ProcessId, str] = {}
 
             async def drive() -> LoadStats:
                 nonlocal killed, kill_time
                 loop = asyncio.get_running_loop()
                 kill_handle = None
+                scrape_task: Optional[asyncio.Task] = None
+                if cluster.metrics_addresses:
+                    from repro.obs.httpexport import fetch_metrics
+
+                    async def scrape_mid_load() -> None:
+                        # Half the load window: under load by design,
+                        # and past the kill fraction so a kill-point
+                        # scrape hits the post-failover survivors.
+                        await asyncio.sleep(spec.duration_s * 0.5)
+                        for pid, addr in cluster.metrics_addresses.items():
+                            if pid == killed:
+                                continue
+                            try:
+                                scrapes[pid] = await fetch_metrics(*addr)
+                            except (OSError, asyncio.TimeoutError):
+                                pass
+
+                    scrape_task = asyncio.ensure_future(scrape_mid_load())
                 if kill_leader:
                     # Ring position 0 leads the bootstrap view; it holds
                     # the lease when the SIGKILL lands mid-load.
@@ -322,9 +476,15 @@ def run_serve_point(
                 finally:
                     if kill_handle is not None:
                         kill_handle.cancel()
+                    if scrape_task is not None:
+                        try:
+                            await asyncio.wait_for(scrape_task, 10.0)
+                        except (asyncio.TimeoutError, OSError):
+                            pass
 
             stats = asyncio.run(drive())
             skip = {killed} if killed is not None else set()
+            _await_drain(cluster, stats.acked_writes, killed, _DRAIN_TIMEOUT_S)
             cluster.terminate(skip=skip)
             cluster.wait(_SHUTDOWN_GRACE_S, skip=skip, fail_fast=False)
             cluster.raise_on_failures(skip=skip)
@@ -357,6 +517,36 @@ def run_serve_point(
                         "no acknowledged request after the leader kill "
                         "(service never recovered)"
                     )
+            timeline: Optional[Timeline] = None
+            request_bd: Optional[RequestBreakdown] = None
+            if cluster.span_paths:
+                t0 = min(record["start_time"] for record in records.values())
+                timeline = merge_span_journals(cluster.span_paths, t0=t0)
+                # Client stamps come off the same system-wide
+                # CLOCK_MONOTONIC as the node journals, so one rebase
+                # puts them on the merged timeline's axis.
+                timeline.requests.extend(
+                    rebase_request(event, t0)
+                    for event in stats.request_events
+                )
+                timeline.requests.sort(key=request_sort_key)
+            if timeline is not None and timeline.requests:
+                request_bd = request_breakdown(timeline.requests)
+                if stats.latencies and killed is None:
+                    # §4.3.1-style hard gate: the traced end-to-end mean
+                    # must agree with the load generator's measured mean
+                    # within 5% — stage sums that don't add up to what
+                    # clients observed are a tracing bug, not a finding.
+                    crosscheck_request_latency(
+                        request_bd,
+                        sum(stats.latencies) / len(stats.latencies),
+                    )
+            scrape_parity = _scrape_parity(scrapes, records)
+            if scrape_parity is False:
+                violations.append(
+                    "live /metrics counter names diverge from the "
+                    "post-mortem telemetry snapshot"
+                )
             return ServePoint(
                 rate_rps=rate_rps,
                 stats=stats,
@@ -369,15 +559,28 @@ def run_serve_point(
                     for pid, record in records.items()
                     if "serve" in record
                 },
+                request_breakdown=request_bd,
+                timeline=timeline,
+                live_scrapes=scrapes,
+                scrape_parity_ok=scrape_parity,
             )
         finally:
             cluster.shutdown()
 
 
 def run_serve_benchmark(
-    spec: ServeSpec, out_path: str = "BENCH_serve.json"
+    spec: ServeSpec,
+    out_path: str = "BENCH_serve.json",
+    timeline_path: Optional[str] = None,
+    prom_path: Optional[str] = None,
 ) -> Dict[str, Any]:
-    """The full ``python -m repro serve`` pipeline; writes ``out_path``."""
+    """The full ``python -m repro serve`` pipeline; writes ``out_path``.
+
+    With ``timeline_path``, the first traced point's merged timeline is
+    written as JSONL (readable back by ``repro obs``); with
+    ``prom_path``, the first mid-load Prometheus scrape is saved as
+    exposition text — the two CI artifacts of the obs-serve smoke job.
+    """
     points = [run_serve_point(spec, rate) for rate in spec.rates]
     kill_point: Optional[ServePoint] = None
     if spec.kill_leader:
@@ -388,6 +591,23 @@ def run_serve_benchmark(
         )
         kill_point = run_serve_point(spec, kill_rate, kill_leader=True)
     all_points = points + ([kill_point] if kill_point is not None else [])
+    if timeline_path is not None:
+        for point in all_points:
+            if point.timeline is not None:
+                point.timeline.write_jsonl(timeline_path)
+                break
+    if prom_path is not None:
+        sections = []
+        for point in all_points:
+            if point.live_scrapes:
+                for pid, text in sorted(point.live_scrapes.items()):
+                    sections.append(
+                        f"# node {pid} offered_rps={point.rate_rps}\n{text}"
+                    )
+                break
+        if sections:
+            with open(prom_path, "w") as fh:
+                fh.write("\n".join(sections))
     payload: Dict[str, Any] = {
         "schema": "repro.bench_serve/1",
         "config": {
@@ -403,6 +623,8 @@ def run_serve_benchmark(
             "value_bytes": spec.value_bytes,
             "retry_timeout_s": spec.retry_timeout_s,
             "seed": spec.seed,
+            "trace_requests": spec.trace_requests,
+            "metrics_port": spec.metrics_port,
         },
         "curve": [point.to_dict() for point in points],
         "kill_point": kill_point.to_dict() if kill_point is not None else None,

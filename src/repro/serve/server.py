@@ -31,6 +31,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import CodecError, ReproError
 from repro.live.scheduler import AsyncioScheduler
+from repro.obs.reqtrace import RequestLog
 from repro.obs.telemetry import Telemetry
 from repro.serve.lease import LeaderLease
 from repro.serve.session import SessionMachine, lease_command, session_command
@@ -70,6 +71,7 @@ class SessionServer:
         sched: AsyncioScheduler,
         telemetry: Optional[Telemetry] = None,
         journal: Optional[Callable[[Dict[str, Any]], None]] = None,
+        reqlog: Optional[RequestLog] = None,
     ) -> None:
         self.node_id = node_id
         self.rsm = rsm
@@ -78,6 +80,15 @@ class SessionServer:
         self.sched = sched
         self.telemetry = telemetry or Telemetry()
         self._journal = journal
+        # `is None`, not `or`: an enabled RequestLog with capacity=0 (the
+        # live-node journal-sink shape) is falsy via __len__.
+        self.reqlog = reqlog if reqlog is not None else RequestLog(enabled=False)
+        #: MessageId -> (client, seq) of traced in-flight proposals, so
+        #: the node's delivery hook can stamp the ``ordered`` boundary.
+        self._proposed: Dict[Any, Tuple[str, int]] = {}
+        #: Keys whose ``ordered`` stamp this node emitted: the same
+        #: node emits ``applied``, so stage boundaries share one clock.
+        self._ordered_keys: set = set()
         self._server: Optional[asyncio.AbstractServer] = None
         self._view: Optional[View] = None
         self._waiters: Dict[Tuple[str, int], List[asyncio.Future]] = {}
@@ -91,6 +102,7 @@ class SessionServer:
         self._lease_rejects = self.telemetry.counter("serve_lease_rejects")
         self._barrier_rejects = self.telemetry.counter("serve_barrier_rejects")
         machine.on_session_apply(self._on_session_apply)
+        machine.on_traced_apply(self._on_traced_apply)
         machine.on_lease_apply(self._on_lease_apply)
 
     # -- lifecycle -----------------------------------------------------
@@ -123,6 +135,10 @@ class SessionServer:
         """Track a view install (called by the node's rewire hook)."""
         self._view = view
         was_leader = self.lease.leader == self.node_id
+        logger.info(
+            "server %d installed view %d (members=%s, leader=%s)",
+            self.node_id, view.view_id, list(view.members), self.lease.leader,
+        )
         self.lease.on_view(view)
         if self.lease.leader == self.node_id and not was_leader:
             # Don't submit from inside the membership install path; the
@@ -147,6 +163,44 @@ class SessionServer:
 
     def _on_lease_apply(self, node_id: ProcessId, submit_time: float) -> None:
         self.lease.note_renewal(node_id, submit_time)
+
+    # -- request tracing -----------------------------------------------
+    def _trace(
+        self,
+        kind: str,
+        client: str,
+        seq: int,
+        origin: Optional[int] = None,
+        local_seq: Optional[int] = None,
+    ) -> None:
+        self.reqlog.emit(
+            self.sched.now, self.node_id, kind, client, seq,
+            origin=origin, local_seq=local_seq,
+        )
+
+    def note_ordered(self, message_id: Any) -> None:
+        """Stamp the ``ordered`` boundary for a traced proposal.
+
+        Called by the node's delivery hook just before the RSM applies
+        a serve payload: the time the total order handed the envelope
+        back is the replication/apply stage boundary.
+        """
+        key = self._proposed.pop(message_id, None)
+        if key is not None:
+            self._ordered_keys.add(key)
+            self._trace(
+                "ordered", key[0], key[1],
+                origin=getattr(message_id, "origin", None),
+                local_seq=getattr(message_id, "local_seq", None),
+            )
+
+    def _on_traced_apply(
+        self, client_id: str, seq_no: int, applied_index: int
+    ) -> None:
+        key = (client_id, seq_no)
+        if key in self._ordered_keys:
+            self._ordered_keys.discard(key)
+            self._trace("applied", client_id, seq_no)
 
     # -- apply side ----------------------------------------------------
     def _on_session_apply(
@@ -193,6 +247,8 @@ class SessionServer:
                 except CodecError as exc:
                     logger.warning("bad request frame: %s", exc)
                     break
+                if self.reqlog.enabled and request.trace:
+                    self._trace("recv", request.client, request.seq)
                 sub = asyncio.ensure_future(
                     self._serve_one(request, writer, write_lock)
                 )
@@ -226,6 +282,10 @@ class SessionServer:
         except ReproError as exc:
             # Transport-level failure (e.g. broadcast rejected during a
             # view change): tell the client to retry, possibly elsewhere.
+            logger.debug(
+                "server %d: %s#%d unavailable: %s",
+                self.node_id, request.client, request.seq, exc,
+            )
             response = self._response(
                 request, ok=False, error=f"unavailable: {exc}", served="ordered"
             )
@@ -233,6 +293,8 @@ class SessionServer:
             try:
                 writer.write(encode_response(response))
                 await writer.drain()
+                if self.reqlog.enabled and request.trace:
+                    self._trace("responded", request.client, request.seq)
             except (ConnectionError, OSError):
                 pass  # client gone; it will retry on a new connection
 
@@ -266,21 +328,30 @@ class SessionServer:
     async def _dispatch(self, request: Request) -> Response:
         self._requests.inc()
         client, seq = request.client, request.seq
+        traced = self.reqlog.enabled and request.trace
         cached = self.machine.lookup(client, seq)
         if cached is not None:
             self._cached.inc()
+            if traced:
+                self._trace("cached", client, seq)
             return self._from_outcome(request, cached, served="cached")
         read_only_ops = getattr(self.machine.inner, "READ_ONLY_OPS", frozenset())
         if request.op in read_only_ops and not request.ordered:
             if not self.lease.holds():
                 self._lease_rejects.inc()
+                if traced:
+                    self._trace("ordered_fallback", client, seq)
             elif self.machine.session_applied_seq(client) < request.barrier:
                 # Session monotonic reads: our replica has not yet
                 # applied everything this client saw acked — an ordered
                 # read is the only safe answer.
                 self._barrier_rejects.inc()
+                if traced:
+                    self._trace("ordered_fallback", client, seq)
             else:
                 self._local.inc()
+                if traced:
+                    self._trace("local_read", client, seq)
                 result = self.machine.local_read(
                     Command(request.op, request.args)
                 )
@@ -290,9 +361,23 @@ class SessionServer:
         key = (client, seq)
         self._waiters.setdefault(key, []).append(fut)
         try:
-            self.rsm.submit(session_command(
-                client, seq, request.first_unacked, request.op, request.args
+            if traced:
+                self._trace("enqueued", client, seq)
+            message_id = self.rsm.submit(session_command(
+                client, seq, request.first_unacked, request.op, request.args,
+                trace=request.trace,
             ))
+            if traced:
+                # The submit return is the broadcast MessageId — the
+                # join key onto the message-lifecycle spans.  Test
+                # harness RSMs may return None (apply-on-submit).
+                if message_id is not None:
+                    self._proposed[message_id] = key
+                self._trace(
+                    "proposed", client, seq,
+                    origin=getattr(message_id, "origin", None),
+                    local_seq=getattr(message_id, "local_seq", None),
+                )
             self._ordered.inc()
             outcome = await fut
         finally:

@@ -56,9 +56,20 @@ def session_command(
     first_unacked: int,
     op: str,
     args: Tuple[Any, ...],
+    trace: bool = False,
 ) -> Command:
-    """Wrap a client request in the replicated session envelope."""
-    return Command(SESSION_OP, (client_id, seq_no, first_unacked, op, list(args)))
+    """Wrap a client request in the replicated session envelope.
+
+    ``trace`` rides as an optional sixth envelope element so the
+    *applying* replica can emit the ``applied`` request-trace event —
+    omitted when off, keeping untraced envelopes byte-identical to the
+    pre-tracing format (and replica snapshots unaffected either way:
+    the flag never touches the dedup table).
+    """
+    envelope: Tuple[Any, ...] = (client_id, seq_no, first_unacked, op, list(args))
+    if trace:
+        envelope = envelope + (True,)
+    return Command(SESSION_OP, envelope)
 
 
 def lease_command(node_id: int, submit_time: float) -> Command:
@@ -69,6 +80,10 @@ def lease_command(node_id: int, submit_time: float) -> Command:
 #: Upcall on every *first* application of a session command:
 #: (client_id, seq_no, op, args, outcome, applied_index).
 SessionApplyCallback = Callable[[str, int, str, Tuple[Any, ...], Tuple[str, Any], int], None]
+
+#: Upcall on the first application of a *traced* session command
+#: (envelope trace flag set): (client_id, seq_no, applied_index).
+TracedApplyCallback = Callable[[str, int, int], None]
 
 #: Upcall on every applied lease renewal: (node_id, submit_time).
 LeaseApplyCallback = Callable[[int, float], None]
@@ -138,12 +153,17 @@ class SessionMachine(StateMachine):
         #: Lease renewals applied.
         self.lease_applies = 0
         self._session_callbacks: List[SessionApplyCallback] = []
+        self._traced_callbacks: List[TracedApplyCallback] = []
         self._lease_callbacks: List[LeaseApplyCallback] = []
 
     # -- observation ---------------------------------------------------
     def on_session_apply(self, callback: SessionApplyCallback) -> None:
         """Observe the *first* application of each session command."""
         self._session_callbacks.append(callback)
+
+    def on_traced_apply(self, callback: TracedApplyCallback) -> None:
+        """Observe first applications of trace-flagged envelopes."""
+        self._traced_callbacks.append(callback)
 
     def on_lease_apply(self, callback: LeaseApplyCallback) -> None:
         """Observe every lease renewal in the total order."""
@@ -173,8 +193,14 @@ class SessionMachine(StateMachine):
         return self.inner.apply(command)
 
     def _apply_session(self, command: Command) -> Tuple[str, Any]:
+        # The envelope is 5 elements, or 6 with the optional trace flag
+        # appended — old and new replicas decode each other's commands.
+        trace = False
+        envelope = command.args
+        if len(envelope) == 6:
+            envelope, trace = envelope[:5], bool(envelope[5])
         try:
-            client_id, seq_no, first_unacked, op, args = command.args
+            client_id, seq_no, first_unacked, op, args = envelope
         except ValueError as exc:
             raise ProtocolError(
                 f"malformed session envelope: {command.args!r}"
@@ -200,6 +226,9 @@ class SessionMachine(StateMachine):
         self.session_applies += 1
         for callback in list(self._session_callbacks):
             callback(client_id, seq_no, op, tuple(args), outcome, self.applied_index)
+        if trace:
+            for traced in list(self._traced_callbacks):
+                traced(client_id, seq_no, self.applied_index)
         return outcome
 
     def _apply_lease(self, command: Command) -> None:

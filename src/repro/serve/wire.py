@@ -19,6 +19,9 @@ Request fields::
     args     list  operation arguments
     ordered  bool  force the request through the total order even if
                    a local read would be allowed (testing/linearisable)
+    trace    bool  request tracing: the server emits request-lifecycle
+                   events for this request and carries the flag into
+                   the session envelope (repro.obs.reqtrace)
 
 Response fields::
 
@@ -61,9 +64,10 @@ class Request:
     op: str
     args: Tuple[Any, ...] = ()
     ordered: bool = False
+    trace: bool = False
 
     def to_dict(self) -> dict:
-        return {
+        body = {
             "client": self.client,
             "seq": self.seq,
             "first_unacked": self.first_unacked,
@@ -72,6 +76,11 @@ class Request:
             "args": list(self.args),
             "ordered": self.ordered,
         }
+        if self.trace:
+            # Omitted when off so untraced requests stay byte-identical
+            # to the pre-tracing wire format.
+            body["trace"] = True
+        return body
 
     @classmethod
     def from_dict(cls, body: Any) -> "Request":
@@ -104,6 +113,9 @@ class Request:
         ordered = body.get("ordered", False)
         if not isinstance(ordered, bool):
             raise CodecError(f"request ordered must be a bool: {ordered!r}")
+        trace = body.get("trace", False)
+        if not isinstance(trace, bool):
+            raise CodecError(f"request trace must be a bool: {trace!r}")
         return cls(
             client=client,
             seq=seq,
@@ -112,6 +124,7 @@ class Request:
             op=op,
             args=tuple(args),
             ordered=ordered,
+            trace=trace,
         )
 
 

@@ -1,0 +1,178 @@
+"""The live metrics plane: MetricsServer and its scrape helpers.
+
+The server is stdlib asyncio only (the container has no aiohttp), so
+the tests exercise the actual HTTP surface over a real loopback socket:
+content type, counter rendering, the health document, and the error
+paths a misbehaving scraper hits.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.obs.httpexport import (
+    PROMETHEUS_CONTENT_TYPE,
+    MetricsServer,
+    fetch_metrics,
+    http_get,
+    prometheus_metric_names,
+)
+from repro.obs.telemetry import Telemetry
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+def _server(health_fn=None):
+    telemetry = Telemetry()
+    telemetry.counter("serve_requests").inc(42)
+    telemetry.gauge("event_loop_lag_s").set(0.003)
+    server = MetricsServer(7, telemetry.snapshot, health_fn)
+    return server, telemetry
+
+
+def test_metrics_endpoint_serves_prometheus_text():
+    async def scenario():
+        server, _ = _server()
+        await server.start("127.0.0.1", 0)
+        assert server.port  # ephemeral port recorded after bind
+        try:
+            body = await fetch_metrics("127.0.0.1", server.port)
+        finally:
+            await server.close()
+        return body
+
+    body = _run(scenario())
+    assert 'repro_serve_requests_total{node="7"} 42' in body
+    assert "repro_event_loop_lag_s" in body
+    assert "serve_requests_total" in {
+        n.removeprefix("repro_") for n in prometheus_metric_names(body)
+    }
+
+
+def test_metrics_scrape_reflects_live_counter_increments():
+    async def scenario():
+        server, telemetry = _server()
+        await server.start("127.0.0.1", 0)
+        try:
+            first = await fetch_metrics("127.0.0.1", server.port)
+            telemetry.counter("serve_requests").inc(8)
+            second = await fetch_metrics("127.0.0.1", server.port)
+        finally:
+            await server.close()
+        return first, second
+
+    first, second = _run(scenario())
+    assert 'repro_serve_requests_total{node="7"} 42' in first
+    assert 'repro_serve_requests_total{node="7"} 50' in second
+
+
+def test_healthz_returns_the_role_document():
+    async def scenario():
+        server, _ = _server(health_fn=lambda: {
+            "role": "leader", "view_id": 3, "lease_held": True,
+            "applied_index": 17,
+        })
+        await server.start("127.0.0.1", 0)
+        try:
+            return await http_get("127.0.0.1", server.port, "/healthz")
+        finally:
+            await server.close()
+
+    status, body = _run(scenario())
+    assert status == 200
+    import json
+
+    health = json.loads(body)
+    assert health["role"] == "leader"
+    assert health["node"] == 7  # filled in by the server
+    assert health["applied_index"] == 17
+
+
+def test_content_type_and_unknown_paths_and_methods():
+    async def scenario():
+        server, _ = _server()
+        await server.start("127.0.0.1", 0)
+        results = {}
+        try:
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            writer.write(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+            await writer.drain()
+            raw = await reader.read()
+            writer.close()
+            await writer.wait_closed()
+            results["metrics_head"] = raw.partition(b"\r\n\r\n")[0].decode()
+
+            results["missing"] = await http_get(
+                "127.0.0.1", server.port, "/nope"
+            )
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            writer.write(b"POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+            await writer.drain()
+            raw = await reader.read()
+            writer.close()
+            await writer.wait_closed()
+            results["post"] = raw.split(b" ", 2)[1]
+        finally:
+            await server.close()
+        return results
+
+    results = _run(scenario())
+    assert PROMETHEUS_CONTENT_TYPE in results["metrics_head"]
+    assert "Connection: close" in results["metrics_head"]
+    assert results["missing"][0] == 404
+    assert results["post"] == b"405"
+
+
+def test_snapshot_exception_yields_500_not_a_crash():
+    def boom():
+        raise RuntimeError("telemetry exploded")
+
+    async def scenario():
+        server = MetricsServer(0, boom)
+        await server.start("127.0.0.1", 0)
+        try:
+            status, body = await http_get(
+                "127.0.0.1", server.port, "/metrics"
+            )
+            # The server survived; a second scrape still answers.
+            status2, _ = await http_get("127.0.0.1", server.port, "/metrics")
+        finally:
+            await server.close()
+        return status, body, status2
+
+    status, body, status2 = _run(scenario())
+    assert status == 500 and "telemetry exploded" in body
+    assert status2 == 500
+
+
+def test_fetch_metrics_raises_on_non_200():
+    async def scenario():
+        server = MetricsServer(0, lambda: (_ for _ in ()).throw(RuntimeError()))
+        await server.start("127.0.0.1", 0)
+        try:
+            with pytest.raises(OSError):
+                await fetch_metrics("127.0.0.1", server.port)
+        finally:
+            await server.close()
+
+    _run(scenario())
+
+
+def test_prometheus_metric_names_filters_by_suffix():
+    text = "\n".join([
+        "# HELP repro_x_total x",
+        "# TYPE repro_x_total counter",
+        'repro_x_total{node="0"} 3',
+        'repro_lag_s{node="0"} 0.001',
+        "repro_free 7",
+    ])
+    assert prometheus_metric_names(text) == {"repro_x_total"}
+    assert prometheus_metric_names(text, suffix="") == {
+        "repro_x_total", "repro_lag_s", "repro_free",
+    }

@@ -117,3 +117,90 @@ def test_timeline_file_round_trip(tmp_path):
     assert [e.kind for e in loaded.lifecycle(MessageId(0, 1))] == [
         "broadcast", "sequenced", "delivered"
     ]
+
+
+def test_journal_streams_request_events_via_request_sink(tmp_path):
+    from repro.obs.reqtrace import CLIENT_NODE, RequestLog
+
+    path = str(tmp_path / "node4.spans.jsonl")
+    journal = SpanJournal(path, node=4, start_time=0.0)
+    reqlog = RequestLog(enabled=True, capacity=0)  # live-node shape
+    reqlog.add_sink(journal.request_sink())
+    reqlog.emit(1.0, CLIENT_NODE, "send", "c1", 1)
+    reqlog.emit(1.1, 4, "proposed", "c1", 1, origin=4, local_seq=9)
+    journal.close()
+
+    loaded = load_span_journal(path)
+    assert [r.kind for r in loaded["requests"]] == ["send", "proposed"]
+    assert loaded["requests"][1].message_id == MessageId(4, 9)
+    assert reqlog.dropped == 0  # streamed, not dropped
+
+
+def test_timeline_round_trip_multiring_requests_dropped_and_torn_tail(tmp_path):
+    from repro.obs.reqtrace import CLIENT_NODE, RequestEvent
+
+    # Multiring span events (ring-tagged) plus serve-layer request
+    # events and a non-zero drop count — everything the serve stack
+    # writes — must survive write_jsonl/load_jsonl, including a torn
+    # final line from a launcher killed mid-write.
+    timeline = Timeline(
+        events=[
+            _event(0.0, 0, "broadcast", ring=0),
+            _event(0.1, 0, "sequenced", sequence=1, ring=0),
+            _event(0.05, 1, "broadcast", origin=1, local_seq=2, ring=1),
+            _event(0.3, 1, "delivered", sequence=1, ring=0),
+        ],
+        telemetry={0: {"counters": {"x": 1}}},
+        duration_s=0.3,
+        requests=[
+            RequestEvent(0.01, CLIENT_NODE, "send", "c1", 1),
+            RequestEvent(0.02, 0, "proposed", "c1", 1, origin=0, local_seq=1),
+            RequestEvent(0.29, CLIENT_NODE, "acked", "c1", 1),
+        ],
+        dropped=7,
+    )
+    path = str(tmp_path / "timeline.jsonl")
+    timeline.write_jsonl(path)
+    with open(path, "a") as fh:
+        fh.write('{"type": "req", "time": 0.4, "nod')  # torn tail
+
+    loaded = Timeline.load_jsonl(path)
+    assert loaded.rings() == [0, 1]
+    assert [e.ring for e in loaded.for_ring(1).events] == [1]
+    assert loaded.dropped == 7
+    assert [r.kind for r in loaded.requests] == ["send", "proposed", "acked"]
+    assert loaded.requests[1].message_id == MessageId(0, 1)
+    assert loaded.request_keys() == [("c1", 1)]
+    assert loaded.duration_s == timeline.duration_s
+
+
+def test_merger_rebases_request_events_with_the_spans(tmp_path):
+    from repro.obs.journal import rebase_request
+    from repro.obs.reqtrace import CLIENT_NODE, RequestEvent
+
+    path = str(tmp_path / "node0.spans.jsonl")
+    journal = SpanJournal(path, node=0, start_time=50.0)
+    journal.write_span(_event(50.2, 0, "broadcast"))
+    journal.write_request(RequestEvent(50.1, 0, "recv", "c1", 1))
+    journal.close()
+
+    timeline = merge_span_journals({0: path}, t0=50.0)
+    assert abs(timeline.requests[0].time - 0.1) < 1e-9
+    # Client-side events collected in the launcher rebase with the same
+    # t0 (CLOCK_MONOTONIC is system-wide), via the public helper.
+    client_event = rebase_request(
+        RequestEvent(50.05, CLIENT_NODE, "send", "c1", 1), 50.0
+    )
+    assert abs(client_event.time - 0.05) < 1e-9
+
+
+def test_spans_dropped_surfaces_in_prometheus_snapshot():
+    from repro.obs.analyze import prometheus_snapshot
+
+    spans = SpanLog(enabled=True, capacity=1)
+    for i in range(4):
+        spans.emit(float(i), 0, "broadcast", 0, i + 1)
+    timeline = timeline_from_spanlog(spans)
+    assert timeline.dropped == 3
+    text = prometheus_snapshot(timeline)
+    assert "repro_spans_dropped 3" in text

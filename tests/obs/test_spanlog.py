@@ -37,14 +37,26 @@ def test_disabled_spanlog_records_nothing_and_never_calls_sinks():
 
 def test_capacity_zero_keeps_memory_flat_but_feeds_sinks():
     # Live nodes run this shape: journal sink on, in-memory list off.
+    # A streamed event reached its destination, so nothing is "dropped".
     spans = SpanLog(enabled=True, capacity=0)
     sink = _CountingSink()
     spans.add_sink(sink)
     for i in range(10):
         spans.emit(float(i), 0, "broadcast", 0, i)
     assert len(spans) == 0
-    assert spans.dropped == 10
+    assert spans.dropped == 0
     assert sink.calls == 10
+
+
+def test_over_capacity_without_sink_reports_drop_count():
+    # An over-capacity run with no journal must say how much it lost:
+    # spans.dropped is surfaced in prometheus_snapshot / repro obs so a
+    # truncated trace can never read as a complete one.
+    spans = SpanLog(enabled=True, capacity=2)
+    for i in range(5):
+        spans.emit(float(i), 0, "broadcast", 0, i)
+    assert len(spans) == 2
+    assert spans.dropped == 3
 
 
 def _run_sim(n=4, t=1, senders=2, messages=5):
